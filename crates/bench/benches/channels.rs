@@ -1,0 +1,112 @@
+//! Ablation for the paper's Section 5 channel implementation choices:
+//! synchronous rendezvous (MVar-pair analogue, capacity 0) versus
+//! asynchronous bounded queues (TBQueue analogue) — raw channel
+//! throughput and full interpreter round trips.
+
+use algst_check::check_source;
+use algst_runtime::value::Value;
+use algst_runtime::{channel_pair, Interp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::thread;
+use std::time::Duration;
+
+const ROUNDS: usize = 1_000;
+
+fn bench_raw_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channels/raw_pingpong");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ROUNDS as u64));
+    for (name, capacity) in [("sync", 0usize), ("async64", 64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &capacity, |b, &cap| {
+            b.iter(|| {
+                let (a, z) = channel_pair(cap);
+                let t = thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        let v = z.recv_val().expect("peer alive");
+                        z.send_val(v).expect("peer alive");
+                    }
+                });
+                for i in 0..ROUNDS {
+                    a.send_val(Value::Int(i as i64)).expect("peer alive");
+                    black_box(a.recv_val().expect("peer alive"));
+                }
+                t.join().expect("echo thread");
+            })
+        });
+    }
+    group.finish();
+
+    // One-way streaming: here buffering should show an advantage.
+    let mut group = c.benchmark_group("channels/raw_stream");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(ROUNDS as u64));
+    for (name, capacity) in [("sync", 0usize), ("async64", 64)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &capacity, |b, &cap| {
+            b.iter(|| {
+                let (a, z) = channel_pair(cap);
+                let t = thread::spawn(move || {
+                    for _ in 0..ROUNDS {
+                        black_box(z.recv_val().expect("peer alive"));
+                    }
+                });
+                for i in 0..ROUNDS {
+                    a.send_val(Value::Int(i as i64)).expect("peer alive");
+                }
+                t.join().expect("consumer thread");
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Interpreter-level counter stream: `n` ints sent over a recursive
+/// protocol, sync vs. async.
+fn counter_module() -> algst_check::Module {
+    check_source(
+        r#"
+protocol CountB = MoreB Int CountB | DoneB
+
+produce : Int -> !CountB.End! -> Unit
+produce n c =
+  if n == 0 then select DoneB [End!] c |> terminate
+  else select MoreB [End!] c |> sendInt [!CountB.End!] n |> produce (n - 1)
+
+consume : ?CountB.End? -> Unit
+consume c = match c with {
+  MoreB c -> let (x, c) = receiveInt [?CountB.End?] c in consume c,
+  DoneB c -> wait c }
+
+main : Unit
+main =
+  let (p, q) = new [!CountB.End!] in
+  let _ = fork (\u -> produce 200 p) in
+  consume q
+"#,
+    )
+    .expect("counter program type checks")
+}
+
+fn bench_interp_channels(c: &mut Criterion) {
+    let module = counter_module();
+    let mut group = c.benchmark_group("channels/interp_counter200");
+    group.sample_size(10);
+    for (name, capacity) in [("sync", 0usize), ("async16", 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let interp = Interp::with_capacity(&module, cap);
+                    interp
+                        .run_timeout("main", Duration::from_secs(30))
+                        .expect("run succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_channels, bench_interp_channels);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation for Theorem 3: AlgST normalization + α-comparison must scale
+//! linearly in the number of nodes. We measure `nrm⁺` on synthetic types
+//! at geometrically growing sizes and across the constructs normalization
+//! treats specially (deep `Dual` nesting, negation chains, wide protocol
+//! arguments).
+
+use algst_core::equiv::equivalent;
+use algst_core::normalize::nrm_pos;
+use algst_core::types::Type;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// A session spine of `n` messages with alternating payloads and a Dual
+/// wrapper every 8 messages — exercises all normalization paths.
+fn spine(n: usize) -> Type {
+    let mut t = Type::EndOut;
+    for i in 0..n {
+        let payload = match i % 4 {
+            0 => Type::int(),
+            1 => Type::neg(Type::bool()),
+            2 => Type::proto("NBench", vec![Type::neg(Type::neg(Type::char()))]),
+            _ => Type::pair(Type::char(), Type::EndOut),
+        };
+        t = if i % 2 == 0 {
+            Type::input(payload, t)
+        } else {
+            Type::output(payload, t)
+        };
+        if i % 8 == 7 {
+            t = Type::dual(t);
+        }
+    }
+    t
+}
+
+/// `Dual (Dual (… S))` — n wrappers.
+fn dual_tower(n: usize) -> Type {
+    let mut t = Type::input(Type::int(), Type::var("s"));
+    for _ in 0..n {
+        t = Type::dual(t);
+    }
+    t
+}
+
+/// `-(-(-… Int))` — n negations in a protocol argument.
+fn neg_tower(n: usize) -> Type {
+    let mut t = Type::int();
+    for _ in 0..n {
+        t = Type::neg(t);
+    }
+    Type::proto("NBench", vec![t])
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normalization/spine");
+    group.sample_size(30);
+    for n in [64usize, 256, 1024, 4096] {
+        let t = spine(n);
+        group.throughput(Throughput::Elements(t.node_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(t.node_count()), &t, |b, t| {
+            b.iter(|| black_box(nrm_pos(black_box(t))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("normalization/dual_tower");
+    group.sample_size(30);
+    for n in [64usize, 512, 4096] {
+        let t = dual_tower(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(nrm_pos(black_box(t))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("normalization/neg_tower");
+    group.sample_size(30);
+    for n in [64usize, 512, 4096] {
+        let t = neg_tower(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(nrm_pos(black_box(t))))
+        });
+    }
+    group.finish();
+
+    // Full equivalence query (normalize both + α-compare).
+    let mut group = c.benchmark_group("equivalence/spine");
+    group.sample_size(30);
+    for n in [64usize, 256, 1024, 4096] {
+        let t = spine(n);
+        let u = Type::dual(Type::dual(spine(n)));
+        group.throughput(Throughput::Elements(
+            (t.node_count() + u.node_count()) as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(t.node_count()),
+            &(t, u),
+            |b, (t, u)| b.iter(|| black_box(equivalent(black_box(t), black_box(u)))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normalization);
+criterion_main!(benches);

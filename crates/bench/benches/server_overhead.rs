@@ -1,0 +1,158 @@
+//! Ablation for Appendix A.6 ("Efficiency of generic servers"): the
+//! toolbox encoding of the arithmetic server (Either/Seq/Repeat, §2.3)
+//! performs extra tagging compared to the hand-written server (§2.2).
+//! We run both over the interpreter for a fixed number of requests and
+//! also report the message counts that explain the gap.
+
+use algst_check::{check_source, Module};
+use algst_runtime::Interp;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const REQUESTS: i64 = 50;
+
+/// Hand-written server: per request, 1 protocol tag + 2 sends + 1 receive.
+fn direct_module() -> Module {
+    check_source(&format!(
+        r#"
+protocol RepD = MoreD ArithD RepD | QuitD
+protocol ArithD = AddD Int Int -Int
+
+serveArith : forall (s:S). ?ArithD.s -> s
+serveArith [s] c = match c with {{
+  AddD c -> let (x, c) = receiveInt [?Int.!Int.s] c in
+            let (y, c) = receiveInt [!Int.s] c in
+            sendInt [s] (x + y) c }}
+
+server : ?RepD.End? -> Unit
+server c = match c with {{
+  QuitD c -> wait c,
+  MoreD c -> serveArith [?RepD.End?] c |> server }}
+
+client : Int -> !RepD.End! -> Unit
+client n c =
+  if n == 0 then select QuitD [End!] c |> terminate
+  else let c = select MoreD [End!] c in
+       let c = select AddD [!RepD.End!] c in
+       let c = sendInt [!Int.?Int.!RepD.End!] n c in
+       let c = sendInt [?Int.!RepD.End!] 1 c in
+       let (r, c) = receiveInt [!RepD.End!] c in
+       client (n - 1) c
+
+main : Unit
+main =
+  let (p, q) = new [!RepD.End!] in
+  let _ = fork (\u -> server q) in
+  client {REQUESTS} p
+"#
+    ))
+    .expect("direct program type checks")
+}
+
+/// Toolbox encoding (§2.3): Arith = Either Neg Add over Seq pairs — extra
+/// Seq/Either tags per request.
+fn toolbox_module() -> Module {
+    check_source(&format!(
+        r#"
+protocol Seq2 a b = SeqT a b
+protocol Either2 a b = LeftT a | RightT b
+protocol Rep2 a = MoreT a (Rep2 a) | QuitT
+
+type NegT = Seq2 Int -Int
+type AddT = Seq2 Int (Seq2 Int -Int)
+type ArithT = Either2 NegT AddT
+type Service a = forall (s:S). ?a.s -> s
+
+serveNeg : Service NegT
+serveNeg [s] c = match c with {{
+  SeqT c -> let (x, c) = receiveInt [!Int.s] c in
+            sendInt [s] (0 - x) c }}
+
+serveAdd : Service AddT
+serveAdd [s] c = match c with {{
+  SeqT c -> let (x, c) = receiveInt [?Seq2 Int -Int.s] c in
+            match c with {{
+              SeqT c -> let (y, c) = receiveInt [!Int.s] c in
+                        sendInt [s] (x + y) c }}}}
+
+serveArith : Service ArithT
+serveArith [s] c = match c with {{
+  LeftT c -> serveNeg [s] c,
+  RightT c -> serveAdd [s] c }}
+
+server : ?Rep2 ArithT.End? -> Unit
+server c = match c with {{
+  QuitT c -> wait c,
+  MoreT c -> serveArith [?Rep2 ArithT.End?] c |> server }}
+
+client : Int -> !Rep2 ArithT.End! -> Unit
+client n c =
+  if n == 0 then select QuitT [ArithT, End!] c |> terminate
+  else let c = select MoreT [ArithT, End!] c in
+       let c = select RightT [NegT, AddT, !Rep2 ArithT.End!] c in
+       let c = select SeqT [Int, Seq2 Int -Int, !Rep2 ArithT.End!] c in
+       let c = sendInt [!Seq2 Int -Int.!Rep2 ArithT.End!] n c in
+       let c = select SeqT [Int, -Int, !Rep2 ArithT.End!] c in
+       let c = sendInt [?Int.!Rep2 ArithT.End!] 1 c in
+       let (r, c) = receiveInt [!Rep2 ArithT.End!] c in
+       client (n - 1) c
+
+main : Unit
+main =
+  let (p, q) = new [!Rep2 ArithT.End!] in
+  let _ = fork (\u -> server q) in
+  client {REQUESTS} p
+"#
+    ))
+    .expect("toolbox program type checks")
+}
+
+fn run_and_count(module: &Module) -> (u64, u64) {
+    let interp = Interp::new(module);
+    interp
+        .run_timeout("main", Duration::from_secs(30))
+        .expect("run succeeds");
+    let stats = interp.stats();
+    (
+        stats.messages(),
+        stats.tags_sent.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
+fn bench_server_overhead(c: &mut Criterion) {
+    let direct = direct_module();
+    let toolbox = toolbox_module();
+
+    // Report message counts once — the structural result of App. A.6.
+    let (dm, dt) = run_and_count(&direct);
+    let (tm, tt) = run_and_count(&toolbox);
+    eprintln!("server_overhead: direct   = {dm} messages ({dt} tags) for {REQUESTS} requests");
+    eprintln!("server_overhead: toolbox  = {tm} messages ({tt} tags) for {REQUESTS} requests");
+    assert!(
+        tt > dt,
+        "toolbox encoding must send strictly more tags than the direct server"
+    );
+
+    let mut group = c.benchmark_group("server_overhead");
+    group.sample_size(10);
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let interp = Interp::new(&direct);
+            interp
+                .run_timeout("main", Duration::from_secs(30))
+                .expect("run succeeds")
+        })
+    });
+    group.bench_function("toolbox", |b| {
+        b.iter(|| {
+            let interp = Interp::new(&toolbox);
+            interp
+                .run_timeout("main", Duration::from_secs(30))
+                .expect("run succeeds")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_overhead);
+criterion_main!(benches);

@@ -1,0 +1,198 @@
+//! Regenerates the paper's **Figure 10**: execution time of the AlgST and
+//! FreeST type-equivalence algorithms on generated equivalent (10a) and
+//! non-equivalent (10b) test cases, as a function of AlgST AST node count.
+//!
+//! ```text
+//! cargo run --release -p algst-bench --bin fig10 -- \
+//!     [--suite equivalent|nonequivalent|both] [--count 324] \
+//!     [--timeout-ms 2000] [--seed 1] [--csv-dir target]
+//! ```
+//!
+//! Prints a binned summary per suite (median times, timeout counts) and
+//! writes one CSV row per test case for plotting.
+
+use algst_bench::{measure_case, ms, Measurement};
+use algst_gen::suite::{build_suite, SuiteKind, PAPER_SUITE_SIZE};
+use std::io::Write;
+use std::time::Duration;
+
+struct Args {
+    suites: Vec<SuiteKind>,
+    count: usize,
+    timeout: Duration,
+    seed: u64,
+    csv_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        suites: vec![SuiteKind::Equivalent, SuiteKind::NonEquivalent],
+        count: PAPER_SUITE_SIZE,
+        timeout: Duration::from_millis(2000),
+        seed: 1,
+        csv_dir: Some("target".to_owned()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*i - 1]);
+                std::process::exit(2);
+            }).clone()
+        };
+        match argv[i].as_str() {
+            "--suite" => {
+                args.suites = match value(&mut i).as_str() {
+                    "equivalent" => vec![SuiteKind::Equivalent],
+                    "nonequivalent" => vec![SuiteKind::NonEquivalent],
+                    "both" => vec![SuiteKind::Equivalent, SuiteKind::NonEquivalent],
+                    other => {
+                        eprintln!("unknown suite {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--count" => args.count = value(&mut i).parse().expect("--count takes a number"),
+            "--timeout-ms" => {
+                args.timeout =
+                    Duration::from_millis(value(&mut i).parse().expect("--timeout-ms number"))
+            }
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed takes a number"),
+            "--csv-dir" => args.csv_dir = Some(value(&mut i)),
+            "--no-csv" => args.csv_dir = None,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    for kind in &args.suites {
+        run_suite(*kind, &args);
+    }
+}
+
+fn run_suite(kind: SuiteKind, args: &Args) {
+    let (title, figure, csv_name) = match kind {
+        SuiteKind::Equivalent => ("equivalent test cases", "Figure 10(a)", "fig10a.csv"),
+        SuiteKind::NonEquivalent => (
+            "non-equivalent test cases",
+            "Figure 10(b)",
+            "fig10b.csv",
+        ),
+    };
+    eprintln!(
+        "building {} suite: {} cases (seed {})…",
+        title, args.count, args.seed
+    );
+    let suite = build_suite(kind, args.count, args.seed);
+
+    let mut rows: Vec<Measurement> = Vec::with_capacity(suite.cases.len());
+    for (i, case) in suite.cases.iter().enumerate() {
+        let m = measure_case(i, case, args.timeout);
+        if !m.agreed {
+            eprintln!("!! case {i}: verdict disagreement (see EXPERIMENTS.md)");
+        }
+        rows.push(m);
+        if (i + 1) % 50 == 0 {
+            eprintln!("  …{}/{}", i + 1, suite.cases.len());
+        }
+    }
+
+    println!("\n== {figure}: {title} ==");
+    println!(
+        "{} cases; per-query FreeST timeout {} ms (paper: 120000 ms)",
+        rows.len(),
+        args.timeout.as_millis()
+    );
+    println!(
+        "{:>12} | {:>6} | {:>14} | {:>14} | {:>9}",
+        "nodes", "cases", "AlgST med (ms)", "FreeST med (ms)", "timeouts"
+    );
+    println!("{}", "-".repeat(68));
+    let max_nodes = rows.iter().map(|r| r.nodes).max().unwrap_or(1);
+    let bin_width = (max_nodes / 8).max(1);
+    let mut bin_start = 0;
+    while bin_start <= max_nodes {
+        let bin: Vec<&Measurement> = rows
+            .iter()
+            .filter(|r| r.nodes >= bin_start && r.nodes < bin_start + bin_width)
+            .collect();
+        if !bin.is_empty() {
+            let mut algst: Vec<f64> = bin.iter().map(|r| ms(r.algst)).collect();
+            algst.sort_by(|a, b| a.total_cmp(b));
+            let mut freest: Vec<f64> =
+                bin.iter().filter_map(|r| r.freest.map(ms)).collect();
+            freest.sort_by(|a, b| a.total_cmp(b));
+            let timeouts = bin.iter().filter(|r| r.freest.is_none()).count();
+            println!(
+                "{:>5}-{:<6} | {:>6} | {:>14.4} | {:>14} | {:>9}",
+                bin_start,
+                bin_start + bin_width - 1,
+                bin.len(),
+                algst[algst.len() / 2],
+                if freest.is_empty() {
+                    "all t/o".to_owned()
+                } else {
+                    format!("{:.4}", freest[freest.len() / 2])
+                },
+                timeouts,
+            );
+        }
+        bin_start += bin_width;
+    }
+    let total_timeouts = rows.iter().filter(|r| r.freest.is_none()).count();
+    let agreements = rows.iter().filter(|r| r.agreed).count();
+    println!(
+        "totals: {} FreeST timeouts / {} cases (paper: {} / 324); {} verdict agreements",
+        total_timeouts,
+        rows.len(),
+        match kind {
+            SuiteKind::Equivalent => 69,
+            SuiteKind::NonEquivalent => 77,
+        },
+        agreements,
+    );
+    // Shape check mirrored in EXPERIMENTS.md: AlgST should not grow much
+    // faster than linearly; report the ratio of per-node costs.
+    let small: Vec<&Measurement> = rows.iter().filter(|r| r.nodes <= max_nodes / 4).collect();
+    let large: Vec<&Measurement> = rows.iter().filter(|r| r.nodes >= 3 * max_nodes / 4).collect();
+    if !small.is_empty() && !large.is_empty() {
+        let per_node = |ms_: &Vec<&Measurement>| {
+            ms_.iter().map(|r| ms(r.algst) / r.nodes as f64).sum::<f64>() / ms_.len() as f64
+        };
+        println!(
+            "AlgST cost per node: small {:.6} ms, large {:.6} ms (linear ⇒ ratio ≈ 1)",
+            per_node(&small),
+            per_node(&large)
+        );
+    }
+
+    if let Some(dir) = &args.csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = format!("{dir}/{csv_name}");
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        writeln!(f, "case,nodes,algst_ms,freest_ms,freest_timeout,agreed").expect("write");
+        for r in &rows {
+            writeln!(
+                f,
+                "{},{},{:.6},{},{},{}",
+                r.case_id,
+                r.nodes,
+                ms(r.algst),
+                r.freest.map(|d| format!("{:.6}", ms(d))).unwrap_or_default(),
+                r.freest.is_none(),
+                r.agreed,
+            )
+            .expect("write");
+        }
+        eprintln!("wrote {path}");
+    }
+}

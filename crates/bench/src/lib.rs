@@ -1,0 +1,79 @@
+//! Shared measurement machinery for the Figure 10 harness and the
+//! Criterion benchmarks.
+
+use algst_core::equiv::equivalent;
+use algst_gen::instance::TestCase;
+use algst_gen::to_grammar::to_grammar;
+use freest::{bisimilar_with, BisimResult, Grammar};
+use std::time::{Duration, Instant};
+
+/// Per-case measurement, one row of the Figure 10 scatter plots.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub case_id: usize,
+    /// AlgST AST nodes — the x-axis.
+    pub nodes: usize,
+    /// AlgST linear-time equivalence check.
+    pub algst: Duration,
+    /// FreeST bisimulation check (None if it timed out).
+    pub freest: Option<Duration>,
+    /// Both checkers agreed with the ground truth (timeouts count as
+    /// agreement, as in the paper, which plots them separately).
+    pub agreed: bool,
+}
+
+/// Measures one test case.
+///
+/// The AlgST check is microseconds-scale, so it is repeated adaptively
+/// and averaged; the FreeST check runs once under `timeout`.
+pub fn measure_case(case_id: usize, case: &TestCase, timeout: Duration) -> Measurement {
+    let nodes = case.node_count();
+
+    // --- AlgST ---------------------------------------------------------
+    let mut reps: u32 = 1;
+    let (algst, algst_verdict) = loop {
+        let start = Instant::now();
+        let mut verdict = false;
+        for _ in 0..reps {
+            verdict = equivalent(&case.instance.ty, &case.other);
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(2) || reps >= 1 << 20 {
+            break (elapsed / reps, verdict);
+        }
+        reps *= 4;
+    };
+
+    // --- FreeST --------------------------------------------------------
+    // The translation uses the linear-space grammar rendering (see
+    // `algst_gen::to_grammar`); timing covers grammar construction plus
+    // the bisimilarity query, as in the paper.
+    let start = Instant::now();
+    let mut g = Grammar::new();
+    let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
+        .expect("suite cases are translatable");
+    let w2 = to_grammar(&case.instance.decls, &case.other, &mut g)
+        .expect("suite cases are translatable");
+    let result = bisimilar_with(&mut g, &w1, &w2, u64::MAX, Some(timeout));
+    let freest_elapsed = start.elapsed();
+
+    let (freest, freest_agrees) = match result {
+        BisimResult::Equivalent => (Some(freest_elapsed), case.equivalent),
+        BisimResult::NotEquivalent => (Some(freest_elapsed), !case.equivalent),
+        BisimResult::Budget => (None, true),
+    };
+
+    Measurement {
+        case_id,
+        nodes,
+        algst,
+        freest,
+        agreed: algst_verdict == case.equivalent && freest_agrees,
+    }
+}
+
+/// Formats a duration in fractional milliseconds (log-scale friendly,
+/// like the paper's y-axis).
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}

@@ -1,0 +1,575 @@
+//! The bidirectional expression typechecker (paper Fig. 5).
+//!
+//! Two mutually recursive judgments with leftover contexts:
+//!
+//! * `Δ | Γ₁ ⊢ e ⇒ T | Γ₂` — [`Checker::synth`] (type synthesis)
+//! * `Δ | Γ₁ ⊢ e ⇐ T | Γ₂` — [`Checker::check`] (checking against a type)
+//!
+//! Invariants maintained exactly as in the paper: every type written into
+//! the context is in normal form; synthesis returns normal forms; checking
+//! expects its goal in normal form; rule E-Check compares up to
+//! α-equivalence. The checking judgment additionally handles unannotated
+//! lambdas and pushes goals through `let`/`if`/`match` (the E-Abs'/E-App'
+//! style extensions described in Section 5).
+
+use crate::constants::type_of_const;
+use crate::context::Ctx;
+use crate::error::TypeError;
+use algst_core::expr::{Arm, Expr};
+use algst_core::kind::Kind;
+use algst_core::kindcheck::KindCtx;
+use algst_core::normalize::{dir_neg_seq, materialize_seq, nrm_pos};
+use algst_core::protocol::Declarations;
+use algst_core::subst::{subst_type, Subst};
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use std::collections::HashMap;
+
+/// The expression typechecker. Holds the global protocol/datatype
+/// declarations `Δ` and the stack of in-scope type variables.
+pub struct Checker<'d> {
+    decls: &'d Declarations,
+    tyvars: Vec<(Symbol, Kind)>,
+}
+
+impl<'d> Checker<'d> {
+    pub fn new(decls: &'d Declarations) -> Checker<'d> {
+        Checker {
+            decls,
+            tyvars: Vec::new(),
+        }
+    }
+
+    pub fn decls(&self) -> &'d Declarations {
+        self.decls
+    }
+
+    fn kind_ctx(&self) -> KindCtx<'d> {
+        let mut ctx = KindCtx::new(self.decls);
+        for (v, k) in &self.tyvars {
+            ctx.push_var(*v, *k);
+        }
+        ctx
+    }
+
+    fn check_kind(&self, ty: &Type, k: Kind) -> Result<(), TypeError> {
+        self.kind_ctx().check(ty, k).map_err(TypeError::from)
+    }
+
+    /// Pushes a term binder, choosing linear vs. unrestricted usage from
+    /// its type (cf. [`crate::context::is_unrestricted`]).
+    fn push_term(&self, ctx: &mut Ctx, name: Symbol, ty: Type) {
+        let un = crate::context::is_unrestricted(self.decls, &ty);
+        ctx.push_term(name, ty, un);
+    }
+
+    // ------------------------------------------------------------ synthesis
+
+    /// `Δ | Γ ⊢ e ⇒ T | Γ'` — synthesizes the type of `e`, consuming the
+    /// used linear entries of `ctx` in place. The result is in normal form.
+    pub fn synth(&mut self, ctx: &mut Ctx, e: &Expr) -> Result<Type, TypeError> {
+        match e {
+            // E-Const (literals, builtins and session constants)
+            Expr::Lit(l) => Ok(l.type_of()),
+            Expr::Builtin(b) => Ok(b.type_of()),
+            Expr::Const(c) => type_of_const(self.decls, *c),
+
+            // E-Var / E-Var⋆
+            Expr::Var(x) => ctx
+                .use_var(*x)
+                .map(|t| (*t).clone())
+                .ok_or(TypeError::UnboundVariable(*x)),
+
+            // E-Abs
+            Expr::Abs(x, ann, body) => {
+                self.check_kind(ann, Kind::Value)?;
+                let v = nrm_pos(ann);
+                self.push_term(ctx, *x, v.clone());
+                let u = self.synth(ctx, body)?;
+                ctx.expect_consumed(*x)?;
+                Ok(Type::arrow(v, u))
+            }
+
+            Expr::AbsU(..) => Err(TypeError::NeedsAnnotation),
+
+            // E-App — with the E-App' refinement (Section 5) for applied
+            // unannotated lambdas: synthesize the argument first, then
+            // type the body like a let. Such redexes arise from
+            // β-reduction of checked terms (cf. Theorem 4).
+            Expr::App(f, a) => {
+                if let Expr::AbsU(x, body) = &**f {
+                    let t = self.synth(ctx, a)?;
+                    self.push_term(ctx, *x, t);
+                    let u = self.synth(ctx, body)?;
+                    ctx.expect_consumed(*x)?;
+                    return Ok(u);
+                }
+                let ft = self.synth(ctx, f)?;
+                match ft {
+                    Type::Arrow(dom, cod) => {
+                        self.check(ctx, a, &dom)?;
+                        Ok((*cod).clone())
+                    }
+                    other => Err(TypeError::NotAFunction(other)),
+                }
+            }
+
+            // E-TAbs (with the value restriction)
+            Expr::TAbs(alpha, kappa, v) => {
+                if !v.is_value() {
+                    return Err(TypeError::TAbsNotValue);
+                }
+                self.tyvars.push((*alpha, *kappa));
+                let t = self.synth(ctx, v);
+                self.tyvars.pop();
+                Ok(Type::forall(*alpha, *kappa, t?))
+            }
+
+            // E-TApp: normalize the instantiated body.
+            Expr::TApp(f, arg) => {
+                let ft = self.synth(ctx, f)?;
+                match ft {
+                    Type::Forall(alpha, kappa, body) => {
+                        self.check_kind(arg, kappa)?;
+                        Ok(nrm_pos(&subst_type(&body, alpha, arg)))
+                    }
+                    other => Err(TypeError::NotAForall(other)),
+                }
+            }
+
+            // E-Rec: unrestricted self-binding, no linear captures.
+            Expr::Rec(x, ann, v) => {
+                self.check_kind(ann, Kind::Value)?;
+                let vty = nrm_pos(ann);
+                if !matches!(vty, Type::Arrow(..) | Type::Forall(..)) {
+                    return Err(TypeError::RecNotArrow(vty));
+                }
+                let before = ctx.linear_names();
+                ctx.push_unrestricted(*x, vty.clone());
+                self.check(ctx, v, &vty)?;
+                ctx.remove(*x);
+                let after = ctx.linear_names();
+                if before != after {
+                    let captured = before
+                        .into_iter()
+                        .filter(|n| !after.contains(n))
+                        .collect();
+                    return Err(TypeError::LinearInRecursive {
+                        function: *x,
+                        captured,
+                    });
+                }
+                Ok(vty)
+            }
+
+            // E-Pair
+            Expr::Pair(a, b) => {
+                let ta = self.synth(ctx, a)?;
+                let tb = self.synth(ctx, b)?;
+                Ok(Type::pair(ta, tb))
+            }
+
+            // E-Let (pair elimination)
+            Expr::LetPair(x, y, bound, body) => {
+                let bt = self.synth(ctx, bound)?;
+                let Type::Pair(t, u) = bt else {
+                    return Err(TypeError::NotAPair(bt));
+                };
+                self.push_term(ctx, *x, (*t).clone());
+                self.push_term(ctx, *y, (*u).clone());
+                let v = self.synth(ctx, body)?;
+                ctx.expect_consumed(*y)?;
+                ctx.expect_consumed(*x)?;
+                Ok(v)
+            }
+
+            // E-Let*
+            Expr::LetUnit(bound, body) => {
+                self.check(ctx, bound, &Type::Unit)?;
+                self.synth(ctx, body)
+            }
+
+            // let x = e in e (sugar, checked like a linear binder)
+            Expr::Let(x, bound, body) => {
+                let t = self.synth(ctx, bound)?;
+                self.push_term(ctx, *x, t);
+                let v = self.synth(ctx, body)?;
+                ctx.expect_consumed(*x)?;
+                Ok(v)
+            }
+
+            Expr::If(cond, thn, els) => {
+                self.check(ctx, cond, &Type::bool())?;
+                let mut ctx2 = ctx.clone();
+                let t1 = self.synth(ctx, thn)?;
+                let t2 = self.synth(&mut ctx2, els)?;
+                if !t1.alpha_eq(&t2) {
+                    return Err(TypeError::BranchTypeMismatch {
+                        first: t1,
+                        other: t2,
+                    });
+                }
+                ctx.same_linear(&ctx2)
+                    .map_err(|detail| TypeError::BranchContextMismatch { detail })?;
+                Ok(t1)
+            }
+
+            Expr::Con(tag, args) => self.synth_con(ctx, *tag, args, None),
+
+            // E-Match (channels) / case (datatypes)
+            Expr::Case(scrutinee, arms) => self.case_expr(ctx, scrutinee, arms, None),
+        }
+    }
+
+    // ------------------------------------------------------------- checking
+
+    /// `Δ | Γ ⊢ e ⇐ T | Γ'` — checks `e` against `expected`, which must be
+    /// in normal form.
+    pub fn check(&mut self, ctx: &mut Ctx, e: &Expr, expected: &Type) -> Result<(), TypeError> {
+        match (e, expected) {
+            // E-Abs' — unannotated lambda against an arrow.
+            (Expr::AbsU(x, body), Type::Arrow(dom, cod)) => {
+                self.push_term(ctx, *x, (**dom).clone());
+                self.check(ctx, body, cod)?;
+                ctx.expect_consumed(*x)
+            }
+            (Expr::AbsU(..), other) => Err(TypeError::NotAFunction(other.clone())),
+
+            // Λα:κ.v against ∀β:κ.U
+            (Expr::TAbs(alpha, kappa, v), Type::Forall(beta, kappa2, u)) if kappa == kappa2 => {
+                if !v.is_value() {
+                    return Err(TypeError::TAbsNotValue);
+                }
+                let goal = if alpha == beta {
+                    (**u).clone()
+                } else {
+                    subst_type(u, *beta, &Type::Var(*alpha))
+                };
+                self.tyvars.push((*alpha, *kappa));
+                let r = self.check(ctx, v, &goal);
+                self.tyvars.pop();
+                r
+            }
+
+            // Push the goal through binders and branches for better
+            // propagation of expected types.
+            (Expr::Let(x, bound, body), _) => {
+                let t = self.synth(ctx, bound)?;
+                self.push_term(ctx, *x, t);
+                self.check(ctx, body, expected)?;
+                ctx.expect_consumed(*x)
+            }
+            (Expr::LetUnit(bound, body), _) => {
+                self.check(ctx, bound, &Type::Unit)?;
+                self.check(ctx, body, expected)
+            }
+            (Expr::LetPair(x, y, bound, body), _) => {
+                let bt = self.synth(ctx, bound)?;
+                let Type::Pair(t, u) = bt else {
+                    return Err(TypeError::NotAPair(bt));
+                };
+                self.push_term(ctx, *x, (*t).clone());
+                self.push_term(ctx, *y, (*u).clone());
+                self.check(ctx, body, expected)?;
+                ctx.expect_consumed(*y)?;
+                ctx.expect_consumed(*x)
+            }
+            (Expr::If(cond, thn, els), _) => {
+                self.check(ctx, cond, &Type::bool())?;
+                let mut ctx2 = ctx.clone();
+                self.check(ctx, thn, expected)?;
+                self.check(&mut ctx2, els, expected)?;
+                ctx.same_linear(&ctx2)
+                    .map_err(|detail| TypeError::BranchContextMismatch { detail })
+            }
+            (Expr::Case(scrutinee, arms), _) => {
+                self.case_expr(ctx, scrutinee, arms, Some(expected))
+                    .map(|_| ())
+            }
+            // E-App' for an applied unannotated lambda in checking mode.
+            (Expr::App(f, a), _) if matches!(&**f, Expr::AbsU(..)) => {
+                let Expr::AbsU(x, body) = &**f else {
+                    unreachable!("guarded by matches!")
+                };
+                let t = self.synth(ctx, a)?;
+                self.push_term(ctx, *x, t);
+                self.check(ctx, body, expected)?;
+                ctx.expect_consumed(*x)
+            }
+            (Expr::Con(tag, args), Type::Data(..)) => self
+                .synth_con(ctx, *tag, args, Some(expected))
+                .and_then(|t| expect_alpha_eq(expected, &t)),
+
+            // E-Check: synthesize and compare up to α-equivalence.
+            _ => {
+                let found = self.synth(ctx, e)?;
+                expect_alpha_eq(expected, &found)
+            }
+        }
+    }
+
+    // ------------------------------------------------------ shared helpers
+
+    /// Constructor application. When `expected` is a `Data` type, the
+    /// parameter instantiation is taken from it; otherwise it is inferred
+    /// by first-order matching against the synthesized argument types.
+    fn synth_con(
+        &mut self,
+        ctx: &mut Ctx,
+        tag: Symbol,
+        args: &[Expr],
+        expected: Option<&Type>,
+    ) -> Result<Type, TypeError> {
+        let (decl, k) = self
+            .decls
+            .data_of_tag(tag)
+            .ok_or(TypeError::UnboundConstructor(tag))?;
+        let (name, params, ctor_args) = (decl.name, decl.params.clone(), decl.ctors[k].args.clone());
+        if ctor_args.len() != args.len() {
+            return Err(TypeError::CtorArity {
+                tag,
+                expected: ctor_args.len(),
+                found: args.len(),
+            });
+        }
+
+        if let Some(Type::Data(dname, dargs)) = expected {
+            if *dname == name && dargs.len() == params.len() {
+                // Check-mode: instantiate from the expected type.
+                let subst = Subst::parallel(&params, dargs);
+                for (arg, pat) in args.iter().zip(&ctor_args) {
+                    let goal = nrm_pos(&subst.apply(pat));
+                    self.check(ctx, arg, &goal)?;
+                }
+                return Ok(expected.expect("matched Some above").clone());
+            }
+        }
+
+        if params.is_empty() {
+            for (arg, pat) in args.iter().zip(&ctor_args) {
+                let goal = nrm_pos(pat);
+                self.check(ctx, arg, &goal)?;
+            }
+            return Ok(Type::Data(name, Vec::new()));
+        }
+
+        // Synthesis-mode inference: match declared argument types against
+        // the synthesized ones to solve for the data parameters.
+        let mut solved: HashMap<Symbol, Type> = HashMap::new();
+        for (arg, pat) in args.iter().zip(&ctor_args) {
+            let actual = self.synth(ctx, arg)?;
+            if !match_type(&nrm_pos(pat), &actual, &params, &mut solved) {
+                return Err(TypeError::Mismatch {
+                    expected: nrm_pos(pat),
+                    found: actual,
+                });
+            }
+        }
+        let inst: Vec<Type> = params
+            .iter()
+            .map(|p| solved.get(p).cloned().ok_or(TypeError::CannotInferCtorParams(tag)))
+            .collect::<Result<_, _>>()?;
+        Ok(Type::Data(name, inst))
+    }
+
+    /// `match e with {Cᵢ xᵢ → eᵢ}` over a channel (rule E-Match) or a
+    /// datatype value. With `goal = Some(T)` the bodies are *checked*
+    /// against `T`; otherwise the common type is synthesized.
+    fn case_expr(
+        &mut self,
+        ctx: &mut Ctx,
+        scrutinee: &Expr,
+        arms: &[Arm],
+        goal: Option<&Type>,
+    ) -> Result<Type, TypeError> {
+        let st = self.synth(ctx, scrutinee)?;
+
+        // Determine, per arm tag, the list of types to bind.
+        enum Kinded {
+            /// Channel match: single binder at the continuation type.
+            Channel(HashMap<Symbol, Type>),
+            /// Data case: one binder per field.
+            Data(HashMap<Symbol, Vec<Type>>),
+        }
+
+        let (decl_name, table) = match &st {
+            Type::In(payload, cont) => match &**payload {
+                Type::Proto(rho, us) => {
+                    let decl = self
+                        .decls
+                        .protocol(*rho)
+                        .ok_or(TypeError::UnboundTag(*rho))?;
+                    let subst = Subst::parallel(&decl.params, us);
+                    let mut map = HashMap::new();
+                    for c in &decl.ctors {
+                        // xᵢ : §(−(T̄ᵢ[Ū/ᾱ])).S
+                        let payloads: Vec<Type> =
+                            c.args.iter().map(|t| subst.apply(t)).collect();
+                        let bound = materialize_seq(
+                            dir_neg_seq(payloads.iter().map(|t| nrm_pos(t)).collect()),
+                            (**cont).clone(),
+                        );
+                        map.insert(c.tag, nrm_pos(&bound));
+                    }
+                    (decl.name, Kinded::Channel(map))
+                }
+                _ => return Err(TypeError::NotMatchable(st.clone())),
+            },
+            Type::Data(dname, us) => {
+                let decl = self
+                    .decls
+                    .data(*dname)
+                    .ok_or(TypeError::UnknownTypeName(*dname))?;
+                let subst = Subst::parallel(&decl.params, us);
+                let mut map = HashMap::new();
+                for c in &decl.ctors {
+                    let tys: Vec<Type> =
+                        c.args.iter().map(|t| nrm_pos(&subst.apply(t))).collect();
+                    map.insert(c.tag, tys);
+                }
+                (decl.name, Kinded::Data(map))
+            }
+            other => return Err(TypeError::NotMatchable(other.clone())),
+        };
+
+        // Exhaustiveness: arms must cover the declared tags exactly.
+        let declared: Vec<Symbol> = match &table {
+            Kinded::Channel(m) => m.keys().copied().collect(),
+            Kinded::Data(m) => m.keys().copied().collect(),
+        };
+        let used: Vec<Symbol> = arms.iter().map(|a| a.tag).collect();
+        let missing: Vec<Symbol> = declared
+            .iter()
+            .copied()
+            .filter(|t| !used.contains(t))
+            .collect();
+        let extra: Vec<Symbol> = used
+            .iter()
+            .copied()
+            .filter(|t| !declared.contains(t))
+            .collect();
+        let duplicated = used.len() != arms.iter().map(|a| a.tag).collect::<std::collections::HashSet<_>>().len();
+        if !missing.is_empty() || !extra.is_empty() || duplicated {
+            return Err(TypeError::BadCoverage {
+                ty: decl_name,
+                missing,
+                extra,
+            });
+        }
+
+        // Type each arm on a clone of the post-scrutinee context; all arms
+        // must agree on output type and leftover context.
+        let base = ctx.clone();
+        let mut result: Option<(Type, Ctx)> = None;
+        for arm in arms {
+            let mut bctx = base.clone();
+            match &table {
+                Kinded::Channel(m) => {
+                    if arm.binders.len() != 1 {
+                        return Err(TypeError::WrongArmArity {
+                            tag: arm.tag,
+                            expected: 1,
+                            found: arm.binders.len(),
+                        });
+                    }
+                    self.push_term(&mut bctx, arm.binders[0], m[&arm.tag].clone());
+                }
+                Kinded::Data(m) => {
+                    let tys = &m[&arm.tag];
+                    if arm.binders.len() != tys.len() {
+                        return Err(TypeError::WrongArmArity {
+                            tag: arm.tag,
+                            expected: tys.len(),
+                            found: arm.binders.len(),
+                        });
+                    }
+                    for (b, t) in arm.binders.iter().zip(tys) {
+                        self.push_term(&mut bctx, *b, t.clone());
+                    }
+                }
+            }
+            let vt = match goal {
+                Some(t) => {
+                    self.check(&mut bctx, &arm.body, t)?;
+                    t.clone()
+                }
+                None => self.synth(&mut bctx, &arm.body)?,
+            };
+            for b in arm.binders.iter().rev() {
+                bctx.expect_consumed(*b)?;
+            }
+            match &result {
+                None => result = Some((vt, bctx)),
+                Some((t0, ctx0)) => {
+                    if !t0.alpha_eq(&vt) {
+                        return Err(TypeError::BranchTypeMismatch {
+                            first: t0.clone(),
+                            other: vt,
+                        });
+                    }
+                    ctx0.same_linear(&bctx)
+                        .map_err(|detail| TypeError::BranchContextMismatch { detail })?;
+                }
+            }
+        }
+        let (vt, out_ctx) = result.expect("coverage guarantees at least one arm");
+        *ctx = out_ctx;
+        Ok(vt)
+    }
+}
+
+fn expect_alpha_eq(expected: &Type, found: &Type) -> Result<(), TypeError> {
+    if expected.alpha_eq(found) {
+        Ok(())
+    } else {
+        Err(TypeError::Mismatch {
+            expected: expected.clone(),
+            found: found.clone(),
+        })
+    }
+}
+
+/// First-order matching of a declared constructor argument type (with
+/// `params` as match variables) against a concrete type. Repeated
+/// parameters must match α-equivalent types.
+fn match_type(
+    pattern: &Type,
+    actual: &Type,
+    params: &[Symbol],
+    solved: &mut HashMap<Symbol, Type>,
+) -> bool {
+    match (pattern, actual) {
+        (Type::Var(v), _) if params.contains(v) => match solved.get(v) {
+            Some(prev) => prev.alpha_eq(actual),
+            None => {
+                solved.insert(*v, actual.clone());
+                true
+            }
+        },
+        (Type::Unit, Type::Unit) => true,
+        (Type::Base(a), Type::Base(b)) => a == b,
+        (Type::Var(a), Type::Var(b)) => a == b,
+        (Type::EndIn, Type::EndIn) | (Type::EndOut, Type::EndOut) => true,
+        (Type::Arrow(a1, a2), Type::Arrow(b1, b2))
+        | (Type::Pair(a1, a2), Type::Pair(b1, b2))
+        | (Type::In(a1, a2), Type::In(b1, b2))
+        | (Type::Out(a1, a2), Type::Out(b1, b2)) => {
+            match_type(a1, b1, params, solved) && match_type(a2, b2, params, solved)
+        }
+        (Type::Dual(a), Type::Dual(b)) | (Type::Neg(a), Type::Neg(b)) => {
+            match_type(a, b, params, solved)
+        }
+        (Type::Proto(na, aa), Type::Proto(nb, ab)) | (Type::Data(na, aa), Type::Data(nb, ab)) => {
+            na == nb
+                && aa.len() == ab.len()
+                && aa
+                    .iter()
+                    .zip(ab)
+                    .all(|(p, a)| match_type(p, a, params, solved))
+        }
+        // Binders inside constructor fields: require exact α-equality and
+        // no parameters inside (conservative).
+        (Type::Forall(..), Type::Forall(..)) => pattern.alpha_eq(actual),
+        _ => false,
+    }
+}

@@ -1,0 +1,247 @@
+//! Types for constants (paper Fig. 4).
+//!
+//! ```text
+//! typeof(fork)      = (Unit → Unit) → Unit
+//! typeof(new)       = ∀α:S. α ⊗ Dual α
+//! typeof(receive)   = ∀α:T.∀β:S. ?α.β → α ⊗ β
+//! typeof(send)      = ∀α:T.∀β:S. α → !α.β → β
+//! typeof(wait)      = End? → Unit
+//! typeof(terminate) = End! → Unit
+//! typeof(select Cₖ) = ∀ᾱ:P.∀β:S. !(ρ ᾱ).β → §(+(T̄ₖ)).β
+//!                                  (protocol ρ ᾱ = {Cᵢ T̄ᵢ}, k ∈ I)
+//! ```
+//!
+//! All returned types are in normal form, as the typing rules require.
+
+use crate::error::TypeError;
+use algst_core::expr::Const;
+use algst_core::kind::Kind;
+use algst_core::normalize::{dir_pos_seq, materialize_seq, nrm_pos};
+use algst_core::protocol::Declarations;
+use algst_core::subst::Subst;
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+
+/// Computes `typeof(c)`.
+///
+/// # Errors
+/// Fails only for `select C` when `C` is not a declared protocol tag.
+pub fn type_of_const(decls: &Declarations, c: Const) -> Result<Type, TypeError> {
+    let t = match c {
+        Const::Fork => Type::arrow(Type::arrow(Type::Unit, Type::Unit), Type::Unit),
+        Const::New => {
+            let a = Symbol::intern("a");
+            Type::forall(
+                a,
+                Kind::Session,
+                Type::pair(Type::Var(a), Type::dual(Type::Var(a))),
+            )
+        }
+        Const::Receive => {
+            let a = Symbol::intern("a");
+            let b = Symbol::intern("b");
+            Type::forall(
+                a,
+                Kind::Value,
+                Type::forall(
+                    b,
+                    Kind::Session,
+                    Type::arrow(
+                        Type::input(Type::Var(a), Type::Var(b)),
+                        Type::pair(Type::Var(a), Type::Var(b)),
+                    ),
+                ),
+            )
+        }
+        Const::Send => {
+            let a = Symbol::intern("a");
+            let b = Symbol::intern("b");
+            Type::forall(
+                a,
+                Kind::Value,
+                Type::forall(
+                    b,
+                    Kind::Session,
+                    Type::arrow(
+                        Type::Var(a),
+                        Type::arrow(
+                            Type::output(Type::Var(a), Type::Var(b)),
+                            Type::Var(b),
+                        ),
+                    ),
+                ),
+            )
+        }
+        Const::Wait => Type::arrow(Type::EndIn, Type::Unit),
+        Const::Terminate => Type::arrow(Type::EndOut, Type::Unit),
+        Const::Select(tag) => {
+            let (decl, k) = decls
+                .protocol_of_tag(tag)
+                .ok_or(TypeError::UnboundTag(tag))?;
+            // Freshen the protocol parameters so repeated selects cannot
+            // collide with variables already in scope.
+            let fresh: Vec<Symbol> = decl
+                .params
+                .iter()
+                .map(|p| Symbol::fresh(p.base_name()))
+                .collect();
+            let subst = Subst::parallel(
+                &decl.params,
+                &fresh.iter().map(|v| Type::Var(*v)).collect::<Vec<_>>(),
+            );
+            let payloads: Vec<Type> = decl.ctors[k]
+                .args
+                .iter()
+                .map(|t| subst.apply(t))
+                .collect();
+            let beta = Symbol::fresh("s");
+            let domain = Type::output(
+                Type::Proto(decl.name, fresh.iter().map(|v| Type::Var(*v)).collect()),
+                Type::Var(beta),
+            );
+            // §(+(T̄ₖ)).β
+            let codomain = materialize_seq(dir_pos_seq(payloads), Type::Var(beta));
+            let mut ty = Type::arrow(domain, codomain);
+            ty = Type::forall(beta, Kind::Session, ty);
+            for v in fresh.into_iter().rev() {
+                ty = Type::forall(v, Kind::Protocol, ty);
+            }
+            ty
+        }
+    };
+    Ok(nrm_pos(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::protocol::{Ctor, ProtocolDecl};
+
+    fn decls() -> Declarations {
+        let mut d = Declarations::new();
+        // protocol ArithC = NegC Int -Int | AddC Int Int -Int
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("ArithC"),
+            params: vec![],
+            ctors: vec![
+                Ctor::new("NegC", vec![Type::int(), Type::neg(Type::int())]),
+                Ctor::new(
+                    "AddC",
+                    vec![Type::int(), Type::int(), Type::neg(Type::int())],
+                ),
+            ],
+        })
+        .unwrap();
+        // protocol StreamC a = NextC a (StreamC a)
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("StreamC"),
+            params: vec![Symbol::intern("a")],
+            ctors: vec![Ctor::new(
+                "NextC",
+                vec![
+                    Type::var("a"),
+                    Type::proto("StreamC", vec![Type::var("a")]),
+                ],
+            )],
+        })
+        .unwrap();
+        d.validate().unwrap();
+        d
+    }
+
+    #[test]
+    fn constants_have_paper_types() {
+        let d = Declarations::new();
+        assert_eq!(
+            type_of_const(&d, Const::Fork).unwrap().to_string(),
+            "(Unit -> Unit) -> Unit"
+        );
+        assert_eq!(
+            type_of_const(&d, Const::New).unwrap().to_string(),
+            "forall (a:S). (a, Dual a)"
+        );
+        assert_eq!(
+            type_of_const(&d, Const::Wait).unwrap().to_string(),
+            "End? -> Unit"
+        );
+        assert_eq!(
+            type_of_const(&d, Const::Terminate).unwrap().to_string(),
+            "End! -> Unit"
+        );
+    }
+
+    #[test]
+    fn select_neg_pushes_fields_with_polarity() {
+        // select NegC : ∀β:S. !ArithC.β → !Int.?Int.β  (paper Section 2.2)
+        let d = decls();
+        let t = type_of_const(&d, Const::Select(Symbol::intern("NegC"))).unwrap();
+        let Type::Forall(_, Kind::Session, body) = &t else {
+            panic!("expected ∀β:S, got {t}")
+        };
+        let Type::Arrow(dom, cod) = &**body else {
+            panic!("expected arrow, got {body}")
+        };
+        assert!(dom.to_string().starts_with("!ArithC."));
+        assert!(cod.to_string().starts_with("!Int.?Int."));
+    }
+
+    #[test]
+    fn select_add_sends_two_receives_one() {
+        let d = decls();
+        let t = type_of_const(&d, Const::Select(Symbol::intern("AddC"))).unwrap();
+        let Type::Forall(_, _, body) = &t else { panic!() };
+        let Type::Arrow(_, cod) = &**body else {
+            panic!()
+        };
+        assert!(cod.to_string().starts_with("!Int.!Int.?Int."));
+    }
+
+    #[test]
+    fn select_parameterized_freshens_params() {
+        // select NextC : ∀a:P.∀β:S. !(StreamC a).β → §(+(a, StreamC a)).β
+        let d = decls();
+        let t = type_of_const(&d, Const::Select(Symbol::intern("NextC"))).unwrap();
+        let Type::Forall(a1, Kind::Protocol, body) = &t else {
+            panic!("expected ∀a:P, got {t}")
+        };
+        let Type::Forall(_, Kind::Session, inner) = &**body else {
+            panic!()
+        };
+        let Type::Arrow(dom, _) = &**inner else { panic!() };
+        let Type::Out(payload, _) = &**dom else { panic!() };
+        let Type::Proto(_, args) = &**payload else {
+            panic!()
+        };
+        assert_eq!(args[0], Type::Var(*a1));
+    }
+
+    #[test]
+    fn select_unknown_tag_errors() {
+        let d = decls();
+        assert!(matches!(
+            type_of_const(&d, Const::Select(Symbol::intern("NoSuchTag"))),
+            Err(TypeError::UnboundTag(_))
+        ));
+    }
+
+    #[test]
+    fn constant_types_are_normal() {
+        let d = decls();
+        for c in [
+            Const::Fork,
+            Const::New,
+            Const::Receive,
+            Const::Send,
+            Const::Wait,
+            Const::Terminate,
+            Const::Select(Symbol::intern("NegC")),
+            Const::Select(Symbol::intern("NextC")),
+        ] {
+            let t = type_of_const(&d, c).unwrap();
+            assert!(
+                algst_core::normalize::is_normal(&t),
+                "typeof({c:?}) not normal: {t}"
+            );
+        }
+    }
+}

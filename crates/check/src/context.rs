@@ -1,0 +1,279 @@
+//! Linear typing contexts with leftover threading (paper Section 4).
+//!
+//! Judgments have the shape `Δ | Γ₁ ⊢ e ⇒ T | Γ₂` where `Γ₂` is the part
+//! of `Γ₁` *not consumed* by `e`. We implement the thread by mutating a
+//! single [`Ctx`] in place: using a linear entry removes it; unrestricted
+//! entries (`x :⋆ T`, used for recursive bindings, globals and builtins)
+//! survive lookup.
+
+use crate::error::TypeError;
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use std::sync::Arc;
+
+/// How an entry may be used.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Usage {
+    /// `x : T` — must be consumed exactly once.
+    Linear,
+    /// `x :⋆ T` — may be used any number of times (rule E-Var⋆).
+    Unrestricted,
+}
+
+/// One context entry.
+#[derive(Clone, Debug)]
+pub struct Entry {
+    pub name: Symbol,
+    pub ty: Arc<Type>,
+    pub usage: Usage,
+}
+
+/// A typing context `Γ`. Entries form a stack; lookup finds the most
+/// recent binding, so local shadowing behaves as expected.
+#[derive(Clone, Debug, Default)]
+pub struct Ctx {
+    entries: Vec<Entry>,
+}
+
+impl Ctx {
+    pub fn new() -> Ctx {
+        Ctx::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn push_linear(&mut self, name: Symbol, ty: Type) {
+        self.entries.push(Entry {
+            name,
+            ty: Arc::new(ty),
+            usage: Usage::Linear,
+        });
+    }
+
+    /// Pushes a term binder with an explicitly chosen usage discipline.
+    /// Use [`is_unrestricted`] to compute it from the binder's type.
+    pub fn push_term(&mut self, name: Symbol, ty: Type, unrestricted: bool) {
+        if unrestricted {
+            self.push_unrestricted(name, ty);
+        } else {
+            self.push_linear(name, ty);
+        }
+    }
+
+    pub fn push_unrestricted(&mut self, name: Symbol, ty: Type) {
+        self.entries.push(Entry {
+            name,
+            ty: Arc::new(ty),
+            usage: Usage::Unrestricted,
+        });
+    }
+
+    /// Looks up `name`, applying the use discipline: a linear entry is
+    /// removed (consumed, rule E-Var); an unrestricted entry is kept
+    /// (rule E-Var⋆).
+    pub fn use_var(&mut self, name: Symbol) -> Option<Arc<Type>> {
+        let ix = self.entries.iter().rposition(|e| e.name == name)?;
+        match self.entries[ix].usage {
+            Usage::Linear => Some(self.entries.remove(ix).ty),
+            Usage::Unrestricted => Some(self.entries[ix].ty.clone()),
+        }
+    }
+
+    /// True if `name` is still present (most recent binding).
+    pub fn contains(&self, name: Symbol) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Removes the most recent entry for `name`, regardless of usage.
+    /// Used to pop unrestricted binders at scope exit.
+    pub fn remove(&mut self, name: Symbol) -> Option<Entry> {
+        let ix = self.entries.iter().rposition(|e| e.name == name)?;
+        Some(self.entries.remove(ix))
+    }
+
+    /// Checks the side condition `x ∉ Γ₂` of the binder rules: after the
+    /// body of a `λ`/`let`/`match` the bound linear variable must be gone.
+    /// Removes leftover *unrestricted* entries silently (they are scoped).
+    pub fn expect_consumed(&mut self, name: Symbol) -> Result<(), TypeError> {
+        if let Some(ix) = self.entries.iter().rposition(|e| e.name == name) {
+            match self.entries[ix].usage {
+                Usage::Linear => return Err(TypeError::UnusedLinear(name)),
+                Usage::Unrestricted => {
+                    self.entries.remove(ix);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint of the linear entries, used to compare the
+    /// outgoing contexts of `match`/`if` branches (rule E-Match requires
+    /// `Γ₃ =α Γᵢ`) and to enforce E-Rec's "no linear captures".
+    pub fn linear_names(&self) -> Vec<Symbol> {
+        self.entries
+            .iter()
+            .filter(|e| e.usage == Usage::Linear)
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// Compares the linear parts of two contexts up to entry types
+    /// (α-equivalence), reporting a human-readable diff on mismatch.
+    pub fn same_linear(&self, other: &Ctx) -> Result<(), String> {
+        let a = self.linear_entries();
+        let b = other.linear_entries();
+        if a.len() != b.len() {
+            return Err(diff_message(&a, &b));
+        }
+        for (ea, eb) in a.iter().zip(&b) {
+            if ea.name != eb.name || !ea.ty.alpha_eq(&eb.ty) {
+                return Err(diff_message(&a, &b));
+            }
+        }
+        Ok(())
+    }
+
+    fn linear_entries(&self) -> Vec<&Entry> {
+        self.entries
+            .iter()
+            .filter(|e| e.usage == Usage::Linear)
+            .collect()
+    }
+
+    pub fn entries(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+}
+
+/// Types whose values may be freely dropped and duplicated.
+///
+/// This realizes the implementation-level kind split of the paper's
+/// Section 5 (`Tᵘⁿ < Tˡⁱⁿ`; the formal system in the paper body is
+/// uniformly linear):
+///
+/// * base types are unrestricted;
+/// * pairs are unrestricted when both components are;
+/// * datatypes are unrestricted when every constructor field is
+///   (coinductively, so recursive datatypes like `Ast` qualify);
+/// * function and ∀-types are treated as unrestricted, matching the
+///   artifact's examples (e.g. the generic `stream` server applies its
+///   `Service a` argument repeatedly). This is an approximation: the
+///   artifact tracks the linearity of *captured* variables through kinds,
+///   which we do not model — a closure over a channel can be duplicated
+///   here. Session types, protocols and type variables are linear.
+pub fn is_unrestricted(decls: &algst_core::protocol::Declarations, ty: &Type) -> bool {
+    fn go(
+        decls: &algst_core::protocol::Declarations,
+        ty: &Type,
+        assumed: &mut Vec<Symbol>,
+    ) -> bool {
+        match ty {
+            Type::Unit | Type::Base(_) => true,
+            Type::Arrow(..) | Type::Forall(..) => true,
+            Type::Pair(a, b) => go(decls, a, assumed) && go(decls, b, assumed),
+            Type::Data(name, args) => {
+                if assumed.contains(name) {
+                    return true; // coinductive: assume while checking
+                }
+                let Some(decl) = decls.data(*name) else {
+                    return false;
+                };
+                if !args.iter().all(|a| go(decls, a, assumed)) {
+                    return false;
+                }
+                assumed.push(*name);
+                let ok = decl
+                    .ctors
+                    .iter()
+                    .all(|c| c.args.iter().all(|f| go(decls, f, assumed)));
+                assumed.pop();
+                ok
+            }
+            _ => false,
+        }
+    }
+    go(decls, ty, &mut Vec::new())
+}
+
+fn diff_message(a: &[&Entry], b: &[&Entry]) -> String {
+    let show = |es: &[&Entry]| {
+        if es.is_empty() {
+            "(none)".to_owned()
+        } else {
+            es.iter()
+                .map(|e| format!("{}: {}", e.name, e.ty))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    format!("one branch leaves [{}], another [{}]", show(a), show(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn linear_use_consumes() {
+        let mut ctx = Ctx::new();
+        ctx.push_linear(sym("c"), Type::EndOut);
+        assert!(ctx.use_var(sym("c")).is_some());
+        assert!(ctx.use_var(sym("c")).is_none());
+    }
+
+    #[test]
+    fn unrestricted_use_persists() {
+        let mut ctx = Ctx::new();
+        ctx.push_unrestricted(sym("f"), Type::arrow(Type::Unit, Type::Unit));
+        assert!(ctx.use_var(sym("f")).is_some());
+        assert!(ctx.use_var(sym("f")).is_some());
+    }
+
+    #[test]
+    fn shadowing_uses_innermost() {
+        let mut ctx = Ctx::new();
+        ctx.push_linear(sym("x"), Type::int());
+        ctx.push_linear(sym("x"), Type::bool());
+        let t = ctx.use_var(sym("x")).unwrap();
+        assert_eq!(*t, Type::bool());
+        let t = ctx.use_var(sym("x")).unwrap();
+        assert_eq!(*t, Type::int());
+    }
+
+    #[test]
+    fn expect_consumed_flags_leftover_linear() {
+        let mut ctx = Ctx::new();
+        ctx.push_linear(sym("c"), Type::EndOut);
+        assert!(matches!(
+            ctx.expect_consumed(sym("c")),
+            Err(TypeError::UnusedLinear(_))
+        ));
+        // Unrestricted leftovers are popped silently.
+        let mut ctx = Ctx::new();
+        ctx.push_unrestricted(sym("g"), Type::Unit);
+        ctx.expect_consumed(sym("g")).unwrap();
+        assert!(!ctx.contains(sym("g")));
+    }
+
+    #[test]
+    fn same_linear_ignores_unrestricted() {
+        let mut a = Ctx::new();
+        a.push_unrestricted(sym("f"), Type::Unit);
+        a.push_linear(sym("c"), Type::EndIn);
+        let mut b = Ctx::new();
+        b.push_linear(sym("c"), Type::EndIn);
+        a.same_linear(&b).unwrap();
+        b.use_var(sym("c"));
+        assert!(a.same_linear(&b).is_err());
+    }
+}

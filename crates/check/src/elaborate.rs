@@ -1,0 +1,493 @@
+//! Elaboration from the surface AST to the core language.
+//!
+//! Responsibilities:
+//!
+//! * resolve type names (protocol vs. datatype vs. alias vs. builtin) and
+//!   expand (non-recursive) type aliases;
+//! * build the global [`Declarations`] table;
+//! * turn function equations `f [s] x c = e` plus their signatures into
+//!   core `Λ`/`λ` chains (annotations read off the signature);
+//! * resolve value names: local binders, module-level definitions
+//!   (unrestricted, enabling the mutual recursion of paper App. A.3),
+//!   session constants and builtins;
+//! * saturate or η-expand data constructor applications.
+
+use crate::error::{CheckError, TypeError};
+use algst_core::expr::{Arm, Builtin, Const, Expr};
+use algst_core::protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
+use algst_core::subst::Subst;
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use algst_syntax::ast::{
+    BindingDecl, Decl, Param, Pattern, Program, SArm, SExpr, SType, SignatureDecl,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Result of elaborating a whole program.
+#[derive(Debug)]
+pub struct Elaborated {
+    pub decls: Declarations,
+    /// Signatures in source order, resolved but not normalized.
+    pub sigs: Vec<(Symbol, Type)>,
+    /// Definitions in source order.
+    pub defs: Vec<(Symbol, Expr)>,
+}
+
+/// Elaborates a parsed program.
+pub fn elaborate(program: &Program) -> Result<Elaborated, CheckError> {
+    // Pass 1: collect headers so names resolve regardless of order.
+    let mut protocol_names: HashSet<Symbol> = HashSet::new();
+    let mut data_names: HashSet<Symbol> = HashSet::new();
+    let mut alias_srcs: HashMap<Symbol, (Vec<Symbol>, SType)> = HashMap::new();
+    for d in &program.decls {
+        match d {
+            Decl::Protocol(td) => {
+                protocol_names.insert(td.name);
+            }
+            Decl::Data(td) => {
+                data_names.insert(td.name);
+            }
+            Decl::Alias(a) => {
+                alias_srcs.insert(a.name, (a.params.clone(), a.body.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    let mut resolver = Resolver {
+        protocol_names,
+        data_names,
+        alias_srcs,
+        alias_cache: HashMap::new(),
+        visiting: HashSet::new(),
+    };
+
+    // Pass 2: build declaration table.
+    let mut decls = Declarations::new();
+    for d in &program.decls {
+        match d {
+            Decl::Protocol(td) => {
+                let ctors = td
+                    .ctors
+                    .iter()
+                    .map(|c| {
+                        Ok(Ctor {
+                            tag: c.name,
+                            args: c
+                                .args
+                                .iter()
+                                .map(|t| resolver.resolve(t))
+                                .collect::<Result<_, _>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, TypeError>>()?;
+                decls.add_protocol(ProtocolDecl {
+                    name: td.name,
+                    params: td.params.clone(),
+                    ctors,
+                })?;
+            }
+            Decl::Data(td) => {
+                let ctors = td
+                    .ctors
+                    .iter()
+                    .map(|c| {
+                        Ok(Ctor {
+                            tag: c.name,
+                            args: c
+                                .args
+                                .iter()
+                                .map(|t| resolver.resolve(t))
+                                .collect::<Result<_, _>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, TypeError>>()?;
+                decls.add_data(DataDecl {
+                    name: td.name,
+                    params: td.params.clone(),
+                    ctors,
+                })?;
+            }
+            _ => {}
+        }
+    }
+    decls.validate()?;
+
+    // Pass 3: signatures.
+    let mut sigs: Vec<(Symbol, Type)> = Vec::new();
+    let mut sig_map: HashMap<Symbol, Type> = HashMap::new();
+    for d in &program.decls {
+        if let Decl::Signature(SignatureDecl { name, ty, .. }) = d {
+            if sig_map.contains_key(name) {
+                return Err(TypeError::DuplicateDefinition(*name).into());
+            }
+            let resolved = resolver.resolve(ty)?;
+            sigs.push((*name, resolved.clone()));
+            sig_map.insert(*name, resolved);
+        }
+    }
+    let globals: HashSet<Symbol> = sig_map.keys().copied().collect();
+
+    // Pass 4: bindings.
+    let mut defs: Vec<(Symbol, Expr)> = Vec::new();
+    let mut seen_defs: HashSet<Symbol> = HashSet::new();
+    for d in &program.decls {
+        if let Decl::Binding(b) = d {
+            if !seen_defs.insert(b.name) {
+                return Err(TypeError::DuplicateDefinition(b.name).into());
+            }
+            let sig = sig_map
+                .get(&b.name)
+                .ok_or(TypeError::MissingSignature(b.name))?
+                .clone();
+            let expr = elaborate_binding(&resolver, &decls, &globals, &sig, b)?;
+            defs.push((b.name, expr));
+        }
+    }
+    for (name, _) in &sigs {
+        if !seen_defs.contains(name) {
+            return Err(TypeError::MissingDefinition(*name).into());
+        }
+    }
+
+    Ok(Elaborated { decls, sigs, defs })
+}
+
+// ----------------------------------------------------------- type resolver
+
+struct Resolver {
+    protocol_names: HashSet<Symbol>,
+    data_names: HashSet<Symbol>,
+    alias_srcs: HashMap<Symbol, (Vec<Symbol>, SType)>,
+    alias_cache: HashMap<Symbol, (Vec<Symbol>, Type)>,
+    visiting: HashSet<Symbol>,
+}
+
+impl Resolver {
+    fn resolve(&mut self, t: &SType) -> Result<Type, TypeError> {
+        Ok(match t {
+            SType::Unit(_) => Type::Unit,
+            SType::Var(v, _) => Type::Var(*v),
+            SType::Arrow(a, b, _) => Type::arrow(self.resolve(a)?, self.resolve(b)?),
+            SType::Pair(a, b, _) => Type::pair(self.resolve(a)?, self.resolve(b)?),
+            SType::Forall(v, k, body, _) => Type::forall(*v, *k, self.resolve(body)?),
+            SType::In(p, s, _) => Type::input(self.resolve(p)?, self.resolve(s)?),
+            SType::Out(p, s, _) => Type::output(self.resolve(p)?, self.resolve(s)?),
+            SType::EndIn(_) => Type::EndIn,
+            SType::EndOut(_) => Type::EndOut,
+            SType::Dual(s, _) => Type::dual(self.resolve(s)?),
+            SType::Neg(p, _) => Type::neg(self.resolve(p)?),
+            SType::Name(name, args, _) => {
+                let rargs: Vec<Type> = args
+                    .iter()
+                    .map(|a| self.resolve(a))
+                    .collect::<Result<_, _>>()?;
+                match name.as_str() {
+                    "Int" | "Bool" | "Char" | "String" if rargs.is_empty() => match name.as_str() {
+                        "Int" => Type::int(),
+                        "Bool" => Type::bool(),
+                        "Char" => Type::char(),
+                        _ => Type::string(),
+                    },
+                    _ if self.protocol_names.contains(name) => Type::Proto(*name, rargs),
+                    _ if self.data_names.contains(name) => Type::Data(*name, rargs),
+                    _ if self.alias_srcs.contains_key(name) => {
+                        let (params, body) = self.resolve_alias(*name)?;
+                        if params.len() != rargs.len() {
+                            return Err(TypeError::AliasArity {
+                                name: *name,
+                                expected: params.len(),
+                                found: rargs.len(),
+                            });
+                        }
+                        Subst::parallel(&params, &rargs).apply(&body)
+                    }
+                    _ => return Err(TypeError::UnknownTypeName(*name)),
+                }
+            }
+        })
+    }
+
+    fn resolve_alias(&mut self, name: Symbol) -> Result<(Vec<Symbol>, Type), TypeError> {
+        if let Some(hit) = self.alias_cache.get(&name) {
+            return Ok(hit.clone());
+        }
+        if !self.visiting.insert(name) {
+            return Err(TypeError::RecursiveAlias(name));
+        }
+        let (params, body_src) = self
+            .alias_srcs
+            .get(&name)
+            .cloned()
+            .expect("resolve_alias called for a known alias");
+        let body = self.resolve(&body_src)?;
+        self.visiting.remove(&name);
+        let entry = (params, body);
+        self.alias_cache.insert(name, entry.clone());
+        Ok(entry)
+    }
+}
+
+// --------------------------------------------------------- binding shaping
+
+/// Turns an equation `f p₁ … pₙ = e` with signature `T` into nested
+/// `Λ`/`λ` abstractions whose annotations are read off `T`.
+fn elaborate_binding(
+    resolver: &Resolver,
+    decls: &Declarations,
+    globals: &HashSet<Symbol>,
+    sig: &Type,
+    binding: &BindingDecl,
+) -> Result<Expr, CheckError> {
+    let mut ee = ExprElab {
+        resolver,
+        decls,
+        globals,
+        scope: Vec::new(),
+    };
+    let e = build_params(&mut ee, sig, &binding.params, &binding.body)?;
+    Ok(e)
+}
+
+fn build_params(
+    ee: &mut ExprElab<'_>,
+    ty: &Type,
+    params: &[Param],
+    body: &SExpr,
+) -> Result<Expr, CheckError> {
+    let Some((first, rest)) = params.split_first() else {
+        return Ok(ee.elab(body)?);
+    };
+    match first {
+        Param::Term(x) => match ty {
+            Type::Arrow(dom, cod) => {
+                ee.scope.push(*x);
+                let inner = build_params(ee, cod, rest, body)?;
+                ee.scope.pop();
+                Ok(Expr::abs(*x, (**dom).clone(), inner))
+            }
+            other => Err(TypeError::NotAFunction(other.clone()).into()),
+        },
+        Param::Wild => match ty {
+            Type::Arrow(dom, cod) => {
+                let fresh = Symbol::fresh("_wild");
+                ee.scope.push(fresh);
+                let inner = build_params(ee, cod, rest, body)?;
+                ee.scope.pop();
+                Ok(Expr::abs(fresh, (**dom).clone(), inner))
+            }
+            other => Err(TypeError::NotAFunction(other.clone()).into()),
+        },
+        Param::Types(vars) => {
+            // Consume one ∀ per listed variable, renaming the binder to the
+            // equation's chosen name.
+            fn go(
+                ee: &mut ExprElab<'_>,
+                ty: &Type,
+                vars: &[Symbol],
+                rest: &[Param],
+                body: &SExpr,
+            ) -> Result<Expr, CheckError> {
+                let Some((v, more)) = vars.split_first() else {
+                    return build_params(ee, ty, rest, body);
+                };
+                match ty {
+                    Type::Forall(alpha, kappa, u) => {
+                        let renamed = if alpha == v {
+                            (**u).clone()
+                        } else {
+                            algst_core::subst::subst_type(u, *alpha, &Type::Var(*v))
+                        };
+                        let inner = go(ee, &renamed, more, rest, body)?;
+                        Ok(Expr::tabs(*v, *kappa, inner))
+                    }
+                    other => Err(TypeError::NotAForall(other.clone()).into()),
+                }
+            }
+            go(ee, ty, vars, rest, body)
+        }
+    }
+}
+
+// ------------------------------------------------------ expression elabor.
+
+struct ExprElab<'r> {
+    resolver: &'r Resolver,
+    decls: &'r Declarations,
+    globals: &'r HashSet<Symbol>,
+    scope: Vec<Symbol>,
+}
+
+impl ExprElab<'_> {
+    fn resolve_ty(&self, t: &SType) -> Result<Type, TypeError> {
+        // Aliases were fully cached during declaration processing, so a
+        // shared reference suffices here; fall back to a fresh resolver
+        // view for robustness.
+        let mut r = Resolver {
+            protocol_names: self.resolver.protocol_names.clone(),
+            data_names: self.resolver.data_names.clone(),
+            alias_srcs: self.resolver.alias_srcs.clone(),
+            alias_cache: self.resolver.alias_cache.clone(),
+            visiting: HashSet::new(),
+        };
+        r.resolve(t)
+    }
+
+    fn elab(&mut self, e: &SExpr) -> Result<Expr, TypeError> {
+        match e {
+            SExpr::Lit(l, _) => Ok(Expr::Lit(l.clone())),
+            SExpr::Var(x, _) => self.resolve_var(*x),
+            SExpr::Con(c, _) => self.elab_con(*c, &[]),
+            SExpr::Select(tag, _) => Ok(Expr::Const(Const::Select(*tag))),
+            SExpr::App(..) => {
+                // Flatten the application spine to saturate constructors.
+                let mut args: Vec<&SExpr> = Vec::new();
+                let mut head = e;
+                while let SExpr::App(f, a, _) = head {
+                    args.push(a);
+                    head = f;
+                }
+                args.reverse();
+                if let SExpr::Con(c, _) = head {
+                    self.elab_con(*c, &args)
+                } else {
+                    let mut acc = self.elab(head)?;
+                    for a in args {
+                        acc = Expr::app(acc, self.elab(a)?);
+                    }
+                    Ok(acc)
+                }
+            }
+            SExpr::TApp(f, tys, _) => {
+                let mut acc = self.elab(f)?;
+                for t in tys {
+                    acc = Expr::tapp(acc, self.resolve_ty(t)?);
+                }
+                Ok(acc)
+            }
+            SExpr::Lambda(params, body, _) => {
+                for p in params {
+                    self.scope.push(*p);
+                }
+                let mut acc = self.elab(body)?;
+                for p in params.iter().rev() {
+                    self.scope.pop();
+                    acc = Expr::abs_u(*p, acc);
+                }
+                Ok(acc)
+            }
+            SExpr::BinOp(op, l, r, _) => {
+                let b = Builtin::from_operator(op.as_str())
+                    .ok_or(TypeError::UnboundVariable(*op))?;
+                Ok(Expr::apps(Expr::Builtin(b), [self.elab(l)?, self.elab(r)?]))
+            }
+            SExpr::Pair(a, b, _) => Ok(Expr::pair(self.elab(a)?, self.elab(b)?)),
+            SExpr::Let(pat, bound, body, _) => {
+                let bound = self.elab(bound)?;
+                match pat {
+                    Pattern::Var(x) => {
+                        self.scope.push(*x);
+                        let body = self.elab(body)?;
+                        self.scope.pop();
+                        Ok(Expr::let_(*x, bound, body))
+                    }
+                    Pattern::Pair(x, y) => {
+                        self.scope.push(*x);
+                        self.scope.push(*y);
+                        let body = self.elab(body)?;
+                        self.scope.pop();
+                        self.scope.pop();
+                        Ok(Expr::let_pair(*x, *y, bound, body))
+                    }
+                    // In a linear language values cannot be discarded, so
+                    // the wildcard let is the unit-let: `let _ = e in e'`
+                    // requires `e : Unit` (like `let * = e in e'`).
+                    Pattern::Unit | Pattern::Wild => {
+                        Ok(Expr::let_unit(bound, self.elab(body)?))
+                    }
+                }
+            }
+            SExpr::If(c, t, f, _) => Ok(Expr::if_(
+                self.elab(c)?,
+                self.elab(t)?,
+                self.elab(f)?,
+            )),
+            SExpr::Case(scrutinee, arms, _) => {
+                let s = self.elab(scrutinee)?;
+                let mut out = Vec::with_capacity(arms.len());
+                for SArm {
+                    tag,
+                    binders,
+                    body,
+                    ..
+                } in arms
+                {
+                    for b in binders {
+                        self.scope.push(*b);
+                    }
+                    let body = self.elab(body)?;
+                    for _ in binders {
+                        self.scope.pop();
+                    }
+                    out.push(Arm {
+                        tag: *tag,
+                        binders: binders.clone(),
+                        body,
+                    });
+                }
+                Ok(Expr::case(s, out))
+            }
+        }
+    }
+
+    fn resolve_var(&self, x: Symbol) -> Result<Expr, TypeError> {
+        if self.scope.contains(&x) || self.globals.contains(&x) {
+            return Ok(Expr::Var(x));
+        }
+        match x.as_str() {
+            "fork" => Ok(Expr::Const(Const::Fork)),
+            "new" => Ok(Expr::Const(Const::New)),
+            "receive" => Ok(Expr::Const(Const::Receive)),
+            "send" => Ok(Expr::Const(Const::Send)),
+            "wait" => Ok(Expr::Const(Const::Wait)),
+            "terminate" => Ok(Expr::Const(Const::Terminate)),
+            other => Builtin::from_name(other)
+                .map(Expr::Builtin)
+                .ok_or(TypeError::UnboundVariable(x)),
+        }
+    }
+
+    /// Constructor applied to `args`: saturate exactly, or η-expand a
+    /// partial application (`Cons 1` becomes `\xs -> Cons 1 xs`).
+    fn elab_con(&mut self, tag: Symbol, args: &[&SExpr]) -> Result<Expr, TypeError> {
+        let (decl, k) = self
+            .decls
+            .data_of_tag(tag)
+            .ok_or(TypeError::UnboundConstructor(tag))?;
+        let arity = decl.ctors[k].args.len();
+        if args.len() > arity {
+            return Err(TypeError::CtorArity {
+                tag,
+                expected: arity,
+                found: args.len(),
+            });
+        }
+        let mut fields: Vec<Expr> = args
+            .iter()
+            .map(|a| self.elab(a))
+            .collect::<Result<_, _>>()?;
+        if fields.len() == arity {
+            return Ok(Expr::Con(tag, fields));
+        }
+        // η-expand the missing arguments.
+        let extra: Vec<Symbol> = (fields.len()..arity)
+            .map(|i| Symbol::fresh(&format!("_eta{i}")))
+            .collect();
+        fields.extend(extra.iter().map(|v| Expr::Var(*v)));
+        let mut acc = Expr::Con(tag, fields);
+        for v in extra.into_iter().rev() {
+            acc = Expr::abs_u(v, acc);
+        }
+        Ok(acc)
+    }
+}

@@ -1,0 +1,243 @@
+//! Type errors reported by elaboration and type checking.
+
+use algst_core::kind::Kind;
+use algst_core::kindcheck::KindError;
+use algst_core::protocol::DeclError;
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use algst_syntax::ParseError;
+use std::fmt;
+
+/// Any error produced while turning source text into a checked module.
+#[derive(Clone, Debug)]
+pub enum CheckError {
+    Parse(ParseError),
+    Decl(DeclError),
+    Type(TypeError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Parse(e) => write!(f, "{e}"),
+            CheckError::Decl(e) => write!(f, "{e}"),
+            CheckError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<ParseError> for CheckError {
+    fn from(e: ParseError) -> Self {
+        CheckError::Parse(e)
+    }
+}
+impl From<DeclError> for CheckError {
+    fn from(e: DeclError) -> Self {
+        CheckError::Decl(e)
+    }
+}
+impl From<TypeError> for CheckError {
+    fn from(e: TypeError) -> Self {
+        CheckError::Type(e)
+    }
+}
+impl From<KindError> for CheckError {
+    fn from(e: KindError) -> Self {
+        CheckError::Type(TypeError::Kind(e))
+    }
+}
+
+/// An error from the bidirectional typechecker or the elaborator.
+#[derive(Clone, Debug)]
+pub enum TypeError {
+    Kind(KindError),
+    UnboundVariable(Symbol),
+    UnboundConstructor(Symbol),
+    UnboundTag(Symbol),
+    UnknownTypeName(Symbol),
+    AliasArity {
+        name: Symbol,
+        expected: usize,
+        found: usize,
+    },
+    RecursiveAlias(Symbol),
+    /// A linear variable was not consumed.
+    UnusedLinear(Symbol),
+    /// A recursive function captured a linear variable.
+    LinearInRecursive {
+        function: Symbol,
+        captured: Vec<Symbol>,
+    },
+    NotAFunction(Type),
+    NotAForall(Type),
+    NotAPair(Type),
+    /// `match` scrutinee is not a `?(ρ Ū).S` channel and not a datatype.
+    NotMatchable(Type),
+    /// Expected vs. synthesized type mismatch (both in normal form).
+    Mismatch {
+        expected: Type,
+        found: Type,
+    },
+    /// Branches of a `match`/`case`/`if` synthesized different types.
+    BranchTypeMismatch {
+        first: Type,
+        other: Type,
+    },
+    /// Branches consumed different linear resources.
+    BranchContextMismatch {
+        detail: String,
+    },
+    /// `match`/`case` arms don't cover the declaration's tags exactly.
+    BadCoverage {
+        ty: Symbol,
+        missing: Vec<Symbol>,
+        extra: Vec<Symbol>,
+    },
+    WrongArmArity {
+        tag: Symbol,
+        expected: usize,
+        found: usize,
+    },
+    CtorArity {
+        tag: Symbol,
+        expected: usize,
+        found: usize,
+    },
+    /// Could not infer the type arguments of a parameterized constructor.
+    CannotInferCtorParams(Symbol),
+    /// `Λα.e` where `e` is not a syntactic value.
+    TAbsNotValue,
+    /// An unannotated lambda in synthesis position.
+    NeedsAnnotation,
+    MissingSignature(Symbol),
+    MissingDefinition(Symbol),
+    DuplicateDefinition(Symbol),
+    /// `rec x:T.v` where `T` is not an arrow type.
+    RecNotArrow(Type),
+    KindMismatch {
+        ty: Type,
+        expected: Kind,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Kind(e) => write!(f, "{e}"),
+            TypeError::UnboundVariable(x) => write!(f, "unbound variable {x}"),
+            TypeError::UnboundConstructor(c) => write!(f, "unknown data constructor {c}"),
+            TypeError::UnboundTag(c) => write!(f, "unknown protocol tag {c}"),
+            TypeError::UnknownTypeName(n) => write!(f, "unknown type name {n}"),
+            TypeError::AliasArity {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "type alias {name} expects {expected} argument(s) but got {found}"
+            ),
+            TypeError::RecursiveAlias(n) => {
+                write!(f, "type alias {n} is recursive (aliases must be non-recursive; use a protocol or data declaration)")
+            }
+            TypeError::UnusedLinear(x) => {
+                write!(f, "linear variable {x} is not consumed")
+            }
+            TypeError::LinearInRecursive { function, captured } => {
+                write!(
+                    f,
+                    "recursive function {function} uses linear variable(s) from its environment:"
+                )?;
+                for c in captured {
+                    write!(f, " {c}")?;
+                }
+                Ok(())
+            }
+            TypeError::NotAFunction(t) => write!(f, "expected a function, found type {t}"),
+            TypeError::NotAForall(t) => {
+                write!(f, "expected a polymorphic value, found type {t}")
+            }
+            TypeError::NotAPair(t) => write!(f, "expected a pair, found type {t}"),
+            TypeError::NotMatchable(t) => write!(
+                f,
+                "match scrutinee must be a channel of type ?(p U).S or a datatype value, found {t}"
+            ),
+            TypeError::Mismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::BranchTypeMismatch { first, other } => write!(
+                f,
+                "branches have different types: {first} vs {other}"
+            ),
+            TypeError::BranchContextMismatch { detail } => write!(
+                f,
+                "branches consume different linear resources: {detail}"
+            ),
+            TypeError::BadCoverage { ty, missing, extra } => {
+                write!(f, "match on {ty} ")?;
+                if !missing.is_empty() {
+                    write!(f, "is missing tag(s):")?;
+                    for t in missing {
+                        write!(f, " {t}")?;
+                    }
+                }
+                if !extra.is_empty() {
+                    write!(f, " has foreign tag(s):")?;
+                    for t in extra {
+                        write!(f, " {t}")?;
+                    }
+                }
+                Ok(())
+            }
+            TypeError::WrongArmArity {
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arm for {tag} binds {found} variable(s) but the constructor has {expected}"
+            ),
+            TypeError::CtorArity {
+                tag,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constructor {tag} expects {expected} argument(s) but got {found}"
+            ),
+            TypeError::CannotInferCtorParams(c) => write!(
+                f,
+                "cannot infer the type parameters of constructor {c}; add an annotation"
+            ),
+            TypeError::TAbsNotValue => {
+                write!(f, "the body of a type abstraction must be a value")
+            }
+            TypeError::NeedsAnnotation => write!(
+                f,
+                "cannot synthesize the type of an unannotated lambda; add a signature"
+            ),
+            TypeError::MissingSignature(x) => {
+                write!(f, "definition of {x} has no type signature")
+            }
+            TypeError::MissingDefinition(x) => {
+                write!(f, "signature for {x} has no definition")
+            }
+            TypeError::DuplicateDefinition(x) => write!(f, "duplicate definition of {x}"),
+            TypeError::RecNotArrow(t) => {
+                write!(f, "recursive binding must have a function type, found {t}")
+            }
+            TypeError::KindMismatch { ty, expected } => {
+                write!(f, "type {ty} does not have kind {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl From<KindError> for TypeError {
+    fn from(e: KindError) -> Self {
+        TypeError::Kind(e)
+    }
+}

@@ -1,0 +1,126 @@
+//! Algorithmic type equivalence (paper Theorems 1–3).
+//!
+//! `T ≡_A U` holds iff `nrm⁺(T) =α nrm⁺(U)`. Because [`nrm_pos`] visits
+//! every node once and α-comparison is a simultaneous traversal, the whole
+//! test runs in `O(|T| + |U|)` — this is the headline complexity result the
+//! paper benchmarks against FreeST in Figure 10.
+
+use crate::normalize::{nrm_neg, nrm_pos};
+use crate::types::Type;
+
+/// Decides `T ≡_A U` by comparing positive normal forms up to α-renaming.
+///
+/// ```
+/// use algst_core::{equiv::equivalent, types::Type};
+/// // Dual (!Repeat.?X.Dual End!)  ≡  ?Repeat.!X.End!   (cf. paper Fig. 9)
+/// let lhs = Type::dual(Type::output(
+///     Type::proto("RepeatEq", vec![]),
+///     Type::input(Type::var("x"), Type::dual(Type::EndOut)),
+/// ));
+/// let rhs = Type::input(
+///     Type::proto("RepeatEq", vec![]),
+///     Type::output(Type::var("x"), Type::EndOut),
+/// );
+/// assert!(equivalent(&lhs, &rhs));
+/// ```
+pub fn equivalent(t: &Type, u: &Type) -> bool {
+    nrm_pos(t).alpha_eq(&nrm_pos(u))
+}
+
+/// Decides equivalence of the *duals* of two session types by comparing
+/// negative normal forms (Theorem 1, item 2). Equivalent to
+/// `equivalent(&Type::dual(t), &Type::dual(u))` but without allocating the
+/// wrappers.
+pub fn equivalent_dual(t: &Type, u: &Type) -> bool {
+    nrm_neg(t).alpha_eq(&nrm_neg(u))
+}
+
+/// Normalizes and compares, also returning the normal forms (useful for
+/// error messages: "expected `S`, found `T`").
+pub fn check_equivalent(t: &Type, u: &Type) -> Result<(), (Type, Type)> {
+    let nt = nrm_pos(t);
+    let nu = nrm_pos(u);
+    if nt.alpha_eq(&nu) {
+        Ok(())
+    } else {
+        Err((nt, nu))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::Kind;
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric() {
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::arrow(
+                Type::output(Type::proto("AstEq", vec![]), Type::var("s")),
+                Type::var("s"),
+            ),
+        );
+        assert!(equivalent(&t, &t));
+        let u = Type::forall(
+            "r",
+            Kind::Session,
+            Type::arrow(
+                Type::output(Type::proto("AstEq", vec![]), Type::var("r")),
+                Type::var("r"),
+            ),
+        );
+        assert!(equivalent(&t, &u));
+        assert!(equivalent(&u, &t));
+    }
+
+    #[test]
+    fn nominal_protocols_differ_by_name() {
+        let t = Type::output(Type::proto("P1", vec![]), Type::EndOut);
+        let u = Type::output(Type::proto("P2", vec![]), Type::EndOut);
+        assert!(!equivalent(&t, &u));
+    }
+
+    #[test]
+    fn fig9_nonequivalent_example() {
+        // ?Repeat Int . S  vs  ?Repeat String . S
+        let s = Type::output(
+            Type::pair(Type::char(), Type::EndOut),
+            Type::EndOut,
+        );
+        let t = Type::input(Type::proto("Rep9", vec![Type::int()]), s.clone());
+        let u = Type::input(Type::proto("Rep9", vec![Type::string()]), s);
+        assert!(!equivalent(&t, &u));
+    }
+
+    #[test]
+    fn dual_equivalences() {
+        // Dual End? ≡ End!
+        assert!(equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
+        // Dual (?T.S) ≡ !T.Dual S
+        let t = Type::dual(Type::input(Type::int(), Type::EndIn));
+        let u = Type::output(Type::int(), Type::dual(Type::EndIn));
+        assert!(equivalent(&t, &u));
+    }
+
+    #[test]
+    fn equivalent_dual_matches_wrapping() {
+        let t = Type::input(Type::int(), Type::var("s"));
+        let u = Type::dual(Type::output(Type::int(), Type::dual(Type::var("s"))));
+        assert_eq!(
+            equivalent_dual(&t, &u),
+            equivalent(&Type::dual(t.clone()), &Type::dual(u.clone()))
+        );
+        assert!(equivalent_dual(&t, &u));
+    }
+
+    #[test]
+    fn check_equivalent_reports_normal_forms() {
+        let t = Type::dual(Type::EndIn);
+        let u = Type::EndIn;
+        let (nt, nu) = check_equivalent(&t, &u).unwrap_err();
+        assert_eq!(nt, Type::EndOut);
+        assert_eq!(nu, Type::EndIn);
+    }
+}

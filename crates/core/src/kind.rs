@@ -1,0 +1,99 @@
+//! The kind structure of AlgST (paper Section 3).
+//!
+//! AlgST distinguishes three kinds, linearly ordered by subkinding
+//! `S < T < P`:
+//!
+//! * [`Kind::Session`] (`S`) classifies session types — types of channel
+//!   endpoints.
+//! * [`Kind::Value`] (`T`) classifies all types of run-time values
+//!   (functional types *and* session types, by subsumption).
+//! * [`Kind::Protocol`] (`P`) classifies protocol types, which describe pure
+//!   behaviour and have no run-time inhabitants. Every type lifts into `P`.
+
+use std::fmt;
+
+/// One of the three AlgST kinds, `S < T < P`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Kind {
+    /// `S` — session types.
+    Session,
+    /// `T` — types of run-time values.
+    Value,
+    /// `P` — protocol types.
+    Protocol,
+}
+
+impl Kind {
+    /// Subkinding: reflexive-transitive closure of `S < T < P`.
+    ///
+    /// ```
+    /// use algst_core::kind::Kind;
+    /// assert!(Kind::Session.is_subkind_of(Kind::Protocol));
+    /// assert!(!Kind::Protocol.is_subkind_of(Kind::Value));
+    /// ```
+    pub fn is_subkind_of(self, other: Kind) -> bool {
+        self <= other
+    }
+
+    /// Least upper bound in the linear order.
+    pub fn lub(self, other: Kind) -> Kind {
+        self.max(other)
+    }
+
+    /// The surface-syntax letter for this kind.
+    pub fn letter(self) -> char {
+        match self {
+            Kind::Session => 'S',
+            Kind::Value => 'T',
+            Kind::Protocol => 'P',
+        }
+    }
+
+    /// Parses a surface-syntax kind letter.
+    pub fn from_letter(c: char) -> Option<Kind> {
+        match c {
+            'S' => Some(Kind::Session),
+            'T' => Some(Kind::Value),
+            'P' => Some(Kind::Protocol),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_order() {
+        use Kind::*;
+        assert!(Session.is_subkind_of(Session));
+        assert!(Session.is_subkind_of(Value));
+        assert!(Session.is_subkind_of(Protocol));
+        assert!(Value.is_subkind_of(Protocol));
+        assert!(!Value.is_subkind_of(Session));
+        assert!(!Protocol.is_subkind_of(Session));
+        assert!(!Protocol.is_subkind_of(Value));
+    }
+
+    #[test]
+    fn lub_is_max() {
+        use Kind::*;
+        assert_eq!(Session.lub(Protocol), Protocol);
+        assert_eq!(Value.lub(Session), Value);
+    }
+
+    #[test]
+    fn letters_roundtrip() {
+        for k in [Kind::Session, Kind::Value, Kind::Protocol] {
+            assert_eq!(Kind::from_letter(k.letter()), Some(k));
+        }
+        assert_eq!(Kind::from_letter('Q'), None);
+    }
+}

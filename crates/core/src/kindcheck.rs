@@ -1,0 +1,329 @@
+//! Algorithmic type formation (paper Fig. 1).
+//!
+//! The judgment `Δ ⊢ T ⇒ κ` *synthesizes* the minimal kind of `T`; the
+//! judgment `Δ ⊢ T ⇐ κ` checks that the synthesized kind is a subkind of
+//! the expected one (rule T-Sub).
+
+use crate::kind::Kind;
+use crate::protocol::Declarations;
+use crate::symbol::Symbol;
+use crate::types::Type;
+use std::fmt;
+
+/// A kind-checking error, pointing at the offending subterm.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KindError {
+    UnboundVar(Symbol),
+    UnboundProtocol(Symbol),
+    UnboundData(Symbol),
+    ArityMismatch {
+        name: Symbol,
+        expected: usize,
+        found: usize,
+    },
+    /// `Δ ⊢ T ⇒ κ` but `κ ≰ κ'`.
+    NotSubkind {
+        ty: Type,
+        found: Kind,
+        expected: Kind,
+    },
+}
+
+impl fmt::Display for KindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KindError::UnboundVar(v) => write!(f, "unbound type variable {v}"),
+            KindError::UnboundProtocol(p) => write!(f, "unbound protocol {p}"),
+            KindError::UnboundData(d) => write!(f, "unbound datatype {d}"),
+            KindError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{name} expects {expected} argument(s) but got {found}"
+            ),
+            KindError::NotSubkind {
+                ty,
+                found,
+                expected,
+            } => write!(
+                f,
+                "type {ty} has kind {found}, which is not a subkind of the expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for KindError {}
+
+/// A kind context `Δ`: global declarations plus a scoped stack of type
+/// variable bindings `α : κ`.
+#[derive(Clone)]
+pub struct KindCtx<'d> {
+    decls: &'d Declarations,
+    vars: Vec<(Symbol, Kind)>,
+}
+
+impl<'d> KindCtx<'d> {
+    pub fn new(decls: &'d Declarations) -> KindCtx<'d> {
+        KindCtx {
+            decls,
+            vars: Vec::new(),
+        }
+    }
+
+    pub fn decls(&self) -> &'d Declarations {
+        self.decls
+    }
+
+    pub fn push_var(&mut self, var: Symbol, kind: Kind) {
+        self.vars.push((var, kind));
+    }
+
+    pub fn pop_var(&mut self) {
+        self.vars.pop();
+    }
+
+    pub fn lookup_var(&self, var: Symbol) -> Option<Kind> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(v, _)| *v == var)
+            .map(|(_, k)| *k)
+    }
+
+    /// Runs `f` with `var : kind` in scope.
+    pub fn with_var<R>(&mut self, var: Symbol, kind: Kind, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_var(var, kind);
+        let r = f(self);
+        self.pop_var();
+        r
+    }
+
+    /// `Δ ⊢ T ⇒ κ`: synthesizes the minimal kind of `T`.
+    pub fn synth(&mut self, ty: &Type) -> Result<Kind, KindError> {
+        match ty {
+            // T-Unit (and base types, by extension)
+            Type::Unit | Type::Base(_) => Ok(Kind::Value),
+            // T-Arrow
+            Type::Arrow(a, b) => {
+                self.check(a, Kind::Value)?;
+                self.check(b, Kind::Value)?;
+                Ok(Kind::Value)
+            }
+            // T-Pair
+            Type::Pair(a, b) => {
+                self.check(a, Kind::Value)?;
+                self.check(b, Kind::Value)?;
+                Ok(Kind::Value)
+            }
+            // T-Poly
+            Type::Forall(v, k, body) => {
+                self.with_var(*v, *k, |ctx| ctx.check(body, Kind::Value))?;
+                Ok(Kind::Value)
+            }
+            // T-Var
+            Type::Var(v) => self.lookup_var(*v).ok_or(KindError::UnboundVar(*v)),
+            // T-In / T-Out
+            Type::In(p, s) | Type::Out(p, s) => {
+                self.check(p, Kind::Protocol)?;
+                self.check(s, Kind::Session)?;
+                Ok(Kind::Session)
+            }
+            // T-End? / T-End!
+            Type::EndIn | Type::EndOut => Ok(Kind::Session),
+            // T-Dual
+            Type::Dual(s) => {
+                self.check(s, Kind::Session)?;
+                Ok(Kind::Session)
+            }
+            // T-Protocol
+            Type::Proto(name, args) => {
+                let decl = self
+                    .decls
+                    .protocol(*name)
+                    .ok_or(KindError::UnboundProtocol(*name))?;
+                if decl.params.len() != args.len() {
+                    return Err(KindError::ArityMismatch {
+                        name: *name,
+                        expected: decl.params.len(),
+                        found: args.len(),
+                    });
+                }
+                for a in args {
+                    self.check(a, Kind::Protocol)?;
+                }
+                Ok(Kind::Protocol)
+            }
+            // T-MsgNeg
+            Type::Neg(t) => {
+                self.check(t, Kind::Protocol)?;
+                Ok(Kind::Protocol)
+            }
+            // Datatypes (extension): kind T, arguments of kind T.
+            Type::Data(name, args) => {
+                let decl = self
+                    .decls
+                    .data(*name)
+                    .ok_or(KindError::UnboundData(*name))?;
+                if decl.params.len() != args.len() {
+                    return Err(KindError::ArityMismatch {
+                        name: *name,
+                        expected: decl.params.len(),
+                        found: args.len(),
+                    });
+                }
+                for a in args {
+                    self.check(a, Kind::Value)?;
+                }
+                Ok(Kind::Value)
+            }
+        }
+    }
+
+    /// `Δ ⊢ T ⇐ κ`: checks `T` against an expected kind (rule T-Sub).
+    pub fn check(&mut self, ty: &Type, expected: Kind) -> Result<(), KindError> {
+        let found = self.synth(ty)?;
+        if found.is_subkind_of(expected) {
+            Ok(())
+        } else {
+            Err(KindError::NotSubkind {
+                ty: ty.clone(),
+                found,
+                expected,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Ctor, ProtocolDecl};
+
+    fn decls_with_stream() -> Declarations {
+        let mut d = Declarations::new();
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("StreamK"),
+            params: vec![Symbol::intern("a")],
+            ctors: vec![Ctor::new(
+                "NextK",
+                vec![Type::var("a"), Type::proto("StreamK", vec![Type::var("a")])],
+            )],
+        })
+        .unwrap();
+        d.validate().unwrap();
+        d
+    }
+
+    #[test]
+    fn unit_has_kind_value() {
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        assert_eq!(ctx.synth(&Type::Unit).unwrap(), Kind::Value);
+        // and checks against P by subsumption
+        ctx.check(&Type::Unit, Kind::Protocol).unwrap();
+        assert!(ctx.check(&Type::Unit, Kind::Session).is_err());
+    }
+
+    #[test]
+    fn session_types_synthesize_session() {
+        let d = decls_with_stream();
+        let mut ctx = KindCtx::new(&d);
+        let t = Type::output(
+            Type::proto("StreamK", vec![Type::int()]),
+            Type::EndOut,
+        );
+        assert_eq!(ctx.synth(&t).unwrap(), Kind::Session);
+    }
+
+    #[test]
+    fn message_payload_must_be_protocol_kinded() {
+        // Everything lifts into P, so even a function type is fine as a
+        // payload; but a payload with an unbound protocol is not.
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        let ok = Type::output(Type::arrow(Type::int(), Type::int()), Type::EndIn);
+        assert_eq!(ctx.synth(&ok).unwrap(), Kind::Session);
+        let bad = Type::output(Type::proto("Nope", vec![]), Type::EndIn);
+        assert!(matches!(
+            ctx.synth(&bad),
+            Err(KindError::UnboundProtocol(_))
+        ));
+    }
+
+    #[test]
+    fn continuation_must_be_session() {
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        let bad = Type::output(Type::int(), Type::int());
+        assert!(matches!(ctx.synth(&bad), Err(KindError::NotSubkind { .. })));
+    }
+
+    #[test]
+    fn neg_requires_protocol_kind_argument() {
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        // -Int is fine (Int lifts to P); kind is P.
+        assert_eq!(ctx.synth(&Type::neg(Type::int())).unwrap(), Kind::Protocol);
+        // But -T cannot be used where a session is expected.
+        assert!(ctx.check(&Type::neg(Type::int()), Kind::Session).is_err());
+    }
+
+    #[test]
+    fn dual_requires_session() {
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        assert!(ctx.synth(&Type::dual(Type::int())).is_err());
+        assert_eq!(ctx.synth(&Type::dual(Type::EndIn)).unwrap(), Kind::Session);
+    }
+
+    #[test]
+    fn protocol_arity_checked() {
+        let d = decls_with_stream();
+        let mut ctx = KindCtx::new(&d);
+        let bad = Type::proto("StreamK", vec![]);
+        assert!(matches!(
+            ctx.synth(&bad),
+            Err(KindError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forall_scopes_variables() {
+        let d = Declarations::new();
+        let mut ctx = KindCtx::new(&d);
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::arrow(Type::var("s"), Type::var("s")),
+        );
+        assert_eq!(ctx.synth(&t).unwrap(), Kind::Value);
+        // Variable escapes its scope:
+        assert!(ctx.synth(&Type::var("s")).is_err());
+    }
+
+    #[test]
+    fn paper_example_stack_formation() {
+        // Example 1 (supplement C): protocol Stack a = Pop -a | Push a (Stack a) (Stack a)
+        let mut d = Declarations::new();
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("StackK"),
+            params: vec![Symbol::intern("a")],
+            ctors: vec![
+                Ctor::new("PopK", vec![Type::neg(Type::var("a"))]),
+                Ctor::new(
+                    "PushK",
+                    vec![
+                        Type::var("a"),
+                        Type::proto("StackK", vec![Type::var("a")]),
+                        Type::proto("StackK", vec![Type::var("a")]),
+                    ],
+                ),
+            ],
+        })
+        .unwrap();
+        d.validate().unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! # algst-core
+//!
+//! Core type structure of **AlgST** — the calculus of *Parameterized
+//! Algebraic Protocols* (Mordido, Spaderna, Thiemann, Vasconcelos,
+//! PLDI 2023).
+//!
+//! This crate implements the paper's Section 3 and the expression grammar
+//! of Section 4:
+//!
+//! * [`kind`] — the kinds `S < T < P` and subkinding.
+//! * [`types`] — the type grammar (functional, session, and protocol
+//!   types).
+//! * [`protocol`] — algebraic protocol (`protocol ρ ᾱ = …`) and datatype
+//!   declarations with globally unique tags.
+//! * [`kindcheck`] — algorithmic type formation (Fig. 1).
+//! * [`normalize`] — the normalization functions `nrm⁺`/`nrm⁻`,
+//!   materialization `§(T).S` and the directional operators `±(T)`
+//!   (Fig. 3).
+//! * [`equiv`] — **linear-time** type equivalence as α-comparison of normal
+//!   forms (Theorems 1–3).
+//! * [`conversion`] — the declarative conversion relation (Fig. 2) as a
+//!   rewrite system, used for testing and benchmark-instance generation.
+//! * [`expr`] — core expressions, constants and processes (Section 4).
+//! * [`subst`], [`symbol`] — supporting infrastructure.
+//!
+//! ## Example
+//!
+//! ```
+//! use algst_core::{equiv::equivalent, types::Type};
+//!
+//! // Dual (?(-Int).End?)  ≡  !(-Int).Dual End?  ≡  ?Int.End!
+//! let t = Type::dual(Type::input(Type::neg(Type::int()), Type::EndIn));
+//! let u = Type::input(Type::int(), Type::EndOut);
+//! assert!(equivalent(&t, &u));
+//! ```
+
+pub mod conversion;
+pub mod equiv;
+pub mod expr;
+pub mod kind;
+pub mod kindcheck;
+pub mod normalize;
+pub mod protocol;
+pub mod subst;
+pub mod symbol;
+pub mod types;
+
+pub use equiv::equivalent;
+pub use kind::Kind;
+pub use normalize::{nrm_neg, nrm_pos};
+pub use protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
+pub use symbol::Symbol;
+pub use types::Type;

@@ -1,0 +1,263 @@
+//! Type normalization (paper Fig. 3) and the auxiliary metafunctions:
+//! materialization `§(T).S` and the directional operators `+(T)` / `−(T)`.
+//!
+//! Normalization is defined by two mutually recursive functions:
+//!
+//! * [`nrm_pos`] (`nrm⁺`) traverses and reconstructs non-session constructs,
+//!   pushes `Dual` down the spine of session types, and removes the reverse
+//!   operator from message positions.
+//! * [`nrm_neg`] (`nrm⁻`) carries a *pending* `Dual` along a session spine,
+//!   reifying it only on type variables.
+//!
+//! In a normal form (paper Lemma 3), `-` occurs at most once at the top of a
+//! protocol-kinded type or protocol argument, and `Dual` only applies to
+//! variables at the end of a spine:
+//!
+//! ```text
+//! Q ::= R | -R
+//! R ::= Unit | R -> R | R ⊗ R | ∀α:κ.R | α | ?R.R | !R.R
+//!     | End? | End! | Dual α | ρ Q̄
+//! ```
+//!
+//! Equivalence is then α-comparison of normal forms ([`crate::equiv`]),
+//! which runs in time linear in the sizes of the types (Theorem 3).
+
+use crate::types::Type;
+use std::sync::Arc;
+
+/// The directional operator `−(T)` from Fig. 3:
+/// `−(−T) = +(T)` and `−(T) = −T` when `T` is not a negation.
+pub fn dir_neg(t: Type) -> Type {
+    match t {
+        Type::Neg(inner) => dir_pos(unwrap_arc(inner)),
+        t => Type::Neg(Arc::new(t)),
+    }
+}
+
+/// The directional operator `+(T)` from Fig. 3:
+/// `+(−T) = −(T)` and `+(T) = T` when `T` is not a negation.
+pub fn dir_pos(t: Type) -> Type {
+    match t {
+        Type::Neg(inner) => dir_neg(unwrap_arc(inner)),
+        t => t,
+    }
+}
+
+/// Materialization `§(T).S` from Fig. 3: fixes the direction of a single
+/// transmission according to the (normalized) payload's polarity.
+///
+/// `§(−T).U = ?T.U` and `§(T).U = !T.U` otherwise.
+pub fn materialize(payload: Type, cont: Type) -> Type {
+    match payload {
+        Type::Neg(inner) => Type::In(inner, Arc::new(cont)),
+        t => Type::Out(Arc::new(t), Arc::new(cont)),
+    }
+}
+
+/// Materialization lifted to sequences of payloads (used by the types of
+/// `select` and `match`, Fig. 4 / rule E-Match):
+/// `§(ε).S = S` and `§(T T̄).S = §(T).§(T̄).S`.
+pub fn materialize_seq(payloads: Vec<Type>, cont: Type) -> Type {
+    payloads
+        .into_iter()
+        .rev()
+        .fold(cont, |acc, p| materialize(p, acc))
+}
+
+/// `−(T̄)`: maps [`dir_neg`] over a sequence.
+pub fn dir_neg_seq(ts: Vec<Type>) -> Vec<Type> {
+    ts.into_iter().map(dir_neg).collect()
+}
+
+/// `+(T̄)`: maps [`dir_pos`] over a sequence.
+pub fn dir_pos_seq(ts: Vec<Type>) -> Vec<Type> {
+    ts.into_iter().map(dir_pos).collect()
+}
+
+fn unwrap_arc(t: Arc<Type>) -> Type {
+    Arc::try_unwrap(t).unwrap_or_else(|rc| (*rc).clone())
+}
+
+/// Positive normalization `nrm⁺(T)` (Fig. 3).
+///
+/// ```
+/// use algst_core::{types::Type, normalize::nrm_pos};
+/// // nrm⁺(Dual (?(-Int).α)) = ?Int.Dual α   (the paper's worked example)
+/// let t = Type::dual(Type::input(Type::neg(Type::int()), Type::var("a")));
+/// let n = nrm_pos(&t);
+/// assert_eq!(n.to_string(), "?Int.Dual a");
+/// ```
+pub fn nrm_pos(t: &Type) -> Type {
+    match t {
+        Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => t.clone(),
+        Type::Arrow(a, b) => Type::Arrow(Arc::new(nrm_pos(a)), Arc::new(nrm_pos(b))),
+        Type::Pair(a, b) => Type::Pair(Arc::new(nrm_pos(a)), Arc::new(nrm_pos(b))),
+        Type::Forall(v, k, body) => Type::Forall(*v, *k, Arc::new(nrm_pos(body))),
+        // nrm⁺(?T.S) = §(−(nrm⁺ T)).nrm⁺ S
+        Type::In(p, s) => materialize(dir_neg(nrm_pos(p)), nrm_pos(s)),
+        // nrm⁺(!T.S) = §(+(nrm⁺ T)).nrm⁺ S
+        Type::Out(p, s) => materialize(dir_pos(nrm_pos(p)), nrm_pos(s)),
+        Type::Dual(s) => nrm_neg(s),
+        Type::Proto(name, args) => Type::Proto(*name, args.iter().map(nrm_pos).collect()),
+        Type::Data(name, args) => Type::Data(*name, args.iter().map(nrm_pos).collect()),
+        // nrm⁺(−T) = −(nrm⁺ T)
+        Type::Neg(inner) => dir_neg(nrm_pos(inner)),
+    }
+}
+
+/// Negative normalization `nrm⁻(T)` (Fig. 3): normalization under a pending
+/// `Dual`. Only meaningful for session types; for robustness, non-session
+/// constructors fall back to reifying the dual on the positive normal form
+/// (such types are ill-kinded and rejected by kind checking anyway).
+pub fn nrm_neg(t: &Type) -> Type {
+    match t {
+        Type::Dual(s) => nrm_pos(s),
+        Type::Var(v) => Type::Dual(Arc::new(Type::Var(*v))),
+        // nrm⁻(?T.S) = §(+(nrm⁺ T)).nrm⁻ S
+        Type::In(p, s) => materialize(dir_pos(nrm_pos(p)), nrm_neg(s)),
+        // nrm⁻(!T.S) = §(−(nrm⁺ T)).nrm⁻ S
+        Type::Out(p, s) => materialize(dir_neg(nrm_pos(p)), nrm_neg(s)),
+        Type::EndIn => Type::EndOut,
+        Type::EndOut => Type::EndIn,
+        other => Type::Dual(Arc::new(nrm_pos(other))),
+    }
+}
+
+/// True if `t` satisfies the normal-form grammar `Q` of Lemma 3.
+pub fn is_normal(t: &Type) -> bool {
+    match t {
+        Type::Neg(inner) => is_normal_r(inner),
+        _ => is_normal_r(t),
+    }
+}
+
+fn is_normal_r(t: &Type) -> bool {
+    match t {
+        Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => true,
+        Type::Arrow(a, b) | Type::Pair(a, b) => is_normal_r(a) && is_normal_r(b),
+        Type::Forall(_, _, body) => is_normal_r(body),
+        // In a message in normal form, the payload is an `R` (the negation,
+        // if any, was materialized into the direction of the constructor).
+        Type::In(p, s) | Type::Out(p, s) => is_normal_r(p) && is_normal_r(s),
+        Type::Dual(inner) => matches!(**inner, Type::Var(_)),
+        Type::Proto(_, args) => args.iter().all(is_normal),
+        Type::Data(_, args) => args.iter().all(is_normal_r),
+        Type::Neg(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directional_operators() {
+        let int = Type::int();
+        // −(Int) = −Int, −(−Int) = Int, +(−Int) = −Int, +(Int) = Int
+        assert_eq!(dir_neg(int.clone()), Type::neg(int.clone()));
+        assert_eq!(dir_neg(Type::neg(int.clone())), int);
+        assert_eq!(dir_pos(Type::neg(int.clone())), Type::neg(int.clone()));
+        assert_eq!(dir_pos(int.clone()), int);
+        // Triple negation collapses: −(−(−T)) = −(T)
+        let t3 = Type::neg(Type::neg(Type::neg(int.clone())));
+        assert_eq!(nrm_pos(&t3), Type::neg(int));
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // nrm⁺(Dual (?(−Int).α)) = ?Int.Dual α
+        let t = Type::dual(Type::input(Type::neg(Type::int()), Type::var("a")));
+        assert_eq!(nrm_pos(&t).to_string(), "?Int.Dual a");
+    }
+
+    #[test]
+    fn dual_pushes_down_spine() {
+        // Dual(!Int.?Bool.End!) = ?Int.!Bool.End?
+        let t = Type::dual(Type::output(
+            Type::int(),
+            Type::input(Type::bool(), Type::EndOut),
+        ));
+        assert_eq!(nrm_pos(&t).to_string(), "?Int.!Bool.End?");
+    }
+
+    #[test]
+    fn dual_is_involutory() {
+        let s = Type::output(Type::int(), Type::input(Type::bool(), Type::var("s")));
+        let dd = Type::dual(Type::dual(s.clone()));
+        assert!(nrm_pos(&dd).alpha_eq(&nrm_pos(&s)));
+    }
+
+    #[test]
+    fn neg_in_flips_direction() {
+        // ?(−T).S ≡ !T.S  (C-NegIn)
+        let t = Type::input(Type::neg(Type::int()), Type::EndOut);
+        assert_eq!(nrm_pos(&t).to_string(), "!Int.End?".replace("End?", "End!"));
+        assert_eq!(nrm_pos(&t), Type::output(Type::int(), Type::EndOut));
+    }
+
+    #[test]
+    fn neg_out_flips_direction() {
+        // !(−T).S ≡ ?T.S  (C-NegOut)
+        let t = Type::output(Type::neg(Type::int()), Type::EndIn);
+        assert_eq!(nrm_pos(&t), Type::input(Type::int(), Type::EndIn));
+    }
+
+    #[test]
+    fn normal_form_in_message_uses_direction() {
+        // Normal forms keep payloads positive; direction encodes polarity.
+        let t = Type::input(Type::int(), Type::var("s"));
+        let n = nrm_pos(&t);
+        assert_eq!(n, t);
+        assert!(is_normal(&n));
+    }
+
+    #[test]
+    fn nrm_neg_on_ends() {
+        assert_eq!(nrm_neg(&Type::EndIn), Type::EndOut);
+        assert_eq!(nrm_neg(&Type::EndOut), Type::EndIn);
+    }
+
+    #[test]
+    fn proto_args_normalize_negations() {
+        // Stream −(−Int) normalizes to Stream Int.
+        let t = Type::proto("Stream", vec![Type::neg(Type::neg(Type::int()))]);
+        assert_eq!(nrm_pos(&t).to_string(), "Stream Int");
+        // Stream −Int stays (a single top-level negation is a normal form).
+        let t = Type::proto("Stream", vec![Type::neg(Type::int())]);
+        assert!(is_normal(&nrm_pos(&t)));
+        assert_eq!(nrm_pos(&t).to_string(), "Stream (-Int)");
+    }
+
+    #[test]
+    fn materialize_seq_orders_left_to_right() {
+        // §(T U).S = §(T).§(U).S — first payload is the outermost message.
+        let r = materialize_seq(vec![Type::int(), Type::neg(Type::bool())], Type::EndOut);
+        assert_eq!(r.to_string(), "!Int.?Bool.End!");
+    }
+
+    #[test]
+    fn nrm_is_idempotent_on_samples() {
+        let samples = vec![
+            Type::dual(Type::input(Type::neg(Type::int()), Type::var("a"))),
+            Type::dual(Type::dual(Type::output(Type::int(), Type::EndIn))),
+            Type::proto(
+                "P",
+                vec![Type::neg(Type::neg(Type::neg(Type::proto("Q", vec![]))))],
+            ),
+            Type::forall(
+                "s",
+                crate::kind::Kind::Session,
+                Type::arrow(
+                    Type::dual(Type::output(Type::int(), Type::var("s"))),
+                    Type::var("s"),
+                ),
+            ),
+        ];
+        for t in samples {
+            let once = nrm_pos(&t);
+            let twice = nrm_pos(&once);
+            assert!(once.alpha_eq(&twice), "not idempotent on {t}");
+            assert!(is_normal(&once), "not normal: {once}");
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Protocol and datatype declarations and the global declaration
+//! environment.
+//!
+//! An algebraic protocol declaration (paper Section 3)
+//!
+//! ```text
+//! protocol ρ ᾱ = { Cᵢ T̄ᵢ }ᵢ∈I
+//! ```
+//!
+//! introduces the protocol type constructor `ρ` of kind `P̄ → P` together
+//! with globally unique selector tags `Cᵢ`, each guarding a *sequence* of
+//! subprotocols `T̄ᵢ` to be processed in order. A `data` declaration has the
+//! same shape but lives in kind `T` and classifies run-time values.
+
+use crate::kind::Kind;
+use crate::symbol::Symbol;
+use crate::types::Type;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One alternative of a protocol or datatype declaration: a tag and its
+/// argument types.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ctor {
+    pub tag: Symbol,
+    pub args: Vec<Type>,
+}
+
+impl Ctor {
+    pub fn new(tag: impl Into<Symbol>, args: Vec<Type>) -> Ctor {
+        Ctor {
+            tag: tag.into(),
+            args,
+        }
+    }
+}
+
+/// `protocol ρ ᾱ = C₁ T̄₁ | … | Cₙ T̄ₙ`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolDecl {
+    pub name: Symbol,
+    pub params: Vec<Symbol>,
+    pub ctors: Vec<Ctor>,
+}
+
+/// `data D ᾱ = C₁ T̄₁ | … | Cₙ T̄ₙ` (implementation extension; paper
+/// Section 3 uses datatypes in examples without formalizing them).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DataDecl {
+    pub name: Symbol,
+    pub params: Vec<Symbol>,
+    pub ctors: Vec<Ctor>,
+}
+
+/// Where a constructor tag was declared.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TagOwner {
+    Protocol(Symbol),
+    Data(Symbol),
+}
+
+/// Resolved information about a constructor tag.
+#[derive(Clone, Debug)]
+pub struct TagInfo {
+    pub owner: TagOwner,
+    /// Index of this constructor within its declaration.
+    pub index: usize,
+}
+
+/// Errors raised while building or validating a [`Declarations`]
+/// environment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeclError {
+    DuplicateTypeName(Symbol),
+    DuplicateTag { tag: Symbol, first: TagOwner },
+    DuplicateParam { decl: Symbol, param: Symbol },
+    /// A constructor argument failed kind checking.
+    IllKindedArg { decl: Symbol, tag: Symbol, arg: Type, reason: String },
+}
+
+impl fmt::Display for DeclError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeclError::DuplicateTypeName(n) => write!(f, "duplicate type name {n}"),
+            DeclError::DuplicateTag { tag, .. } => {
+                write!(f, "constructor tag {tag} declared more than once (tags are globally unique)")
+            }
+            DeclError::DuplicateParam { decl, param } => {
+                write!(f, "duplicate parameter {param} in declaration of {decl}")
+            }
+            DeclError::IllKindedArg { decl, tag, arg, reason } => write!(
+                f,
+                "ill-kinded argument {arg} of constructor {tag} in {decl}: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeclError {}
+
+/// The global set of protocol and datatype declarations, with a resolved
+/// tag table. This is the "implicit set of protocol declarations" that
+/// parameterizes the typing rules (paper Section 4).
+#[derive(Clone, Debug, Default)]
+pub struct Declarations {
+    protocols: HashMap<Symbol, ProtocolDecl>,
+    datas: HashMap<Symbol, DataDecl>,
+    tags: HashMap<Symbol, TagInfo>,
+    /// Declaration order, for deterministic iteration.
+    order: Vec<Symbol>,
+}
+
+impl Declarations {
+    pub fn new() -> Declarations {
+        Declarations::default()
+    }
+
+    /// Registers a protocol declaration. Constructor arguments are *not*
+    /// kind-checked here — call [`Declarations::validate`] once all mutually
+    /// recursive declarations are present (paper footnote 6).
+    pub fn add_protocol(&mut self, decl: ProtocolDecl) -> Result<(), DeclError> {
+        self.check_name_free(decl.name)?;
+        self.check_params(decl.name, &decl.params)?;
+        for (ix, c) in decl.ctors.iter().enumerate() {
+            self.claim_tag(c.tag, TagOwner::Protocol(decl.name), ix)?;
+        }
+        self.order.push(decl.name);
+        self.protocols.insert(decl.name, decl);
+        Ok(())
+    }
+
+    /// Registers a datatype declaration.
+    pub fn add_data(&mut self, decl: DataDecl) -> Result<(), DeclError> {
+        self.check_name_free(decl.name)?;
+        self.check_params(decl.name, &decl.params)?;
+        for (ix, c) in decl.ctors.iter().enumerate() {
+            self.claim_tag(c.tag, TagOwner::Data(decl.name), ix)?;
+        }
+        self.order.push(decl.name);
+        self.datas.insert(decl.name, decl);
+        Ok(())
+    }
+
+    fn check_name_free(&self, name: Symbol) -> Result<(), DeclError> {
+        if self.protocols.contains_key(&name) || self.datas.contains_key(&name) {
+            Err(DeclError::DuplicateTypeName(name))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_params(&self, decl: Symbol, params: &[Symbol]) -> Result<(), DeclError> {
+        for (i, p) in params.iter().enumerate() {
+            if params[..i].contains(p) {
+                return Err(DeclError::DuplicateParam { decl, param: *p });
+            }
+        }
+        Ok(())
+    }
+
+    fn claim_tag(&mut self, tag: Symbol, owner: TagOwner, index: usize) -> Result<(), DeclError> {
+        if let Some(prev) = self.tags.get(&tag) {
+            return Err(DeclError::DuplicateTag {
+                tag,
+                first: prev.owner,
+            });
+        }
+        self.tags.insert(tag, TagInfo { owner, index });
+        Ok(())
+    }
+
+    pub fn protocol(&self, name: Symbol) -> Option<&ProtocolDecl> {
+        self.protocols.get(&name)
+    }
+
+    pub fn data(&self, name: Symbol) -> Option<&DataDecl> {
+        self.datas.get(&name)
+    }
+
+    pub fn tag(&self, tag: Symbol) -> Option<&TagInfo> {
+        self.tags.get(&tag)
+    }
+
+    /// The protocol that declares `tag`, if any.
+    pub fn protocol_of_tag(&self, tag: Symbol) -> Option<(&ProtocolDecl, usize)> {
+        match self.tags.get(&tag) {
+            Some(TagInfo {
+                owner: TagOwner::Protocol(p),
+                index,
+            }) => Some((&self.protocols[p], *index)),
+            _ => None,
+        }
+    }
+
+    /// The datatype that declares `tag`, if any.
+    pub fn data_of_tag(&self, tag: Symbol) -> Option<(&DataDecl, usize)> {
+        match self.tags.get(&tag) {
+            Some(TagInfo {
+                owner: TagOwner::Data(d),
+                index,
+            }) => Some((&self.datas[d], *index)),
+            _ => None,
+        }
+    }
+
+    pub fn protocols(&self) -> impl Iterator<Item = &ProtocolDecl> {
+        self.order.iter().filter_map(|n| self.protocols.get(n))
+    }
+
+    pub fn datas(&self) -> impl Iterator<Item = &DataDecl> {
+        self.order.iter().filter_map(|n| self.datas.get(n))
+    }
+
+    /// Kind-checks every constructor argument of every declaration,
+    /// implementing the protocol formation rule of Section 3:
+    ///
+    /// ```text
+    /// protocol ρ ᾱ = {Cᵢ T̄ᵢ}   Δ, ρ̄:P̄→P, ᾱ:P ⊢ Tᵢⱼ ⇐ P
+    /// ───────────────────────────────────────────────────
+    ///              Δ ⊢ ρ ⇒ P̄ → P
+    /// ```
+    ///
+    /// All (mutually recursive) declarations are in scope while each is
+    /// checked. Datatype constructor arguments are checked against kind `T`.
+    pub fn validate(&self) -> Result<(), DeclError> {
+        use crate::kindcheck::KindCtx;
+        for p in self.protocols.values() {
+            let mut ctx = KindCtx::new(self);
+            for a in &p.params {
+                ctx.push_var(*a, Kind::Protocol);
+            }
+            for c in &p.ctors {
+                for arg in &c.args {
+                    ctx.check(arg, Kind::Protocol).map_err(|e| DeclError::IllKindedArg {
+                        decl: p.name,
+                        tag: c.tag,
+                        arg: arg.clone(),
+                        reason: e.to_string(),
+                    })?;
+                }
+            }
+        }
+        for d in self.datas.values() {
+            let mut ctx = KindCtx::new(self);
+            for a in &d.params {
+                ctx.push_var(*a, Kind::Value);
+            }
+            for c in &d.ctors {
+                for arg in &c.args {
+                    ctx.check(arg, Kind::Value).map_err(|e| DeclError::IllKindedArg {
+                        decl: d.name,
+                        tag: c.tag,
+                        arg: arg.clone(),
+                        reason: e.to_string(),
+                    })?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_decl() -> ProtocolDecl {
+        // protocol Stream a = Next a (Stream a)
+        ProtocolDecl {
+            name: Symbol::intern("Stream"),
+            params: vec![Symbol::intern("a")],
+            ctors: vec![Ctor::new(
+                "Next",
+                vec![
+                    Type::var("a"),
+                    Type::proto("Stream", vec![Type::var("a")]),
+                ],
+            )],
+        }
+    }
+
+    #[test]
+    fn registers_and_resolves_tags() {
+        let mut decls = Declarations::new();
+        decls.add_protocol(stream_decl()).unwrap();
+        decls.validate().unwrap();
+        let (p, ix) = decls.protocol_of_tag(Symbol::intern("Next")).unwrap();
+        assert_eq!(p.name, Symbol::intern("Stream"));
+        assert_eq!(ix, 0);
+    }
+
+    #[test]
+    fn rejects_duplicate_tags() {
+        let mut decls = Declarations::new();
+        decls.add_protocol(stream_decl()).unwrap();
+        let clash = ProtocolDecl {
+            name: Symbol::intern("Other"),
+            params: vec![],
+            ctors: vec![Ctor::new("Next", vec![])],
+        };
+        assert!(matches!(
+            decls.add_protocol(clash),
+            Err(DeclError::DuplicateTag { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut decls = Declarations::new();
+        decls.add_protocol(stream_decl()).unwrap();
+        let mut again = stream_decl();
+        again.ctors = vec![Ctor::new("Next2", vec![])];
+        assert!(matches!(
+            decls.add_protocol(again),
+            Err(DeclError::DuplicateTypeName(_))
+        ));
+    }
+
+    #[test]
+    fn validates_mutual_recursion() {
+        // protocol Flip = FlipC -Int Flop ; protocol Flop = FlopC Int Flip
+        let mut decls = Declarations::new();
+        decls
+            .add_protocol(ProtocolDecl {
+                name: Symbol::intern("Flip"),
+                params: vec![],
+                ctors: vec![Ctor::new(
+                    "FlipC",
+                    vec![Type::neg(Type::int()), Type::proto("Flop", vec![])],
+                )],
+            })
+            .unwrap();
+        decls
+            .add_protocol(ProtocolDecl {
+                name: Symbol::intern("Flop"),
+                params: vec![],
+                ctors: vec![Ctor::new(
+                    "FlopC",
+                    vec![Type::int(), Type::proto("Flip", vec![])],
+                )],
+            })
+            .unwrap();
+        decls.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_unbound_protocol_reference() {
+        let mut decls = Declarations::new();
+        decls
+            .add_protocol(ProtocolDecl {
+                name: Symbol::intern("Dangling"),
+                params: vec![],
+                ctors: vec![Ctor::new("DangC", vec![Type::proto("Nowhere", vec![])])],
+            })
+            .unwrap();
+        assert!(matches!(
+            decls.validate(),
+            Err(DeclError::IllKindedArg { .. })
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Interned identifiers.
+//!
+//! All names in the system — type variables, protocol names, constructor
+//! tags, term variables — are interned [`Symbol`]s, so comparison and
+//! hashing are O(1). The interner is global and leaks its strings, which is
+//! the standard trade-off for compiler-style workloads.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string. Cheap to copy, compare and hash.
+///
+/// ```
+/// use algst_core::symbol::Symbol;
+/// let a = Symbol::intern("Cons");
+/// let b = Symbol::intern("Cons");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "Cons");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    map: HashMap<&'static str, u32>,
+    fresh: u32,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            map: HashMap::new(),
+            fresh: 0,
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning the canonical symbol for it.
+    pub fn intern(name: &str) -> Symbol {
+        let mut i = interner().lock().expect("interner poisoned");
+        if let Some(&id) = i.map.get(name) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = i.names.len() as u32;
+        i.names.push(leaked);
+        i.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns a fresh symbol guaranteed to be distinct from every symbol
+    /// interned so far. Used for capture-avoiding substitution.
+    ///
+    /// The name is derived from `base` for readability in error messages.
+    pub fn fresh(base: &str) -> Symbol {
+        let n = {
+            let mut i = interner().lock().expect("interner poisoned");
+            i.fresh += 1;
+            i.fresh
+        };
+        // '%' cannot appear in source identifiers, so no collision with
+        // user-written names is possible.
+        Symbol::intern(&format!("{base}%{n}"))
+    }
+
+    /// The string this symbol stands for.
+    pub fn as_str(&self) -> &'static str {
+        let i = interner().lock().expect("interner poisoned");
+        i.names[self.0 as usize]
+    }
+
+    /// Strips the freshness suffix, if any, for user-facing display.
+    pub fn base_name(&self) -> &'static str {
+        let s = self.as_str();
+        match s.find('%') {
+            Some(ix) => &s[..ix],
+            None => s,
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        assert_eq!(Symbol::intern("x"), Symbol::intern("x"));
+        assert_ne!(Symbol::intern("x"), Symbol::intern("y"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_distinct() {
+        let a = Symbol::fresh("x");
+        let b = Symbol::fresh("x");
+        assert_ne!(a, b);
+        assert_eq!(a.base_name(), "x");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let s = Symbol::intern("Stream");
+        assert_eq!(s.to_string(), "Stream");
+        assert_eq!(format!("{s:?}"), "`Stream`");
+    }
+}

@@ -1,0 +1,405 @@
+//! The AlgST type language (paper Section 3, Fig. 1 grammar).
+//!
+//! ```text
+//! S,T,U ::= Unit | T -> U | T ⊗ U | ∀α:κ.T | α          functional types
+//!         | ?T.S | !T.S | End? | End! | Dual S           session types
+//!         | ρ T̄ | -T                                     protocol types
+//! ```
+//!
+//! As in the paper's artifact (Section 5), the implementation extends the
+//! formal grammar with base types (`Int`, `Bool`, `Char`, `String`) and
+//! nominal datatypes `D T̄` declared with `data`.
+
+use crate::kind::Kind;
+use crate::symbol::Symbol;
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Built-in base types (implementation extension; the formal system has
+/// only `Unit`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum BaseType {
+    Int,
+    Bool,
+    Char,
+    Str,
+}
+
+impl BaseType {
+    pub fn name(self) -> &'static str {
+        match self {
+            BaseType::Int => "Int",
+            BaseType::Bool => "Bool",
+            BaseType::Char => "Char",
+            BaseType::Str => "String",
+        }
+    }
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An AlgST type.
+///
+/// Types are immutable trees with shared subterms ([`Arc`]), so cloning is
+/// cheap. Construct them with the helper constructors ([`Type::arrow`],
+/// [`Type::input`], …) which take care of the boxing.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// `Unit`
+    Unit,
+    /// `Int`, `Bool`, `Char`, `String` (extension).
+    Base(BaseType),
+    /// `T -> U` (linear function).
+    Arrow(Arc<Type>, Arc<Type>),
+    /// `T ⊗ U` (linear pair).
+    Pair(Arc<Type>, Arc<Type>),
+    /// `∀α:κ. T`
+    Forall(Symbol, Kind, Arc<Type>),
+    /// Type variable `α`.
+    Var(Symbol),
+    /// `?T.S` — receive a `T`, continue as `S`.
+    In(Arc<Type>, Arc<Type>),
+    /// `!T.S` — send a `T`, continue as `S`.
+    Out(Arc<Type>, Arc<Type>),
+    /// `End?` — passive termination (wait).
+    EndIn,
+    /// `End!` — active termination (terminate).
+    EndOut,
+    /// `Dual S` — swaps the direction of the spine of `S` (outside-in).
+    Dual(Arc<Type>),
+    /// `ρ T̄` — a declared protocol applied to protocol arguments.
+    Proto(Symbol, Vec<Type>),
+    /// `-T` — reverses the direction of the protocol `T` (inside-out).
+    Neg(Arc<Type>),
+    /// `D T̄` — a declared datatype applied to type arguments (extension).
+    Data(Symbol, Vec<Type>),
+}
+
+impl Type {
+    pub fn arrow(dom: Type, cod: Type) -> Type {
+        Type::Arrow(Arc::new(dom), Arc::new(cod))
+    }
+    pub fn pair(a: Type, b: Type) -> Type {
+        Type::Pair(Arc::new(a), Arc::new(b))
+    }
+    pub fn forall(var: impl Into<Symbol>, kind: Kind, body: Type) -> Type {
+        Type::Forall(var.into(), kind, Arc::new(body))
+    }
+    pub fn var(name: impl Into<Symbol>) -> Type {
+        Type::Var(name.into())
+    }
+    /// `?T.S`
+    pub fn input(payload: Type, cont: Type) -> Type {
+        Type::In(Arc::new(payload), Arc::new(cont))
+    }
+    /// `!T.S`
+    pub fn output(payload: Type, cont: Type) -> Type {
+        Type::Out(Arc::new(payload), Arc::new(cont))
+    }
+    pub fn dual(s: Type) -> Type {
+        Type::Dual(Arc::new(s))
+    }
+    pub fn proto(name: impl Into<Symbol>, args: Vec<Type>) -> Type {
+        Type::Proto(name.into(), args)
+    }
+    /// `-T`. Note: this is the *syntactic* constructor; the smart
+    /// direction operator that collapses double negation lives in
+    /// [`crate::normalize::dir_neg`].
+    pub fn neg(t: Type) -> Type {
+        Type::Neg(Arc::new(t))
+    }
+    pub fn data(name: impl Into<Symbol>, args: Vec<Type>) -> Type {
+        Type::Data(name.into(), args)
+    }
+    pub fn int() -> Type {
+        Type::Base(BaseType::Int)
+    }
+    pub fn bool() -> Type {
+        Type::Base(BaseType::Bool)
+    }
+    pub fn char() -> Type {
+        Type::Base(BaseType::Char)
+    }
+    pub fn string() -> Type {
+        Type::Base(BaseType::Str)
+    }
+
+    /// Number of AST nodes. This is the size measure used on the x-axis of
+    /// the paper's Figure 10 ("Number of AlgST nodes").
+    pub fn node_count(&self) -> usize {
+        match self {
+            Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => 1,
+            Type::Arrow(a, b) | Type::Pair(a, b) | Type::In(a, b) | Type::Out(a, b) => {
+                1 + a.node_count() + b.node_count()
+            }
+            Type::Forall(_, _, t) | Type::Dual(t) | Type::Neg(t) => 1 + t.node_count(),
+            Type::Proto(_, args) | Type::Data(_, args) => {
+                1 + args.iter().map(Type::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Free type variables.
+    pub fn free_vars(&self) -> HashSet<Symbol> {
+        let mut acc = HashSet::new();
+        self.collect_free_vars(&mut Vec::new(), &mut acc);
+        acc
+    }
+
+    fn collect_free_vars(&self, bound: &mut Vec<Symbol>, acc: &mut HashSet<Symbol>) {
+        match self {
+            Type::Unit | Type::Base(_) | Type::EndIn | Type::EndOut => {}
+            Type::Var(v) => {
+                if !bound.contains(v) {
+                    acc.insert(*v);
+                }
+            }
+            Type::Arrow(a, b) | Type::Pair(a, b) | Type::In(a, b) | Type::Out(a, b) => {
+                a.collect_free_vars(bound, acc);
+                b.collect_free_vars(bound, acc);
+            }
+            Type::Forall(v, _, t) => {
+                bound.push(*v);
+                t.collect_free_vars(bound, acc);
+                bound.pop();
+            }
+            Type::Dual(t) | Type::Neg(t) => t.collect_free_vars(bound, acc),
+            Type::Proto(_, args) | Type::Data(_, args) => {
+                for a in args {
+                    a.collect_free_vars(bound, acc);
+                }
+            }
+        }
+    }
+
+    /// Structural α-equivalence (binders compared up to renaming).
+    ///
+    /// Combined with normalization this decides type equivalence
+    /// ([`crate::equiv::equivalent`]): `T ≡_A U  iff  nrm⁺(T) =α nrm⁺(U)`.
+    pub fn alpha_eq(&self, other: &Type) -> bool {
+        fn go(a: &Type, b: &Type, env: &mut Vec<(Symbol, Symbol)>) -> bool {
+            match (a, b) {
+                (Type::Unit, Type::Unit) => true,
+                (Type::Base(x), Type::Base(y)) => x == y,
+                (Type::EndIn, Type::EndIn) | (Type::EndOut, Type::EndOut) => true,
+                (Type::Var(x), Type::Var(y)) => {
+                    // Find the most recent binding of either variable.
+                    for (bx, by) in env.iter().rev() {
+                        if bx == x || by == y {
+                            return bx == x && by == y;
+                        }
+                    }
+                    x == y
+                }
+                (Type::Arrow(a1, a2), Type::Arrow(b1, b2))
+                | (Type::Pair(a1, a2), Type::Pair(b1, b2))
+                | (Type::In(a1, a2), Type::In(b1, b2))
+                | (Type::Out(a1, a2), Type::Out(b1, b2)) => {
+                    go(a1, b1, env) && go(a2, b2, env)
+                }
+                (Type::Forall(x, kx, tx), Type::Forall(y, ky, ty)) => {
+                    if kx != ky {
+                        return false;
+                    }
+                    env.push((*x, *y));
+                    let r = go(tx, ty, env);
+                    env.pop();
+                    r
+                }
+                (Type::Dual(x), Type::Dual(y)) | (Type::Neg(x), Type::Neg(y)) => go(x, y, env),
+                (Type::Proto(nx, ax), Type::Proto(ny, ay))
+                | (Type::Data(nx, ax), Type::Data(ny, ay)) => {
+                    nx == ny
+                        && ax.len() == ay.len()
+                        && ax.iter().zip(ay).all(|(p, q)| go(p, q, env))
+                }
+                _ => false,
+            }
+        }
+        go(self, other, &mut Vec::new())
+    }
+
+    /// True if this type is syntactically a session-type head
+    /// (`?`, `!`, `End?`, `End!`, `Dual`).
+    pub fn is_session_form(&self) -> bool {
+        matches!(
+            self,
+            Type::In(..) | Type::Out(..) | Type::EndIn | Type::EndOut | Type::Dual(_)
+        )
+    }
+}
+
+/// Precedence-aware pretty printing mirroring the paper's concrete syntax.
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_type(self, f, Prec::Top)
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Top,   // forall, arrow
+    Seq,   // !T.S continuations
+    App,   // protocol application arguments
+    Atom,
+}
+
+fn fmt_type(t: &Type, f: &mut fmt::Formatter<'_>, prec: Prec) -> fmt::Result {
+    macro_rules! paren {
+        ($needed:expr, $body:expr) => {{
+            if $needed {
+                write!(f, "(")?;
+                $body;
+                write!(f, ")")
+            } else {
+                $body;
+                Ok(())
+            }
+        }};
+    }
+    match t {
+        Type::Unit => write!(f, "Unit"),
+        Type::Base(b) => write!(f, "{b}"),
+        Type::Var(v) => write!(f, "{v}"),
+        Type::EndIn => write!(f, "End?"),
+        Type::EndOut => write!(f, "End!"),
+        Type::Arrow(a, b) => paren!(prec > Prec::Top, {
+            fmt_type(a, f, Prec::Seq)?;
+            write!(f, " -> ")?;
+            fmt_type(b, f, Prec::Top)?;
+        }),
+        Type::Pair(a, b) => {
+            // Tuples are self-delimiting.
+            write!(f, "(")?;
+            fmt_type(a, f, Prec::Top)?;
+            write!(f, ", ")?;
+            fmt_type(b, f, Prec::Top)?;
+            write!(f, ")")
+        }
+        Type::Forall(v, k, body) => paren!(prec > Prec::Top, {
+            write!(f, "forall ({v}:{k}). ")?;
+            fmt_type(body, f, Prec::Top)?;
+        }),
+        Type::In(p, s) => paren!(prec > Prec::Seq, {
+            write!(f, "?")?;
+            fmt_type(p, f, Prec::Atom)?;
+            write!(f, ".")?;
+            fmt_type(s, f, Prec::Seq)?;
+        }),
+        Type::Out(p, s) => paren!(prec > Prec::Seq, {
+            write!(f, "!")?;
+            fmt_type(p, f, Prec::Atom)?;
+            write!(f, ".")?;
+            fmt_type(s, f, Prec::Seq)?;
+        }),
+        Type::Dual(s) => paren!(prec > Prec::App, {
+            write!(f, "Dual ")?;
+            fmt_type(s, f, Prec::Atom)?;
+        }),
+        Type::Neg(p) => paren!(prec > Prec::App, {
+            write!(f, "-")?;
+            fmt_type(p, f, Prec::Atom)?;
+        }),
+        Type::Proto(name, args) | Type::Data(name, args) => {
+            if args.is_empty() {
+                write!(f, "{name}")
+            } else {
+                paren!(prec > Prec::Seq, {
+                    write!(f, "{name}")?;
+                    for a in args {
+                        write!(f, " ")?;
+                        fmt_type(a, f, Prec::Atom)?;
+                    }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_stream() -> Type {
+        Type::proto("Stream", vec![Type::int()])
+    }
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let t = Type::output(int_stream(), Type::EndOut);
+        assert_eq!(t.to_string(), "!(Stream Int).End!");
+        let t = Type::input(Type::neg(Type::int()), Type::var("s"));
+        assert_eq!(t.to_string(), "?(-Int).s");
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::arrow(Type::input(Type::int(), Type::var("s")), Type::var("s")),
+        );
+        assert_eq!(t.to_string(), "forall (s:S). ?Int.s -> s");
+    }
+
+    #[test]
+    fn node_count_counts_every_node() {
+        assert_eq!(Type::Unit.node_count(), 1);
+        assert_eq!(Type::output(Type::int(), Type::EndOut).node_count(), 3);
+        assert_eq!(int_stream().node_count(), 2);
+        assert_eq!(Type::dual(Type::dual(Type::EndIn)).node_count(), 3);
+    }
+
+    #[test]
+    fn alpha_equivalence_respects_binders() {
+        let t = Type::forall("a", Kind::Session, Type::var("a"));
+        let u = Type::forall("b", Kind::Session, Type::var("b"));
+        assert!(t.alpha_eq(&u));
+        let v = Type::forall("a", Kind::Session, Type::var("c"));
+        let w = Type::forall("b", Kind::Session, Type::var("c"));
+        assert!(v.alpha_eq(&w));
+        // Bound vs free occurrence must not be identified.
+        let x = Type::forall("a", Kind::Session, Type::var("a"));
+        let y = Type::forall("b", Kind::Session, Type::var("a"));
+        assert!(!x.alpha_eq(&y));
+        // Kinds on binders matter.
+        let z = Type::forall("a", Kind::Value, Type::var("a"));
+        assert!(!t.alpha_eq(&z));
+    }
+
+    #[test]
+    fn alpha_equivalence_shadowing() {
+        // ∀a.∀a.a  vs  ∀b.∀c.c : equal (innermost binding wins)
+        let t = Type::forall(
+            "a",
+            Kind::Session,
+            Type::forall("a", Kind::Session, Type::var("a")),
+        );
+        let u = Type::forall(
+            "b",
+            Kind::Session,
+            Type::forall("c", Kind::Session, Type::var("c")),
+        );
+        assert!(t.alpha_eq(&u));
+        // ∀a.∀b.a vs ∀c.∀d.d : not equal
+        let v = Type::forall(
+            "a",
+            Kind::Session,
+            Type::forall("b", Kind::Session, Type::var("a")),
+        );
+        assert!(!v.alpha_eq(&u));
+    }
+
+    #[test]
+    fn free_vars_skip_bound() {
+        let t = Type::forall(
+            "a",
+            Kind::Session,
+            Type::arrow(Type::var("a"), Type::var("b")),
+        );
+        let fv = t.free_vars();
+        assert!(fv.contains(&Symbol::intern("b")));
+        assert!(!fv.contains(&Symbol::intern("a")));
+    }
+}

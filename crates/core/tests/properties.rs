@@ -1,0 +1,220 @@
+//! Property-based tests of the normalization/equivalence metatheory
+//! (paper Theorems 1–3 and Lemma 3), over randomly generated well-kinded
+//! types.
+
+use algst_core::conversion::one_step_rewrites;
+use algst_core::equiv::{equivalent, equivalent_dual};
+use algst_core::kind::Kind;
+use algst_core::kindcheck::KindCtx;
+use algst_core::normalize::{is_normal, nrm_neg, nrm_pos};
+use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use proptest::prelude::*;
+
+/// Test declarations: a parameterized stream and a mutually recursive
+/// pair, mirroring the shapes in the paper's examples.
+fn decls() -> Declarations {
+    let mut d = Declarations::new();
+    d.add_protocol(ProtocolDecl {
+        name: Symbol::intern("PStream"),
+        params: vec![Symbol::intern("a")],
+        ctors: vec![Ctor::new(
+            "PNext",
+            vec![Type::var("a"), Type::proto("PStream", vec![Type::var("a")])],
+        )],
+    })
+    .unwrap();
+    d.add_protocol(ProtocolDecl {
+        name: Symbol::intern("PFlip"),
+        params: vec![],
+        ctors: vec![Ctor::new(
+            "PFlipC",
+            vec![Type::neg(Type::int()), Type::proto("PFlop", vec![])],
+        )],
+    })
+    .unwrap();
+    d.add_protocol(ProtocolDecl {
+        name: Symbol::intern("PFlop"),
+        params: vec![],
+        ctors: vec![
+            Ctor::new("PFlopC", vec![Type::int(), Type::proto("PFlip", vec![])]),
+            Ctor::new("PFlopQ", vec![]),
+        ],
+    })
+    .unwrap();
+    d.validate().unwrap();
+    d
+}
+
+/// Strategy for well-kinded protocol-kinded types (kind P) with free
+/// session variable `sv`.
+fn arb_protocol_ty() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::int()),
+        Just(Type::bool()),
+        Just(Type::string()),
+        Just(Type::Unit),
+        Just(Type::proto("PFlip", vec![])),
+        Just(Type::proto("PFlop", vec![])),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Type::neg),
+            inner
+                .clone()
+                .prop_map(|t| Type::proto("PStream", vec![t])),
+            (inner.clone(), arb_session_from(inner))
+                .prop_map(|(p, s)| Type::pair_hack(p, s)),
+        ]
+    })
+}
+
+/// Session types built from a protocol-type strategy.
+fn arb_session_from(proto: BoxedStrategy<Type>) -> BoxedStrategy<Type> {
+    let leaf = prop_oneof![
+        Just(Type::EndIn),
+        Just(Type::EndOut),
+        Just(Type::var("sv")),
+    ];
+    leaf.prop_recursive(6, 64, 3, move |inner| {
+        let proto = proto.clone();
+        prop_oneof![
+            (proto.clone(), inner.clone())
+                .prop_map(|(p, s)| Type::input(p, s)),
+            (proto.clone(), inner.clone())
+                .prop_map(|(p, s)| Type::output(p, s)),
+            inner.prop_map(Type::dual),
+        ]
+    })
+    .boxed()
+}
+
+/// A helper so the protocol strategy can embed *sessions lifted to P*
+/// without infinite strategy recursion: sessions are protocols by
+/// subsumption, so a pair (p, s) just picks the session.
+trait PairHack {
+    fn pair_hack(p: Type, s: Type) -> Type;
+}
+impl PairHack for Type {
+    fn pair_hack(_p: Type, s: Type) -> Type {
+        s
+    }
+}
+
+fn arb_session() -> impl Strategy<Value = Type> {
+    arb_session_from(arb_protocol_ty().boxed())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generated session types are well-kinded (sanity of the strategy).
+    #[test]
+    fn strategy_is_well_kinded(t in arb_session()) {
+        let d = decls();
+        let mut ctx = KindCtx::new(&d);
+        ctx.push_var(Symbol::intern("sv"), Kind::Session);
+        prop_assert!(ctx.check(&t, Kind::Session).is_ok(), "{t}");
+    }
+
+    /// nrm⁺ lands in the normal-form grammar Q (Lemma 3).
+    #[test]
+    fn nrm_is_normal(t in arb_session()) {
+        prop_assert!(is_normal(&nrm_pos(&t)), "nrm⁺({t}) not normal");
+    }
+
+    /// nrm⁺ is idempotent.
+    #[test]
+    fn nrm_idempotent(t in arb_session()) {
+        let once = nrm_pos(&t);
+        prop_assert!(once.alpha_eq(&nrm_pos(&once)));
+    }
+
+    /// nrm⁻(T) = nrm⁺(Dual T) — the pending-dual reading of Fig. 3.
+    #[test]
+    fn nrm_neg_is_dual(t in arb_session()) {
+        prop_assert!(nrm_neg(&t).alpha_eq(&nrm_pos(&Type::dual(t.clone()))));
+    }
+
+    /// Duality is involutory up to equivalence (C-DualInv).
+    #[test]
+    fn dual_involution(t in arb_session()) {
+        prop_assert!(equivalent(&Type::dual(Type::dual(t.clone())), &t));
+    }
+
+    /// Negation is involutory on protocol types (C-NegInv).
+    #[test]
+    fn neg_involution(p in arb_protocol_ty()) {
+        let t = Type::output(Type::neg(Type::neg(p.clone())), Type::EndOut);
+        let u = Type::output(p, Type::EndOut);
+        prop_assert!(equivalent(&t, &u));
+    }
+
+    /// ?(-T).S ≡ !T.S and !(-T).S ≡ ?T.S (C-NegIn / C-NegOut).
+    #[test]
+    fn neg_flips_direction(p in arb_protocol_ty(), s in arb_session()) {
+        let lhs = Type::input(Type::neg(p.clone()), s.clone());
+        let rhs = Type::output(p.clone(), s.clone());
+        prop_assert!(equivalent(&lhs, &rhs));
+        let lhs = Type::output(Type::neg(p.clone()), s.clone());
+        let rhs = Type::input(p, s);
+        prop_assert!(equivalent(&lhs, &rhs));
+    }
+
+    /// equivalent_dual agrees with wrapping in Dual (Theorem 1.2).
+    #[test]
+    fn equivalent_dual_agrees(t in arb_session(), u in arb_session()) {
+        prop_assert_eq!(
+            equivalent_dual(&t, &u),
+            equivalent(&Type::dual(t.clone()), &Type::dual(u.clone()))
+        );
+    }
+
+    /// Dualization preserves equivalence both ways.
+    #[test]
+    fn congruence_of_dual(t in arb_session()) {
+        prop_assert!(equivalent(&Type::dual(t.clone()), &Type::dual(t.clone())));
+        prop_assert_eq!(
+            equivalent(&t, &Type::dual(t.clone())),
+            equivalent(&Type::dual(t.clone()), &t)
+        );
+    }
+
+    /// Soundness of the declarative rules (Theorem 1): every one-step
+    /// rewrite preserves the normal form.
+    #[test]
+    fn conversion_rewrites_sound(t in arb_session()) {
+        let d = decls();
+        let vars = [(Symbol::intern("sv"), Kind::Session)];
+        for v in one_step_rewrites(&d, &vars, &t, Kind::Session) {
+            prop_assert!(equivalent(&t, &v), "{t} ≢ {v}");
+        }
+    }
+
+    /// Completeness direction on a decidable sub-case: structurally
+    /// different End-terminated spines are inequivalent unless their
+    /// normal forms coincide (trivially true — what we check is that
+    /// equivalence never identifies types with different spine lengths).
+    #[test]
+    fn spine_length_is_invariant(t in arb_session()) {
+        fn spine_len(t: &Type) -> usize {
+            match t {
+                Type::In(_, s) | Type::Out(_, s) => 1 + spine_len(s),
+                _ => 0,
+            }
+        }
+        let n = nrm_pos(&t);
+        let longer = Type::output(Type::int(), t.clone());
+        prop_assert!(!equivalent(&t, &longer) || spine_len(&n) == usize::MAX);
+    }
+
+    /// node_count is positive and additive enough to serve as the
+    /// Figure 10 x-axis.
+    #[test]
+    fn node_count_sane(t in arb_session(), u in arb_session()) {
+        prop_assert!(t.node_count() >= 1);
+        let pair = Type::pair(t.clone(), u.clone());
+        prop_assert_eq!(pair.node_count(), 1 + t.node_count() + u.node_count());
+    }
+}

@@ -1,0 +1,513 @@
+//! Bisimilarity of simple-grammar words — the FreeST-style equivalence
+//! check for context-free session types.
+//!
+//! Because the grammars produced by deterministic session types are
+//! *simple* (each nonterminal has at most one production per action),
+//! bisimilarity coincides with trace equivalence and is decidable
+//! [Korenjak & Hopcroft 1966; Almeida et al. 2020]. We implement the
+//! classic scheme:
+//!
+//! 1. **Truncation**: behaviour beyond the first unnormed symbol of a word
+//!    is unreachable, so words are cut there.
+//! 2. **Coinductive expansion**: a pair of words is assumed bisimilar when
+//!    revisited; otherwise both sides must offer the same actions and all
+//!    successor pairs must be bisimilar.
+//! 3. **Korenjak–Hopcroft splitting**: a pair `(Xα, Yβ)` with both heads
+//!    normed and, wlog, `norm(X) ≤ norm(Y)` is replaced by the pairs
+//!    `(Y, Xγ)` and `(α, γβ)`, where `Y =w=> γ` follows a norm-reducing
+//!    word `w` of `X`. This keeps first components small and lets
+//!    expansion terminate on non-regular (context-free) types.
+//!
+//! The procedure is **worst-case superlinear** (norms can be exponential
+//! in the grammar size, and the pair space explodes) — this is exactly the
+//! behaviour the paper's Figure 10 benchmarks against AlgST's linear-time
+//! check. A step budget bounds each query; exceeding it is reported as
+//! [`BisimResult::Budget`], mirroring the paper's 2-minute timeouts.
+
+use crate::grammar::{Grammar, NonTerm, Word};
+use crate::types::CfType;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Outcome of a (budgeted) bisimilarity query.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BisimResult {
+    Equivalent,
+    NotEquivalent,
+    /// The step budget was exhausted (the paper's "timed out").
+    Budget,
+}
+
+/// Decides bisimilarity of two context-free session types with the given
+/// step budget.
+///
+/// # Panics
+/// Panics if either type is not contractive.
+pub fn equivalent_types(t: &CfType, u: &CfType, budget: u64) -> BisimResult {
+    assert!(t.is_contractive(), "lhs not contractive: {t}");
+    assert!(u.is_contractive(), "rhs not contractive: {u}");
+    let mut g = Grammar::new();
+    let w1 = g.word_of(t);
+    let w2 = g.word_of(u);
+    bisimilar(&mut g, &w1, &w2, budget)
+}
+
+/// Decides bisimilarity of two words over a shared grammar.
+pub fn bisimilar(g: &mut Grammar, w1: &[NonTerm], w2: &[NonTerm], budget: u64) -> BisimResult {
+    bisimilar_with(g, w1, w2, budget, None)
+}
+
+/// Like [`bisimilar`], additionally bounded by a wall-clock timeout
+/// (checked every 1024 steps) — the benchmark harness uses this to mirror
+/// the paper's per-query timeout.
+pub fn bisimilar_with(
+    g: &mut Grammar,
+    w1: &[NonTerm],
+    w2: &[NonTerm],
+    budget: u64,
+    timeout: Option<Duration>,
+) -> BisimResult {
+    let mut checker = Checker {
+        g,
+        budget,
+        steps: 0,
+        deadline: timeout.map(|d| Instant::now() + d),
+        assumed: HashSet::new(),
+        stored: 0,
+    };
+    let a = checker.g.truncate(w1);
+    let b = checker.g.truncate(w2);
+    match checker.check(a, b, 0) {
+        Ok(true) => BisimResult::Equivalent,
+        Ok(false) => BisimResult::NotEquivalent,
+        Err(OutOfBudget) => BisimResult::Budget,
+    }
+}
+
+struct OutOfBudget;
+
+struct Checker<'g> {
+    g: &'g mut Grammar,
+    budget: u64,
+    steps: u64,
+    deadline: Option<Instant>,
+    /// Pairs assumed bisimilar (coinduction hypothesis).
+    assumed: HashSet<(Word, Word)>,
+    /// Total symbols stored in `assumed`, to bound memory.
+    stored: u64,
+}
+
+/// Words longer than this abort the query as budget-exhausted — they only
+/// arise on instances whose norms explode, exactly the cases the paper
+/// reports as timeouts.
+const MAX_WORD: usize = 1024;
+
+/// Bound on the DFS depth of the expansion, so a diverging search reports
+/// budget exhaustion instead of exhausting memory.
+const MAX_DEPTH: u32 = 8192;
+
+/// Cap on symbols retained in the coinduction table (≈ tens of MB).
+const MAX_STORED: u64 = 4_000_000;
+
+impl Checker<'_> {
+    fn tick(&mut self) -> Result<(), OutOfBudget> {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Err(OutOfBudget);
+        }
+        if self.steps % 1024 == 0 {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    return Err(OutOfBudget);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check(&mut self, u: Word, v: Word, depth: u32) -> Result<bool, OutOfBudget> {
+        self.tick()?;
+        if depth > MAX_DEPTH {
+            return Err(OutOfBudget);
+        }
+        let mut u = self.g.truncate(&u);
+        let mut v = self.g.truncate(&v);
+        if u == v {
+            return Ok(true);
+        }
+        if u.len() > MAX_WORD || v.len() > MAX_WORD {
+            return Err(OutOfBudget);
+        }
+        // Left-cancellation: simple grammars are deterministic, so a
+        // common normed head can be stripped — Xα ~ Xβ iff α ~ β.
+        // (Truncation guarantees every non-final symbol is normed; equal
+        // final symbols make the words equal, handled above.)
+        {
+            let common = u
+                .iter()
+                .zip(v.iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            let strip = common.min(u.len().saturating_sub(1)).min(v.len().saturating_sub(1));
+            if strip > 0 {
+                u.drain(..strip);
+                v.drain(..strip);
+            }
+        }
+        if u == v {
+            return Ok(true);
+        }
+        let key = if u <= v {
+            (u.clone(), v.clone())
+        } else {
+            (v.clone(), u.clone())
+        };
+        self.stored += (u.len() + v.len()) as u64;
+        if self.stored > MAX_STORED {
+            return Err(OutOfBudget);
+        }
+        if !self.assumed.insert(key) {
+            return Ok(true); // coinductive hypothesis
+        }
+
+        // Korenjak–Hopcroft split when both sides are multi-symbol words
+        // with normed heads (truncation guarantees normed heads for
+        // len ≥ 2).
+        if u.len() >= 2 && v.len() >= 2 {
+            return self.split(u, v, depth);
+        }
+
+        self.expand(u, v, depth)
+    }
+
+    /// Synchronized expansion: same action sets, all successors bisimilar.
+    fn expand(&mut self, u: Word, v: Word, depth: u32) -> Result<bool, OutOfBudget> {
+        let au = self.g.actions(&u);
+        let av = self.g.actions(&v);
+        if au != av {
+            return Ok(false);
+        }
+        for a in au {
+            let su = self.g.step(&u, &a).expect("action taken from u's menu");
+            let sv = self.g.step(&v, &a).expect("menus are equal");
+            if !self.check(su, sv, depth + 1)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// KH decomposition of `(Xα, Yβ)` with `norm(X) ≤ norm(Y)` (swapping
+    /// as needed) into `(Y, Xγ)` and `(α, γβ)` where `Y =w=> γ` along a
+    /// norm-reducing word `w` of `X`.
+    fn split(&mut self, u: Word, v: Word, depth: u32) -> Result<bool, OutOfBudget> {
+        let (x, alpha) = u.split_first().expect("len >= 2");
+        let (y, beta) = v.split_first().expect("len >= 2");
+        let nx = self.g.norm(*x).expect("truncation leaves normed heads");
+        let ny = self.g.norm(*y).expect("truncation leaves normed heads");
+        let (x, alpha, y, beta) = if nx <= ny {
+            (*x, alpha.to_vec(), *y, beta.to_vec())
+        } else {
+            (*y, beta.to_vec(), *x, alpha.to_vec())
+        };
+
+        // Follow X's norm-reducing derivation on [Y]. Each simulated step
+        // costs budget — norms can be exponential, and that cost is the
+        // point of the benchmark.
+        let mut xword: Word = vec![x];
+        let mut yword: Word = vec![y];
+        while !xword.is_empty() {
+            self.tick()?;
+            if xword.len() > MAX_WORD || yword.len() > MAX_WORD {
+                return Err(OutOfBudget);
+            }
+            let head = xword[0];
+            let (a, gamma) = self
+                .g
+                .norm_reducing_production(head)
+                .expect("heads on a norm-reducing path are normed");
+            let mut nx = gamma;
+            nx.extend_from_slice(&xword[1..]);
+            xword = nx;
+            match self.g.step(&yword, &a) {
+                Some(next) => yword = next,
+                // Y cannot follow one of X's traces: not bisimilar.
+                None => return Ok(false),
+            }
+        }
+        let gamma = yword;
+
+        // (Y, X·γ)
+        let mut xg = vec![x];
+        xg.extend_from_slice(&gamma);
+        if !self.check(vec![y], xg, depth + 1)? {
+            return Ok(false);
+        }
+        // (α, γ·β)
+        let mut gb = gamma;
+        gb.extend_from_slice(&beta);
+        self.check(alpha, gb, depth + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Dir, Payload};
+
+    const BUDGET: u64 = 1_000_000;
+
+    fn eq(t: &CfType, u: &CfType) -> BisimResult {
+        equivalent_types(t, u, BUDGET)
+    }
+
+    fn out_int() -> CfType {
+        CfType::Msg(Dir::Out, Payload::Int)
+    }
+
+    fn in_int() -> CfType {
+        CfType::Msg(Dir::In, Payload::Int)
+    }
+
+    #[test]
+    fn reflexive_on_samples() {
+        let samples = [
+            CfType::Skip,
+            CfType::End(Dir::Out),
+            CfType::seq(out_int(), CfType::End(Dir::In)),
+            CfType::rec("x", CfType::seq(out_int(), CfType::var("x"))),
+        ];
+        for t in &samples {
+            assert_eq!(eq(t, t), BisimResult::Equivalent, "{t}");
+        }
+    }
+
+    #[test]
+    fn skip_is_unit_of_seq() {
+        let t = CfType::seq(CfType::Skip, CfType::seq(out_int(), CfType::Skip));
+        assert_eq!(eq(&t, &out_int()), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn seq_is_associative() {
+        let a = CfType::seq(out_int(), CfType::seq(in_int(), CfType::End(Dir::Out)));
+        let b = CfType::seq(CfType::seq(out_int(), in_int()), CfType::End(Dir::Out));
+        assert_eq!(eq(&a, &b), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn end_is_absorbing() {
+        let a = CfType::seq(CfType::End(Dir::Out), out_int());
+        let b = CfType::End(Dir::Out);
+        assert_eq!(eq(&a, &b), BisimResult::Equivalent);
+        // But End! ≠ End?
+        assert_eq!(
+            eq(&CfType::End(Dir::Out), &CfType::End(Dir::In)),
+            BisimResult::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn direction_and_payload_matter() {
+        assert_eq!(eq(&out_int(), &in_int()), BisimResult::NotEquivalent);
+        assert_eq!(
+            eq(&out_int(), &CfType::Msg(Dir::Out, Payload::Str)),
+            BisimResult::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn unfolding_is_equivalent() {
+        // rec x. !Int;x  ≡  !Int; rec x. !Int;x
+        let t = CfType::rec("x", CfType::seq(out_int(), CfType::var("x")));
+        let unfolded = CfType::seq(out_int(), t.clone());
+        assert_eq!(eq(&t, &unfolded), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn renamed_recursion_is_equivalent() {
+        let t = CfType::rec("x", CfType::seq(out_int(), CfType::var("x")));
+        let u = CfType::rec("y", CfType::seq(out_int(), CfType::var("y")));
+        assert_eq!(eq(&t, &u), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn context_free_tree_protocol_roundtrip() {
+        // T = rec x. &{Leaf: Skip, Node: x; ?Int; x} — non-regular.
+        let tree = |var: &str| {
+            CfType::rec(
+                var,
+                CfType::choice(
+                    Dir::In,
+                    vec![
+                        ("Leaf".into(), CfType::Skip),
+                        (
+                            "Node".into(),
+                            CfType::seq_all([
+                                CfType::var(var),
+                                in_int(),
+                                CfType::var(var),
+                            ]),
+                        ),
+                    ],
+                ),
+            )
+        };
+        let a = tree("x");
+        let b = tree("t");
+        assert_eq!(eq(&a, &b), BisimResult::Equivalent);
+        // T;T ≢ T (different completion counts).
+        let twice = CfType::seq(a.clone(), a.clone());
+        assert_eq!(eq(&twice, &a), BisimResult::NotEquivalent);
+        // But (T;T);T ≡ T;(T;T).
+        let l = CfType::seq(twice.clone(), a.clone());
+        let r = CfType::seq(a.clone(), twice);
+        assert_eq!(eq(&l, &r), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn distributivity_over_choice() {
+        // ⊕{a: T1, b: T2}; U ≡ ⊕{a: T1;U, b: T2;U}
+        let u = CfType::seq(in_int(), CfType::End(Dir::Out));
+        let lhs = CfType::seq(
+            CfType::choice(
+                Dir::Out,
+                vec![
+                    ("a".into(), out_int()),
+                    ("b".into(), in_int()),
+                ],
+            ),
+            u.clone(),
+        );
+        let rhs = CfType::choice(
+            Dir::Out,
+            vec![
+                ("a".into(), CfType::seq(out_int(), u.clone())),
+                ("b".into(), CfType::seq(in_int(), u)),
+            ],
+        );
+        assert_eq!(eq(&lhs, &rhs), BisimResult::Equivalent);
+    }
+
+    #[test]
+    fn fig9_nonequivalent_variant() {
+        // ?Repeat Int …  vs  ?Repeat String …  (cf. paper Fig. 9)
+        let repeat = |payload: Payload| {
+            CfType::seq(
+                CfType::rec(
+                    "r",
+                    CfType::choice(
+                        Dir::In,
+                        vec![
+                            (
+                                "More".into(),
+                                CfType::seq(
+                                    CfType::Msg(Dir::In, payload.clone()),
+                                    CfType::var("r"),
+                                ),
+                            ),
+                            ("Quit".into(), CfType::Skip),
+                        ],
+                    ),
+                ),
+                CfType::End(Dir::Out),
+            )
+        };
+        assert_eq!(
+            eq(&repeat(Payload::Int), &repeat(Payload::Str)),
+            BisimResult::NotEquivalent
+        );
+        assert_eq!(
+            eq(&repeat(Payload::Int), &repeat(Payload::Int)),
+            BisimResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn free_variables_compare_nominally() {
+        let a = CfType::seq(CfType::var("a"), CfType::End(Dir::Out));
+        let b = CfType::seq(CfType::var("b"), CfType::End(Dir::Out));
+        assert_eq!(eq(&a, &a.clone()), BisimResult::Equivalent);
+        assert_eq!(eq(&a, &b), BisimResult::NotEquivalent);
+    }
+
+    #[test]
+    fn forall_alpha_equivalence() {
+        let t = CfType::forall("a", CfType::seq(CfType::var("a"), CfType::End(Dir::In)));
+        let u = CfType::forall("b", CfType::seq(CfType::var("b"), CfType::End(Dir::In)));
+        assert_eq!(eq(&t, &u), BisimResult::Equivalent);
+        // An extra quantifier is observable.
+        let extra = CfType::forall("c", t.clone());
+        assert_eq!(eq(&extra, &t), BisimResult::NotEquivalent);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // An *equivalent* pair (renamed recursion) with a tiny budget.
+        let mk = |v: &str| {
+            CfType::rec(
+                v,
+                CfType::choice(
+                    Dir::In,
+                    vec![
+                        ("L".into(), CfType::Skip),
+                        (
+                            "N".into(),
+                            CfType::seq_all([
+                                CfType::var(v),
+                                in_int(),
+                                CfType::var(v),
+                            ]),
+                        ),
+                    ],
+                ),
+            )
+        };
+        assert_eq!(equivalent_types(&mk("x"), &mk("y"), 3), BisimResult::Budget);
+        assert_eq!(
+            equivalent_types(&mk("x"), &mk("y"), 1_000_000),
+            BisimResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn stack_protocol_equivalences() {
+        // The stack protocol from the CFST literature:
+        // S = rec s. &{Push: ?Int; s; !Int; s, Done: Skip}
+        let stack = CfType::rec(
+            "s",
+            CfType::choice(
+                Dir::In,
+                vec![
+                    (
+                        "Push".into(),
+                        CfType::seq_all([
+                            in_int(),
+                            CfType::var("s"),
+                            out_int(),
+                            CfType::var("s"),
+                        ]),
+                    ),
+                    ("Done".into(), CfType::Skip),
+                ],
+            ),
+        );
+        // One unfolding is equivalent.
+        let unfolded = CfType::choice(
+            Dir::In,
+            vec![
+                (
+                    "Push".into(),
+                    CfType::seq_all([
+                        in_int(),
+                        stack.clone(),
+                        out_int(),
+                        stack.clone(),
+                    ]),
+                ),
+                ("Done".into(), CfType::Skip),
+            ],
+        );
+        assert_eq!(eq(&stack, &unfolded), BisimResult::Equivalent);
+    }
+}

@@ -1,0 +1,499 @@
+//! Translation of context-free session types into *simple grammars*
+//! (Almeida et al. 2020, "Deciding the bisimilarity of context-free
+//! session types").
+//!
+//! A simple grammar is a context-free grammar in Greibach normal form
+//! where each (nonterminal, action) pair has at most one production. A
+//! session type denotes a word of nonterminals; its behaviour is the
+//! labelled transition system on words, rewriting the leftmost
+//! nonterminal:
+//!
+//! ```text
+//! X α --a--> γ α    whenever X --a--> γ
+//! ```
+//!
+//! Type equivalence is bisimilarity of the corresponding words
+//! ([`crate::bisim`]).
+//!
+//! Construction notes:
+//! * `End!`/`End?` produce to a dedicated stuck nonterminal [`Grammar::DEAD`]
+//!   with no productions, making `End` absorbing (whatever follows is
+//!   unreachable) — `End;T ≈ End`.
+//! * a free type variable is a nonterminal with a unique action producing
+//!   ε, so `α;S ≡ α;T` iff `S ≡ T`, and `α ≢ β`;
+//! * `∀x.T` contributes a quantifier action whose bound variable is
+//!   canonically renamed by nesting depth, realizing α-equivalence;
+//! * `rec x.T` is unfolded lazily and memoized, so each distinct
+//!   recursive subterm becomes one nonterminal.
+
+use crate::types::{CfType, Dir, Name, Payload};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A grammar action (terminal symbol).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Action {
+    End(Dir),
+    Msg(Dir, Payload),
+    Choice(Dir, Name),
+    /// Free type variable heads.
+    Var(Name),
+    /// Quantifier introduction (bound variable canonicalized).
+    Forall,
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::End(Dir::Out) => write!(f, "end!"),
+            Action::End(Dir::In) => write!(f, "end?"),
+            Action::Msg(Dir::Out, p) => write!(f, "!{p}"),
+            Action::Msg(Dir::In, p) => write!(f, "?{p}"),
+            Action::Choice(Dir::Out, l) => write!(f, "+{l}"),
+            Action::Choice(Dir::In, l) => write!(f, "&{l}"),
+            Action::Var(v) => write!(f, "var:{v}"),
+            Action::Forall => write!(f, "forall"),
+        }
+    }
+}
+
+/// Index of a nonterminal in the grammar.
+pub type NonTerm = u32;
+
+/// A word of nonterminals (a state of the LTS).
+pub type Word = Vec<NonTerm>;
+
+/// Norm of a nonterminal: length of its shortest derivation to ε, or
+/// `None` if it has none (unnormed).
+pub type Norm = Option<u64>;
+
+/// In-scope `rec` binders during translation.
+type RecEnv = Vec<(Name, NonTerm)>;
+
+fn lookup(env: &RecEnv, v: &str) -> Option<NonTerm> {
+    env.iter().rev().find(|(n, _)| n == v).map(|(_, x)| *x)
+}
+
+/// A simple grammar produced from one or more session types.
+#[derive(Debug, Default)]
+pub struct Grammar {
+    /// Productions per nonterminal, sorted by action.
+    prods: Vec<Vec<(Action, Word)>>,
+    /// Memoization of translated types, keyed by quantifier depth and the
+    /// nonterminals bound to their free recursion variables.
+    memo: HashMap<(CfType, u32, Vec<(Name, NonTerm)>), NonTerm>,
+    norms: Vec<Norm>,
+    norms_dirty: bool,
+}
+
+impl Grammar {
+    pub fn new() -> Grammar {
+        let mut g = Grammar::default();
+        // Nonterminal 0 is DEAD: no productions (stuck ≠ ε only in that ε
+        // may continue with the rest of the word — both have no
+        // transitions in isolation, but DEAD absorbs its suffix).
+        g.prods.push(Vec::new());
+        g.norms.push(None);
+        g
+    }
+
+    /// The distinguished stuck nonterminal.
+    pub const DEAD: NonTerm = 0;
+
+    /// Number of nonterminals (including the reserved [`Grammar::DEAD`]).
+    pub fn len(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// Never empty: [`Grammar::DEAD`] always exists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Productions of `x`, sorted by action.
+    pub fn productions(&self, x: NonTerm) -> &[(Action, Word)] {
+        &self.prods[x as usize]
+    }
+
+    /// Allocates a fresh nonterminal with no productions yet. Use with
+    /// [`Grammar::set_productions`] to build grammars directly (e.g. from
+    /// protocol declarations) without an intermediate [`CfType`].
+    pub fn fresh_nonterm(&mut self) -> NonTerm {
+        let x = self.prods.len() as NonTerm;
+        self.prods.push(Vec::new());
+        self.norms.push(None);
+        self.norms_dirty = true;
+        x
+    }
+
+    /// Sets the productions of a nonterminal created with
+    /// [`Grammar::fresh_nonterm`]. Productions are sorted by action;
+    /// duplicate actions would break the simple-grammar invariant and are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics if two productions share an action.
+    pub fn set_productions(&mut self, x: NonTerm, mut prods: Vec<(Action, Word)>) {
+        prods.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in prods.windows(2) {
+            assert!(
+                pair[0].0 != pair[1].0,
+                "duplicate action {} would make the grammar non-simple",
+                pair[0].0
+            );
+        }
+        self.prods[x as usize] = prods;
+        self.norms_dirty = true;
+    }
+
+    /// Translates `t` into a word of nonterminals, creating productions as
+    /// needed.
+    ///
+    /// # Panics
+    /// Panics if `t` is not contractive (callers check
+    /// [`CfType::is_contractive`] first).
+    pub fn word_of(&mut self, t: &CfType) -> Word {
+        self.norms_dirty = true;
+        self.grm(t, 0, &mut Vec::new())
+    }
+
+    fn grm(&mut self, t: &CfType, depth: u32, env: &mut RecEnv) -> Word {
+        match t {
+            CfType::Skip => Vec::new(),
+            CfType::Seq(a, b) => {
+                let mut w = self.grm(a, depth, env);
+                w.extend(self.grm(b, depth, env));
+                w
+            }
+            // A rec-bound variable *is* its nonterminal.
+            CfType::Var(v) if lookup(env, v).is_some() => {
+                vec![lookup(env, v).expect("checked")]
+            }
+            _ => vec![self.nonterm(t, depth, env)],
+        }
+    }
+
+    /// Returns the nonterminal for a non-`Skip`, non-`Seq` head type.
+    ///
+    /// Recursion is translated as a *system of equations*: `rec x.T` binds
+    /// `x` to a fresh nonterminal in `env` rather than substituting, so
+    /// the grammar stays linear in the size of the type (substitution
+    /// would duplicate subterms exponentially under nested recursion).
+    /// Memoization keys include the bindings for the type's free
+    /// variables, so identical subterms in different scopes stay distinct.
+    fn nonterm(&mut self, t: &CfType, depth: u32, env: &mut RecEnv) -> NonTerm {
+        let relevant: Vec<(Name, NonTerm)> = {
+            let fv = t.free_vars();
+            env.iter()
+                .filter(|(n, _)| fv.iter().any(|v| v == n))
+                .cloned()
+                .collect()
+        };
+        let key = (t.clone(), depth, relevant);
+        if let Some(&x) = self.memo.get(&key) {
+            return x;
+        }
+        let x = self.prods.len() as NonTerm;
+        self.prods.push(Vec::new());
+        self.norms.push(None);
+        self.memo.insert(key, x);
+        let mut prods = match t {
+            CfType::Skip | CfType::Seq(..) => unreachable!("handled by grm"),
+            CfType::End(d) => vec![(Action::End(*d), vec![Self::DEAD])],
+            CfType::Msg(d, p) => vec![(Action::Msg(*d, p.clone()), Vec::new())],
+            CfType::Choice(d, bs) => bs
+                .iter()
+                .map(|(l, cont)| (Action::Choice(*d, l.clone()), self.grm(cont, depth, env)))
+                .collect(),
+            CfType::Var(v) => vec![(Action::Var(v.clone()), Vec::new())],
+            CfType::Forall(v, body) => {
+                // Canonical bound-variable name by depth: α-equivalent
+                // types yield identical grammars.
+                let canon = format!("$bv{depth}");
+                let renamed = body.subst(v, &CfType::Var(canon));
+                vec![(Action::Forall, self.grm(&renamed, depth + 1, env))]
+            }
+            CfType::Rec(v, body) => {
+                env.push((v.clone(), x));
+                let w = self.grm(body, depth, env);
+                env.pop();
+                assert!(
+                    !w.is_empty(),
+                    "non-contractive recursive type reached grammar construction"
+                );
+                let head = w[0];
+                let rest = &w[1..];
+                assert!(
+                    head != x && !self.prods[head as usize].is_empty(),
+                    "unguarded recursion reached grammar construction"
+                );
+                self.prods[head as usize]
+                    .iter()
+                    .map(|(a, gamma)| {
+                        let mut out = gamma.clone();
+                        out.extend_from_slice(rest);
+                        (a.clone(), out)
+                    })
+                    .collect()
+            }
+        };
+        prods.sort_by(|a, b| a.0.cmp(&b.0));
+        self.prods[x as usize] = prods;
+        x
+    }
+
+    /// Norm of a nonterminal (computing norms on demand).
+    pub fn norm(&mut self, x: NonTerm) -> Norm {
+        if self.norms_dirty {
+            self.compute_norms();
+        }
+        self.norms[x as usize]
+    }
+
+    /// Norm of a word: sum of member norms, `None` if any member is
+    /// unnormed.
+    pub fn word_norm(&mut self, w: &[NonTerm]) -> Norm {
+        let mut total: u64 = 0;
+        for &x in w {
+            total = total.saturating_add(self.norm(x)?);
+        }
+        Some(total)
+    }
+
+    /// For a normed `x`, one production starting its shortest derivation
+    /// to ε (ties broken by action order).
+    pub fn norm_reducing_production(&mut self, x: NonTerm) -> Option<(Action, Word)> {
+        let _ = self.norm(x)?;
+        let mut best: Option<(u64, &(Action, Word))> = None;
+        // Norms are fixed now; scan productions for the cheapest successor.
+        for p in &self.prods[x as usize] {
+            let mut cost: Option<u64> = Some(0);
+            for &y in &p.1 {
+                cost = match (cost, self.norms[y as usize]) {
+                    (Some(c), Some(n)) => Some(c.saturating_add(n)),
+                    _ => None,
+                };
+            }
+            if let Some(c) = cost {
+                if best.map_or(true, |(b, _)| c < b) {
+                    best = Some((c, p));
+                }
+            }
+        }
+        best.map(|(_, p)| p.clone())
+    }
+
+    fn compute_norms(&mut self) {
+        // Least fixed point: norm(X) = 1 + min over productions of the sum
+        // of successor norms.
+        let n = self.prods.len();
+        let mut norms: Vec<Norm> = vec![None; n];
+        loop {
+            let mut changed = false;
+            for x in 0..n {
+                let mut best: Norm = None;
+                for (_, w) in &self.prods[x] {
+                    let mut total: Option<u64> = Some(1);
+                    for &y in w {
+                        total = match (total, norms[y as usize]) {
+                            (Some(t), Some(ny)) => Some(t.saturating_add(ny)),
+                            _ => None,
+                        };
+                    }
+                    if let Some(t) = total {
+                        best = Some(best.map_or(t, |b: u64| b.min(t)));
+                    }
+                }
+                if best.is_some() && best != norms[x] {
+                    let better = match (norms[x], best) {
+                        (None, _) => true,
+                        (Some(old), Some(new)) => new < old,
+                        _ => false,
+                    };
+                    if better {
+                        norms[x] = best;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.norms = norms;
+        self.norms_dirty = false;
+    }
+
+    /// Truncates a word after its first unnormed symbol (behaviour beyond
+    /// it is unreachable: an unnormed symbol never derives ε).
+    pub fn truncate(&mut self, w: &[NonTerm]) -> Word {
+        let mut out = Vec::with_capacity(w.len());
+        for &x in w {
+            out.push(x);
+            if self.norm(x).is_none() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// The transition of `w` under `a`, if any (grammars are simple, so
+    /// it is unique).
+    pub fn step(&self, w: &[NonTerm], a: &Action) -> Option<Word> {
+        let (&head, rest) = w.split_first()?;
+        let prods = &self.prods[head as usize];
+        let ix = prods.binary_search_by(|(pa, _)| pa.cmp(a)).ok()?;
+        let mut out = prods[ix].1.clone();
+        out.extend_from_slice(rest);
+        Some(out)
+    }
+
+    /// The actions available from `w` (those of its leftmost symbol).
+    pub fn actions(&self, w: &[NonTerm]) -> Vec<Action> {
+        match w.first() {
+            None => Vec::new(),
+            Some(&x) => self.prods[x as usize]
+                .iter()
+                .map(|(a, _)| a.clone())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(d: Dir) -> CfType {
+        CfType::Msg(d, Payload::Int)
+    }
+
+    #[test]
+    fn skip_is_the_empty_word() {
+        let mut g = Grammar::new();
+        assert!(g.word_of(&CfType::Skip).is_empty());
+        let w = g.word_of(&CfType::seq(CfType::Skip, CfType::Skip));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn message_has_single_production_to_epsilon() {
+        let mut g = Grammar::new();
+        let w = g.word_of(&msg(Dir::Out));
+        assert_eq!(w.len(), 1);
+        let prods = g.productions(w[0]);
+        assert_eq!(prods.len(), 1);
+        assert!(prods[0].1.is_empty());
+        assert_eq!(g.norm(w[0]), Some(1));
+    }
+
+    #[test]
+    fn end_is_absorbing_and_unnormed() {
+        let mut g = Grammar::new();
+        let w = g.word_of(&CfType::End(Dir::Out));
+        assert_eq!(g.norm(w[0]), None);
+        let after = g.step(&w, &Action::End(Dir::Out)).unwrap();
+        assert_eq!(after, vec![Grammar::DEAD]);
+        assert!(g.actions(&after).is_empty());
+    }
+
+    #[test]
+    fn recursion_is_memoized_and_unfolds() {
+        // rec x. !Int; x — one nonterminal, production back to itself.
+        let mut g = Grammar::new();
+        let t = CfType::rec("x", CfType::seq(msg(Dir::Out), CfType::var("x")));
+        let w = g.word_of(&t);
+        assert_eq!(w.len(), 1);
+        let next = g.step(&w, &Action::Msg(Dir::Out, Payload::Int)).unwrap();
+        assert_eq!(next, w);
+        // Unnormed: it never terminates.
+        assert_eq!(g.norm(w[0]), None);
+        // Re-translation hits the memo table.
+        let before = g.len();
+        let w2 = g.word_of(&t);
+        assert_eq!(w, w2);
+        assert_eq!(g.len(), before);
+    }
+
+    #[test]
+    fn nontail_recursion_grows_words() {
+        // rec x. &{L: Skip, N: x; x} — non-regular: words can grow.
+        let t = CfType::rec(
+            "x",
+            CfType::choice(
+                Dir::In,
+                vec![
+                    ("L".into(), CfType::Skip),
+                    (
+                        "N".into(),
+                        CfType::seq(CfType::var("x"), CfType::var("x")),
+                    ),
+                ],
+            ),
+        );
+        let mut g = Grammar::new();
+        let w = g.word_of(&t);
+        assert_eq!(w.len(), 1);
+        let grown = g.step(&w, &Action::Choice(Dir::In, "N".into())).unwrap();
+        assert_eq!(grown.len(), 2);
+        assert_eq!(g.norm(w[0]), Some(1)); // take L
+        assert_eq!(g.word_norm(&grown), Some(2));
+    }
+
+    #[test]
+    fn forall_canonicalizes_bound_variables() {
+        let mut g = Grammar::new();
+        let t1 = CfType::forall("a", CfType::seq(CfType::var("a"), CfType::Skip));
+        let t2 = CfType::forall("b", CfType::seq(CfType::var("b"), CfType::Skip));
+        let w1 = g.word_of(&t1);
+        let w2 = g.word_of(&t2);
+        // The nonterminals are distinct (memoized on the source type) but
+        // their productions coincide after canonical renaming.
+        assert_eq!(
+            g.productions(w1[0]).to_vec(),
+            g.productions(w2[0]).to_vec(),
+            "α-equivalent quantified types have identical productions"
+        );
+    }
+
+    #[test]
+    fn distinct_free_variables_have_distinct_actions() {
+        let mut g = Grammar::new();
+        let wa = g.word_of(&CfType::var("a"));
+        let wb = g.word_of(&CfType::var("b"));
+        assert_ne!(g.actions(&wa), g.actions(&wb));
+        // Variables are normed (they complete and let the suffix run).
+        assert_eq!(g.norm(wa[0]), Some(1));
+    }
+
+    #[test]
+    fn norm_reducing_production_picks_cheapest() {
+        let t = CfType::rec(
+            "x",
+            CfType::choice(
+                Dir::In,
+                vec![
+                    ("Stop".into(), CfType::Skip),
+                    (
+                        "Go".into(),
+                        CfType::seq(CfType::var("x"), CfType::var("x")),
+                    ),
+                ],
+            ),
+        );
+        let mut g = Grammar::new();
+        let w = g.word_of(&t);
+        let (a, gamma) = g.norm_reducing_production(w[0]).unwrap();
+        assert_eq!(a, Action::Choice(Dir::In, "Stop".into()));
+        assert!(gamma.is_empty());
+    }
+
+    #[test]
+    fn truncate_cuts_after_unnormed() {
+        let mut g = Grammar::new();
+        let end = g.word_of(&CfType::End(Dir::Out))[0];
+        let m = g.word_of(&msg(Dir::In))[0];
+        let w = vec![m, end, m, m];
+        assert_eq!(g.truncate(&w), vec![m, end]);
+    }
+}

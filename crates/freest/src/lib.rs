@@ -1,0 +1,34 @@
+//! # freest
+//!
+//! A self-contained implementation of **context-free session types** with
+//! bisimulation-based type equivalence, in the style of the FreeST
+//! language [Thiemann & Vasconcelos 2016; Almeida et al. 2019, 2020,
+//! 2022]. It serves as the *baseline* system that the paper
+//! *Parameterized Algebraic Protocols* (PLDI 2023) benchmarks its
+//! linear-time equivalence against (Figure 10).
+//!
+//! * [`types`] — the CFST grammar: `Skip`, `;`, `!T`/`?T`, `⊕{}`/`&{}`,
+//!   equirecursive `rec`, `End`, variables and quantifiers.
+//! * [`grammar`] — translation into simple grammars (Greibach normal
+//!   form) plus norms.
+//! * [`bisim`] — the budgeted decision procedure (coinductive expansion +
+//!   Korenjak–Hopcroft splitting). Worst-case superlinear, matching the
+//!   baseline behaviour in the paper's evaluation.
+//!
+//! ```
+//! use freest::{CfType, Dir, Payload};
+//! use freest::bisim::{equivalent_types, BisimResult};
+//!
+//! // !Int; Skip ≡ !Int
+//! let a = CfType::seq(CfType::Msg(Dir::Out, Payload::Int), CfType::Skip);
+//! let b = CfType::Msg(Dir::Out, Payload::Int);
+//! assert_eq!(equivalent_types(&a, &b, 10_000), BisimResult::Equivalent);
+//! ```
+
+pub mod bisim;
+pub mod grammar;
+pub mod types;
+
+pub use bisim::{bisimilar, bisimilar_with, equivalent_types, BisimResult};
+pub use grammar::{Action, Grammar, NonTerm, Word};
+pub use types::{CfType, Dir, Name, Payload};

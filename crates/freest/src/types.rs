@@ -1,0 +1,389 @@
+//! Context-free session types (CFST) in the style of FreeST
+//! [Thiemann & Vasconcelos 2016; Almeida et al. 2020, 2022].
+//!
+//! ```text
+//! T ::= Skip | End! | End? | !P | ?P | ⊕{l:T…} | &{l:T…}
+//!     | T;T | rec x.T | x | ∀x.T
+//! ```
+//!
+//! compared to AlgST, messages are atomic (`!P` with no continuation) and
+//! sessions compose with the monoidal `;`/`Skip`. Recursion is
+//! *equirecursive*: `rec x.T` is equal to its unfolding, which makes type
+//! equivalence a bisimilarity problem on simple grammars (see
+//! [`crate::grammar`] and [`crate::bisim`]).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Direction of a communication: `!`/`⊕` vs `?`/`&`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Dir {
+    Out,
+    In,
+}
+
+impl Dir {
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Out => Dir::In,
+            Dir::In => Dir::Out,
+        }
+    }
+}
+
+/// A label in a choice/branch, or a type variable name. Plain interned
+/// strings keep this crate free of AlgST dependencies.
+pub type Name = String;
+
+/// Functional payload types transmitted by `!`/`?`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Payload {
+    Unit,
+    Int,
+    Bool,
+    Char,
+    Str,
+    Var(Name),
+    Pair(Box<Payload>, Box<Payload>),
+    /// An (already closed) session type as payload, e.g. `!(Char, End!)`
+    /// in the paper's Fig. 9. Compared structurally — the benchmark
+    /// generator only places flat types here.
+    Session(Box<CfType>),
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Payload::Unit => write!(f, "()"),
+            Payload::Int => write!(f, "Int"),
+            Payload::Bool => write!(f, "Bool"),
+            Payload::Char => write!(f, "Char"),
+            Payload::Str => write!(f, "String"),
+            Payload::Var(v) => write!(f, "{v}"),
+            Payload::Pair(a, b) => write!(f, "({a}, {b})"),
+            Payload::Session(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A context-free session type.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum CfType {
+    Skip,
+    /// `End!` (terminate) / `End?` (wait).
+    End(Dir),
+    /// `!P` / `?P`.
+    Msg(Dir, Payload),
+    /// `⊕{l: T, …}` (internal) / `&{l: T, …}` (external). Branches are
+    /// kept sorted by label; constructors enforce this.
+    Choice(Dir, Vec<(Name, CfType)>),
+    /// `T;U`
+    Seq(Box<CfType>, Box<CfType>),
+    /// `rec x.T` (equirecursive)
+    Rec(Name, Box<CfType>),
+    Var(Name),
+    /// `∀x.T` — only what the translated benchmark instances need
+    /// (polymorphic session tails / the quantifier mutation).
+    Forall(Name, Box<CfType>),
+}
+
+impl CfType {
+    pub fn seq(a: CfType, b: CfType) -> CfType {
+        CfType::Seq(Box::new(a), Box::new(b))
+    }
+
+    /// Sequences a list of segments (right-nested), `Skip` if empty.
+    pub fn seq_all(parts: impl IntoIterator<Item = CfType>) -> CfType {
+        let parts: Vec<CfType> = parts.into_iter().collect();
+        let Some((last, init)) = parts.split_last() else {
+            return CfType::Skip;
+        };
+        init.iter()
+            .rev()
+            .fold(last.clone(), |acc, t| CfType::seq(t.clone(), acc))
+    }
+
+    pub fn rec(x: impl Into<Name>, body: CfType) -> CfType {
+        CfType::Rec(x.into(), Box::new(body))
+    }
+
+    pub fn var(x: impl Into<Name>) -> CfType {
+        CfType::Var(x.into())
+    }
+
+    pub fn forall(x: impl Into<Name>, body: CfType) -> CfType {
+        CfType::Forall(x.into(), Box::new(body))
+    }
+
+    /// Builds a choice with branches sorted by label.
+    pub fn choice(dir: Dir, mut branches: Vec<(Name, CfType)>) -> CfType {
+        branches.sort_by(|a, b| a.0.cmp(&b.0));
+        CfType::Choice(dir, branches)
+    }
+
+    pub fn msg(dir: Dir, payload: Payload) -> CfType {
+        CfType::Msg(dir, payload)
+    }
+
+    /// Number of AST nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            CfType::Skip | CfType::End(_) | CfType::Var(_) | CfType::Msg(..) => 1,
+            CfType::Choice(_, bs) => 1 + bs.iter().map(|(_, t)| t.node_count()).sum::<usize>(),
+            CfType::Seq(a, b) => 1 + a.node_count() + b.node_count(),
+            CfType::Rec(_, t) | CfType::Forall(_, t) => 1 + t.node_count(),
+        }
+    }
+
+    /// Capture-avoiding substitution `self[replacement/x]` (used for
+    /// unfolding `rec`; the replacement is always closed in that use).
+    pub fn subst(&self, x: &str, replacement: &CfType) -> CfType {
+        match self {
+            CfType::Skip | CfType::End(_) | CfType::Msg(..) => self.clone(),
+            CfType::Var(v) => {
+                if v == x {
+                    replacement.clone()
+                } else {
+                    self.clone()
+                }
+            }
+            CfType::Choice(d, bs) => CfType::Choice(
+                *d,
+                bs.iter()
+                    .map(|(l, t)| (l.clone(), t.subst(x, replacement)))
+                    .collect(),
+            ),
+            CfType::Seq(a, b) => CfType::seq(a.subst(x, replacement), b.subst(x, replacement)),
+            CfType::Rec(v, body) | CfType::Forall(v, body) => {
+                if v == x {
+                    self.clone() // shadowed
+                } else {
+                    let rebuilt = body.subst(x, replacement);
+                    match self {
+                        CfType::Rec(..) => CfType::rec(v.clone(), rebuilt),
+                        _ => CfType::forall(v.clone(), rebuilt),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks contractivity: every `rec x.T` must expose a communication
+    /// constructor before reaching `x` (no `rec x. x` or `rec x. Skip;x`).
+    pub fn is_contractive(&self) -> bool {
+        fn guarded(t: &CfType, pending: &mut Vec<Name>, env: &HashMap<Name, CfType>) -> bool {
+            match t {
+                CfType::Skip | CfType::End(_) | CfType::Msg(..) | CfType::Choice(..)
+                | CfType::Forall(..) => true,
+                CfType::Var(v) => !pending.iter().any(|p| p == v),
+                CfType::Seq(a, b) => {
+                    if !guarded(a, pending, env) {
+                        return false;
+                    }
+                    // If `a` can be Skip-like (empty), `b` must also be
+                    // guarded with the same pending set.
+                    if can_be_empty(a) {
+                        guarded(b, pending, env)
+                    } else {
+                        true
+                    }
+                }
+                CfType::Rec(v, body) => {
+                    pending.push(v.clone());
+                    let ok = guarded(body, pending, env);
+                    pending.pop();
+                    ok
+                }
+            }
+        }
+        fn can_be_empty(t: &CfType) -> bool {
+            match t {
+                CfType::Skip => true,
+                CfType::Seq(a, b) => can_be_empty(a) && can_be_empty(b),
+                CfType::Rec(_, body) => can_be_empty(body),
+                _ => false,
+            }
+        }
+        fn walk(t: &CfType) -> bool {
+            match t {
+                CfType::Skip | CfType::End(_) | CfType::Msg(..) | CfType::Var(_) => true,
+                CfType::Choice(_, bs) => bs.iter().all(|(_, t)| walk(t)),
+                CfType::Seq(a, b) => walk(a) && walk(b),
+                CfType::Forall(_, body) => walk(body),
+                CfType::Rec(v, body) => {
+                    let mut pending = vec![v.clone()];
+                    guarded(body, &mut pending, &HashMap::new()) && walk(body)
+                }
+            }
+        }
+        walk(self)
+    }
+
+    /// Free (session) type variables.
+    pub fn free_vars(&self) -> Vec<Name> {
+        fn go(t: &CfType, bound: &mut Vec<Name>, acc: &mut Vec<Name>) {
+            match t {
+                CfType::Skip | CfType::End(_) | CfType::Msg(..) => {}
+                CfType::Var(v) => {
+                    if !bound.iter().any(|b| b == v) && !acc.iter().any(|a| a == v) {
+                        acc.push(v.clone());
+                    }
+                }
+                CfType::Choice(_, bs) => {
+                    for (_, t) in bs {
+                        go(t, bound, acc);
+                    }
+                }
+                CfType::Seq(a, b) => {
+                    go(a, bound, acc);
+                    go(b, bound, acc);
+                }
+                CfType::Rec(v, body) | CfType::Forall(v, body) => {
+                    bound.push(v.clone());
+                    go(body, bound, acc);
+                    bound.pop();
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut Vec::new(), &mut acc);
+        acc
+    }
+}
+
+impl fmt::Display for CfType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn atom(t: &CfType) -> bool {
+            matches!(
+                t,
+                CfType::Skip | CfType::End(_) | CfType::Msg(..) | CfType::Var(_) | CfType::Choice(..)
+            )
+        }
+        match self {
+            CfType::Skip => write!(f, "Skip"),
+            CfType::End(Dir::Out) => write!(f, "End!"),
+            CfType::End(Dir::In) => write!(f, "End?"),
+            CfType::Msg(Dir::Out, p) => write!(f, "!{p}"),
+            CfType::Msg(Dir::In, p) => write!(f, "?{p}"),
+            CfType::Choice(d, bs) => {
+                write!(f, "{}{{", if *d == Dir::Out { "+" } else { "&" })?;
+                for (i, (l, t)) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}: {t}")?;
+                }
+                write!(f, "}}")
+            }
+            CfType::Seq(a, b) => {
+                if atom(a) {
+                    write!(f, "{a}")?;
+                } else {
+                    write!(f, "({a})")?;
+                }
+                write!(f, "; ")?;
+                if atom(b) || matches!(**b, CfType::Seq(..)) {
+                    write!(f, "{b}")
+                } else {
+                    write!(f, "({b})")
+                }
+            }
+            CfType::Rec(x, body) => write!(f, "(rec {x}. {body})"),
+            CfType::Var(x) => write!(f, "{x}"),
+            CfType::Forall(x, body) => write!(f, "(forall {x}. {body})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The FreeST counterpart of the paper's Fig. 9:
+    /// `(rec r. &{More: ?Int; r; Skip, Quit: Skip}); (!(Char, End!); End!)`
+    pub fn fig9_type() -> CfType {
+        let repeat = CfType::rec(
+            "repeat0",
+            CfType::choice(
+                Dir::In,
+                vec![
+                    (
+                        "More".into(),
+                        CfType::seq_all([
+                            CfType::Msg(Dir::In, Payload::Int),
+                            CfType::var("repeat0"),
+                            CfType::Skip,
+                        ]),
+                    ),
+                    ("Quit".into(), CfType::Skip),
+                ],
+            ),
+        );
+        let tail = CfType::seq(
+            CfType::Msg(
+                Dir::Out,
+                Payload::Pair(
+                    Box::new(Payload::Char),
+                    Box::new(Payload::Session(Box::new(CfType::End(Dir::Out)))),
+                ),
+            ),
+            CfType::End(Dir::Out),
+        );
+        CfType::seq(repeat, tail)
+    }
+
+    #[test]
+    fn fig9_displays_like_the_paper() {
+        let t = fig9_type();
+        let s = t.to_string();
+        assert!(s.contains("rec repeat0"), "{s}");
+        assert!(s.contains("More: ?Int; repeat0; Skip"), "{s}");
+        assert!(s.contains("Quit: Skip"), "{s}");
+        assert!(s.contains("!(Char, End!)"), "{s}");
+    }
+
+    #[test]
+    fn contractivity() {
+        assert!(fig9_type().is_contractive());
+        let bad = CfType::rec("x", CfType::var("x"));
+        assert!(!bad.is_contractive());
+        let sneaky = CfType::rec("x", CfType::seq(CfType::Skip, CfType::var("x")));
+        assert!(!sneaky.is_contractive());
+        let ok = CfType::rec(
+            "x",
+            CfType::seq(CfType::Msg(Dir::Out, Payload::Int), CfType::var("x")),
+        );
+        assert!(ok.is_contractive());
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        let t = CfType::rec("x", CfType::var("x"));
+        assert_eq!(t.subst("x", &CfType::Skip), t);
+        let u = CfType::seq(CfType::var("y"), CfType::rec("y", CfType::var("y")));
+        let r = u.subst("y", &CfType::End(Dir::Out));
+        assert_eq!(
+            r,
+            CfType::seq(CfType::End(Dir::Out), CfType::rec("y", CfType::var("y")))
+        );
+    }
+
+    #[test]
+    fn choice_branches_sorted() {
+        let c = CfType::choice(
+            Dir::Out,
+            vec![("Z".into(), CfType::Skip), ("A".into(), CfType::Skip)],
+        );
+        let CfType::Choice(_, bs) = &c else { panic!() };
+        assert_eq!(bs[0].0, "A");
+    }
+
+    #[test]
+    fn node_count_and_free_vars() {
+        let t = fig9_type();
+        assert!(t.node_count() > 8);
+        assert!(t.free_vars().is_empty());
+        let open = CfType::seq(CfType::var("a"), CfType::Skip);
+        assert_eq!(open.free_vars(), vec!["a".to_string()]);
+    }
+}

@@ -1,0 +1,323 @@
+//! Embedding of (linear, monomorphic) context-free session types into
+//! AlgST (paper Appendix E, Fig. 13).
+//!
+//! ```text
+//! L Skip M        = ε
+//! L !T M          = ⌜T⌝            L ?T M = -⌜T⌝
+//! L T;U M         = L T M L U M
+//! L ⊕{l: Tl} M    = X    where protocol X = { l L Tl M }
+//! L &{l: Tl} M    = -X   where protocol X = { l L dual Tl M }
+//! L rec x.T M     = X    where protocol X = UnfoldX L T M
+//! J T : Slin K    = !X_T.End!   where protocol X_T = X_T L T M
+//! ```
+//!
+//! The embedding is *generative*: each syntactic occurrence of a choice
+//! or recursion mints a fresh protocol. As the paper discusses, the
+//! isorecursive reading inserts explicit `UnfoldX` messages, so the
+//! embedded type is related to the original by an adapter process
+//! (App. E, Tables 1–3), not by action-for-action equality.
+
+use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst_core::symbol::Symbol;
+use algst_core::types::Type;
+use freest::{CfType, Dir, Payload};
+use std::collections::HashMap;
+use std::fmt;
+
+/// CFST constructs outside the embeddable (monomorphic) fragment.
+#[derive(Clone, Debug)]
+pub struct UnembeddableError(pub String);
+
+impl fmt::Display for UnembeddableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot embed into AlgST: {}", self.0)
+    }
+}
+
+impl std::error::Error for UnembeddableError {}
+
+/// Result of an embedding: fresh protocol declarations plus the AlgST
+/// session type `!X_T.End!`.
+#[derive(Debug)]
+pub struct Embedded {
+    pub decls: Declarations,
+    pub ty: Type,
+}
+
+/// Embeds a closed, contractive CFST into AlgST per Fig. 13.
+pub fn from_freest(t: &CfType) -> Result<Embedded, UnembeddableError> {
+    if !t.is_contractive() {
+        return Err(UnembeddableError("type is not contractive".into()));
+    }
+    let mut emb = Embedder {
+        decls: Declarations::new(),
+        fresh: 0,
+        rec_vars: HashMap::new(),
+    };
+    let segments = emb.segments(t)?;
+    // J T K = !X_T.End! where protocol X_T = X_T ⟨segments⟩.
+    let top = emb.fresh_name("XT");
+    let tag = emb.fresh_name("MkXT");
+    emb.decls
+        .add_protocol(ProtocolDecl {
+            name: top,
+            params: vec![],
+            ctors: vec![Ctor { tag, args: segments }],
+        })
+        .map_err(|e| UnembeddableError(e.to_string()))?;
+    emb.decls
+        .validate()
+        .map_err(|e| UnembeddableError(e.to_string()))?;
+    Ok(Embedded {
+        decls: emb.decls,
+        ty: Type::output(Type::proto(top, vec![]), Type::EndOut),
+    })
+}
+
+struct Embedder {
+    decls: Declarations,
+    fresh: u32,
+    /// `rec`-bound variables in scope, mapped to their protocol name.
+    rec_vars: HashMap<String, Symbol>,
+}
+
+impl Embedder {
+    fn fresh_name(&mut self, prefix: &str) -> Symbol {
+        self.fresh += 1;
+        Symbol::fresh(&format!("{prefix}{}", self.fresh))
+    }
+
+    /// `L T M`: the sequence of protocol-kinded segments of `T`.
+    fn segments(&mut self, t: &CfType) -> Result<Vec<Type>, UnembeddableError> {
+        Ok(match t {
+            CfType::Skip => vec![],
+            CfType::Seq(a, b) => {
+                let mut out = self.segments(a)?;
+                out.extend(self.segments(b)?);
+                out
+            }
+            CfType::Msg(Dir::Out, p) => vec![self.payload(p)?],
+            CfType::Msg(Dir::In, p) => vec![Type::neg(self.payload(p)?)],
+            CfType::End(d) => {
+                // End absorbs: embed as a dedicated zero-field terminal
+                // protocol transmission followed by nothing. We model it
+                // as transmitting a Unit in the End's direction; the
+                // session-level End of the embedding (J·K) closes the
+                // channel.
+                let dirty = match d {
+                    Dir::Out => Type::Unit,
+                    Dir::In => Type::neg(Type::Unit),
+                };
+                vec![dirty]
+            }
+            CfType::Choice(dir, branches) => {
+                let name = self.fresh_name("XC");
+                let mut ctors = Vec::with_capacity(branches.len());
+                for (label, cont) in branches {
+                    let body = match dir {
+                        Dir::Out => cont.clone(),
+                        // & branches embed the *dual* continuation under
+                        // a top-level negation (Fig. 13).
+                        Dir::In => dual_cf(cont),
+                    };
+                    ctors.push(Ctor {
+                        tag: self.fresh_name(&format!("{label}_")),
+                        args: self.segments(&body)?,
+                    });
+                }
+                self.decls
+                    .add_protocol(ProtocolDecl {
+                        name,
+                        params: vec![],
+                        ctors,
+                    })
+                    .map_err(|e| UnembeddableError(e.to_string()))?;
+                let head = Type::proto(name, vec![]);
+                vec![match dir {
+                    Dir::Out => head,
+                    Dir::In => Type::neg(head),
+                }]
+            }
+            CfType::Rec(x, body) => {
+                let name = self.fresh_name("XR");
+                self.rec_vars.insert(x.clone(), name);
+                let args = self.segments(body)?;
+                self.rec_vars.remove(x);
+                let tag = self.fresh_name(&format!("Unfold{}", self.fresh));
+                self.decls
+                    .add_protocol(ProtocolDecl {
+                        name,
+                        params: vec![],
+                        ctors: vec![Ctor { tag, args }],
+                    })
+                    .map_err(|e| UnembeddableError(e.to_string()))?;
+                vec![Type::proto(name, vec![])]
+            }
+            CfType::Var(x) => match self.rec_vars.get(x) {
+                Some(name) => vec![Type::proto(*name, vec![])],
+                None => {
+                    return Err(UnembeddableError(format!(
+                        "free variable {x} (only the monomorphic fragment embeds)"
+                    )))
+                }
+            },
+            CfType::Forall(..) => {
+                return Err(UnembeddableError(
+                    "polymorphic fragment not embedded (App. E treats it informally)".into(),
+                ))
+            }
+        })
+    }
+
+    fn payload(&mut self, p: &Payload) -> Result<Type, UnembeddableError> {
+        Ok(match p {
+            Payload::Unit => Type::Unit,
+            Payload::Int => Type::int(),
+            Payload::Bool => Type::bool(),
+            Payload::Char => Type::char(),
+            Payload::Str => Type::string(),
+            Payload::Pair(a, b) => Type::pair(self.payload(a)?, self.payload(b)?),
+            Payload::Session(s) => match &**s {
+                CfType::End(Dir::Out) => Type::EndOut,
+                CfType::End(Dir::In) => Type::EndIn,
+                other => {
+                    return Err(UnembeddableError(format!(
+                        "higher-order session payload {other}"
+                    )))
+                }
+            },
+            Payload::Var(v) => {
+                return Err(UnembeddableError(format!("polymorphic payload {v}")))
+            }
+        })
+    }
+}
+
+/// The syntactic dual of a CFST: flips every direction.
+pub fn dual_cf(t: &CfType) -> CfType {
+    match t {
+        CfType::Skip => CfType::Skip,
+        CfType::End(d) => CfType::End(d.flip()),
+        CfType::Msg(d, p) => CfType::Msg(d.flip(), p.clone()),
+        CfType::Choice(d, bs) => CfType::Choice(
+            d.flip(),
+            bs.iter().map(|(l, t)| (l.clone(), dual_cf(t))).collect(),
+        ),
+        CfType::Seq(a, b) => CfType::seq(dual_cf(a), dual_cf(b)),
+        CfType::Rec(x, body) => CfType::rec(x.clone(), dual_cf(body)),
+        CfType::Var(x) => CfType::var(x.clone()),
+        CfType::Forall(x, body) => CfType::forall(x.clone(), dual_cf(body)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::kind::Kind;
+    use algst_core::kindcheck::KindCtx;
+
+    fn embeds(t: &CfType) -> Embedded {
+        let e = from_freest(t).unwrap_or_else(|err| panic!("cannot embed {t}: {err}"));
+        // Every embedding must be well-kinded.
+        let mut ctx = KindCtx::new(&e.decls);
+        ctx.check(&e.ty, Kind::Session)
+            .unwrap_or_else(|err| panic!("ill-kinded embedding of {t}: {err}"));
+        e
+    }
+
+    #[test]
+    fn message_embeds_as_promoted_payload() {
+        let e = embeds(&CfType::Msg(Dir::Out, Payload::Int));
+        // !XT.End! with protocol XT = MkXT Int
+        let Type::Out(payload, _) = &e.ty else { panic!() };
+        let Type::Proto(name, _) = &**payload else {
+            panic!()
+        };
+        let decl = e.decls.protocol(*name).unwrap();
+        assert_eq!(decl.ctors.len(), 1);
+        assert_eq!(decl.ctors[0].args, vec![Type::int()]);
+    }
+
+    #[test]
+    fn input_embeds_with_negation() {
+        let e = embeds(&CfType::Msg(Dir::In, Payload::Int));
+        let Type::Out(payload, _) = &e.ty else { panic!() };
+        let Type::Proto(name, _) = &**payload else {
+            panic!()
+        };
+        let decl = e.decls.protocol(*name).unwrap();
+        assert_eq!(decl.ctors[0].args, vec![Type::neg(Type::int())]);
+    }
+
+    #[test]
+    fn choice_embeds_as_protocol() {
+        let t = CfType::choice(
+            Dir::Out,
+            vec![
+                ("A".into(), CfType::Msg(Dir::Out, Payload::Int)),
+                ("B".into(), CfType::Skip),
+            ],
+        );
+        let e = embeds(&t);
+        // Two protocols: the choice and the top wrapper.
+        assert_eq!(e.decls.protocols().count(), 2);
+        let choice = e
+            .decls
+            .protocols()
+            .find(|p| p.ctors.len() == 2)
+            .expect("choice protocol");
+        assert_eq!(choice.ctors[0].args.len(), 1);
+        assert!(choice.ctors[1].args.is_empty());
+    }
+
+    #[test]
+    fn branch_embeds_negated_with_dualized_continuations() {
+        let t = CfType::choice(
+            Dir::In,
+            vec![("A".into(), CfType::Msg(Dir::In, Payload::Int))],
+        );
+        let e = embeds(&t);
+        let choice = e
+            .decls
+            .protocols()
+            .find(|p| p.name.as_str().starts_with("XC"))
+            .expect("choice protocol");
+        // dual(?Int) = !Int embeds positively.
+        assert_eq!(choice.ctors[0].args, vec![Type::int()]);
+    }
+
+    #[test]
+    fn recursion_embeds_with_unfold_protocol() {
+        let t = CfType::rec(
+            "x",
+            CfType::seq(CfType::Msg(Dir::Out, Payload::Int), CfType::var("x")),
+        );
+        let e = embeds(&t);
+        let rec = e
+            .decls
+            .protocols()
+            .find(|p| p.name.as_str().starts_with("XR"))
+            .expect("rec protocol");
+        // UnfoldX ⟨!Int, X⟩ — self-reference in the second slot.
+        assert_eq!(rec.ctors[0].args.len(), 2);
+        assert_eq!(rec.ctors[0].args[0], Type::int());
+        assert_eq!(rec.ctors[0].args[1], Type::proto(rec.name, vec![]));
+    }
+
+    #[test]
+    fn fig9_like_type_embeds() {
+        let t = crate::to_freest_roundtrip_sample();
+        embeds(&t);
+    }
+
+    #[test]
+    fn free_variables_are_rejected() {
+        assert!(from_freest(&CfType::var("loose")).is_err());
+    }
+
+    #[test]
+    fn dual_is_involutory() {
+        let t = crate::to_freest_roundtrip_sample();
+        assert_eq!(dual_cf(&dual_cf(&t)), t);
+    }
+}

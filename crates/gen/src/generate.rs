@@ -1,0 +1,355 @@
+//! Random instance generation (paper Section 5).
+//!
+//! "To create a collection of equivalent and non-equivalent test cases, we
+//! implemented a generator of instances of AlgST types. […] We carefully
+//! restrict protocols and types so that a translation from AlgST instances
+//! to FreeST types is possible: the generator avoids polymorphic and
+//! nested recursion and restricts the occurrences of the negation operator
+//! to the top level of protocol constructor arguments."
+//!
+//! Additional invariants guaranteeing that translation preserves the
+//! verdicts (so both systems are asked the *same* question) and stays
+//! polynomially sized (the paper: "carefully restrict protocols and types
+//! so that a translation … is possible"):
+//!
+//! * every protocol has an **exit constructor** whose arguments mention no
+//!   protocols, so every protocol is normed (terminating) and every
+//!   position in the session type is behaviourally reachable — a mutation
+//!   can never hide in dead code that FreeST's equirecursive view would
+//!   ignore;
+//! * single-constructor protocols (whose FreeST translation omits the
+//!   choice tag, cf. Fig. 9) consist of base-type arguments only, keeping
+//!   the translation contractive — and carry at least one argument:
+//!   a *nullary* single-constructor protocol would translate to the empty
+//!   behaviour, making `?P.S` and `!P.S` FreeST-equal while AlgST keeps
+//!   them nominally apart;
+//! * protocol references point to the protocol itself or its successor in
+//!   a single mutual-recursion cycle, with at most two protocol-reference
+//!   arguments per protocol — the tag-inlining FreeST translation then
+//!   grows like 2^(2·cycle) in the worst case instead of exploding with
+//!   unrestricted fan-out (recursion through `-P` flips direction, hence
+//!   the factor 2 in the exponent);
+//! * with probability [`GenConfig::deep_norms`], a contiguous prefix of
+//!   the protocol chain consists of *deep* protocols whose only finishing
+//!   constructor triplicates a reference to the next protocol
+//!   (`exit_i = C P_{i+1} P_{i+1} P_{i+1}`), the classic family whose
+//!   norms grow exponentially (3^prefix) while the grammar stays linear —
+//!   these are the instances that drive the baseline bisimulation checker
+//!   into the paper's timeouts, while AlgST's nominal check is unaffected.
+
+use crate::instance::Instance;
+use algst_core::kind::Kind;
+use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst_core::symbol::Symbol;
+use algst_core::types::{BaseType, Type};
+use rand::Rng;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of (mutually recursive) protocol declarations.
+    pub protocols: usize,
+    /// Maximum constructors per protocol (≥ 2 enables recursion).
+    pub max_ctors: usize,
+    /// Maximum arguments per constructor.
+    pub max_args: usize,
+    /// Number of messages on the session type's spine.
+    pub spine: usize,
+    /// Probability of wrapping the type in `∀(s:S). …s` with a variable
+    /// tail instead of closing it with `End`.
+    pub poly_tail: f64,
+    /// Probability that a protocol's exit constructor duplicates a
+    /// reference to the next protocol in the chain (exponential norms).
+    pub deep_norms: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            protocols: 2,
+            max_ctors: 3,
+            max_args: 3,
+            spine: 4,
+            poly_tail: 0.3,
+            deep_norms: 0.0,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A configuration whose expected instance size grows with `size`
+    /// (used to sweep the x-axis of Figure 10).
+    pub fn sized(size: usize) -> GenConfig {
+        GenConfig {
+            protocols: (1 + size / 6).min(22),
+            max_ctors: 2 + (size / 12).min(3),
+            max_args: 1 + (size / 10).min(3),
+            spine: 2 + size / 6,
+            poly_tail: 0.3,
+            deep_norms: 0.55,
+        }
+    }
+}
+
+/// Deterministically numbered fresh names, unique per generated instance.
+struct Names {
+    stamp: u64,
+    tags: usize,
+}
+
+impl Names {
+    fn protocol(&self, i: usize) -> Symbol {
+        Symbol::intern(&format!("G{}P{i}", self.stamp))
+    }
+
+    fn tag(&mut self) -> Symbol {
+        self.tags += 1;
+        Symbol::intern(&format!("G{}C{}", self.stamp, self.tags))
+    }
+}
+
+fn base(rng: &mut impl Rng) -> Type {
+    match rng.gen_range(0..4) {
+        0 => Type::Base(BaseType::Int),
+        1 => Type::Base(BaseType::Bool),
+        2 => Type::Base(BaseType::Char),
+        _ => Type::Base(BaseType::Str),
+    }
+}
+
+/// Generates one instance.
+pub fn generate_instance<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Instance {
+    let mut names = Names {
+        stamp: rng.gen::<u32>() as u64,
+        tags: 0,
+    };
+    let n = cfg.protocols.max(1);
+
+    // Exponential-norm family: with probability `deep_norms` the instance
+    // gets a *contiguous* prefix of deep protocols (P_0 … P_{deep_len-1}),
+    // each of whose only finishing path duplicates the next protocol —
+    // norms then multiply along the whole run (2^deep_len). Consecutive
+    // placement matters: isolated deep protocols multiply only once.
+    let deep_len = if n >= 4 && rng.gen_bool(cfg.deep_norms) {
+        rng.gen_range(n / 2..n)
+    } else {
+        0
+    };
+
+    let mut decls = Declarations::new();
+    for i in 0..n {
+        let mut num_ctors = rng.gen_range(1..=cfg.max_ctors.max(1));
+        // Deep-exit protocols must carry a choice tag (multi-constructor)
+        // so their grammar rendering is one nonterminal per protocol —
+        // a tagless 2-reference exit would double the *word* instead.
+        let deep_exit = i + 1 < n && i < deep_len;
+        if deep_exit {
+            num_ctors = num_ctors.max(2);
+        }
+        let mut ctors = Vec::with_capacity(num_ctors);
+        // Recursion discipline: references go to this protocol or the
+        // next one in the cycle, at most two per protocol overall.
+        let mut proto_refs_left = 2usize;
+        // Exit constructor (c == 0): base types only, except that a
+        // deep-norm exit duplicates a reference to the next protocol
+        // *down the chain* (strictly forward, hence still normed) — the
+        // exponential-norm family.
+        for c in 0..num_ctors {
+            if c == 0 && deep_exit {
+                let next = Type::proto(names.protocol(i + 1), vec![]);
+                ctors.push(Ctor {
+                    tag: names.tag(),
+                    args: vec![next.clone(), next.clone(), next],
+                });
+                continue;
+            }
+            if deep_exit {
+                // Every other constructor of a deep protocol recurses, so
+                // the duplicated exit is the *only* finishing path and the
+                // norm is genuinely exponential (a base-only alternative
+                // would undercut it).
+                let mut args = vec![Type::proto(names.protocol(i), vec![])];
+                if rng.gen_bool(0.5) {
+                    args.insert(0, base(rng));
+                }
+                ctors.push(Ctor {
+                    tag: names.tag(),
+                    args,
+                });
+                continue;
+            }
+            let mut num_args = rng.gen_range(0..=cfg.max_args);
+            if num_ctors == 1 {
+                num_args = num_args.max(1);
+            }
+            let mut args = Vec::with_capacity(num_args);
+            for _ in 0..num_args {
+                // Exit constructor (c == 0) and single-constructor
+                // protocols use base arguments only; otherwise protocol
+                // references (possibly negated) are allowed.
+                let allow_proto = c > 0 && num_ctors > 1 && proto_refs_left > 0;
+                // Deep-exit protocols keep their other references
+                // self-directed: together with the two exit references
+                // this bounds the inlining translation by 2 references
+                // per chain level (2^depth overall) instead of 4^depth.
+                let target = if deep_exit || rng.gen_bool(0.5) {
+                    i
+                } else {
+                    (i + 1) % n
+                };
+                let arg = match rng.gen_range(0..4) {
+                    0 if allow_proto => {
+                        proto_refs_left -= 1;
+                        Type::proto(names.protocol(target), vec![])
+                    }
+                    1 if allow_proto => {
+                        proto_refs_left -= 1;
+                        Type::neg(Type::proto(names.protocol(target), vec![]))
+                    }
+                    2 => Type::neg(base(rng)),
+                    _ => base(rng),
+                };
+                args.push(arg);
+            }
+            ctors.push(Ctor {
+                tag: names.tag(),
+                args,
+            });
+        }
+        decls
+            .add_protocol(ProtocolDecl {
+                name: names.protocol(i),
+                params: vec![],
+                ctors,
+            })
+            .expect("generated names are fresh");
+    }
+    decls.validate().expect("generated declarations are well-kinded");
+
+    // The session type: a spine of messages over the declared protocols
+    // and base types, closed by End or a quantified variable tail.
+    let poly = rng.gen_bool(cfg.poly_tail);
+    let tail_var = Symbol::intern("s");
+    let mut ty = if poly {
+        Type::Var(tail_var)
+    } else if rng.gen_bool(0.5) {
+        Type::EndOut
+    } else {
+        Type::EndIn
+    };
+    // Protocol payloads are biased toward the head of the declaration
+    // chain so the deep-norm prefix is actually exercised by the type.
+    let pick_protocol = |rng: &mut R| {
+        if rng.gen_bool(0.5) {
+            0
+        } else {
+            rng.gen_range(0..n)
+        }
+    };
+    for _ in 0..cfg.spine {
+        let payload = match rng.gen_range(0..5) {
+            0 => Type::proto(names.protocol(pick_protocol(rng)), vec![]),
+            1 => Type::neg(Type::proto(names.protocol(pick_protocol(rng)), vec![])),
+            2 => Type::neg(base(rng)),
+            3 => Type::pair(base(rng), if rng.gen_bool(0.5) {
+                Type::EndOut
+            } else {
+                Type::EndIn
+            }),
+            _ => base(rng),
+        };
+        ty = if rng.gen_bool(0.5) {
+            Type::input(payload, ty)
+        } else {
+            Type::output(payload, ty)
+        };
+    }
+    if poly {
+        ty = Type::forall(tail_var, Kind::Session, ty);
+    }
+
+    Instance { decls, ty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::kindcheck::KindCtx;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_instances_are_well_kinded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..50 {
+            let cfg = GenConfig::sized(5 + i);
+            let inst = generate_instance(&mut rng, &cfg);
+            let mut ctx = KindCtx::new(&inst.decls);
+            let kind = ctx.synth(&inst.ty).unwrap_or_else(|e| {
+                panic!("ill-kinded generated type {}: {e}", inst.ty)
+            });
+            assert!(
+                kind.is_subkind_of(Kind::Value),
+                "unexpected kind {kind} for {}",
+                inst.ty
+            );
+        }
+    }
+
+    #[test]
+    fn generated_instances_grow_with_size() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let small: usize = (0..20)
+            .map(|_| generate_instance(&mut rng, &GenConfig::sized(5)).node_count())
+            .sum();
+        let large: usize = (0..20)
+            .map(|_| generate_instance(&mut rng, &GenConfig::sized(90)).node_count())
+            .sum();
+        assert!(
+            large > small * 2,
+            "sized(90) ({large}) should dwarf sized(5) ({small})"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = generate_instance(&mut StdRng::seed_from_u64(1), &GenConfig::default());
+        let b = generate_instance(&mut StdRng::seed_from_u64(1), &GenConfig::default());
+        assert_eq!(a.ty, b.ty);
+    }
+
+    #[test]
+    fn exit_constructors_keep_protocols_normed() {
+        // Exit constructors may only reference *later* protocols in the
+        // chain (the exponential-norm family), never earlier ones or
+        // themselves — this keeps every protocol normed, hence every
+        // position behaviourally reachable.
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let inst = generate_instance(&mut rng, &GenConfig::sized(60));
+            let order: Vec<_> = inst.decls.protocols().map(|p| p.name).collect();
+            for (i, p) in inst.decls.protocols().enumerate() {
+                let exit = &p.ctors[0];
+                for arg in &exit.args {
+                    if let Some(name) = proto_ref(arg) {
+                        let j = order.iter().position(|n| *n == name).expect("declared");
+                        assert!(
+                            j > i,
+                            "exit ctor of {} references {} (not strictly later)",
+                            p.name,
+                            name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn proto_ref(t: &Type) -> Option<algst_core::symbol::Symbol> {
+        match t {
+            Type::Proto(name, _) => Some(*name),
+            Type::Neg(inner) => proto_ref(inner),
+            _ => None,
+        }
+    }
+}

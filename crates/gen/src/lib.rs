@@ -1,0 +1,57 @@
+//! # algst-gen
+//!
+//! The benchmark-instance machinery of the paper's Section 5:
+//!
+//! * [`generate`] — random instances (mutually recursive, unparameterized
+//!   protocols plus a session type) in the FreeST-translatable fragment;
+//! * [`mutate`] — equivalent partners via random walks over the
+//!   conversion rules (Fig. 2), and non-equivalent mutants via quantifier
+//!   insertion / sub-part replacement;
+//! * [`to_freest`] — the AlgST → FreeST translation of Fig. 9 / App. E;
+//! * [`from_freest`] — the reverse embedding of App. E Fig. 13;
+//! * [`suite`] — assembly of the paper's 324-test suites for Fig. 10.
+
+pub mod from_freest;
+pub mod generate;
+pub mod instance;
+pub mod mutate;
+pub mod suite;
+pub mod to_freest;
+pub mod to_grammar;
+
+pub use generate::{generate_instance, GenConfig};
+pub use instance::{Instance, TestCase};
+pub use mutate::{equivalent_variant, nonequivalent_mutant};
+pub use suite::{build_suite, Suite, SuiteKind};
+pub use to_freest::to_freest;
+pub use to_grammar::to_grammar;
+
+/// A mid-size sample type shared by tests: the Fig. 9 `Repeat` shape.
+pub fn to_freest_roundtrip_sample() -> freest::CfType {
+    use freest::{CfType, Dir, Payload};
+    CfType::seq(
+        CfType::rec(
+            "r",
+            CfType::choice(
+                Dir::In,
+                vec![
+                    (
+                        "More".into(),
+                        CfType::seq(CfType::Msg(Dir::In, Payload::Int), CfType::var("r")),
+                    ),
+                    ("Quit".into(), CfType::Skip),
+                ],
+            ),
+        ),
+        CfType::seq(
+            CfType::Msg(
+                Dir::Out,
+                Payload::Pair(
+                    Box::new(Payload::Char),
+                    Box::new(Payload::Session(Box::new(CfType::End(Dir::Out)))),
+                ),
+            ),
+            CfType::End(Dir::Out),
+        ),
+    )
+}

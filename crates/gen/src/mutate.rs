@@ -1,0 +1,297 @@
+//! Producing equivalent partners and non-equivalent mutants for a
+//! generated instance (paper Section 5).
+//!
+//! * Equivalent: "For each instance T, we randomly apply the properties of
+//!   normalization to generate an equivalent AlgST type T′" — we take a
+//!   random walk over the declarative conversion rules of Fig. 2
+//!   ([`algst_core::conversion`]), each step of which preserves
+//!   equivalence by Theorem 1.
+//! * Non-equivalent: "obtained from each T by either introducing an
+//!   additional quantifier, or changing a sub-part of the type" — we
+//!   insert a `∀`, swap a built-in base type, flip an `End`, or flip the
+//!   direction of a message, always at a behaviourally reachable position.
+
+use algst_core::conversion::one_step_rewrites;
+use algst_core::kind::Kind;
+use algst_core::protocol::Declarations;
+use algst_core::symbol::Symbol;
+use algst_core::types::{BaseType, Type};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Applies `steps` random conversion-rule rewrites to `ty` (expected kind
+/// `kind` at the root), yielding an equivalent type.
+pub fn equivalent_variant(
+    rng: &mut impl Rng,
+    decls: &Declarations,
+    ty: &Type,
+    kind: Kind,
+    steps: usize,
+) -> Type {
+    let mut current = ty.clone();
+    for _ in 0..steps {
+        let options = one_step_rewrites(decls, &[], &current, kind);
+        if options.is_empty() {
+            break;
+        }
+        current = options[rng.gen_range(0..options.len())].clone();
+    }
+    current
+}
+
+/// The kinds of structural damage [`nonequivalent_mutant`] can apply.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Damage {
+    InsertQuantifier,
+    SwapBase,
+    FlipEnd,
+    FlipDirection,
+}
+
+/// Produces a type that is *not* equivalent to `ty`, by one structural
+/// mutation. Returns `None` only for types with no mutable position
+/// (does not happen for generated instances, whose spines are non-empty).
+pub fn nonequivalent_mutant(rng: &mut impl Rng, ty: &Type) -> Option<Type> {
+    let choices = [
+        Damage::InsertQuantifier,
+        Damage::SwapBase,
+        Damage::FlipEnd,
+        Damage::FlipDirection,
+    ];
+    // Try damages in a random rotation until one applies.
+    let start = rng.gen_range(0..choices.len());
+    for i in 0..choices.len() {
+        let damage = choices[(start + i) % choices.len()];
+        if let Some(t) = apply(rng, ty, damage) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+fn apply(rng: &mut impl Rng, ty: &Type, damage: Damage) -> Option<Type> {
+    match damage {
+        Damage::InsertQuantifier => {
+            // An extra (vacuous) quantifier changes the type: ∀z:S.T ≢ T.
+            Some(Type::forall(
+                Symbol::intern("zq"),
+                Kind::Session,
+                ty.clone(),
+            ))
+        }
+        Damage::SwapBase => {
+            let count = count_positions(ty, &is_base);
+            if count == 0 {
+                return None;
+            }
+            let target = rng.gen_range(0..count);
+            let replacement = rng.gen_range(0..3);
+            Some(rewrite_nth(ty, &is_base, target, &mut |t| {
+                let Type::Base(b) = t else { unreachable!() };
+                Type::Base(swap_base(*b, replacement))
+            }))
+        }
+        Damage::FlipEnd => {
+            let count = count_positions(ty, &is_end);
+            if count == 0 {
+                return None;
+            }
+            let target = rng.gen_range(0..count);
+            Some(rewrite_nth(ty, &is_end, target, &mut |t| match t {
+                Type::EndIn => Type::EndOut,
+                Type::EndOut => Type::EndIn,
+                _ => unreachable!(),
+            }))
+        }
+        Damage::FlipDirection => {
+            let count = count_positions(ty, &is_msg);
+            if count == 0 {
+                return None;
+            }
+            let target = rng.gen_range(0..count);
+            Some(rewrite_nth(ty, &is_msg, target, &mut |t| match t {
+                Type::In(p, s) => Type::Out(p.clone(), s.clone()),
+                Type::Out(p, s) => Type::In(p.clone(), s.clone()),
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+fn is_base(t: &Type) -> bool {
+    matches!(t, Type::Base(_))
+}
+
+fn is_end(t: &Type) -> bool {
+    matches!(t, Type::EndIn | Type::EndOut)
+}
+
+fn is_msg(t: &Type) -> bool {
+    matches!(t, Type::In(..) | Type::Out(..))
+}
+
+fn swap_base(b: BaseType, pick: usize) -> BaseType {
+    use BaseType::*;
+    let others: [BaseType; 3] = match b {
+        Int => [Bool, Char, Str],
+        Bool => [Int, Char, Str],
+        Char => [Int, Bool, Str],
+        Str => [Int, Bool, Char],
+    };
+    others[pick % 3]
+}
+
+/// Counts positions in `ty` (outside protocol declarations — mutations
+/// apply to the session type only) satisfying `pred`. Pre-order.
+fn count_positions(ty: &Type, pred: &dyn Fn(&Type) -> bool) -> usize {
+    let mut n = usize::from(pred(ty));
+    for c in children(ty) {
+        n += count_positions(c, pred);
+    }
+    n
+}
+
+fn children(ty: &Type) -> Vec<&Type> {
+    match ty {
+        Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => vec![],
+        Type::Arrow(a, b) | Type::Pair(a, b) | Type::In(a, b) | Type::Out(a, b) => {
+            vec![a, b]
+        }
+        Type::Forall(_, _, t) | Type::Dual(t) | Type::Neg(t) => vec![t],
+        Type::Proto(_, args) | Type::Data(_, args) => args.iter().collect(),
+    }
+}
+
+/// Rewrites the `target`-th (pre-order) position satisfying `pred`.
+fn rewrite_nth(
+    ty: &Type,
+    pred: &dyn Fn(&Type) -> bool,
+    target: usize,
+    f: &mut dyn FnMut(&Type) -> Type,
+) -> Type {
+    fn go(
+        ty: &Type,
+        pred: &dyn Fn(&Type) -> bool,
+        seen: &mut usize,
+        target: usize,
+        f: &mut dyn FnMut(&Type) -> Type,
+    ) -> Type {
+        if pred(ty) {
+            if *seen == target {
+                *seen += 1;
+                return f(ty);
+            }
+            *seen += 1;
+        }
+        match ty {
+            Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => {
+                ty.clone()
+            }
+            Type::Arrow(a, b) => Type::Arrow(
+                Arc::new(go(a, pred, seen, target, f)),
+                Arc::new(go(b, pred, seen, target, f)),
+            ),
+            Type::Pair(a, b) => Type::Pair(
+                Arc::new(go(a, pred, seen, target, f)),
+                Arc::new(go(b, pred, seen, target, f)),
+            ),
+            Type::In(a, b) => Type::In(
+                Arc::new(go(a, pred, seen, target, f)),
+                Arc::new(go(b, pred, seen, target, f)),
+            ),
+            Type::Out(a, b) => Type::Out(
+                Arc::new(go(a, pred, seen, target, f)),
+                Arc::new(go(b, pred, seen, target, f)),
+            ),
+            Type::Forall(v, k, t) => {
+                Type::Forall(*v, *k, Arc::new(go(t, pred, seen, target, f)))
+            }
+            Type::Dual(t) => Type::Dual(Arc::new(go(t, pred, seen, target, f))),
+            Type::Neg(t) => Type::Neg(Arc::new(go(t, pred, seen, target, f))),
+            Type::Proto(n, args) => Type::Proto(
+                *n,
+                args.iter()
+                    .map(|a| go(a, pred, seen, target, f))
+                    .collect(),
+            ),
+            Type::Data(n, args) => Type::Data(
+                *n,
+                args.iter()
+                    .map(|a| go(a, pred, seen, target, f))
+                    .collect(),
+            ),
+        }
+    }
+    go(ty, pred, &mut 0, target, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_instance, GenConfig};
+    use algst_core::equiv::equivalent;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn equivalent_variants_are_equivalent() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for i in 0..40 {
+            let inst = generate_instance(&mut rng, &GenConfig::sized(10 + i));
+            let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
+            assert!(
+                equivalent(&inst.ty, &variant),
+                "walk broke equivalence:\n  {}\n  {}",
+                inst.ty,
+                variant
+            );
+        }
+    }
+
+    #[test]
+    fn variants_usually_differ_syntactically() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut changed = 0;
+        for i in 0..20 {
+            let inst = generate_instance(&mut rng, &GenConfig::sized(20 + i));
+            let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
+            if variant != inst.ty {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "only {changed}/20 walks moved");
+    }
+
+    #[test]
+    fn mutants_are_not_equivalent() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for i in 0..60 {
+            let inst = generate_instance(&mut rng, &GenConfig::sized(8 + i));
+            let mutant = nonequivalent_mutant(&mut rng, &inst.ty).expect("mutable");
+            assert!(
+                !equivalent(&inst.ty, &mutant),
+                "mutation preserved equivalence:\n  {}\n  {}",
+                inst.ty,
+                mutant
+            );
+        }
+    }
+
+    #[test]
+    fn each_damage_kind_applies_somewhere() {
+        let ty = Type::input(
+            Type::int(),
+            Type::output(Type::neg(Type::bool()), Type::EndOut),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for damage in [
+            Damage::InsertQuantifier,
+            Damage::SwapBase,
+            Damage::FlipEnd,
+            Damage::FlipDirection,
+        ] {
+            let m = apply(&mut rng, &ty, damage).expect("applies");
+            assert!(!equivalent(&ty, &m), "{damage:?} kept equivalence: {m}");
+        }
+    }
+}

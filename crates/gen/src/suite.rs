@@ -1,0 +1,102 @@
+//! Assembly of the paper's benchmark suites (Section 5): "Each test suite
+//! comprises 324 tests" — one suite of equivalent pairs (Fig. 10a) and
+//! one of non-equivalent pairs (Fig. 10b), sweeping instance sizes.
+
+use crate::generate::{generate_instance, GenConfig};
+use crate::instance::TestCase;
+use crate::mutate::{equivalent_variant, nonequivalent_mutant};
+use algst_core::kind::Kind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which of the two Fig. 10 suites to build.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SuiteKind {
+    /// Fig. 10(a): pairs (T, T′) with T′ an equivalent conversion variant.
+    Equivalent,
+    /// Fig. 10(b): pairs (T, mutant(T)).
+    NonEquivalent,
+}
+
+/// A full benchmark suite.
+#[derive(Debug)]
+pub struct Suite {
+    pub kind: SuiteKind,
+    pub cases: Vec<TestCase>,
+}
+
+/// Number of tests per suite in the paper.
+pub const PAPER_SUITE_SIZE: usize = 324;
+
+/// Builds a suite of `count` cases with sizes swept from small to large
+/// (deterministic in `seed`).
+pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = Vec::with_capacity(count);
+    for i in 0..count {
+        // Sweep target sizes roughly linearly from ~4 to ~130 AlgST nodes,
+        // matching the x-range of the paper's plots.
+        let size = 4 + (i * 126) / count.max(1);
+        let cfg = GenConfig::sized(size);
+        let instance = generate_instance(&mut rng, &cfg);
+        let other = match kind {
+            SuiteKind::Equivalent => {
+                equivalent_variant(&mut rng, &instance.decls, &instance.ty, Kind::Value, 10)
+            }
+            SuiteKind::NonEquivalent => {
+                let mutant = nonequivalent_mutant(&mut rng, &instance.ty)
+                    .expect("generated instances always have a mutable position");
+                // Obfuscate the mutant with equivalence-preserving
+                // rewrites so the comparison is not a trivial prefix
+                // mismatch.
+                equivalent_variant(&mut rng, &instance.decls, &mutant, Kind::Value, 6)
+            }
+        };
+        cases.push(TestCase {
+            instance,
+            other,
+            equivalent: kind == SuiteKind::Equivalent,
+        });
+    }
+    Suite { kind, cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::equiv::equivalent;
+
+    #[test]
+    fn equivalent_suite_is_equivalent() {
+        let suite = build_suite(SuiteKind::Equivalent, 40, 1);
+        for case in &suite.cases {
+            assert!(equivalent(&case.instance.ty, &case.other));
+        }
+    }
+
+    #[test]
+    fn nonequivalent_suite_is_not() {
+        let suite = build_suite(SuiteKind::NonEquivalent, 40, 2);
+        for case in &suite.cases {
+            assert!(!equivalent(&case.instance.ty, &case.other));
+        }
+    }
+
+    #[test]
+    fn sizes_sweep_upward() {
+        let suite = build_suite(SuiteKind::Equivalent, 30, 3);
+        let first: usize = suite.cases[..5].iter().map(|c| c.node_count()).sum();
+        let last: usize = suite.cases[25..].iter().map(|c| c.node_count()).sum();
+        assert!(last > first, "sizes should grow: {first} vs {last}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build_suite(SuiteKind::Equivalent, 10, 9);
+        let b = build_suite(SuiteKind::Equivalent, 10, 9);
+        for (x, y) in a.cases.iter().zip(&b.cases) {
+            assert_eq!(x.instance.ty, y.instance.ty);
+            assert_eq!(x.other, y.other);
+        }
+    }
+}

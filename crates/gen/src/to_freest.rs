@@ -1,0 +1,296 @@
+//! Translation of AlgST benchmark instances to FreeST context-free
+//! session types (paper Section 5 and Fig. 9; the formal function `H·I`
+//! appears in Appendix E).
+//!
+//! "The AlgST type is translated to a session type in FreeST. Protocols
+//! are translated inline at every point of use as recursive branch or
+//! choice types, depending on whether it appears in a sending or
+//! receiving context. For single constructor types, the translation omits
+//! the constructor tag. The arguments of the constructors are translated
+//! into nested sequences of single interactions."
+//!
+//! The translation works on *normalized* types; callers normalize first
+//! (we do it here for robustness). Recursion is tied with `rec` binders
+//! keyed by (protocol, direction): a protocol used under negation
+//! recurses through the *opposite*-direction binder.
+
+use algst_core::normalize::nrm_pos;
+use algst_core::protocol::Declarations;
+use algst_core::symbol::Symbol;
+use algst_core::types::{BaseType, Type};
+use freest::{CfType, Dir, Payload};
+use std::fmt;
+
+/// A type construct outside the translatable fragment (the generator
+/// never produces these).
+#[derive(Clone, Debug)]
+pub struct UntranslatableError(pub String);
+
+impl fmt::Display for UntranslatableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type not in the FreeST-translatable fragment: {}", self.0)
+    }
+}
+
+impl std::error::Error for UntranslatableError {}
+
+/// Translates an AlgST session type (over `decls`) to a FreeST type.
+///
+/// # Errors
+/// Fails on parameterized protocol applications, function types in
+/// message positions, and other constructs outside the benchmark
+/// fragment.
+pub fn to_freest(decls: &Declarations, ty: &Type) -> Result<CfType, UntranslatableError> {
+    let n = nrm_pos(ty);
+    let mut tr = Translator { decls, stack: Vec::new() };
+    tr.session(&n)
+}
+
+struct Translator<'d> {
+    decls: &'d Declarations,
+    /// In-scope `rec` binders: (protocol, direction) → binder name.
+    stack: Vec<(Symbol, Dir)>,
+}
+
+impl Translator<'_> {
+    fn session(&mut self, ty: &Type) -> Result<CfType, UntranslatableError> {
+        Ok(match ty {
+            Type::EndOut => CfType::End(Dir::Out),
+            Type::EndIn => CfType::End(Dir::In),
+            // Session type variables and their (irreducible) duals map to
+            // nominally distinct FreeST variables.
+            Type::Var(v) => CfType::var(v.as_str()),
+            Type::Dual(inner) => match &**inner {
+                Type::Var(v) => CfType::var(format!("dual_{v}")),
+                other => {
+                    return Err(UntranslatableError(format!(
+                        "Dual of a non-variable survived normalization: {other}"
+                    )))
+                }
+            },
+            Type::In(p, s) => CfType::seq(self.message(p, Dir::In)?, self.session(s)?),
+            Type::Out(p, s) => CfType::seq(self.message(p, Dir::Out)?, self.session(s)?),
+            Type::Forall(v, _, body) => {
+                CfType::forall(v.as_str(), self.session(body)?)
+            }
+            other => {
+                return Err(UntranslatableError(format!(
+                    "unsupported session construct: {other}"
+                )))
+            }
+        })
+    }
+
+    /// One transmission of a protocol-kinded payload in direction `dir`.
+    fn message(&mut self, payload: &Type, dir: Dir) -> Result<CfType, UntranslatableError> {
+        match payload {
+            // Negation flips direction inside-out.
+            Type::Neg(inner) => self.message(inner, dir.flip()),
+            Type::Proto(name, args) => {
+                if !args.is_empty() {
+                    return Err(UntranslatableError(format!(
+                        "parameterized protocol {name} (the generator avoids nested recursion)"
+                    )));
+                }
+                self.protocol(*name, dir)
+            }
+            // Ordinary types promoted to protocols: one interaction.
+            other => Ok(CfType::Msg(dir, self.value_payload(other)?)),
+        }
+    }
+
+    /// Inlines the declaration of `name` as a recursive choice/branch.
+    fn protocol(&mut self, name: Symbol, dir: Dir) -> Result<CfType, UntranslatableError> {
+        let binder = format!(
+            "{}_{}",
+            name.as_str().to_lowercase(),
+            if dir == Dir::Out { "o" } else { "i" }
+        );
+        if self.stack.contains(&(name, dir)) {
+            return Ok(CfType::var(binder));
+        }
+        let decl = self
+            .decls
+            .protocol(name)
+            .ok_or_else(|| UntranslatableError(format!("unknown protocol {name}")))?
+            .clone();
+        self.stack.push((name, dir));
+        let body = if decl.ctors.len() == 1 {
+            // Single-constructor protocols omit the tag (Fig. 9).
+            let segs = decl.ctors[0]
+                .args
+                .iter()
+                .map(|a| self.message(a, dir))
+                .collect::<Result<Vec<_>, _>>()?;
+            CfType::seq_all(segs)
+        } else {
+            let branches = decl
+                .ctors
+                .iter()
+                .map(|c| {
+                    let segs = c
+                        .args
+                        .iter()
+                        .map(|a| self.message(a, dir))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok((c.tag.as_str().to_owned(), CfType::seq_all(segs)))
+                })
+                .collect::<Result<Vec<_>, UntranslatableError>>()?;
+            CfType::choice(dir, branches)
+        };
+        self.stack.pop();
+        // Tie the knot only if the body actually recurses.
+        if body.free_vars().iter().any(|v| *v == binder) {
+            Ok(CfType::rec(binder, body))
+        } else {
+            Ok(body)
+        }
+    }
+
+    /// Payload values of kind T: base types, unit, pairs, sessions.
+    fn value_payload(&mut self, ty: &Type) -> Result<Payload, UntranslatableError> {
+        Ok(match ty {
+            Type::Unit => Payload::Unit,
+            Type::Base(BaseType::Int) => Payload::Int,
+            Type::Base(BaseType::Bool) => Payload::Bool,
+            Type::Base(BaseType::Char) => Payload::Char,
+            Type::Base(BaseType::Str) => Payload::Str,
+            Type::Var(v) => Payload::Var(v.as_str().to_owned()),
+            Type::Pair(a, b) => Payload::Pair(
+                Box::new(self.value_payload(a)?),
+                Box::new(self.value_payload(b)?),
+            ),
+            Type::EndIn | Type::EndOut | Type::In(..) | Type::Out(..) | Type::Dual(_) => {
+                Payload::Session(Box::new(self.session(ty)?))
+            }
+            other => {
+                return Err(UntranslatableError(format!(
+                    "unsupported payload: {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::protocol::{Ctor, ProtocolDecl};
+
+    /// The paper's Fig. 9 instance:
+    /// `protocol Repeat x = More x (Repeat x) | Quit` (instantiated at Int
+    /// by the generator's unparameterized discipline) with type
+    /// `?Repeat Int . !(Char, End!) . End!`.
+    fn fig9() -> (Declarations, Type) {
+        let mut d = Declarations::new();
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("RepeatF9"),
+            params: vec![],
+            ctors: vec![
+                Ctor::new(
+                    "MoreF9",
+                    vec![Type::int(), Type::proto("RepeatF9", vec![])],
+                ),
+                Ctor::new("QuitF9", vec![]),
+            ],
+        })
+        .unwrap();
+        d.validate().unwrap();
+        let ty = Type::input(
+            Type::proto("RepeatF9", vec![]),
+            Type::output(Type::pair(Type::char(), Type::EndOut), Type::EndOut),
+        );
+        (d, ty)
+    }
+
+    #[test]
+    fn fig9_translation_matches_paper_shape() {
+        let (d, ty) = fig9();
+        let cf = to_freest(&d, &ty).unwrap();
+        let s = cf.to_string();
+        // (rec repeatf9_i. &{MoreF9: ?Int; repeatf9_i, QuitF9: Skip}); !(Char, End!); End!
+        assert!(s.contains("rec repeatf9_i"), "{s}");
+        assert!(s.contains("MoreF9: ?Int; repeatf9_i"), "{s}");
+        assert!(s.contains("QuitF9: Skip"), "{s}");
+        assert!(s.contains("!(Char, End!)"), "{s}");
+        assert!(s.ends_with("End!"), "{s}");
+    }
+
+    #[test]
+    fn sending_context_uses_internal_choice() {
+        let (d, _) = fig9();
+        let ty = Type::output(Type::proto("RepeatF9", vec![]), Type::EndOut);
+        let cf = to_freest(&d, &ty).unwrap();
+        assert!(cf.to_string().contains("+{MoreF9: !Int"), "{cf}");
+    }
+
+    #[test]
+    fn negation_flips_the_inlined_direction() {
+        let (d, _) = fig9();
+        let ty = Type::output(Type::neg(Type::proto("RepeatF9", vec![])), Type::EndOut);
+        let cf = to_freest(&d, &ty).unwrap();
+        // !( -Repeat ) behaves as a receive of Repeat.
+        assert!(cf.to_string().contains("&{MoreF9: ?Int"), "{cf}");
+    }
+
+    #[test]
+    fn single_constructor_protocols_drop_the_tag() {
+        let mut d = Declarations::new();
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("PairF9"),
+            params: vec![],
+            ctors: vec![Ctor::new("MkPairF9", vec![Type::int(), Type::char()])],
+        })
+        .unwrap();
+        d.validate().unwrap();
+        let ty = Type::output(Type::proto("PairF9", vec![]), Type::EndOut);
+        let cf = to_freest(&d, &ty).unwrap();
+        // No choice tag in sight — just the field sequence.
+        assert!(!cf.to_string().contains("MkPairF9"), "{cf}");
+        let expected = CfType::seq_all([
+            CfType::Msg(Dir::Out, Payload::Int),
+            CfType::Msg(Dir::Out, Payload::Char),
+            CfType::End(Dir::Out),
+        ]);
+        assert_eq!(
+            freest::equivalent_types(&cf, &expected, 10_000),
+            freest::BisimResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn dual_variables_are_distinct() {
+        let d = Declarations::new();
+        let a = to_freest(&d, &Type::dual(Type::var("sv"))).unwrap();
+        let b = to_freest(&d, &Type::var("sv")).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn normalization_happens_first() {
+        // Dual(?Int.End?) translates like !Int.End!.
+        let d = Declarations::new();
+        let a = to_freest(&d, &Type::dual(Type::input(Type::int(), Type::EndIn))).unwrap();
+        let b = to_freest(&d, &Type::output(Type::int(), Type::EndOut)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn translations_are_contractive() {
+        use crate::generate::{generate_instance, GenConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for i in 0..40 {
+            // Without deep-norm chains: the inlining translation is
+            // exponential in chain depth by construction (see
+            // `to_grammar` for the linear-space rendering).
+            let mut cfg = GenConfig::sized(10 + 2 * i);
+            cfg.deep_norms = 0.0;
+            let inst = generate_instance(&mut rng, &cfg);
+            let cf = to_freest(&inst.decls, &inst.ty)
+                .unwrap_or_else(|e| panic!("untranslatable {}: {e}", inst.ty));
+            assert!(cf.is_contractive(), "non-contractive: {cf}");
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Direct translation of AlgST benchmark instances into simple grammars,
+//! bypassing the intermediate [`freest::CfType`] tree.
+//!
+//! Two differences to [`crate::to_freest`] (which follows the paper's
+//! Fig. 9 presentation for display purposes):
+//!
+//! 1. **Linear space.** Inlining protocols at every use site duplicates
+//!    the referenced translation, so the tree is exponential in the depth
+//!    of protocol-reference chains. FreeST itself never materializes that
+//!    tree — its checker builds a grammar with recursion variables bound
+//!    in an environment. We do the same: each (protocol, direction) pair
+//!    becomes one nonterminal.
+//!
+//! 2. **No pre-normalization.** Normalizing before translating would hand
+//!    the baseline AlgST's linear-time algorithm for free: the paper's
+//!    equivalent test pairs differ by `Dual`/`-` manipulations (Fig. 2),
+//!    and after `nrm⁺` both sides become syntactically identical. Instead
+//!    `Dual S` is rendered *structurally*: every nonterminal reachable
+//!    from `S`'s word is mirrored by a fresh dualized nonterminal
+//!    (flipped actions, dualized successors). Bisimilarity must then do
+//!    real equirecursive work to identify `Dual (Dual S)` with `S` — the
+//!    very work AlgST's nominal check avoids.
+//!
+//! Negation `-T` has no FreeST counterpart at all (the paper restricts it
+//! to constructor-argument positions and translates "depending on whether
+//! it appears in a sending or receiving context"), so it flips the
+//! translation direction, as in `to_freest`.
+
+use crate::to_freest::UntranslatableError;
+use algst_core::protocol::Declarations;
+use algst_core::symbol::Symbol;
+use algst_core::types::{BaseType, Type};
+use freest::grammar::{Action, Grammar, NonTerm, Word};
+use freest::{CfType, Dir, Payload};
+use std::collections::HashMap;
+
+/// Translates a session type over `decls` into a word of `g`.
+///
+/// # Errors
+/// Fails on constructs outside the benchmark fragment (parameterized
+/// protocols, function types in message positions).
+pub fn to_grammar(
+    decls: &Declarations,
+    ty: &Type,
+    g: &mut Grammar,
+) -> Result<Word, UntranslatableError> {
+    let mut tr = GrammarTranslator {
+        decls,
+        g,
+        protocols: HashMap::new(),
+        in_progress: Vec::new(),
+        duals: HashMap::new(),
+        bound: Vec::new(),
+    };
+    tr.session(ty)
+}
+
+struct GrammarTranslator<'d, 'g> {
+    decls: &'d Declarations,
+    g: &'g mut Grammar,
+    /// Finished (protocol, direction) words.
+    protocols: HashMap<(Symbol, Dir), Word>,
+    /// Cyclic references resolve to the nonterminal being defined.
+    in_progress: Vec<((Symbol, Dir), NonTerm)>,
+    /// Structural dualization: nonterminal → its mirrored dual.
+    duals: HashMap<NonTerm, NonTerm>,
+    /// ∀-bound variables, canonically renamed by depth.
+    bound: Vec<(Symbol, String)>,
+}
+
+impl GrammarTranslator<'_, '_> {
+    fn session(&mut self, ty: &Type) -> Result<Word, UntranslatableError> {
+        Ok(match ty {
+            Type::EndOut => self.g.word_of(&CfType::End(Dir::Out)),
+            Type::EndIn => self.g.word_of(&CfType::End(Dir::In)),
+            Type::Var(v) => {
+                let name = self.var_name(*v);
+                self.g.word_of(&CfType::var(name))
+            }
+            // Structural duality: mirror the translated word.
+            Type::Dual(inner) => {
+                let w = self.session(inner)?;
+                w.iter().map(|&x| self.dual_nonterm(x)).collect()
+            }
+            Type::In(p, s) => {
+                let mut w = self.message(p, Dir::In)?;
+                w.extend(self.session(s)?);
+                w
+            }
+            Type::Out(p, s) => {
+                let mut w = self.message(p, Dir::Out)?;
+                w.extend(self.session(s)?);
+                w
+            }
+            Type::Forall(v, _, body) => {
+                let canon = format!("$bv{}", self.bound.len());
+                self.bound.push((*v, canon));
+                let inner = self.session(body);
+                self.bound.pop();
+                let x = self.g.fresh_nonterm();
+                self.g.set_productions(x, vec![(Action::Forall, inner?)]);
+                vec![x]
+            }
+            other => {
+                return Err(UntranslatableError(format!(
+                    "unsupported session construct: {other}"
+                )))
+            }
+        })
+    }
+
+    fn var_name(&self, v: Symbol) -> String {
+        self.bound
+            .iter()
+            .rev()
+            .find(|(b, _)| *b == v)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(|| v.as_str().to_owned())
+    }
+
+    /// The mirrored dual of a nonterminal: flipped action, dualized
+    /// successors. Cycles are tied through the memo table; repeated
+    /// dualization builds fresh mirror layers (no involution shortcut —
+    /// discovering `Dual (Dual S) ≈ S` is the checker's job).
+    fn dual_nonterm(&mut self, x: NonTerm) -> NonTerm {
+        if x == Grammar::DEAD {
+            return Grammar::DEAD;
+        }
+        if let Some(&y) = self.duals.get(&x) {
+            return y;
+        }
+        let y = self.g.fresh_nonterm();
+        self.duals.insert(x, y);
+        let prods: Vec<(Action, Word)> = self
+            .g
+            .productions(x)
+            .to_vec()
+            .into_iter()
+            .map(|(a, w)| {
+                let a = match a {
+                    Action::End(d) => Action::End(d.flip()),
+                    Action::Msg(d, p) => Action::Msg(d.flip(), p),
+                    Action::Choice(d, l) => Action::Choice(d.flip(), l),
+                    Action::Var(v) => Action::Var(toggle_dual(&v)),
+                    Action::Forall => Action::Forall,
+                };
+                let w = w.iter().map(|&z| self.dual_nonterm(z)).collect();
+                (a, w)
+            })
+            .collect();
+        self.g.set_productions(y, prods);
+        y
+    }
+
+    fn message(&mut self, payload: &Type, dir: Dir) -> Result<Word, UntranslatableError> {
+        match payload {
+            Type::Neg(inner) => self.message(inner, dir.flip()),
+            Type::Proto(name, args) => {
+                if !args.is_empty() {
+                    return Err(UntranslatableError(format!(
+                        "parameterized protocol {name}"
+                    )));
+                }
+                self.protocol(*name, dir)
+            }
+            other => {
+                let p = self.value_payload(other)?;
+                Ok(self.g.word_of(&CfType::Msg(dir, p)))
+            }
+        }
+    }
+
+    fn protocol(&mut self, name: Symbol, dir: Dir) -> Result<Word, UntranslatableError> {
+        if let Some(w) = self.protocols.get(&(name, dir)) {
+            return Ok(w.clone());
+        }
+        if let Some((_, x)) = self
+            .in_progress
+            .iter()
+            .find(|(key, _)| *key == (name, dir))
+        {
+            return Ok(vec![*x]);
+        }
+        let decl = self
+            .decls
+            .protocol(name)
+            .ok_or_else(|| UntranslatableError(format!("unknown protocol {name}")))?
+            .clone();
+        if decl.ctors.len() == 1 {
+            // Tagless (Fig. 9): a plain word; recursion through a tagless
+            // protocol would be unguarded, so reject it.
+            self.in_progress.push(((name, dir), Grammar::DEAD));
+            let mut w = Word::new();
+            let result = (|| {
+                for arg in &decl.ctors[0].args {
+                    let seg = self.message(arg, dir)?;
+                    if seg.as_slice() == [Grammar::DEAD] {
+                        return Err(UntranslatableError(format!(
+                            "unguarded recursion through single-constructor protocol {name}"
+                        )));
+                    }
+                    w.extend(seg);
+                }
+                Ok(())
+            })();
+            self.in_progress.pop();
+            result?;
+            self.protocols.insert((name, dir), w.clone());
+            return Ok(w);
+        }
+
+        // Multi-constructor: one nonterminal; cyclic references resolve to
+        // it while its productions are being built.
+        let x = self.g.fresh_nonterm();
+        self.in_progress.push(((name, dir), x));
+        let prods = (|| {
+            let mut prods = Vec::with_capacity(decl.ctors.len());
+            for c in &decl.ctors {
+                let mut w = Word::new();
+                for arg in &c.args {
+                    w.extend(self.message(arg, dir)?);
+                }
+                prods.push((Action::Choice(dir, c.tag.as_str().to_owned()), w));
+            }
+            Ok(prods)
+        })();
+        self.in_progress.pop();
+        let prods = prods?;
+        self.g.set_productions(x, prods);
+        self.protocols.insert((name, dir), vec![x]);
+        Ok(vec![x])
+    }
+
+    /// Value payloads become part of the `Msg` *action* and are compared
+    /// structurally by the grammar, so they are canonicalized first —
+    /// this mirrors FreeST, where payloads are functional types with
+    /// their own (cheap) equivalence, distinct from the spine's
+    /// equirecursive reasoning.
+    fn value_payload(&mut self, ty: &Type) -> Result<Payload, UntranslatableError> {
+        let n = algst_core::normalize::nrm_pos(ty);
+        self.canonical_payload(&n)
+    }
+
+    fn canonical_payload(&mut self, ty: &Type) -> Result<Payload, UntranslatableError> {
+        Ok(match ty {
+            Type::Unit => Payload::Unit,
+            Type::Base(BaseType::Int) => Payload::Int,
+            Type::Base(BaseType::Bool) => Payload::Bool,
+            Type::Base(BaseType::Char) => Payload::Char,
+            Type::Base(BaseType::Str) => Payload::Str,
+            Type::Var(v) => Payload::Var(self.var_name(*v)),
+            Type::Pair(a, b) => Payload::Pair(
+                Box::new(self.canonical_payload(a)?),
+                Box::new(self.canonical_payload(b)?),
+            ),
+            Type::EndIn => Payload::Session(Box::new(CfType::End(Dir::In))),
+            Type::EndOut => Payload::Session(Box::new(CfType::End(Dir::Out))),
+            other => {
+                return Err(UntranslatableError(format!(
+                    "unsupported payload: {other}"
+                )))
+            }
+        })
+    }
+}
+
+/// `dual_x ↔ x` for variable actions.
+fn toggle_dual(name: &str) -> String {
+    match name.strip_prefix("dual_") {
+        Some(rest) => rest.to_owned(),
+        None => format!("dual_{name}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_instance, GenConfig};
+    use crate::mutate::{equivalent_variant, nonequivalent_mutant};
+    use algst_core::kind::Kind;
+    use freest::{bisimilar, BisimResult};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn verdict(decls: &Declarations, a: &Type, b: &Type, budget: u64) -> BisimResult {
+        let mut g = Grammar::new();
+        let wa = to_grammar(decls, a, &mut g).expect("translatable");
+        let wb = to_grammar(decls, b, &mut g).expect("translatable");
+        bisimilar(&mut g, &wa, &wb, budget)
+    }
+
+    #[test]
+    fn dual_is_rendered_structurally() {
+        // Dual S produces *different* nonterminals than the pushed-down
+        // form — the words differ syntactically but are bisimilar.
+        let d = Declarations::new();
+        let s = Type::output(Type::int(), Type::input(Type::bool(), Type::EndOut));
+        let dual = Type::dual(s.clone());
+        let pushed = Type::input(
+            Type::int(),
+            Type::output(Type::bool(), Type::EndIn),
+        );
+        let mut g = Grammar::new();
+        let w_dual = to_grammar(&d, &dual, &mut g).unwrap();
+        let w_pushed = to_grammar(&d, &pushed, &mut g).unwrap();
+        assert_ne!(w_dual, w_pushed, "structural rendering must not normalize");
+        assert_eq!(
+            bisimilar(&mut g, &w_dual, &w_pushed, 100_000),
+            BisimResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn double_dual_requires_real_work_but_holds() {
+        let d = Declarations::new();
+        let s = Type::output(Type::int(), Type::EndOut);
+        let dd = Type::dual(Type::dual(s.clone()));
+        let mut g = Grammar::new();
+        let w1 = to_grammar(&d, &s, &mut g).unwrap();
+        let w2 = to_grammar(&d, &dd, &mut g).unwrap();
+        assert_ne!(w1, w2);
+        assert_eq!(
+            bisimilar(&mut g, &w1, &w2, 100_000),
+            BisimResult::Equivalent
+        );
+    }
+
+    #[test]
+    fn suite_verdicts_on_generated_instances() {
+        let mut rng = StdRng::seed_from_u64(5150);
+        for i in 0..25 {
+            let mut cfg = GenConfig::sized(6 + 3 * i);
+            cfg.deep_norms = 0.0; // keep the check cheap here
+            let inst = generate_instance(&mut rng, &cfg);
+            let variant =
+                equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
+            assert_eq!(
+                verdict(&inst.decls, &inst.ty, &variant, 5_000_000),
+                BisimResult::Equivalent,
+                "equivalent pair judged wrong for {}",
+                inst.ty
+            );
+            let mutant = nonequivalent_mutant(&mut rng, &inst.ty).expect("mutable");
+            assert_eq!(
+                verdict(&inst.decls, &inst.ty, &mutant, 5_000_000),
+                BisimResult::NotEquivalent,
+                "mutant pair judged wrong for {}",
+                inst.ty
+            );
+        }
+    }
+
+    #[test]
+    fn deep_chains_stay_linear_in_grammar_size() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut cfg = GenConfig::sized(120);
+        cfg.deep_norms = 1.0;
+        let inst = generate_instance(&mut rng, &cfg);
+        let mut g = Grammar::new();
+        let w = to_grammar(&inst.decls, &inst.ty, &mut g).expect("translatable");
+        assert!(
+            g.len() < 4096,
+            "grammar should be small, got {} nonterminals",
+            g.len()
+        );
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn directions_are_distinct() {
+        use algst_core::protocol::{Ctor, ProtocolDecl};
+        let mut d = Declarations::new();
+        d.add_protocol(ProtocolDecl {
+            name: Symbol::intern("TwoDirG"),
+            params: vec![],
+            ctors: vec![
+                Ctor::new("TDGo", vec![Type::int(), Type::proto("TwoDirG", vec![])]),
+                Ctor::new("TDHalt", vec![]),
+            ],
+        })
+        .unwrap();
+        d.validate().unwrap();
+        let send = Type::output(Type::proto("TwoDirG", vec![]), Type::EndOut);
+        let recv = Type::input(Type::proto("TwoDirG", vec![]), Type::EndOut);
+        assert_eq!(
+            verdict(&d, &send, &recv, 100_000),
+            BisimResult::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn forall_alpha_equivalence_via_canonical_names() {
+        let d = Declarations::new();
+        let mk = |v: &str| {
+            Type::forall(
+                v,
+                Kind::Session,
+                Type::output(Type::int(), Type::var(v)),
+            )
+        };
+        assert_eq!(
+            verdict(&d, &mk("a"), &mk("b"), 100_000),
+            BisimResult::Equivalent
+        );
+        // An extra quantifier is observable.
+        let extra = Type::forall("c", Kind::Session, mk("a"));
+        assert_eq!(
+            verdict(&d, &extra, &mk("a"), 100_000),
+            BisimResult::NotEquivalent
+        );
+    }
+
+    #[test]
+    fn dual_variable_tails_are_nominal() {
+        let d = Declarations::new();
+        let a = Type::dual(Type::var("sv"));
+        let b = Type::var("sv");
+        assert_eq!(verdict(&d, &a, &b, 10_000), BisimResult::NotEquivalent);
+        // Dual (Dual sv) ≈ sv — through two mirror layers.
+        let dd = Type::dual(Type::dual(Type::var("sv")));
+        assert_eq!(verdict(&d, &dd, &b, 10_000), BisimResult::Equivalent);
+    }
+}

@@ -1,0 +1,71 @@
+//! Cross-validation of the two equivalence checkers (the linchpin of the
+//! Figure 10 reproduction): on every generated test case, AlgST's
+//! linear-time nominal check and FreeST's bisimulation check — run on the
+//! *translated* pair — must return the same verdict, which must also match
+//! the ground truth built into the suite.
+
+use algst_core::equiv::equivalent;
+use algst_gen::suite::{build_suite, SuiteKind};
+use algst_gen::to_grammar::to_grammar;
+use freest::{bisimilar, BisimResult, Grammar};
+
+const BUDGET: u64 = 2_000_000;
+
+fn check_agreement(kind: SuiteKind, count: usize, seed: u64) {
+    let suite = build_suite(kind, count, seed);
+    let mut budget_hits = 0;
+    for (i, case) in suite.cases.iter().enumerate() {
+        let algst_verdict = equivalent(&case.instance.ty, &case.other);
+        assert_eq!(
+            algst_verdict, case.equivalent,
+            "case {i}: AlgST verdict disagrees with ground truth\n  T  = {}\n  T' = {}",
+            case.instance.ty, case.other
+        );
+
+        let mut g = Grammar::new();
+        let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
+            .unwrap_or_else(|e| panic!("case {i} untranslatable: {e}"));
+        let w2 = to_grammar(&case.instance.decls, &case.other, &mut g)
+            .unwrap_or_else(|e| panic!("case {i} untranslatable: {e}"));
+        match bisimilar(&mut g, &w1, &w2, BUDGET) {
+            BisimResult::Equivalent => assert!(
+                case.equivalent,
+                "case {i}: FreeST says equivalent, ground truth says not\n  T  = {}\n  T' = {}",
+                case.instance.ty, case.other
+            ),
+            BisimResult::NotEquivalent => assert!(
+                !case.equivalent,
+                "case {i}: FreeST says not equivalent, ground truth says equivalent\n  T  = {}\n  T' = {}",
+                case.instance.ty, case.other
+            ),
+            BisimResult::Budget => {
+                // Large instances may exhaust the budget — that is the
+                // paper's observation, not a soundness issue. Keep count.
+                budget_hits += 1;
+            }
+        }
+    }
+    // The suite sweeps small-to-large; small cases must decide.
+    assert!(
+        budget_hits < count / 2,
+        "too many budget hits ({budget_hits}/{count}) to call this agreement"
+    );
+}
+
+#[test]
+fn agreement_on_equivalent_suite() {
+    check_agreement(SuiteKind::Equivalent, 60, 101);
+}
+
+#[test]
+fn agreement_on_nonequivalent_suite() {
+    check_agreement(SuiteKind::NonEquivalent, 60, 202);
+}
+
+#[test]
+fn agreement_on_more_seeds() {
+    for seed in [7, 77, 777] {
+        check_agreement(SuiteKind::Equivalent, 25, seed);
+        check_agreement(SuiteKind::NonEquivalent, 25, seed + 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Communication channels.
+//!
+//! The paper's implementation maps synchronous channels to pairs of `MVar`s
+//! (a buffer of size one used as a rendezvous) and asynchronous channels to
+//! bounded queues (`TBQueue`). We mirror both with crossbeam channels:
+//! capacity 0 gives a rendezvous (sender blocks until the receiver
+//! arrives), capacity n a bounded queue.
+//!
+//! A channel has two [`ChanEnd`]s; each end owns a sender for one
+//! direction and a receiver for the other, so either side can send or
+//! receive as the (already type-checked) protocol dictates.
+
+use crate::value::Value;
+use algst_core::symbol::Symbol;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What travels over a channel: payload values (`send`/`receive`),
+/// selector tags (`select`/`match`) and the closing handshake
+/// (`terminate`/`wait`).
+#[derive(Clone, Debug)]
+pub enum Msg {
+    Val(Value),
+    Tag(Symbol),
+    Close,
+}
+
+/// A communication error: the peer endpoint was dropped (its thread
+/// failed) or sent something the protocol does not allow at this point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChanError {
+    Disconnected,
+    /// Received `found` where `expected` was required — impossible for
+    /// well-typed programs, kept as a dynamic check on the interpreter.
+    ProtocolViolation {
+        expected: &'static str,
+        found: &'static str,
+    },
+}
+
+impl fmt::Display for ChanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChanError::Disconnected => write!(f, "channel peer disconnected"),
+            ChanError::ProtocolViolation { expected, found } => {
+                write!(f, "protocol violation: expected {expected}, received {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChanError {}
+
+static NEXT_CHANNEL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One endpoint of a bidirectional channel.
+#[derive(Clone)]
+pub struct ChanEnd {
+    tx: Sender<Msg>,
+    rx: Receiver<Msg>,
+    id: u64,
+}
+
+impl ChanEnd {
+    /// Identifier shared by both ends, for debugging.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub fn send_val(&self, v: Value) -> Result<(), ChanError> {
+        self.tx.send(Msg::Val(v)).map_err(|_| ChanError::Disconnected)
+    }
+
+    pub fn send_tag(&self, tag: Symbol) -> Result<(), ChanError> {
+        self.tx.send(Msg::Tag(tag)).map_err(|_| ChanError::Disconnected)
+    }
+
+    pub fn send_close(&self) -> Result<(), ChanError> {
+        self.tx.send(Msg::Close).map_err(|_| ChanError::Disconnected)
+    }
+
+    pub fn recv_val(&self) -> Result<Value, ChanError> {
+        match self.rx.recv().map_err(|_| ChanError::Disconnected)? {
+            Msg::Val(v) => Ok(v),
+            Msg::Tag(_) => Err(violation("a value", "a selector tag")),
+            Msg::Close => Err(violation("a value", "close")),
+        }
+    }
+
+    pub fn recv_tag(&self) -> Result<Symbol, ChanError> {
+        match self.rx.recv().map_err(|_| ChanError::Disconnected)? {
+            Msg::Tag(t) => Ok(t),
+            Msg::Val(_) => Err(violation("a selector tag", "a value")),
+            Msg::Close => Err(violation("a selector tag", "close")),
+        }
+    }
+
+    pub fn recv_close(&self) -> Result<(), ChanError> {
+        match self.rx.recv().map_err(|_| ChanError::Disconnected)? {
+            Msg::Close => Ok(()),
+            Msg::Val(_) => Err(violation("close", "a value")),
+            Msg::Tag(_) => Err(violation("close", "a selector tag")),
+        }
+    }
+}
+
+fn violation(expected: &'static str, found: &'static str) -> ChanError {
+    ChanError::ProtocolViolation { expected, found }
+}
+
+impl fmt::Debug for ChanEnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChanEnd #{}", self.id)
+    }
+}
+
+/// Creates a fresh channel, returning its two (dual) endpoints.
+///
+/// `capacity == 0` yields synchronous rendezvous communication (the
+/// paper's default, cf. `MVar` pairs); `capacity > 0` yields asynchronous
+/// bounded-queue communication (the paper's `TBQueue` option).
+///
+/// Note that with `capacity == 0`, crossbeam's zero-capacity channel makes
+/// each `send` block until the matching `recv`, exactly the rendezvous of
+/// the paper's synchronous semantics.
+pub fn channel_pair(capacity: usize) -> (ChanEnd, ChanEnd) {
+    let (tx_ab, rx_ab) = bounded(capacity);
+    let (tx_ba, rx_ba) = bounded(capacity);
+    let id = NEXT_CHANNEL_ID.fetch_add(1, Ordering::Relaxed);
+    (
+        ChanEnd {
+            tx: tx_ab,
+            rx: rx_ba,
+            id,
+        },
+        ChanEnd {
+            tx: tx_ba,
+            rx: rx_ab,
+            id,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn rendezvous_roundtrip() {
+        let (a, b) = channel_pair(0);
+        let t = thread::spawn(move || {
+            a.send_val(Value::Int(42)).unwrap();
+            a.recv_tag().unwrap()
+        });
+        assert_eq!(b.recv_val().unwrap().as_int(), Some(42));
+        b.send_tag(Symbol::intern("Next")).unwrap();
+        assert_eq!(t.join().unwrap(), Symbol::intern("Next"));
+    }
+
+    #[test]
+    fn async_buffers_without_receiver() {
+        let (a, b) = channel_pair(4);
+        for i in 0..4 {
+            a.send_val(Value::Int(i)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(b.recv_val().unwrap().as_int(), Some(i));
+        }
+    }
+
+    #[test]
+    fn close_handshake() {
+        let (a, b) = channel_pair(1);
+        a.send_close().unwrap();
+        b.recv_close().unwrap();
+    }
+
+    #[test]
+    fn protocol_violation_detected() {
+        let (a, b) = channel_pair(1);
+        a.send_val(Value::Unit).unwrap();
+        assert!(matches!(
+            b.recv_tag(),
+            Err(ChanError::ProtocolViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnect_detected() {
+        let (a, b) = channel_pair(0);
+        drop(a);
+        assert!(matches!(b.recv_val(), Err(ChanError::Disconnected)));
+    }
+
+    #[test]
+    fn both_ends_share_an_id() {
+        let (a, b) = channel_pair(0);
+        assert_eq!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,463 @@
+//! The interpreter (paper Figs. 6 and 7, Section 5 "Interpretation").
+//!
+//! * Expressions reduce call-by-value, mirroring the labelled transition
+//!   system of Fig. 6 (β-reductions are ordinary evaluation; session
+//!   actions hit real channels).
+//! * Processes are mapped to OS threads: `fork` spawns a thread running
+//!   `v *` (rule Act-Fork); `new [T]` creates a channel and returns the
+//!   pair of its endpoints (rule Act-New).
+//! * Types are erased: `Λα.v` evaluates to `v`, `e[T]` to `e` — except for
+//!   `new [T]`, whose reduction *is* the type application.
+
+use crate::channel::{channel_pair, ChanError};
+use crate::value::{Env, PrimHead, Value};
+use algst_check::Module;
+use algst_core::expr::{Builtin, Const, Expr};
+use algst_core::symbol::Symbol;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A run-time failure. For well-typed programs only [`RuntimeError::Timeout`]
+/// (from [`Interp::run_timeout`]) and I/O-ish conditions can occur; the
+/// rest are dynamic checks guarding the interpreter itself.
+#[derive(Clone, Debug)]
+pub enum RuntimeError {
+    Unbound(Symbol),
+    NotAFunction(&'static str),
+    NotAPair(&'static str),
+    NotABool(&'static str),
+    NotAChannel(&'static str),
+    NoSuchArm(Symbol),
+    Channel(ChanError),
+    DivisionByZero,
+    /// `run_timeout` expired — the process network is deadlocked or
+    /// diverging.
+    Timeout,
+    ThreadPanic,
+    NoSuchGlobal(Symbol),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Unbound(x) => write!(f, "unbound variable {x} at run time"),
+            RuntimeError::NotAFunction(d) => write!(f, "cannot apply {d}"),
+            RuntimeError::NotAPair(d) => write!(f, "cannot destructure {d} as a pair"),
+            RuntimeError::NotABool(d) => write!(f, "condition evaluated to {d}"),
+            RuntimeError::NotAChannel(d) => write!(f, "session operation on {d}"),
+            RuntimeError::NoSuchArm(t) => write!(f, "no arm for tag {t}"),
+            RuntimeError::Channel(e) => write!(f, "{e}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::Timeout => write!(f, "timeout: deadlocked or diverging process network"),
+            RuntimeError::ThreadPanic => write!(f, "a forked thread panicked"),
+            RuntimeError::NoSuchGlobal(x) => write!(f, "no definition named {x}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ChanError> for RuntimeError {
+    fn from(e: ChanError) -> Self {
+        RuntimeError::Channel(e)
+    }
+}
+
+/// Counters for the dynamic behaviour of a run. Used by the paper-adjacent
+/// experiments (App. A.6 tagging overhead; sync vs. async throughput).
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    pub values_sent: AtomicU64,
+    pub tags_sent: AtomicU64,
+    pub closes_sent: AtomicU64,
+    pub channels_created: AtomicU64,
+    pub threads_spawned: AtomicU64,
+}
+
+impl RuntimeStats {
+    /// Total number of messages of any kind.
+    pub fn messages(&self) -> u64 {
+        self.values_sent.load(Ordering::Relaxed)
+            + self.tags_sent.load(Ordering::Relaxed)
+            + self.closes_sent.load(Ordering::Relaxed)
+    }
+}
+
+type Handles = Arc<Mutex<Vec<JoinHandle<Result<(), RuntimeError>>>>>;
+
+/// The interpreter for a checked [`Module`].
+///
+/// Cloning an `Interp` is cheap (all state is shared); forked threads run
+/// on clones.
+#[derive(Clone)]
+pub struct Interp {
+    globals: Arc<HashMap<Symbol, Arc<Expr>>>,
+    handles: Handles,
+    stats: Arc<RuntimeStats>,
+    output: Arc<Mutex<Vec<String>>>,
+    /// Channel capacity: 0 = synchronous rendezvous (paper default),
+    /// n > 0 = asynchronous bounded queues.
+    capacity: usize,
+    /// Echo `printInt`/`printStr` to stdout in addition to capturing.
+    echo: bool,
+}
+
+impl Interp {
+    /// Builds an interpreter with synchronous channels.
+    pub fn new(module: &Module) -> Interp {
+        Interp::with_capacity(module, 0)
+    }
+
+    /// Builds an interpreter with the given channel capacity
+    /// (0 = rendezvous).
+    pub fn with_capacity(module: &Module, capacity: usize) -> Interp {
+        Interp {
+            globals: Arc::new(module.globals()),
+            handles: Arc::new(Mutex::new(Vec::new())),
+            stats: Arc::new(RuntimeStats::default()),
+            output: Arc::new(Mutex::new(Vec::new())),
+            capacity,
+            echo: false,
+        }
+    }
+
+    /// Enables echoing of `printInt`/`printStr` to stdout.
+    pub fn echo(mut self, on: bool) -> Interp {
+        self.echo = on;
+        self
+    }
+
+    /// Counters collected during the run.
+    pub fn stats(&self) -> &RuntimeStats {
+        &self.stats
+    }
+
+    /// Lines produced by `printInt`/`printStr`.
+    pub fn output(&self) -> Vec<String> {
+        self.output.lock().clone()
+    }
+
+    /// Evaluates the global `name` (usually `main`) and joins all forked
+    /// threads.
+    ///
+    /// # Errors
+    /// Propagates run-time errors from the main expression or any forked
+    /// thread.
+    pub fn run(&self, name: &str) -> Result<Value, RuntimeError> {
+        let sym = Symbol::intern(name);
+        let expr = self
+            .globals
+            .get(&sym)
+            .cloned()
+            .ok_or(RuntimeError::NoSuchGlobal(sym))?;
+        let v = self.eval(&Env::empty(), &expr)?;
+        self.join_all()?;
+        Ok(v)
+    }
+
+    /// Like [`Interp::run`], but gives up after `timeout` — the safety net
+    /// the paper's deadlock-permitting progress theorem (Theorem 5) makes
+    /// advisable.
+    pub fn run_timeout(&self, name: &str, timeout: Duration) -> Result<Value, RuntimeError> {
+        let me = self.clone();
+        let name = name.to_owned();
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        std::thread::spawn(move || {
+            let _ = tx.send(me.run(&name));
+        });
+        rx.recv_timeout(timeout).unwrap_or(Err(RuntimeError::Timeout))
+    }
+
+    fn join_all(&self) -> Result<(), RuntimeError> {
+        loop {
+            let handle = {
+                let mut hs = self.handles.lock();
+                match hs.pop() {
+                    Some(h) => h,
+                    None => return Ok(()),
+                }
+            };
+            match handle.join() {
+                Ok(r) => r?,
+                Err(_) => return Err(RuntimeError::ThreadPanic),
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- eval
+
+    /// Call-by-value evaluation.
+    pub fn eval(&self, env: &Env, e: &Expr) -> Result<Value, RuntimeError> {
+        match e {
+            Expr::Lit(l) => Ok(match l {
+                algst_core::expr::Lit::Unit => Value::Unit,
+                algst_core::expr::Lit::Int(n) => Value::Int(*n),
+                algst_core::expr::Lit::Bool(b) => Value::Bool(*b),
+                algst_core::expr::Lit::Char(c) => Value::Char(*c),
+                algst_core::expr::Lit::Str(s) => Value::Str(s.clone()),
+            }),
+            Expr::Const(c) => Ok(Value::Prim(PrimHead::Const(*c), Vec::new())),
+            Expr::Builtin(b) => Ok(Value::Prim(PrimHead::Builtin(*b), Vec::new())),
+            Expr::Var(x) => {
+                if let Some(v) = env.lookup(*x) {
+                    return Ok(v.clone());
+                }
+                match self.globals.get(x) {
+                    Some(def) => self.eval(&Env::empty(), def),
+                    None => Err(RuntimeError::Unbound(*x)),
+                }
+            }
+            Expr::Abs(param, _, body) | Expr::AbsU(param, body) => Ok(Value::Closure {
+                env: env.clone(),
+                param: *param,
+                body: body.clone(),
+            }),
+            Expr::App(f, a) => {
+                let fv = self.eval(env, f)?;
+                let av = self.eval(env, a)?;
+                self.apply(fv, av)
+            }
+            // Type erasure (Λ and [T]) — except Act-New, which fires here.
+            Expr::TAbs(_, _, v) => self.eval(env, v),
+            Expr::TApp(f, _) => {
+                let fv = self.eval(env, f)?;
+                if let Value::Prim(PrimHead::Const(Const::New), args) = &fv {
+                    debug_assert!(args.is_empty());
+                    let (a, b) = channel_pair(self.capacity);
+                    self.stats.channels_created.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Value::pair(Value::Chan(a), Value::Chan(b)));
+                }
+                Ok(fv)
+            }
+            Expr::Rec(name, _, body) => Ok(Value::RecClosure {
+                env: env.clone(),
+                name: *name,
+                body: body.clone(),
+            }),
+            Expr::Pair(a, b) => Ok(Value::pair(self.eval(env, a)?, self.eval(env, b)?)),
+            Expr::LetPair(x, y, bound, body) => {
+                let bv = self.eval(env, bound)?;
+                let Value::Pair(a, b) = bv else {
+                    return Err(RuntimeError::NotAPair(bv.describe()));
+                };
+                let env = env.bind(*x, *a).bind(*y, *b);
+                self.eval(&env, body)
+            }
+            Expr::LetUnit(bound, body) => {
+                self.eval(env, bound)?;
+                self.eval(env, body)
+            }
+            Expr::Let(x, bound, body) => {
+                let bv = self.eval(env, bound)?;
+                self.eval(&env.bind(*x, bv), body)
+            }
+            Expr::If(c, t, f) => {
+                let cv = self.eval(env, c)?;
+                match cv {
+                    Value::Bool(true) => self.eval(env, t),
+                    Value::Bool(false) => self.eval(env, f),
+                    other => Err(RuntimeError::NotABool(other.describe())),
+                }
+            }
+            Expr::Con(tag, args) => {
+                let vs = args
+                    .iter()
+                    .map(|a| self.eval(env, a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Value::Con(*tag, vs))
+            }
+            Expr::Case(scrutinee, arms) => {
+                let sv = self.eval(env, scrutinee)?;
+                match sv {
+                    // Session match (rule Act-Match): receive a tag,
+                    // rebind the channel in the chosen arm.
+                    Value::Chan(chan) => {
+                        let tag = chan.recv_tag()?;
+                        let arm = arms
+                            .iter()
+                            .find(|a| a.tag == tag)
+                            .ok_or(RuntimeError::NoSuchArm(tag))?;
+                        let env = env.bind(arm.binders[0], Value::Chan(chan));
+                        self.eval(&env, &arm.body)
+                    }
+                    // Data case: bind the constructor fields.
+                    Value::Con(tag, fields) => {
+                        let arm = arms
+                            .iter()
+                            .find(|a| a.tag == tag)
+                            .ok_or(RuntimeError::NoSuchArm(tag))?;
+                        let mut env = env.clone();
+                        for (b, v) in arm.binders.iter().zip(fields) {
+                            env = env.bind(*b, v);
+                        }
+                        self.eval(&env, &arm.body)
+                    }
+                    other => Err(RuntimeError::NotAChannel(other.describe())),
+                }
+            }
+        }
+    }
+
+    /// Applies `f` to `a` (rules Act-App, Act-Rec and the session/builtin
+    /// constants of Fig. 6).
+    pub fn apply(&self, f: Value, a: Value) -> Result<Value, RuntimeError> {
+        match f {
+            Value::Closure { env, param, body } => self.eval(&env.bind(param, a), &body),
+            // (rec x:T.v) u  →  (v[rec x:T.v / x]) u
+            Value::RecClosure { env, name, body } => {
+                let unfolding = Value::RecClosure {
+                    env: env.clone(),
+                    name,
+                    body: body.clone(),
+                };
+                let unfolded = self.eval(&env.bind(name, unfolding), &body)?;
+                self.apply(unfolded, a)
+            }
+            Value::Prim(head, mut args) => {
+                args.push(a);
+                if args.len() < head.arity() {
+                    return Ok(Value::Prim(head, args));
+                }
+                self.run_prim(head, args)
+            }
+            other => Err(RuntimeError::NotAFunction(other.describe())),
+        }
+    }
+
+    fn run_prim(&self, head: PrimHead, mut args: Vec<Value>) -> Result<Value, RuntimeError> {
+        match head {
+            PrimHead::Const(c) => match c {
+                Const::New => unreachable!("new fires on type application"),
+                // Act-Fork: spawn ⟨v *⟩.
+                Const::Fork => {
+                    let v = args.pop().expect("arity checked");
+                    let me = self.clone();
+                    self.stats.threads_spawned.fetch_add(1, Ordering::Relaxed);
+                    let handle = std::thread::spawn(move || {
+                        me.apply(v, Value::Unit).map(|_| ())
+                    });
+                    self.handles.lock().push(handle);
+                    Ok(Value::Unit)
+                }
+                Const::Send => {
+                    let chan = args.pop().expect("arity checked");
+                    let v = args.pop().expect("arity checked");
+                    let Value::Chan(chan) = chan else {
+                        return Err(RuntimeError::NotAChannel(chan.describe()));
+                    };
+                    chan.send_val(v)?;
+                    self.stats.values_sent.fetch_add(1, Ordering::Relaxed);
+                    Ok(Value::Chan(chan))
+                }
+                Const::Receive => {
+                    let chan = args.pop().expect("arity checked");
+                    let Value::Chan(chan) = chan else {
+                        return Err(RuntimeError::NotAChannel(chan.describe()));
+                    };
+                    let v = chan.recv_val()?;
+                    Ok(Value::pair(v, Value::Chan(chan)))
+                }
+                Const::Select(tag) => {
+                    let chan = args.pop().expect("arity checked");
+                    let Value::Chan(chan) = chan else {
+                        return Err(RuntimeError::NotAChannel(chan.describe()));
+                    };
+                    chan.send_tag(tag)?;
+                    self.stats.tags_sent.fetch_add(1, Ordering::Relaxed);
+                    Ok(Value::Chan(chan))
+                }
+                Const::Terminate => {
+                    let chan = args.pop().expect("arity checked");
+                    let Value::Chan(chan) = chan else {
+                        return Err(RuntimeError::NotAChannel(chan.describe()));
+                    };
+                    chan.send_close()?;
+                    self.stats.closes_sent.fetch_add(1, Ordering::Relaxed);
+                    Ok(Value::Unit)
+                }
+                Const::Wait => {
+                    let chan = args.pop().expect("arity checked");
+                    let Value::Chan(chan) = chan else {
+                        return Err(RuntimeError::NotAChannel(chan.describe()));
+                    };
+                    chan.recv_close()?;
+                    Ok(Value::Unit)
+                }
+            },
+            PrimHead::Builtin(b) => self.run_builtin(b, args),
+        }
+    }
+
+    fn run_builtin(&self, b: Builtin, args: Vec<Value>) -> Result<Value, RuntimeError> {
+        use Builtin::*;
+        let int = |v: &Value| v.as_int().ok_or(RuntimeError::NotABool(v.describe()));
+        match b {
+            Add | Sub | Mul | Div | Mod | Eq | Neq | Lt | Leq | Gt | Geq => {
+                let x = int(&args[0])?;
+                let y = int(&args[1])?;
+                Ok(match b {
+                    Add => Value::Int(x.wrapping_add(y)),
+                    Sub => Value::Int(x.wrapping_sub(y)),
+                    Mul => Value::Int(x.wrapping_mul(y)),
+                    Div => {
+                        if y == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        Value::Int(x / y)
+                    }
+                    Mod => {
+                        if y == 0 {
+                            return Err(RuntimeError::DivisionByZero);
+                        }
+                        Value::Int(x % y)
+                    }
+                    Eq => Value::Bool(x == y),
+                    Neq => Value::Bool(x != y),
+                    Lt => Value::Bool(x < y),
+                    Leq => Value::Bool(x <= y),
+                    Gt => Value::Bool(x > y),
+                    Geq => Value::Bool(x >= y),
+                    _ => unreachable!(),
+                })
+            }
+            Negate => Ok(Value::Int(-int(&args[0])?)),
+            Not => match &args[0] {
+                Value::Bool(x) => Ok(Value::Bool(!x)),
+                v => Err(RuntimeError::NotABool(v.describe())),
+            },
+            And | Or => match (&args[0], &args[1]) {
+                (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(if b == And {
+                    *x && *y
+                } else {
+                    *x || *y
+                })),
+                (v, _) => Err(RuntimeError::NotABool(v.describe())),
+            },
+            PrintInt => {
+                let n = int(&args[0])?;
+                self.emit(n.to_string());
+                Ok(Value::Unit)
+            }
+            PrintStr => match &args[0] {
+                Value::Str(s) => {
+                    self.emit(s.clone());
+                    Ok(Value::Unit)
+                }
+                v => Err(RuntimeError::NotABool(v.describe())),
+            },
+            IntToStr => Ok(Value::Str(int(&args[0])?.to_string())),
+        }
+    }
+
+    fn emit(&self, line: String) {
+        if self.echo {
+            println!("{line}");
+        }
+        self.output.lock().push(line);
+    }
+}

@@ -1,0 +1,215 @@
+//! Run-time values and environments.
+//!
+//! Following the paper's implementation notes (Section 5), the interpreter
+//! "uses one universal type with constructors for each type in the
+//! language". Types are erased at run time; type abstraction/application
+//! evaluate to the underlying value.
+
+use crate::channel::ChanEnd;
+use algst_core::expr::{Builtin, Const, Expr};
+use algst_core::symbol::Symbol;
+use std::fmt;
+use std::sync::Arc;
+
+/// A persistent environment: an immutable linked list with O(1) extension
+/// and cheap cloning, so closures can capture it and values can cross
+/// threads.
+#[derive(Clone, Default)]
+pub struct Env(Option<Arc<EnvNode>>);
+
+struct EnvNode {
+    name: Symbol,
+    value: Value,
+    next: Env,
+}
+
+impl Env {
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// Returns a new environment with `name ↦ value` on top.
+    pub fn bind(&self, name: Symbol, value: Value) -> Env {
+        Env(Some(Arc::new(EnvNode {
+            name,
+            value,
+            next: self.clone(),
+        })))
+    }
+
+    /// Looks up the most recent binding of `name`.
+    pub fn lookup(&self, name: Symbol) -> Option<&Value> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.value);
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            names.push(node.name);
+            cur = &node.next;
+        }
+        write!(f, "Env{names:?}")
+    }
+}
+
+/// The head of a partially applied primitive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum PrimHead {
+    Const(Const),
+    Builtin(Builtin),
+}
+
+impl PrimHead {
+    /// Term arguments needed before the primitive fires.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimHead::Const(c) => match c {
+                Const::Fork | Const::Wait | Const::Terminate | Const::Receive => 1,
+                Const::Send => 2,
+                Const::Select(_) => 1,
+                // `new` fires on type application, not term application.
+                Const::New => 0,
+            },
+            PrimHead::Builtin(b) => b.arity(),
+        }
+    }
+}
+
+/// A run-time value (the "universal type").
+#[derive(Clone)]
+pub enum Value {
+    Unit,
+    Int(i64),
+    Bool(bool),
+    Char(char),
+    Str(String),
+    Pair(Box<Value>, Box<Value>),
+    /// `λx.e` with its captured environment.
+    Closure {
+        env: Env,
+        param: Symbol,
+        body: Arc<Expr>,
+    },
+    /// A suspended `rec x:T.v`: unfolds one step when applied.
+    RecClosure {
+        env: Env,
+        name: Symbol,
+        body: Arc<Expr>,
+    },
+    /// One endpoint of a communication channel.
+    Chan(ChanEnd),
+    /// A saturated data constructor.
+    Con(Symbol, Vec<Value>),
+    /// A partially applied constant or builtin.
+    Prim(PrimHead, Vec<Value>),
+}
+
+impl Value {
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Box::new(a), Box::new(b))
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Short tag for error messages.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Int(_) => "an integer",
+            Value::Bool(_) => "a boolean",
+            Value::Char(_) => "a character",
+            Value::Str(_) => "a string",
+            Value::Pair(..) => "a pair",
+            Value::Closure { .. } | Value::RecClosure { .. } => "a function",
+            Value::Chan(_) => "a channel endpoint",
+            Value::Con(..) => "a data value",
+            Value::Prim(..) => "a primitive",
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Char(c) => write!(f, "{c:?}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pair(a, b) => write!(f, "({a:?}, {b:?})"),
+            Value::Closure { param, .. } => write!(f, "<closure \\{param}>"),
+            Value::RecClosure { name, .. } => write!(f, "<rec {name}>"),
+            Value::Chan(c) => write!(f, "<channel #{}>", c.id()),
+            Value::Con(tag, args) => {
+                write!(f, "{tag}")?;
+                for a in args {
+                    write!(f, " {a:?}")?;
+                }
+                Ok(())
+            }
+            Value::Prim(head, args) => write!(f, "<prim {head:?}/{}>", args.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(x: &str) -> Symbol {
+        Symbol::intern(x)
+    }
+
+    #[test]
+    fn env_lookup_finds_most_recent() {
+        let env = Env::empty()
+            .bind(s("x"), Value::Int(1))
+            .bind(s("x"), Value::Int(2));
+        assert_eq!(env.lookup(s("x")).unwrap().as_int(), Some(2));
+        assert!(env.lookup(s("y")).is_none());
+    }
+
+    #[test]
+    fn env_is_persistent() {
+        let base = Env::empty().bind(s("x"), Value::Int(1));
+        let _ext = base.bind(s("x"), Value::Int(2));
+        assert_eq!(base.lookup(s("x")).unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(PrimHead::Const(Const::Send).arity(), 2);
+        assert_eq!(PrimHead::Const(Const::Fork).arity(), 1);
+        assert_eq!(PrimHead::Builtin(Builtin::Add).arity(), 2);
+        assert_eq!(PrimHead::Builtin(Builtin::Not).arity(), 1);
+    }
+
+    #[test]
+    fn values_are_send_and_sync() {
+        fn assert_send<T: Send + Sync>() {}
+        assert_send::<Value>();
+        assert_send::<Env>();
+    }
+}

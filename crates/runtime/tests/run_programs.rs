@@ -1,0 +1,253 @@
+//! End-to-end runs of paper programs: type check, then execute on the
+//! thread-and-channel runtime and observe results.
+
+use algst_check::check_source;
+use algst_runtime::{Interp, RuntimeError, Value};
+use std::time::Duration;
+
+fn run(src: &str) -> Interp {
+    let module = check_source(src).unwrap_or_else(|e| panic!("does not type check: {e}"));
+    let interp = Interp::new(&module);
+    match interp.run_timeout("main", Duration::from_secs(10)) {
+        Ok(Value::Unit) => interp,
+        Ok(v) => panic!("main returned {v:?}"),
+        Err(e) => panic!("runtime error: {e}"),
+    }
+}
+
+#[test]
+fn send_receive_int_roundtrip() {
+    let interp = run(r#"
+main : Unit
+main =
+  let (c, d) = new [!Int.End!] in
+  let _ = fork (\u -> let (x, d) = receiveInt [End?] d in
+                      let _ = printInt (x + 1) in
+                      wait d) in
+  sendInt [End!] 41 c |> terminate
+"#);
+    assert_eq!(interp.output(), vec!["42"]);
+}
+
+#[test]
+fn arith_server_round_trip() {
+    // The §2.2 server answering one Neg and the client printing the result.
+    let interp = run(r#"
+protocol Arith = Neg Int -Int | Add2 Int Int -Int
+
+serveArith : forall (s:S). ?Arith.s -> s
+serveArith [s] c = match c with {
+  Neg c -> let (x, c) = receiveInt [!Int.s] c in
+           sendInt [s] (0 - x) c,
+  Add2 c -> let (x, c) = receiveInt [?Int.!Int.s] c in
+            let (y, c) = receiveInt [!Int.s] c in
+            sendInt [s] (x + y) c }
+
+main : Unit
+main =
+  let (client, server) = new [!Arith.End!] in
+  let _ = fork (\u -> serveArith [End?] server |> wait) in
+  let client = select Add2 [End!] client in
+  let client = sendInt [!Int.?Int.End!] 30 client in
+  let client = sendInt [?Int.End!] 12 client in
+  let (r, client) = receiveInt [End!] client in
+  let _ = printInt r in
+  terminate client
+"#);
+    assert_eq!(interp.output(), vec!["42"]);
+}
+
+#[test]
+fn ast_transmission_round_trip() {
+    // §2.1: serialize (1+2)+3 over a channel and evaluate on the far end.
+    let interp = run(r#"
+data Ast = Con Int | Add Ast Ast
+protocol AstP = ConP Int | AddP AstP AstP
+
+sendAst : Ast -> forall (s:S). !AstP.s -> s
+sendAst t [s] c = case t of {
+  Con x -> select ConP [s] c |> sendInt [s] x,
+  Add l r -> select AddP [s] c |> sendAst l [!AstP.s] |> sendAst r [s] }
+
+recvAst : forall (s:S). ?AstP.s -> (Ast, s)
+recvAst [s] c = match c with {
+  ConP c -> let (x, c) = receiveInt [s] c in (Con x, c),
+  AddP c -> let (tl, c) = recvAst [?AstP.s] c in
+            let (tr, c) = recvAst [s] c in (Add tl tr, c) }
+
+eval : Ast -> Int
+eval t = case t of {
+  Con x -> x,
+  Add l r -> eval l + eval r }
+
+main : Unit
+main =
+  let (snd, rcv) = new [!AstP.End!] in
+  let _ = fork (\u -> let (t, rcv) = recvAst [End?] rcv in
+                      let _ = printInt (eval t) in
+                      wait rcv) in
+  sendAst (Add (Add (Con 1) (Con 2)) (Con 3)) [End!] snd |> terminate
+"#);
+    assert_eq!(interp.output(), vec!["6"]);
+}
+
+#[test]
+fn repeat_protocol_finite_iteration() {
+    // Appendix B Repeat protocol: run the subsidiary protocol twice.
+    let interp = run(r#"
+protocol RepInt = More Int (RepInt) | Quit
+
+produce : !RepInt.End! -> Unit
+produce c =
+  let c = select More [End!] c in
+  let c = sendInt [!RepInt.End!] 10 c in
+  let c = select More [End!] c in
+  let c = sendInt [!RepInt.End!] 20 c in
+  select Quit [End!] c |> terminate
+
+consume : ?RepInt.End? -> Unit
+consume c = match c with {
+  More c -> let (x, c) = receiveInt [?RepInt.End?] c in
+            let _ = printInt x in
+            consume c,
+  Quit c -> wait c }
+
+main : Unit
+main =
+  let (p, q) = new [!RepInt.End!] in
+  let _ = fork (\u -> produce p) in
+  consume q
+"#);
+    assert_eq!(interp.output(), vec!["10", "20"]);
+}
+
+#[test]
+fn channel_delegation() {
+    // Session delegation: send a channel end over a channel.
+    let interp = run(r#"
+main : Unit
+main =
+  let (inner1, inner2) = new [!Int.End!] in
+  let (carry1, carry2) = new [!(!Int.End!).End!] in
+  let _ = fork (\u ->
+    let (got, carry2) = receive [!Int.End!, End?] carry2 in
+    let _ = wait carry2 in
+    sendInt [End!] 99 got |> terminate) in
+  let _ = fork (\u ->
+    let (x, inner2) = receiveInt [End?] inner2 in
+    let _ = printInt x in
+    wait inner2) in
+  send [!Int.End!, End!] inner1 carry1 |> terminate
+"#);
+    assert_eq!(interp.output(), vec!["99"]);
+}
+
+#[test]
+fn mutual_recursion_flip_flop_runs() {
+    // Appendix A.3 mutual recursion, bounded to three hops by a counter.
+    let interp = run(r#"
+protocol Ping = PingC -Int PongP | Stop
+protocol PongP = PongC Int Ping
+
+client : Int -> !Ping.End! -> Unit
+client n c =
+  if n == 0 then select Stop [End!] c |> terminate
+  else let c = select PingC [End!] c in
+       let (x, c) = receiveInt [!PongP.End!] c in
+       let _ = printInt x in
+       let c = select PongC [End!] c in
+       client (n - 1) (sendInt [!Ping.End!] x c)
+
+server : Int -> ?Ping.End? -> Unit
+server n d = match d with {
+  Stop d -> wait d,
+  PingC d -> let d = sendInt [?PongP.End?] n d in
+             match d with {
+               PongC d -> let (y, d) = receiveInt [?Ping.End?] d in
+                          server (y + 1) d }}
+
+main : Unit
+main =
+  let (c, d) = new [!Ping.End!] in
+  let _ = fork (\u -> server 7 d) in
+  client 2 c
+"#);
+    assert_eq!(interp.output(), vec!["7", "8"]);
+}
+
+#[test]
+fn async_channels_buffer() {
+    // With capacity > 0 a producer can run ahead without a rendezvous.
+    let module = check_source(r#"
+main : Unit
+main =
+  let (c, d) = new [!Int.!Int.End!] in
+  let _ = fork (\u ->
+    let (x, d) = receiveInt [?Int.End?] d in
+    let (y, d) = receiveInt [End?] d in
+    let _ = printInt (x * y) in
+    wait d) in
+  sendInt [!Int.End!] 6 c |> sendInt [End!] 7 |> terminate
+"#).unwrap();
+    let interp = Interp::with_capacity(&module, 8);
+    interp.run_timeout("main", Duration::from_secs(10)).unwrap();
+    assert_eq!(interp.output(), vec!["42"]);
+}
+
+#[test]
+fn deadlock_detected_by_timeout() {
+    // Two channels acquired in opposite order: a classic deadlock the
+    // type system permits (Theorem 5 is "progress possibly leading to
+    // deadlock").
+    let module = check_source(r#"
+main : Unit
+main =
+  let (a1, a2) = new [!Int.End!] in
+  let (b1, b2) = new [!Int.End!] in
+  let _ = fork (\u ->
+    let (x, b2) = receiveInt [End?] b2 in
+    let _ = wait b2 in
+    sendInt [End!] x a1 |> terminate) in
+  let (y, a2) = receiveInt [End?] a2 in
+  let _ = wait a2 in
+  sendInt [End!] y b1 |> terminate
+"#).unwrap();
+    let interp = Interp::new(&module);
+    match interp.run_timeout("main", Duration::from_millis(400)) {
+        Err(RuntimeError::Timeout) => {}
+        other => panic!("expected deadlock timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn stats_count_messages() {
+    let interp = run(r#"
+main : Unit
+main =
+  let (c, d) = new [!Int.!Int.End!] in
+  let _ = fork (\u ->
+    let (x, d) = receiveInt [?Int.End?] d in
+    let (y, d) = receiveInt [End?] d in
+    wait d) in
+  sendInt [!Int.End!] 1 c |> sendInt [End!] 2 |> terminate
+"#);
+    let stats = interp.stats();
+    assert_eq!(stats.values_sent.load(std::sync::atomic::Ordering::Relaxed), 2);
+    assert_eq!(stats.closes_sent.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(stats.channels_created.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(stats.threads_spawned.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(stats.messages(), 3);
+}
+
+#[test]
+fn forked_thread_error_propagates() {
+    let module = check_source(r#"
+main : Unit
+main = fork (\u -> let _ = printInt (1 / 0) in ())
+"#).unwrap();
+    let interp = Interp::new(&module);
+    match interp.run_timeout("main", Duration::from_secs(5)) {
+        Err(RuntimeError::DivisionByZero) => {}
+        other => panic!("expected division by zero, got {other:?}"),
+    }
+}

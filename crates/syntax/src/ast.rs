@@ -1,0 +1,288 @@
+//! The surface abstract syntax tree.
+//!
+//! Surface types and expressions keep source spans and *unresolved* names:
+//! an uppercase name application `Stream Int` may refer to a protocol, a
+//! datatype or a type alias — resolution happens during elaboration
+//! (`algst-check`), which has the full declaration table.
+
+use crate::span::Span;
+use algst_core::expr::Lit;
+use algst_core::kind::Kind;
+use algst_core::symbol::Symbol;
+use std::fmt;
+
+/// A parsed source file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Decl {
+    /// `protocol P a b = C1 T… | C2 T…`
+    Protocol(TypeDecl),
+    /// `data D a b = C1 T… | C2 T…`
+    Data(TypeDecl),
+    /// `type A a b = T`
+    Alias(AliasDecl),
+    /// `f : T`
+    Signature(SignatureDecl),
+    /// `f p1 p2 … = e`
+    Binding(BindingDecl),
+}
+
+impl Decl {
+    pub fn span(&self) -> Span {
+        match self {
+            Decl::Protocol(d) | Decl::Data(d) => d.span,
+            Decl::Alias(d) => d.span,
+            Decl::Signature(d) => d.span,
+            Decl::Binding(d) => d.span,
+        }
+    }
+}
+
+/// Shared shape of `protocol` and `data` declarations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TypeDecl {
+    pub name: Symbol,
+    pub params: Vec<Symbol>,
+    pub ctors: Vec<CtorDecl>,
+    pub span: Span,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtorDecl {
+    pub name: Symbol,
+    pub args: Vec<SType>,
+    pub span: Span,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct AliasDecl {
+    pub name: Symbol,
+    pub params: Vec<Symbol>,
+    pub body: SType,
+    pub span: Span,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignatureDecl {
+    pub name: Symbol,
+    pub ty: SType,
+    pub span: Span,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct BindingDecl {
+    pub name: Symbol,
+    pub params: Vec<Param>,
+    pub body: SExpr,
+    pub span: Span,
+}
+
+/// A parameter of a function equation: `x`, `_`, or a bracketed list of
+/// type parameters `[s, t]` (paper notation `sendAst t [s] c = …`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Param {
+    Term(Symbol),
+    Wild,
+    Types(Vec<Symbol>),
+}
+
+/// A surface type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SType {
+    Unit(Span),
+    /// Uppercase name, possibly applied: protocol, datatype, alias, or a
+    /// builtin (`Int`, `Bool`, `Char`, `String`).
+    Name(Symbol, Vec<SType>, Span),
+    /// Lowercase type variable.
+    Var(Symbol, Span),
+    Arrow(Box<SType>, Box<SType>, Span),
+    Pair(Box<SType>, Box<SType>, Span),
+    Forall(Symbol, Kind, Box<SType>, Span),
+    /// `?T.S`
+    In(Box<SType>, Box<SType>, Span),
+    /// `!T.S`
+    Out(Box<SType>, Box<SType>, Span),
+    EndIn(Span),
+    EndOut(Span),
+    Dual(Box<SType>, Span),
+    /// `-T`
+    Neg(Box<SType>, Span),
+}
+
+impl SType {
+    pub fn span(&self) -> Span {
+        match self {
+            SType::Unit(s) | SType::EndIn(s) | SType::EndOut(s) => *s,
+            SType::Name(_, _, s)
+            | SType::Var(_, s)
+            | SType::Arrow(_, _, s)
+            | SType::Pair(_, _, s)
+            | SType::Forall(_, _, _, s)
+            | SType::In(_, _, s)
+            | SType::Out(_, _, s)
+            | SType::Dual(_, s)
+            | SType::Neg(_, s) => *s,
+        }
+    }
+}
+
+impl fmt::Display for SType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn atom(t: &SType) -> bool {
+            matches!(
+                t,
+                SType::Unit(_)
+                    | SType::Var(..)
+                    | SType::EndIn(_)
+                    | SType::EndOut(_)
+                    | SType::Pair(..)
+            ) || matches!(t, SType::Name(_, args, _) if args.is_empty())
+        }
+        fn paren(t: &SType, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            if atom(t) {
+                write!(f, "{t}")
+            } else {
+                write!(f, "({t})")
+            }
+        }
+        match self {
+            SType::Unit(_) => write!(f, "Unit"),
+            SType::Name(n, args, _) => {
+                write!(f, "{n}")?;
+                for a in args {
+                    write!(f, " ")?;
+                    paren(a, f)?;
+                }
+                Ok(())
+            }
+            SType::Var(v, _) => write!(f, "{v}"),
+            SType::Arrow(a, b, _) => {
+                match **a {
+                    SType::Arrow(..) | SType::Forall(..) => write!(f, "({a})")?,
+                    _ => write!(f, "{a}")?,
+                }
+                write!(f, " -> {b}")
+            }
+            SType::Pair(a, b, _) => write!(f, "({a}, {b})"),
+            SType::Forall(v, k, body, _) => write!(f, "forall ({v}:{k}). {body}"),
+            SType::In(p, s, _) => {
+                write!(f, "?")?;
+                paren(p, f)?;
+                write!(f, ".{s}")
+            }
+            SType::Out(p, s, _) => {
+                write!(f, "!")?;
+                paren(p, f)?;
+                write!(f, ".{s}")
+            }
+            SType::EndIn(_) => write!(f, "End?"),
+            SType::EndOut(_) => write!(f, "End!"),
+            SType::Dual(t, _) => {
+                write!(f, "Dual ")?;
+                paren(t, f)
+            }
+            SType::Neg(t, _) => {
+                write!(f, "-")?;
+                paren(t, f)
+            }
+        }
+    }
+}
+
+/// A surface expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExpr {
+    Lit(Lit, Span),
+    /// Lowercase variable (or builtin / constant name, resolved later).
+    Var(Symbol, Span),
+    /// Uppercase name: a data constructor.
+    Con(Symbol, Span),
+    /// `select C`
+    Select(Symbol, Span),
+    App(Box<SExpr>, Box<SExpr>, Span),
+    /// `e [T, U, …]`
+    TApp(Box<SExpr>, Vec<SType>, Span),
+    /// `\x y -> e`
+    Lambda(Vec<Symbol>, Box<SExpr>, Span),
+    /// Binary operator application, e.g. `x + y`.
+    BinOp(Symbol, Box<SExpr>, Box<SExpr>, Span),
+    Pair(Box<SExpr>, Box<SExpr>, Span),
+    /// `let pat = e in e`
+    Let(Pattern, Box<SExpr>, Box<SExpr>, Span),
+    /// `case e of { … }` or `match e with { … }` — same construct, the
+    /// scrutinee's type disambiguates (paper Section 5: the artifact
+    /// overloads `case` as `match`).
+    Case(Box<SExpr>, Vec<SArm>, Span),
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>, Span),
+}
+
+impl SExpr {
+    pub fn span(&self) -> Span {
+        match self {
+            SExpr::Lit(_, s)
+            | SExpr::Var(_, s)
+            | SExpr::Con(_, s)
+            | SExpr::Select(_, s)
+            | SExpr::App(_, _, s)
+            | SExpr::TApp(_, _, s)
+            | SExpr::Lambda(_, _, s)
+            | SExpr::BinOp(_, _, _, s)
+            | SExpr::Pair(_, _, s)
+            | SExpr::Let(_, _, _, s)
+            | SExpr::Case(_, _, s)
+            | SExpr::If(_, _, _, s) => *s,
+        }
+    }
+}
+
+/// One arm of a `case`/`match`: `C x̄ -> e`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SArm {
+    pub tag: Symbol,
+    pub binders: Vec<Symbol>,
+    pub body: SExpr,
+    pub span: Span,
+}
+
+/// Patterns allowed on the left of `let` and in equation parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pattern {
+    Var(Symbol),
+    Pair(Symbol, Symbol),
+    Unit,
+    Wild,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stype_display() {
+        let sp = Span::default();
+        let t = SType::Out(
+            Box::new(SType::Name(
+                Symbol::intern("Stream"),
+                vec![SType::Name(Symbol::intern("Int"), vec![], sp)],
+                sp,
+            )),
+            Box::new(SType::EndOut(sp)),
+            sp,
+        );
+        assert_eq!(t.to_string(), "!(Stream Int).End!");
+    }
+
+    #[test]
+    fn arrow_display_parenthesizes_domain() {
+        let sp = Span::default();
+        let unit = || SType::Unit(sp);
+        let inner = SType::Arrow(Box::new(unit()), Box::new(unit()), sp);
+        let t = SType::Arrow(Box::new(inner), Box::new(unit()), sp);
+        assert_eq!(t.to_string(), "(Unit -> Unit) -> Unit");
+    }
+}

@@ -1,0 +1,969 @@
+//! Recursive-descent parser for the AlgST surface language.
+//!
+//! The concrete syntax follows the paper's examples (Haskell-flavoured):
+//!
+//! ```text
+//! protocol Arith = Neg Int -Int | Add Int Int -Int
+//! type Service a = forall (s:S). ?a.s -> s
+//!
+//! serveArith : forall (s:S). ?Arith.s -> s
+//! serveArith [s] c = match c with {
+//!   Neg c -> let (x, c) = receive [Int, !Int.s] c in
+//!            send [Int, s] (0 - x) c,
+//!   Add c -> let (x, c) = receive [Int, ?Int.!Int.s] c in
+//!            let (y, c) = receive [Int, !Int.s] c in
+//!            send [Int, s] (x + y) c }
+//! ```
+//!
+//! **Layout rule:** a top-level declaration starts at column 1; any token
+//! at column 1 terminates the expression or type being parsed. This
+//! replaces Haskell's layout algorithm with the one convention the paper's
+//! examples already follow.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError};
+use crate::span::Span;
+use crate::token::{Tok, Token};
+use algst_core::expr::Lit;
+use algst_core::kind::Kind;
+use algst_core::symbol::Symbol;
+use std::fmt;
+
+/// A parse error with location information.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    pub span: Span,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+type PResult<T> = Result<T, ParseError>;
+
+/// Parses a full program (a sequence of declarations).
+pub fn parse_program(src: &str) -> PResult<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut decls = Vec::new();
+    while p.pos < p.tokens.len() {
+        decls.push(p.decl()?);
+    }
+    Ok(Program { decls })
+}
+
+/// Parses a single type, e.g. for tests and tooling.
+pub fn parse_type(src: &str) -> PResult<SType> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let t = p.ty()?;
+    p.expect_eof()?;
+    Ok(t)
+}
+
+/// Parses a single expression.
+pub fn parse_expr(src: &str) -> PResult<SExpr> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    // ---------------------------------------------------------- utilities
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Peek, but refuse tokens at column 1 (they belong to the next
+    /// top-level declaration). Use for *optional* continuations.
+    fn cont(&self) -> Option<&Token> {
+        self.peek().filter(|t| t.span.col > 1)
+    }
+
+    fn cont_tok(&self) -> Option<&Tok> {
+        self.cont().map(|t| &t.tok)
+    }
+
+    fn last_span(&self) -> Span {
+        if self.pos == 0 {
+            Span::default()
+        } else {
+            self.tokens[self.pos - 1].span
+        }
+    }
+
+    fn here(&self) -> Span {
+        self.peek().map(|t| t.span).unwrap_or_else(|| self.last_span())
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            message: message.into(),
+            span: self.here(),
+        })
+    }
+
+    fn expect(&mut self, tok: Tok) -> PResult<Span> {
+        match self.peek() {
+            Some(t) if t.tok == tok => Ok(self.bump().expect("peeked").span),
+            Some(t) => {
+                let found = t.tok.clone();
+                self.error(format!("expected `{tok}`, found `{found}`"))
+            }
+            None => self.error(format!("expected `{tok}`, found end of input")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> PResult<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => {
+                let found = t.tok.clone();
+                self.error(format!("expected end of input, found `{found}`"))
+            }
+        }
+    }
+
+    fn lident(&mut self) -> PResult<(Symbol, Span)> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::LIdent(s),
+                span,
+            }) => {
+                let r = (*s, *span);
+                self.bump();
+                Ok(r)
+            }
+            _ => self.error("expected a lowercase identifier"),
+        }
+    }
+
+    fn uident(&mut self) -> PResult<(Symbol, Span)> {
+        match self.peek() {
+            Some(Token {
+                tok: Tok::UIdent(s),
+                span,
+            }) => {
+                let r = (*s, *span);
+                self.bump();
+                Ok(r)
+            }
+            _ => self.error("expected an uppercase identifier"),
+        }
+    }
+
+    // ------------------------------------------------------- declarations
+
+    fn decl(&mut self) -> PResult<Decl> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Protocol) => self.type_decl(true),
+            Some(Tok::Data) => self.type_decl(false),
+            Some(Tok::TypeKw) => self.alias_decl(),
+            Some(Tok::LIdent(_)) => self.signature_or_binding(),
+            Some(other) => self.error(format!(
+                "expected a declaration (protocol/data/type/definition), found `{other}`"
+            )),
+            None => self.error("expected a declaration"),
+        }
+    }
+
+    fn type_decl(&mut self, is_protocol: bool) -> PResult<Decl> {
+        let start = self.bump().expect("peeked").span; // protocol/data
+        let (name, _) = self.uident()?;
+        let mut params = Vec::new();
+        while let Some(Tok::LIdent(p)) = self.cont_tok() {
+            params.push(*p);
+            self.bump();
+        }
+        self.expect(Tok::Equals)?;
+        let mut ctors = vec![self.ctor_decl()?];
+        while self.cont_tok() == Some(&Tok::Bar) {
+            self.bump();
+            ctors.push(self.ctor_decl()?);
+        }
+        let span = start.to(self.last_span());
+        let d = TypeDecl {
+            name,
+            params,
+            ctors,
+            span,
+        };
+        Ok(if is_protocol {
+            Decl::Protocol(d)
+        } else {
+            Decl::Data(d)
+        })
+    }
+
+    fn ctor_decl(&mut self) -> PResult<CtorDecl> {
+        let (name, start) = self.uident()?;
+        let mut args = Vec::new();
+        while self.starts_type_atom() {
+            args.push(self.ty_atom()?);
+        }
+        Ok(CtorDecl {
+            name,
+            args,
+            span: start.to(self.last_span()),
+        })
+    }
+
+    fn alias_decl(&mut self) -> PResult<Decl> {
+        let start = self.bump().expect("peeked").span; // type
+        let (name, _) = self.uident()?;
+        let mut params = Vec::new();
+        while let Some(Tok::LIdent(p)) = self.cont_tok() {
+            params.push(*p);
+            self.bump();
+        }
+        self.expect(Tok::Equals)?;
+        let body = self.ty()?;
+        Ok(Decl::Alias(AliasDecl {
+            name,
+            params,
+            body,
+            span: start.to(self.last_span()),
+        }))
+    }
+
+    fn signature_or_binding(&mut self) -> PResult<Decl> {
+        let (name, start) = self.lident()?;
+        if self.cont_tok() == Some(&Tok::Colon) {
+            self.bump();
+            let ty = self.ty()?;
+            return Ok(Decl::Signature(SignatureDecl {
+                name,
+                ty,
+                span: start.to(self.last_span()),
+            }));
+        }
+        // Binding: parameters until `=`.
+        let mut params = Vec::new();
+        loop {
+            match self.cont_tok() {
+                Some(Tok::Equals) => break,
+                Some(Tok::LIdent(x)) => {
+                    params.push(Param::Term(*x));
+                    self.bump();
+                }
+                Some(Tok::Underscore) => {
+                    params.push(Param::Wild);
+                    self.bump();
+                }
+                Some(Tok::LBracket) => {
+                    self.bump();
+                    let mut vars = Vec::new();
+                    loop {
+                        let (v, _) = self.lident()?;
+                        vars.push(v);
+                        if self.peek().map(|t| &t.tok) == Some(&Tok::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.expect(Tok::RBracket)?;
+                    params.push(Param::Types(vars));
+                }
+                _ => return self.error("expected a parameter or `=` in definition"),
+            }
+        }
+        self.expect(Tok::Equals)?;
+        let body = self.expr()?;
+        Ok(Decl::Binding(BindingDecl {
+            name,
+            params,
+            body,
+            span: start.to(self.last_span()),
+        }))
+    }
+
+    // --------------------------------------------------------------- types
+
+    fn ty(&mut self) -> PResult<SType> {
+        if self.peek().map(|t| &t.tok) == Some(&Tok::Forall) {
+            let start = self.bump().expect("peeked").span;
+            self.expect(Tok::LParen)?;
+            let (var, _) = self.lident()?;
+            self.expect(Tok::Colon)?;
+            let kind = self.kind()?;
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Dot)?;
+            let body = self.ty()?;
+            let span = start.to(body.span());
+            return Ok(SType::Forall(var, kind, Box::new(body), span));
+        }
+        self.ty_arrow()
+    }
+
+    fn kind(&mut self) -> PResult<Kind> {
+        let (name, _) = self.uident()?;
+        let s = name.as_str();
+        if s.len() == 1 {
+            if let Some(k) = Kind::from_letter(s.chars().next().expect("len checked")) {
+                return Ok(k);
+            }
+        }
+        self.error(format!("expected a kind (S, T or P), found `{s}`"))
+    }
+
+    fn ty_arrow(&mut self) -> PResult<SType> {
+        let lhs = self.ty_seq()?;
+        if self.cont_tok() == Some(&Tok::Arrow) {
+            self.bump();
+            let rhs = self.ty()?; // right-associative
+            let span = lhs.span().to(rhs.span());
+            return Ok(SType::Arrow(Box::new(lhs), Box::new(rhs), span));
+        }
+        Ok(lhs)
+    }
+
+    /// Session-prefix level: `!T.S`, `?T.S`, otherwise an application type.
+    fn ty_seq(&mut self) -> PResult<SType> {
+        match self.peek().map(|t| &t.tok) {
+            Some(Tok::Bang) => {
+                let start = self.bump().expect("peeked").span;
+                let payload = self.ty_msg()?;
+                self.expect(Tok::Dot)?;
+                let cont = self.ty_seq()?;
+                let span = start.to(cont.span());
+                Ok(SType::Out(Box::new(payload), Box::new(cont), span))
+            }
+            Some(Tok::Quest) => {
+                let start = self.bump().expect("peeked").span;
+                let payload = self.ty_msg()?;
+                self.expect(Tok::Dot)?;
+                let cont = self.ty_seq()?;
+                let span = start.to(cont.span());
+                Ok(SType::In(Box::new(payload), Box::new(cont), span))
+            }
+            _ => self.ty_app(),
+        }
+    }
+
+    /// Message payload: an application type, optionally negated.
+    fn ty_msg(&mut self) -> PResult<SType> {
+        if self.peek().map(|t| &t.tok) == Some(&Tok::Dash) {
+            let start = self.bump().expect("peeked").span;
+            let inner = self.ty_msg()?;
+            let span = start.to(inner.span());
+            return Ok(SType::Neg(Box::new(inner), span));
+        }
+        self.ty_app()
+    }
+
+    fn ty_app(&mut self) -> PResult<SType> {
+        let head = self.ty_atom()?;
+        // Only named heads can be applied.
+        if let SType::Name(name, args0, start) = head {
+            debug_assert!(args0.is_empty());
+            let mut args = Vec::new();
+            while self.starts_type_atom() {
+                args.push(self.ty_atom()?);
+            }
+            let span = start.to(self.last_span());
+            Ok(SType::Name(name, args, span))
+        } else {
+            Ok(head)
+        }
+    }
+
+    fn starts_type_atom(&self) -> bool {
+        matches!(
+            self.cont_tok(),
+            Some(
+                Tok::LParen
+                    | Tok::UIdent(_)
+                    | Tok::LIdent(_)
+                    | Tok::EndBang
+                    | Tok::EndQuest
+                    | Tok::DualKw
+                    | Tok::Dash
+            )
+        )
+    }
+
+    fn ty_atom(&mut self) -> PResult<SType> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::LParen) => {
+                let start = self.bump().expect("peeked").span;
+                let first = self.ty()?;
+                if self.peek().map(|t| &t.tok) == Some(&Tok::Comma) {
+                    self.bump();
+                    let second = self.ty()?;
+                    let end = self.expect(Tok::RParen)?;
+                    Ok(SType::Pair(
+                        Box::new(first),
+                        Box::new(second),
+                        start.to(end),
+                    ))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Some(Tok::UIdent(name)) => {
+                let span = self.bump().expect("peeked").span;
+                if name.as_str() == "Unit" {
+                    Ok(SType::Unit(span))
+                } else {
+                    Ok(SType::Name(name, Vec::new(), span))
+                }
+            }
+            Some(Tok::LIdent(name)) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SType::Var(name, span))
+            }
+            Some(Tok::EndBang) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SType::EndOut(span))
+            }
+            Some(Tok::EndQuest) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SType::EndIn(span))
+            }
+            Some(Tok::DualKw) => {
+                let start = self.bump().expect("peeked").span;
+                let inner = self.ty_atom()?;
+                let span = start.to(inner.span());
+                Ok(SType::Dual(Box::new(inner), span))
+            }
+            Some(Tok::Dash) => {
+                let start = self.bump().expect("peeked").span;
+                let inner = self.ty_atom()?;
+                let span = start.to(inner.span());
+                Ok(SType::Neg(Box::new(inner), span))
+            }
+            _ => self.error("expected a type"),
+        }
+    }
+
+    // --------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> PResult<SExpr> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::Backslash) => self.lambda(),
+            Some(Tok::Let) => self.let_expr(),
+            Some(Tok::If) => self.if_expr(),
+            Some(Tok::Case) => self.case_expr(Tok::Of),
+            Some(Tok::Match) => self.case_expr(Tok::With),
+            _ => self.pipe_expr(),
+        }
+    }
+
+    fn lambda(&mut self) -> PResult<SExpr> {
+        let start = self.bump().expect("peeked").span; // backslash
+        let mut params = Vec::new();
+        loop {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::LIdent(x)) => {
+                    params.push(x);
+                    self.bump();
+                }
+                Some(Tok::Underscore) => {
+                    params.push(Symbol::fresh("_wild"));
+                    self.bump();
+                }
+                Some(Tok::Arrow) => break,
+                _ => return self.error("expected a lambda parameter or `->`"),
+            }
+        }
+        if params.is_empty() {
+            return self.error("lambda needs at least one parameter");
+        }
+        self.expect(Tok::Arrow)?;
+        let body = self.expr()?;
+        let span = start.to(body.span());
+        Ok(SExpr::Lambda(params, Box::new(body), span))
+    }
+
+    fn let_expr(&mut self) -> PResult<SExpr> {
+        let start = self.bump().expect("peeked").span; // let
+        let pat = self.pattern()?;
+        self.expect(Tok::Equals)?;
+        let bound = self.expr()?;
+        self.expect(Tok::In)?;
+        let body = self.expr()?;
+        let span = start.to(body.span());
+        Ok(SExpr::Let(pat, Box::new(bound), Box::new(body), span))
+    }
+
+    fn pattern(&mut self) -> PResult<Pattern> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::LIdent(x)) => {
+                self.bump();
+                Ok(Pattern::Var(x))
+            }
+            Some(Tok::Underscore) => {
+                self.bump();
+                Ok(Pattern::Wild)
+            }
+            Some(Tok::Star) => {
+                self.bump();
+                Ok(Pattern::Unit)
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                if self.peek().map(|t| &t.tok) == Some(&Tok::RParen) {
+                    self.bump();
+                    return Ok(Pattern::Unit);
+                }
+                let (x, _) = self.lident()?;
+                self.expect(Tok::Comma)?;
+                let (y, _) = self.lident()?;
+                self.expect(Tok::RParen)?;
+                Ok(Pattern::Pair(x, y))
+            }
+            _ => self.error("expected a pattern (x, (x, y), _, * or ())"),
+        }
+    }
+
+    fn if_expr(&mut self) -> PResult<SExpr> {
+        let start = self.bump().expect("peeked").span; // if
+        let cond = self.expr()?;
+        self.expect(Tok::Then)?;
+        let thn = self.expr()?;
+        self.expect(Tok::Else)?;
+        let els = self.expr()?;
+        let span = start.to(els.span());
+        Ok(SExpr::If(Box::new(cond), Box::new(thn), Box::new(els), span))
+    }
+
+    /// `case e of { arms }` / `match e with { arms }`.
+    fn case_expr(&mut self, separator: Tok) -> PResult<SExpr> {
+        let start = self.bump().expect("peeked").span; // case/match
+        let scrutinee = self.pipe_expr()?;
+        self.expect(separator)?;
+        self.expect(Tok::LBrace)?;
+        let mut arms = Vec::new();
+        loop {
+            arms.push(self.arm()?);
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::Comma) => {
+                    self.bump();
+                    // allow trailing comma
+                    if self.peek().map(|t| &t.tok) == Some(&Tok::RBrace) {
+                        break;
+                    }
+                }
+                Some(Tok::RBrace) => break,
+                _ => return self.error("expected `,` or `}` after case arm"),
+            }
+        }
+        let end = self.expect(Tok::RBrace)?;
+        Ok(SExpr::Case(Box::new(scrutinee), arms, start.to(end)))
+    }
+
+    fn arm(&mut self) -> PResult<SArm> {
+        let (tag, start) = self.uident()?;
+        let mut binders = Vec::new();
+        loop {
+            match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::LIdent(x)) => {
+                    binders.push(x);
+                    self.bump();
+                }
+                Some(Tok::Underscore) => {
+                    binders.push(Symbol::fresh("_wild"));
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.expect(Tok::Arrow)?;
+        let body = self.expr()?;
+        let span = start.to(body.span());
+        Ok(SArm {
+            tag,
+            binders,
+            body,
+            span,
+        })
+    }
+
+    /// `e |> f |> g` — reverse application, lowest precedence,
+    /// left-associative: `x |> f |> g` is `g (f x)`.
+    fn pipe_expr(&mut self) -> PResult<SExpr> {
+        let mut lhs = self.or_expr()?;
+        while self.cont_tok() == Some(&Tok::PipeGt) {
+            self.bump();
+            // The right operand of |> may itself be a lambda/let/etc.
+            let rhs = match self.peek().map(|t| t.tok.clone()) {
+                Some(Tok::Backslash) => self.lambda()?,
+                _ => self.or_expr()?,
+            };
+            let span = lhs.span().to(rhs.span());
+            lhs = SExpr::App(Box::new(rhs), Box::new(lhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> PResult<SExpr> {
+        let mut lhs = self.and_expr()?;
+        while self.cont_tok() == Some(&Tok::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = binop("||", lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<SExpr> {
+        let mut lhs = self.cmp_expr()?;
+        while self.cont_tok() == Some(&Tok::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = binop("&&", lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<SExpr> {
+        let lhs = self.add_expr()?;
+        let op = match self.cont_tok() {
+            Some(Tok::EqEq) => "==",
+            Some(Tok::Neq) => "/=",
+            Some(Tok::Lt) => "<",
+            Some(Tok::Le) => "<=",
+            Some(Tok::Gt) => ">",
+            Some(Tok::Ge) => ">=",
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(binop(op, lhs, rhs))
+    }
+
+    fn add_expr(&mut self) -> PResult<SExpr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.cont_tok() {
+                Some(Tok::Plus) => "+",
+                Some(Tok::Dash) => "-",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<SExpr> {
+        let mut lhs = self.app_expr()?;
+        loop {
+            let op = match self.cont_tok() {
+                Some(Tok::Star) => "*",
+                Some(Tok::Slash) => "/",
+                Some(Tok::Percent) => "%",
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.app_expr()?;
+            lhs = binop(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn app_expr(&mut self) -> PResult<SExpr> {
+        let mut head = self.atom()?;
+        loop {
+            if self.starts_expr_atom() {
+                let arg = self.atom()?;
+                let span = head.span().to(arg.span());
+                head = SExpr::App(Box::new(head), Box::new(arg), span);
+            } else if self.cont_tok() == Some(&Tok::LBracket) {
+                self.bump();
+                let mut tys = vec![self.ty()?];
+                while self.peek().map(|t| &t.tok) == Some(&Tok::Comma) {
+                    self.bump();
+                    tys.push(self.ty()?);
+                }
+                let end = self.expect(Tok::RBracket)?;
+                let span = head.span().to(end);
+                head = SExpr::TApp(Box::new(head), tys, span);
+            } else {
+                break;
+            }
+        }
+        Ok(head)
+    }
+
+    fn starts_expr_atom(&self) -> bool {
+        matches!(
+            self.cont_tok(),
+            Some(
+                Tok::LIdent(_)
+                    | Tok::UIdent(_)
+                    | Tok::IntLit(_)
+                    | Tok::CharLit(_)
+                    | Tok::StrLit(_)
+                    | Tok::LParen
+                    | Tok::SelectKw
+            )
+        )
+    }
+
+    fn atom(&mut self) -> PResult<SExpr> {
+        match self.peek().map(|t| t.tok.clone()) {
+            Some(Tok::IntLit(n)) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SExpr::Lit(Lit::Int(n), span))
+            }
+            Some(Tok::CharLit(c)) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SExpr::Lit(Lit::Char(c), span))
+            }
+            Some(Tok::StrLit(s)) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SExpr::Lit(Lit::Str(s), span))
+            }
+            Some(Tok::LIdent(x)) => {
+                let span = self.bump().expect("peeked").span;
+                Ok(SExpr::Var(x, span))
+            }
+            Some(Tok::UIdent(c)) => {
+                let span = self.bump().expect("peeked").span;
+                match c.as_str() {
+                    "True" => Ok(SExpr::Lit(Lit::Bool(true), span)),
+                    "False" => Ok(SExpr::Lit(Lit::Bool(false), span)),
+                    _ => Ok(SExpr::Con(c, span)),
+                }
+            }
+            Some(Tok::SelectKw) => {
+                let start = self.bump().expect("peeked").span;
+                let (tag, end) = self.uident()?;
+                Ok(SExpr::Select(tag, start.to(end)))
+            }
+            Some(Tok::LParen) => {
+                let start = self.bump().expect("peeked").span;
+                if self.peek().map(|t| &t.tok) == Some(&Tok::RParen) {
+                    let end = self.bump().expect("peeked").span;
+                    return Ok(SExpr::Lit(Lit::Unit, start.to(end)));
+                }
+                let first = self.expr()?;
+                if self.peek().map(|t| &t.tok) == Some(&Tok::Comma) {
+                    self.bump();
+                    let second = self.expr()?;
+                    let end = self.expect(Tok::RParen)?;
+                    Ok(SExpr::Pair(
+                        Box::new(first),
+                        Box::new(second),
+                        start.to(end),
+                    ))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            _ => self.error("expected an expression"),
+        }
+    }
+}
+
+fn binop(op: &str, lhs: SExpr, rhs: SExpr) -> SExpr {
+    let span = lhs.span().to(rhs.span());
+    SExpr::BinOp(Symbol::intern(op), Box::new(lhs), Box::new(rhs), span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_protocol_decl() {
+        let p = parse_program("protocol IntListP = Nil | Cons Int IntListP").unwrap();
+        assert_eq!(p.decls.len(), 1);
+        let Decl::Protocol(d) = &p.decls[0] else {
+            panic!("expected protocol")
+        };
+        assert_eq!(d.name.as_str(), "IntListP");
+        assert_eq!(d.ctors.len(), 2);
+        assert_eq!(d.ctors[1].args.len(), 2);
+    }
+
+    #[test]
+    fn parses_parameterized_protocol() {
+        let p = parse_program("protocol Stream a = Next a (Stream a)").unwrap();
+        let Decl::Protocol(d) = &p.decls[0] else {
+            panic!()
+        };
+        assert_eq!(d.params.len(), 1);
+        let SType::Name(n, args, _) = &d.ctors[0].args[1] else {
+            panic!()
+        };
+        assert_eq!(n.as_str(), "Stream");
+        assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parses_polarity_in_ctor_args() {
+        let p = parse_program("protocol Arith = Neg Int -Int | Add Int Int -Int").unwrap();
+        let Decl::Protocol(d) = &p.decls[0] else {
+            panic!()
+        };
+        assert!(matches!(d.ctors[0].args[1], SType::Neg(..)));
+        assert_eq!(d.ctors[1].args.len(), 3);
+    }
+
+    #[test]
+    fn parses_signature_with_forall() {
+        let p = parse_program("sendAst : Ast -> forall (s:S). !AstP.s -> s").unwrap();
+        let Decl::Signature(sig) = &p.decls[0] else {
+            panic!()
+        };
+        assert_eq!(
+            sig.ty.to_string(),
+            "Ast -> forall (s:S). !AstP.s -> s"
+        );
+    }
+
+    #[test]
+    fn parses_session_types() {
+        let t = parse_type("?Repeat Int . !(Char, End!) . End!").unwrap();
+        assert_eq!(t.to_string(), "?(Repeat Int).!(Char, End!).End!");
+        let t = parse_type("Dual (!Repeat Int. ?(Char, End!). Dual End!)").unwrap();
+        assert!(matches!(t, SType::Dual(..)));
+    }
+
+    #[test]
+    fn parses_negated_payloads() {
+        let t = parse_type("?-a.s").unwrap();
+        let SType::In(p, _, _) = t else { panic!() };
+        assert!(matches!(*p, SType::Neg(..)));
+        let t = parse_type("! Stream -a .End!").unwrap();
+        let SType::Out(p, _, _) = t else { panic!() };
+        let SType::Name(_, args, _) = *p else { panic!() };
+        assert!(matches!(args[0], SType::Neg(..)));
+    }
+
+    #[test]
+    fn parses_match_with_arms() {
+        let e = parse_expr(
+            "match c with { ConP c -> recvInt [s] c, AddP c -> recvAst [?AstP.s] c }",
+        )
+        .unwrap();
+        let SExpr::Case(_, arms, _) = e else { panic!() };
+        assert_eq!(arms.len(), 2);
+        assert_eq!(arms[0].binders.len(), 1);
+    }
+
+    #[test]
+    fn parses_pipe_as_reverse_application() {
+        // x |> f |> g  ==  g (f x)
+        let e = parse_expr("x |> f |> g").unwrap();
+        let SExpr::App(g, fx, _) = e else { panic!() };
+        assert!(matches!(*g, SExpr::Var(..)));
+        let SExpr::App(f, x, _) = *fx else { panic!() };
+        assert!(matches!(*f, SExpr::Var(..)));
+        assert!(matches!(*x, SExpr::Var(..)));
+    }
+
+    #[test]
+    fn parses_type_application_lists() {
+        let e = parse_expr("select Next [Int, End!] c").unwrap();
+        // select Next [Int,End!] c = App(TApp(Select, [Int, End!]), c)
+        let SExpr::App(f, _, _) = e else { panic!() };
+        let SExpr::TApp(sel, tys, _) = *f else { panic!() };
+        assert!(matches!(*sel, SExpr::Select(..)));
+        assert_eq!(tys.len(), 2);
+    }
+
+    #[test]
+    fn parses_let_pair() {
+        let e = parse_expr("let (x, c) = receive [Int, s] c in (x, c)").unwrap();
+        let SExpr::Let(Pattern::Pair(..), _, _, _) = e else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn parses_operators_with_precedence() {
+        // 1 + 2 * 3 == 7  parses as  (1 + (2*3)) == 7
+        let e = parse_expr("1 + 2 * 3 == 7").unwrap();
+        let SExpr::BinOp(eq, lhs, _, _) = e else { panic!() };
+        assert_eq!(eq.as_str(), "==");
+        let SExpr::BinOp(plus, _, rhs, _) = *lhs else {
+            panic!()
+        };
+        assert_eq!(plus.as_str(), "+");
+        assert!(matches!(*rhs, SExpr::BinOp(..)));
+    }
+
+    #[test]
+    fn layout_separates_declarations() {
+        let src = "ones : Unit\nones = ()\nmain : Unit\nmain = ()";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 4);
+    }
+
+    #[test]
+    fn continuation_lines_are_part_of_definition() {
+        let src = "f x =\n  let y = x in\n  y";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 1);
+    }
+
+    #[test]
+    fn paper_serve_arith_parses() {
+        let src = r#"
+serveArith : forall (s:S). ?Arith.s -> s
+serveArith [s] c = match c with {
+  Neg c -> let (x, c) = receive [Int, !Int.s] c in
+           send [Int, s] (0 - x) c,
+  Add c -> let (x, c) = receive [Int, ?Int.!Int.s] c in
+           let (y, c) = receive [Int, !Int.s] c in
+           send [Int, s] (x + y) c }
+"#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.decls.len(), 2);
+        let Decl::Binding(b) = &p.decls[1] else {
+            panic!()
+        };
+        assert_eq!(b.params.len(), 2); // [s] and c
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse_program("protocol = Nil").unwrap_err();
+        assert!(err.message.contains("uppercase"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn trailing_comma_in_arms_ok() {
+        let e = parse_expr("match c with { A c -> c, B c -> c, }").unwrap();
+        let SExpr::Case(_, arms, _) = e else { panic!() };
+        assert_eq!(arms.len(), 2);
+    }
+}

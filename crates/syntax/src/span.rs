@@ -1,0 +1,67 @@
+//! Source locations for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range in a source file, with the line/column of its
+/// start (1-based, as editors display them).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Span {
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
+    }
+
+    /// Joins two spans into the smallest span covering both. Keeps the
+    /// line/column of the earlier one.
+    pub fn to(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(3, 7, 1, 4);
+        let b = Span::new(10, 12, 2, 1);
+        let j = a.to(b);
+        assert_eq!((j.start, j.end), (3, 12));
+        assert_eq!((j.line, j.col), (1, 4));
+        // order-independent
+        assert_eq!(b.to(a), j);
+    }
+
+    #[test]
+    fn display_is_line_col() {
+        assert_eq!(Span::new(0, 1, 7, 3).to_string(), "7:3");
+    }
+}

@@ -1,0 +1,134 @@
+//! Tokens of the AlgST surface language.
+
+use crate::span::Span;
+use algst_core::symbol::Symbol;
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals and names
+    LIdent(Symbol),
+    UIdent(Symbol),
+    IntLit(i64),
+    CharLit(char),
+    StrLit(String),
+
+    // keywords
+    Protocol,
+    Data,
+    TypeKw,
+    Forall,
+    Let,
+    In,
+    Case,
+    Of,
+    Match,
+    With,
+    If,
+    Then,
+    Else,
+    DualKw,
+    SelectKw,
+
+    // session type atoms
+    EndBang,
+    EndQuest,
+
+    // punctuation and operators
+    Equals,
+    Colon,
+    Dot,
+    Comma,
+    Bar,
+    PipeGt, // |>   (reverse application ▷)
+    Arrow,  // ->
+    Backslash,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Bang,
+    Quest,
+    Dash,
+    Plus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Neq, // /=
+    AndAnd,
+    OrOr,
+    Underscore,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::LIdent(s) | Tok::UIdent(s) => write!(f, "{s}"),
+            Tok::IntLit(n) => write!(f, "{n}"),
+            Tok::CharLit(c) => write!(f, "{c:?}"),
+            Tok::StrLit(s) => write!(f, "{s:?}"),
+            Tok::Protocol => write!(f, "protocol"),
+            Tok::Data => write!(f, "data"),
+            Tok::TypeKw => write!(f, "type"),
+            Tok::Forall => write!(f, "forall"),
+            Tok::Let => write!(f, "let"),
+            Tok::In => write!(f, "in"),
+            Tok::Case => write!(f, "case"),
+            Tok::Of => write!(f, "of"),
+            Tok::Match => write!(f, "match"),
+            Tok::With => write!(f, "with"),
+            Tok::If => write!(f, "if"),
+            Tok::Then => write!(f, "then"),
+            Tok::Else => write!(f, "else"),
+            Tok::DualKw => write!(f, "Dual"),
+            Tok::SelectKw => write!(f, "select"),
+            Tok::EndBang => write!(f, "End!"),
+            Tok::EndQuest => write!(f, "End?"),
+            Tok::Equals => write!(f, "="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dot => write!(f, "."),
+            Tok::Comma => write!(f, ","),
+            Tok::Bar => write!(f, "|"),
+            Tok::PipeGt => write!(f, "|>"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Backslash => write!(f, "\\"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Quest => write!(f, "?"),
+            Tok::Dash => write!(f, "-"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Le => write!(f, "<="),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Neq => write!(f, "/="),
+            Tok::AndAnd => write!(f, "&&"),
+            Tok::OrOr => write!(f, "||"),
+            Tok::Underscore => write!(f, "_"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

@@ -1,0 +1,76 @@
+//! The arithmetic server of paper Section 2.2: a protocol with
+//! *polarities* (`Neg Int -Int | Add Int Int -Int`), its server, and a
+//! client, running over real channels.
+//!
+//! ```text
+//! cargo run --example arith_server
+//! ```
+
+use algst::check::check_source;
+use algst::runtime::Interp;
+use std::time::Duration;
+
+const PROGRAM: &str = r#"
+-- `-Int` flips the direction: the server *sends* the result.
+protocol Arith = Neg Int -Int | Add Int Int -Int
+
+-- A wrapper protocol so one session can carry many requests.
+protocol Calls = Call Arith Calls | Hangup
+
+serveArith : forall (s:S). ?Arith.s -> s
+serveArith [s] c = match c with {
+  Neg c -> let (x, c) = receiveInt [!Int.s] c in
+           sendInt [s] (0 - x) c,
+  Add c -> let (x, c) = receiveInt [?Int.!Int.s] c in
+           let (y, c) = receiveInt [!Int.s] c in
+           sendInt [s] (x + y) c }
+
+server : ?Calls.End? -> Unit
+server c = match c with {
+  Hangup c -> wait c,
+  Call c -> serveArith [?Calls.End?] c |> server }
+
+askNeg : Int -> !Calls.End! -> (Int, !Calls.End!)
+askNeg x c =
+  let c = select Call [End!] c in
+  let c = select Neg [!Calls.End!] c in
+  let c = sendInt [?Int.!Calls.End!] x c in
+  receiveInt [!Calls.End!] c
+
+askAdd : Int -> Int -> !Calls.End! -> (Int, !Calls.End!)
+askAdd x y c =
+  let c = select Call [End!] c in
+  let c = select Add [!Calls.End!] c in
+  let c = sendInt [!Int.?Int.!Calls.End!] x c in
+  let c = sendInt [?Int.!Calls.End!] y c in
+  receiveInt [!Calls.End!] c
+
+main : Unit
+main =
+  let (client, srv) = new [!Calls.End!] in
+  let _ = fork (\u -> server srv) in
+  let (a, client) = askAdd 30 12 client in
+  let _ = printInt a in
+  let (b, client) = askNeg a client in
+  let _ = printInt b in
+  let (cc, client) = askAdd a b client in
+  let _ = printInt cc in
+  select Hangup [End!] client |> terminate
+"#;
+
+fn main() {
+    let module = check_source(PROGRAM).unwrap_or_else(|e| {
+        eprintln!("type error: {e}");
+        std::process::exit(1);
+    });
+    println!("Arith session, as seen by the client after `select Neg`:");
+    println!("  select Neg [s] : !Arith.s -> !Int.?Int.s   (polarity flips the reply)");
+    let interp = Interp::new(&module).echo(true);
+    interp
+        .run_timeout("main", Duration::from_secs(10))
+        .unwrap_or_else(|e| {
+            eprintln!("runtime error: {e}");
+            std::process::exit(1);
+        });
+    println!("expected: 42, -42, 0");
+}

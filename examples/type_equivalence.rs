@@ -1,0 +1,115 @@
+//! A miniature of the paper's Figure 10: compare AlgST's linear-time type
+//! equivalence against FreeST-style bisimilarity on a small sweep of
+//! generated instances, and walk through the Fig. 9 example.
+//!
+//! ```text
+//! cargo run --release --example type_equivalence
+//! ```
+//!
+//! (The full 324-case harness is `cargo run --release -p algst-bench --bin fig10`.)
+
+use algst::core::equiv::equivalent;
+use algst::core::kind::Kind;
+use algst::core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst::core::symbol::Symbol;
+use algst::core::types::Type;
+use algst::gen::generate::{generate_instance, GenConfig};
+use algst::gen::mutate::equivalent_variant;
+use algst::gen::to_freest::to_freest;
+use algst::gen::to_grammar::to_grammar;
+use algst::freest::{bisimilar_with, BisimResult, Grammar};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn main() {
+    fig9_walkthrough();
+    mini_sweep();
+}
+
+/// The paper's Fig. 9 instance, spelled out.
+fn fig9_walkthrough() {
+    let mut decls = Declarations::new();
+    decls
+        .add_protocol(ProtocolDecl {
+            name: Symbol::intern("Repeat"),
+            params: vec![],
+            ctors: vec![
+                Ctor::new("More", vec![Type::int(), Type::proto("Repeat", vec![])]),
+                Ctor::new("Quit", vec![]),
+            ],
+        })
+        .expect("fresh");
+    decls.validate().expect("well-kinded");
+
+    // ?Repeat Int . !(Char, End!) . End!
+    let ty = Type::input(
+        Type::proto("Repeat", vec![]),
+        Type::output(Type::pair(Type::char(), Type::EndOut), Type::EndOut),
+    );
+    println!("== paper Fig. 9 ==");
+    println!("AlgST type:          {ty}");
+    println!(
+        "FreeST counterpart:  {}",
+        to_freest(&decls, &ty).expect("translatable")
+    );
+
+    // Dual (!Repeat Int. ?(Char, End!). Dual End!) — the equivalent variant.
+    let equiv_variant = Type::dual(Type::output(
+        Type::proto("Repeat", vec![]),
+        Type::input(
+            Type::pair(Type::char(), Type::EndOut),
+            Type::dual(Type::EndOut),
+        ),
+    ));
+    println!("equivalent variant:  {equiv_variant}");
+    println!("  AlgST ≡ in linear time: {}", equivalent(&ty, &equiv_variant));
+
+    // ?Repeat String … — the non-equivalent variant (payload changed).
+    let non_equiv = Type::input(
+        Type::proto("Repeat", vec![]),
+        Type::output(Type::pair(Type::string(), Type::EndOut), Type::EndOut),
+    );
+    println!("non-equivalent:      {non_equiv}");
+    println!("  AlgST ≡: {}", equivalent(&ty, &non_equiv));
+    println!();
+}
+
+fn mini_sweep() {
+    println!("== mini Figure 10 sweep (see `fig10` binary for the real thing) ==");
+    println!(
+        "{:>6} | {:>12} | {:>14}",
+        "nodes", "AlgST (µs)", "FreeST (µs)"
+    );
+    let mut rng = StdRng::seed_from_u64(2024);
+    for size in [8usize, 16, 32, 64, 96] {
+        let inst = generate_instance(&mut rng, &GenConfig::sized(size));
+        let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
+
+        let start = Instant::now();
+        let mut verdict = true;
+        for _ in 0..1000 {
+            verdict &= equivalent(&inst.ty, &variant);
+        }
+        let algst_us = start.elapsed().as_secs_f64() * 1e6 / 1000.0;
+        assert!(verdict, "conversion walk must preserve equivalence");
+
+        let start = Instant::now();
+        let mut g = Grammar::new();
+        let w1 = to_grammar(&inst.decls, &inst.ty, &mut g).expect("translatable");
+        let w2 = to_grammar(&inst.decls, &variant, &mut g).expect("translatable");
+        let res = bisimilar_with(&mut g, &w1, &w2, u64::MAX, Some(Duration::from_secs(2)));
+        let freest_us = start.elapsed().as_secs_f64() * 1e6;
+
+        println!(
+            "{:>6} | {:>12.2} | {:>14}",
+            inst.node_count(),
+            algst_us,
+            match res {
+                BisimResult::Budget => "timeout".to_owned(),
+                _ => format!("{freest_us:.2}"),
+            }
+        );
+    }
+    println!("\nAlgST stays flat (linear); FreeST climbs steeply — the paper's Figure 10 shape.");
+}

@@ -1,0 +1,110 @@
+//! The `algst` command-line interface: type check and run AlgST programs,
+//! mirroring the paper's artifact (a type checker and an interpreter).
+//!
+//! ```text
+//! algst check FILE.algst            # parse, elaborate, type check
+//! algst run FILE.algst              # … then evaluate `main`
+//!     [--main NAME]                 # entry point (default: main)
+//!     [--async N]                   # bounded channels of capacity N
+//!     [--timeout SECS]              # watchdog (default 30)
+//!     [--no-prelude]                # without sendInt/receiveInt/…
+//! ```
+
+use algst::check::{check_source, check_source_raw};
+use algst::runtime::Interp;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let Some(file) = args.get(1) else {
+        return usage();
+    };
+
+    let mut entry = "main".to_owned();
+    let mut capacity = 0usize;
+    let mut timeout = Duration::from_secs(30);
+    let mut prelude = true;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--main" => {
+                i += 1;
+                entry = match args.get(i) {
+                    Some(v) => v.clone(),
+                    None => return usage(),
+                };
+            }
+            "--async" => {
+                i += 1;
+                capacity = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => return usage(),
+                };
+            }
+            "--timeout" => {
+                i += 1;
+                timeout = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(v) => Duration::from_secs(v),
+                    None => return usage(),
+                };
+            }
+            "--no-prelude" => prelude = false,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let source = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let module = match if prelude {
+        check_source(&source)
+    } else {
+        check_source_raw(&source)
+    } {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "check" => {
+            println!("{file}: ok");
+            for (name, _) in module.defs() {
+                if let Some(ty) = module.sig(name.as_str()) {
+                    println!("  {name} : {ty}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let interp = Interp::with_capacity(&module, capacity).echo(true);
+            match interp.run_timeout(&entry, timeout) {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

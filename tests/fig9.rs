@@ -1,0 +1,150 @@
+//! Golden test for the paper's **Figure 9**: an AlgST type instance, its
+//! FreeST counterpart, and the displayed equivalent / non-equivalent
+//! AlgST variants.
+//!
+//! ```text
+//! --- protocol and type in AlgST syntax ---
+//! protocol Repeat x = More x (Repeat x) | Quit
+//! ?Repeat Int . !(Char, End!) . End!
+//!
+//! --- corresponding type in FreeST syntax ---
+//! (rec repeat0 : 1S . &{More: ?Int; repeat0; Skip, Quit: Skip}); (!(Char, End); End)
+//!
+//! --- example of an equivalent AlgST type ---
+//! Dual (!Repeat Int. ?(Char, End!). Dual End!)
+//!
+//! --- example of a non-equivalent AlgST type ---
+//! ?Repeat String . !(Char, End!) . End!
+//! ```
+//!
+//! The generator's benchmark fragment uses unparameterized protocols, so
+//! `Repeat Int` is declared at the instantiated payload.
+
+use algst::core::equiv::equivalent;
+use algst::core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst::core::symbol::Symbol;
+use algst::core::types::Type;
+use algst::freest::{equivalent_types, BisimResult};
+use algst::gen::to_freest::to_freest;
+use algst::syntax::parse_type;
+
+fn fig9_decls() -> Declarations {
+    let mut d = Declarations::new();
+    d.add_protocol(ProtocolDecl {
+        name: Symbol::intern("RepeatG9"),
+        params: vec![],
+        ctors: vec![
+            Ctor::new(
+                "MoreG9",
+                vec![Type::int(), Type::proto("RepeatG9", vec![])],
+            ),
+            Ctor::new("QuitG9", vec![]),
+        ],
+    })
+    .expect("fresh names");
+    d.validate().expect("well-kinded");
+    d
+}
+
+fn fig9_type() -> Type {
+    Type::input(
+        Type::proto("RepeatG9", vec![]),
+        Type::output(Type::pair(Type::char(), Type::EndOut), Type::EndOut),
+    )
+}
+
+#[test]
+fn algst_type_parses_as_displayed() {
+    // The exact concrete syntax of the figure (modulo the renamed
+    // protocol) parses to the instance type.
+    let parsed = parse_type("?RepeatG9 . !(Char, End!) . End!").expect("parses");
+    assert_eq!(parsed.to_string(), "?RepeatG9.!(Char, End!).End!");
+}
+
+#[test]
+fn freest_counterpart_matches_figure() {
+    let cf = to_freest(&fig9_decls(), &fig9_type()).expect("translatable");
+    let s = cf.to_string();
+    // rec binder over an external choice with the More/Quit branches,
+    // then the (Char, End!) transmission and the End.
+    assert!(s.contains("rec repeatg9_i"), "{s}");
+    assert!(s.contains("MoreG9: ?Int; repeatg9_i"), "{s}");
+    assert!(s.contains("QuitG9: Skip"), "{s}");
+    assert!(s.contains("!(Char, End!)"), "{s}");
+    assert!(s.ends_with("End!"), "{s}");
+}
+
+#[test]
+fn equivalent_variant_is_equivalent_in_both_systems() {
+    let decls = fig9_decls();
+    let ty = fig9_type();
+    // Dual (!Repeat. ?(Char, End!). Dual End!)
+    let variant = Type::dual(Type::output(
+        Type::proto("RepeatG9", vec![]),
+        Type::input(
+            Type::pair(Type::char(), Type::EndOut),
+            Type::dual(Type::EndOut),
+        ),
+    ));
+    assert!(equivalent(&ty, &variant), "AlgST must identify the variant");
+
+    let cf1 = to_freest(&decls, &ty).expect("translatable");
+    let cf2 = to_freest(&decls, &variant).expect("translatable");
+    assert_eq!(
+        equivalent_types(&cf1, &cf2, 1_000_000),
+        BisimResult::Equivalent,
+        "FreeST must identify the translated variant"
+    );
+}
+
+#[test]
+fn nonequivalent_variant_is_rejected_in_both_systems() {
+    let decls = fig9_decls();
+    let ty = fig9_type();
+    // ?Repeat String …: the figure's non-equivalent example changes the
+    // payload of the transmission after the protocol. In the
+    // unparameterized rendering, the corresponding mutation changes the
+    // pair payload instead.
+    let mutant = Type::input(
+        Type::proto("RepeatG9", vec![]),
+        Type::output(Type::pair(Type::string(), Type::EndOut), Type::EndOut),
+    );
+    assert!(!equivalent(&ty, &mutant));
+
+    let cf1 = to_freest(&decls, &ty).expect("translatable");
+    let cf2 = to_freest(&decls, &mutant).expect("translatable");
+    assert_eq!(
+        equivalent_types(&cf1, &cf2, 1_000_000),
+        BisimResult::NotEquivalent
+    );
+}
+
+#[test]
+fn parameterized_repeat_checks_in_full_algst() {
+    // Outside the benchmark fragment, the *parameterized* declaration of
+    // the figure type-checks as written in the paper.
+    let module = algst::check::check_source(
+        r#"
+protocol RepeatP x = MoreP x (RepeatP x) | QuitP
+
+useIt : ?RepeatP Int . !(Char, End!) . End! -> Unit
+useIt c = consume c
+
+consume : ?RepeatP Int . !(Char, End!) . End! -> Unit
+consume c = match c with {
+  MoreP c -> let (x, c) = receiveInt [?RepeatP Int . !(Char, End!) . End!] c in
+             consume c,
+  QuitP c -> let (e1, e2) = new [End!] in
+             let c = send [(Char, End!), End!] ('x', e1) c in
+             let _ = terminate c in
+             wait e2 }
+
+main : Unit
+main = ()
+"#,
+    );
+    match module {
+        Ok(_) => {}
+        Err(e) => panic!("Fig. 9 parameterized protocol does not check: {e}"),
+    }
+}

@@ -1,0 +1,114 @@
+//! Integration test for the App. A.6 claim: the generic-server toolbox
+//! (§2.3) pays a measurable tagging overhead over the hand-written server
+//! (§2.2), while both compute the same answers.
+
+use algst_check::check_source;
+use algst_runtime::Interp;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+const DIRECT: &str = r#"
+protocol Reps = MoreR AOp Reps | QuitR
+protocol AOp = AddOp Int Int -Int
+
+serveOp : forall (s:S). ?AOp.s -> s
+serveOp [s] c = match c with {
+  AddOp c -> let (x, c) = receiveInt [?Int.!Int.s] c in
+             let (y, c) = receiveInt [!Int.s] c in
+             sendInt [s] (x + y) c }
+
+server : ?Reps.End? -> Unit
+server c = match c with {
+  QuitR c -> wait c,
+  MoreR c -> serveOp [?Reps.End?] c |> server }
+
+client : Int -> !Reps.End! -> Unit
+client n c =
+  if n == 0 then select QuitR [End!] c |> terminate
+  else let c = select MoreR [End!] c in
+       let c = select AddOp [!Reps.End!] c in
+       let c = sendInt [!Int.?Int.!Reps.End!] n c in
+       let c = sendInt [?Int.!Reps.End!] n c in
+       let (r, c) = receiveInt [!Reps.End!] c in
+       let _ = printInt r in
+       client (n - 1) c
+
+main : Unit
+main =
+  let (p, q) = new [!Reps.End!] in
+  let _ = fork (\u -> server q) in
+  client 3 p
+"#;
+
+const TOOLBOX: &str = r#"
+protocol SeqT a b = SeqTC a b
+protocol RepT a = MoreT a (RepT a) | QuitT
+
+type AddT = SeqT Int (SeqT Int -Int)
+type Service a = forall (s:S). ?a.s -> s
+
+serveAdd : Service AddT
+serveAdd [s] c = match c with {
+  SeqTC c -> let (x, c) = receiveInt [?SeqT Int -Int.s] c in
+             match c with {
+               SeqTC c -> let (y, c) = receiveInt [!Int.s] c in
+                          sendInt [s] (x + y) c }}
+
+repeatS : forall (p:P). Service p -> Service (RepT p)
+repeatS [p] sp [s] c = match c with {
+  QuitT c -> c,
+  MoreT c -> sp [?RepT p.s] c |> repeatS [p] sp [s] }
+
+server : ?RepT AddT.End? -> Unit
+server c = repeatS [AddT] serveAdd [End?] c |> wait
+
+client : Int -> !RepT AddT.End! -> Unit
+client n c =
+  if n == 0 then select QuitT [AddT, End!] c |> terminate
+  else let c = select MoreT [AddT, End!] c in
+       let c = select SeqTC [Int, SeqT Int -Int, !RepT AddT.End!] c in
+       let c = sendInt [!SeqT Int -Int.!RepT AddT.End!] n c in
+       let c = select SeqTC [Int, -Int, !RepT AddT.End!] c in
+       let c = sendInt [?Int.!RepT AddT.End!] n c in
+       let (r, c) = receiveInt [!RepT AddT.End!] c in
+       let _ = printInt r in
+       client (n - 1) c
+
+main : Unit
+main =
+  let (p, q) = new [!RepT AddT.End!] in
+  let _ = fork (\u -> server q) in
+  client 3 p
+"#;
+
+fn run(src: &str) -> Interp {
+    let module = check_source(src).unwrap_or_else(|e| panic!("{e}"));
+    let interp = Interp::new(&module);
+    interp
+        .run_timeout("main", Duration::from_secs(15))
+        .unwrap_or_else(|e| panic!("{e}"));
+    interp
+}
+
+#[test]
+fn toolbox_and_direct_agree_but_toolbox_tags_more() {
+    let direct = run(DIRECT);
+    let toolbox = run(TOOLBOX);
+
+    // Same results: 3+3, 2+2, 1+1.
+    assert_eq!(direct.output(), vec!["6", "4", "2"]);
+    assert_eq!(toolbox.output(), vec!["6", "4", "2"]);
+
+    let dt = direct.stats().tags_sent.load(Ordering::Relaxed);
+    let tt = toolbox.stats().tags_sent.load(Ordering::Relaxed);
+    // Direct: MoreR + AddOp per request (+ final QuitR) = 7.
+    // Toolbox: MoreT + SeqTC + SeqTC per request (+ final QuitT) = 10.
+    assert_eq!(dt, 7, "direct server tag count");
+    assert_eq!(tt, 10, "toolbox server tag count");
+    assert!(tt > dt, "App. A.6: composing generic parts costs extra tags");
+
+    // Payload traffic is identical.
+    let dv = direct.stats().values_sent.load(Ordering::Relaxed);
+    let tv = toolbox.stats().values_sent.load(Ordering::Relaxed);
+    assert_eq!(dv, tv);
+}

@@ -1,0 +1,181 @@
+//! Whole-pipeline integration tests spanning all crates: parse → kind
+//! check → elaborate → type check → run, plus the benchmark pipeline
+//! (generate → mutate → translate → decide).
+
+use algst::check::check_source;
+use algst::core::equiv::equivalent;
+use algst::core::kind::Kind;
+use algst::gen::generate::{generate_instance, GenConfig};
+use algst::gen::mutate::{equivalent_variant, nonequivalent_mutant};
+use algst::gen::to_freest::to_freest;
+use algst::runtime::Interp;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// A program exercising most language features at once: parameterized
+/// protocols, negation, generic servers, datatypes, delegation and
+/// recursion — checked and executed.
+#[test]
+fn kitchen_sink_program_runs() {
+    let module = check_source(
+        r#"
+data Shape = Circle Int | Rect Int Int
+
+protocol ShapeP = CircleP Int | RectP Int Int
+protocol Feed a = Item a (Feed a) | Stop -Int
+
+area : Shape -> Int
+area s = case s of {
+  Circle r -> 3 * r * r,
+  Rect w h -> w * h }
+
+sendShape : Shape -> forall (s:S). !ShapeP.s -> s
+sendShape v [s] c = case v of {
+  Circle r -> select CircleP [s] c |> sendInt [s] r,
+  Rect w h -> select RectP [s] c |> sendInt [!Int.s] w |> sendInt [s] h }
+
+recvShape : forall (s:S). ?ShapeP.s -> (Shape, s)
+recvShape [s] c = match c with {
+  CircleP c -> let (r, c) = receiveInt [s] c in (Circle r, c),
+  RectP c -> let (w, c) = receiveInt [?Int.s] c in
+             let (h, c) = receiveInt [s] c in (Rect w h, c) }
+
+producer : !Feed ShapeP.End! -> Unit
+producer c =
+  let c = select Item [ShapeP, End!] c in
+  let c = sendShape (Rect 6 7) [!Feed ShapeP.End!] c in
+  let c = select Item [ShapeP, End!] c in
+  let c = sendShape (Circle 2) [!Feed ShapeP.End!] c in
+  let c = select Stop [ShapeP, End!] c in
+  let (total, c) = receiveInt [End!] c in
+  let _ = printInt total in
+  terminate c
+
+consumer : Int -> ?Feed ShapeP.End? -> Unit
+consumer acc c = match c with {
+  Item c -> let (v, c) = recvShape [?Feed ShapeP.End?] c in
+            consumer (acc + area v) c,
+  Stop c -> sendInt [End?] acc c |> wait }
+
+main : Unit
+main =
+  let (p, q) = new [!Feed ShapeP.End!] in
+  let _ = fork (\u -> producer p) in
+  consumer 0 q
+"#,
+    )
+    .unwrap_or_else(|e| panic!("kitchen sink does not check: {e}"));
+
+    let interp = Interp::new(&module);
+    interp
+        .run_timeout("main", Duration::from_secs(10))
+        .unwrap_or_else(|e| panic!("kitchen sink run failed: {e}"));
+    assert_eq!(interp.output(), vec!["54"]); // 6*7 + 3*2*2
+}
+
+/// The `Stop -Int` branch flips direction mid-protocol: after the
+/// consumer *receives* Stop it *sends* the total back.
+#[test]
+fn negative_polarity_in_branch_observed_at_runtime() {
+    // Covered by `kitchen_sink_program_runs`'s Stop branch; this test
+    // checks the corresponding types explicitly.
+    let module = check_source(
+        r#"
+protocol Fin = Done -Int
+
+answer : ?Fin.End? -> Unit
+answer c = match c with {
+  Done c -> sendInt [End?] 42 c |> wait }
+
+ask : !Fin.End! -> Int
+ask c =
+  let c = select Done [End!] c in
+  let (x, c) = receiveInt [End!] c in
+  let _ = terminate c in
+  x
+
+main : Unit
+main =
+  let (p, q) = new [!Fin.End!] in
+  let _ = fork (\u -> answer q) in
+  printInt (ask p)
+"#,
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let interp = Interp::new(&module);
+    interp
+        .run_timeout("main", Duration::from_secs(10))
+        .unwrap();
+    assert_eq!(interp.output(), vec!["42"]);
+}
+
+/// Benchmark pipeline end to end: generation is well-kinded, variants
+/// and mutants have the right verdicts, translation succeeds, and the
+/// AlgST verdict is stable under normalization of either side.
+#[test]
+fn benchmark_pipeline_is_consistent() {
+    let mut rng = StdRng::seed_from_u64(31415);
+    for size in [6usize, 20, 40, 70, 100] {
+        let inst = generate_instance(&mut rng, &GenConfig::sized(size));
+        let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 12);
+        assert!(equivalent(&inst.ty, &variant));
+        let mutant = nonequivalent_mutant(&mut rng, &inst.ty).expect("mutable");
+        assert!(!equivalent(&inst.ty, &mutant));
+
+        let cf = to_freest(&inst.decls, &inst.ty).expect("translatable");
+        assert!(cf.is_contractive());
+
+        // Verdicts survive normalization (the checker may be handed
+        // either form).
+        let n = algst::core::nrm_pos(&inst.ty);
+        assert!(equivalent(&n, &variant));
+        assert!(!equivalent(&n, &mutant));
+    }
+}
+
+/// The interpreter refuses nothing the checker accepted: run a batch of
+/// small accepted programs and require clean termination.
+#[test]
+fn checked_programs_do_not_go_wrong() {
+    let programs = [
+        // plain computation
+        "main : Unit\nmain = printInt (2 + 2 * 20)",
+        // channel round trip via prelude helpers
+        "main : Unit\nmain =\n  let (a, b) = new [!Bool.End!] in\n  let _ = fork (\\u -> let (x, b) = receiveBool [End?] b in wait b) in\n  sendBool [End!] True a |> terminate",
+        // data + case
+        "data Box = MkBox Int\nopen : Box -> Int\nopen b = case b of { MkBox n -> n }\nmain : Unit\nmain = printInt (open (MkBox 9))",
+        // if/else with channels consumed in both branches
+        "main : Unit\nmain =\n  let (a, b) = new [End!] in\n  let _ = fork (\\u -> wait b) in\n  if True then terminate a else terminate a",
+    ];
+    for (i, src) in programs.iter().enumerate() {
+        let module = check_source(src).unwrap_or_else(|e| panic!("program {i}: {e}"));
+        let interp = Interp::new(&module);
+        interp
+            .run_timeout("main", Duration::from_secs(10))
+            .unwrap_or_else(|e| panic!("program {i} failed at runtime: {e}"));
+    }
+}
+
+/// Theorem 5 is "progress possibly leading to deadlock": the type system
+/// accepts deadlocking programs, and the runtime detects them by timeout
+/// rather than by crashing.
+#[test]
+fn welltyped_deadlock_times_out_cleanly() {
+    let module = check_source(
+        r#"
+main : Unit
+main =
+  let (a, b) = new [!Int.End!] in
+  let (x, b2) = receiveInt [End?] b in
+  let _ = wait b2 in
+  sendInt [End!] x a |> terminate
+"#,
+    )
+    .expect("self-deadlock is well-typed");
+    let interp = Interp::new(&module);
+    assert!(matches!(
+        interp.run_timeout("main", Duration::from_millis(300)),
+        Err(algst::runtime::RuntimeError::Timeout)
+    ));
+}
