@@ -92,18 +92,14 @@ fn bench_interp_channels(c: &mut Criterion) {
     let mut group = c.benchmark_group("channels/interp_counter200");
     group.sample_size(10);
     for (name, capacity) in [("sync", 0usize), ("async16", 16)] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &capacity,
-            |b, &cap| {
-                b.iter(|| {
-                    let interp = Interp::with_capacity(&module, cap);
-                    interp
-                        .run_timeout("main", Duration::from_secs(30))
-                        .expect("run succeeds")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(name), &capacity, |b, &cap| {
+            b.iter(|| {
+                let interp = Interp::with_capacity(&module, cap);
+                interp
+                    .run_timeout("main", Duration::from_secs(30))
+                    .expect("run succeeds")
+            })
+        });
     }
     group.finish();
 }

@@ -35,7 +35,13 @@ fn case_of_size(size: usize, equivalent_pair: bool, seed: u64) -> TestCase {
         )
     } else {
         let m = nonequivalent_mutant(&mut rng, &instance.ty).expect("mutable");
-        equivalent_variant(&mut rng, &instance.decls, &m, algst_core::kind::Kind::Value, 6)
+        equivalent_variant(
+            &mut rng,
+            &instance.decls,
+            &m,
+            algst_core::kind::Kind::Value,
+            6,
+        )
     };
     TestCase {
         instance,
@@ -52,18 +58,14 @@ fn bench_fig10(c: &mut Criterion) {
             let case = case_of_size(size, is_eq, 40 + size as u64);
             let nodes = case.node_count();
 
-            group.bench_with_input(
-                BenchmarkId::new("algst", nodes),
-                &case,
-                |b, case| {
-                    b.iter(|| {
-                        black_box(equivalent(
-                            black_box(&case.instance.ty),
-                            black_box(&case.other),
-                        ))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("algst", nodes), &case, |b, case| {
+                b.iter(|| {
+                    black_box(equivalent(
+                        black_box(&case.instance.ty),
+                        black_box(&case.other),
+                    ))
+                })
+            });
 
             // Guard FreeST with a budget so a pathological case cannot
             // stall the whole bench run; budget exhaustion would show up

@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p algst-bench --bin fig10 -- \
-//!     [--suite equivalent|nonequivalent|both] [--count 324] \
-//!     [--timeout-ms 2000] [--seed 1] [--csv-dir target]
+//!     [--suite equivalent|nonequivalent|both] [--cases 324] \
+//!     [--timeout-ms 2000] [--seed 1] [--csv-dir target] \
+//!     [--json BENCH_fig10.json]
 //! ```
 //!
-//! Prints a binned summary per suite (median times, timeout counts) and
-//! writes one CSV row per test case for plotting.
+//! Prints a binned summary per suite (median times, timeout counts),
+//! writes one CSV row per test case for plotting, and emits a
+//! `BENCH_fig10.json` with every per-case AlgST vs. FreeST timing — the
+//! record later performance PRs are measured against. (`--count` is
+//! accepted as an alias of `--cases`.)
 
 use algst_bench::{measure_case, ms, Measurement};
 use algst_gen::suite::{build_suite, SuiteKind, PAPER_SUITE_SIZE};
@@ -22,6 +26,7 @@ struct Args {
     timeout: Duration,
     seed: u64,
     csv_dir: Option<String>,
+    json_path: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -31,16 +36,19 @@ fn parse_args() -> Args {
         timeout: Duration::from_millis(2000),
         seed: 1,
         csv_dir: Some("target".to_owned()),
+        json_path: Some("BENCH_fig10.json".to_owned()),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let value = |i: &mut usize| -> String {
             *i += 1;
-            argv.get(*i).unwrap_or_else(|| {
-                eprintln!("missing value for {}", argv[*i - 1]);
-                std::process::exit(2);
-            }).clone()
+            argv.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
         };
         match argv[i].as_str() {
             "--suite" => {
@@ -54,7 +62,9 @@ fn parse_args() -> Args {
                     }
                 }
             }
-            "--count" => args.count = value(&mut i).parse().expect("--count takes a number"),
+            "--cases" | "--count" => {
+                args.count = value(&mut i).parse().expect("--cases takes a number")
+            }
             "--timeout-ms" => {
                 args.timeout =
                     Duration::from_millis(value(&mut i).parse().expect("--timeout-ms number"))
@@ -62,6 +72,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = value(&mut i).parse().expect("--seed takes a number"),
             "--csv-dir" => args.csv_dir = Some(value(&mut i)),
             "--no-csv" => args.csv_dir = None,
+            "--json" => args.json_path = Some(value(&mut i)),
+            "--no-json" => args.json_path = None,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -74,19 +86,65 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let mut suites: Vec<(SuiteKind, Vec<Measurement>)> = Vec::new();
     for kind in &args.suites {
-        run_suite(*kind, &args);
+        suites.push((*kind, run_suite(*kind, &args)));
+    }
+    if let Some(path) = &args.json_path {
+        write_json(path, &args, &suites);
     }
 }
 
-fn run_suite(kind: SuiteKind, args: &Args) {
+/// Writes the whole run as one JSON document: run parameters plus one row
+/// per case with both checkers' timings. Hand-rolled (every value is a
+/// number, bool or known-safe string), so no serde dependency is needed.
+fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)]) {
+    let mut f = std::fs::File::create(path).expect("create json");
+    let total: usize = suites.iter().map(|(_, rows)| rows.len()).sum();
+    writeln!(f, "{{").expect("write");
+    writeln!(f, "  \"bench\": \"fig10\",").expect("write");
+    writeln!(f, "  \"seed\": {},", args.seed).expect("write");
+    writeln!(f, "  \"freest_timeout_ms\": {},", args.timeout.as_millis()).expect("write");
+    writeln!(f, "  \"cases\": {total},").expect("write");
+    writeln!(f, "  \"rows\": [").expect("write");
+    let mut first = true;
+    for (kind, rows) in suites {
+        let suite = match kind {
+            SuiteKind::Equivalent => "equivalent",
+            SuiteKind::NonEquivalent => "nonequivalent",
+        };
+        for r in rows {
+            if !first {
+                writeln!(f, ",").expect("write");
+            }
+            first = false;
+            let freest_ms = match r.freest {
+                Some(d) => format!("{:.6}", ms(d)),
+                None => "null".to_owned(),
+            };
+            write!(
+                f,
+                "    {{\"suite\": \"{suite}\", \"case\": {}, \"nodes\": {}, \
+                 \"algst_ms\": {:.6}, \"freest_ms\": {freest_ms}, \
+                 \"freest_timeout\": {}, \"agreed\": {}}}",
+                r.case_id,
+                r.nodes,
+                ms(r.algst),
+                r.freest.is_none(),
+                r.agreed,
+            )
+            .expect("write");
+        }
+    }
+    writeln!(f, "\n  ]").expect("write");
+    writeln!(f, "}}").expect("write");
+    eprintln!("wrote {path}");
+}
+
+fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
     let (title, figure, csv_name) = match kind {
         SuiteKind::Equivalent => ("equivalent test cases", "Figure 10(a)", "fig10a.csv"),
-        SuiteKind::NonEquivalent => (
-            "non-equivalent test cases",
-            "Figure 10(b)",
-            "fig10b.csv",
-        ),
+        SuiteKind::NonEquivalent => ("non-equivalent test cases", "Figure 10(b)", "fig10b.csv"),
     };
     eprintln!(
         "building {} suite: {} cases (seed {})…",
@@ -128,8 +186,7 @@ fn run_suite(kind: SuiteKind, args: &Args) {
         if !bin.is_empty() {
             let mut algst: Vec<f64> = bin.iter().map(|r| ms(r.algst)).collect();
             algst.sort_by(|a, b| a.total_cmp(b));
-            let mut freest: Vec<f64> =
-                bin.iter().filter_map(|r| r.freest.map(ms)).collect();
+            let mut freest: Vec<f64> = bin.iter().filter_map(|r| r.freest.map(ms)).collect();
             freest.sort_by(|a, b| a.total_cmp(b));
             let timeouts = bin.iter().filter(|r| r.freest.is_none()).count();
             println!(
@@ -163,10 +220,16 @@ fn run_suite(kind: SuiteKind, args: &Args) {
     // Shape check mirrored in EXPERIMENTS.md: AlgST should not grow much
     // faster than linearly; report the ratio of per-node costs.
     let small: Vec<&Measurement> = rows.iter().filter(|r| r.nodes <= max_nodes / 4).collect();
-    let large: Vec<&Measurement> = rows.iter().filter(|r| r.nodes >= 3 * max_nodes / 4).collect();
+    let large: Vec<&Measurement> = rows
+        .iter()
+        .filter(|r| r.nodes >= 3 * max_nodes / 4)
+        .collect();
     if !small.is_empty() && !large.is_empty() {
         let per_node = |ms_: &Vec<&Measurement>| {
-            ms_.iter().map(|r| ms(r.algst) / r.nodes as f64).sum::<f64>() / ms_.len() as f64
+            ms_.iter()
+                .map(|r| ms(r.algst) / r.nodes as f64)
+                .sum::<f64>()
+                / ms_.len() as f64
         };
         println!(
             "AlgST cost per node: small {:.6} ms, large {:.6} ms (linear ⇒ ratio ≈ 1)",
@@ -187,7 +250,9 @@ fn run_suite(kind: SuiteKind, args: &Args) {
                 r.case_id,
                 r.nodes,
                 ms(r.algst),
-                r.freest.map(|d| format!("{:.6}", ms(d))).unwrap_or_default(),
+                r.freest
+                    .map(|d| format!("{:.6}", ms(d)))
+                    .unwrap_or_default(),
                 r.freest.is_none(),
                 r.agreed,
             )
@@ -195,4 +260,5 @@ fn run_suite(kind: SuiteKind, args: &Args) {
         }
         eprintln!("wrote {path}");
     }
+    rows
 }

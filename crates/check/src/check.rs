@@ -150,10 +150,7 @@ impl<'d> Checker<'d> {
                 ctx.remove(*x);
                 let after = ctx.linear_names();
                 if before != after {
-                    let captured = before
-                        .into_iter()
-                        .filter(|n| !after.contains(n))
-                        .collect();
+                    let captured = before.into_iter().filter(|n| !after.contains(n)).collect();
                     return Err(TypeError::LinearInRecursive {
                         function: *x,
                         captured,
@@ -282,10 +279,9 @@ impl<'d> Checker<'d> {
                 ctx.same_linear(&ctx2)
                     .map_err(|detail| TypeError::BranchContextMismatch { detail })
             }
-            (Expr::Case(scrutinee, arms), _) => {
-                self.case_expr(ctx, scrutinee, arms, Some(expected))
-                    .map(|_| ())
-            }
+            (Expr::Case(scrutinee, arms), _) => self
+                .case_expr(ctx, scrutinee, arms, Some(expected))
+                .map(|_| ()),
             // E-App' for an applied unannotated lambda in checking mode.
             (Expr::App(f, a), _) if matches!(&**f, Expr::AbsU(..)) => {
                 let Expr::AbsU(x, body) = &**f else {
@@ -324,7 +320,8 @@ impl<'d> Checker<'d> {
             .decls
             .data_of_tag(tag)
             .ok_or(TypeError::UnboundConstructor(tag))?;
-        let (name, params, ctor_args) = (decl.name, decl.params.clone(), decl.ctors[k].args.clone());
+        let (name, params, ctor_args) =
+            (decl.name, decl.params.clone(), decl.ctors[k].args.clone());
         if ctor_args.len() != args.len() {
             return Err(TypeError::CtorArity {
                 tag,
@@ -367,7 +364,12 @@ impl<'d> Checker<'d> {
         }
         let inst: Vec<Type> = params
             .iter()
-            .map(|p| solved.get(p).cloned().ok_or(TypeError::CannotInferCtorParams(tag)))
+            .map(|p| {
+                solved
+                    .get(p)
+                    .cloned()
+                    .ok_or(TypeError::CannotInferCtorParams(tag))
+            })
             .collect::<Result<_, _>>()?;
         Ok(Type::Data(name, inst))
     }
@@ -403,10 +405,9 @@ impl<'d> Checker<'d> {
                     let mut map = HashMap::new();
                     for c in &decl.ctors {
                         // xᵢ : §(−(T̄ᵢ[Ū/ᾱ])).S
-                        let payloads: Vec<Type> =
-                            c.args.iter().map(|t| subst.apply(t)).collect();
+                        let payloads: Vec<Type> = c.args.iter().map(|t| subst.apply(t)).collect();
                         let bound = materialize_seq(
-                            dir_neg_seq(payloads.iter().map(|t| nrm_pos(t)).collect()),
+                            dir_neg_seq(payloads.iter().map(nrm_pos).collect()),
                             (**cont).clone(),
                         );
                         map.insert(c.tag, nrm_pos(&bound));
@@ -423,8 +424,7 @@ impl<'d> Checker<'d> {
                 let subst = Subst::parallel(&decl.params, us);
                 let mut map = HashMap::new();
                 for c in &decl.ctors {
-                    let tys: Vec<Type> =
-                        c.args.iter().map(|t| nrm_pos(&subst.apply(t))).collect();
+                    let tys: Vec<Type> = c.args.iter().map(|t| nrm_pos(&subst.apply(t))).collect();
                     map.insert(c.tag, tys);
                 }
                 (decl.name, Kinded::Data(map))
@@ -448,7 +448,12 @@ impl<'d> Checker<'d> {
             .copied()
             .filter(|t| !declared.contains(t))
             .collect();
-        let duplicated = used.len() != arms.iter().map(|a| a.tag).collect::<std::collections::HashSet<_>>().len();
+        let duplicated = used.len()
+            != arms
+                .iter()
+                .map(|a| a.tag)
+                .collect::<std::collections::HashSet<_>>()
+                .len();
         if !missing.is_empty() || !extra.is_empty() || duplicated {
             return Err(TypeError::BadCoverage {
                 ty: decl_name,

@@ -64,10 +64,7 @@ pub fn type_of_const(decls: &Declarations, c: Const) -> Result<Type, TypeError> 
                     Kind::Session,
                     Type::arrow(
                         Type::Var(a),
-                        Type::arrow(
-                            Type::output(Type::Var(a), Type::Var(b)),
-                            Type::Var(b),
-                        ),
+                        Type::arrow(Type::output(Type::Var(a), Type::Var(b)), Type::Var(b)),
                     ),
                 ),
             )
@@ -89,11 +86,7 @@ pub fn type_of_const(decls: &Declarations, c: Const) -> Result<Type, TypeError> 
                 &decl.params,
                 &fresh.iter().map(|v| Type::Var(*v)).collect::<Vec<_>>(),
             );
-            let payloads: Vec<Type> = decl.ctors[k]
-                .args
-                .iter()
-                .map(|t| subst.apply(t))
-                .collect();
+            let payloads: Vec<Type> = decl.ctors[k].args.iter().map(|t| subst.apply(t)).collect();
             let beta = Symbol::fresh("s");
             let domain = Type::output(
                 Type::Proto(decl.name, fresh.iter().map(|v| Type::Var(*v)).collect()),
@@ -138,10 +131,7 @@ mod tests {
             params: vec![Symbol::intern("a")],
             ctors: vec![Ctor::new(
                 "NextC",
-                vec![
-                    Type::var("a"),
-                    Type::proto("StreamC", vec![Type::var("a")]),
-                ],
+                vec![Type::var("a"), Type::proto("StreamC", vec![Type::var("a")])],
             )],
         })
         .unwrap();
@@ -189,7 +179,9 @@ mod tests {
     fn select_add_sends_two_receives_one() {
         let d = decls();
         let t = type_of_const(&d, Const::Select(Symbol::intern("AddC"))).unwrap();
-        let Type::Forall(_, _, body) = &t else { panic!() };
+        let Type::Forall(_, _, body) = &t else {
+            panic!()
+        };
         let Type::Arrow(_, cod) = &**body else {
             panic!()
         };
@@ -207,8 +199,12 @@ mod tests {
         let Type::Forall(_, Kind::Session, inner) = &**body else {
             panic!()
         };
-        let Type::Arrow(dom, _) = &**inner else { panic!() };
-        let Type::Out(payload, _) = &**dom else { panic!() };
+        let Type::Arrow(dom, _) = &**inner else {
+            panic!()
+        };
+        let Type::Out(payload, _) = &**dom else {
+            panic!()
+        };
         let Type::Proto(_, args) = &**payload else {
             panic!()
         };

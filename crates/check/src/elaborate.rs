@@ -377,8 +377,8 @@ impl ExprElab<'_> {
                 Ok(acc)
             }
             SExpr::BinOp(op, l, r, _) => {
-                let b = Builtin::from_operator(op.as_str())
-                    .ok_or(TypeError::UnboundVariable(*op))?;
+                let b =
+                    Builtin::from_operator(op.as_str()).ok_or(TypeError::UnboundVariable(*op))?;
                 Ok(Expr::apps(Expr::Builtin(b), [self.elab(l)?, self.elab(r)?]))
             }
             SExpr::Pair(a, b, _) => Ok(Expr::pair(self.elab(a)?, self.elab(b)?)),
@@ -402,24 +402,15 @@ impl ExprElab<'_> {
                     // In a linear language values cannot be discarded, so
                     // the wildcard let is the unit-let: `let _ = e in e'`
                     // requires `e : Unit` (like `let * = e in e'`).
-                    Pattern::Unit | Pattern::Wild => {
-                        Ok(Expr::let_unit(bound, self.elab(body)?))
-                    }
+                    Pattern::Unit | Pattern::Wild => Ok(Expr::let_unit(bound, self.elab(body)?)),
                 }
             }
-            SExpr::If(c, t, f, _) => Ok(Expr::if_(
-                self.elab(c)?,
-                self.elab(t)?,
-                self.elab(f)?,
-            )),
+            SExpr::If(c, t, f, _) => Ok(Expr::if_(self.elab(c)?, self.elab(t)?, self.elab(f)?)),
             SExpr::Case(scrutinee, arms, _) => {
                 let s = self.elab(scrutinee)?;
                 let mut out = Vec::with_capacity(arms.len());
                 for SArm {
-                    tag,
-                    binders,
-                    body,
-                    ..
+                    tag, binders, body, ..
                 } in arms
                 {
                     for b in binders {

@@ -166,14 +166,12 @@ impl fmt::Display for TypeError {
             TypeError::Mismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
-            TypeError::BranchTypeMismatch { first, other } => write!(
-                f,
-                "branches have different types: {first} vs {other}"
-            ),
-            TypeError::BranchContextMismatch { detail } => write!(
-                f,
-                "branches consume different linear resources: {detail}"
-            ),
+            TypeError::BranchTypeMismatch { first, other } => {
+                write!(f, "branches have different types: {first} vs {other}")
+            }
+            TypeError::BranchContextMismatch { detail } => {
+                write!(f, "branches consume different linear resources: {detail}")
+            }
             TypeError::BadCoverage { ty, missing, extra } => {
                 write!(f, "match on {ty} ")?;
                 if !missing.is_empty() {

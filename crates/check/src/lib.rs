@@ -143,8 +143,7 @@ pub fn check_program(program: &Program) -> Result<Module, CheckError> {
             .map_err(CheckError::Type)?;
     }
 
-    let defs: Vec<(Symbol, Arc<Expr>)> =
-        defs.into_iter().map(|(n, e)| (n, Arc::new(e))).collect();
+    let defs: Vec<(Symbol, Arc<Expr>)> = defs.into_iter().map(|(n, e)| (n, Arc::new(e))).collect();
     let def_map = defs.iter().map(|(n, e)| (*n, e.clone())).collect();
     Ok(Module {
         decls,

@@ -20,11 +20,7 @@ use algst_core::protocol::Declarations;
 use algst_core::types::Type;
 
 /// Checks `Γ ⊢ p` with `ctx` threaded through the process tree.
-pub fn check_process(
-    decls: &Declarations,
-    ctx: &mut Ctx,
-    p: &Process,
-) -> Result<(), TypeError> {
+pub fn check_process(decls: &Declarations, ctx: &mut Ctx, p: &Process) -> Result<(), TypeError> {
     match p {
         Process::Thread(e) => {
             let mut checker = Checker::new(decls);
@@ -77,10 +73,7 @@ mod tests {
             "y",
             Type::EndOut,
             Process::par(
-                Process::thread(Expr::app(
-                    Expr::Const(Const::Terminate),
-                    Expr::var("x"),
-                )),
+                Process::thread(Expr::app(Expr::Const(Const::Terminate), Expr::var("x"))),
                 Process::thread(Expr::app(Expr::Const(Const::Wait), Expr::var("y"))),
             ),
         );
@@ -94,10 +87,7 @@ mod tests {
             "x",
             "y",
             Type::EndOut,
-            Process::thread(Expr::app(
-                Expr::Const(Const::Terminate),
-                Expr::var("x"),
-            )),
+            Process::thread(Expr::app(Expr::Const(Const::Terminate), Expr::var("x"))),
         );
         assert!(matches!(
             check_process_closed(&decls, &p),
@@ -112,10 +102,7 @@ mod tests {
         let send_side = Expr::app(
             Expr::Const(Const::Terminate),
             Expr::apps(
-                Expr::tapps(
-                    Expr::Const(Const::Send),
-                    [Type::int(), Type::EndOut],
-                ),
+                Expr::tapps(Expr::Const(Const::Send), [Type::int(), Type::EndOut]),
                 [Expr::int(1), Expr::var("x")],
             ),
         );
@@ -123,10 +110,7 @@ mod tests {
             "v",
             "y2",
             Expr::app(
-                Expr::tapps(
-                    Expr::Const(Const::Receive),
-                    [Type::int(), Type::EndIn],
-                ),
+                Expr::tapps(Expr::Const(Const::Receive), [Type::int(), Type::EndIn]),
                 Expr::var("y"),
             ),
             Expr::let_unit(

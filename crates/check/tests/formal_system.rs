@@ -48,10 +48,7 @@ fn tabs_value_restriction() {
     let bad = Expr::tabs(
         "a",
         Kind::Session,
-        Expr::app(
-            Expr::abs("x", Type::Unit, Expr::var("x")),
-            Expr::unit(),
-        ),
+        Expr::app(Expr::abs("x", Type::Unit, Expr::var("x")), Expr::unit()),
     );
     assert!(matches!(
         synth(&d, &mut Ctx::new(), &bad),
@@ -157,10 +154,7 @@ fn match_pushes_continuations_with_polarity() {
     let d = decls();
     let recv_int = |cont_ty: Type, chan: &str| {
         Expr::app(
-            Expr::tapps(
-                Expr::Const(Const::Receive),
-                [Type::int(), cont_ty],
-            ),
+            Expr::tapps(Expr::Const(Const::Receive), [Type::int(), cont_ty]),
             Expr::var(chan),
         )
     };
@@ -209,8 +203,7 @@ fn match_pushes_continuations_with_polarity() {
         Symbol::intern("ch"),
         nrm_pos(&Type::input(Type::proto("FArith", vec![]), Type::EndIn)),
     );
-    let d2 = decls();
-    let t = synth(&d2, &mut ctx, &e).unwrap();
+    let t = synth(&d, &mut ctx, &e).unwrap();
     assert_eq!(t, Type::Unit);
 }
 

@@ -123,7 +123,10 @@ bad [s] c = match c with {{
             sendInt [s] (x + y) c }}
 "
     ));
-    assert!(matches!(err, TypeError::Mismatch { .. } | TypeError::NotMatchable(_)));
+    assert!(matches!(
+        err,
+        TypeError::Mismatch { .. } | TypeError::NotMatchable(_)
+    ));
 }
 
 // ---------------------------------------------------------------- §2.3

@@ -63,10 +63,7 @@ fn root_rewrites(ctx: &mut KindCtx<'_>, ty: &Type, expected: Kind, out: &mut Vec
             // C-DualEnd!:  Dual End! → End?
             Type::EndOut => out.push(Type::EndIn),
             // C-DualIn:  Dual (?T.S) → !T.Dual S
-            Type::In(p, s) => out.push(Type::output(
-                (**p).clone(),
-                Type::Dual(s.clone()).clone(),
-            )),
+            Type::In(p, s) => out.push(Type::output((**p).clone(), Type::Dual(s.clone()))),
             // C-DualOut:  Dual (!T.S) → ?T.Dual S
             Type::Out(p, s) => out.push(Type::input((**p).clone(), Type::Dual(s.clone()))),
             // C-DualInv:  Dual (Dual S) → S
@@ -253,9 +250,7 @@ mod tests {
         let decls = sample_decls();
         let t = Type::EndOut;
         let at_session = one_step_rewrites(&decls, &[], &t, Kind::Session);
-        assert!(at_session
-            .iter()
-            .all(|v| !matches!(v, Type::Neg(_))));
+        assert!(at_session.iter().all(|v| !matches!(v, Type::Neg(_))));
         let at_proto = one_step_rewrites(&decls, &[], &t, Kind::Protocol);
         assert!(at_proto.iter().any(|v| matches!(v, Type::Neg(_))));
     }

@@ -85,10 +85,7 @@ mod tests {
     #[test]
     fn fig9_nonequivalent_example() {
         // ?Repeat Int . S  vs  ?Repeat String . S
-        let s = Type::output(
-            Type::pair(Type::char(), Type::EndOut),
-            Type::EndOut,
-        );
+        let s = Type::output(Type::pair(Type::char(), Type::EndOut), Type::EndOut);
         let t = Type::input(Type::proto("Rep9", vec![Type::int()]), s.clone());
         let u = Type::input(Type::proto("Rep9", vec![Type::string()]), s);
         assert!(!equivalent(&t, &u));

@@ -151,13 +151,9 @@ impl Builtin {
         let int = Type::int();
         let boolean = Type::bool();
         match self {
-            Add | Sub | Mul | Div | Mod => {
-                Type::arrow(int.clone(), Type::arrow(int.clone(), int))
-            }
+            Add | Sub | Mul | Div | Mod => Type::arrow(int.clone(), Type::arrow(int.clone(), int)),
             Negate => Type::arrow(int.clone(), int),
-            Eq | Neq | Lt | Leq | Gt | Geq => {
-                Type::arrow(int.clone(), Type::arrow(int, boolean))
-            }
+            Eq | Neq | Lt | Leq | Gt | Geq => Type::arrow(int.clone(), Type::arrow(int, boolean)),
             Not => Type::arrow(boolean.clone(), boolean),
             And | Or => Type::arrow(boolean.clone(), Type::arrow(boolean.clone(), boolean)),
             PrintInt => Type::arrow(int, Type::Unit),
@@ -284,12 +280,7 @@ impl Expr {
     pub fn pair(a: Expr, b: Expr) -> Expr {
         Expr::Pair(Arc::new(a), Arc::new(b))
     }
-    pub fn let_pair(
-        x: impl Into<Symbol>,
-        y: impl Into<Symbol>,
-        bound: Expr,
-        body: Expr,
-    ) -> Expr {
+    pub fn let_pair(x: impl Into<Symbol>, y: impl Into<Symbol>, bound: Expr, body: Expr) -> Expr {
         Expr::LetPair(x.into(), y.into(), Arc::new(bound), Arc::new(body))
     }
     pub fn let_unit(bound: Expr, body: Expr) -> Expr {
@@ -336,9 +327,7 @@ impl Expr {
         fn head_and_args(e: &Expr) -> Option<(&Expr, usize)> {
             match e {
                 Expr::Const(_) | Expr::Builtin(_) => Some((e, 0)),
-                Expr::App(f, a) if a.is_value() => {
-                    head_and_args(f).map(|(h, n)| (h, n + 1))
-                }
+                Expr::App(f, a) if a.is_value() => head_and_args(f).map(|(h, n)| (h, n + 1)),
                 Expr::TApp(f, _) => head_and_args(f),
                 _ => None,
             }
@@ -404,10 +393,7 @@ mod tests {
         // (λx.x) * is not
         assert!(!Expr::app(id.clone(), Expr::unit()).is_value());
         // send[T][U] is a value (partial constant)
-        let s = Expr::tapps(
-            Expr::Const(Const::Send),
-            [Type::int(), Type::EndOut],
-        );
+        let s = Expr::tapps(Expr::Const(Const::Send), [Type::int(), Type::EndOut]);
         assert!(s.is_value());
         // send[T][U] v is a value (needs the channel)
         let sv = Expr::app(s, Expr::int(1));
@@ -528,16 +514,9 @@ impl Expr {
         self.subst_var_in(x, v, &fv)
     }
 
-    fn subst_var_in(
-        &self,
-        x: Symbol,
-        v: &Expr,
-        v_fv: &std::collections::HashSet<Symbol>,
-    ) -> Expr {
+    fn subst_var_in(&self, x: Symbol, v: &Expr, v_fv: &std::collections::HashSet<Symbol>) -> Expr {
         // Renames `binder` when it would capture a free variable of `v`.
-        let freshen = |binder: Symbol,
-                       body: &Arc<Expr>|
-         -> (Symbol, Arc<Expr>) {
+        let freshen = |binder: Symbol, body: &Arc<Expr>| -> (Symbol, Arc<Expr>) {
             if v_fv.contains(&binder) {
                 let fresh = Symbol::fresh(binder.base_name());
                 let renamed = body.subst_var(binder, &Expr::Var(fresh));
@@ -579,9 +558,7 @@ impl Expr {
             Expr::App(f, a) => Expr::app(f.subst_var_in(x, v, v_fv), a.subst_var_in(x, v, v_fv)),
             Expr::TAbs(a, k, b) => Expr::TAbs(*a, *k, Arc::new(b.subst_var_in(x, v, v_fv))),
             Expr::TApp(f, t) => Expr::TApp(Arc::new(f.subst_var_in(x, v, v_fv)), t.clone()),
-            Expr::Pair(a, b) => {
-                Expr::pair(a.subst_var_in(x, v, v_fv), b.subst_var_in(x, v, v_fv))
-            }
+            Expr::Pair(a, b) => Expr::pair(a.subst_var_in(x, v, v_fv), b.subst_var_in(x, v, v_fv)),
             Expr::LetPair(y, z, e1, e2) => {
                 let e1 = e1.subst_var_in(x, v, v_fv);
                 if *y == x || *z == x {
@@ -606,10 +583,9 @@ impl Expr {
                     Arc::new(body.subst_var_in(x, v, v_fv)),
                 )
             }
-            Expr::LetUnit(e1, e2) => Expr::let_unit(
-                e1.subst_var_in(x, v, v_fv),
-                e2.subst_var_in(x, v, v_fv),
-            ),
+            Expr::LetUnit(e1, e2) => {
+                Expr::let_unit(e1.subst_var_in(x, v, v_fv), e2.subst_var_in(x, v, v_fv))
+            }
             Expr::Let(y, e1, e2) => {
                 let e1 = e1.subst_var_in(x, v, v_fv);
                 if *y == x {
@@ -659,18 +635,13 @@ impl Expr {
     /// Substitution of a type for a type variable in all annotations
     /// (rule Act-TApp: `(Λα:κ.v)[T] → v[T/α]`).
     pub fn subst_tyvar(&self, alpha: Symbol, t: &Type) -> Expr {
-        let sub = |ty: &Arc<Type>| -> Arc<Type> {
-            Arc::new(crate::subst::subst_type(ty, alpha, t))
-        };
+        let sub =
+            |ty: &Arc<Type>| -> Arc<Type> { Arc::new(crate::subst::subst_type(ty, alpha, t)) };
         match self {
             Expr::Lit(_) | Expr::Const(_) | Expr::Builtin(_) | Expr::Var(_) => self.clone(),
-            Expr::Abs(x, ann, b) => {
-                Expr::Abs(*x, sub(ann), Arc::new(b.subst_tyvar(alpha, t)))
-            }
+            Expr::Abs(x, ann, b) => Expr::Abs(*x, sub(ann), Arc::new(b.subst_tyvar(alpha, t))),
             Expr::AbsU(x, b) => Expr::AbsU(*x, Arc::new(b.subst_tyvar(alpha, t))),
-            Expr::Rec(x, ann, b) => {
-                Expr::Rec(*x, sub(ann), Arc::new(b.subst_tyvar(alpha, t)))
-            }
+            Expr::Rec(x, ann, b) => Expr::Rec(*x, sub(ann), Arc::new(b.subst_tyvar(alpha, t))),
             Expr::App(f, a) => Expr::app(f.subst_tyvar(alpha, t), a.subst_tyvar(alpha, t)),
             Expr::TAbs(beta, k, b) => {
                 if *beta == alpha {
@@ -700,10 +671,9 @@ impl Expr {
                 a.subst_tyvar(alpha, t),
                 b.subst_tyvar(alpha, t),
             ),
-            Expr::Con(tag, args) => Expr::Con(
-                *tag,
-                args.iter().map(|a| a.subst_tyvar(alpha, t)).collect(),
-            ),
+            Expr::Con(tag, args) => {
+                Expr::Con(*tag, args.iter().map(|a| a.subst_tyvar(alpha, t)).collect())
+            }
             Expr::Case(s, arms) => Expr::case(
                 s.subst_tyvar(alpha, t),
                 arms.iter()
@@ -738,7 +708,9 @@ mod subst_tests {
         // (λz. z x)[z/x] must rename the binder.
         let e = Expr::abs_u("z", Expr::app(Expr::var("z"), Expr::var("x")));
         let r = e.subst_var(Symbol::intern("x"), &Expr::var("z"));
-        let Expr::AbsU(binder, body) = &r else { panic!() };
+        let Expr::AbsU(binder, body) = &r else {
+            panic!()
+        };
         assert_ne!(binder.as_str(), "z");
         let Expr::App(f, a) = &**body else { panic!() };
         assert_eq!(**f, Expr::Var(*binder));

@@ -39,10 +39,7 @@ impl fmt::Display for KindError {
                 name,
                 expected,
                 found,
-            } => write!(
-                f,
-                "{name} expects {expected} argument(s) but got {found}"
-            ),
+            } => write!(f, "{name} expects {expected} argument(s) but got {found}"),
             KindError::NotSubkind {
                 ty,
                 found,
@@ -231,10 +228,7 @@ mod tests {
     fn session_types_synthesize_session() {
         let d = decls_with_stream();
         let mut ctx = KindCtx::new(&d);
-        let t = Type::output(
-            Type::proto("StreamK", vec![Type::int()]),
-            Type::EndOut,
-        );
+        let t = Type::output(Type::proto("StreamK", vec![Type::int()]), Type::EndOut);
         assert_eq!(ctx.synth(&t).unwrap(), Kind::Session);
     }
 

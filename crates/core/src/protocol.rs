@@ -72,10 +72,21 @@ pub struct TagInfo {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DeclError {
     DuplicateTypeName(Symbol),
-    DuplicateTag { tag: Symbol, first: TagOwner },
-    DuplicateParam { decl: Symbol, param: Symbol },
+    DuplicateTag {
+        tag: Symbol,
+        first: TagOwner,
+    },
+    DuplicateParam {
+        decl: Symbol,
+        param: Symbol,
+    },
     /// A constructor argument failed kind checking.
-    IllKindedArg { decl: Symbol, tag: Symbol, arg: Type, reason: String },
+    IllKindedArg {
+        decl: Symbol,
+        tag: Symbol,
+        arg: Type,
+        reason: String,
+    },
 }
 
 impl fmt::Display for DeclError {
@@ -83,12 +94,20 @@ impl fmt::Display for DeclError {
         match self {
             DeclError::DuplicateTypeName(n) => write!(f, "duplicate type name {n}"),
             DeclError::DuplicateTag { tag, .. } => {
-                write!(f, "constructor tag {tag} declared more than once (tags are globally unique)")
+                write!(
+                    f,
+                    "constructor tag {tag} declared more than once (tags are globally unique)"
+                )
             }
             DeclError::DuplicateParam { decl, param } => {
                 write!(f, "duplicate parameter {param} in declaration of {decl}")
             }
-            DeclError::IllKindedArg { decl, tag, arg, reason } => write!(
+            DeclError::IllKindedArg {
+                decl,
+                tag,
+                arg,
+                reason,
+            } => write!(
                 f,
                 "ill-kinded argument {arg} of constructor {tag} in {decl}: {reason}"
             ),
@@ -231,12 +250,13 @@ impl Declarations {
             }
             for c in &p.ctors {
                 for arg in &c.args {
-                    ctx.check(arg, Kind::Protocol).map_err(|e| DeclError::IllKindedArg {
-                        decl: p.name,
-                        tag: c.tag,
-                        arg: arg.clone(),
-                        reason: e.to_string(),
-                    })?;
+                    ctx.check(arg, Kind::Protocol)
+                        .map_err(|e| DeclError::IllKindedArg {
+                            decl: p.name,
+                            tag: c.tag,
+                            arg: arg.clone(),
+                            reason: e.to_string(),
+                        })?;
                 }
             }
         }
@@ -247,12 +267,13 @@ impl Declarations {
             }
             for c in &d.ctors {
                 for arg in &c.args {
-                    ctx.check(arg, Kind::Value).map_err(|e| DeclError::IllKindedArg {
-                        decl: d.name,
-                        tag: c.tag,
-                        arg: arg.clone(),
-                        reason: e.to_string(),
-                    })?;
+                    ctx.check(arg, Kind::Value)
+                        .map_err(|e| DeclError::IllKindedArg {
+                            decl: d.name,
+                            tag: c.tag,
+                            arg: arg.clone(),
+                            reason: e.to_string(),
+                        })?;
                 }
             }
         }
@@ -271,10 +292,7 @@ mod tests {
             params: vec![Symbol::intern("a")],
             ctors: vec![Ctor::new(
                 "Next",
-                vec![
-                    Type::var("a"),
-                    Type::proto("Stream", vec![Type::var("a")]),
-                ],
+                vec![Type::var("a"), Type::proto("Stream", vec![Type::var("a")])],
             )],
         }
     }

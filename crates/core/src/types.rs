@@ -110,6 +110,9 @@ impl Type {
     /// `-T`. Note: this is the *syntactic* constructor; the smart
     /// direction operator that collapses double negation lives in
     /// [`crate::normalize::dir_neg`].
+    // Named for the paper's `-T`; an `ops::Neg` impl would take `self`
+    // rather than build from an owned payload, so keep the constructor.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(t: Type) -> Type {
         Type::Neg(Arc::new(t))
     }
@@ -199,9 +202,7 @@ impl Type {
                 (Type::Arrow(a1, a2), Type::Arrow(b1, b2))
                 | (Type::Pair(a1, a2), Type::Pair(b1, b2))
                 | (Type::In(a1, a2), Type::In(b1, b2))
-                | (Type::Out(a1, a2), Type::Out(b1, b2)) => {
-                    go(a1, b1, env) && go(a2, b2, env)
-                }
+                | (Type::Out(a1, a2), Type::Out(b1, b2)) => go(a1, b1, env) && go(a2, b2, env),
                 (Type::Forall(x, kx, tx), Type::Forall(y, ky, ty)) => {
                     if kx != ky {
                         return false;
@@ -243,9 +244,9 @@ impl fmt::Display for Type {
 
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord)]
 enum Prec {
-    Top,   // forall, arrow
-    Seq,   // !T.S continuations
-    App,   // protocol application arguments
+    Top, // forall, arrow
+    Seq, // !T.S continuations
+    App, // protocol application arguments
     Atom,
 }
 

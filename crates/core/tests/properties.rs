@@ -61,29 +61,20 @@ fn arb_protocol_ty() -> impl Strategy<Value = Type> {
     leaf.prop_recursive(4, 48, 4, |inner| {
         prop_oneof![
             inner.clone().prop_map(Type::neg),
-            inner
-                .clone()
-                .prop_map(|t| Type::proto("PStream", vec![t])),
-            (inner.clone(), arb_session_from(inner))
-                .prop_map(|(p, s)| Type::pair_hack(p, s)),
+            inner.clone().prop_map(|t| Type::proto("PStream", vec![t])),
+            (inner.clone(), arb_session_from(inner)).prop_map(|(p, s)| Type::pair_hack(p, s)),
         ]
     })
 }
 
 /// Session types built from a protocol-type strategy.
 fn arb_session_from(proto: BoxedStrategy<Type>) -> BoxedStrategy<Type> {
-    let leaf = prop_oneof![
-        Just(Type::EndIn),
-        Just(Type::EndOut),
-        Just(Type::var("sv")),
-    ];
+    let leaf = prop_oneof![Just(Type::EndIn), Just(Type::EndOut), Just(Type::var("sv")),];
     leaf.prop_recursive(6, 64, 3, move |inner| {
         let proto = proto.clone();
         prop_oneof![
-            (proto.clone(), inner.clone())
-                .prop_map(|(p, s)| Type::input(p, s)),
-            (proto.clone(), inner.clone())
-                .prop_map(|(p, s)| Type::output(p, s)),
+            (proto.clone(), inner.clone()).prop_map(|(p, s)| Type::input(p, s)),
+            (proto.clone(), inner.clone()).prop_map(|(p, s)| Type::output(p, s)),
             inner.prop_map(Type::dual),
         ]
     })

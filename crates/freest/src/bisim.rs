@@ -143,12 +143,10 @@ impl Checker<'_> {
         // (Truncation guarantees every non-final symbol is normed; equal
         // final symbols make the words equal, handled above.)
         {
-            let common = u
-                .iter()
-                .zip(v.iter())
-                .take_while(|(a, b)| a == b)
-                .count();
-            let strip = common.min(u.len().saturating_sub(1)).min(v.len().saturating_sub(1));
+            let common = u.iter().zip(v.iter()).take_while(|(a, b)| a == b).count();
+            let strip = common
+                .min(u.len().saturating_sub(1))
+                .min(v.len().saturating_sub(1));
             if strip > 0 {
                 u.drain(..strip);
                 v.drain(..strip);
@@ -343,11 +341,7 @@ mod tests {
                         ("Leaf".into(), CfType::Skip),
                         (
                             "Node".into(),
-                            CfType::seq_all([
-                                CfType::var(var),
-                                in_int(),
-                                CfType::var(var),
-                            ]),
+                            CfType::seq_all([CfType::var(var), in_int(), CfType::var(var)]),
                         ),
                     ],
                 ),
@@ -372,10 +366,7 @@ mod tests {
         let lhs = CfType::seq(
             CfType::choice(
                 Dir::Out,
-                vec![
-                    ("a".into(), out_int()),
-                    ("b".into(), in_int()),
-                ],
+                vec![("a".into(), out_int()), ("b".into(), in_int())],
             ),
             u.clone(),
         );
@@ -453,11 +444,7 @@ mod tests {
                         ("L".into(), CfType::Skip),
                         (
                             "N".into(),
-                            CfType::seq_all([
-                                CfType::var(v),
-                                in_int(),
-                                CfType::var(v),
-                            ]),
+                            CfType::seq_all([CfType::var(v), in_int(), CfType::var(v)]),
                         ),
                     ],
                 ),
@@ -481,12 +468,7 @@ mod tests {
                 vec![
                     (
                         "Push".into(),
-                        CfType::seq_all([
-                            in_int(),
-                            CfType::var("s"),
-                            out_int(),
-                            CfType::var("s"),
-                        ]),
+                        CfType::seq_all([in_int(), CfType::var("s"), out_int(), CfType::var("s")]),
                     ),
                     ("Done".into(), CfType::Skip),
                 ],
@@ -498,12 +480,7 @@ mod tests {
             vec![
                 (
                     "Push".into(),
-                    CfType::seq_all([
-                        in_int(),
-                        stack.clone(),
-                        out_int(),
-                        stack.clone(),
-                    ]),
+                    CfType::seq_all([in_int(), stack.clone(), out_int(), stack.clone()]),
                 ),
                 ("Done".into(), CfType::Skip),
             ],

@@ -70,6 +70,10 @@ pub type Norm = Option<u64>;
 /// In-scope `rec` binders during translation.
 type RecEnv = Vec<(Name, NonTerm)>;
 
+/// Memo-table key: a type at a quantifier depth with the nonterminals of
+/// its free recursion variables.
+type MemoKey = (CfType, u32, RecEnv);
+
 fn lookup(env: &RecEnv, v: &str) -> Option<NonTerm> {
     env.iter().rev().find(|(n, _)| n == v).map(|(_, x)| *x)
 }
@@ -81,7 +85,7 @@ pub struct Grammar {
     prods: Vec<Vec<(Action, Word)>>,
     /// Memoization of translated types, keyed by quantifier depth and the
     /// nonterminals bound to their free recursion variables.
-    memo: HashMap<(CfType, u32, Vec<(Name, NonTerm)>), NonTerm>,
+    memo: HashMap<MemoKey, NonTerm>,
     norms: Vec<Norm>,
     norms_dirty: bool,
 }
@@ -424,10 +428,7 @@ mod tests {
                 Dir::In,
                 vec![
                     ("L".into(), CfType::Skip),
-                    (
-                        "N".into(),
-                        CfType::seq(CfType::var("x"), CfType::var("x")),
-                    ),
+                    ("N".into(), CfType::seq(CfType::var("x"), CfType::var("x"))),
                 ],
             ),
         );
@@ -474,10 +475,7 @@ mod tests {
                 Dir::In,
                 vec![
                     ("Stop".into(), CfType::Skip),
-                    (
-                        "Go".into(),
-                        CfType::seq(CfType::var("x"), CfType::var("x")),
-                    ),
+                    ("Go".into(), CfType::seq(CfType::var("x"), CfType::var("x"))),
                 ],
             ),
         );

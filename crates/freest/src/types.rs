@@ -12,7 +12,6 @@
 //! equivalence a bisimilarity problem on simple grammars (see
 //! [`crate::grammar`] and [`crate::bisim`]).
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Direction of a communication: `!`/`⊕` vs `?`/`&`.
@@ -171,26 +170,29 @@ impl CfType {
     /// Checks contractivity: every `rec x.T` must expose a communication
     /// constructor before reaching `x` (no `rec x. x` or `rec x. Skip;x`).
     pub fn is_contractive(&self) -> bool {
-        fn guarded(t: &CfType, pending: &mut Vec<Name>, env: &HashMap<Name, CfType>) -> bool {
+        fn guarded(t: &CfType, pending: &mut Vec<Name>) -> bool {
             match t {
-                CfType::Skip | CfType::End(_) | CfType::Msg(..) | CfType::Choice(..)
+                CfType::Skip
+                | CfType::End(_)
+                | CfType::Msg(..)
+                | CfType::Choice(..)
                 | CfType::Forall(..) => true,
                 CfType::Var(v) => !pending.iter().any(|p| p == v),
                 CfType::Seq(a, b) => {
-                    if !guarded(a, pending, env) {
+                    if !guarded(a, pending) {
                         return false;
                     }
                     // If `a` can be Skip-like (empty), `b` must also be
                     // guarded with the same pending set.
                     if can_be_empty(a) {
-                        guarded(b, pending, env)
+                        guarded(b, pending)
                     } else {
                         true
                     }
                 }
                 CfType::Rec(v, body) => {
                     pending.push(v.clone());
-                    let ok = guarded(body, pending, env);
+                    let ok = guarded(body, pending);
                     pending.pop();
                     ok
                 }
@@ -212,7 +214,7 @@ impl CfType {
                 CfType::Forall(_, body) => walk(body),
                 CfType::Rec(v, body) => {
                     let mut pending = vec![v.clone()];
-                    guarded(body, &mut pending, &HashMap::new()) && walk(body)
+                    guarded(body, &mut pending) && walk(body)
                 }
             }
         }
@@ -256,7 +258,11 @@ impl fmt::Display for CfType {
         fn atom(t: &CfType) -> bool {
             matches!(
                 t,
-                CfType::Skip | CfType::End(_) | CfType::Msg(..) | CfType::Var(_) | CfType::Choice(..)
+                CfType::Skip
+                    | CfType::End(_)
+                    | CfType::Msg(..)
+                    | CfType::Var(_)
+                    | CfType::Choice(..)
             )
         }
         match self {

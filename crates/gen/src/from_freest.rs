@@ -62,7 +62,10 @@ pub fn from_freest(t: &CfType) -> Result<Embedded, UnembeddableError> {
         .add_protocol(ProtocolDecl {
             name: top,
             params: vec![],
-            ctors: vec![Ctor { tag, args: segments }],
+            ctors: vec![Ctor {
+                tag,
+                args: segments,
+            }],
         })
         .map_err(|e| UnembeddableError(e.to_string()))?;
     emb.decls
@@ -186,9 +189,7 @@ impl Embedder {
                     )))
                 }
             },
-            Payload::Var(v) => {
-                return Err(UnembeddableError(format!("polymorphic payload {v}")))
-            }
+            Payload::Var(v) => return Err(UnembeddableError(format!("polymorphic payload {v}"))),
         })
     }
 }
@@ -229,7 +230,9 @@ mod tests {
     fn message_embeds_as_promoted_payload() {
         let e = embeds(&CfType::Msg(Dir::Out, Payload::Int));
         // !XT.End! with protocol XT = MkXT Int
-        let Type::Out(payload, _) = &e.ty else { panic!() };
+        let Type::Out(payload, _) = &e.ty else {
+            panic!()
+        };
         let Type::Proto(name, _) = &**payload else {
             panic!()
         };
@@ -241,7 +244,9 @@ mod tests {
     #[test]
     fn input_embeds_with_negation() {
         let e = embeds(&CfType::Msg(Dir::In, Payload::Int));
-        let Type::Out(payload, _) = &e.ty else { panic!() };
+        let Type::Out(payload, _) = &e.ty else {
+            panic!()
+        };
         let Type::Proto(name, _) = &**payload else {
             panic!()
         };

@@ -224,7 +224,9 @@ pub fn generate_instance<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Instance {
             })
             .expect("generated names are fresh");
     }
-    decls.validate().expect("generated declarations are well-kinded");
+    decls
+        .validate()
+        .expect("generated declarations are well-kinded");
 
     // The session type: a spine of messages over the declared protocols
     // and base types, closed by End or a quantified variable tail.
@@ -251,11 +253,14 @@ pub fn generate_instance<R: Rng>(rng: &mut R, cfg: &GenConfig) -> Instance {
             0 => Type::proto(names.protocol(pick_protocol(rng)), vec![]),
             1 => Type::neg(Type::proto(names.protocol(pick_protocol(rng)), vec![])),
             2 => Type::neg(base(rng)),
-            3 => Type::pair(base(rng), if rng.gen_bool(0.5) {
-                Type::EndOut
-            } else {
-                Type::EndIn
-            }),
+            3 => Type::pair(
+                base(rng),
+                if rng.gen_bool(0.5) {
+                    Type::EndOut
+                } else {
+                    Type::EndIn
+                },
+            ),
             _ => base(rng),
         };
         ty = if rng.gen_bool(0.5) {
@@ -285,9 +290,9 @@ mod tests {
             let cfg = GenConfig::sized(5 + i);
             let inst = generate_instance(&mut rng, &cfg);
             let mut ctx = KindCtx::new(&inst.decls);
-            let kind = ctx.synth(&inst.ty).unwrap_or_else(|e| {
-                panic!("ill-kinded generated type {}: {e}", inst.ty)
-            });
+            let kind = ctx
+                .synth(&inst.ty)
+                .unwrap_or_else(|e| panic!("ill-kinded generated type {}: {e}", inst.ty));
             assert!(
                 kind.is_subkind_of(Kind::Value),
                 "unexpected kind {kind} for {}",

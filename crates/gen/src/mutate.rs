@@ -184,9 +184,7 @@ fn rewrite_nth(
             *seen += 1;
         }
         match ty {
-            Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => {
-                ty.clone()
-            }
+            Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => ty.clone(),
             Type::Arrow(a, b) => Type::Arrow(
                 Arc::new(go(a, pred, seen, target, f)),
                 Arc::new(go(b, pred, seen, target, f)),
@@ -203,22 +201,16 @@ fn rewrite_nth(
                 Arc::new(go(a, pred, seen, target, f)),
                 Arc::new(go(b, pred, seen, target, f)),
             ),
-            Type::Forall(v, k, t) => {
-                Type::Forall(*v, *k, Arc::new(go(t, pred, seen, target, f)))
-            }
+            Type::Forall(v, k, t) => Type::Forall(*v, *k, Arc::new(go(t, pred, seen, target, f))),
             Type::Dual(t) => Type::Dual(Arc::new(go(t, pred, seen, target, f))),
             Type::Neg(t) => Type::Neg(Arc::new(go(t, pred, seen, target, f))),
             Type::Proto(n, args) => Type::Proto(
                 *n,
-                args.iter()
-                    .map(|a| go(a, pred, seen, target, f))
-                    .collect(),
+                args.iter().map(|a| go(a, pred, seen, target, f)).collect(),
             ),
             Type::Data(n, args) => Type::Data(
                 *n,
-                args.iter()
-                    .map(|a| go(a, pred, seen, target, f))
-                    .collect(),
+                args.iter().map(|a| go(a, pred, seen, target, f)).collect(),
             ),
         }
     }

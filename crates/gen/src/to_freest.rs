@@ -28,7 +28,11 @@ pub struct UntranslatableError(pub String);
 
 impl fmt::Display for UntranslatableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "type not in the FreeST-translatable fragment: {}", self.0)
+        write!(
+            f,
+            "type not in the FreeST-translatable fragment: {}",
+            self.0
+        )
     }
 }
 
@@ -42,7 +46,10 @@ impl std::error::Error for UntranslatableError {}
 /// fragment.
 pub fn to_freest(decls: &Declarations, ty: &Type) -> Result<CfType, UntranslatableError> {
     let n = nrm_pos(ty);
-    let mut tr = Translator { decls, stack: Vec::new() };
+    let mut tr = Translator {
+        decls,
+        stack: Vec::new(),
+    };
     tr.session(&n)
 }
 
@@ -70,9 +77,7 @@ impl Translator<'_> {
             },
             Type::In(p, s) => CfType::seq(self.message(p, Dir::In)?, self.session(s)?),
             Type::Out(p, s) => CfType::seq(self.message(p, Dir::Out)?, self.session(s)?),
-            Type::Forall(v, _, body) => {
-                CfType::forall(v.as_str(), self.session(body)?)
-            }
+            Type::Forall(v, _, body) => CfType::forall(v.as_str(), self.session(body)?),
             other => {
                 return Err(UntranslatableError(format!(
                     "unsupported session construct: {other}"
@@ -140,7 +145,7 @@ impl Translator<'_> {
         };
         self.stack.pop();
         // Tie the knot only if the body actually recurses.
-        if body.free_vars().iter().any(|v| *v == binder) {
+        if body.free_vars().contains(&binder) {
             Ok(CfType::rec(binder, body))
         } else {
             Ok(body)
@@ -163,11 +168,7 @@ impl Translator<'_> {
             Type::EndIn | Type::EndOut | Type::In(..) | Type::Out(..) | Type::Dual(_) => {
                 Payload::Session(Box::new(self.session(ty)?))
             }
-            other => {
-                return Err(UntranslatableError(format!(
-                    "unsupported payload: {other}"
-                )))
-            }
+            other => return Err(UntranslatableError(format!("unsupported payload: {other}"))),
         })
     }
 }
@@ -187,10 +188,7 @@ mod tests {
             name: Symbol::intern("RepeatF9"),
             params: vec![],
             ctors: vec![
-                Ctor::new(
-                    "MoreF9",
-                    vec![Type::int(), Type::proto("RepeatF9", vec![])],
-                ),
+                Ctor::new("MoreF9", vec![Type::int(), Type::proto("RepeatF9", vec![])]),
                 Ctor::new("QuitF9", vec![]),
             ],
         })

@@ -174,11 +174,7 @@ impl GrammarTranslator<'_, '_> {
         if let Some(w) = self.protocols.get(&(name, dir)) {
             return Ok(w.clone());
         }
-        if let Some((_, x)) = self
-            .in_progress
-            .iter()
-            .find(|(key, _)| *key == (name, dir))
-        {
+        if let Some((_, x)) = self.in_progress.iter().find(|(key, _)| *key == (name, dir)) {
             return Ok(vec![*x]);
         }
         let decl = self
@@ -255,11 +251,7 @@ impl GrammarTranslator<'_, '_> {
             ),
             Type::EndIn => Payload::Session(Box::new(CfType::End(Dir::In))),
             Type::EndOut => Payload::Session(Box::new(CfType::End(Dir::Out))),
-            other => {
-                return Err(UntranslatableError(format!(
-                    "unsupported payload: {other}"
-                )))
-            }
+            other => return Err(UntranslatableError(format!("unsupported payload: {other}"))),
         })
     }
 }
@@ -296,10 +288,7 @@ mod tests {
         let d = Declarations::new();
         let s = Type::output(Type::int(), Type::input(Type::bool(), Type::EndOut));
         let dual = Type::dual(s.clone());
-        let pushed = Type::input(
-            Type::int(),
-            Type::output(Type::bool(), Type::EndIn),
-        );
+        let pushed = Type::input(Type::int(), Type::output(Type::bool(), Type::EndIn));
         let mut g = Grammar::new();
         let w_dual = to_grammar(&d, &dual, &mut g).unwrap();
         let w_pushed = to_grammar(&d, &pushed, &mut g).unwrap();
@@ -332,8 +321,7 @@ mod tests {
             let mut cfg = GenConfig::sized(6 + 3 * i);
             cfg.deep_norms = 0.0; // keep the check cheap here
             let inst = generate_instance(&mut rng, &cfg);
-            let variant =
-                equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
+            let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
             assert_eq!(
                 verdict(&inst.decls, &inst.ty, &variant, 5_000_000),
                 BisimResult::Equivalent,
@@ -391,13 +379,7 @@ mod tests {
     #[test]
     fn forall_alpha_equivalence_via_canonical_names() {
         let d = Declarations::new();
-        let mk = |v: &str| {
-            Type::forall(
-                v,
-                Kind::Session,
-                Type::output(Type::int(), Type::var(v)),
-            )
-        };
+        let mk = |v: &str| Type::forall(v, Kind::Session, Type::output(Type::int(), Type::var(v)));
         assert_eq!(
             verdict(&d, &mk("a"), &mk("b"), 100_000),
             BisimResult::Equivalent

@@ -44,7 +44,10 @@ impl fmt::Display for ChanError {
         match self {
             ChanError::Disconnected => write!(f, "channel peer disconnected"),
             ChanError::ProtocolViolation { expected, found } => {
-                write!(f, "protocol violation: expected {expected}, received {found}")
+                write!(
+                    f,
+                    "protocol violation: expected {expected}, received {found}"
+                )
             }
         }
     }
@@ -69,15 +72,21 @@ impl ChanEnd {
     }
 
     pub fn send_val(&self, v: Value) -> Result<(), ChanError> {
-        self.tx.send(Msg::Val(v)).map_err(|_| ChanError::Disconnected)
+        self.tx
+            .send(Msg::Val(v))
+            .map_err(|_| ChanError::Disconnected)
     }
 
     pub fn send_tag(&self, tag: Symbol) -> Result<(), ChanError> {
-        self.tx.send(Msg::Tag(tag)).map_err(|_| ChanError::Disconnected)
+        self.tx
+            .send(Msg::Tag(tag))
+            .map_err(|_| ChanError::Disconnected)
     }
 
     pub fn send_close(&self) -> Result<(), ChanError> {
-        self.tx.send(Msg::Close).map_err(|_| ChanError::Disconnected)
+        self.tx
+            .send(Msg::Close)
+            .map_err(|_| ChanError::Disconnected)
     }
 
     pub fn recv_val(&self) -> Result<Value, ChanError> {

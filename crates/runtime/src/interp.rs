@@ -170,7 +170,8 @@ impl Interp {
         std::thread::spawn(move || {
             let _ = tx.send(me.run(&name));
         });
-        rx.recv_timeout(timeout).unwrap_or(Err(RuntimeError::Timeout))
+        rx.recv_timeout(timeout)
+            .unwrap_or(Err(RuntimeError::Timeout))
     }
 
     fn join_all(&self) -> Result<(), RuntimeError> {
@@ -338,9 +339,7 @@ impl Interp {
                     let v = args.pop().expect("arity checked");
                     let me = self.clone();
                     self.stats.threads_spawned.fetch_add(1, Ordering::Relaxed);
-                    let handle = std::thread::spawn(move || {
-                        me.apply(v, Value::Unit).map(|_| ())
-                    });
+                    let handle = std::thread::spawn(move || me.apply(v, Value::Unit).map(|_| ()));
                     self.handles.lock().push(handle);
                     Ok(Value::Unit)
                 }
@@ -431,11 +430,9 @@ impl Interp {
                 v => Err(RuntimeError::NotABool(v.describe())),
             },
             And | Or => match (&args[0], &args[1]) {
-                (Value::Bool(x), Value::Bool(y)) => Ok(Value::Bool(if b == And {
-                    *x && *y
-                } else {
-                    *x || *y
-                })),
+                (Value::Bool(x), Value::Bool(y)) => {
+                    Ok(Value::Bool(if b == And { *x && *y } else { *x || *y }))
+                }
                 (v, _) => Err(RuntimeError::NotABool(v.describe())),
             },
             PrintInt => {

@@ -72,9 +72,7 @@ pub fn step(globals: &HashMap<Symbol, Arc<Expr>>, e: &Expr) -> Step {
                 Expr::Const(Const::New) => Step::Action("new"),
                 // Module-level definitions unfold like rec-bindings.
                 Expr::Var(x) => match globals.get(x) {
-                    Some(def) => {
-                        Step::Next(Expr::TApp(Arc::new((**def).clone()), t.clone()))
-                    }
+                    Some(def) => Step::Next(Expr::TApp(Arc::new((**def).clone()), t.clone())),
                     None => Step::Stuck(format!("type application of unbound {x}")),
                 },
                 // Partial constants absorb type arguments silently; the
@@ -100,9 +98,7 @@ pub fn step(globals: &HashMap<Symbol, Arc<Expr>>, e: &Expr) -> Step {
                 });
             }
             match &**e1 {
-                Expr::Pair(u, v) => {
-                    Step::Next(e2.subst_var(*x, u).subst_var(*y, v))
-                }
+                Expr::Pair(u, v) => Step::Next(e2.subst_var(*x, u).subst_var(*y, v)),
                 other => Step::Stuck(format!("let-pair bound to non-pair {other:?}")),
             }
         }
@@ -304,11 +300,7 @@ fn map_next(s: Step, f: impl FnOnce(Expr) -> Expr) -> Step {
 /// # Errors
 /// Returns the [`Step`] that stopped evaluation (action, stuck, or fuel
 /// exhaustion reported as `Stuck`).
-pub fn run_pure(
-    globals: &HashMap<Symbol, Arc<Expr>>,
-    e: &Expr,
-    fuel: usize,
-) -> Result<Expr, Step> {
+pub fn run_pure(globals: &HashMap<Symbol, Arc<Expr>>, e: &Expr, fuel: usize) -> Result<Expr, Step> {
     let mut current = e.clone();
     for _ in 0..fuel {
         match step(globals, &current) {

@@ -178,7 +178,8 @@ main =
 #[test]
 fn async_channels_buffer() {
     // With capacity > 0 a producer can run ahead without a rendezvous.
-    let module = check_source(r#"
+    let module = check_source(
+        r#"
 main : Unit
 main =
   let (c, d) = new [!Int.!Int.End!] in
@@ -188,7 +189,9 @@ main =
     let _ = printInt (x * y) in
     wait d) in
   sendInt [!Int.End!] 6 c |> sendInt [End!] 7 |> terminate
-"#).unwrap();
+"#,
+    )
+    .unwrap();
     let interp = Interp::with_capacity(&module, 8);
     interp.run_timeout("main", Duration::from_secs(10)).unwrap();
     assert_eq!(interp.output(), vec!["42"]);
@@ -199,7 +202,8 @@ fn deadlock_detected_by_timeout() {
     // Two channels acquired in opposite order: a classic deadlock the
     // type system permits (Theorem 5 is "progress possibly leading to
     // deadlock").
-    let module = check_source(r#"
+    let module = check_source(
+        r#"
 main : Unit
 main =
   let (a1, a2) = new [!Int.End!] in
@@ -211,7 +215,9 @@ main =
   let (y, a2) = receiveInt [End?] a2 in
   let _ = wait a2 in
   sendInt [End!] y b1 |> terminate
-"#).unwrap();
+"#,
+    )
+    .unwrap();
     let interp = Interp::new(&module);
     match interp.run_timeout("main", Duration::from_millis(400)) {
         Err(RuntimeError::Timeout) => {}
@@ -232,19 +238,38 @@ main =
   sendInt [!Int.End!] 1 c |> sendInt [End!] 2 |> terminate
 "#);
     let stats = interp.stats();
-    assert_eq!(stats.values_sent.load(std::sync::atomic::Ordering::Relaxed), 2);
-    assert_eq!(stats.closes_sent.load(std::sync::atomic::Ordering::Relaxed), 1);
-    assert_eq!(stats.channels_created.load(std::sync::atomic::Ordering::Relaxed), 1);
-    assert_eq!(stats.threads_spawned.load(std::sync::atomic::Ordering::Relaxed), 1);
+    assert_eq!(
+        stats.values_sent.load(std::sync::atomic::Ordering::Relaxed),
+        2
+    );
+    assert_eq!(
+        stats.closes_sent.load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        stats
+            .channels_created
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    assert_eq!(
+        stats
+            .threads_spawned
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
     assert_eq!(stats.messages(), 3);
 }
 
 #[test]
 fn forked_thread_error_propagates() {
-    let module = check_source(r#"
+    let module = check_source(
+        r#"
 main : Unit
 main = fork (\u -> let _ = printInt (1 / 0) in ())
-"#).unwrap();
+"#,
+    )
+    .unwrap();
     let interp = Interp::new(&module);
     match interp.run_timeout("main", Duration::from_secs(5)) {
         Err(RuntimeError::DivisionByZero) => {}

@@ -70,10 +70,7 @@ impl<'s> Lexer<'s> {
     }
 
     fn peek_pos(&mut self) -> usize {
-        self.chars
-            .peek()
-            .map(|&(i, _)| i)
-            .unwrap_or(self.src.len())
+        self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src.len())
     }
 
     fn error(&mut self, message: impl Into<String>) -> LexError {
@@ -410,7 +407,10 @@ mod tests {
     #[test]
     fn arrow_vs_dash() {
         assert_eq!(toks("- ->"), vec![Tok::Dash, Tok::Arrow]);
-        assert_eq!(toks("-Int"), vec![Tok::Dash, Tok::UIdent(Symbol::intern("Int"))]);
+        assert_eq!(
+            toks("-Int"),
+            vec![Tok::Dash, Tok::UIdent(Symbol::intern("Int"))]
+        );
     }
 
     #[test]

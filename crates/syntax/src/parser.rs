@@ -115,7 +115,9 @@ impl Parser {
     }
 
     fn here(&self) -> Span {
-        self.peek().map(|t| t.span).unwrap_or_else(|| self.last_span())
+        self.peek()
+            .map(|t| t.span)
+            .unwrap_or_else(|| self.last_span())
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -556,7 +558,12 @@ impl Parser {
         self.expect(Tok::Else)?;
         let els = self.expr()?;
         let span = start.to(els.span());
-        Ok(SExpr::If(Box::new(cond), Box::new(thn), Box::new(els), span))
+        Ok(SExpr::If(
+            Box::new(cond),
+            Box::new(thn),
+            Box::new(els),
+            span,
+        ))
     }
 
     /// `case e of { arms }` / `match e with { arms }`.
@@ -842,10 +849,7 @@ mod tests {
         let Decl::Signature(sig) = &p.decls[0] else {
             panic!()
         };
-        assert_eq!(
-            sig.ty.to_string(),
-            "Ast -> forall (s:S). !AstP.s -> s"
-        );
+        assert_eq!(sig.ty.to_string(), "Ast -> forall (s:S). !AstP.s -> s");
     }
 
     #[test]
@@ -863,16 +867,17 @@ mod tests {
         assert!(matches!(*p, SType::Neg(..)));
         let t = parse_type("! Stream -a .End!").unwrap();
         let SType::Out(p, _, _) = t else { panic!() };
-        let SType::Name(_, args, _) = *p else { panic!() };
+        let SType::Name(_, args, _) = *p else {
+            panic!()
+        };
         assert!(matches!(args[0], SType::Neg(..)));
     }
 
     #[test]
     fn parses_match_with_arms() {
-        let e = parse_expr(
-            "match c with { ConP c -> recvInt [s] c, AddP c -> recvAst [?AstP.s] c }",
-        )
-        .unwrap();
+        let e =
+            parse_expr("match c with { ConP c -> recvInt [s] c, AddP c -> recvAst [?AstP.s] c }")
+                .unwrap();
         let SExpr::Case(_, arms, _) = e else { panic!() };
         assert_eq!(arms.len(), 2);
         assert_eq!(arms[0].binders.len(), 1);
@@ -894,7 +899,9 @@ mod tests {
         let e = parse_expr("select Next [Int, End!] c").unwrap();
         // select Next [Int,End!] c = App(TApp(Select, [Int, End!]), c)
         let SExpr::App(f, _, _) = e else { panic!() };
-        let SExpr::TApp(sel, tys, _) = *f else { panic!() };
+        let SExpr::TApp(sel, tys, _) = *f else {
+            panic!()
+        };
         assert!(matches!(*sel, SExpr::Select(..)));
         assert_eq!(tys.len(), 2);
     }
@@ -911,7 +918,9 @@ mod tests {
     fn parses_operators_with_precedence() {
         // 1 + 2 * 3 == 7  parses as  (1 + (2*3)) == 7
         let e = parse_expr("1 + 2 * 3 == 7").unwrap();
-        let SExpr::BinOp(eq, lhs, _, _) = e else { panic!() };
+        let SExpr::BinOp(eq, lhs, _, _) = e else {
+            panic!()
+        };
         assert_eq!(eq.as_str(), "==");
         let SExpr::BinOp(plus, _, rhs, _) = *lhs else {
             panic!()

@@ -13,11 +13,11 @@ use algst::core::kind::Kind;
 use algst::core::protocol::{Ctor, Declarations, ProtocolDecl};
 use algst::core::symbol::Symbol;
 use algst::core::types::Type;
+use algst::freest::{bisimilar_with, BisimResult, Grammar};
 use algst::gen::generate::{generate_instance, GenConfig};
 use algst::gen::mutate::equivalent_variant;
 use algst::gen::to_freest::to_freest;
 use algst::gen::to_grammar::to_grammar;
-use algst::freest::{bisimilar_with, BisimResult, Grammar};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -63,7 +63,10 @@ fn fig9_walkthrough() {
         ),
     ));
     println!("equivalent variant:  {equiv_variant}");
-    println!("  AlgST ≡ in linear time: {}", equivalent(&ty, &equiv_variant));
+    println!(
+        "  AlgST ≡ in linear time: {}",
+        equivalent(&ty, &equiv_variant)
+    );
 
     // ?Repeat String … — the non-equivalent variant (payload changed).
     let non_equiv = Type::input(

@@ -34,10 +34,7 @@ fn fig9_decls() -> Declarations {
         name: Symbol::intern("RepeatG9"),
         params: vec![],
         ctors: vec![
-            Ctor::new(
-                "MoreG9",
-                vec![Type::int(), Type::proto("RepeatG9", vec![])],
-            ),
+            Ctor::new("MoreG9", vec![Type::int(), Type::proto("RepeatG9", vec![])]),
             Ctor::new("QuitG9", vec![]),
         ],
     })

@@ -105,7 +105,10 @@ fn toolbox_and_direct_agree_but_toolbox_tags_more() {
     // Toolbox: MoreT + SeqTC + SeqTC per request (+ final QuitT) = 10.
     assert_eq!(dt, 7, "direct server tag count");
     assert_eq!(tt, 10, "toolbox server tag count");
-    assert!(tt > dt, "App. A.6: composing generic parts costs extra tags");
+    assert!(
+        tt > dt,
+        "App. A.6: composing generic parts costs extra tags"
+    );
 
     // Payload traffic is identical.
     let dv = direct.stats().values_sent.load(Ordering::Relaxed);

@@ -104,9 +104,7 @@ main =
     )
     .unwrap_or_else(|e| panic!("{e}"));
     let interp = Interp::new(&module);
-    interp
-        .run_timeout("main", Duration::from_secs(10))
-        .unwrap();
+    interp.run_timeout("main", Duration::from_secs(10)).unwrap();
     assert_eq!(interp.output(), vec!["42"]);
 }
 

@@ -1,0 +1,424 @@
+//! Bounded multi-producer multi-consumer channels with the
+//! `crossbeam-channel` API surface used by this workspace: [`bounded`],
+//! cloneable [`Sender`]/[`Receiver`], [`Receiver::recv_timeout`].
+//!
+//! Capacity 0 gives rendezvous semantics — `send` blocks until a receiver
+//! has actually taken the message — matching crossbeam's zero-capacity
+//! channels (and the paper runtime's synchronous `MVar`-pair reading).
+//! Capacity n > 0 gives a bounded FIFO queue.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message like crossbeam's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+struct State<T> {
+    /// Queued messages, each tagged with its sender's ticket. Tickets are
+    /// strictly increasing along the queue (assigned from `pushed`), and
+    /// stay stable even when a rendezvous sender reclaims its message
+    /// from the middle of the queue on receiver disconnect.
+    queue: VecDeque<(u64, T)>,
+    senders: usize,
+    receivers: usize,
+    /// Next ticket to assign.
+    pushed: u64,
+    /// One past the highest ticket a receiver has consumed. Receivers pop
+    /// from the front (the smallest remaining ticket), so a rendezvous
+    /// sender is released exactly when `popped > ticket`.
+    popped: u64,
+}
+
+struct Shared<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    cond: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half of a channel. Cloneable; the channel disconnects for
+/// receivers when the last clone is dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel. Cloneable; the channel disconnects for
+/// senders when the last clone is dropped.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded channel. `capacity == 0` is a rendezvous channel:
+/// each `send` blocks until its message has been received.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        capacity,
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            pushed: 0,
+            popped: 0,
+        }),
+        cond: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued (capacity > 0) or received
+    /// (capacity 0). Fails only when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+
+        // Wait for queue room (for capacity 0 the queue itself is
+        // unbounded and the rendezvous wait below does the blocking).
+        while shared.capacity > 0 && st.queue.len() >= shared.capacity {
+            if st.receivers == 0 {
+                return Err(SendError(value));
+            }
+            st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.receivers == 0 {
+            return Err(SendError(value));
+        }
+
+        let ticket = st.pushed;
+        st.queue.push_back((ticket, value));
+        st.pushed += 1;
+        shared.cond.notify_all();
+
+        if shared.capacity == 0 {
+            // Rendezvous: stay until our message has been popped.
+            while st.popped <= ticket {
+                if st.receivers == 0 {
+                    // Reclaim the message (still queued, since popped is
+                    // at most our ticket) so the caller gets it back, as
+                    // crossbeam's SendError does. Other blocked senders'
+                    // tickets are unaffected.
+                    let index = st
+                        .queue
+                        .iter()
+                        .position(|(t, _)| *t == ticket)
+                        .expect("unpopped message present");
+                    let (_, value) = st.queue.remove(index).expect("index just found");
+                    shared.cond.notify_all();
+                    return Err(SendError(value));
+                }
+                st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives; fails when the channel is empty and
+    /// every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+        loop {
+            if let Some((ticket, value)) = st.queue.pop_front() {
+                st.popped = ticket + 1;
+                shared.cond.notify_all();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`Receiver::recv`] but gives up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+        loop {
+            if let Some((ticket, value)) = st.queue.pop_front() {
+                st.popped = ticket + 1;
+                shared.cond.notify_all();
+                return Ok(value);
+            }
+            if st.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _) = shared
+                .cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared.lock().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.senders -= 1;
+        if st.senders == 0 {
+            self.shared.cond.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.lock();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            self.shared.cond.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sender {{ .. }}")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Receiver {{ .. }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::thread;
+
+    #[test]
+    fn bounded_queue_buffers() {
+        let (tx, rx) = bounded(3);
+        for i in 0..3 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..3 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn rendezvous_blocks_until_received() {
+        let (tx, rx) = bounded(0);
+        let received = Arc::new(AtomicBool::new(false));
+        let received2 = Arc::clone(&received);
+        let t = thread::spawn(move || {
+            tx.send(7).unwrap();
+            // send returning means the receiver has the message.
+            assert!(received2.load(Ordering::SeqCst));
+        });
+        thread::sleep(Duration::from_millis(30));
+        received.store(true, Ordering::SeqCst);
+        assert_eq!(rx.recv().unwrap(), 7);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_when_receivers_gone() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn rendezvous_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(0);
+        let t = thread::spawn(move || tx.send(9));
+        thread::sleep(Duration::from_millis(30));
+        drop(rx);
+        assert_eq!(t.join().unwrap(), Err(SendError(9)));
+    }
+
+    #[test]
+    fn multiple_blocked_rendezvous_senders_all_reclaim_on_receiver_drop() {
+        let (tx, rx) = bounded(0);
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        drop(rx);
+        // Every sender must get its own message back — regardless of the
+        // order the woken threads reclaim from the queue.
+        let mut reclaimed: Vec<i32> = threads
+            .into_iter()
+            .map(|t| match t.join().unwrap() {
+                Err(SendError(v)) => v,
+                Ok(()) => panic!("send succeeded with no receiver"),
+            })
+            .collect();
+        reclaimed.sort_unstable();
+        assert_eq!(reclaimed, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rendezvous_mixed_receive_and_reclaim() {
+        let (tx, rx) = bounded(0);
+        let threads: Vec<_> = (0..3)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        // Receive one message, then disconnect: one sender returns Ok,
+        // the other two reclaim their own values.
+        let got = rx.recv().unwrap();
+        drop(rx);
+        let mut ok = Vec::new();
+        let mut reclaimed = Vec::new();
+        for t in threads {
+            match t.join().unwrap() {
+                Ok(()) => ok.push(()),
+                Err(SendError(v)) => reclaimed.push(v),
+            }
+        }
+        assert_eq!(ok.len(), 1);
+        assert_eq!(reclaimed.len(), 2);
+        let mut all = reclaimed;
+        all.push(got);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn recv_fails_when_senders_gone() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_drains_before_disconnect() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_gets_late_message() {
+        let (tx, rx) = bounded(1);
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(5).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(5));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn full_queue_send_unblocks_after_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpmc_clones_work() {
+        let (tx, rx) = bounded(16);
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        let mut got = vec![rx.recv().unwrap(), rx2.recv().unwrap()];
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+}

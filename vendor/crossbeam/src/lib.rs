@@ -1,0 +1,4 @@
+//! Offline stand-in for the `crossbeam` crate: just [`channel`], the only
+//! module this workspace uses.
+
+pub mod channel;

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! [`strategy::Strategy`] with `prop_map` / `prop_recursive` / `boxed`,
+//! [`strategy::Just`], tuple strategies, the [`prop_oneof!`],
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//! [`prop_assert_ne!`] macros, and
+//! [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest: generation only — failing cases are
+//! reported with their `Debug`/`Display` rendering but are **not shrunk**
+//! — and the per-test RNG is seeded deterministically from the test name,
+//! so runs are reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+// Re-exported so the `proptest!` expansion can name the RNG through
+// `$crate` without requiring `rand` at the call site.
+#[doc(hidden)]
+pub use rand;
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed (FNV-1a over the test name).
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (@funcs ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut prop_rng =
+                <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+            for prop_case_index in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strategy), &mut prop_rng);)+
+                let prop_result: ::std::result::Result<(), ::std::string::String> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(message) = prop_result {
+                    panic!("case {}/{} failed: {}", prop_case_index + 1, config.cases, message);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the enclosing proptest case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the enclosing proptest case when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (prop_lhs, prop_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            prop_lhs == prop_rhs,
+            "assertion failed: `{:?}` == `{:?}`", prop_lhs, prop_rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (prop_lhs, prop_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            prop_lhs == prop_rhs,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)+), prop_lhs, prop_rhs
+        );
+    }};
+}
+
+/// Fails the enclosing proptest case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (prop_lhs, prop_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            prop_lhs != prop_rhs,
+            "assertion failed: `{:?}` != `{:?}`", prop_lhs, prop_rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (prop_lhs, prop_rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            prop_lhs != prop_rhs,
+            "{}: `{:?}` != `{:?}`", format!($($fmt)+), prop_lhs, prop_rhs
+        );
+    }};
+}
+
+/// Uniform choice among strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = u32> {
+        prop_oneof![Just(1u32), Just(2u32), Just(3u32)]
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(u32),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    impl Tree {
+        fn size(&self) -> usize {
+            match self {
+                Tree::Leaf(_) => 1,
+                Tree::Node(l, r) => 1 + l.size() + r.size(),
+            }
+        }
+
+        fn leaf_max(&self) -> u32 {
+            match self {
+                Tree::Leaf(v) => *v,
+                Tree::Node(l, r) => l.leaf_max().max(r.leaf_max()),
+            }
+        }
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        small()
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn leaves_in_range(x in small()) {
+            prop_assert!((1..=3).contains(&x), "{x}");
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (small(), small()).prop_map(|(a, b)| a + b)) {
+            prop_assert!((2..=6).contains(&pair));
+        }
+
+        #[test]
+        fn recursion_bounded(t in arb_tree()) {
+            // Tower depth 4 with binary nodes: at most 2^5 - 1 nodes.
+            prop_assert!(t.size() <= 31, "{t:?}");
+            prop_assert!((1..=3).contains(&t.leaf_max()));
+            prop_assert_eq!(t.size() % 2, 1);
+            prop_assert_ne!(t.size(), 0, "size of {:?}", t);
+        }
+
+        #[test]
+        fn three_tuples(v in (small(), small(), small()).prop_map(|(a, b, c)| a + b + c)) {
+            prop_assert!((3..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let strat = arb_tree();
+        let mut a = rand::rngs::StdRng::seed_from_u64(1);
+        let mut b = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..32 {
+            assert_eq!(
+                format!("{:?}", strat.generate(&mut a)),
+                format!("{:?}", strat.generate(&mut b))
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "assertion failed")]
+    fn failures_panic() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in Just(5u32)) {
+                prop_assert!(x == 4);
+            }
+        }
+        inner();
+    }
+}

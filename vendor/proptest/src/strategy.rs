@@ -1,0 +1,177 @@
+//! Generation-only strategies: each strategy is a recipe for producing
+//! values from an RNG. No value trees, no shrinking.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Applies `map` to every generated value.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, map }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for smaller
+    /// values and returns a strategy for one-level-larger ones. `depth`
+    /// bounds the nesting; `desired_size` and `expected_branch_size` are
+    /// accepted for proptest compatibility but unused (depth alone bounds
+    /// the output here, as there is no size-driven generation).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut tower = leaf.clone();
+        for _ in 0..depth {
+            // Mix the leaf back in at every level so expected output size
+            // stays bounded well below the worst-case full tree.
+            tower = Union::new(vec![leaf.clone(), recurse(tower).boxed()]).boxed();
+        }
+        tower
+    }
+
+    /// Erases the strategy type. The result is cheaply cloneable.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            generate: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    generate: Rc<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            generate: Rc::clone(&self.generate),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.generate)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    base: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.base.generate(rng))
+    }
+}
+
+/// Uniform choice among strategies; built by [`crate::prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let index = rng.gen_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
