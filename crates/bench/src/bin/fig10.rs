@@ -6,16 +6,23 @@
 //! cargo run --release -p algst-bench --bin fig10 -- \
 //!     [--suite equivalent|nonequivalent|both] [--cases 324] \
 //!     [--timeout-ms 2000] [--seed 1] [--csv-dir target] \
-//!     [--json BENCH_fig10.json]
+//!     [--json BENCH_fig10.json] [--check-warm]
 //! ```
 //!
 //! Prints a binned summary per suite (median times, timeout counts),
 //! writes one CSV row per test case for plotting, and emits a
 //! `BENCH_fig10.json` with every per-case AlgST vs. FreeST timing — the
-//! record later performance PRs are measured against. (`--count` is
-//! accepted as an alias of `--cases`.)
+//! record later performance PRs are measured against. Since the
+//! hash-consed type store landed, each row carries **two** AlgST
+//! timings: `algst_ms` (cold: fresh store, intern + normalize + compare)
+//! and `algst_warm_ms` (steady state: memoized normal forms, a `TypeId`
+//! comparison), and the JSON gains per-suite aggregate stats (median,
+//! p95, least-squares ns-per-node slope) so the perf trajectory is one
+//! number per PR. `--check-warm` exits non-zero unless warm ≤ cold on
+//! every case — the CI smoke guard for the memoization invariant.
+//! (`--count` is accepted as an alias of `--cases`.)
 
-use algst_bench::{measure_case, ms, Measurement};
+use algst_bench::{measure_case, ms, suite_stats, Measurement, SuiteStats};
 use algst_gen::suite::{build_suite, SuiteKind, PAPER_SUITE_SIZE};
 use std::io::Write;
 use std::time::Duration;
@@ -27,6 +34,7 @@ struct Args {
     seed: u64,
     csv_dir: Option<String>,
     json_path: Option<String>,
+    check_warm: bool,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +45,7 @@ fn parse_args() -> Args {
         seed: 1,
         csv_dir: Some("target".to_owned()),
         json_path: Some("BENCH_fig10.json".to_owned()),
+        check_warm: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -74,6 +83,7 @@ fn parse_args() -> Args {
             "--no-csv" => args.csv_dir = None,
             "--json" => args.json_path = Some(value(&mut i)),
             "--no-json" => args.json_path = None,
+            "--check-warm" => args.check_warm = true,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -93,11 +103,33 @@ fn main() {
     if let Some(path) = &args.json_path {
         write_json(path, &args, &suites);
     }
+    if args.check_warm {
+        let mut violations = 0usize;
+        for (kind, rows) in &suites {
+            for r in rows {
+                if r.algst_warm > r.algst {
+                    violations += 1;
+                    eprintln!(
+                        "!! {kind:?} case {}: warm {} ms > cold {} ms",
+                        r.case_id,
+                        ms(r.algst_warm),
+                        ms(r.algst)
+                    );
+                }
+            }
+        }
+        if violations > 0 {
+            eprintln!("--check-warm: {violations} case(s) violate warm <= cold");
+            std::process::exit(1);
+        }
+        eprintln!("--check-warm: ok (warm <= cold on every case)");
+    }
 }
 
-/// Writes the whole run as one JSON document: run parameters plus one row
-/// per case with both checkers' timings. Hand-rolled (every value is a
-/// number, bool or known-safe string), so no serde dependency is needed.
+/// Writes the whole run as one JSON document: run parameters, per-suite
+/// aggregates, plus one row per case with all three timings. Hand-rolled
+/// (every value is a number, bool or known-safe string), so no serde
+/// dependency is needed.
 fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)]) {
     let mut f = std::fs::File::create(path).expect("create json");
     let total: usize = suites.iter().map(|(_, rows)| rows.len()).sum();
@@ -106,13 +138,38 @@ fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)])
     writeln!(f, "  \"seed\": {},", args.seed).expect("write");
     writeln!(f, "  \"freest_timeout_ms\": {},", args.timeout.as_millis()).expect("write");
     writeln!(f, "  \"cases\": {total},").expect("write");
+    writeln!(f, "  \"aggregates\": [").expect("write");
+    for (i, (kind, rows)) in suites.iter().enumerate() {
+        let s = suite_stats(rows);
+        let comma = if i + 1 < suites.len() { "," } else { "" };
+        let freest_median = s
+            .freest_median_ms
+            .map(|v| format!("{v:.6}"))
+            .unwrap_or_else(|| "null".to_owned());
+        writeln!(
+            f,
+            "    {{\"suite\": \"{}\", \"cases\": {}, \
+             \"algst_median_ms\": {:.6}, \"algst_p95_ms\": {:.6}, \
+             \"algst_warm_median_ms\": {:.6}, \"algst_warm_p95_ms\": {:.6}, \
+             \"algst_ns_per_node\": {:.3}, \
+             \"freest_median_ms\": {freest_median}, \"freest_timeouts\": {}, \
+             \"agreements\": {}}}{comma}",
+            suite_name(*kind),
+            s.cases,
+            s.algst_median_ms,
+            s.algst_p95_ms,
+            s.warm_median_ms,
+            s.warm_p95_ms,
+            s.algst_ns_per_node,
+            s.freest_timeouts,
+            s.agreements,
+        )
+        .expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
     writeln!(f, "  \"rows\": [").expect("write");
     let mut first = true;
     for (kind, rows) in suites {
-        let suite = match kind {
-            SuiteKind::Equivalent => "equivalent",
-            SuiteKind::NonEquivalent => "nonequivalent",
-        };
         for r in rows {
             if !first {
                 writeln!(f, ",").expect("write");
@@ -124,12 +181,15 @@ fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)])
             };
             write!(
                 f,
-                "    {{\"suite\": \"{suite}\", \"case\": {}, \"nodes\": {}, \
-                 \"algst_ms\": {:.6}, \"freest_ms\": {freest_ms}, \
+                "    {{\"suite\": \"{}\", \"case\": {}, \"nodes\": {}, \
+                 \"algst_ms\": {:.6}, \"algst_warm_ms\": {:.6}, \
+                 \"freest_ms\": {freest_ms}, \
                  \"freest_timeout\": {}, \"agreed\": {}}}",
+                suite_name(*kind),
                 r.case_id,
                 r.nodes,
                 ms(r.algst),
+                ms(r.algst_warm),
                 r.freest.is_none(),
                 r.agreed,
             )
@@ -141,6 +201,13 @@ fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)])
     eprintln!("wrote {path}");
 }
 
+fn suite_name(kind: SuiteKind) -> &'static str {
+    match kind {
+        SuiteKind::Equivalent => "equivalent",
+        SuiteKind::NonEquivalent => "nonequivalent",
+    }
+}
+
 fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
     let (title, figure, csv_name) = match kind {
         SuiteKind::Equivalent => ("equivalent test cases", "Figure 10(a)", "fig10a.csv"),
@@ -150,11 +217,12 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
         "building {} suite: {} cases (seed {})…",
         title, args.count, args.seed
     );
-    let suite = build_suite(kind, args.count, args.seed);
+    let mut suite = build_suite(kind, args.count, args.seed);
+    let ids = suite.ids.clone();
 
     let mut rows: Vec<Measurement> = Vec::with_capacity(suite.cases.len());
     for (i, case) in suite.cases.iter().enumerate() {
-        let m = measure_case(i, case, args.timeout);
+        let m = measure_case(i, case, ids[i], &mut suite.store, args.timeout);
         if !m.agreed {
             eprintln!("!! case {i}: verdict disagreement (see EXPERIMENTS.md)");
         }
@@ -171,10 +239,10 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
         args.timeout.as_millis()
     );
     println!(
-        "{:>12} | {:>6} | {:>14} | {:>14} | {:>9}",
-        "nodes", "cases", "AlgST med (ms)", "FreeST med (ms)", "timeouts"
+        "{:>12} | {:>6} | {:>14} | {:>14} | {:>14} | {:>9}",
+        "nodes", "cases", "AlgST med (ms)", "warm med (ms)", "FreeST med (ms)", "timeouts"
     );
-    println!("{}", "-".repeat(68));
+    println!("{}", "-".repeat(86));
     let max_nodes = rows.iter().map(|r| r.nodes).max().unwrap_or(1);
     let bin_width = (max_nodes / 8).max(1);
     let mut bin_start = 0;
@@ -186,15 +254,18 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
         if !bin.is_empty() {
             let mut algst: Vec<f64> = bin.iter().map(|r| ms(r.algst)).collect();
             algst.sort_by(|a, b| a.total_cmp(b));
+            let mut warm: Vec<f64> = bin.iter().map(|r| ms(r.algst_warm)).collect();
+            warm.sort_by(|a, b| a.total_cmp(b));
             let mut freest: Vec<f64> = bin.iter().filter_map(|r| r.freest.map(ms)).collect();
             freest.sort_by(|a, b| a.total_cmp(b));
             let timeouts = bin.iter().filter(|r| r.freest.is_none()).count();
             println!(
-                "{:>5}-{:<6} | {:>6} | {:>14.4} | {:>14} | {:>9}",
+                "{:>5}-{:<6} | {:>6} | {:>14.4} | {:>14.6} | {:>14} | {:>9}",
                 bin_start,
                 bin_start + bin_width - 1,
                 bin.len(),
                 algst[algst.len() / 2],
+                warm[warm.len() / 2],
                 if freest.is_empty() {
                     "all t/o".to_owned()
                 } else {
@@ -205,17 +276,25 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
         }
         bin_start += bin_width;
     }
-    let total_timeouts = rows.iter().filter(|r| r.freest.is_none()).count();
-    let agreements = rows.iter().filter(|r| r.agreed).count();
+    let stats: SuiteStats = suite_stats(&rows);
     println!(
         "totals: {} FreeST timeouts / {} cases (paper: {} / 324); {} verdict agreements",
-        total_timeouts,
+        stats.freest_timeouts,
         rows.len(),
         match kind {
             SuiteKind::Equivalent => 69,
             SuiteKind::NonEquivalent => 77,
         },
-        agreements,
+        stats.agreements,
+    );
+    println!(
+        "aggregates: AlgST cold median {:.4} ms (p95 {:.4}), warm median {:.6} ms (p95 {:.6}), \
+         slope {:.1} ns/node",
+        stats.algst_median_ms,
+        stats.algst_p95_ms,
+        stats.warm_median_ms,
+        stats.warm_p95_ms,
+        stats.algst_ns_per_node,
     );
     // Shape check mirrored in EXPERIMENTS.md: AlgST should not grow much
     // faster than linearly; report the ratio of per-node costs.
@@ -242,14 +321,19 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
         std::fs::create_dir_all(dir).expect("create csv dir");
         let path = format!("{dir}/{csv_name}");
         let mut f = std::fs::File::create(&path).expect("create csv");
-        writeln!(f, "case,nodes,algst_ms,freest_ms,freest_timeout,agreed").expect("write");
+        writeln!(
+            f,
+            "case,nodes,algst_ms,algst_warm_ms,freest_ms,freest_timeout,agreed"
+        )
+        .expect("write");
         for r in &rows {
             writeln!(
                 f,
-                "{},{},{:.6},{},{},{}",
+                "{},{},{:.6},{:.6},{},{},{}",
                 r.case_id,
                 r.nodes,
                 ms(r.algst),
+                ms(r.algst_warm),
                 r.freest
                     .map(|d| format!("{:.6}", ms(d)))
                     .unwrap_or_default(),

@@ -11,14 +11,23 @@
 //! α-equivalence. The checking judgment additionally handles unannotated
 //! lambdas and pushes goals through `let`/`if`/`match` (the E-Abs'/E-App'
 //! style extensions described in Section 5).
+//!
+//! Representation split: the checker *destructures* boundary
+//! [`Type`] trees, but the context stores α-canonical
+//! [`TypeId`](algst_core::store::TypeId)s in the thread-shared
+//! [`TypeStore`](algst_core::store::TypeStore), and every equality test
+//! (E-Check, branch agreement, context agreement) is an id comparison.
+//! `∀`-instantiation (E-TApp) happens at the id level, where it is
+//! capture-free and memoized.
 
 use crate::constants::type_of_const;
 use crate::context::Ctx;
 use crate::error::TypeError;
+use algst_core::equiv::with_shared_store;
 use algst_core::expr::{Arm, Expr};
 use algst_core::kind::Kind;
 use algst_core::kindcheck::KindCtx;
-use algst_core::normalize::{dir_neg_seq, materialize_seq, nrm_pos};
+use algst_core::normalize::{dir_neg_seq, materialize_seq, nrm_pos, resugar};
 use algst_core::protocol::Declarations;
 use algst_core::subst::{subst_type, Subst};
 use algst_core::symbol::Symbol;
@@ -74,11 +83,9 @@ impl<'d> Checker<'d> {
             Expr::Builtin(b) => Ok(b.type_of()),
             Expr::Const(c) => type_of_const(self.decls, *c),
 
-            // E-Var / E-Var⋆
-            Expr::Var(x) => ctx
-                .use_var(*x)
-                .map(|t| (*t).clone())
-                .ok_or(TypeError::UnboundVariable(*x)),
+            // E-Var / E-Var⋆ — the context stores interned ids; the
+            // checker destructures trees, so extract at the boundary.
+            Expr::Var(x) => ctx.use_var_ty(*x).ok_or(TypeError::UnboundVariable(*x)),
 
             // E-Abs
             Expr::Abs(x, ann, body) => {
@@ -125,16 +132,25 @@ impl<'d> Checker<'d> {
                 Ok(Type::forall(*alpha, *kappa, t?))
             }
 
-            // E-TApp: normalize the instantiated body.
+            // E-TApp: β-instantiate and normalize at the id level —
+            // capture-free by construction (nameless binders) and
+            // memoized, so re-instantiating a signature already seen is
+            // mostly table lookups.
             Expr::TApp(f, arg) => {
                 let ft = self.synth(ctx, f)?;
-                match ft {
-                    Type::Forall(alpha, kappa, body) => {
-                        self.check_kind(arg, kappa)?;
-                        Ok(nrm_pos(&subst_type(&body, alpha, arg)))
-                    }
-                    other => Err(TypeError::NotAForall(other)),
+                if let Type::Forall(_, kappa, _) = &ft {
+                    let kappa = *kappa;
+                    let mut kctx = self.kind_ctx();
+                    return with_shared_store(|s| {
+                        let aid = s.intern(arg);
+                        kctx.check_id(s, aid, kappa).map_err(TypeError::from)?;
+                        let fid = s.intern(&ft);
+                        let inst = s.instantiate(fid, aid).expect("interned from a Forall");
+                        let n = s.nrm(inst);
+                        Ok(s.extract_cached(n))
+                    });
                 }
+                Err(TypeError::NotAForall(ft))
             }
 
             // E-Rec: unrestricted self-binding, no linear captures.
@@ -200,7 +216,7 @@ impl<'d> Checker<'d> {
                 let mut ctx2 = ctx.clone();
                 let t1 = self.synth(ctx, thn)?;
                 let t2 = self.synth(&mut ctx2, els)?;
-                if !t1.alpha_eq(&t2) {
+                if !alpha_eq_interned(&t1, &t2) {
                     return Err(TypeError::BranchTypeMismatch {
                         first: t1,
                         other: t2,
@@ -506,7 +522,7 @@ impl<'d> Checker<'d> {
             match &result {
                 None => result = Some((vt, bctx)),
                 Some((t0, ctx0)) => {
-                    if !t0.alpha_eq(&vt) {
+                    if !alpha_eq_interned(t0, &vt) {
                         return Err(TypeError::BranchTypeMismatch {
                             first: t0.clone(),
                             other: vt,
@@ -523,13 +539,22 @@ impl<'d> Checker<'d> {
     }
 }
 
+/// α-equivalence through the shared store: both sides intern to
+/// α-canonical ids, so the comparison itself is integer equality (and
+/// both trees are hash-consed for later reuse).
+fn alpha_eq_interned(a: &Type, b: &Type) -> bool {
+    with_shared_store(|s| s.intern(a) == s.intern(b))
+}
+
 fn expect_alpha_eq(expected: &Type, found: &Type) -> Result<(), TypeError> {
-    if expected.alpha_eq(found) {
+    if alpha_eq_interned(expected, found) {
         Ok(())
     } else {
+        // Both sides are normal forms; resugar them for the diagnostic
+        // (pull reified `Dual α` out of spines, drop fresh binder names).
         Err(TypeError::Mismatch {
-            expected: expected.clone(),
-            found: found.clone(),
+            expected: resugar(expected),
+            found: resugar(found),
         })
     }
 }

@@ -5,11 +5,23 @@
 //! single [`Ctx`] in place: using a linear entry removes it; unrestricted
 //! entries (`x :⋆ T`, used for recursive bindings, globals and builtins)
 //! survive lookup.
+//!
+//! Entries store interned [`TypeId`]s, not trees: every type is interned
+//! into the thread-shared [`TypeStore`](algst_core::store::TypeStore)
+//! (see [`algst_core::equiv::with_shared_store`]) on the way in. Because
+//! ids are α-canonical, comparing the outgoing contexts of branches
+//! ([`Ctx::same_linear`], rule E-Match's `Γ₃ =α Γᵢ` side condition) is a
+//! per-entry integer comparison instead of a tree walk — and cloning a
+//! context for a branch copies small ids, never types.
+//!
+//! Ids are only meaningful on the thread that created them; a `Ctx` must
+//! not migrate across threads mid-check (checking is single-threaded).
 
 use crate::error::TypeError;
+use algst_core::equiv::with_shared_store;
+use algst_core::store::TypeId;
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
-use std::sync::Arc;
 
 /// How an entry may be used.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -21,10 +33,11 @@ pub enum Usage {
 }
 
 /// One context entry.
-#[derive(Clone, Debug)]
+#[derive(Copy, Clone, Debug)]
 pub struct Entry {
     pub name: Symbol,
-    pub ty: Arc<Type>,
+    /// The entry's type, interned in the thread-shared store.
+    pub ty: TypeId,
     pub usage: Usage,
 }
 
@@ -49,9 +62,14 @@ impl Ctx {
     }
 
     pub fn push_linear(&mut self, name: Symbol, ty: Type) {
+        let id = with_shared_store(|s| s.intern(&ty));
+        self.push_linear_id(name, id);
+    }
+
+    pub fn push_linear_id(&mut self, name: Symbol, ty: TypeId) {
         self.entries.push(Entry {
             name,
-            ty: Arc::new(ty),
+            ty,
             usage: Usage::Linear,
         });
     }
@@ -67,9 +85,14 @@ impl Ctx {
     }
 
     pub fn push_unrestricted(&mut self, name: Symbol, ty: Type) {
+        let id = with_shared_store(|s| s.intern(&ty));
+        self.push_unrestricted_id(name, id);
+    }
+
+    pub fn push_unrestricted_id(&mut self, name: Symbol, ty: TypeId) {
         self.entries.push(Entry {
             name,
-            ty: Arc::new(ty),
+            ty,
             usage: Usage::Unrestricted,
         });
     }
@@ -77,12 +100,21 @@ impl Ctx {
     /// Looks up `name`, applying the use discipline: a linear entry is
     /// removed (consumed, rule E-Var); an unrestricted entry is kept
     /// (rule E-Var⋆).
-    pub fn use_var(&mut self, name: Symbol) -> Option<Arc<Type>> {
+    pub fn use_var(&mut self, name: Symbol) -> Option<TypeId> {
         let ix = self.entries.iter().rposition(|e| e.name == name)?;
         match self.entries[ix].usage {
             Usage::Linear => Some(self.entries.remove(ix).ty),
-            Usage::Unrestricted => Some(self.entries[ix].ty.clone()),
+            Usage::Unrestricted => Some(self.entries[ix].ty),
         }
+    }
+
+    /// Like [`Ctx::use_var`], but extracting the boundary [`Type`] for
+    /// callers that destructure it. Extraction is memoized per id, so a
+    /// global referenced many times pays one tree build, then shallow
+    /// clones (extracted trees share subterms via `Arc`).
+    pub fn use_var_ty(&mut self, name: Symbol) -> Option<Type> {
+        let id = self.use_var(name)?;
+        Some(with_shared_store(|s| s.extract_cached(id)))
     }
 
     /// True if `name` is still present (most recent binding).
@@ -123,8 +155,10 @@ impl Ctx {
             .collect()
     }
 
-    /// Compares the linear parts of two contexts up to entry types
-    /// (α-equivalence), reporting a human-readable diff on mismatch.
+    /// Compares the linear parts of two contexts. Entry types are
+    /// α-canonical ids, so the whole comparison is name + integer
+    /// equality per entry — O(1) per entry, no tree traversal. Reports a
+    /// human-readable diff on mismatch.
     pub fn same_linear(&self, other: &Ctx) -> Result<(), String> {
         let a = self.linear_entries();
         let b = other.linear_entries();
@@ -132,7 +166,7 @@ impl Ctx {
             return Err(diff_message(&a, &b));
         }
         for (ea, eb) in a.iter().zip(&b) {
-            if ea.name != eb.name || !ea.ty.alpha_eq(&eb.ty) {
+            if ea.name != eb.name || ea.ty != eb.ty {
                 return Err(diff_message(&a, &b));
             }
         }
@@ -206,10 +240,12 @@ fn diff_message(a: &[&Entry], b: &[&Entry]) -> String {
         if es.is_empty() {
             "(none)".to_owned()
         } else {
-            es.iter()
-                .map(|e| format!("{}: {}", e.name, e.ty))
-                .collect::<Vec<_>>()
-                .join(", ")
+            with_shared_store(|s| {
+                es.iter()
+                    .map(|e| format!("{}: {}", e.name, s.extract(e.ty)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
         }
     };
     format!("one branch leaves [{}], another [{}]", show(a), show(b))
@@ -244,10 +280,10 @@ mod tests {
         let mut ctx = Ctx::new();
         ctx.push_linear(sym("x"), Type::int());
         ctx.push_linear(sym("x"), Type::bool());
-        let t = ctx.use_var(sym("x")).unwrap();
-        assert_eq!(*t, Type::bool());
-        let t = ctx.use_var(sym("x")).unwrap();
-        assert_eq!(*t, Type::int());
+        let t = ctx.use_var_ty(sym("x")).unwrap();
+        assert_eq!(t, Type::bool());
+        let t = ctx.use_var_ty(sym("x")).unwrap();
+        assert_eq!(t, Type::int());
     }
 
     #[test]
@@ -275,5 +311,16 @@ mod tests {
         a.same_linear(&b).unwrap();
         b.use_var(sym("c"));
         assert!(a.same_linear(&b).is_err());
+    }
+
+    #[test]
+    fn same_linear_is_alpha_insensitive() {
+        use algst_core::kind::Kind;
+        // Entries interned to the same id despite different binder names.
+        let mut a = Ctx::new();
+        a.push_linear(sym("h"), Type::forall("x", Kind::Session, Type::var("x")));
+        let mut b = Ctx::new();
+        b.push_linear(sym("h"), Type::forall("y", Kind::Session, Type::var("y")));
+        a.same_linear(&b).unwrap();
     }
 }

@@ -13,8 +13,10 @@
 //! * saturate or η-expand data constructor applications.
 
 use crate::error::{CheckError, TypeError};
+use algst_core::equiv::with_shared_store;
 use algst_core::expr::{Arm, Builtin, Const, Expr};
 use algst_core::protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
+use algst_core::store::TypeId;
 use algst_core::subst::Subst;
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
@@ -140,7 +142,7 @@ pub fn elaborate(program: &Program) -> Result<Elaborated, CheckError> {
                 .get(&b.name)
                 .ok_or(TypeError::MissingSignature(b.name))?
                 .clone();
-            let expr = elaborate_binding(&resolver, &decls, &globals, &sig, b)?;
+            let expr = elaborate_binding(&mut resolver, &decls, &globals, &sig, b)?;
             defs.push((b.name, expr));
         }
     }
@@ -159,7 +161,10 @@ struct Resolver {
     protocol_names: HashSet<Symbol>,
     data_names: HashSet<Symbol>,
     alias_srcs: HashMap<Symbol, (Vec<Symbol>, SType)>,
-    alias_cache: HashMap<Symbol, (Vec<Symbol>, Type)>,
+    /// Resolved alias bodies, interned once into the shared type store;
+    /// each use then instantiates by id-level substitution (capture-free,
+    /// hash-consed) instead of re-walking the body tree.
+    alias_cache: HashMap<Symbol, (Vec<Symbol>, TypeId)>,
     visiting: HashSet<Symbol>,
 }
 
@@ -200,7 +205,10 @@ impl Resolver {
                                 found: rargs.len(),
                             });
                         }
-                        Subst::parallel(&params, &rargs).apply(&body)
+                        with_shared_store(|s| {
+                            let inst = Subst::parallel(&params, &rargs).apply_interned(s, body);
+                            s.extract(inst)
+                        })
                     }
                     _ => return Err(TypeError::UnknownTypeName(*name)),
                 }
@@ -208,7 +216,7 @@ impl Resolver {
         })
     }
 
-    fn resolve_alias(&mut self, name: Symbol) -> Result<(Vec<Symbol>, Type), TypeError> {
+    fn resolve_alias(&mut self, name: Symbol) -> Result<(Vec<Symbol>, TypeId), TypeError> {
         if let Some(hit) = self.alias_cache.get(&name) {
             return Ok(hit.clone());
         }
@@ -221,6 +229,7 @@ impl Resolver {
             .cloned()
             .expect("resolve_alias called for a known alias");
         let body = self.resolve(&body_src)?;
+        let body = with_shared_store(|s| s.intern(&body));
         self.visiting.remove(&name);
         let entry = (params, body);
         self.alias_cache.insert(name, entry.clone());
@@ -233,7 +242,7 @@ impl Resolver {
 /// Turns an equation `f p₁ … pₙ = e` with signature `T` into nested
 /// `Λ`/`λ` abstractions whose annotations are read off `T`.
 fn elaborate_binding(
-    resolver: &Resolver,
+    resolver: &mut Resolver,
     decls: &Declarations,
     globals: &HashSet<Symbol>,
     sig: &Type,
@@ -312,25 +321,15 @@ fn build_params(
 // ------------------------------------------------------ expression elabor.
 
 struct ExprElab<'r> {
-    resolver: &'r Resolver,
+    resolver: &'r mut Resolver,
     decls: &'r Declarations,
     globals: &'r HashSet<Symbol>,
     scope: Vec<Symbol>,
 }
 
 impl ExprElab<'_> {
-    fn resolve_ty(&self, t: &SType) -> Result<Type, TypeError> {
-        // Aliases were fully cached during declaration processing, so a
-        // shared reference suffices here; fall back to a fresh resolver
-        // view for robustness.
-        let mut r = Resolver {
-            protocol_names: self.resolver.protocol_names.clone(),
-            data_names: self.resolver.data_names.clone(),
-            alias_srcs: self.resolver.alias_srcs.clone(),
-            alias_cache: self.resolver.alias_cache.clone(),
-            visiting: HashSet::new(),
-        };
-        r.resolve(t)
+    fn resolve_ty(&mut self, t: &SType) -> Result<Type, TypeError> {
+        self.resolver.resolve(t)
     }
 
     fn elab(&mut self, e: &SExpr) -> Result<Expr, TypeError> {

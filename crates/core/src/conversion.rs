@@ -18,6 +18,7 @@
 use crate::kind::Kind;
 use crate::kindcheck::KindCtx;
 use crate::protocol::Declarations;
+use crate::store::{TypeId, TypeStore};
 use crate::symbol::Symbol;
 use crate::types::Type;
 use std::sync::Arc;
@@ -41,6 +42,25 @@ pub fn one_step_rewrites(
     let mut out = Vec::new();
     rewrites(&mut ctx, ty, expected, &mut out);
     out
+}
+
+/// Like [`one_step_rewrites`], but interning every variant into `store`
+/// on the way out. Useful when exploring the conversion relation
+/// iteratively (frontiers of rewrite-reachable types dedup to id sets,
+/// since hash-consing identifies α-equivalent variants), and for
+/// checking Theorem 1 at the id level: every variant must share the
+/// original's normal-form id.
+pub fn one_step_rewrites_interned(
+    store: &mut TypeStore,
+    decls: &Declarations,
+    vars: &[(Symbol, Kind)],
+    ty: &Type,
+    expected: Kind,
+) -> Vec<TypeId> {
+    one_step_rewrites(decls, vars, ty, expected)
+        .iter()
+        .map(|t| store.intern(t))
+        .collect()
 }
 
 fn rewrites(ctx: &mut KindCtx<'_>, ty: &Type, expected: Kind, out: &mut Vec<Type>) {
@@ -223,6 +243,25 @@ mod tests {
         assert!(!variants.is_empty());
         for v in &variants {
             assert!(equivalent(&t, v), "{t}  ≢  {v}");
+        }
+    }
+
+    #[test]
+    fn interned_rewrites_preserve_the_store_normal_form() {
+        // Theorem 1 at the id level: every one-step rewrite lands in the
+        // same normal-form id as the original.
+        let decls = sample_decls();
+        let mut store = TypeStore::new();
+        let t = Type::dual(Type::input(
+            Type::neg(Type::proto("ConvP", vec![Type::int()])),
+            Type::output(Type::int(), Type::EndOut),
+        ));
+        let t_id = store.intern(&t);
+        let n = store.nrm(t_id);
+        let variants = one_step_rewrites_interned(&mut store, &decls, &[], &t, Kind::Session);
+        assert!(!variants.is_empty());
+        for v in variants {
+            assert_eq!(store.nrm(v), n, "variant {:?} broke the normal form", v);
         }
     }
 

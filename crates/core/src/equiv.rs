@@ -1,12 +1,48 @@
 //! Algorithmic type equivalence (paper Theorems 1–3).
 //!
-//! `T ≡_A U` holds iff `nrm⁺(T) =α nrm⁺(U)`. Because [`nrm_pos`] visits
-//! every node once and α-comparison is a simultaneous traversal, the whole
-//! test runs in `O(|T| + |U|)` — this is the headline complexity result the
-//! paper benchmarks against FreeST in Figure 10.
+//! `T ≡_A U` holds iff `nrm⁺(T) =α nrm⁺(U)`. The test runs in
+//! `O(|T| + |U|)` — this is the headline complexity result the paper
+//! benchmarks against FreeST in Figure 10.
+//!
+//! Since the hash-consed [`TypeStore`](crate::store::TypeStore) landed,
+//! the functions here are thin wrappers over a **shared, thread-local
+//! store**: types are interned (α-canonical ids), normalization is
+//! memoized per id, and the final α-comparison is a single id equality.
+//! Repeated queries over the same (sub)types — the common case in a
+//! type-checking server — therefore amortize to table lookups; only the
+//! first contact with a type pays the linear traversal. Use
+//! [`with_shared_store`] to run id-level code against the same cache, or
+//! a private [`TypeStore`](crate::store::TypeStore) for full control.
 
-use crate::normalize::{nrm_neg, nrm_pos};
+use crate::normalize::resugar;
+use crate::store::TypeStore;
 use crate::types::Type;
+use std::cell::RefCell;
+
+thread_local! {
+    static SHARED_STORE: RefCell<TypeStore> = RefCell::new(TypeStore::new());
+}
+
+/// Runs `f` against this thread's shared [`TypeStore`] — the append-only
+/// cache behind [`equivalent`] and friends.
+///
+/// # Panics
+/// Panics if called re-entrantly from within another `with_shared_store`
+/// closure (the store is a single `RefCell`).
+pub fn with_shared_store<R>(f: impl FnOnce(&mut TypeStore) -> R) -> R {
+    SHARED_STORE.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Normalizes `t` through the shared store: `nrm⁺` with global
+/// memoization. Equivalent to [`crate::normalize::nrm_pos`] up to
+/// α-renaming, but repeated sub-spines normalize once per thread.
+pub fn nrm_shared(t: &Type) -> Type {
+    with_shared_store(|s| {
+        let id = s.intern(t);
+        let n = s.nrm(id);
+        s.extract(n)
+    })
+}
 
 /// Decides `T ≡_A U` by comparing positive normal forms up to α-renaming.
 ///
@@ -24,7 +60,11 @@ use crate::types::Type;
 /// assert!(equivalent(&lhs, &rhs));
 /// ```
 pub fn equivalent(t: &Type, u: &Type) -> bool {
-    nrm_pos(t).alpha_eq(&nrm_pos(u))
+    with_shared_store(|s| {
+        let a = s.intern(t);
+        let b = s.intern(u);
+        s.equivalent_ids(a, b)
+    })
 }
 
 /// Decides equivalence of the *duals* of two session types by comparing
@@ -32,19 +72,28 @@ pub fn equivalent(t: &Type, u: &Type) -> bool {
 /// `equivalent(&Type::dual(t), &Type::dual(u))` but without allocating the
 /// wrappers.
 pub fn equivalent_dual(t: &Type, u: &Type) -> bool {
-    nrm_neg(t).alpha_eq(&nrm_neg(u))
+    with_shared_store(|s| {
+        let a = s.intern(t);
+        let b = s.intern(u);
+        s.nrm_neg(a) == s.nrm_neg(b)
+    })
 }
 
-/// Normalizes and compares, also returning the normal forms (useful for
-/// error messages: "expected `S`, found `T`").
+/// Normalizes and compares; on mismatch returns the two normal forms
+/// **resugared for display** (reified `Dual α` pulled back out of the
+/// spine, fresh binders renamed — see [`crate::normalize::resugar`]), for
+/// error messages of the shape "expected `S`, found `T`".
 pub fn check_equivalent(t: &Type, u: &Type) -> Result<(), (Type, Type)> {
-    let nt = nrm_pos(t);
-    let nu = nrm_pos(u);
-    if nt.alpha_eq(&nu) {
-        Ok(())
-    } else {
-        Err((nt, nu))
-    }
+    with_shared_store(|s| {
+        let a = s.intern(t);
+        let b = s.intern(u);
+        let (na, nb) = (s.nrm(a), s.nrm(b));
+        if na == nb {
+            Ok(())
+        } else {
+            Err((resugar(&s.extract(na)), resugar(&s.extract(nb))))
+        }
+    })
 }
 
 #[cfg(test)]
@@ -119,5 +168,39 @@ mod tests {
         let (nt, nu) = check_equivalent(&t, &u).unwrap_err();
         assert_eq!(nt, Type::EndOut);
         assert_eq!(nu, Type::EndIn);
+    }
+
+    #[test]
+    fn check_equivalent_resugars_reified_duals() {
+        // The raw normal form of the left side is `?Int.!Bool.Dual s` —
+        // a reified `Dual s` the user never wrote. The error must show
+        // the resugared `Dual (!Int.?Bool.s)` instead.
+        let t = Type::dual(Type::output(
+            Type::int(),
+            Type::input(Type::bool(), Type::var("s")),
+        ));
+        let u = Type::input(Type::int(), Type::var("s"));
+        let (nt, nu) = check_equivalent(&t, &u).unwrap_err();
+        assert_eq!(nt.to_string(), "Dual (!Int.?Bool.s)");
+        assert_eq!(nu.to_string(), "?Int.s");
+        // Resugaring is display-only: both sides stay equivalent to the
+        // originals.
+        assert!(equivalent(&nt, &t));
+        assert!(equivalent(&nu, &u));
+    }
+
+    #[test]
+    fn shared_store_memoizes_across_calls() {
+        let t = Type::dual(Type::output(Type::int(), Type::var("warmS")));
+        let u = Type::input(Type::int(), Type::dual(Type::var("warmS")));
+        assert!(equivalent(&t, &u));
+        // A second query hits the memo: both sides are already recorded
+        // as normalized in the shared store.
+        with_shared_store(|s| {
+            let a = s.intern(&t);
+            let na = s.nrm(a);
+            assert!(s.is_normalized(na));
+        });
+        assert!(equivalent(&t, &u));
     }
 }

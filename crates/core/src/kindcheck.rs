@@ -6,6 +6,7 @@
 
 use crate::kind::Kind;
 use crate::protocol::Declarations;
+use crate::store::{TNode, TypeId, TypeStore};
 use crate::symbol::Symbol;
 use crate::types::Type;
 use std::fmt;
@@ -192,6 +193,118 @@ impl<'d> KindCtx<'d> {
             })
         }
     }
+
+    /// `Δ ⊢ T ⇒ κ` on an interned id: the same judgment as
+    /// [`KindCtx::synth`], but walking [`TNode`]s directly. Binder kinds
+    /// of the nameless `∀`s are tracked in a de-Bruijn stack; free
+    /// variables resolve through the named bindings of this context.
+    pub fn synth_id(&mut self, store: &TypeStore, id: TypeId) -> Result<Kind, KindError> {
+        let mut bound = Vec::new();
+        self.synth_id_under(store, id, &mut bound)
+    }
+
+    fn synth_id_under(
+        &mut self,
+        store: &TypeStore,
+        id: TypeId,
+        bound: &mut Vec<Kind>,
+    ) -> Result<Kind, KindError> {
+        match store.node(id) {
+            TNode::Unit | TNode::Base(_) => Ok(Kind::Value),
+            TNode::Arrow(a, b) | TNode::Pair(a, b) => {
+                self.check_id_under(store, *a, Kind::Value, bound)?;
+                self.check_id_under(store, *b, Kind::Value, bound)?;
+                Ok(Kind::Value)
+            }
+            TNode::Forall(k, body) => {
+                bound.push(*k);
+                let r = self.check_id_under(store, *body, Kind::Value, bound);
+                bound.pop();
+                r?;
+                Ok(Kind::Value)
+            }
+            TNode::Free(v) => self.lookup_var(*v).ok_or(KindError::UnboundVar(*v)),
+            TNode::Bound(i) => Ok(bound[bound.len() - 1 - *i as usize]),
+            TNode::In(p, s) | TNode::Out(p, s) => {
+                self.check_id_under(store, *p, Kind::Protocol, bound)?;
+                self.check_id_under(store, *s, Kind::Session, bound)?;
+                Ok(Kind::Session)
+            }
+            TNode::EndIn | TNode::EndOut => Ok(Kind::Session),
+            TNode::Dual(s) => {
+                self.check_id_under(store, *s, Kind::Session, bound)?;
+                Ok(Kind::Session)
+            }
+            TNode::Proto(name, args) => {
+                let decl = self
+                    .decls
+                    .protocol(*name)
+                    .ok_or(KindError::UnboundProtocol(*name))?;
+                if decl.params.len() != args.len() {
+                    return Err(KindError::ArityMismatch {
+                        name: *name,
+                        expected: decl.params.len(),
+                        found: args.len(),
+                    });
+                }
+                for &a in args {
+                    self.check_id_under(store, a, Kind::Protocol, bound)?;
+                }
+                Ok(Kind::Protocol)
+            }
+            TNode::Neg(t) => {
+                self.check_id_under(store, *t, Kind::Protocol, bound)?;
+                Ok(Kind::Protocol)
+            }
+            TNode::Data(name, args) => {
+                let decl = self
+                    .decls
+                    .data(*name)
+                    .ok_or(KindError::UnboundData(*name))?;
+                if decl.params.len() != args.len() {
+                    return Err(KindError::ArityMismatch {
+                        name: *name,
+                        expected: decl.params.len(),
+                        found: args.len(),
+                    });
+                }
+                for &a in args {
+                    self.check_id_under(store, a, Kind::Value, bound)?;
+                }
+                Ok(Kind::Value)
+            }
+        }
+    }
+
+    /// `Δ ⊢ T ⇐ κ` on an interned id (rule T-Sub).
+    pub fn check_id(
+        &mut self,
+        store: &TypeStore,
+        id: TypeId,
+        expected: Kind,
+    ) -> Result<(), KindError> {
+        let mut bound = Vec::new();
+        self.check_id_under(store, id, expected, &mut bound)
+    }
+
+    fn check_id_under(
+        &mut self,
+        store: &TypeStore,
+        id: TypeId,
+        expected: Kind,
+        bound: &mut Vec<Kind>,
+    ) -> Result<(), KindError> {
+        let found = self.synth_id_under(store, id, bound)?;
+        if found.is_subkind_of(expected) {
+            Ok(())
+        } else {
+            Err(KindError::NotSubkind {
+                ty: store.extract(id),
+                found,
+                expected,
+            })
+        }
+    }
 }
 
 #[cfg(test)]
@@ -296,6 +409,41 @@ mod tests {
         assert_eq!(ctx.synth(&t).unwrap(), Kind::Value);
         // Variable escapes its scope:
         assert!(ctx.synth(&Type::var("s")).is_err());
+    }
+
+    #[test]
+    fn id_level_kind_checking_agrees_with_trees() {
+        let d = decls_with_stream();
+        let mut ctx = KindCtx::new(&d);
+        let mut store = TypeStore::new();
+        let samples = [
+            Type::forall(
+                "s",
+                Kind::Session,
+                Type::output(Type::proto("StreamK", vec![Type::int()]), Type::var("s")),
+            ),
+            Type::neg(Type::int()),
+            Type::input(Type::arrow(Type::int(), Type::int()), Type::EndIn),
+        ];
+        for t in samples {
+            let id = store.intern(&t);
+            assert_eq!(
+                ctx.synth_id(&store, id).unwrap(),
+                ctx.synth(&t).unwrap(),
+                "kind mismatch on {t}"
+            );
+        }
+        // Errors agree too: Dual of a non-session, unbound names.
+        let bad = store.intern(&Type::dual(Type::int()));
+        assert!(matches!(
+            ctx.synth_id(&store, bad),
+            Err(KindError::NotSubkind { .. })
+        ));
+        let unbound = store.intern(&Type::var("loose"));
+        assert!(matches!(
+            ctx.synth_id(&store, unbound),
+            Err(KindError::UnboundVar(_))
+        ));
     }
 
     #[test]

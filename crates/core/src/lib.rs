@@ -16,8 +16,12 @@
 //! * [`normalize`] — the normalization functions `nrm⁺`/`nrm⁻`,
 //!   materialization `§(T).S` and the directional operators `±(T)`
 //!   (Fig. 3).
+//! * [`store`] — the hash-consed type store: `Type` interned to
+//!   [`store::TypeId`] with canonical (de-Bruijn) binders, memoized
+//!   normalization, and O(1) amortized equivalence.
 //! * [`equiv`] — **linear-time** type equivalence as α-comparison of normal
-//!   forms (Theorems 1–3).
+//!   forms (Theorems 1–3), backed by a shared [`store::TypeStore`] so
+//!   repeated queries amortize to id comparisons.
 //! * [`conversion`] — the declarative conversion relation (Fig. 2) as a
 //!   rewrite system, used for testing and benchmark-instance generation.
 //! * [`expr`] — core expressions, constants and processes (Section 4).
@@ -41,6 +45,7 @@ pub mod kind;
 pub mod kindcheck;
 pub mod normalize;
 pub mod protocol;
+pub mod store;
 pub mod subst;
 pub mod symbol;
 pub mod types;
@@ -49,5 +54,6 @@ pub use equiv::equivalent;
 pub use kind::Kind;
 pub use normalize::{nrm_neg, nrm_pos};
 pub use protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
+pub use store::{TNode, TypeId, TypeStore};
 pub use symbol::Symbol;
 pub use types::Type;

@@ -123,6 +123,76 @@ pub fn nrm_neg(t: &Type) -> Type {
     }
 }
 
+/// Resugars a normal form for *display in diagnostics*.
+///
+/// Normal forms are optimized for comparison, not for reading: a `Dual`
+/// written at the outside of a session type is pushed down the spine and
+/// reified as `Dual α` on the trailing variable, and capture-avoiding
+/// substitution can leave `%`-suffixed fresh binder names. Both confuse
+/// users who never wrote them. This function
+///
+/// * pulls a reified trailing `Dual α` back out: a spine `?T₁.!T₂.…Dual α`
+///   is shown as `Dual (!T₁.?T₂.…α)` (equivalent by C-DualInv and the
+///   C-Dual rules);
+/// * renames fresh `name%N` binders back to readable, capture-free names.
+///
+/// The result is always equivalent to the input; it is meant for error
+/// messages ([`crate::equiv::check_equivalent`]), never for comparison.
+pub fn resugar(t: &Type) -> Type {
+    if matches!(t, Type::In(..) | Type::Out(..)) {
+        if let Some(flipped) = unreify_dual_spine(t) {
+            return Type::dual(flipped);
+        }
+    }
+    match t {
+        Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut => t.clone(),
+        Type::Arrow(a, b) => Type::arrow(resugar(a), resugar(b)),
+        Type::Pair(a, b) => Type::pair(resugar(a), resugar(b)),
+        Type::Forall(v, k, body) => {
+            let body = resugar(body);
+            if v.as_str().contains('%') {
+                // A fresh binder from capture-avoiding substitution:
+                // restore the base name, or a readable variant of it.
+                let mut free = body.free_vars();
+                free.remove(v);
+                let mut candidate = crate::symbol::Symbol::intern(v.base_name());
+                let mut n = 0u32;
+                while free.contains(&candidate) {
+                    n += 1;
+                    candidate = crate::symbol::Symbol::intern(&format!("{}{n}", v.base_name()));
+                }
+                let renamed = crate::subst::subst_type(&body, *v, &Type::Var(candidate));
+                Type::forall(candidate, *k, renamed)
+            } else {
+                Type::forall(*v, *k, body)
+            }
+        }
+        Type::In(p, s) => Type::input(resugar(p), resugar(s)),
+        Type::Out(p, s) => Type::output(resugar(p), resugar(s)),
+        Type::Dual(s) => Type::dual(resugar(s)),
+        Type::Neg(p) => Type::neg(resugar(p)),
+        Type::Proto(name, args) => Type::Proto(*name, args.iter().map(resugar).collect()),
+        Type::Data(name, args) => Type::Data(*name, args.iter().map(resugar).collect()),
+    }
+}
+
+/// If the session spine `t` ends in a reified `Dual α`, returns the
+/// direction-flipped spine ending in plain `α` (so `Dual (flip)` ≡ `t`).
+fn unreify_dual_spine(t: &Type) -> Option<Type> {
+    match t {
+        Type::In(p, s) => {
+            let s = unreify_dual_spine(s)?;
+            Some(Type::output(resugar(p), s))
+        }
+        Type::Out(p, s) => {
+            let s = unreify_dual_spine(s)?;
+            Some(Type::input(resugar(p), s))
+        }
+        Type::Dual(inner) if matches!(**inner, Type::Var(_)) => Some((**inner).clone()),
+        _ => None,
+    }
+}
+
 /// True if `t` satisfies the normal-form grammar `Q` of Lemma 3.
 pub fn is_normal(t: &Type) -> bool {
     match t {
@@ -233,6 +303,51 @@ mod tests {
         // §(T U).S = §(T).§(U).S — first payload is the outermost message.
         let r = materialize_seq(vec![Type::int(), Type::neg(Type::bool())], Type::EndOut);
         assert_eq!(r.to_string(), "!Int.?Bool.End!");
+    }
+
+    #[test]
+    fn resugar_pulls_reified_dual_out_of_the_spine() {
+        // The user writes Dual (!Int.?Bool.s); the normal form reifies the
+        // dual on the trailing variable; diagnostics show the former.
+        let t = Type::dual(Type::output(
+            Type::int(),
+            Type::input(Type::bool(), Type::var("s")),
+        ));
+        let n = nrm_pos(&t);
+        assert_eq!(n.to_string(), "?Int.!Bool.Dual s");
+        let r = resugar(&n);
+        assert_eq!(r.to_string(), "Dual (!Int.?Bool.s)");
+        assert!(nrm_pos(&r).alpha_eq(&n), "resugaring must preserve ≡");
+    }
+
+    #[test]
+    fn resugar_keeps_end_terminated_spines() {
+        let n = nrm_pos(&Type::dual(Type::output(Type::int(), Type::EndOut)));
+        assert_eq!(resugar(&n).to_string(), n.to_string());
+    }
+
+    #[test]
+    fn resugar_renames_fresh_binders() {
+        use crate::symbol::Symbol;
+        let fresh = Symbol::fresh("s");
+        assert!(fresh.as_str().contains('%'));
+        let t = Type::Forall(
+            fresh,
+            crate::kind::Kind::Session,
+            std::sync::Arc::new(Type::arrow(Type::Var(fresh), Type::Var(fresh))),
+        );
+        let r = resugar(&t);
+        assert_eq!(r.to_string(), "forall (s:S). s -> s");
+        assert!(r.alpha_eq(&t));
+        // A colliding free `s` forces a variant name.
+        let u = Type::Forall(
+            fresh,
+            crate::kind::Kind::Session,
+            std::sync::Arc::new(Type::arrow(Type::Var(fresh), Type::var("s"))),
+        );
+        let ru = resugar(&u);
+        assert_eq!(ru.to_string(), "forall (s1:S). s1 -> s");
+        assert!(ru.alpha_eq(&u));
     }
 
     #[test]

@@ -1,0 +1,1010 @@
+//! A hash-consed type store: the `TypeId` interior representation.
+//!
+//! [`crate::types::Type`] is the *boundary* representation — what the
+//! parser produces and what error messages display. Everything on the
+//! equivalence hot path works on [`TypeId`]s instead: small indices into
+//! an append-only arena ([`TypeStore`]) in which every structurally
+//! distinct node exists **exactly once**.
+//!
+//! Two properties make ids powerful:
+//!
+//! 1. **Hash-consing** — [`TypeStore::mk`] deduplicates nodes, so
+//!    structural equality of whole types is `TypeId` equality and common
+//!    sub-spines are stored (and later normalized) once, globally.
+//! 2. **Canonical binders** — [`TypeStore::intern`] converts bound
+//!    variables to de-Bruijn indices ([`TNode::Bound`]) and drops binder
+//!    names, so *α-equivalent types intern to the same id*. α-comparison,
+//!    the inner loop of the paper's equivalence algorithm (Theorem 3), is
+//!    therefore a single integer comparison.
+//!
+//! On top of the arena the store memoizes the normalization functions of
+//! Fig. 3 per id ([`TypeStore::nrm`] / [`TypeStore::nrm_neg`], a
+//! `TypeId → TypeId` table), giving the amortized equivalence check
+//!
+//! ```text
+//! equivalent(T, U)  =  nrm(intern(T)) == nrm(intern(U))
+//! ```
+//!
+//! which is O(1) once each side has been normalized once — the common
+//! case in a type-checking server answering repeated queries.
+//!
+//! ## Memoization invariants
+//!
+//! * The arena is append-only; a `TypeId` is never invalidated.
+//! * `nrm` results are in the normal-form grammar `Q` of Lemma 3, and the
+//!   memo is *fixpoint-seeded*: after computing `nrm(t) = n` the store
+//!   also records `nrm(n) = n`, so `nrm` is idempotent by construction.
+//! * Both memo tables only relate ids of the same store.
+//!
+//! Conversion back to trees ([`TypeStore::extract`]) re-introduces
+//! binder names from first-intern hints where capture-free, falling back
+//! to canonical names (`a`, `b`, …, avoiding the free variables of the
+//! type), so `Type → TypeId → Type` round-trips up to α-equivalence and
+//! usually verbatim for display.
+
+use crate::kind::Kind;
+use crate::symbol::Symbol;
+use crate::types::{BaseType, Type};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned type: an index into a [`TypeStore`] arena.
+///
+/// Ids are only meaningful relative to the store that produced them.
+/// Equality of ids from the same store is α-equivalence of the
+/// underlying types (structural equality after binder canonicalization).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(u32);
+
+impl TypeId {
+    /// The arena index, e.g. for parallel side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One hash-consed node: the [`Type`] grammar with `TypeId` children and
+/// nameless binders.
+///
+/// The only shape difference from `Type` is the variable split: a
+/// variable is either [`TNode::Free`] (a named symbol, never captured)
+/// or [`TNode::Bound`] (a de-Bruijn index counting enclosing
+/// [`TNode::Forall`] binders, innermost = 0).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TNode {
+    Unit,
+    Base(BaseType),
+    Arrow(TypeId, TypeId),
+    Pair(TypeId, TypeId),
+    /// `∀:κ. T` — nameless; occurrences in the body are `Bound` indices.
+    Forall(Kind, TypeId),
+    /// A free type variable.
+    Free(Symbol),
+    /// A bound type variable, as a de-Bruijn index (innermost binder 0).
+    Bound(u32),
+    In(TypeId, TypeId),
+    Out(TypeId, TypeId),
+    EndIn,
+    EndOut,
+    Dual(TypeId),
+    Proto(Symbol, Vec<TypeId>),
+    Neg(TypeId),
+    Data(Symbol, Vec<TypeId>),
+}
+
+/// The append-only hash-consing arena plus the normalization memo tables.
+#[derive(Default)]
+pub struct TypeStore {
+    nodes: Vec<TNode>,
+    ids: HashMap<TNode, TypeId>,
+    /// Per-node: how many enclosing binders the subtree needs
+    /// (`1 + max escaping de-Bruijn index`; 0 = closed under binders).
+    /// Lets substitution skip subtrees that cannot mention the target.
+    needs_binders: Vec<u32>,
+    /// Memo: `nrm⁺` per id.
+    memo_pos: Vec<Option<TypeId>>,
+    /// Memo: `nrm⁻` per id.
+    memo_neg: Vec<Option<TypeId>>,
+    /// Display-name hints for `Forall` ids: the binder name the type was
+    /// *first* interned with. Hints never affect identity — α-equivalent
+    /// types still share an id — only how [`TypeStore::extract`] renders
+    /// binders back.
+    binder_hints: HashMap<TypeId, Symbol>,
+    /// Memo for [`TypeStore::extract_cached`]: whole-tree extraction per
+    /// id. Entries share subtrees via [`Arc`], so a hit is a cheap
+    /// top-node clone.
+    extract_memo: HashMap<TypeId, Type>,
+}
+
+impl fmt::Debug for TypeStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TypeStore")
+            .field("nodes", &self.nodes.len())
+            .field(
+                "normalized",
+                &self.memo_pos.iter().filter(|m| m.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+impl TypeStore {
+    pub fn new() -> TypeStore {
+        TypeStore::default()
+    }
+
+    /// Number of distinct nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind `id`.
+    pub fn node(&self, id: TypeId) -> &TNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Hash-conses `node`: returns the existing id when an equal node was
+    /// interned before, otherwise appends it.
+    pub fn mk(&mut self, node: TNode) -> TypeId {
+        if let Some(&id) = self.ids.get(&node) {
+            return id;
+        }
+        let needs = self.compute_needs(&node);
+        let id = TypeId(u32::try_from(self.nodes.len()).expect("type store overflow"));
+        self.nodes.push(node.clone());
+        self.ids.insert(node, id);
+        self.needs_binders.push(needs);
+        self.memo_pos.push(None);
+        self.memo_neg.push(None);
+        id
+    }
+
+    fn compute_needs(&self, node: &TNode) -> u32 {
+        let of = |id: &TypeId| self.needs_binders[id.index()];
+        match node {
+            TNode::Unit | TNode::Base(_) | TNode::Free(_) | TNode::EndIn | TNode::EndOut => 0,
+            TNode::Bound(i) => i + 1,
+            TNode::Arrow(a, b) | TNode::Pair(a, b) | TNode::In(a, b) | TNode::Out(a, b) => {
+                of(a).max(of(b))
+            }
+            TNode::Forall(_, body) => of(body).saturating_sub(1),
+            TNode::Dual(t) | TNode::Neg(t) => of(t),
+            TNode::Proto(_, args) | TNode::Data(_, args) => args.iter().map(of).max().unwrap_or(0),
+        }
+    }
+
+    /// True when the subtree mentions no de-Bruijn index escaping it
+    /// (every interned top-level type satisfies this).
+    pub fn is_binder_closed(&self, id: TypeId) -> bool {
+        self.needs_binders[id.index()] == 0
+    }
+
+    // ------------------------------------------------------------ interning
+
+    /// Interns a boundary [`Type`], canonicalizing binders to de-Bruijn
+    /// indices so that α-equivalent trees produce the same id.
+    pub fn intern(&mut self, t: &Type) -> TypeId {
+        let mut binders = Vec::new();
+        self.intern_under(t, &mut binders)
+    }
+
+    fn intern_under(&mut self, t: &Type, binders: &mut Vec<Symbol>) -> TypeId {
+        let node = match t {
+            Type::Unit => TNode::Unit,
+            Type::Base(b) => TNode::Base(*b),
+            Type::Var(v) => match binders.iter().rposition(|b| b == v) {
+                Some(ix) => TNode::Bound((binders.len() - 1 - ix) as u32),
+                None => TNode::Free(*v),
+            },
+            Type::Arrow(a, b) => {
+                let a = self.intern_under(a, binders);
+                let b = self.intern_under(b, binders);
+                TNode::Arrow(a, b)
+            }
+            Type::Pair(a, b) => {
+                let a = self.intern_under(a, binders);
+                let b = self.intern_under(b, binders);
+                TNode::Pair(a, b)
+            }
+            Type::Forall(v, k, body) => {
+                binders.push(*v);
+                let b = self.intern_under(body, binders);
+                binders.pop();
+                let id = self.mk(TNode::Forall(*k, b));
+                // Remember the first-seen binder name for extraction
+                // (best-effort, display-only). Fresh `%`-suffixed names
+                // from capture-avoiding substitution are not worth
+                // remembering. A cached extraction of this exact id made
+                // before the hint existed is dropped; enclosing cached
+                // trees keep their canonical names.
+                if !v.as_str().contains('%') && !self.binder_hints.contains_key(&id) {
+                    self.binder_hints.insert(id, *v);
+                    self.extract_memo.remove(&id);
+                }
+                return id;
+            }
+            Type::In(p, s) => {
+                let p = self.intern_under(p, binders);
+                let s = self.intern_under(s, binders);
+                TNode::In(p, s)
+            }
+            Type::Out(p, s) => {
+                let p = self.intern_under(p, binders);
+                let s = self.intern_under(s, binders);
+                TNode::Out(p, s)
+            }
+            Type::EndIn => TNode::EndIn,
+            Type::EndOut => TNode::EndOut,
+            Type::Dual(s) => {
+                let s = self.intern_under(s, binders);
+                TNode::Dual(s)
+            }
+            Type::Neg(p) => {
+                let p = self.intern_under(p, binders);
+                TNode::Neg(p)
+            }
+            Type::Proto(name, args) => {
+                let args = args.iter().map(|a| self.intern_under(a, binders)).collect();
+                TNode::Proto(*name, args)
+            }
+            Type::Data(name, args) => {
+                let args = args.iter().map(|a| self.intern_under(a, binders)).collect();
+                TNode::Data(*name, args)
+            }
+        };
+        self.mk(node)
+    }
+
+    // ----------------------------------------------------------- extraction
+
+    /// Converts an id back to a boundary [`Type`]. Binders are named
+    /// from the hint recorded at intern time (the name the type was
+    /// first written with) when that cannot capture, falling back to
+    /// canonical names (`a`, `b`, …) that avoid the free variables of
+    /// the type. The round trip `extract ∘ intern` is the identity up to
+    /// α-equivalence (and `intern ∘ extract` is the identity on ids).
+    pub fn extract(&self, id: TypeId) -> Type {
+        let mut free = HashSet::new();
+        let mut seen = HashSet::new();
+        self.collect_free(id, &mut seen, &mut free);
+        let mut binders: Vec<Symbol> = Vec::new();
+        let mut next = 0usize;
+        self.extract_under(id, &mut binders, &mut next, &free)
+    }
+
+    /// [`TypeStore::extract`] with a per-id memo: repeated extraction of
+    /// the same id (e.g. every context lookup of a global's signature)
+    /// costs one map hit and a shallow clone — extracted trees share
+    /// subterms via [`Arc`].
+    pub fn extract_cached(&mut self, id: TypeId) -> Type {
+        if let Some(t) = self.extract_memo.get(&id) {
+            return t.clone();
+        }
+        let t = self.extract(id);
+        self.extract_memo.insert(id, t.clone());
+        t
+    }
+
+    fn collect_free(&self, id: TypeId, seen: &mut HashSet<TypeId>, acc: &mut HashSet<Symbol>) {
+        if !seen.insert(id) {
+            return;
+        }
+        match self.node(id) {
+            TNode::Free(v) => {
+                acc.insert(*v);
+            }
+            TNode::Unit | TNode::Base(_) | TNode::Bound(_) | TNode::EndIn | TNode::EndOut => {}
+            TNode::Arrow(a, b) | TNode::Pair(a, b) | TNode::In(a, b) | TNode::Out(a, b) => {
+                self.collect_free(*a, seen, acc);
+                self.collect_free(*b, seen, acc);
+            }
+            TNode::Forall(_, body) => self.collect_free(*body, seen, acc),
+            TNode::Dual(t) | TNode::Neg(t) => self.collect_free(*t, seen, acc),
+            TNode::Proto(_, args) | TNode::Data(_, args) => {
+                for a in args {
+                    self.collect_free(*a, seen, acc);
+                }
+            }
+        }
+    }
+
+    fn extract_under(
+        &self,
+        id: TypeId,
+        binders: &mut Vec<Symbol>,
+        next: &mut usize,
+        free: &HashSet<Symbol>,
+    ) -> Type {
+        match self.node(id) {
+            TNode::Unit => Type::Unit,
+            TNode::Base(b) => Type::Base(*b),
+            TNode::Free(v) => Type::Var(*v),
+            TNode::Bound(i) => {
+                let ix = binders
+                    .len()
+                    .checked_sub(1 + *i as usize)
+                    .expect("dangling de-Bruijn index");
+                Type::Var(binders[ix])
+            }
+            TNode::Arrow(a, b) => Type::Arrow(
+                Arc::new(self.extract_under(*a, binders, next, free)),
+                Arc::new(self.extract_under(*b, binders, next, free)),
+            ),
+            TNode::Pair(a, b) => Type::Pair(
+                Arc::new(self.extract_under(*a, binders, next, free)),
+                Arc::new(self.extract_under(*b, binders, next, free)),
+            ),
+            TNode::Forall(k, body) => {
+                // Prefer the name the binder was first interned with; it
+                // must not shadow an in-scope binder (an inner Bound
+                // could silently re-bind) nor collide with a free
+                // variable of the whole type.
+                let hint = self
+                    .binder_hints
+                    .get(&id)
+                    .copied()
+                    .filter(|h| !free.contains(h) && !binders.contains(h));
+                let name = hint.unwrap_or_else(|| canonical_binder(next, binders, free));
+                binders.push(name);
+                let b = self.extract_under(*body, binders, next, free);
+                binders.pop();
+                Type::Forall(name, *k, Arc::new(b))
+            }
+            TNode::In(p, s) => Type::In(
+                Arc::new(self.extract_under(*p, binders, next, free)),
+                Arc::new(self.extract_under(*s, binders, next, free)),
+            ),
+            TNode::Out(p, s) => Type::Out(
+                Arc::new(self.extract_under(*p, binders, next, free)),
+                Arc::new(self.extract_under(*s, binders, next, free)),
+            ),
+            TNode::EndIn => Type::EndIn,
+            TNode::EndOut => Type::EndOut,
+            TNode::Dual(s) => Type::Dual(Arc::new(self.extract_under(*s, binders, next, free))),
+            TNode::Neg(p) => Type::Neg(Arc::new(self.extract_under(*p, binders, next, free))),
+            TNode::Proto(name, args) => Type::Proto(
+                *name,
+                args.iter()
+                    .map(|a| self.extract_under(*a, binders, next, free))
+                    .collect(),
+            ),
+            TNode::Data(name, args) => Type::Data(
+                *name,
+                args.iter()
+                    .map(|a| self.extract_under(*a, binders, next, free))
+                    .collect(),
+            ),
+        }
+    }
+
+    // -------------------------------------------------------- normalization
+
+    /// Memoized `nrm⁺` (Fig. 3) at the id level. The first call per id
+    /// walks the sub-DAG; later calls are a table lookup. Sub-structural
+    /// sharing means a sub-spine occurring under many roots is normalized
+    /// once, globally.
+    pub fn nrm(&mut self, id: TypeId) -> TypeId {
+        if let Some(n) = self.memo_pos[id.index()] {
+            return n;
+        }
+        let n = match self.node(id).clone() {
+            TNode::Unit
+            | TNode::Base(_)
+            | TNode::Free(_)
+            | TNode::Bound(_)
+            | TNode::EndIn
+            | TNode::EndOut => id,
+            TNode::Arrow(a, b) => {
+                let (a, b) = (self.nrm(a), self.nrm(b));
+                self.mk(TNode::Arrow(a, b))
+            }
+            TNode::Pair(a, b) => {
+                let (a, b) = (self.nrm(a), self.nrm(b));
+                self.mk(TNode::Pair(a, b))
+            }
+            TNode::Forall(k, body) => {
+                let body = self.nrm(body);
+                self.mk(TNode::Forall(k, body))
+            }
+            // nrm⁺(?T.S) = §(−(nrm⁺ T)).nrm⁺ S
+            TNode::In(p, s) => {
+                let p = self.nrm(p);
+                let p = self.dir_neg(p);
+                let s = self.nrm(s);
+                self.materialize(p, s)
+            }
+            // nrm⁺(!T.S) = §(+(nrm⁺ T)).nrm⁺ S
+            TNode::Out(p, s) => {
+                let p = self.nrm(p);
+                let p = self.dir_pos(p);
+                let s = self.nrm(s);
+                self.materialize(p, s)
+            }
+            TNode::Dual(s) => self.nrm_neg(s),
+            TNode::Proto(name, args) => {
+                let args = args.into_iter().map(|a| self.nrm(a)).collect();
+                self.mk(TNode::Proto(name, args))
+            }
+            TNode::Data(name, args) => {
+                let args = args.into_iter().map(|a| self.nrm(a)).collect();
+                self.mk(TNode::Data(name, args))
+            }
+            // nrm⁺(−T) = −(nrm⁺ T)
+            TNode::Neg(inner) => {
+                let inner = self.nrm(inner);
+                self.dir_neg(inner)
+            }
+        };
+        self.memo_pos[id.index()] = Some(n);
+        // Fixpoint seeding: the result is a normal form, so nrm(n) = n.
+        self.memo_pos[n.index()] = Some(n);
+        n
+    }
+
+    /// Memoized `nrm⁻` (Fig. 3): normalization under a pending `Dual`.
+    /// `nrm_neg(t) == nrm(Dual t)` for every id.
+    pub fn nrm_neg(&mut self, id: TypeId) -> TypeId {
+        if let Some(n) = self.memo_neg[id.index()] {
+            return n;
+        }
+        let n = match self.node(id).clone() {
+            TNode::Dual(s) => self.nrm(s),
+            // Reify the pending dual on a variable at the end of a spine.
+            TNode::Free(_) | TNode::Bound(_) => self.mk(TNode::Dual(id)),
+            // nrm⁻(?T.S) = §(+(nrm⁺ T)).nrm⁻ S
+            TNode::In(p, s) => {
+                let p = self.nrm(p);
+                let p = self.dir_pos(p);
+                let s = self.nrm_neg(s);
+                self.materialize(p, s)
+            }
+            // nrm⁻(!T.S) = §(−(nrm⁺ T)).nrm⁻ S
+            TNode::Out(p, s) => {
+                let p = self.nrm(p);
+                let p = self.dir_neg(p);
+                let s = self.nrm_neg(s);
+                self.materialize(p, s)
+            }
+            TNode::EndIn => self.mk(TNode::EndOut),
+            TNode::EndOut => self.mk(TNode::EndIn),
+            // Non-session constructors: reify the dual on the positive
+            // normal form (ill-kinded; rejected by kind checking anyway).
+            _ => {
+                let n = self.nrm(id);
+                self.mk(TNode::Dual(n))
+            }
+        };
+        self.memo_neg[id.index()] = Some(n);
+        n
+    }
+
+    /// The directional operator `−(T)`: `−(−T) = +(T)`, else wrap in `−`.
+    pub fn dir_neg(&mut self, id: TypeId) -> TypeId {
+        match *self.node(id) {
+            TNode::Neg(inner) => self.dir_pos(inner),
+            _ => self.mk(TNode::Neg(id)),
+        }
+    }
+
+    /// The directional operator `+(T)`: `+(−T) = −(T)`, else identity.
+    pub fn dir_pos(&mut self, id: TypeId) -> TypeId {
+        match *self.node(id) {
+            TNode::Neg(inner) => self.dir_neg(inner),
+            _ => id,
+        }
+    }
+
+    /// Materialization `§(T).S`: `§(−T).U = ?T.U`, `§(T).U = !T.U`.
+    pub fn materialize(&mut self, payload: TypeId, cont: TypeId) -> TypeId {
+        match *self.node(payload) {
+            TNode::Neg(inner) => self.mk(TNode::In(inner, cont)),
+            _ => self.mk(TNode::Out(payload, cont)),
+        }
+    }
+
+    // ---------------------------------------------------------- equivalence
+
+    /// Decides `T ≡_A U` (Theorems 1–3) as id equality of memoized normal
+    /// forms. O(|T| + |U|) on first contact per side, O(1) afterwards.
+    pub fn equivalent_ids(&mut self, a: TypeId, b: TypeId) -> bool {
+        self.nrm(a) == self.nrm(b)
+    }
+
+    /// True when `id` is already recorded as its own normal form — in
+    /// that case [`TypeStore::equivalent_ids`] on it is a pure table
+    /// lookup and comparison, with no traversal or allocation.
+    pub fn is_normalized(&self, id: TypeId) -> bool {
+        self.memo_pos[id.index()] == Some(id)
+    }
+
+    // --------------------------------------------------------- substitution
+
+    /// Simultaneous substitution of ids for *free* variables.
+    ///
+    /// Because binders are nameless, capture is impossible: free
+    /// variables of the range stay [`TNode::Free`] no matter how many
+    /// binders they are spliced under, and `Bound` indices travel with
+    /// their own subtree. No renaming, no shifting.
+    pub fn subst_free(&mut self, id: TypeId, map: &HashMap<Symbol, TypeId>) -> TypeId {
+        if map.is_empty() {
+            return id;
+        }
+        let mut memo = HashMap::new();
+        self.subst_free_rec(id, map, &mut memo)
+    }
+
+    fn subst_free_rec(
+        &mut self,
+        id: TypeId,
+        map: &HashMap<Symbol, TypeId>,
+        memo: &mut HashMap<TypeId, TypeId>,
+    ) -> TypeId {
+        if let Some(&r) = memo.get(&id) {
+            return r;
+        }
+        let r = match self.node(id).clone() {
+            TNode::Free(v) => map.get(&v).copied().unwrap_or(id),
+            TNode::Unit | TNode::Base(_) | TNode::Bound(_) | TNode::EndIn | TNode::EndOut => id,
+            TNode::Arrow(a, b) => {
+                let a = self.subst_free_rec(a, map, memo);
+                let b = self.subst_free_rec(b, map, memo);
+                self.mk(TNode::Arrow(a, b))
+            }
+            TNode::Pair(a, b) => {
+                let a = self.subst_free_rec(a, map, memo);
+                let b = self.subst_free_rec(b, map, memo);
+                self.mk(TNode::Pair(a, b))
+            }
+            TNode::Forall(k, body) => {
+                let body = self.subst_free_rec(body, map, memo);
+                self.mk(TNode::Forall(k, body))
+            }
+            TNode::In(p, s) => {
+                let p = self.subst_free_rec(p, map, memo);
+                let s = self.subst_free_rec(s, map, memo);
+                self.mk(TNode::In(p, s))
+            }
+            TNode::Out(p, s) => {
+                let p = self.subst_free_rec(p, map, memo);
+                let s = self.subst_free_rec(s, map, memo);
+                self.mk(TNode::Out(p, s))
+            }
+            TNode::Dual(s) => {
+                let s = self.subst_free_rec(s, map, memo);
+                self.mk(TNode::Dual(s))
+            }
+            TNode::Neg(p) => {
+                let p = self.subst_free_rec(p, map, memo);
+                self.mk(TNode::Neg(p))
+            }
+            TNode::Proto(name, args) => {
+                let args = args
+                    .into_iter()
+                    .map(|a| self.subst_free_rec(a, map, memo))
+                    .collect();
+                self.mk(TNode::Proto(name, args))
+            }
+            TNode::Data(name, args) => {
+                let args = args
+                    .into_iter()
+                    .map(|a| self.subst_free_rec(a, map, memo))
+                    .collect();
+                self.mk(TNode::Data(name, args))
+            }
+        };
+        memo.insert(id, r);
+        r
+    }
+
+    /// β-instantiation of a `∀` id: replaces the bound variable of the
+    /// outermost binder of `forall_id` with `arg` in its body. Returns
+    /// `None` when `forall_id` is not a `Forall` node.
+    ///
+    /// `arg` must be binder-closed (every interned top-level type is).
+    pub fn instantiate(&mut self, forall_id: TypeId, arg: TypeId) -> Option<TypeId> {
+        let TNode::Forall(_, body) = *self.node(forall_id) else {
+            return None;
+        };
+        debug_assert!(self.is_binder_closed(arg), "open argument to instantiate");
+        let mut memo = HashMap::new();
+        Some(self.replace_bound(body, 0, arg, &mut memo))
+    }
+
+    fn replace_bound(
+        &mut self,
+        id: TypeId,
+        depth: u32,
+        arg: TypeId,
+        memo: &mut HashMap<(TypeId, u32), TypeId>,
+    ) -> TypeId {
+        // A subtree that cannot reach the target binder is unchanged —
+        // this also makes the memo sound for subtrees shared at several
+        // depths (they are all in this closed class or keyed by depth).
+        if self.needs_binders[id.index()] <= depth {
+            return id;
+        }
+        if let Some(&r) = memo.get(&(id, depth)) {
+            return r;
+        }
+        let r = match self.node(id).clone() {
+            TNode::Bound(i) if i == depth => arg,
+            // An index above the eliminated binder steps down by one.
+            TNode::Bound(i) if i > depth => self.mk(TNode::Bound(i - 1)),
+            TNode::Bound(_) => id,
+            TNode::Forall(k, body) => {
+                let body = self.replace_bound(body, depth + 1, arg, memo);
+                self.mk(TNode::Forall(k, body))
+            }
+            TNode::Arrow(a, b) => {
+                let a = self.replace_bound(a, depth, arg, memo);
+                let b = self.replace_bound(b, depth, arg, memo);
+                self.mk(TNode::Arrow(a, b))
+            }
+            TNode::Pair(a, b) => {
+                let a = self.replace_bound(a, depth, arg, memo);
+                let b = self.replace_bound(b, depth, arg, memo);
+                self.mk(TNode::Pair(a, b))
+            }
+            TNode::In(p, s) => {
+                let p = self.replace_bound(p, depth, arg, memo);
+                let s = self.replace_bound(s, depth, arg, memo);
+                self.mk(TNode::In(p, s))
+            }
+            TNode::Out(p, s) => {
+                let p = self.replace_bound(p, depth, arg, memo);
+                let s = self.replace_bound(s, depth, arg, memo);
+                self.mk(TNode::Out(p, s))
+            }
+            TNode::Dual(s) => {
+                let s = self.replace_bound(s, depth, arg, memo);
+                self.mk(TNode::Dual(s))
+            }
+            TNode::Neg(p) => {
+                let p = self.replace_bound(p, depth, arg, memo);
+                self.mk(TNode::Neg(p))
+            }
+            TNode::Proto(name, args) => {
+                let args = args
+                    .into_iter()
+                    .map(|a| self.replace_bound(a, depth, arg, memo))
+                    .collect();
+                self.mk(TNode::Proto(name, args))
+            }
+            TNode::Data(name, args) => {
+                let args = args
+                    .into_iter()
+                    .map(|a| self.replace_bound(a, depth, arg, memo))
+                    .collect();
+                self.mk(TNode::Data(name, args))
+            }
+            TNode::Unit | TNode::Base(_) | TNode::Free(_) | TNode::EndIn | TNode::EndOut => {
+                unreachable!("leaf nodes need no binders")
+            }
+        };
+        memo.insert((id, depth), r);
+        r
+    }
+
+    // -------------------------------------------------------------- queries
+
+    /// Tree-node count of the type behind `id` (the Figure-10 x-axis
+    /// measure). DAG-aware: shared subtrees are counted per occurrence
+    /// but visited once.
+    pub fn node_count(&self, id: TypeId) -> u64 {
+        let mut memo: HashMap<TypeId, u64> = HashMap::new();
+        self.node_count_rec(id, &mut memo)
+    }
+
+    fn node_count_rec(&self, id: TypeId, memo: &mut HashMap<TypeId, u64>) -> u64 {
+        if let Some(&n) = memo.get(&id) {
+            return n;
+        }
+        let n = match self.node(id) {
+            TNode::Unit
+            | TNode::Base(_)
+            | TNode::Free(_)
+            | TNode::Bound(_)
+            | TNode::EndIn
+            | TNode::EndOut => 1,
+            TNode::Arrow(a, b) | TNode::Pair(a, b) | TNode::In(a, b) | TNode::Out(a, b) => {
+                let (a, b) = (*a, *b);
+                1 + self.node_count_rec(a, memo) + self.node_count_rec(b, memo)
+            }
+            TNode::Forall(_, t) | TNode::Dual(t) | TNode::Neg(t) => {
+                let t = *t;
+                1 + self.node_count_rec(t, memo)
+            }
+            TNode::Proto(_, args) | TNode::Data(_, args) => {
+                let args = args.clone();
+                1 + args
+                    .iter()
+                    .map(|a| self.node_count_rec(*a, memo))
+                    .sum::<u64>()
+            }
+        };
+        memo.insert(id, n);
+        n
+    }
+}
+
+/// Canonical binder names for extraction: `a`, `b`, …, `z`, `a1`, `b1`, …
+/// skipping names that occur free in the type being extracted or are
+/// already bound in the enclosing scope (hinted names included).
+fn canonical_binder(next: &mut usize, binders: &[Symbol], free: &HashSet<Symbol>) -> Symbol {
+    loop {
+        let i = *next;
+        *next += 1;
+        let letter = (b'a' + (i % 26) as u8) as char;
+        let name = if i < 26 {
+            letter.to_string()
+        } else {
+            format!("{letter}{}", i / 26)
+        };
+        let sym = Symbol::intern(&name);
+        if !free.contains(&sym) && !binders.contains(&sym) {
+            return sym;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::nrm_pos;
+
+    #[test]
+    fn hash_consing_dedupes() {
+        let mut s = TypeStore::new();
+        let a = s.intern(&Type::output(Type::int(), Type::EndOut));
+        let b = s.intern(&Type::output(Type::int(), Type::EndOut));
+        assert_eq!(a, b);
+        // Shared subterms too: exactly Int, End!, and the Out node.
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn alpha_equivalent_types_share_an_id() {
+        let mut s = TypeStore::new();
+        let t = Type::forall("x", Kind::Session, Type::var("x"));
+        let u = Type::forall("y", Kind::Session, Type::var("y"));
+        assert_eq!(s.intern(&t), s.intern(&u));
+        // ...but a free occurrence is different from a bound one.
+        let v = Type::forall("x", Kind::Session, Type::var("z"));
+        assert_ne!(s.intern(&t), s.intern(&v));
+    }
+
+    #[test]
+    fn shadowing_respected() {
+        let mut s = TypeStore::new();
+        // ∀a.∀a.a  =α  ∀b.∀c.c   but  ≠α  ∀a.∀b.a
+        let t = Type::forall(
+            "a",
+            Kind::Session,
+            Type::forall("a", Kind::Session, Type::var("a")),
+        );
+        let u = Type::forall(
+            "b",
+            Kind::Session,
+            Type::forall("c", Kind::Session, Type::var("c")),
+        );
+        let v = Type::forall(
+            "a",
+            Kind::Session,
+            Type::forall("b", Kind::Session, Type::var("a")),
+        );
+        assert_eq!(s.intern(&t), s.intern(&u));
+        assert_ne!(s.intern(&t), s.intern(&v));
+    }
+
+    #[test]
+    fn extract_round_trips_alpha_equivalently() {
+        let mut s = TypeStore::new();
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::arrow(
+                Type::input(Type::neg(Type::int()), Type::var("s")),
+                Type::dual(Type::var("s")),
+            ),
+        );
+        let id = s.intern(&t);
+        let back = s.extract(id);
+        assert!(t.alpha_eq(&back), "{t}  vs  {back}");
+        assert_eq!(s.intern(&back), id);
+    }
+
+    #[test]
+    fn extraction_avoids_capturing_free_vars() {
+        let mut s = TypeStore::new();
+        // ∀x. x ⊗ a  — the canonical binder must not be named `a`.
+        let t = Type::forall("x", Kind::Value, Type::pair(Type::var("x"), Type::var("a")));
+        let id = s.intern(&t);
+        let back = s.extract(id);
+        assert!(t.alpha_eq(&back), "{t}  vs  {back}");
+    }
+
+    #[test]
+    fn extraction_prefers_the_written_binder_name() {
+        let mut s = TypeStore::new();
+        let t = Type::forall(
+            "sess",
+            Kind::Session,
+            Type::arrow(Type::var("sess"), Type::var("sess")),
+        );
+        let id = s.intern(&t);
+        assert_eq!(s.extract(id).to_string(), "forall (sess:S). sess -> sess");
+        // The hint is first-intern-wins: an α-equal type written with a
+        // different name shares the id, hence the display name.
+        let u = Type::forall(
+            "other",
+            Kind::Session,
+            Type::arrow(Type::var("other"), Type::var("other")),
+        );
+        assert_eq!(s.intern(&u), id);
+        assert_eq!(s.extract(id).to_string(), "forall (sess:S). sess -> sess");
+        // A hint that would capture a free variable is dropped.
+        let v = Type::forall(
+            "fv",
+            Kind::Value,
+            Type::pair(Type::var("fv"), Type::var("x")),
+        );
+        let w = Type::forall(
+            "x",
+            Kind::Value,
+            Type::pair(Type::var("x"), Type::var("x2")),
+        );
+        let vid = s.intern(&v);
+        let back = s.extract(vid);
+        assert!(v.alpha_eq(&back));
+        let wid = s.intern(&w);
+        let back = s.extract(wid);
+        assert!(w.alpha_eq(&back), "{w} vs {back}");
+    }
+
+    #[test]
+    fn extract_cached_returns_the_same_tree() {
+        let mut s = TypeStore::new();
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::output(Type::int(), Type::var("s")),
+        );
+        let id = s.intern(&t);
+        let a = s.extract_cached(id);
+        let b = s.extract_cached(id);
+        assert_eq!(a, b);
+        assert!(a.alpha_eq(&t));
+    }
+
+    #[test]
+    fn store_nrm_agrees_with_tree_nrm() {
+        let samples = vec![
+            Type::dual(Type::input(Type::neg(Type::int()), Type::var("a"))),
+            Type::dual(Type::dual(Type::output(Type::int(), Type::EndIn))),
+            Type::proto("PQ", vec![Type::neg(Type::neg(Type::neg(Type::int())))]),
+            Type::forall(
+                "s",
+                Kind::Session,
+                Type::arrow(
+                    Type::dual(Type::output(Type::int(), Type::var("s"))),
+                    Type::var("s"),
+                ),
+            ),
+        ];
+        let mut s = TypeStore::new();
+        for t in samples {
+            let via_store = s.intern(&t);
+            let via_store = s.nrm(via_store);
+            let via_tree = s.intern(&nrm_pos(&t));
+            assert_eq!(via_store, via_tree, "mismatch on {t}");
+        }
+    }
+
+    #[test]
+    fn nrm_is_a_fixpoint_by_construction() {
+        let mut s = TypeStore::new();
+        let t = Type::dual(Type::input(Type::neg(Type::int()), Type::var("a")));
+        let id = s.intern(&t);
+        let n = s.nrm(id);
+        assert_eq!(s.nrm(n), n);
+        assert!(s.is_normalized(n));
+    }
+
+    #[test]
+    fn equivalence_is_id_equality_of_normal_forms() {
+        let mut s = TypeStore::new();
+        let t = s.intern(&Type::dual(Type::input(Type::int(), Type::EndIn)));
+        let u = s.intern(&Type::output(Type::int(), Type::dual(Type::EndIn)));
+        assert!(s.equivalent_ids(t, u));
+        let v = s.intern(&Type::output(Type::bool(), Type::EndOut));
+        assert!(!s.equivalent_ids(t, v));
+    }
+
+    #[test]
+    fn subst_free_is_capture_free() {
+        let mut s = TypeStore::new();
+        // (∀b. a -> b)[b/a]: nameless binders cannot capture.
+        let t = Type::forall(
+            "b",
+            Kind::Session,
+            Type::arrow(Type::var("a"), Type::var("b")),
+        );
+        let id = s.intern(&t);
+        let b = s.mk(TNode::Free(Symbol::intern("b")));
+        let map = HashMap::from([(Symbol::intern("a"), b)]);
+        let r = s.subst_free(id, &map);
+        let expected = Type::forall(
+            "c",
+            Kind::Session,
+            Type::arrow(Type::var("b"), Type::var("c")),
+        );
+        assert_eq!(r, s.intern(&expected));
+    }
+
+    #[test]
+    fn instantiate_beta_reduces() {
+        let mut s = TypeStore::new();
+        // (∀s. !Int.s)[End!/s] = !Int.End!
+        let t = Type::forall(
+            "s",
+            Kind::Session,
+            Type::output(Type::int(), Type::var("s")),
+        );
+        let id = s.intern(&t);
+        let arg = s.intern(&Type::EndOut);
+        let r = s.instantiate(id, arg).expect("forall");
+        assert_eq!(r, s.intern(&Type::output(Type::int(), Type::EndOut)));
+        // Not a forall:
+        assert!(s.instantiate(arg, id).is_none());
+    }
+
+    #[test]
+    fn instantiate_under_nested_binders() {
+        let mut s = TypeStore::new();
+        // (∀a. ∀b. a ⊗ b)[Int/a] = ∀b. Int ⊗ b
+        let t = Type::forall(
+            "a",
+            Kind::Value,
+            Type::forall("b", Kind::Value, Type::pair(Type::var("a"), Type::var("b"))),
+        );
+        let id = s.intern(&t);
+        let arg = s.intern(&Type::int());
+        let r = s.instantiate(id, arg).expect("forall");
+        let expected = Type::forall("b", Kind::Value, Type::pair(Type::int(), Type::var("b")));
+        assert_eq!(r, s.intern(&expected));
+    }
+
+    #[test]
+    fn node_count_matches_tree_count() {
+        let mut s = TypeStore::new();
+        let t = Type::dual(Type::output(
+            Type::proto("PC", vec![Type::int(), Type::neg(Type::bool())]),
+            Type::EndOut,
+        ));
+        let id = s.intern(&t);
+        assert_eq!(s.node_count(id), t.node_count() as u64);
+    }
+
+    #[test]
+    fn needs_binders_tracks_escaping_indices() {
+        let mut s = TypeStore::new();
+        let closed = s.intern(&Type::forall("a", Kind::Value, Type::var("a")));
+        assert!(s.is_binder_closed(closed));
+        let body = match *s.node(closed) {
+            TNode::Forall(_, b) => b,
+            _ => unreachable!(),
+        };
+        assert!(!s.is_binder_closed(body));
+    }
+}

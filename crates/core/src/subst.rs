@@ -1,5 +1,13 @@
 //! Capture-avoiding substitution of types for type variables.
+//!
+//! Two implementations coexist: the boundary-level [`Subst::apply`] on
+//! [`Type`] trees (renames binders to avoid capture), and the id-level
+//! [`Subst::apply_interned`] /
+//! [`TypeStore::subst_free`](crate::store::TypeStore::subst_free) where
+//! capture is impossible by construction (binders are nameless). Both
+//! agree up to α-equivalence.
 
+use crate::store::{TypeId, TypeStore};
 use crate::symbol::Symbol;
 use crate::types::Type;
 use std::collections::{HashMap, HashSet};
@@ -63,6 +71,23 @@ impl Subst {
             return ty.clone();
         }
         self.go(ty)
+    }
+
+    /// Applies the substitution at the id level: the range is interned
+    /// into `store` and free occurrences are replaced without any
+    /// renaming (nameless binders cannot capture). Agrees with
+    /// [`Subst::apply`] up to α-equivalence — i.e. produces the id that
+    /// `apply`'s result would intern to.
+    pub fn apply_interned(&self, store: &mut TypeStore, id: TypeId) -> TypeId {
+        if self.is_empty() {
+            return id;
+        }
+        let map: HashMap<Symbol, TypeId> = self
+            .map
+            .iter()
+            .map(|(v, t)| (*v, store.intern(t)))
+            .collect();
+        store.subst_free(id, &map)
     }
 
     fn go(&self, ty: &Type) -> Type {
@@ -163,6 +188,38 @@ mod tests {
         let s = Subst::parallel(&[v("a"), v("b")], &[Type::var("b"), Type::var("a")]);
         let r = s.apply(&t);
         assert_eq!(r.to_string(), "(b, a)");
+    }
+
+    #[test]
+    fn apply_interned_agrees_with_tree_apply() {
+        use crate::store::TypeStore;
+        let mut store = TypeStore::new();
+        // Includes the capture case: tree apply renames, id apply cannot
+        // capture; both land on the same α-class, hence the same id.
+        let cases = vec![
+            (
+                Type::arrow(Type::var("a"), Type::var("b")),
+                Subst::single(v("a"), Type::int()),
+            ),
+            (
+                Type::forall(
+                    "b",
+                    Kind::Session,
+                    Type::arrow(Type::var("a"), Type::var("b")),
+                ),
+                Subst::single(v("a"), Type::var("b")),
+            ),
+            (
+                Type::pair(Type::var("a"), Type::var("b")),
+                Subst::parallel(&[v("a"), v("b")], &[Type::var("b"), Type::var("a")]),
+            ),
+        ];
+        for (t, s) in cases {
+            let id = store.intern(&t);
+            let via_ids = s.apply_interned(&mut store, id);
+            let via_tree = s.apply(&t);
+            assert_eq!(via_ids, store.intern(&via_tree), "mismatch on {t}");
+        }
     }
 
     #[test]

@@ -48,6 +48,13 @@ impl fmt::Display for BaseType {
 /// Types are immutable trees with shared subterms ([`Arc`]), so cloning is
 /// cheap. Construct them with the helper constructors ([`Type::arrow`],
 /// [`Type::input`], …) which take care of the boxing.
+///
+/// This is the *boundary* representation: what the parser produces and
+/// what error messages display. The equivalence/normalization hot path
+/// and the typing contexts work on interned
+/// [`TypeId`](crate::store::TypeId)s instead — see [`crate::store`] for
+/// the hash-consed interior representation and the lossless (up to
+/// α-equivalence) conversions between the two.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Type {
     /// `Unit`

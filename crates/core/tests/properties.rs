@@ -6,8 +6,9 @@ use algst_core::conversion::one_step_rewrites;
 use algst_core::equiv::{equivalent, equivalent_dual};
 use algst_core::kind::Kind;
 use algst_core::kindcheck::KindCtx;
-use algst_core::normalize::{is_normal, nrm_neg, nrm_pos};
+use algst_core::normalize::{is_normal, nrm_neg, nrm_pos, resugar};
 use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
+use algst_core::store::{TNode, TypeStore};
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
 use proptest::prelude::*;
@@ -207,5 +208,108 @@ proptest! {
         prop_assert!(t.node_count() >= 1);
         let pair = Type::pair(t.clone(), u.clone());
         prop_assert_eq!(pair.node_count(), 1 + t.node_count() + u.node_count());
+    }
+
+    // ----------------------- hash-consed type store (see core::store) ----
+
+    /// Interning is idempotent: the same tree always yields the same id,
+    /// and re-interning an extraction yields the id back.
+    #[test]
+    fn store_interning_idempotent(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let a = s.intern(&t);
+        let b = s.intern(&t);
+        prop_assert_eq!(a, b);
+        let back = s.extract(a);
+        prop_assert_eq!(s.intern(&back), a);
+    }
+
+    /// `Type → TypeId → Type` round-trips α-equivalently.
+    #[test]
+    fn store_round_trip_alpha_equivalent(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let id = s.intern(&t);
+        let back = s.extract(id);
+        prop_assert!(t.alpha_eq(&back), "{} vs {}", t, back);
+    }
+
+    /// α-equivalent inputs intern to the same id (binders are canonical).
+    #[test]
+    fn store_identifies_alpha_classes(t in arb_session()) {
+        let quant = Type::forall("sv", Kind::Session, t.clone());
+        let renamed = algst_core::subst::subst_type(&t, Symbol::intern("sv"), &Type::var("renamedSv"));
+        let quant2 = Type::forall("renamedSv", Kind::Session, renamed);
+        let mut s = TypeStore::new();
+        prop_assert_eq!(s.intern(&quant), s.intern(&quant2));
+    }
+
+    /// `nrm` is a fixpoint at the id level: nrm(nrm(t)) == nrm(t), and
+    /// the result is flagged as normalized (O(1) on later queries).
+    #[test]
+    fn store_nrm_fixpoint(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let id = s.intern(&t);
+        let n = s.nrm(id);
+        prop_assert_eq!(s.nrm(n), n);
+        prop_assert!(s.is_normalized(n));
+        // ...and it agrees with a *fresh* normalization of the extracted
+        // normal form (the fixpoint is semantic, not just memo-seeded).
+        let back = s.extract(n);
+        let mut fresh = TypeStore::new();
+        let reid = fresh.intern(&back);
+        prop_assert_eq!(fresh.nrm(reid), reid, "extracted NF renormalized differently");
+    }
+
+    /// The store's normalization agrees with the tree-level `nrm⁺`.
+    #[test]
+    fn store_nrm_agrees_with_tree_nrm(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let id = s.intern(&t);
+        let via_store = s.nrm(id);
+        let via_tree = s.intern(&nrm_pos(&t));
+        prop_assert_eq!(via_store, via_tree, "store/tree mismatch on {}", t);
+    }
+
+    /// Dual is an involution at the id level:
+    /// `nrm⁻(nrm⁻(t)) == nrm⁺(t)` and `nrm(Dual (Dual t)) == nrm(t)`.
+    #[test]
+    fn store_dual_involution(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let id = s.intern(&t);
+        let once = s.nrm_neg(id);
+        let twice = s.nrm_neg(once);
+        prop_assert_eq!(twice, s.nrm(id));
+        let dd = s.intern(&Type::dual(Type::dual(t.clone())));
+        let n = s.nrm(dd);
+        prop_assert_eq!(n, s.nrm(id));
+    }
+
+    /// `nrm⁻` at the id level is `nrm⁺ ∘ Dual`, mirroring the tree fact.
+    #[test]
+    fn store_nrm_neg_is_dual(t in arb_session()) {
+        let mut s = TypeStore::new();
+        let id = s.intern(&t);
+        let dual = s.mk(TNode::Dual(id));
+        let lhs = s.nrm_neg(id);
+        prop_assert_eq!(lhs, s.nrm(dual));
+    }
+
+    /// Store equivalence agrees with the tree-level decision procedure on
+    /// both related and unrelated pairs.
+    #[test]
+    fn store_equivalence_agrees(t in arb_session(), u in arb_session()) {
+        let tree = nrm_pos(&t).alpha_eq(&nrm_pos(&u));
+        let mut s = TypeStore::new();
+        let a = s.intern(&t);
+        let b = s.intern(&u);
+        prop_assert_eq!(s.equivalent_ids(a, b), tree);
+    }
+
+    /// Resugaring is display-only: it never changes the equivalence class.
+    #[test]
+    fn resugar_preserves_equivalence(t in arb_session()) {
+        let n = nrm_pos(&t);
+        let r = resugar(&n);
+        prop_assert!(equivalent(&r, &n), "{} resugared to inequivalent {}", n, r);
     }
 }

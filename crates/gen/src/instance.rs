@@ -4,6 +4,7 @@
 //! and a session type referring to them."
 
 use algst_core::protocol::Declarations;
+use algst_core::store::{TypeId, TypeStore};
 use algst_core::types::Type;
 
 /// One benchmark instance.
@@ -50,5 +51,13 @@ pub struct TestCase {
 impl TestCase {
     pub fn node_count(&self) -> usize {
         self.instance.node_count()
+    }
+
+    /// Interns both sides of the pair into `store`, returning
+    /// `(ty, other)` ids. Suites built by
+    /// [`crate::suite::build_suite`] carry these ids already
+    /// ([`crate::suite::Suite::ids`]); use this for ad-hoc cases.
+    pub fn intern_into(&self, store: &mut TypeStore) -> (TypeId, TypeId) {
+        (store.intern(&self.instance.ty), store.intern(&self.other))
     }
 }

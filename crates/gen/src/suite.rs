@@ -6,6 +6,7 @@ use crate::generate::{generate_instance, GenConfig};
 use crate::instance::TestCase;
 use crate::mutate::{equivalent_variant, nonequivalent_mutant};
 use algst_core::kind::Kind;
+use algst_core::store::{TypeId, TypeStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,11 +19,18 @@ pub enum SuiteKind {
     NonEquivalent,
 }
 
-/// A full benchmark suite.
+/// A full benchmark suite. Cases are interned at construction time into
+/// a suite-owned [`TypeStore`], so consumers can run id-level (warm,
+/// memoized) equivalence queries next to the tree-level (cold) ones.
 #[derive(Debug)]
 pub struct Suite {
     pub kind: SuiteKind,
     pub cases: Vec<TestCase>,
+    /// The hash-consing store every case is interned into. Shared
+    /// sub-spines across cases are stored once.
+    pub store: TypeStore,
+    /// Per-case `(ty, other)` ids, parallel to `cases`.
+    pub ids: Vec<(TypeId, TypeId)>,
 }
 
 /// Number of tests per suite in the paper.
@@ -33,6 +41,8 @@ pub const PAPER_SUITE_SIZE: usize = 324;
 pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cases = Vec::with_capacity(count);
+    let mut store = TypeStore::new();
+    let mut ids = Vec::with_capacity(count);
     for i in 0..count {
         // Sweep target sizes roughly linearly from ~4 to ~130 AlgST nodes,
         // matching the x-range of the paper's plots.
@@ -52,13 +62,20 @@ pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
                 equivalent_variant(&mut rng, &instance.decls, &mutant, Kind::Value, 6)
             }
         };
-        cases.push(TestCase {
+        let case = TestCase {
             instance,
             other,
             equivalent: kind == SuiteKind::Equivalent,
-        });
+        };
+        ids.push(case.intern_into(&mut store));
+        cases.push(case);
     }
-    Suite { kind, cases }
+    Suite {
+        kind,
+        cases,
+        store,
+        ids,
+    }
 }
 
 #[cfg(test)]
@@ -79,6 +96,22 @@ mod tests {
         let suite = build_suite(SuiteKind::NonEquivalent, 40, 2);
         for case in &suite.cases {
             assert!(!equivalent(&case.instance.ty, &case.other));
+        }
+    }
+
+    #[test]
+    fn interned_ids_agree_with_ground_truth() {
+        for (kind, seed) in [(SuiteKind::Equivalent, 4), (SuiteKind::NonEquivalent, 5)] {
+            let mut suite = build_suite(kind, 25, seed);
+            for (case, &(a, b)) in suite.cases.iter().zip(&suite.ids) {
+                assert_eq!(
+                    suite.store.equivalent_ids(a, b),
+                    case.equivalent,
+                    "id-level verdict disagrees on {} vs {}",
+                    case.instance.ty,
+                    case.other,
+                );
+            }
         }
     }
 

@@ -14,7 +14,6 @@
 //! keyed by (protocol, direction): a protocol used under negation
 //! recurses through the *opposite*-direction binder.
 
-use algst_core::normalize::nrm_pos;
 use algst_core::protocol::Declarations;
 use algst_core::symbol::Symbol;
 use algst_core::types::{BaseType, Type};
@@ -45,7 +44,9 @@ impl std::error::Error for UntranslatableError {}
 /// message positions, and other constructs outside the benchmark
 /// fragment.
 pub fn to_freest(decls: &Declarations, ty: &Type) -> Result<CfType, UntranslatableError> {
-    let n = nrm_pos(ty);
+    // Memoized normalization through the shared store: repeated
+    // (sub)types across a suite normalize once per thread.
+    let n = algst_core::equiv::nrm_shared(ty);
     let mut tr = Translator {
         decls,
         stack: Vec::new(),

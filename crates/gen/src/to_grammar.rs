@@ -233,7 +233,9 @@ impl GrammarTranslator<'_, '_> {
     /// their own (cheap) equivalence, distinct from the spine's
     /// equirecursive reasoning.
     fn value_payload(&mut self, ty: &Type) -> Result<Payload, UntranslatableError> {
-        let n = algst_core::normalize::nrm_pos(ty);
+        // Normalize through the shared store: repeated payloads across a
+        // suite (protocol argument types recur constantly) hit the memo.
+        let n = algst_core::equiv::nrm_shared(ty);
         self.canonical_payload(&n)
     }
 

@@ -51,6 +51,12 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
+            // A case count of 0 (e.g. `PROPTEST_CASES=0` to skip property
+            // runs entirely) must not build strategies, seed the RNG, or
+            // run a single generation pass.
+            if config.cases == 0 {
+                return;
+            }
             let mut prop_rng =
                 <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
                     $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
@@ -58,6 +64,10 @@ macro_rules! proptest {
             for prop_case_index in 0..config.cases {
                 $(let $arg =
                     $crate::strategy::Strategy::generate(&($strategy), &mut prop_rng);)+
+                // The immediately-called closure turns `prop_assert!`'s
+                // early `return Err(..)` into a value without requiring
+                // the test body to end in an expression.
+                #[allow(clippy::redundant_closure_call)]
                 let prop_result: ::std::result::Result<(), ::std::string::String> = (|| {
                     $body
                     ::std::result::Result::Ok(())
@@ -213,6 +223,20 @@ mod tests {
                 format!("{:?}", strat.generate(&mut b))
             );
         }
+    }
+
+    #[test]
+    fn zero_cases_runs_no_generation_pass() {
+        // Regression: with a case count of 0 the body must never run —
+        // not even once. The body panics, so a single pass would fail.
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 0 })]
+            #[allow(unused)]
+            fn inner(x in Just(1u32)) {
+                panic!("a zero-case property must not generate inputs");
+            }
+        }
+        inner();
     }
 
     #[test]

@@ -9,7 +9,13 @@ pub struct ProptestConfig {
 }
 
 fn env_cases() -> Option<u32> {
-    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    parse_cases(&std::env::var("PROPTEST_CASES").ok()?)
+}
+
+/// Parses a `PROPTEST_CASES` value. Tolerates surrounding whitespace;
+/// `Some(0)` is a valid result meaning "run no property cases at all".
+fn parse_cases(raw: &str) -> Option<u32> {
+    raw.trim().parse().ok()
 }
 
 impl ProptestConfig {
@@ -38,7 +44,7 @@ impl Default for ProptestConfig {
 
 #[cfg(test)]
 mod tests {
-    use super::ProptestConfig;
+    use super::{parse_cases, ProptestConfig};
 
     #[test]
     fn with_cases_uses_request_without_env() {
@@ -50,5 +56,23 @@ mod tests {
             assert_eq!(ProptestConfig::with_cases(123).cases, 123);
             assert_eq!(ProptestConfig::default().cases, 256);
         }
+    }
+
+    #[test]
+    fn parse_cases_accepts_zero_and_trims() {
+        // Regression: `PROPTEST_CASES=0` must parse to Some(0) — a real
+        // cap meaning "skip" — not fall through to the default, and
+        // sloppy values like " 8 " must not be silently ignored.
+        assert_eq!(parse_cases("0"), Some(0));
+        assert_eq!(parse_cases(" 8 "), Some(8));
+        assert_eq!(parse_cases("256"), Some(256));
+        assert_eq!(parse_cases("nope"), None);
+        assert_eq!(parse_cases("-1"), None);
+    }
+
+    #[test]
+    fn explicit_zero_caps_any_request() {
+        let cfg = ProptestConfig { cases: 0 };
+        assert_eq!(cfg.cases, 0);
     }
 }
