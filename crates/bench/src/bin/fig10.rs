@@ -18,8 +18,14 @@
 //! and `algst_warm_ms` (steady state: memoized normal forms, a `TypeId`
 //! comparison), and the JSON gains per-suite aggregate stats (median,
 //! p95, least-squares ns-per-node slope) so the perf trajectory is one
-//! number per PR. `--check-warm` exits non-zero unless warm ≤ cold on
-//! every case — the CI smoke guard for the memoization invariant.
+//! number per PR. `--check-warm` exits non-zero unless
+//! `warm ≤ cold + 500 ns` on every case — the CI smoke guard for the
+//! memoization invariant. The 500 ns epsilon absorbs clock granularity:
+//! on sub-microsecond cold cases the two measurements are within timer
+//! noise of each other, and a strict `warm ≤ cold` intermittently
+//! flaked. The observed margin (max over cases of `warm − cold`) is
+//! reported per suite in the JSON as `warm_margin_ns`, so a drifting
+//! warm path is visible long before it trips the gate.
 //! (`--count` is accepted as an alias of `--cases`.)
 
 use algst_bench::{measure_case, ms, suite_stats, Measurement, SuiteStats};
@@ -105,25 +111,44 @@ fn main() {
     }
     if args.check_warm {
         let mut violations = 0usize;
+        let mut max_margin_ns = i64::MIN;
         for (kind, rows) in &suites {
             for r in rows {
-                if r.algst_warm > r.algst {
+                let margin = warm_margin_ns(r);
+                max_margin_ns = max_margin_ns.max(margin);
+                if margin > WARM_EPSILON_NS {
                     violations += 1;
                     eprintln!(
-                        "!! {kind:?} case {}: warm {} ms > cold {} ms",
+                        "!! {kind:?} case {}: warm {} ms > cold {} ms + {} ns",
                         r.case_id,
                         ms(r.algst_warm),
-                        ms(r.algst)
+                        ms(r.algst),
+                        WARM_EPSILON_NS,
                     );
                 }
             }
         }
         if violations > 0 {
-            eprintln!("--check-warm: {violations} case(s) violate warm <= cold");
+            eprintln!(
+                "--check-warm: {violations} case(s) violate warm <= cold + {WARM_EPSILON_NS} ns"
+            );
             std::process::exit(1);
         }
-        eprintln!("--check-warm: ok (warm <= cold on every case)");
+        eprintln!(
+            "--check-warm: ok (warm <= cold + {WARM_EPSILON_NS} ns on every case; \
+             max observed margin {max_margin_ns} ns)"
+        );
     }
+}
+
+/// Absolute slack for the warm-vs-cold gate: cold cases can be
+/// sub-microsecond, where the two adaptive measurements differ by clock
+/// granularity alone.
+const WARM_EPSILON_NS: i64 = 500;
+
+/// `warm − cold` for one case, in nanoseconds (positive = warm slower).
+fn warm_margin_ns(r: &Measurement) -> i64 {
+    r.algst_warm.as_nanos() as i64 - r.algst.as_nanos() as i64
 }
 
 /// Writes the whole run as one JSON document: run parameters, per-suite
@@ -138,6 +163,7 @@ fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)])
     writeln!(f, "  \"seed\": {},", args.seed).expect("write");
     writeln!(f, "  \"freest_timeout_ms\": {},", args.timeout.as_millis()).expect("write");
     writeln!(f, "  \"cases\": {total},").expect("write");
+    writeln!(f, "  \"warm_epsilon_ns\": {WARM_EPSILON_NS},").expect("write");
     writeln!(f, "  \"aggregates\": [").expect("write");
     for (i, (kind, rows)) in suites.iter().enumerate() {
         let s = suite_stats(rows);
@@ -146,11 +172,15 @@ fn write_json(path: &str, args: &Args, suites: &[(SuiteKind, Vec<Measurement>)])
             .freest_median_ms
             .map(|v| format!("{v:.6}"))
             .unwrap_or_else(|| "null".to_owned());
+        // Worst warm-vs-cold margin of the suite (negative = warm always
+        // faster): the number the --check-warm epsilon is judged against.
+        let warm_margin = rows.iter().map(warm_margin_ns).max().unwrap_or(0);
         writeln!(
             f,
             "    {{\"suite\": \"{}\", \"cases\": {}, \
              \"algst_median_ms\": {:.6}, \"algst_p95_ms\": {:.6}, \
              \"algst_warm_median_ms\": {:.6}, \"algst_warm_p95_ms\": {:.6}, \
+             \"warm_margin_ns\": {warm_margin}, \
              \"algst_ns_per_node\": {:.3}, \
              \"freest_median_ms\": {freest_median}, \"freest_timeouts\": {}, \
              \"agreements\": {}}}{comma}",

@@ -1,0 +1,357 @@
+//! Throughput/latency benchmark for `algst-server`: the gen-suite
+//! workload pushed through the batch engine at several worker counts.
+//!
+//! ```text
+//! cargo run --release -p algst-bench --bin server_throughput -- \
+//!     [--requests 200000] [--cases 60] [--seed 1] [--batch 256] \
+//!     [--workers 1,4,8] [--json BENCH_server.json]
+//! ```
+//!
+//! For each worker count the engine starts **cold** (fresh
+//! `SharedStore`), replays the same reproducible request stream
+//! (`algst_gen::workload`: every suite pair once, then uniform re-sampling
+//! with random orientation — the warm-dominated shape of real traffic),
+//! checks every verdict against the generator's ground truth, and
+//! reports requests/second plus per-request sojourn latency percentiles
+//! (p50/p95/p99, measured submit→response per batch).
+//!
+//! Two baselines anchor the numbers:
+//! * `cold_baseline` — a single thread paying the **full cold cost** per
+//!   request (fresh store: intern + normalize + compare), i.e. what
+//!   each thread paid before the store was lifted to a shared one;
+//! * the 1-worker config — the same engine, serialized.
+//!
+//! The JSON records `host_cpus`; the worker-scaling ratio
+//! (`speedup_8w_vs_1w`) is only meaningful when the host actually has
+//! cores to scale onto, while `speedup_8w_vs_cold_single_thread` shows
+//! what sharing warm state buys regardless.
+
+use algst_core::store::TypeStore;
+use algst_gen::suite::{build_suite, SuiteKind};
+use algst_gen::workload::{equiv_workload, Workload};
+use algst_server::{Engine, Op, Request, Response};
+use crossbeam::channel::bounded;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+struct Args {
+    requests: usize,
+    cases: usize,
+    seed: u64,
+    batch: usize,
+    workers: Vec<usize>,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 200_000,
+        cases: 60,
+        seed: 1,
+        batch: 256,
+        workers: vec![1, 4, 8],
+        json_path: Some("BENCH_server.json".to_owned()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = value(&mut i).parse().expect("--requests number"),
+            "--cases" => args.cases = value(&mut i).parse().expect("--cases number"),
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed number"),
+            "--batch" => args.batch = value(&mut i).parse().expect("--batch number"),
+            "--workers" => {
+                args.workers = value(&mut i)
+                    .split(',')
+                    .map(|w| w.parse().expect("--workers comma-separated numbers"))
+                    .collect()
+            }
+            "--json" => args.json_path = Some(value(&mut i)),
+            "--no-json" => args.json_path = None,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Results of one engine configuration.
+struct ConfigRun {
+    workers: usize,
+    elapsed: Duration,
+    req_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mismatches: u64,
+    warm_hits: u64,
+    nodes: u64,
+    nrm_hit_rate: f64,
+    equiv_hit_rate: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "building workload: 2×{} cases, {} requests (seed {})…",
+        args.cases, args.requests, args.seed
+    );
+    let eq = build_suite(SuiteKind::Equivalent, args.cases, args.seed);
+    let ne = build_suite(SuiteKind::NonEquivalent, args.cases, args.seed + 1);
+    let workload = equiv_workload(&[&eq, &ne], args.requests, args.seed);
+
+    // Pre-render every request to protocol strings once: all configs
+    // replay exactly the same byte stream.
+    let rendered: Vec<(String, String, bool)> = (0..workload.len())
+        .map(|i| {
+            let (lhs, rhs, expected) = workload.request(i);
+            (lhs.to_string(), rhs.to_string(), expected)
+        })
+        .collect();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let cold = cold_baseline(&workload, args.requests.min(2_000));
+    eprintln!(
+        "cold single-thread baseline: {:.0} req/s ({} requests sampled)",
+        cold.1, cold.0
+    );
+
+    let mut runs: Vec<ConfigRun> = Vec::new();
+    for &workers in &args.workers {
+        let run = run_config(workers, args.batch, &rendered);
+        eprintln!(
+            "workers {:>2}: {:>10.0} req/s   p50 {:>8.2} µs   p95 {:>8.2} µs   p99 {:>8.2} µs   \
+             warm {:>5.1}%   mismatches {}",
+            run.workers,
+            run.req_per_s,
+            run.p50_us,
+            run.p95_us,
+            run.p99_us,
+            100.0 * run.warm_hits as f64 / rendered.len() as f64,
+            run.mismatches,
+        );
+        runs.push(run);
+    }
+
+    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum();
+    if let Some(path) = &args.json_path {
+        write_json(path, &args, host_cpus, cold, &runs);
+    }
+    if mismatches > 0 {
+        eprintln!("!! {mismatches} verdict mismatches against ground truth");
+        std::process::exit(1);
+    }
+    eprintln!("all verdicts identical to the ground truth (equivalent())");
+}
+
+/// One thread, fresh store per request: full cold cost per query.
+/// Returns (requests measured, req/s).
+fn cold_baseline(workload: &Workload, sample: usize) -> (usize, f64) {
+    let sample = sample.max(1).min(workload.len());
+    let start = Instant::now();
+    for i in 0..sample {
+        let (lhs, rhs, expected) = workload.request(i);
+        let mut store = TypeStore::new();
+        let a = store.intern(lhs);
+        let b = store.intern(rhs);
+        assert_eq!(
+            store.equivalent_ids(a, b),
+            expected,
+            "cold baseline verdict"
+        );
+    }
+    let elapsed = start.elapsed();
+    (sample, sample as f64 / elapsed.as_secs_f64())
+}
+
+fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bool)]) -> ConfigRun {
+    let engine = Engine::with_store(workers, algst_core::shared::SharedStore::new_arc());
+    // Expected verdict per request id (ids are 1-based arrival order).
+    let expected: Vec<bool> = rendered.iter().map(|(_, _, e)| *e).collect();
+
+    let (reply_tx, reply_rx) = bounded::<Vec<Response>>(workers.max(1) * 4);
+    let start = Instant::now();
+
+    // Collector: records per-batch completion instants and checks
+    // verdicts; joined after all batches are submitted.
+    let collector = std::thread::spawn({
+        let expected = expected.clone();
+        move || {
+            let mut completions: Vec<(u64, Instant, usize)> = Vec::new();
+            let mut mismatches = 0u64;
+            let mut warm_hits = 0u64;
+            while let Ok(responses) = reply_rx.recv() {
+                let now = Instant::now();
+                let first_id = responses.first().map(Response::id).unwrap_or(0);
+                for r in &responses {
+                    match r {
+                        Response::Equiv {
+                            id, verdict, warm, ..
+                        } => {
+                            if *verdict != expected[(*id - 1) as usize] {
+                                mismatches += 1;
+                            }
+                            if *warm {
+                                warm_hits += 1;
+                            }
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+                completions.push((first_id, now, responses.len()));
+            }
+            (completions, mismatches, warm_hits)
+        }
+    });
+
+    // Submitter: contiguous ids per batch, one submit-instant per batch.
+    let mut submit_times: Vec<(u64, Instant)> = Vec::new();
+    let mut next_id = 1u64;
+    for chunk in rendered.chunks(batch_size) {
+        let first_id = next_id;
+        let items: Vec<Request> = chunk
+            .iter()
+            .map(|(lhs, rhs, _)| {
+                let req = Request {
+                    id: next_id,
+                    op: Op::Equiv {
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    },
+                };
+                next_id += 1;
+                req
+            })
+            .collect();
+        submit_times.push((first_id, Instant::now()));
+        engine.submit(items, reply_tx.clone());
+    }
+    drop(reply_tx);
+    let (completions, mismatches, warm_hits) = collector.join().expect("collector");
+    let end = completions
+        .iter()
+        .map(|&(_, t, _)| t)
+        .max()
+        .unwrap_or(start);
+    let elapsed = end.duration_since(start);
+
+    // Per-request sojourn latency: batch completion − batch submission,
+    // attributed to each request of the batch.
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(rendered.len());
+    let submit_by_id: std::collections::HashMap<u64, Instant> =
+        submit_times.iter().copied().collect();
+    for (first_id, done, len) in &completions {
+        let submitted = submit_by_id[first_id];
+        let us = done.duration_since(submitted).as_secs_f64() * 1e6;
+        latencies_us.extend(std::iter::repeat(us).take(*len));
+    }
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let pct = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize]
+    };
+
+    let snapshot = engine.snapshot();
+    ConfigRun {
+        workers,
+        elapsed,
+        req_per_s: rendered.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+        p99_us: pct(0.99),
+        mismatches,
+        warm_hits,
+        nodes: snapshot.nodes,
+        nrm_hit_rate: snapshot.nrm_hit_rate(),
+        equiv_hit_rate: snapshot.equiv_hit_rate(),
+    }
+}
+
+fn write_json(path: &str, args: &Args, host_cpus: usize, cold: (usize, f64), runs: &[ConfigRun]) {
+    let mut f = std::fs::File::create(path).expect("create json");
+    writeln!(f, "{{").expect("write");
+    writeln!(f, "  \"bench\": \"server_throughput\",").expect("write");
+    writeln!(f, "  \"requests\": {},", args.requests).expect("write");
+    writeln!(f, "  \"cases_per_suite\": {},", args.cases).expect("write");
+    writeln!(f, "  \"batch\": {},", args.batch).expect("write");
+    writeln!(f, "  \"seed\": {},", args.seed).expect("write");
+    writeln!(f, "  \"host_cpus\": {host_cpus},").expect("write");
+    writeln!(
+        f,
+        "  \"cold_baseline\": {{\"requests\": {}, \"req_per_s\": {:.1}}},",
+        cold.0, cold.1
+    )
+    .expect("write");
+    writeln!(f, "  \"configs\": [").expect("write");
+    for (i, r) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"workers\": {}, \"elapsed_ms\": {:.3}, \"req_per_s\": {:.1}, \
+             \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"verdict_mismatches\": {}, \"warm_hits\": {}, \"nodes\": {}, \
+             \"nrm_hit_rate\": {:.4}, \"equiv_hit_rate\": {:.4}}}{comma}",
+            r.workers,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.req_per_s,
+            r.p50_us,
+            r.p95_us,
+            r.p99_us,
+            r.mismatches,
+            r.warm_hits,
+            r.nodes,
+            r.nrm_hit_rate,
+            r.equiv_hit_rate,
+        )
+        .expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
+    let by_workers = |n: usize| runs.iter().find(|r| r.workers == n);
+    let best = runs
+        .iter()
+        .max_by(|a, b| a.req_per_s.total_cmp(&b.req_per_s));
+    let one = by_workers(1).or(runs.first());
+    if let (Some(best), Some(one)) = (best, one) {
+        writeln!(
+            f,
+            "  \"speedup_best_vs_1w\": {:.2},",
+            best.req_per_s / one.req_per_s
+        )
+        .expect("write");
+        if let Some(eight) = by_workers(8) {
+            writeln!(
+                f,
+                "  \"speedup_8w_vs_1w\": {:.2},",
+                eight.req_per_s / one.req_per_s
+            )
+            .expect("write");
+            writeln!(
+                f,
+                "  \"speedup_8w_vs_cold_single_thread\": {:.2},",
+                eight.req_per_s / cold.1
+            )
+            .expect("write");
+        }
+    }
+    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum();
+    writeln!(f, "  \"verdict_mismatches_total\": {mismatches}").expect("write");
+    writeln!(f, "}}").expect("write");
+    eprintln!("wrote {path}");
+}

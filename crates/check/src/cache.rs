@@ -1,0 +1,115 @@
+//! A thread-safe module cache: `check`-op results memoized across
+//! requests.
+//!
+//! A long-running service sees the same program sources again and again
+//! (editors re-sending buffers, health checks, load generators). Type
+//! checking is pure — same source, same verdict — so the server keys a
+//! cache by the *exact source text* and pays elaboration + checking once
+//! per distinct program. Both successes and failures are cached
+//! ([`CheckError`] is `Clone`); successful modules are shared as
+//! [`Arc<Module>`] so a cache hit is a pointer bump.
+//!
+//! The type-level warm state behind a hit is shared too: elaboration
+//! interns signatures and alias bodies through the process-wide
+//! [`store`](algst_core::shared), so even *distinct* programs using the
+//! same types reuse each other's normalization work.
+
+use crate::{check_source, CheckError, Module};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for the `stats` op.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct sources cached (successes and failures).
+    pub entries: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to run the checker.
+    pub misses: u64,
+}
+
+/// Memoizes [`check_source`] by source text. Cheap to share behind an
+/// `Arc`; all methods take `&self`.
+#[derive(Default)]
+pub struct ModuleCache {
+    map: Mutex<HashMap<String, Result<Arc<Module>, CheckError>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ModuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleCache")
+            .field("entries", &self.map.lock().len())
+            .finish()
+    }
+}
+
+impl ModuleCache {
+    pub fn new() -> ModuleCache {
+        ModuleCache::default()
+    }
+
+    /// [`check_source`] through the cache. The second component is true
+    /// on a cache hit. The lock is *not* held while checking, so slow
+    /// programs do not serialize the pool; two workers racing on the
+    /// same new source may both check it (same result, last write wins).
+    pub fn check_source(&self, src: &str) -> (Result<Arc<Module>, CheckError>, bool) {
+        if let Some(hit) = self.map.lock().get(src) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (hit.clone(), true);
+        }
+        let result = check_source(src).map(Arc::new);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map.lock().insert(src.to_owned(), result.clone());
+        (result, false)
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.lock().len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = "main : Unit\nmain = ()";
+    const BAD: &str = "main : Unit\nmain = receive";
+
+    #[test]
+    fn caches_successes_and_failures() {
+        let cache = ModuleCache::new();
+        let (first, cached) = cache.check_source(OK);
+        assert!(first.is_ok() && !cached);
+        let (second, cached) = cache.check_source(OK);
+        assert!(second.is_ok() && cached);
+        assert!(Arc::ptr_eq(&first.unwrap(), &second.unwrap()));
+
+        let (err, cached) = cache.check_source(BAD);
+        assert!(err.is_err() && !cached);
+        let (err2, cached) = cache.check_source(BAD);
+        assert!(err2.is_err() && cached);
+
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_entries() {
+        let cache = ModuleCache::new();
+        let (a, _) = cache.check_source(OK);
+        let (b, _) = cache.check_source("main : Unit\nmain = ()\n");
+        assert!(a.is_ok() && b.is_ok());
+        assert_eq!(cache.stats().entries, 2);
+    }
+}

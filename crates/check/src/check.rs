@@ -143,7 +143,10 @@ impl<'d> Checker<'d> {
                     let mut kctx = self.kind_ctx();
                     return with_shared_store(|s| {
                         let aid = s.intern(arg);
-                        kctx.check_id(s, aid, kappa).map_err(TypeError::from)?;
+                        // Kind checking only reads nodes; the worker's
+                        // local mirror covers every id it just produced.
+                        kctx.check_id(s.local(), aid, kappa)
+                            .map_err(TypeError::from)?;
                         let fid = s.intern(&ft);
                         let inst = s.instantiate(fid, aid).expect("interned from a Forall");
                         let n = s.nrm(inst);

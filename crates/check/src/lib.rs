@@ -23,6 +23,7 @@
 //! assert!(module.sig("sendList").is_some());
 //! ```
 
+pub mod cache;
 pub mod check;
 pub mod constants;
 pub mod context;

@@ -5,32 +5,62 @@
 //! benchmarks against FreeST in Figure 10.
 //!
 //! Since the hash-consed [`TypeStore`](crate::store::TypeStore) landed,
-//! the functions here are thin wrappers over a **shared, thread-local
-//! store**: types are interned (α-canonical ids), normalization is
-//! memoized per id, and the final α-comparison is a single id equality.
-//! Repeated queries over the same (sub)types — the common case in a
-//! type-checking server — therefore amortize to table lookups; only the
-//! first contact with a type pays the linear traversal. Use
-//! [`with_shared_store`] to run id-level code against the same cache, or
-//! a private [`TypeStore`](crate::store::TypeStore) for full control.
+//! the functions here are thin wrappers over the **process-wide sharded
+//! store** ([`crate::shared::SharedStore`]): types are interned
+//! (α-canonical ids), normalization is memoized per id, and the final
+//! α-comparison is a single id equality. Each thread works through its
+//! own [`WorkerStore`] mirror, so warm queries are lock-free — but the
+//! arena and memo tables behind them are shared, so a type normalized by
+//! *any* thread is warm for *every* thread. Only the first contact with
+//! a type, process-wide, pays the linear traversal. Use
+//! [`with_shared_store`] to run id-level code against this thread's
+//! worker, [`global_store`] to attach workers of your own (e.g. a server
+//! worker pool), or a private [`TypeStore`](crate::store::TypeStore) for
+//! full isolation.
 
 use crate::normalize::resugar;
-use crate::store::TypeStore;
+use crate::shared::{SharedStore, StoreStats, WorkerStore};
 use crate::types::Type;
 use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
 
-thread_local! {
-    static SHARED_STORE: RefCell<TypeStore> = RefCell::new(TypeStore::new());
+fn global() -> &'static Arc<SharedStore> {
+    static GLOBAL: OnceLock<Arc<SharedStore>> = OnceLock::new();
+    GLOBAL.get_or_init(SharedStore::new_arc)
 }
 
-/// Runs `f` against this thread's shared [`TypeStore`] — the append-only
-/// cache behind [`equivalent`] and friends.
+/// The process-wide [`SharedStore`] behind [`equivalent`] and friends.
+/// Attach additional workers with
+/// [`SharedStore::worker`](crate::shared::SharedStore::worker) — ids are
+/// interchangeable with the ones [`with_shared_store`] produces.
+pub fn global_store() -> Arc<SharedStore> {
+    Arc::clone(global())
+}
+
+/// Statistics of the process-wide store (nodes, `nrm` hits/misses).
+/// Flushes this thread's pending delta first so the caller sees its own
+/// work reflected.
+pub fn store_stats() -> StoreStats {
+    with_shared_store(|s| s.publish());
+    global().stats()
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerStore>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against this thread's [`WorkerStore`] onto the process-wide
+/// store — the cache behind [`equivalent`] and friends.
 ///
 /// # Panics
 /// Panics if called re-entrantly from within another `with_shared_store`
-/// closure (the store is a single `RefCell`).
-pub fn with_shared_store<R>(f: impl FnOnce(&mut TypeStore) -> R) -> R {
-    SHARED_STORE.with(|s| f(&mut s.borrow_mut()))
+/// closure (the worker is a single `RefCell`).
+pub fn with_shared_store<R>(f: impl FnOnce(&mut WorkerStore) -> R) -> R {
+    WORKER.with(|w| {
+        let mut slot = w.borrow_mut();
+        let worker = slot.get_or_insert_with(|| global().worker());
+        f(worker)
+    })
 }
 
 /// Normalizes `t` through the shared store: `nrm⁺` with global

@@ -19,9 +19,15 @@
 //! * [`store`] — the hash-consed type store: `Type` interned to
 //!   [`store::TypeId`] with canonical (de-Bruijn) binders, memoized
 //!   normalization, and O(1) amortized equivalence.
+//! * [`shared`] — the **sharded concurrent** lift of the store: a
+//!   process-wide append-only arena + memo shards
+//!   ([`shared::SharedStore`]) with per-thread mirrors that publish
+//!   write deltas ([`shared::WorkerStore`]), so every thread shares
+//!   warm state.
 //! * [`equiv`] — **linear-time** type equivalence as α-comparison of normal
-//!   forms (Theorems 1–3), backed by a shared [`store::TypeStore`] so
-//!   repeated queries amortize to id comparisons.
+//!   forms (Theorems 1–3), backed by the process-wide store (per-thread
+//!   [`shared::WorkerStore`] handles) so repeated queries amortize to id
+//!   comparisons across *all* threads.
 //! * [`conversion`] — the declarative conversion relation (Fig. 2) as a
 //!   rewrite system, used for testing and benchmark-instance generation.
 //! * [`expr`] — core expressions, constants and processes (Section 4).
@@ -45,6 +51,7 @@ pub mod kind;
 pub mod kindcheck;
 pub mod normalize;
 pub mod protocol;
+pub mod shared;
 pub mod store;
 pub mod subst;
 pub mod symbol;

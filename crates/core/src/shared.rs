@@ -1,0 +1,610 @@
+//! A **sharded concurrent type store**: the multi-threaded lift of
+//! [`crate::store`].
+//!
+//! The single-threaded [`TypeStore`] makes equivalence O(1) amortized,
+//! but each thread used to pay its own cold interning and normalization.
+//! This module shares that warm state across threads:
+//!
+//! * [`SharedStore`] — the process-wide, **read-mostly** source of truth:
+//!   an append-only node arena plus hash-consing and `nrm⁺`/`nrm⁻` memo
+//!   maps, each split over [`SHARDS`] `parking_lot` RwLocks so readers on
+//!   different keys never contend. Because the arena is append-only, a
+//!   [`TypeId`] is never invalidated: readers can cache anything they
+//!   have seen forever.
+//! * [`WorkerStore`] — a per-thread handle. It keeps a **local mirror**
+//!   (a plain [`TypeStore`] whose arena is always a prefix-consistent
+//!   copy of the shared one), so warm lookups are lock-free vector
+//!   indexing, exactly as fast as the single-threaded store. Cache
+//!   misses fall through to the shared shards; freshly computed memo
+//!   entries accumulate in **write deltas** that are merged into the
+//!   shared maps on [`WorkerStore::publish`] (called automatically at a
+//!   size threshold and on drop) — after which *every* worker gets warm
+//!   hits for them.
+//!
+//! ## Id agreement
+//!
+//! All workers of one [`SharedStore`] agree on ids: a node is appended to
+//! the shared arena exactly once (under the arena write lock, re-checking
+//! the intern shard), and a worker copies shared nodes into its mirror
+//! *in arena order*, so the mirror's hash-consing assigns every node the
+//! same index it has globally. Children always precede parents in an
+//! append-only arena, so syncing a prefix keeps the mirror closed under
+//! sub-ids.
+//!
+//! The id-level algorithms themselves (`intern`, `nrm⁺`/`nrm⁻`,
+//! substitution, β-instantiation) are the *same code* as the
+//! single-threaded store — both implement [`StoreOps`] — so verdicts
+//! cannot drift between the two.
+
+use crate::store::{StoreOps, TNode, TypeId, TypeStore};
+use crate::symbol::Symbol;
+use crate::types::Type;
+use parking_lot::RwLock;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of lock shards per table. Power of two; keys are spread by
+/// hash (intern map) or id (memo maps).
+pub const SHARDS: usize = 16;
+
+/// Delta size at which a worker auto-publishes its memo entries.
+const PUBLISH_THRESHOLD: usize = 1024;
+
+#[derive(Default)]
+struct Counters {
+    /// `nrm` memo hits answered from a worker's local mirror.
+    nrm_local_hits: AtomicU64,
+    /// `nrm` memo hits answered by a shared shard (then cached locally).
+    nrm_shared_hits: AtomicU64,
+    /// `nrm` memo misses (a normal form actually computed).
+    nrm_misses: AtomicU64,
+    /// Times a worker merged its deltas into the shared maps.
+    publishes: AtomicU64,
+    /// Workers ever attached.
+    workers: AtomicU64,
+}
+
+/// A point-in-time snapshot of store-wide statistics, for the server's
+/// `stats` op and `--stats-on-exit`. Worker-side counters are folded in
+/// on every publish, so numbers trail the live state by at most one
+/// unpublished delta per worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct hash-consed nodes in the shared arena.
+    pub nodes: u64,
+    /// `nrm⁺`/`nrm⁻` memo hits (local mirror + shared shards).
+    pub nrm_hits: u64,
+    /// Of those, hits that had to touch a shared shard.
+    pub nrm_shared_hits: u64,
+    /// `nrm⁺`/`nrm⁻` computations that found no memo entry.
+    pub nrm_misses: u64,
+    /// Delta merges performed by workers.
+    pub publishes: u64,
+    /// Workers ever attached to this store.
+    pub workers: u64,
+}
+
+impl StoreStats {
+    /// Fraction of `nrm` queries answered from a memo, in `[0, 1]`.
+    pub fn nrm_hit_rate(&self) -> f64 {
+        let total = self.nrm_hits + self.nrm_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.nrm_hits as f64 / total as f64
+    }
+}
+
+/// The process-wide arena + memo tables. Cheap to share (`Arc`); create
+/// per-thread handles with [`SharedStore::worker`].
+pub struct SharedStore {
+    /// Append-only node arena: the id space. Guarded by one RwLock —
+    /// workers only read it when extending their mirror (rare after
+    /// warm-up), and only writers append.
+    nodes: RwLock<Vec<TNode>>,
+    /// Hash-consing map, sharded by node hash.
+    intern: Vec<RwLock<HashMap<TNode, TypeId>>>,
+    /// `nrm⁺` memo, sharded by id.
+    pos: Vec<RwLock<HashMap<TypeId, TypeId>>>,
+    /// `nrm⁻` memo, sharded by id.
+    neg: Vec<RwLock<HashMap<TypeId, TypeId>>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for SharedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedStore")
+            .field("nodes", &self.nodes.read().len())
+            .finish()
+    }
+}
+
+impl Default for SharedStore {
+    fn default() -> SharedStore {
+        SharedStore::new()
+    }
+}
+
+fn shard_table() -> Vec<RwLock<HashMap<TNode, TypeId>>> {
+    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
+}
+
+fn memo_table() -> Vec<RwLock<HashMap<TypeId, TypeId>>> {
+    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
+}
+
+impl SharedStore {
+    pub fn new() -> SharedStore {
+        SharedStore {
+            nodes: RwLock::new(Vec::new()),
+            intern: shard_table(),
+            pos: memo_table(),
+            neg: memo_table(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Convenience: a fresh store behind an [`Arc`], ready for
+    /// [`SharedStore::worker`].
+    pub fn new_arc() -> Arc<SharedStore> {
+        Arc::new(SharedStore::new())
+    }
+
+    /// Attaches a new per-thread worker handle.
+    pub fn worker(self: &Arc<Self>) -> WorkerStore {
+        self.counters.workers.fetch_add(1, Ordering::Relaxed);
+        WorkerStore {
+            shared: Arc::clone(self),
+            local: TypeStore::new(),
+            delta_pos: Vec::new(),
+            delta_neg: Vec::new(),
+            local_hits: 0,
+            shared_hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Distinct nodes interned so far (across all workers).
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the store-wide statistics.
+    pub fn stats(&self) -> StoreStats {
+        let c = &self.counters;
+        StoreStats {
+            nodes: self.len() as u64,
+            nrm_hits: c.nrm_local_hits.load(Ordering::Relaxed)
+                + c.nrm_shared_hits.load(Ordering::Relaxed),
+            nrm_shared_hits: c.nrm_shared_hits.load(Ordering::Relaxed),
+            nrm_misses: c.nrm_misses.load(Ordering::Relaxed),
+            publishes: c.publishes.load(Ordering::Relaxed),
+            workers: c.workers.load(Ordering::Relaxed),
+        }
+    }
+
+    fn node_shard(node: &TNode) -> usize {
+        let mut h = DefaultHasher::new();
+        node.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn id_shard(id: TypeId) -> usize {
+        id.index() % SHARDS
+    }
+
+    /// Hash-conses `node` globally. Fast path: one shard read lock.
+    /// Slow path (new node): arena write lock, then shard write lock,
+    /// re-checking for a racing intern of the same node.
+    fn intern_node(&self, node: &TNode) -> TypeId {
+        let sh = Self::node_shard(node);
+        if let Some(&id) = self.intern[sh].read().get(node) {
+            return id;
+        }
+        // Lock order everywhere: arena before intern shard.
+        let mut nodes = self.nodes.write();
+        let mut map = self.intern[sh].write();
+        if let Some(&id) = map.get(node) {
+            return id;
+        }
+        let id = TypeId::from_index(nodes.len());
+        nodes.push(node.clone());
+        map.insert(node.clone(), id);
+        id
+    }
+
+    fn memo_get(table: &[RwLock<HashMap<TypeId, TypeId>>], id: TypeId) -> Option<TypeId> {
+        table[Self::id_shard(id)].read().get(&id).copied()
+    }
+
+    fn memo_merge(table: &[RwLock<HashMap<TypeId, TypeId>>], delta: &[(TypeId, TypeId)]) {
+        // Group by shard so each lock is taken once per publish.
+        for (sh, shard) in table.iter().enumerate() {
+            let mut batch = delta
+                .iter()
+                .filter(|(id, _)| Self::id_shard(*id) == sh)
+                .peekable();
+            if batch.peek().is_none() {
+                continue;
+            }
+            let mut map = shard.write();
+            for &(id, nf) in batch {
+                map.insert(id, nf);
+            }
+        }
+    }
+}
+
+/// A per-thread (or per-worker) handle onto a [`SharedStore`].
+///
+/// Implements the same id-level operations as [`TypeStore`] — `intern`,
+/// `nrm`, `equivalent_ids`, substitution, extraction — with identical
+/// semantics (both run the [`StoreOps`] algorithms). Warm queries touch
+/// only the local mirror; cold ones consult the shared shards and
+/// publish what they learn.
+pub struct WorkerStore {
+    shared: Arc<SharedStore>,
+    /// Prefix-consistent mirror of the shared arena; also holds the
+    /// local memo caches, binder-name hints and the extraction memo.
+    local: TypeStore,
+    /// Memo entries computed here and not yet merged into the shared maps.
+    delta_pos: Vec<(TypeId, TypeId)>,
+    delta_neg: Vec<(TypeId, TypeId)>,
+    local_hits: u64,
+    shared_hits: u64,
+    misses: u64,
+}
+
+impl std::fmt::Debug for WorkerStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerStore")
+            .field("mirrored", &self.local.len())
+            .field(
+                "unpublished",
+                &(self.delta_pos.len() + self.delta_neg.len()),
+            )
+            .finish()
+    }
+}
+
+impl WorkerStore {
+    /// The shared store this worker belongs to.
+    pub fn shared(&self) -> &Arc<SharedStore> {
+        &self.shared
+    }
+
+    /// Read-only view of the local mirror, for code that takes a plain
+    /// [`TypeStore`] (e.g. id-level kind checking). Every id this worker
+    /// has produced or looked at is present in the mirror.
+    pub fn local(&self) -> &TypeStore {
+        &self.local
+    }
+
+    /// Extends the local mirror to cover `id`. Copying in arena order
+    /// reproduces the shared indices exactly (see module docs).
+    fn sync_to(&mut self, id: TypeId) {
+        if self.local.len() > id.index() {
+            return;
+        }
+        let nodes = self.shared.nodes.read();
+        for i in self.local.len()..=id.index() {
+            let got = self.local.mk(nodes[i].clone());
+            debug_assert_eq!(got.index(), i, "mirror diverged from shared arena");
+        }
+    }
+
+    /// Merges this worker's memo deltas into the shared shards and folds
+    /// its hit/miss counters into the shared statistics. Cheap when
+    /// there is nothing to publish.
+    pub fn publish(&mut self) {
+        if !self.delta_pos.is_empty() {
+            SharedStore::memo_merge(&self.shared.pos, &self.delta_pos);
+            self.delta_pos.clear();
+        }
+        if !self.delta_neg.is_empty() {
+            SharedStore::memo_merge(&self.shared.neg, &self.delta_neg);
+            self.delta_neg.clear();
+        }
+        let c = &self.shared.counters;
+        c.nrm_local_hits
+            .fetch_add(self.local_hits, Ordering::Relaxed);
+        c.nrm_shared_hits
+            .fetch_add(self.shared_hits, Ordering::Relaxed);
+        c.nrm_misses.fetch_add(self.misses, Ordering::Relaxed);
+        c.publishes.fetch_add(1, Ordering::Relaxed);
+        self.local_hits = 0;
+        self.shared_hits = 0;
+        self.misses = 0;
+    }
+
+    fn maybe_publish(&mut self) {
+        if self.delta_pos.len() + self.delta_neg.len() >= PUBLISH_THRESHOLD {
+            self.publish();
+        }
+    }
+
+    // ---------------------------------------------------- mirrored API
+
+    /// Interns a boundary [`Type`]; the id is valid across all workers
+    /// of this [`SharedStore`].
+    pub fn intern(&mut self, t: &Type) -> TypeId {
+        StoreOps::intern(self, t)
+    }
+
+    /// Memoized `nrm⁺` at the id level (local mirror → shared shards →
+    /// compute and record).
+    pub fn nrm(&mut self, id: TypeId) -> TypeId {
+        StoreOps::nrm(self, id)
+    }
+
+    /// Memoized `nrm⁻` at the id level.
+    pub fn nrm_neg(&mut self, id: TypeId) -> TypeId {
+        StoreOps::nrm_neg(self, id)
+    }
+
+    /// Decides `T ≡_A U` as id equality of memoized normal forms.
+    pub fn equivalent_ids(&mut self, a: TypeId, b: TypeId) -> bool {
+        StoreOps::equivalent_ids(self, a, b)
+    }
+
+    /// True when `id` is already recorded (locally) as its own normal
+    /// form — the no-traversal fast path.
+    pub fn is_normalized(&mut self, id: TypeId) -> bool {
+        StoreOps::memo_pos_entry(self, id) == Some(id)
+    }
+
+    /// Simultaneous, capture-free substitution of ids for free variables.
+    pub fn subst_free(&mut self, id: TypeId, map: &HashMap<Symbol, TypeId>) -> TypeId {
+        StoreOps::subst_free(self, id, map)
+    }
+
+    /// β-instantiation of the outermost `∀` binder of `forall_id`.
+    pub fn instantiate(&mut self, forall_id: TypeId, arg: TypeId) -> Option<TypeId> {
+        StoreOps::instantiate(self, forall_id, arg)
+    }
+
+    /// Converts an id back to a boundary [`Type`] (binder names from
+    /// this worker's first-intern hints where capture-free).
+    pub fn extract(&mut self, id: TypeId) -> Type {
+        self.sync_to(id);
+        self.local.extract(id)
+    }
+
+    /// [`WorkerStore::extract`] with the mirror's per-id memo.
+    pub fn extract_cached(&mut self, id: TypeId) -> Type {
+        self.sync_to(id);
+        self.local.extract_cached(id)
+    }
+
+    /// Tree-node count of the type behind `id`.
+    pub fn node_count(&mut self, id: TypeId) -> u64 {
+        self.sync_to(id);
+        self.local.node_count(id)
+    }
+}
+
+impl StoreOps for WorkerStore {
+    fn node_owned(&mut self, id: TypeId) -> TNode {
+        self.sync_to(id);
+        self.local.node(id).clone()
+    }
+
+    fn mk_node(&mut self, node: TNode) -> TypeId {
+        if let Some(id) = self.local.lookup_node(&node) {
+            return id;
+        }
+        let id = self.shared.intern_node(&node);
+        self.sync_to(id);
+        id
+    }
+
+    fn binders_needed(&mut self, id: TypeId) -> u32 {
+        self.sync_to(id);
+        StoreOps::binders_needed(&mut self.local, id)
+    }
+
+    fn memo_pos_entry(&mut self, id: TypeId) -> Option<TypeId> {
+        self.sync_to(id);
+        if let Some(n) = StoreOps::memo_pos_entry(&mut self.local, id) {
+            self.local_hits += 1;
+            return Some(n);
+        }
+        if let Some(n) = SharedStore::memo_get(&self.shared.pos, id) {
+            self.shared_hits += 1;
+            self.sync_to(n);
+            StoreOps::memo_pos_record(&mut self.local, id, n);
+            return Some(n);
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn memo_pos_record(&mut self, id: TypeId, nf: TypeId) {
+        self.sync_to(id);
+        self.sync_to(nf);
+        StoreOps::memo_pos_record(&mut self.local, id, nf);
+        self.delta_pos.push((id, nf));
+        self.maybe_publish();
+    }
+
+    fn memo_neg_entry(&mut self, id: TypeId) -> Option<TypeId> {
+        self.sync_to(id);
+        if let Some(n) = StoreOps::memo_neg_entry(&mut self.local, id) {
+            self.local_hits += 1;
+            return Some(n);
+        }
+        if let Some(n) = SharedStore::memo_get(&self.shared.neg, id) {
+            self.shared_hits += 1;
+            self.sync_to(n);
+            StoreOps::memo_neg_record(&mut self.local, id, n);
+            return Some(n);
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn memo_neg_record(&mut self, id: TypeId, nf: TypeId) {
+        self.sync_to(id);
+        self.sync_to(nf);
+        StoreOps::memo_neg_record(&mut self.local, id, nf);
+        self.delta_neg.push((id, nf));
+        self.maybe_publish();
+    }
+
+    fn note_binder_hint(&mut self, id: TypeId, name: Symbol) {
+        // Hints are display-only and stay worker-local: each worker
+        // shows the names *it* first interned, exactly like the previous
+        // thread-local store.
+        self.local.record_binder_hint(id, name);
+    }
+}
+
+impl Drop for WorkerStore {
+    fn drop(&mut self) {
+        self.publish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::Kind;
+    use crate::normalize::nrm_pos;
+
+    fn samples() -> Vec<Type> {
+        vec![
+            Type::dual(Type::input(Type::neg(Type::int()), Type::var("a"))),
+            Type::dual(Type::dual(Type::output(Type::int(), Type::EndIn))),
+            Type::proto("ShPQ", vec![Type::neg(Type::neg(Type::neg(Type::int())))]),
+            Type::forall(
+                "s",
+                Kind::Session,
+                Type::arrow(
+                    Type::dual(Type::output(Type::int(), Type::var("s"))),
+                    Type::var("s"),
+                ),
+            ),
+            Type::output(
+                Type::proto("ShRep", vec![Type::int()]),
+                Type::input(Type::bool(), Type::EndOut),
+            ),
+        ]
+    }
+
+    #[test]
+    fn workers_agree_on_ids_and_verdicts() {
+        let shared = SharedStore::new_arc();
+        let mut w1 = shared.worker();
+        let mut w2 = shared.worker();
+        for t in samples() {
+            let a = w1.intern(&t);
+            let b = w2.intern(&t);
+            assert_eq!(a, b, "workers disagree on the id of {t}");
+            assert_eq!(w1.nrm(a), w2.nrm(b), "workers disagree on nrm of {t}");
+        }
+    }
+
+    #[test]
+    fn worker_nrm_agrees_with_tree_and_private_store() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        let mut private = TypeStore::new();
+        for t in samples() {
+            let wid = w.intern(&t);
+            let wn = w.nrm(wid);
+            let via_tree = w.intern(&nrm_pos(&t));
+            assert_eq!(wn, via_tree, "worker nrm disagrees with tree nrm on {t}");
+            let pid = private.intern(&t);
+            let pn = private.nrm(pid);
+            assert!(
+                w.extract(wn).alpha_eq(&private.extract(pn)),
+                "worker and private normal forms differ on {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn published_memos_warm_other_workers() {
+        let shared = SharedStore::new_arc();
+        let t = Type::dual(Type::output(Type::int(), Type::var("warmShared")));
+        let mut w1 = shared.worker();
+        let id = w1.intern(&t);
+        let n = w1.nrm(id);
+        w1.publish();
+        // A brand-new worker sees the published memo: its first nrm is a
+        // shared-shard hit, not a recomputation.
+        let mut w2 = shared.worker();
+        let before = shared.stats();
+        assert_eq!(w2.nrm(id), n);
+        w2.publish();
+        let after = shared.stats();
+        assert!(after.nrm_shared_hits > before.nrm_shared_hits);
+    }
+
+    #[test]
+    fn extraction_round_trips_through_a_worker() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        for t in samples() {
+            let id = w.intern(&t);
+            let back = w.extract(id);
+            assert!(t.alpha_eq(&back), "{t} vs {back}");
+            assert_eq!(w.intern(&back), id);
+        }
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        let t = Type::dual(Type::input(Type::int(), Type::EndIn));
+        let u = Type::output(Type::int(), Type::dual(Type::EndIn));
+        let (a, b) = (w.intern(&t), w.intern(&u));
+        assert!(w.equivalent_ids(a, b));
+        assert!(w.equivalent_ids(a, b), "second query must stay warm");
+        w.publish();
+        let stats = shared.stats();
+        assert!(stats.nodes > 0);
+        assert!(stats.nrm_misses > 0, "first contact computes");
+        assert!(stats.nrm_hits > 0, "second contact hits the memo");
+        assert!(stats.nrm_hit_rate() > 0.0 && stats.nrm_hit_rate() < 1.0);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let shared = SharedStore::new_arc();
+        let samples = samples();
+        let ids: Vec<Vec<TypeId>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let shared = &shared;
+                    let samples = &samples;
+                    scope.spawn(move || {
+                        let mut w = shared.worker();
+                        samples
+                            .iter()
+                            .map(|t| {
+                                let id = w.intern(t);
+                                let n = w.nrm(id);
+                                assert!(w.equivalent_ids(id, n));
+                                id
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for per_thread in &ids[1..] {
+            assert_eq!(per_thread, &ids[0], "threads must agree on every id");
+        }
+    }
+}

@@ -62,6 +62,12 @@ impl TypeId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from an arena index. Crate-internal: only stores may
+    /// mint ids (the [`crate::shared`] arena appends under its own lock).
+    pub(crate) fn from_index(i: usize) -> TypeId {
+        TypeId(u32::try_from(i).expect("type store overflow"))
+    }
 }
 
 impl fmt::Debug for TypeId {
@@ -195,75 +201,25 @@ impl TypeStore {
     /// Interns a boundary [`Type`], canonicalizing binders to de-Bruijn
     /// indices so that α-equivalent trees produce the same id.
     pub fn intern(&mut self, t: &Type) -> TypeId {
-        let mut binders = Vec::new();
-        self.intern_under(t, &mut binders)
+        StoreOps::intern(self, t)
     }
 
-    fn intern_under(&mut self, t: &Type, binders: &mut Vec<Symbol>) -> TypeId {
-        let node = match t {
-            Type::Unit => TNode::Unit,
-            Type::Base(b) => TNode::Base(*b),
-            Type::Var(v) => match binders.iter().rposition(|b| b == v) {
-                Some(ix) => TNode::Bound((binders.len() - 1 - ix) as u32),
-                None => TNode::Free(*v),
-            },
-            Type::Arrow(a, b) => {
-                let a = self.intern_under(a, binders);
-                let b = self.intern_under(b, binders);
-                TNode::Arrow(a, b)
-            }
-            Type::Pair(a, b) => {
-                let a = self.intern_under(a, binders);
-                let b = self.intern_under(b, binders);
-                TNode::Pair(a, b)
-            }
-            Type::Forall(v, k, body) => {
-                binders.push(*v);
-                let b = self.intern_under(body, binders);
-                binders.pop();
-                let id = self.mk(TNode::Forall(*k, b));
-                // Remember the first-seen binder name for extraction
-                // (best-effort, display-only). Fresh `%`-suffixed names
-                // from capture-avoiding substitution are not worth
-                // remembering. A cached extraction of this exact id made
-                // before the hint existed is dropped; enclosing cached
-                // trees keep their canonical names.
-                if !v.as_str().contains('%') && !self.binder_hints.contains_key(&id) {
-                    self.binder_hints.insert(id, *v);
-                    self.extract_memo.remove(&id);
-                }
-                return id;
-            }
-            Type::In(p, s) => {
-                let p = self.intern_under(p, binders);
-                let s = self.intern_under(s, binders);
-                TNode::In(p, s)
-            }
-            Type::Out(p, s) => {
-                let p = self.intern_under(p, binders);
-                let s = self.intern_under(s, binders);
-                TNode::Out(p, s)
-            }
-            Type::EndIn => TNode::EndIn,
-            Type::EndOut => TNode::EndOut,
-            Type::Dual(s) => {
-                let s = self.intern_under(s, binders);
-                TNode::Dual(s)
-            }
-            Type::Neg(p) => {
-                let p = self.intern_under(p, binders);
-                TNode::Neg(p)
-            }
-            Type::Proto(name, args) => {
-                let args = args.iter().map(|a| self.intern_under(a, binders)).collect();
-                TNode::Proto(*name, args)
-            }
-            Type::Data(name, args) => {
-                let args = args.iter().map(|a| self.intern_under(a, binders)).collect();
-                TNode::Data(*name, args)
-            }
-        };
-        self.mk(node)
+    /// Records the binder name a `Forall` id was first written with
+    /// (best-effort, display-only — identity is unaffected). Fresh
+    /// `%`-suffixed names from capture-avoiding substitution are not
+    /// worth remembering; later names never override the first. A cached
+    /// extraction of this exact id made before the hint existed is
+    /// dropped; enclosing cached trees keep their canonical names.
+    pub(crate) fn record_binder_hint(&mut self, id: TypeId, name: Symbol) {
+        if !name.as_str().contains('%') && !self.binder_hints.contains_key(&id) {
+            self.binder_hints.insert(id, name);
+            self.extract_memo.remove(&id);
+        }
+    }
+
+    /// Looks `node` up in the hash-consing map without interning it.
+    pub(crate) fn lookup_node(&self, node: &TNode) -> Option<TypeId> {
+        self.ids.get(node).copied()
     }
 
     // ----------------------------------------------------------- extraction
@@ -395,122 +351,28 @@ impl TypeStore {
     /// sharing means a sub-spine occurring under many roots is normalized
     /// once, globally.
     pub fn nrm(&mut self, id: TypeId) -> TypeId {
-        if let Some(n) = self.memo_pos[id.index()] {
-            return n;
-        }
-        let n = match self.node(id).clone() {
-            TNode::Unit
-            | TNode::Base(_)
-            | TNode::Free(_)
-            | TNode::Bound(_)
-            | TNode::EndIn
-            | TNode::EndOut => id,
-            TNode::Arrow(a, b) => {
-                let (a, b) = (self.nrm(a), self.nrm(b));
-                self.mk(TNode::Arrow(a, b))
-            }
-            TNode::Pair(a, b) => {
-                let (a, b) = (self.nrm(a), self.nrm(b));
-                self.mk(TNode::Pair(a, b))
-            }
-            TNode::Forall(k, body) => {
-                let body = self.nrm(body);
-                self.mk(TNode::Forall(k, body))
-            }
-            // nrm⁺(?T.S) = §(−(nrm⁺ T)).nrm⁺ S
-            TNode::In(p, s) => {
-                let p = self.nrm(p);
-                let p = self.dir_neg(p);
-                let s = self.nrm(s);
-                self.materialize(p, s)
-            }
-            // nrm⁺(!T.S) = §(+(nrm⁺ T)).nrm⁺ S
-            TNode::Out(p, s) => {
-                let p = self.nrm(p);
-                let p = self.dir_pos(p);
-                let s = self.nrm(s);
-                self.materialize(p, s)
-            }
-            TNode::Dual(s) => self.nrm_neg(s),
-            TNode::Proto(name, args) => {
-                let args = args.into_iter().map(|a| self.nrm(a)).collect();
-                self.mk(TNode::Proto(name, args))
-            }
-            TNode::Data(name, args) => {
-                let args = args.into_iter().map(|a| self.nrm(a)).collect();
-                self.mk(TNode::Data(name, args))
-            }
-            // nrm⁺(−T) = −(nrm⁺ T)
-            TNode::Neg(inner) => {
-                let inner = self.nrm(inner);
-                self.dir_neg(inner)
-            }
-        };
-        self.memo_pos[id.index()] = Some(n);
-        // Fixpoint seeding: the result is a normal form, so nrm(n) = n.
-        self.memo_pos[n.index()] = Some(n);
-        n
+        StoreOps::nrm(self, id)
     }
 
     /// Memoized `nrm⁻` (Fig. 3): normalization under a pending `Dual`.
     /// `nrm_neg(t) == nrm(Dual t)` for every id.
     pub fn nrm_neg(&mut self, id: TypeId) -> TypeId {
-        if let Some(n) = self.memo_neg[id.index()] {
-            return n;
-        }
-        let n = match self.node(id).clone() {
-            TNode::Dual(s) => self.nrm(s),
-            // Reify the pending dual on a variable at the end of a spine.
-            TNode::Free(_) | TNode::Bound(_) => self.mk(TNode::Dual(id)),
-            // nrm⁻(?T.S) = §(+(nrm⁺ T)).nrm⁻ S
-            TNode::In(p, s) => {
-                let p = self.nrm(p);
-                let p = self.dir_pos(p);
-                let s = self.nrm_neg(s);
-                self.materialize(p, s)
-            }
-            // nrm⁻(!T.S) = §(−(nrm⁺ T)).nrm⁻ S
-            TNode::Out(p, s) => {
-                let p = self.nrm(p);
-                let p = self.dir_neg(p);
-                let s = self.nrm_neg(s);
-                self.materialize(p, s)
-            }
-            TNode::EndIn => self.mk(TNode::EndOut),
-            TNode::EndOut => self.mk(TNode::EndIn),
-            // Non-session constructors: reify the dual on the positive
-            // normal form (ill-kinded; rejected by kind checking anyway).
-            _ => {
-                let n = self.nrm(id);
-                self.mk(TNode::Dual(n))
-            }
-        };
-        self.memo_neg[id.index()] = Some(n);
-        n
+        StoreOps::nrm_neg(self, id)
     }
 
     /// The directional operator `−(T)`: `−(−T) = +(T)`, else wrap in `−`.
     pub fn dir_neg(&mut self, id: TypeId) -> TypeId {
-        match *self.node(id) {
-            TNode::Neg(inner) => self.dir_pos(inner),
-            _ => self.mk(TNode::Neg(id)),
-        }
+        StoreOps::dir_neg(self, id)
     }
 
     /// The directional operator `+(T)`: `+(−T) = −(T)`, else identity.
     pub fn dir_pos(&mut self, id: TypeId) -> TypeId {
-        match *self.node(id) {
-            TNode::Neg(inner) => self.dir_neg(inner),
-            _ => id,
-        }
+        StoreOps::dir_pos(self, id)
     }
 
     /// Materialization `§(T).S`: `§(−T).U = ?T.U`, `§(T).U = !T.U`.
     pub fn materialize(&mut self, payload: TypeId, cont: TypeId) -> TypeId {
-        match *self.node(payload) {
-            TNode::Neg(inner) => self.mk(TNode::In(inner, cont)),
-            _ => self.mk(TNode::Out(payload, cont)),
-        }
+        StoreOps::materialize(self, payload, cont)
     }
 
     // ---------------------------------------------------------- equivalence
@@ -537,74 +399,7 @@ impl TypeStore {
     /// binders they are spliced under, and `Bound` indices travel with
     /// their own subtree. No renaming, no shifting.
     pub fn subst_free(&mut self, id: TypeId, map: &HashMap<Symbol, TypeId>) -> TypeId {
-        if map.is_empty() {
-            return id;
-        }
-        let mut memo = HashMap::new();
-        self.subst_free_rec(id, map, &mut memo)
-    }
-
-    fn subst_free_rec(
-        &mut self,
-        id: TypeId,
-        map: &HashMap<Symbol, TypeId>,
-        memo: &mut HashMap<TypeId, TypeId>,
-    ) -> TypeId {
-        if let Some(&r) = memo.get(&id) {
-            return r;
-        }
-        let r = match self.node(id).clone() {
-            TNode::Free(v) => map.get(&v).copied().unwrap_or(id),
-            TNode::Unit | TNode::Base(_) | TNode::Bound(_) | TNode::EndIn | TNode::EndOut => id,
-            TNode::Arrow(a, b) => {
-                let a = self.subst_free_rec(a, map, memo);
-                let b = self.subst_free_rec(b, map, memo);
-                self.mk(TNode::Arrow(a, b))
-            }
-            TNode::Pair(a, b) => {
-                let a = self.subst_free_rec(a, map, memo);
-                let b = self.subst_free_rec(b, map, memo);
-                self.mk(TNode::Pair(a, b))
-            }
-            TNode::Forall(k, body) => {
-                let body = self.subst_free_rec(body, map, memo);
-                self.mk(TNode::Forall(k, body))
-            }
-            TNode::In(p, s) => {
-                let p = self.subst_free_rec(p, map, memo);
-                let s = self.subst_free_rec(s, map, memo);
-                self.mk(TNode::In(p, s))
-            }
-            TNode::Out(p, s) => {
-                let p = self.subst_free_rec(p, map, memo);
-                let s = self.subst_free_rec(s, map, memo);
-                self.mk(TNode::Out(p, s))
-            }
-            TNode::Dual(s) => {
-                let s = self.subst_free_rec(s, map, memo);
-                self.mk(TNode::Dual(s))
-            }
-            TNode::Neg(p) => {
-                let p = self.subst_free_rec(p, map, memo);
-                self.mk(TNode::Neg(p))
-            }
-            TNode::Proto(name, args) => {
-                let args = args
-                    .into_iter()
-                    .map(|a| self.subst_free_rec(a, map, memo))
-                    .collect();
-                self.mk(TNode::Proto(name, args))
-            }
-            TNode::Data(name, args) => {
-                let args = args
-                    .into_iter()
-                    .map(|a| self.subst_free_rec(a, map, memo))
-                    .collect();
-                self.mk(TNode::Data(name, args))
-            }
-        };
-        memo.insert(id, r);
-        r
+        StoreOps::subst_free(self, id, map)
     }
 
     /// β-instantiation of a `∀` id: replaces the bound variable of the
@@ -613,87 +408,7 @@ impl TypeStore {
     ///
     /// `arg` must be binder-closed (every interned top-level type is).
     pub fn instantiate(&mut self, forall_id: TypeId, arg: TypeId) -> Option<TypeId> {
-        let TNode::Forall(_, body) = *self.node(forall_id) else {
-            return None;
-        };
-        debug_assert!(self.is_binder_closed(arg), "open argument to instantiate");
-        let mut memo = HashMap::new();
-        Some(self.replace_bound(body, 0, arg, &mut memo))
-    }
-
-    fn replace_bound(
-        &mut self,
-        id: TypeId,
-        depth: u32,
-        arg: TypeId,
-        memo: &mut HashMap<(TypeId, u32), TypeId>,
-    ) -> TypeId {
-        // A subtree that cannot reach the target binder is unchanged —
-        // this also makes the memo sound for subtrees shared at several
-        // depths (they are all in this closed class or keyed by depth).
-        if self.needs_binders[id.index()] <= depth {
-            return id;
-        }
-        if let Some(&r) = memo.get(&(id, depth)) {
-            return r;
-        }
-        let r = match self.node(id).clone() {
-            TNode::Bound(i) if i == depth => arg,
-            // An index above the eliminated binder steps down by one.
-            TNode::Bound(i) if i > depth => self.mk(TNode::Bound(i - 1)),
-            TNode::Bound(_) => id,
-            TNode::Forall(k, body) => {
-                let body = self.replace_bound(body, depth + 1, arg, memo);
-                self.mk(TNode::Forall(k, body))
-            }
-            TNode::Arrow(a, b) => {
-                let a = self.replace_bound(a, depth, arg, memo);
-                let b = self.replace_bound(b, depth, arg, memo);
-                self.mk(TNode::Arrow(a, b))
-            }
-            TNode::Pair(a, b) => {
-                let a = self.replace_bound(a, depth, arg, memo);
-                let b = self.replace_bound(b, depth, arg, memo);
-                self.mk(TNode::Pair(a, b))
-            }
-            TNode::In(p, s) => {
-                let p = self.replace_bound(p, depth, arg, memo);
-                let s = self.replace_bound(s, depth, arg, memo);
-                self.mk(TNode::In(p, s))
-            }
-            TNode::Out(p, s) => {
-                let p = self.replace_bound(p, depth, arg, memo);
-                let s = self.replace_bound(s, depth, arg, memo);
-                self.mk(TNode::Out(p, s))
-            }
-            TNode::Dual(s) => {
-                let s = self.replace_bound(s, depth, arg, memo);
-                self.mk(TNode::Dual(s))
-            }
-            TNode::Neg(p) => {
-                let p = self.replace_bound(p, depth, arg, memo);
-                self.mk(TNode::Neg(p))
-            }
-            TNode::Proto(name, args) => {
-                let args = args
-                    .into_iter()
-                    .map(|a| self.replace_bound(a, depth, arg, memo))
-                    .collect();
-                self.mk(TNode::Proto(name, args))
-            }
-            TNode::Data(name, args) => {
-                let args = args
-                    .into_iter()
-                    .map(|a| self.replace_bound(a, depth, arg, memo))
-                    .collect();
-                self.mk(TNode::Data(name, args))
-            }
-            TNode::Unit | TNode::Base(_) | TNode::Free(_) | TNode::EndIn | TNode::EndOut => {
-                unreachable!("leaf nodes need no binders")
-            }
-        };
-        memo.insert((id, depth), r);
-        r
+        StoreOps::instantiate(self, forall_id, arg)
     }
 
     // -------------------------------------------------------------- queries
@@ -736,6 +451,469 @@ impl TypeStore {
         memo.insert(id, n);
         n
     }
+}
+
+// ------------------------------------------------------------- StoreOps
+
+/// The primitive store interface the id-level algorithms are generic
+/// over, plus the algorithms themselves as provided methods.
+///
+/// Two implementations exist: the single-threaded [`TypeStore`] (arena,
+/// maps and memos all private to one owner) and the concurrent
+/// [`WorkerStore`](crate::shared::WorkerStore) (a per-worker mirror of a
+/// process-wide [`SharedStore`](crate::shared::SharedStore), with memo
+/// deltas published back). Because `intern`, `nrm⁺`/`nrm⁻`,
+/// substitution and β-instantiation are all written once against this
+/// trait, the two stores cannot drift semantically: they run the same
+/// code over the same [`TNode`] grammar, differing only in where nodes
+/// and memo entries live.
+///
+/// All methods take `&mut self` — even reads — because the concurrent
+/// implementation lazily syncs its local mirror on first touch of an id.
+pub trait StoreOps {
+    /// The node behind `id` (cloned; the concurrent store may first have
+    /// to copy it into the local mirror).
+    fn node_owned(&mut self, id: TypeId) -> TNode;
+
+    /// Hash-conses `node` into an id. Children of `node` must already be
+    /// ids of this store.
+    fn mk_node(&mut self, node: TNode) -> TypeId;
+
+    /// `1 + max escaping de-Bruijn index` of the subtree (0 = closed).
+    fn binders_needed(&mut self, id: TypeId) -> u32;
+
+    /// Memoized `nrm⁺` entry for `id`, if recorded.
+    fn memo_pos_entry(&mut self, id: TypeId) -> Option<TypeId>;
+
+    /// Records `nrm⁺(id) = nf`.
+    fn memo_pos_record(&mut self, id: TypeId, nf: TypeId);
+
+    /// Memoized `nrm⁻` entry for `id`, if recorded.
+    fn memo_neg_entry(&mut self, id: TypeId) -> Option<TypeId>;
+
+    /// Records `nrm⁻(id) = nf`.
+    fn memo_neg_record(&mut self, id: TypeId, nf: TypeId);
+
+    /// Notes the binder name a `Forall` id was first written with
+    /// (display-only; implementations may ignore it).
+    fn note_binder_hint(&mut self, id: TypeId, name: Symbol);
+
+    // ------------------------------------------------- provided algorithms
+
+    /// Interns a boundary [`Type`] with α-canonical (de Bruijn) binders.
+    fn intern(&mut self, t: &Type) -> TypeId
+    where
+        Self: Sized,
+    {
+        let mut binders = Vec::new();
+        intern_under(self, t, &mut binders)
+    }
+
+    /// Memoized `nrm⁺` (Fig. 3) at the id level.
+    fn nrm(&mut self, id: TypeId) -> TypeId
+    where
+        Self: Sized,
+    {
+        nrm_pos_id(self, id)
+    }
+
+    /// Memoized `nrm⁻` (Fig. 3): normalization under a pending `Dual`.
+    fn nrm_neg(&mut self, id: TypeId) -> TypeId
+    where
+        Self: Sized,
+    {
+        nrm_neg_id(self, id)
+    }
+
+    /// The directional operator `−(T)`: `−(−T) = +(T)`, else wrap in `−`.
+    fn dir_neg(&mut self, id: TypeId) -> TypeId
+    where
+        Self: Sized,
+    {
+        match self.node_owned(id) {
+            TNode::Neg(inner) => self.dir_pos(inner),
+            _ => self.mk_node(TNode::Neg(id)),
+        }
+    }
+
+    /// The directional operator `+(T)`: `+(−T) = −(T)`, else identity.
+    fn dir_pos(&mut self, id: TypeId) -> TypeId
+    where
+        Self: Sized,
+    {
+        match self.node_owned(id) {
+            TNode::Neg(inner) => self.dir_neg(inner),
+            _ => id,
+        }
+    }
+
+    /// Materialization `§(T).S`: `§(−T).U = ?T.U`, `§(T).U = !T.U`.
+    fn materialize(&mut self, payload: TypeId, cont: TypeId) -> TypeId
+    where
+        Self: Sized,
+    {
+        match self.node_owned(payload) {
+            TNode::Neg(inner) => self.mk_node(TNode::In(inner, cont)),
+            _ => self.mk_node(TNode::Out(payload, cont)),
+        }
+    }
+
+    /// Decides `T ≡_A U` as id equality of memoized normal forms.
+    fn equivalent_ids(&mut self, a: TypeId, b: TypeId) -> bool
+    where
+        Self: Sized,
+    {
+        self.nrm(a) == self.nrm(b)
+    }
+
+    /// Simultaneous, capture-free substitution of ids for free variables.
+    fn subst_free(&mut self, id: TypeId, map: &HashMap<Symbol, TypeId>) -> TypeId
+    where
+        Self: Sized,
+    {
+        if map.is_empty() {
+            return id;
+        }
+        let mut memo = HashMap::new();
+        subst_free_rec(self, id, map, &mut memo)
+    }
+
+    /// β-instantiation of the outermost `∀` binder of `forall_id` with
+    /// the binder-closed `arg`; `None` when `forall_id` is not a `Forall`.
+    fn instantiate(&mut self, forall_id: TypeId, arg: TypeId) -> Option<TypeId>
+    where
+        Self: Sized,
+    {
+        let TNode::Forall(_, body) = self.node_owned(forall_id) else {
+            return None;
+        };
+        debug_assert_eq!(self.binders_needed(arg), 0, "open argument to instantiate");
+        let mut memo = HashMap::new();
+        Some(replace_bound(self, body, 0, arg, &mut memo))
+    }
+}
+
+impl StoreOps for TypeStore {
+    fn node_owned(&mut self, id: TypeId) -> TNode {
+        self.nodes[id.index()].clone()
+    }
+
+    fn mk_node(&mut self, node: TNode) -> TypeId {
+        self.mk(node)
+    }
+
+    fn binders_needed(&mut self, id: TypeId) -> u32 {
+        self.needs_binders[id.index()]
+    }
+
+    fn memo_pos_entry(&mut self, id: TypeId) -> Option<TypeId> {
+        self.memo_pos[id.index()]
+    }
+
+    fn memo_pos_record(&mut self, id: TypeId, nf: TypeId) {
+        self.memo_pos[id.index()] = Some(nf);
+    }
+
+    fn memo_neg_entry(&mut self, id: TypeId) -> Option<TypeId> {
+        self.memo_neg[id.index()]
+    }
+
+    fn memo_neg_record(&mut self, id: TypeId, nf: TypeId) {
+        self.memo_neg[id.index()] = Some(nf);
+    }
+
+    fn note_binder_hint(&mut self, id: TypeId, name: Symbol) {
+        self.record_binder_hint(id, name);
+    }
+}
+
+fn intern_under<S: StoreOps>(s: &mut S, t: &Type, binders: &mut Vec<Symbol>) -> TypeId {
+    let node = match t {
+        Type::Unit => TNode::Unit,
+        Type::Base(b) => TNode::Base(*b),
+        Type::Var(v) => match binders.iter().rposition(|b| b == v) {
+            Some(ix) => TNode::Bound((binders.len() - 1 - ix) as u32),
+            None => TNode::Free(*v),
+        },
+        Type::Arrow(a, b) => {
+            let a = intern_under(s, a, binders);
+            let b = intern_under(s, b, binders);
+            TNode::Arrow(a, b)
+        }
+        Type::Pair(a, b) => {
+            let a = intern_under(s, a, binders);
+            let b = intern_under(s, b, binders);
+            TNode::Pair(a, b)
+        }
+        Type::Forall(v, k, body) => {
+            binders.push(*v);
+            let b = intern_under(s, body, binders);
+            binders.pop();
+            let id = s.mk_node(TNode::Forall(*k, b));
+            s.note_binder_hint(id, *v);
+            return id;
+        }
+        Type::In(p, t) => {
+            let p = intern_under(s, p, binders);
+            let t = intern_under(s, t, binders);
+            TNode::In(p, t)
+        }
+        Type::Out(p, t) => {
+            let p = intern_under(s, p, binders);
+            let t = intern_under(s, t, binders);
+            TNode::Out(p, t)
+        }
+        Type::EndIn => TNode::EndIn,
+        Type::EndOut => TNode::EndOut,
+        Type::Dual(t) => {
+            let t = intern_under(s, t, binders);
+            TNode::Dual(t)
+        }
+        Type::Neg(p) => {
+            let p = intern_under(s, p, binders);
+            TNode::Neg(p)
+        }
+        Type::Proto(name, args) => {
+            let args = args.iter().map(|a| intern_under(s, a, binders)).collect();
+            TNode::Proto(*name, args)
+        }
+        Type::Data(name, args) => {
+            let args = args.iter().map(|a| intern_under(s, a, binders)).collect();
+            TNode::Data(*name, args)
+        }
+    };
+    s.mk_node(node)
+}
+
+fn nrm_pos_id<S: StoreOps>(s: &mut S, id: TypeId) -> TypeId {
+    if let Some(n) = s.memo_pos_entry(id) {
+        return n;
+    }
+    let n = match s.node_owned(id) {
+        TNode::Unit
+        | TNode::Base(_)
+        | TNode::Free(_)
+        | TNode::Bound(_)
+        | TNode::EndIn
+        | TNode::EndOut => id,
+        TNode::Arrow(a, b) => {
+            let (a, b) = (nrm_pos_id(s, a), nrm_pos_id(s, b));
+            s.mk_node(TNode::Arrow(a, b))
+        }
+        TNode::Pair(a, b) => {
+            let (a, b) = (nrm_pos_id(s, a), nrm_pos_id(s, b));
+            s.mk_node(TNode::Pair(a, b))
+        }
+        TNode::Forall(k, body) => {
+            let body = nrm_pos_id(s, body);
+            s.mk_node(TNode::Forall(k, body))
+        }
+        // nrm⁺(?T.S) = §(−(nrm⁺ T)).nrm⁺ S
+        TNode::In(p, t) => {
+            let p = nrm_pos_id(s, p);
+            let p = s.dir_neg(p);
+            let t = nrm_pos_id(s, t);
+            s.materialize(p, t)
+        }
+        // nrm⁺(!T.S) = §(+(nrm⁺ T)).nrm⁺ S
+        TNode::Out(p, t) => {
+            let p = nrm_pos_id(s, p);
+            let p = s.dir_pos(p);
+            let t = nrm_pos_id(s, t);
+            s.materialize(p, t)
+        }
+        TNode::Dual(t) => nrm_neg_id(s, t),
+        TNode::Proto(name, args) => {
+            let args = args.into_iter().map(|a| nrm_pos_id(s, a)).collect();
+            s.mk_node(TNode::Proto(name, args))
+        }
+        TNode::Data(name, args) => {
+            let args = args.into_iter().map(|a| nrm_pos_id(s, a)).collect();
+            s.mk_node(TNode::Data(name, args))
+        }
+        // nrm⁺(−T) = −(nrm⁺ T)
+        TNode::Neg(inner) => {
+            let inner = nrm_pos_id(s, inner);
+            s.dir_neg(inner)
+        }
+    };
+    s.memo_pos_record(id, n);
+    // Fixpoint seeding: the result is a normal form, so nrm(n) = n.
+    s.memo_pos_record(n, n);
+    n
+}
+
+fn nrm_neg_id<S: StoreOps>(s: &mut S, id: TypeId) -> TypeId {
+    if let Some(n) = s.memo_neg_entry(id) {
+        return n;
+    }
+    let n = match s.node_owned(id) {
+        TNode::Dual(t) => nrm_pos_id(s, t),
+        // Reify the pending dual on a variable at the end of a spine.
+        TNode::Free(_) | TNode::Bound(_) => s.mk_node(TNode::Dual(id)),
+        // nrm⁻(?T.S) = §(+(nrm⁺ T)).nrm⁻ S
+        TNode::In(p, t) => {
+            let p = nrm_pos_id(s, p);
+            let p = s.dir_pos(p);
+            let t = nrm_neg_id(s, t);
+            s.materialize(p, t)
+        }
+        // nrm⁻(!T.S) = §(−(nrm⁺ T)).nrm⁻ S
+        TNode::Out(p, t) => {
+            let p = nrm_pos_id(s, p);
+            let p = s.dir_neg(p);
+            let t = nrm_neg_id(s, t);
+            s.materialize(p, t)
+        }
+        TNode::EndIn => s.mk_node(TNode::EndOut),
+        TNode::EndOut => s.mk_node(TNode::EndIn),
+        // Non-session constructors: reify the dual on the positive
+        // normal form (ill-kinded; rejected by kind checking anyway).
+        _ => {
+            let n = nrm_pos_id(s, id);
+            s.mk_node(TNode::Dual(n))
+        }
+    };
+    s.memo_neg_record(id, n);
+    n
+}
+
+fn subst_free_rec<S: StoreOps>(
+    s: &mut S,
+    id: TypeId,
+    map: &HashMap<Symbol, TypeId>,
+    memo: &mut HashMap<TypeId, TypeId>,
+) -> TypeId {
+    if let Some(&r) = memo.get(&id) {
+        return r;
+    }
+    let r = match s.node_owned(id) {
+        TNode::Free(v) => map.get(&v).copied().unwrap_or(id),
+        TNode::Unit | TNode::Base(_) | TNode::Bound(_) | TNode::EndIn | TNode::EndOut => id,
+        TNode::Arrow(a, b) => {
+            let a = subst_free_rec(s, a, map, memo);
+            let b = subst_free_rec(s, b, map, memo);
+            s.mk_node(TNode::Arrow(a, b))
+        }
+        TNode::Pair(a, b) => {
+            let a = subst_free_rec(s, a, map, memo);
+            let b = subst_free_rec(s, b, map, memo);
+            s.mk_node(TNode::Pair(a, b))
+        }
+        TNode::Forall(k, body) => {
+            let body = subst_free_rec(s, body, map, memo);
+            s.mk_node(TNode::Forall(k, body))
+        }
+        TNode::In(p, t) => {
+            let p = subst_free_rec(s, p, map, memo);
+            let t = subst_free_rec(s, t, map, memo);
+            s.mk_node(TNode::In(p, t))
+        }
+        TNode::Out(p, t) => {
+            let p = subst_free_rec(s, p, map, memo);
+            let t = subst_free_rec(s, t, map, memo);
+            s.mk_node(TNode::Out(p, t))
+        }
+        TNode::Dual(t) => {
+            let t = subst_free_rec(s, t, map, memo);
+            s.mk_node(TNode::Dual(t))
+        }
+        TNode::Neg(p) => {
+            let p = subst_free_rec(s, p, map, memo);
+            s.mk_node(TNode::Neg(p))
+        }
+        TNode::Proto(name, args) => {
+            let args = args
+                .into_iter()
+                .map(|a| subst_free_rec(s, a, map, memo))
+                .collect();
+            s.mk_node(TNode::Proto(name, args))
+        }
+        TNode::Data(name, args) => {
+            let args = args
+                .into_iter()
+                .map(|a| subst_free_rec(s, a, map, memo))
+                .collect();
+            s.mk_node(TNode::Data(name, args))
+        }
+    };
+    memo.insert(id, r);
+    r
+}
+
+fn replace_bound<S: StoreOps>(
+    s: &mut S,
+    id: TypeId,
+    depth: u32,
+    arg: TypeId,
+    memo: &mut HashMap<(TypeId, u32), TypeId>,
+) -> TypeId {
+    // A subtree that cannot reach the target binder is unchanged —
+    // this also makes the memo sound for subtrees shared at several
+    // depths (they are all in this closed class or keyed by depth).
+    if s.binders_needed(id) <= depth {
+        return id;
+    }
+    if let Some(&r) = memo.get(&(id, depth)) {
+        return r;
+    }
+    let r = match s.node_owned(id) {
+        TNode::Bound(i) if i == depth => arg,
+        // An index above the eliminated binder steps down by one.
+        TNode::Bound(i) if i > depth => s.mk_node(TNode::Bound(i - 1)),
+        TNode::Bound(_) => id,
+        TNode::Forall(k, body) => {
+            let body = replace_bound(s, body, depth + 1, arg, memo);
+            s.mk_node(TNode::Forall(k, body))
+        }
+        TNode::Arrow(a, b) => {
+            let a = replace_bound(s, a, depth, arg, memo);
+            let b = replace_bound(s, b, depth, arg, memo);
+            s.mk_node(TNode::Arrow(a, b))
+        }
+        TNode::Pair(a, b) => {
+            let a = replace_bound(s, a, depth, arg, memo);
+            let b = replace_bound(s, b, depth, arg, memo);
+            s.mk_node(TNode::Pair(a, b))
+        }
+        TNode::In(p, t) => {
+            let p = replace_bound(s, p, depth, arg, memo);
+            let t = replace_bound(s, t, depth, arg, memo);
+            s.mk_node(TNode::In(p, t))
+        }
+        TNode::Out(p, t) => {
+            let p = replace_bound(s, p, depth, arg, memo);
+            let t = replace_bound(s, t, depth, arg, memo);
+            s.mk_node(TNode::Out(p, t))
+        }
+        TNode::Dual(t) => {
+            let t = replace_bound(s, t, depth, arg, memo);
+            s.mk_node(TNode::Dual(t))
+        }
+        TNode::Neg(p) => {
+            let p = replace_bound(s, p, depth, arg, memo);
+            s.mk_node(TNode::Neg(p))
+        }
+        TNode::Proto(name, args) => {
+            let args = args
+                .into_iter()
+                .map(|a| replace_bound(s, a, depth, arg, memo))
+                .collect();
+            s.mk_node(TNode::Proto(name, args))
+        }
+        TNode::Data(name, args) => {
+            let args = args
+                .into_iter()
+                .map(|a| replace_bound(s, a, depth, arg, memo))
+                .collect();
+            s.mk_node(TNode::Data(name, args))
+        }
+        TNode::Unit | TNode::Base(_) | TNode::Free(_) | TNode::EndIn | TNode::EndOut => {
+            unreachable!("leaf nodes need no binders")
+        }
+    };
+    memo.insert((id, depth), r);
+    r
 }
 
 /// Canonical binder names for extraction: `a`, `b`, …, `z`, `a1`, `b1`, …

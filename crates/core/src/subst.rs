@@ -7,7 +7,7 @@
 //! capture is impossible by construction (binders are nameless). Both
 //! agree up to α-equivalence.
 
-use crate::store::{TypeId, TypeStore};
+use crate::store::{StoreOps, TypeId};
 use crate::symbol::Symbol;
 use crate::types::Type;
 use std::collections::{HashMap, HashSet};
@@ -77,8 +77,10 @@ impl Subst {
     /// into `store` and free occurrences are replaced without any
     /// renaming (nameless binders cannot capture). Agrees with
     /// [`Subst::apply`] up to α-equivalence — i.e. produces the id that
-    /// `apply`'s result would intern to.
-    pub fn apply_interned(&self, store: &mut TypeStore, id: TypeId) -> TypeId {
+    /// `apply`'s result would intern to. Generic over [`StoreOps`], so it
+    /// runs against both a private [`TypeStore`] and a concurrent
+    /// [`WorkerStore`](crate::shared::WorkerStore).
+    pub fn apply_interned<S: StoreOps>(&self, store: &mut S, id: TypeId) -> TypeId {
         if self.is_empty() {
             return id;
         }

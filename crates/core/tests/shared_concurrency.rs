@@ -1,0 +1,150 @@
+//! Property tests of the **concurrent** store semantics: checking the
+//! same types from many threads through one [`SharedStore`] must be
+//! indistinguishable (in ids and verdicts) from the single-threaded
+//! tree-level oracle.
+
+use algst_core::normalize::nrm_pos;
+use algst_core::shared::SharedStore;
+use algst_core::store::TypeId;
+use algst_core::types::Type;
+use proptest::prelude::*;
+
+const THREADS: usize = 8;
+
+/// Compact strategy over session-shaped types with a free variable and
+/// nominal protocol references — enough to exercise every `TNode`
+/// constructor the normalizer rewrites.
+fn arb_ty() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::EndIn),
+        Just(Type::EndOut),
+        Just(Type::int()),
+        Just(Type::var("sv")),
+        Just(Type::proto("CcP", vec![])),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(p, s)| Type::input(p, s)),
+            (inner.clone(), inner.clone()).prop_map(|(p, s)| Type::output(p, s)),
+            inner.clone().prop_map(Type::dual),
+            inner.clone().prop_map(Type::neg),
+            inner.clone().prop_map(|t| Type::proto("CcStream", vec![t])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Type::arrow(a, b)),
+        ]
+    })
+}
+
+/// The single-threaded, tree-level verdict (no store involved at all).
+fn oracle(t: &Type, u: &Type) -> bool {
+    nrm_pos(t).alpha_eq(&nrm_pos(u))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eight threads intern and decide the same sample set concurrently:
+    /// every thread must agree with every other thread on every id, and
+    /// `equivalent_ids` must be reflexive, symmetric, and equal to the
+    /// tree oracle on every pair.
+    #[test]
+    fn eight_threads_match_the_tree_oracle(samples in prop::collection::vec(arb_ty(), 2..10)) {
+        let shared = SharedStore::new_arc();
+        let per_thread: Vec<(Vec<TypeId>, Vec<Vec<bool>>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|ti| {
+                    let shared = &shared;
+                    let samples = &samples;
+                    scope.spawn(move || {
+                        let mut w = shared.worker();
+                        let ids: Vec<TypeId> =
+                            samples.iter().map(|t| w.intern(t)).collect();
+                        let mut verdicts = Vec::new();
+                        for (i, &a) in ids.iter().enumerate() {
+                            assert!(w.equivalent_ids(a, a), "thread {ti}: not reflexive");
+                            let row: Vec<bool> = ids
+                                .iter()
+                                .map(|&b| {
+                                    let ab = w.equivalent_ids(a, b);
+                                    assert_eq!(
+                                        ab,
+                                        w.equivalent_ids(b, a),
+                                        "thread {ti}: not symmetric on ({i})"
+                                    );
+                                    ab
+                                })
+                                .collect();
+                            verdicts.push(row);
+                            // Interleave publishes so other threads pick
+                            // up this thread's memo entries mid-run.
+                            if i % 2 == 0 {
+                                w.publish();
+                            }
+                        }
+                        (ids, verdicts)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let (ids0, verdicts0) = &per_thread[0];
+        for (ids, verdicts) in &per_thread[1..] {
+            prop_assert_eq!(ids, ids0, "threads disagree on ids");
+            prop_assert_eq!(verdicts, verdicts0, "threads disagree on verdicts");
+        }
+        for (i, a) in samples.iter().enumerate() {
+            for (j, b) in samples.iter().enumerate() {
+                prop_assert_eq!(
+                    verdicts0[i][j],
+                    oracle(a, b),
+                    "store verdict differs from tree oracle on {} vs {}",
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    /// Warm restarts: a second wave of fresh workers, arriving after the
+    /// first wave published, sees identical ids and verdicts (served
+    /// from the shared memo instead of recomputation).
+    #[test]
+    fn second_wave_reuses_published_state(samples in prop::collection::vec(arb_ty(), 2..8)) {
+        let shared = SharedStore::new_arc();
+        let run_wave = || -> Vec<(TypeId, TypeId, bool)> {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let shared = &shared;
+                        let samples = &samples;
+                        scope.spawn(move || {
+                            let mut w = shared.worker();
+                            samples
+                                .windows(2)
+                                .map(|pair| {
+                                    let a = w.intern(&pair[0]);
+                                    let b = w.intern(&pair[1]);
+                                    (a, b, w.equivalent_ids(a, b))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                let mut results: Vec<_> =
+                    handles.into_iter().map(|h| h.join().unwrap()).collect();
+                let first = results.remove(0);
+                for other in results {
+                    assert_eq!(other, first);
+                }
+                first
+            })
+        };
+        let wave1 = run_wave();
+        let misses_after_wave1 = shared.stats().nrm_misses;
+        let wave2 = run_wave();
+        prop_assert_eq!(wave1, wave2);
+        // The second wave computed nothing new: every normal form was
+        // already in the shared memo.
+        prop_assert_eq!(shared.stats().nrm_misses, misses_after_wave1);
+    }
+}

@@ -18,6 +18,7 @@ pub mod mutate;
 pub mod suite;
 pub mod to_freest;
 pub mod to_grammar;
+pub mod workload;
 
 pub use generate::{generate_instance, GenConfig};
 pub use instance::{Instance, TestCase};

@@ -1,0 +1,157 @@
+//! Synthetic server load: request streams over the Fig. 10 suites.
+//!
+//! The Figure-10 suites measure one isolated query per pair. A *server*
+//! sees something else: a long stream in which the same pairs recur
+//! (every client of a protocol asks the same compatibility questions),
+//! arguments arrive in either order, and cold pairs are interleaved with
+//! warm ones. [`equiv_workload`] models that: it takes the suites'
+//! ground-truth pairs and samples a request sequence with repetition
+//! and random orientation — deterministic in the seed, so soak tests
+//! and benchmarks are reproducible.
+
+use crate::suite::Suite;
+use algst_core::types::Type;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One ground-truth pair a request can draw from.
+#[derive(Clone, Debug)]
+pub struct WorkloadPair {
+    /// Index of the originating suite in the `suites` slice.
+    pub suite: usize,
+    /// Index of the case within that suite.
+    pub case: usize,
+    pub lhs: Type,
+    pub rhs: Type,
+    /// Ground-truth verdict (by construction of the suite).
+    pub expected: bool,
+}
+
+/// One request of the stream: a pair reference, possibly flipped
+/// (equivalence is symmetric, so the expected verdict is unchanged).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkloadRequest {
+    pub pair: usize,
+    pub flipped: bool,
+}
+
+/// A reproducible request stream over a set of suites.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    pub pairs: Vec<WorkloadPair>,
+    pub requests: Vec<WorkloadRequest>,
+}
+
+impl Workload {
+    /// The (lhs, rhs, expected) view of request `i`, flip applied.
+    pub fn request(&self, i: usize) -> (&Type, &Type, bool) {
+        let r = self.requests[i];
+        let p = &self.pairs[r.pair];
+        if r.flipped {
+            (&p.rhs, &p.lhs, p.expected)
+        } else {
+            (&p.lhs, &p.rhs, p.expected)
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+}
+
+/// Builds a stream of `requests` equivalence queries over the pairs of
+/// `suites`. Every pair appears at least once (while `requests` allows),
+/// so verdicts can be checked exhaustively against the ground truth;
+/// the rest of the stream re-samples pairs uniformly, flipping
+/// orientation half the time — the warm-hit-dominated shape a
+/// long-running service actually sees.
+pub fn equiv_workload(suites: &[&Suite], requests: usize, seed: u64) -> Workload {
+    let mut pairs = Vec::new();
+    for (si, suite) in suites.iter().enumerate() {
+        for (ci, case) in suite.cases.iter().enumerate() {
+            pairs.push(WorkloadPair {
+                suite: si,
+                case: ci,
+                lhs: case.instance.ty.clone(),
+                rhs: case.other.clone(),
+                expected: case.equivalent,
+            });
+        }
+    }
+    if pairs.is_empty() {
+        // No cases to draw from (empty suites): an empty stream, not a
+        // panic inside the sampler.
+        return Workload {
+            pairs,
+            requests: Vec::new(),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let pair = if i < pairs.len() {
+            i // first pass: cover every pair in order (the cold phase)
+        } else {
+            rng.gen_range(0..pairs.len())
+        };
+        let flipped = i >= pairs.len() && rng.gen_range(0..2) == 1;
+        stream.push(WorkloadRequest { pair, flipped });
+    }
+    Workload {
+        pairs,
+        requests: stream,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{build_suite, SuiteKind};
+    use algst_core::equiv::equivalent;
+
+    #[test]
+    fn covers_every_pair_then_repeats() {
+        let eq = build_suite(SuiteKind::Equivalent, 10, 21);
+        let ne = build_suite(SuiteKind::NonEquivalent, 10, 22);
+        let w = equiv_workload(&[&eq, &ne], 100, 7);
+        assert_eq!(w.pairs.len(), 20);
+        assert_eq!(w.len(), 100);
+        // Cold phase covers each pair once, unflipped.
+        for (i, r) in w.requests[..20].iter().enumerate() {
+            assert_eq!((r.pair, r.flipped), (i, false));
+        }
+        // The tail actually repeats pairs.
+        assert!(w.requests[20..].iter().any(|r| r.pair < 20));
+        assert!(w.requests[20..].iter().any(|r| r.flipped));
+    }
+
+    #[test]
+    fn ground_truth_matches_equivalent() {
+        let eq = build_suite(SuiteKind::Equivalent, 6, 31);
+        let ne = build_suite(SuiteKind::NonEquivalent, 6, 32);
+        let w = equiv_workload(&[&eq, &ne], 30, 8);
+        for i in 0..w.len() {
+            let (lhs, rhs, expected) = w.request(i);
+            assert_eq!(equivalent(lhs, rhs), expected, "request {i}");
+        }
+    }
+
+    #[test]
+    fn empty_suites_yield_an_empty_stream() {
+        let w = equiv_workload(&[], 100, 1);
+        assert!(w.is_empty());
+        assert!(w.pairs.is_empty());
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let eq = build_suite(SuiteKind::Equivalent, 5, 41);
+        let a = equiv_workload(&[&eq], 40, 9);
+        let b = equiv_workload(&[&eq], 40, 9);
+        assert_eq!(a.requests, b.requests);
+    }
+}

@@ -1,0 +1,465 @@
+//! The batch engine: a worker pool over one [`SharedStore`].
+//!
+//! Requests travel in **batches** (`Vec<Request>` per channel message),
+//! so channel synchronization amortizes over many requests — essential
+//! when a warm `equiv` is tens of nanoseconds of actual work. Each
+//! worker owns a [`WorkerStore`] mirror of the shared store and
+//! **publishes its memo deltas after every batch**, so normal forms
+//! computed for one client warm every other worker's next batch.
+//!
+//! Above the store sit three request-level caches, all shared across
+//! workers:
+//!
+//! * the **per-pair verdict cache** (`equiv` memo): a canonically
+//!   ordered `(TypeId, TypeId) → bool` map, sharded like the store.
+//!   A repeated pair — the dominant case under real traffic — skips
+//!   even the `nrm` memo lookups, and its response says `"warm":true`.
+//! * the **parse cache**: source string → interned [`TypeId`], skipping
+//!   lex/parse/resolve for repeated type strings.
+//! * the **module cache** (`check` op): source → checked
+//!   [`Module`](algst_check::Module), see [`algst_check::cache`].
+
+use crate::protocol::{Op, Request, Response, Snapshot};
+use crate::resolve::type_from_str;
+use algst_check::cache::ModuleCache;
+use algst_core::shared::{SharedStore, WorkerStore, SHARDS};
+use algst_core::store::TypeId;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A batch of requests plus the channel their responses go back on.
+/// Responses come back as one `Vec` per batch, in batch order.
+pub struct Batch {
+    pub items: Vec<Request>,
+    pub reply: Sender<Vec<Response>>,
+}
+
+impl std::fmt::Debug for Batch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Batch")
+            .field("items", &self.items.len())
+            .finish()
+    }
+}
+
+/// Request-level shared state (everything above the type store).
+struct EngineState {
+    /// Per-pair verdict cache, keyed by canonically ordered ids.
+    verdicts: Vec<RwLock<HashMap<(TypeId, TypeId), bool>>>,
+    /// Type-string parse cache (successes only; errors are rare and
+    /// cheap to reproduce).
+    parses: Vec<RwLock<HashMap<String, TypeId>>>,
+    modules: ModuleCache,
+    workers: usize,
+    requests: AtomicU64,
+    equiv_hits: AtomicU64,
+    equiv_misses: AtomicU64,
+}
+
+impl EngineState {
+    fn new(workers: usize) -> EngineState {
+        EngineState {
+            verdicts: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            parses: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            modules: ModuleCache::new(),
+            workers,
+            requests: AtomicU64::new(0),
+            equiv_hits: AtomicU64::new(0),
+            equiv_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the request-level state, `store` merged in.
+    fn snapshot(&self, store: &SharedStore) -> Snapshot {
+        let (equiv_entries, parse_entries) = self.entries();
+        let mut snap = Snapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            workers: self.workers,
+            equiv_entries,
+            equiv_hits: self.equiv_hits.load(Ordering::Relaxed),
+            equiv_misses: self.equiv_misses.load(Ordering::Relaxed),
+            parse_entries,
+            ..Snapshot::default()
+        };
+        snap.merge_store(store.stats());
+        snap.merge_modules(self.modules.stats());
+        snap
+    }
+
+    fn pair_shard(key: (TypeId, TypeId)) -> usize {
+        (key.0.index() ^ key.1.index().rotate_left(16)) % SHARDS
+    }
+
+    fn verdict_get(&self, key: (TypeId, TypeId)) -> Option<bool> {
+        self.verdicts[Self::pair_shard(key)]
+            .read()
+            .get(&key)
+            .copied()
+    }
+
+    fn verdict_put(&self, key: (TypeId, TypeId), verdict: bool) {
+        self.verdicts[Self::pair_shard(key)]
+            .write()
+            .insert(key, verdict);
+    }
+
+    fn str_shard(s: &str) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        s.hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn parse_get(&self, src: &str) -> Option<TypeId> {
+        self.parses[Self::str_shard(src)].read().get(src).copied()
+    }
+
+    fn parse_put(&self, src: &str, id: TypeId) {
+        self.parses[Self::str_shard(src)]
+            .write()
+            .insert(src.to_owned(), id);
+    }
+
+    fn entries(&self) -> (u64, u64) {
+        let verdicts = self.verdicts.iter().map(|s| s.read().len() as u64).sum();
+        let parses = self.parses.iter().map(|s| s.read().len() as u64).sum();
+        (verdicts, parses)
+    }
+}
+
+/// The worker pool. Submit [`Batch`]es with [`Engine::submit`]; drop
+/// (or [`Engine::shutdown`]) to stop the workers.
+pub struct Engine {
+    tx: Option<Sender<Batch>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<SharedStore>,
+    state: Arc<EngineState>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+/// Queue capacity: enough in-flight batches to keep every worker busy
+/// without buffering unbounded input.
+fn queue_capacity(workers: usize) -> usize {
+    workers.max(1) * 4
+}
+
+impl Engine {
+    /// A pool of `workers` threads over the **process-global** store
+    /// (the one `algst_core::equiv::equivalent` uses), so a long-running
+    /// server shares warm state with in-process checking.
+    pub fn new(workers: usize) -> Engine {
+        Engine::with_store(workers, algst_core::equiv::global_store())
+    }
+
+    /// A pool over a caller-provided store — benchmarks use this to
+    /// measure cold starts reproducibly.
+    ///
+    /// Caveat: only `equiv` requests run against `shared`. The `check`
+    /// op goes through `algst_check`, whose elaboration uses the
+    /// **process-global** store (`algst_core::equiv::with_shared_store`)
+    /// regardless of this parameter — so cold-start measurements are
+    /// reproducible for `equiv` workloads, and `stats`/`snapshot`
+    /// report only the private store's node/nrm activity.
+    pub fn with_store(workers: usize, shared: Arc<SharedStore>) -> Engine {
+        let workers = workers.max(1);
+        let (tx, rx) = bounded::<Batch>(queue_capacity(workers));
+        let state = Arc::new(EngineState::new(workers));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("algst-worker-{i}"))
+                    .spawn(move || worker_loop(rx, shared, state))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine {
+            tx: Some(tx),
+            workers: handles,
+            shared,
+            state,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The store the pool works against.
+    pub fn store(&self) -> &Arc<SharedStore> {
+        &self.shared
+    }
+
+    /// Queues a batch; blocks when the queue is full (backpressure).
+    pub fn submit(&self, items: Vec<Request>, reply: Sender<Vec<Response>>) {
+        self.tx
+            .as_ref()
+            .expect("engine already shut down")
+            .send(Batch { items, reply })
+            .expect("workers alive while engine holds the sender");
+    }
+
+    /// Convenience for tests and simple callers: process one batch on
+    /// the pool and wait for its responses (batch order preserved).
+    pub fn process(&self, items: Vec<Request>) -> Vec<Response> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.submit(items, reply_tx);
+        reply_rx.recv().expect("workers reply to every batch")
+    }
+
+    /// A point-in-time statistics snapshot (`stats` op, bench reports).
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.snapshot(&self.shared)
+    }
+
+    /// Stops accepting work, waits for queued batches to drain and joins
+    /// the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.tx.take());
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineState>) {
+    let mut store = shared.worker();
+    while let Ok(batch) = rx.recv() {
+        let mut out = Vec::with_capacity(batch.items.len());
+        for req in batch.items {
+            state.requests.fetch_add(1, Ordering::Relaxed);
+            out.push(handle(&mut store, &state, req));
+        }
+        // Merge this batch's freshly computed normal forms into the
+        // shared memo shards: the next batch on *any* worker sees them.
+        store.publish();
+        // The submitter may be gone (client hung up); that is its
+        // prerogative, not an engine error.
+        let _ = batch.reply.send(out);
+    }
+}
+
+fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Response {
+    let id = req.id;
+    match req.op {
+        Op::Equiv { lhs, rhs } => {
+            let start = Instant::now();
+            let a = match resolve_cached(store, state, &lhs) {
+                Ok(a) => a,
+                Err(e) => {
+                    return Response::Error {
+                        id,
+                        error: format!("lhs: {e}"),
+                    }
+                }
+            };
+            let b = match resolve_cached(store, state, &rhs) {
+                Ok(b) => b,
+                Err(e) => {
+                    return Response::Error {
+                        id,
+                        error: format!("rhs: {e}"),
+                    }
+                }
+            };
+            // Equivalence is symmetric: canonical key order doubles the
+            // cache's effective coverage.
+            let key = if a <= b { (a, b) } else { (b, a) };
+            let (verdict, warm) = match state.verdict_get(key) {
+                Some(v) => {
+                    state.equiv_hits.fetch_add(1, Ordering::Relaxed);
+                    (v, true)
+                }
+                None => {
+                    let v = store.equivalent_ids(key.0, key.1);
+                    state.verdict_put(key, v);
+                    state.equiv_misses.fetch_add(1, Ordering::Relaxed);
+                    (v, false)
+                }
+            };
+            Response::Equiv {
+                id,
+                verdict,
+                warm,
+                ns: start.elapsed().as_nanos() as u64,
+            }
+        }
+        Op::Check { source } => {
+            let start = Instant::now();
+            let (result, cached) = state.modules.check_source(&source);
+            Response::Check {
+                id,
+                ok: result.is_ok(),
+                error: result.err().map(|e| e.to_string()),
+                cached,
+                ns: start.elapsed().as_nanos() as u64,
+            }
+        }
+        Op::Stats => {
+            // Publish first so this worker's own counters are included.
+            store.publish();
+            let snap = state.snapshot(store.shared());
+            Response::Stats { id, snapshot: snap }
+        }
+        Op::Shutdown => Response::Shutdown { id },
+        Op::Invalid { error } => Response::Error { id, error },
+    }
+}
+
+fn resolve_cached(
+    store: &mut WorkerStore,
+    state: &EngineState,
+    src: &str,
+) -> Result<TypeId, String> {
+    if let Some(hit) = state.parse_get(src) {
+        return Ok(hit);
+    }
+    let ty = type_from_str(src)?;
+    let id = store.intern(&ty);
+    state.parse_put(src, id);
+    Ok(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::parse_request;
+
+    fn equiv(id: u64, lhs: &str, rhs: &str) -> Request {
+        Request {
+            id,
+            op: Op::Equiv {
+                lhs: lhs.into(),
+                rhs: rhs.into(),
+            },
+        }
+    }
+
+    #[test]
+    fn verdicts_match_equivalent_and_warm_on_repeat() {
+        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let reqs = vec![
+            equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+            equiv(2, "!Int.End!", "!Bool.End!"),
+            equiv(3, "!Int.End!", "Dual (?Int.End?)"),
+            // Symmetric repeat also hits the pair cache.
+            equiv(4, "Dual (?Int.End?)", "!Int.End!"),
+        ];
+        let resp = engine.process(reqs);
+        let view: Vec<(u64, bool, bool)> = resp
+            .iter()
+            .map(|r| match r {
+                Response::Equiv {
+                    id, verdict, warm, ..
+                } => (*id, *verdict, *warm),
+                other => panic!("unexpected response {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            view,
+            vec![
+                (1, true, false),
+                (2, false, false),
+                (3, true, true),
+                (4, true, true)
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_errors_come_back_as_error_responses() {
+        let engine = Engine::with_store(1, SharedStore::new_arc());
+        let resp = engine.process(vec![equiv(1, "!Int.", "End!")]);
+        assert!(matches!(&resp[0], Response::Error { id: 1, .. }));
+    }
+
+    #[test]
+    fn check_op_uses_the_module_cache() {
+        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let req = |id| parse_request(r#"{"op":"check","source":"main : Unit\nmain = ()"}"#, id);
+        let first = engine.process(vec![req(1)]);
+        let second = engine.process(vec![req(2)]);
+        match (&first[0], &second[0]) {
+            (
+                Response::Check { ok: true, .. },
+                Response::Check {
+                    ok: true,
+                    cached: true,
+                    ..
+                },
+            ) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_caches_and_store() {
+        let engine = Engine::with_store(1, SharedStore::new_arc());
+        engine.process(vec![
+            equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+            equiv(2, "!Int.End!", "Dual (?Int.End?)"),
+        ]);
+        let resp = engine.process(vec![Request {
+            id: 3,
+            op: Op::Stats,
+        }]);
+        let Response::Stats { snapshot, .. } = &resp[0] else {
+            panic!("expected stats");
+        };
+        assert!(snapshot.nodes > 0);
+        assert_eq!(snapshot.equiv_entries, 1);
+        assert_eq!(snapshot.equiv_hits, 1);
+        assert_eq!(snapshot.equiv_misses, 1);
+        assert!(snapshot.requests >= 2);
+    }
+
+    #[test]
+    fn batches_fan_out_across_workers() {
+        let engine = Engine::with_store(4, SharedStore::new_arc());
+        let (reply_tx, reply_rx) = bounded(64);
+        let mut expected = 0u64;
+        for b in 0..16 {
+            let items = (0..8)
+                .map(|i| {
+                    expected += 1;
+                    equiv(b * 8 + i + 1, "!Int.End!", "Dual (?Int.End?)")
+                })
+                .collect();
+            engine.submit(items, reply_tx.clone());
+        }
+        drop(reply_tx);
+        let mut got = 0u64;
+        while let Ok(batch) = reply_rx.recv() {
+            got += batch.len() as u64;
+            for r in batch {
+                assert!(matches!(r, Response::Equiv { verdict: true, .. }));
+            }
+        }
+        assert_eq!(got, expected);
+    }
+}

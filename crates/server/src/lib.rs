@@ -1,0 +1,39 @@
+//! # algst-server
+//!
+//! A long-running **batch equivalence-checking service** over the
+//! sharded concurrent type store
+//! ([`algst_core::shared::SharedStore`]).
+//!
+//! The paper's headline result is that algebraic-protocol equivalence
+//! is practical at scale — this crate is the serving layer that result
+//! earns: a newline-delimited JSON protocol ([`protocol`]) answered by
+//! a worker pool ([`engine::Engine`]) in which every worker shares the
+//! same interned nodes and memoized normal forms, so a type any client
+//! ever sent stays warm for every later request, on every worker.
+//!
+//! ```text
+//! stdin/TCP ──lines──► reader ──batches──► worker pool ──► writer ──► stdout/TCP
+//!                                   │ WorkerStore mirrors (publish per batch)
+//!                                   ▼
+//!                       SharedStore (arena + nrm memos)
+//!                       + per-pair verdict cache ("equiv memo")
+//!                       + parse cache + module cache
+//! ```
+//!
+//! Try it (see also `algst serve --help`):
+//!
+//! ```sh
+//! printf '%s\n' \
+//!   '{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}' \
+//!   '{"op":"shutdown"}' | algst serve
+//! ```
+
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod resolve;
+pub mod serve;
+
+pub use engine::Engine;
+pub use protocol::{parse_request, Op, Request, Response, Snapshot};
+pub use serve::{serve_listener, serve_session, serve_stdio, serve_tcp, ServeConfig, ServeSummary};

@@ -1,0 +1,325 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request per line, one response line per request, in any order
+//! (responses carry the request `id`). Requests:
+//!
+//! ```text
+//! {"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}
+//! {"op":"check","source":"main : Unit\nmain = ()"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! An explicit `"id":N` is echoed back; otherwise the server numbers
+//! requests by arrival order (1-based). Responses:
+//!
+//! ```text
+//! {"id":1,"op":"equiv","verdict":true,"warm":false,"ns":8125}
+//! {"id":2,"op":"check","ok":true,"cached":false,"ns":51200}
+//! {"id":3,"op":"stats","nodes":12,...}
+//! {"id":4,"op":"shutdown","ok":true}
+//! {"id":5,"op":"error","error":"unknown op \"frobnicate\""}
+//! ```
+//!
+//! `warm` is true when the verdict was answered from the per-pair
+//! verdict cache (the pair had been decided before, by any worker);
+//! `ns` is the in-worker service time in nanoseconds.
+
+use crate::json::{self, Value};
+use algst_check::cache::CacheStats;
+use algst_core::shared::StoreStats;
+use std::fmt::Write as _;
+
+/// A parsed request. `id` is what the response will carry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    pub id: u64,
+    pub op: Op,
+}
+
+/// A protocol operation. `Invalid` is a line that failed to parse — it
+/// still flows through the engine so the error response comes back in
+/// order-of-completion like everything else.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    Equiv { lhs: String, rhs: String },
+    Check { source: String },
+    Stats,
+    Shutdown,
+    Invalid { error: String },
+}
+
+/// Parses one request line. `fallback_id` is assigned when the line has
+/// no (valid) `"id"` of its own; malformed lines become [`Op::Invalid`]
+/// under that same id.
+pub fn parse_request(line: &str, fallback_id: u64) -> Request {
+    match parse_inner(line, fallback_id) {
+        Ok(req) => req,
+        Err((id, error)) => Request {
+            id,
+            op: Op::Invalid { error },
+        },
+    }
+}
+
+fn parse_inner(line: &str, fallback_id: u64) -> Result<Request, (u64, String)> {
+    let pairs = json::parse_object(line).map_err(|e| (fallback_id, e))?;
+    let id = match json::get(&pairs, "id") {
+        Some(Value::Int(n)) if *n >= 0 => *n as u64,
+        Some(_) => return Err((fallback_id, "\"id\" must be a non-negative integer".into())),
+        None => fallback_id,
+    };
+    let op = match json::get(&pairs, "op").and_then(Value::as_str) {
+        Some(op) => op,
+        None => return Err((id, "missing \"op\"".into())),
+    };
+    let field = |name: &str| -> Result<String, (u64, String)> {
+        json::get(&pairs, name)
+            .and_then(Value::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| (id, format!("op \"{op}\" requires a string \"{name}\"")))
+    };
+    let op = match op {
+        "equiv" => Op::Equiv {
+            lhs: field("lhs")?,
+            rhs: field("rhs")?,
+        },
+        "check" => Op::Check {
+            source: field("source")?,
+        },
+        "stats" => Op::Stats,
+        "shutdown" => Op::Shutdown,
+        other => return Err((id, format!("unknown op \"{other}\""))),
+    };
+    Ok(Request { id, op })
+}
+
+/// Store/engine statistics as reported by the `stats` op and
+/// `--stats-on-exit`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Snapshot {
+    /// Requests handled so far (all ops).
+    pub requests: u64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Distinct hash-consed nodes in the shared arena.
+    pub nodes: u64,
+    /// `nrm` memo hits / misses across all workers (as of last publish).
+    pub nrm_hits: u64,
+    pub nrm_misses: u64,
+    /// Per-pair verdict cache ("equiv memo"): entries, hits, misses.
+    pub equiv_entries: u64,
+    pub equiv_hits: u64,
+    pub equiv_misses: u64,
+    /// Parsed-type cache entries.
+    pub parse_entries: u64,
+    /// Module (check-op) cache: entries, hits.
+    pub module_entries: u64,
+    pub module_hits: u64,
+}
+
+impl Snapshot {
+    pub fn equiv_hit_rate(&self) -> f64 {
+        let total = self.equiv_hits + self.equiv_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.equiv_hits as f64 / total as f64
+    }
+
+    pub fn nrm_hit_rate(&self) -> f64 {
+        let total = self.nrm_hits + self.nrm_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.nrm_hits as f64 / total as f64
+    }
+
+    pub(crate) fn merge_store(&mut self, s: StoreStats) {
+        self.nodes = s.nodes;
+        self.nrm_hits = s.nrm_hits;
+        self.nrm_misses = s.nrm_misses;
+    }
+
+    pub(crate) fn merge_modules(&mut self, s: CacheStats) {
+        self.module_entries = s.entries;
+        self.module_hits = s.hits;
+    }
+}
+
+/// A response, ready to serialize as one JSON line.
+#[derive(Clone, Debug)]
+pub enum Response {
+    Equiv {
+        id: u64,
+        verdict: bool,
+        warm: bool,
+        ns: u64,
+    },
+    Check {
+        id: u64,
+        ok: bool,
+        error: Option<String>,
+        cached: bool,
+        ns: u64,
+    },
+    Stats {
+        id: u64,
+        snapshot: Snapshot,
+    },
+    Shutdown {
+        id: u64,
+    },
+    Error {
+        id: u64,
+        error: String,
+    },
+}
+
+impl Response {
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Equiv { id, .. }
+            | Response::Check { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Shutdown { id }
+            | Response::Error { id, .. } => *id,
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Equiv {
+                id,
+                verdict,
+                warm,
+                ns,
+            } => {
+                format!("{{\"id\":{id},\"op\":\"equiv\",\"verdict\":{verdict},\"warm\":{warm},\"ns\":{ns}}}")
+            }
+            Response::Check {
+                id,
+                ok,
+                error,
+                cached,
+                ns,
+            } => {
+                let mut line = format!("{{\"id\":{id},\"op\":\"check\",\"ok\":{ok}");
+                if let Some(e) = error {
+                    let _ = write!(line, ",\"error\":\"{}\"", json::escape(e));
+                }
+                let _ = write!(line, ",\"cached\":{cached},\"ns\":{ns}}}");
+                line
+            }
+            Response::Stats { id, snapshot: s } => {
+                format!(
+                    "{{\"id\":{id},\"op\":\"stats\",\"requests\":{},\"workers\":{},\
+                     \"nodes\":{},\"nrm_hits\":{},\"nrm_misses\":{},\"nrm_hit_rate\":{:.4},\
+                     \"equiv_entries\":{},\"equiv_hits\":{},\"equiv_misses\":{},\
+                     \"equiv_hit_rate\":{:.4},\"parse_entries\":{},\
+                     \"module_entries\":{},\"module_hits\":{}}}",
+                    s.requests,
+                    s.workers,
+                    s.nodes,
+                    s.nrm_hits,
+                    s.nrm_misses,
+                    s.nrm_hit_rate(),
+                    s.equiv_entries,
+                    s.equiv_hits,
+                    s.equiv_misses,
+                    s.equiv_hit_rate(),
+                    s.parse_entries,
+                    s.module_entries,
+                    s.module_hits,
+                )
+            }
+            Response::Shutdown { id } => {
+                format!("{{\"id\":{id},\"op\":\"shutdown\",\"ok\":true}}")
+            }
+            Response::Error { id, error } => {
+                format!(
+                    "{{\"id\":{id},\"op\":\"error\",\"error\":\"{}\"}}",
+                    json::escape(error)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_four_ops() {
+        let r = parse_request(r#"{"op":"equiv","lhs":"End!","rhs":"Dual End?"}"#, 3);
+        assert_eq!(r.id, 3);
+        assert!(matches!(r.op, Op::Equiv { .. }));
+        let r = parse_request(r#"{"id":9,"op":"check","source":"main : Unit"}"#, 1);
+        assert_eq!(r.id, 9);
+        assert!(matches!(r.op, Op::Check { .. }));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#, 1).op,
+            Op::Stats
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#, 1).op,
+            Op::Shutdown
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_become_invalid_ops() {
+        let r = parse_request("not json", 5);
+        assert_eq!(r.id, 5);
+        assert!(matches!(r.op, Op::Invalid { .. }));
+        // A parseable object with a bad op keeps its explicit id.
+        let r = parse_request(r#"{"id":7,"op":"frobnicate"}"#, 5);
+        assert_eq!(r.id, 7);
+        let Op::Invalid { error } = r.op else {
+            panic!("expected invalid")
+        };
+        assert!(error.contains("frobnicate"));
+        // Missing required field.
+        let r = parse_request(r#"{"op":"equiv","lhs":"End!"}"#, 5);
+        assert!(matches!(r.op, Op::Invalid { .. }));
+    }
+
+    #[test]
+    fn responses_serialize_to_parseable_json() {
+        let resps = [
+            Response::Equiv {
+                id: 1,
+                verdict: true,
+                warm: false,
+                ns: 812,
+            },
+            Response::Check {
+                id: 2,
+                ok: false,
+                error: Some("line 3: no \"main\"".into()),
+                cached: true,
+                ns: 99,
+            },
+            Response::Stats {
+                id: 3,
+                snapshot: Snapshot::default(),
+            },
+            Response::Shutdown { id: 4 },
+            Response::Error {
+                id: 5,
+                error: "bad".into(),
+            },
+        ];
+        for (i, r) in resps.iter().enumerate() {
+            let line = r.to_json();
+            let pairs = crate::json::parse_object(&line)
+                .unwrap_or_else(|e| panic!("unparseable response {line}: {e}"));
+            assert_eq!(
+                crate::json::get(&pairs, "id").unwrap().as_int(),
+                Some(i as i64 + 1)
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Standalone type resolution for `equiv` requests.
+//!
+//! The checker's elaborator resolves surface types against a module's
+//! protocol/data/alias declarations. A bare equivalence query has no
+//! module, and does not need one: the paper's equivalence is *nominal*
+//! in protocol names — `P ā ≡ P b̄` iff the arguments are equivalent
+//! pointwise — so any unknown applied uppercase name can be treated as
+//! an (undeclared) protocol reference without changing any verdict.
+//! Builtins (`Int`, `Bool`, `Char`, `String`, `Unit`) resolve as usual;
+//! lowercase names are type variables.
+
+use algst_core::types::Type;
+use algst_syntax::ast::SType;
+use algst_syntax::parser::parse_type;
+use std::sync::Arc;
+
+/// Parses the surface syntax of a single type (e.g. `!Int.End!` or
+/// `forall (s:S). ?Neg Int.s`) into a core [`Type`].
+pub fn type_from_str(src: &str) -> Result<Type, String> {
+    let st = parse_type(src).map_err(|e| e.to_string())?;
+    Ok(resolve(&st))
+}
+
+fn resolve(st: &SType) -> Type {
+    match st {
+        SType::Unit(_) => Type::Unit,
+        SType::Var(v, _) => Type::Var(*v),
+        SType::Name(name, args, _) => {
+            let rargs: Vec<Type> = args.iter().map(resolve).collect();
+            match name.as_str() {
+                "Int" if rargs.is_empty() => Type::int(),
+                "Bool" if rargs.is_empty() => Type::bool(),
+                "Char" if rargs.is_empty() => Type::char(),
+                "String" if rargs.is_empty() => Type::string(),
+                _ => Type::Proto(*name, rargs),
+            }
+        }
+        SType::Arrow(a, b, _) => Type::Arrow(Arc::new(resolve(a)), Arc::new(resolve(b))),
+        SType::Pair(a, b, _) => Type::Pair(Arc::new(resolve(a)), Arc::new(resolve(b))),
+        SType::Forall(v, k, body, _) => Type::Forall(*v, *k, Arc::new(resolve(body))),
+        SType::In(p, s, _) => Type::In(Arc::new(resolve(p)), Arc::new(resolve(s))),
+        SType::Out(p, s, _) => Type::Out(Arc::new(resolve(p)), Arc::new(resolve(s))),
+        SType::EndIn(_) => Type::EndIn,
+        SType::EndOut(_) => Type::EndOut,
+        SType::Dual(s, _) => Type::Dual(Arc::new(resolve(s))),
+        SType::Neg(p, _) => Type::Neg(Arc::new(resolve(p))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::equiv::equivalent;
+
+    #[test]
+    fn parses_session_types() {
+        let t = type_from_str("!Int.End!").unwrap();
+        assert_eq!(t, Type::output(Type::int(), Type::EndOut));
+        let u = type_from_str("Dual (?Int.End?)").unwrap();
+        assert!(equivalent(&t, &u));
+    }
+
+    #[test]
+    fn unknown_names_resolve_nominally() {
+        let t = type_from_str("?Repeat Int.End?").unwrap();
+        let u = type_from_str("?Repeat Int.End?").unwrap();
+        assert!(equivalent(&t, &u));
+        let v = type_from_str("?Repeat Bool.End?").unwrap();
+        assert!(!equivalent(&t, &v));
+    }
+
+    #[test]
+    fn forall_and_variables() {
+        let t = type_from_str("forall (s:S). !Int.s -> s").unwrap();
+        let u = type_from_str("forall (r:S). !Int.r -> r").unwrap();
+        assert!(equivalent(&t, &u));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for src in [
+            "!Int.End!",
+            "?(-Int).End?",
+            "forall (s:S). Dual s -> (Int, s)",
+            "!Repeat (Int, Bool).?Neg Char.End?",
+        ] {
+            let t = type_from_str(src).unwrap();
+            let back = type_from_str(&t.to_string())
+                .unwrap_or_else(|e| panic!("reparse of `{t}` failed: {e}"));
+            assert!(equivalent(&t, &back), "{src} changed through display");
+        }
+    }
+
+    #[test]
+    fn reports_parse_errors() {
+        assert!(type_from_str("!Int.").is_err());
+        assert!(type_from_str("").is_err());
+    }
+}

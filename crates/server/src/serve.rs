@@ -1,0 +1,313 @@
+//! Front-ends: the JSON-lines loop over stdio or a TCP listener.
+//!
+//! The reader thread-of-control parses lines into [`Request`]s and
+//! submits them to the [`Engine`] in **adaptive batches**: it keeps
+//! pulling lines while the input buffer has more bytes ready (a piped
+//! client that wrote a burst gets one batch), flushing at
+//! [`ServeConfig::batch_max`] so latency stays bounded under a firehose.
+//! A separate writer thread drains responses and writes them as they
+//! complete — so a client that waits for an answer before sending its
+//! next request never deadlocks, and a client that streams thousands of
+//! requests overlaps its parsing with the pool's checking.
+//!
+//! A `shutdown` request stops reading, drains everything in flight,
+//! answers `{"op":"shutdown","ok":true}` and returns. EOF behaves the
+//! same, minus the response.
+
+use crate::engine::Engine;
+use crate::protocol::{parse_request, Op, Request};
+use crossbeam::channel::bounded;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+
+/// Front-end configuration (the engine itself is configured separately).
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Max requests per submitted batch.
+    pub batch_max: usize,
+    /// Print a `stats`-shaped JSON line to stderr when the session ends.
+    pub stats_on_exit: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            batch_max: 256,
+            stats_on_exit: false,
+        }
+    }
+}
+
+/// What a serve session did, and whether it ended via `shutdown`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    pub requests: u64,
+    pub responses: u64,
+    pub saw_shutdown: bool,
+}
+
+/// Serves one JSON-lines session: reads requests from `input`, writes
+/// responses to `output` (order of completion, tagged by id). Returns
+/// when the input ends or a `shutdown` op is processed.
+pub fn serve_session<R, W>(
+    engine: &Engine,
+    input: R,
+    output: W,
+    config: ServeConfig,
+) -> io::Result<ServeSummary>
+where
+    R: Read,
+    W: Write + Send,
+{
+    let mut input = BufReader::new(input);
+    let (reply_tx, reply_rx) = bounded::<Vec<crate::protocol::Response>>(queue_depth(&config));
+    let mut summary = ServeSummary::default();
+
+    std::thread::scope(|scope| {
+        let writer = scope.spawn(move || -> io::Result<u64> {
+            let mut output = output;
+            let mut written = 0u64;
+            while let Ok(batch) = reply_rx.recv() {
+                for response in &batch {
+                    writeln!(output, "{}", response.to_json())?;
+                }
+                written += batch.len() as u64;
+                // One flush per batch: keeps request/response clients
+                // moving without a syscall per line under load.
+                output.flush()?;
+            }
+            output.flush()?;
+            Ok(written)
+        });
+
+        let mut line = String::new();
+        let mut pending: Vec<Request> = Vec::new();
+        let mut next_id = 0u64;
+        'read: loop {
+            // A dead writer (client stopped reading: EPIPE, reset) makes
+            // every further response undeliverable — stop parsing and
+            // checking instead of burning the pool on discarded work.
+            if writer.is_finished() {
+                break 'read;
+            }
+            line.clear();
+            let n = input.read_line(&mut line)?;
+            if n == 0 {
+                break 'read; // EOF
+            }
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            next_id += 1;
+            let request = parse_request(trimmed, next_id);
+            let stop = matches!(request.op, Op::Shutdown);
+            summary.requests += 1;
+            pending.push(request);
+            if stop {
+                summary.saw_shutdown = true;
+                break 'read;
+            }
+            // Flush a batch when it is full or the pipe has no more
+            // bytes ready (burst boundary).
+            if pending.len() >= config.batch_max || input.buffer().is_empty() {
+                engine.submit(std::mem::take(&mut pending), reply_tx.clone());
+            }
+        }
+        if !pending.is_empty() {
+            engine.submit(std::mem::take(&mut pending), reply_tx.clone());
+        }
+        // Drop our reply sender: once the workers finish the submitted
+        // batches and drop theirs, the writer sees disconnect and ends.
+        drop(reply_tx);
+        match writer.join().expect("writer thread does not panic") {
+            Ok(written) => {
+                summary.responses = written;
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    })?;
+
+    if config.stats_on_exit {
+        eprintln!("{}", stats_line(engine));
+    }
+    Ok(summary)
+}
+
+fn queue_depth(config: &ServeConfig) -> usize {
+    (4096 / config.batch_max.max(1)).max(4)
+}
+
+/// The engine snapshot rendered exactly like a `stats` response (without
+/// an id), for `--stats-on-exit`.
+pub fn stats_line(engine: &Engine) -> String {
+    let response = crate::protocol::Response::Stats {
+        id: 0,
+        snapshot: engine.snapshot(),
+    };
+    response.to_json()
+}
+
+/// Serves stdio until EOF or `shutdown`.
+pub fn serve_stdio(engine: &Engine, config: ServeConfig) -> io::Result<ServeSummary> {
+    // `Stdout` (not `StdoutLock`) — the writer thread needs `Send`.
+    serve_session(engine, io::stdin().lock(), io::stdout(), config)
+}
+
+/// Binds `addr` and serves TCP connections **sequentially** (each
+/// connection gets the full worker pool; a `shutdown` op ends the whole
+/// listener). Returns the summary of the session that saw the shutdown.
+pub fn serve_tcp(engine: &Engine, addr: &str, config: ServeConfig) -> io::Result<ServeSummary> {
+    let listener = TcpListener::bind(addr)?;
+    serve_listener(engine, &listener, config)
+}
+
+/// [`serve_tcp`] over an already-bound listener (lets callers pick port
+/// 0 and read the real address back). A connection that fails mid-
+/// session (client reset, EPIPE) is logged and dropped — the listener
+/// keeps serving; only `accept` errors end the loop.
+pub fn serve_listener(
+    engine: &Engine,
+    listener: &TcpListener,
+    config: ServeConfig,
+) -> io::Result<ServeSummary> {
+    loop {
+        let (stream, peer) = listener.accept()?;
+        let reader = match stream.try_clone() {
+            Ok(reader) => reader,
+            Err(e) => {
+                eprintln!("algst serve: dropping connection from {peer}: {e}");
+                continue;
+            }
+        };
+        match serve_session(engine, reader, stream, config) {
+            Ok(summary) if summary.saw_shutdown => return Ok(summary),
+            Ok(_) => {}
+            Err(e) => eprintln!("algst serve: connection from {peer} failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use algst_core::shared::SharedStore;
+
+    fn run(input: &str) -> (ServeSummary, Vec<Vec<(String, json::Value)>>) {
+        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let mut out = Vec::new();
+        let summary =
+            serve_session(&engine, input.as_bytes(), &mut out, ServeConfig::default()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut lines: Vec<Vec<(String, json::Value)>> = text
+            .lines()
+            .map(|l| json::parse_object(l).unwrap_or_else(|e| panic!("bad line {l}: {e}")))
+            .collect();
+        lines.sort_by_key(|pairs| json::get(pairs, "id").and_then(json::Value::as_int));
+        (summary, lines)
+    }
+
+    #[test]
+    fn answers_batches_and_shuts_down() {
+        let input = concat!(
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"!Bool.End!"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+        );
+        let (summary, lines) = run(input);
+        assert_eq!(summary.requests, 5);
+        assert_eq!(summary.responses, 5);
+        assert!(summary.saw_shutdown);
+        let verdict = |ix: usize| json::get(&lines[ix], "verdict").cloned();
+        assert_eq!(verdict(0), Some(json::Value::Bool(true)));
+        assert_eq!(verdict(1), Some(json::Value::Bool(false)));
+        assert_eq!(verdict(2), Some(json::Value::Bool(true)));
+        // The repeat pair is warm.
+        assert_eq!(json::get(&lines[2], "warm"), Some(&json::Value::Bool(true)));
+        assert_eq!(
+            json::get(&lines[3], "op").and_then(json::Value::as_str),
+            Some("stats")
+        );
+        assert_eq!(
+            json::get(&lines[4], "op").and_then(json::Value::as_str),
+            Some("shutdown")
+        );
+    }
+
+    #[test]
+    fn eof_without_shutdown_is_clean() {
+        let (summary, lines) = run("{\"op\":\"equiv\",\"lhs\":\"End!\",\"rhs\":\"Dual End?\"}\n");
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.responses, 1);
+        assert!(!summary.saw_shutdown);
+        assert_eq!(
+            json::get(&lines[0], "verdict"),
+            Some(&json::Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn bad_lines_get_error_responses_and_do_not_stop_the_session() {
+        let input = concat!(
+            "this is not json\n",
+            r#"{"op":"equiv","lhs":"!!!","rhs":"End!"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"End!","rhs":"End!"}"#,
+            "\n",
+        );
+        let (summary, lines) = run(input);
+        assert_eq!(summary.responses, 3);
+        assert_eq!(
+            json::get(&lines[0], "op").and_then(json::Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            json::get(&lines[1], "op").and_then(json::Value::as_str),
+            Some("error")
+        );
+        assert_eq!(
+            json::get(&lines[2], "verdict"),
+            Some(&json::Value::Bool(true))
+        );
+        assert!(!summary.saw_shutdown);
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let server =
+                scope.spawn(|| serve_listener(&engine, &listener, ServeConfig::default()).unwrap());
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(
+                    b"{\"op\":\"equiv\",\"lhs\":\"!Int.End!\",\"rhs\":\"Dual (?Int.End?)\"}\n",
+                )
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let pairs = json::parse_object(line.trim()).unwrap();
+            assert_eq!(json::get(&pairs, "verdict"), Some(&json::Value::Bool(true)));
+            // Interactive follow-up on the same connection.
+            stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"shutdown\""));
+            let summary = server.join().unwrap();
+            assert!(summary.saw_shutdown);
+        });
+    }
+}

@@ -386,9 +386,14 @@ impl Parser {
 
     fn ty_app(&mut self) -> PResult<SType> {
         let head = self.ty_atom()?;
-        // Only named heads can be applied.
+        // Only *bare* named heads can be applied. A name that already
+        // carries arguments came out of parentheses — e.g. the payload
+        // in `!(Repeat Int).End!` — and is complete as it stands
+        // (application is not curried through parens).
         if let SType::Name(name, args0, start) = head {
-            debug_assert!(args0.is_empty());
+            if !args0.is_empty() {
+                return Ok(SType::Name(name, args0, start));
+            }
             let mut args = Vec::new();
             while self.starts_type_atom() {
                 args.push(self.ty_atom()?);
@@ -831,6 +836,25 @@ mod tests {
         };
         assert_eq!(n.as_str(), "Stream");
         assert_eq!(args.len(), 1);
+    }
+
+    #[test]
+    fn parenthesized_applied_name_keeps_its_arguments() {
+        // Regression: `(Repeat Int)` as a message payload used to trip a
+        // debug assertion in `ty_app` (and silently dropped the
+        // arguments in release builds).
+        let t = parse_type("!(Repeat Int).End!").unwrap();
+        let SType::Out(payload, _, _) = t else {
+            panic!("expected an output type")
+        };
+        let SType::Name(n, args, _) = *payload else {
+            panic!("expected an applied name")
+        };
+        assert_eq!(n.as_str(), "Repeat");
+        assert_eq!(args.len(), 1);
+        // A parenthesized application is complete: a trailing atom is a
+        // parse error, not a curried application.
+        assert!(parse_type("(Repeat Int) Bool").is_err());
     }
 
     #[test]

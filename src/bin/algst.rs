@@ -1,5 +1,6 @@
-//! The `algst` command-line interface: type check and run AlgST programs,
-//! mirroring the paper's artifact (a type checker and an interpreter).
+//! The `algst` command-line interface: type check and run AlgST programs
+//! (mirroring the paper's artifact), and serve batch equivalence queries
+//! as a long-running process.
 //!
 //! ```text
 //! algst check FILE.algst            # parse, elaborate, type check
@@ -8,85 +9,204 @@
 //!     [--async N]                   # bounded channels of capacity N
 //!     [--timeout SECS]              # watchdog (default 30)
 //!     [--no-prelude]                # without sendInt/receiveInt/…
+//! algst serve                       # JSON-lines service on stdio
+//!     [--workers N]                 # worker pool size (default: 4)
+//!     [--batch N]                   # max requests per batch (default: 256)
+//!     [--listen ADDR]               # TCP instead of stdio, e.g. 127.0.0.1:7878
+//!     [--stats-on-exit]             # print a stats line to stderr at shutdown
 //! ```
+//!
+//! `FILE` may be `-` to read the program from stdin. Unknown flags are
+//! rejected with a usage error.
 
 use algst::check::{check_source, check_source_raw};
 use algst::runtime::Interp;
+use algst_server::{serve_stdio, serve_tcp, Engine, ServeConfig};
+use std::io::Read;
 use std::process::ExitCode;
 use std::time::Duration;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]"
-    );
-    ExitCode::from(2)
+const USAGE: &str =
+    "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]
+       algst serve [--workers N] [--batch N] [--listen ADDR] [--stats-on-exit]
+FILE may be `-` to read from stdin.";
+
+/// Options shared by `check` and `run`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ProgramOpts {
+    file: String,
+    entry: String,
+    capacity: usize,
+    timeout: Duration,
+    prelude: bool,
+}
+
+/// Options for `serve`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct ServeOpts {
+    workers: usize,
+    batch_max: usize,
+    listen: Option<String>,
+    stats_on_exit: bool,
+}
+
+/// A fully parsed command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Cli {
+    Check(ProgramOpts),
+    Run(ProgramOpts),
+    Serve(ServeOpts),
+}
+
+/// The value of flag `arg` (the next argument), advancing `i` past it.
+fn flag_value<'a>(rest: &[&'a String], i: &mut usize, arg: &str) -> Result<&'a String, String> {
+    *i += 1;
+    rest.get(*i)
+        .copied()
+        .ok_or_else(|| format!("{arg} requires a value"))
+}
+
+/// Parses `argv` (without the program name). Every unknown flag, missing
+/// value or malformed number is an error carrying a one-line message.
+fn parse_cli(argv: &[String]) -> Result<Cli, String> {
+    let mut it = argv.iter();
+    let command = it.next().ok_or("missing command")?;
+    let rest: Vec<&String> = it.collect();
+    match command.as_str() {
+        "check" | "run" => {
+            let mut opts = ProgramOpts {
+                file: String::new(),
+                entry: "main".to_owned(),
+                capacity: 0,
+                timeout: Duration::from_secs(30),
+                prelude: true,
+            };
+            let mut file = None;
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = rest[i].as_str();
+                let value = |i: &mut usize| flag_value(&rest, i, arg);
+                match arg {
+                    "--main" => opts.entry = value(&mut i)?.clone(),
+                    "--async" => {
+                        opts.capacity = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--async takes a non-negative integer".to_owned())?
+                    }
+                    "--timeout" => {
+                        opts.timeout = Duration::from_secs(
+                            value(&mut i)?
+                                .parse()
+                                .map_err(|_| "--timeout takes a number of seconds".to_owned())?,
+                        )
+                    }
+                    "--no-prelude" => opts.prelude = false,
+                    flag if flag.starts_with('-') && flag != "-" => {
+                        return Err(format!("unknown flag {flag}"))
+                    }
+                    positional => {
+                        if file.replace(positional.to_owned()).is_some() {
+                            return Err(format!("unexpected extra argument {positional}"));
+                        }
+                    }
+                }
+                i += 1;
+            }
+            opts.file = file.ok_or("missing FILE (use `-` for stdin)")?;
+            Ok(match command.as_str() {
+                "check" => Cli::Check(opts),
+                _ => Cli::Run(opts),
+            })
+        }
+        "serve" => {
+            let mut opts = ServeOpts {
+                workers: 4,
+                batch_max: 256,
+                listen: None,
+                stats_on_exit: false,
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = rest[i].as_str();
+                let value = |i: &mut usize| flag_value(&rest, i, arg);
+                match arg {
+                    "--workers" => {
+                        opts.workers = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--workers takes a positive integer".to_owned())?;
+                        if opts.workers == 0 {
+                            return Err("--workers takes a positive integer".into());
+                        }
+                    }
+                    "--batch" => {
+                        opts.batch_max = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--batch takes a positive integer".to_owned())?;
+                        if opts.batch_max == 0 {
+                            return Err("--batch takes a positive integer".into());
+                        }
+                    }
+                    "--listen" => opts.listen = Some(value(&mut i)?.clone()),
+                    "--stats-on-exit" => opts.stats_on_exit = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Cli::Serve(opts))
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Reads `FILE`, where `-` means stdin.
+fn read_source(file: &str) -> Result<String, String> {
+    if file == "-" {
+        let mut source = String::new();
+        std::io::stdin()
+            .read_to_string(&mut source)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        Ok(source)
+    } else {
+        std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))
+    }
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        return usage();
-    };
-    let Some(file) = args.get(1) else {
-        return usage();
-    };
-
-    let mut entry = "main".to_owned();
-    let mut capacity = 0usize;
-    let mut timeout = Duration::from_secs(30);
-    let mut prelude = true;
-    let mut i = 2;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--main" => {
-                i += 1;
-                entry = match args.get(i) {
-                    Some(v) => v.clone(),
-                    None => return usage(),
-                };
-            }
-            "--async" => {
-                i += 1;
-                capacity = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => v,
-                    None => return usage(),
-                };
-            }
-            "--timeout" => {
-                i += 1;
-                timeout = match args.get(i).and_then(|v| v.parse().ok()) {
-                    Some(v) => Duration::from_secs(v),
-                    None => return usage(),
-                };
-            }
-            "--no-prelude" => prelude = false,
-            _ => return usage(),
-        }
-        i += 1;
-    }
-
-    let source = match std::fs::read_to_string(file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {file}: {e}");
-            return ExitCode::FAILURE;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&argv) {
+        Ok(cli) => cli,
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            return ExitCode::from(2);
         }
     };
 
-    let module = match if prelude {
-        check_source(&source)
-    } else {
-        check_source_raw(&source)
-    } {
-        Ok(m) => m,
-        Err(e) => {
-            eprintln!("{file}: {e}");
-            return ExitCode::FAILURE;
+    match cli {
+        Cli::Serve(opts) => {
+            let engine = Engine::new(opts.workers);
+            let config = ServeConfig {
+                batch_max: opts.batch_max,
+                stats_on_exit: opts.stats_on_exit,
+            };
+            let served = match &opts.listen {
+                Some(addr) => {
+                    eprintln!(
+                        "algst serve: listening on {addr} ({} workers)",
+                        opts.workers
+                    );
+                    serve_tcp(&engine, addr, config)
+                }
+                None => serve_stdio(&engine, config),
+            };
+            match served {
+                Ok(_) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("serve error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
-    };
-
-    match command.as_str() {
-        "check" => {
+        Cli::Check(opts) => with_module(&opts, |file, module| {
             println!("{file}: ok");
             for (name, _) in module.defs() {
                 if let Some(ty) = module.sig(name.as_str()) {
@@ -94,17 +214,165 @@ fn main() -> ExitCode {
                 }
             }
             ExitCode::SUCCESS
-        }
-        "run" => {
-            let interp = Interp::with_capacity(&module, capacity).echo(true);
-            match interp.run_timeout(&entry, timeout) {
-                Ok(_) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("runtime error: {e}");
-                    ExitCode::FAILURE
+        }),
+        Cli::Run(opts) => {
+            let entry = opts.entry.clone();
+            let capacity = opts.capacity;
+            let timeout = opts.timeout;
+            with_module(&opts, |_, module| {
+                let interp = Interp::with_capacity(module, capacity).echo(true);
+                match interp.run_timeout(&entry, timeout) {
+                    Ok(_) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("runtime error: {e}");
+                        ExitCode::FAILURE
+                    }
                 }
-            }
+            })
         }
-        _ => usage(),
+    }
+}
+
+fn with_module(
+    opts: &ProgramOpts,
+    then: impl FnOnce(&str, &algst::check::Module) -> ExitCode,
+) -> ExitCode {
+    let source = match read_source(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let display = if opts.file == "-" {
+        "<stdin>"
+    } else {
+        &opts.file
+    };
+    match if opts.prelude {
+        check_source(&source)
+    } else {
+        check_source_raw(&source)
+    } {
+        Ok(module) => then(display, &module),
+        Err(e) => {
+            eprintln!("{display}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_check_and_run_with_flags() {
+        let cli = parse_cli(&args(&[
+            "run",
+            "prog.algst",
+            "--main",
+            "entry",
+            "--async",
+            "8",
+            "--timeout",
+            "5",
+            "--no-prelude",
+        ]))
+        .unwrap();
+        let Cli::Run(opts) = cli else {
+            panic!("expected run")
+        };
+        assert_eq!(opts.file, "prog.algst");
+        assert_eq!(opts.entry, "entry");
+        assert_eq!(opts.capacity, 8);
+        assert_eq!(opts.timeout, Duration::from_secs(5));
+        assert!(!opts.prelude);
+        assert!(matches!(
+            parse_cli(&args(&["check", "x.algst"])).unwrap(),
+            Cli::Check(_)
+        ));
+    }
+
+    #[test]
+    fn flags_may_precede_the_file() {
+        let Cli::Check(opts) = parse_cli(&args(&["check", "--main", "go", "x.algst"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(opts.file, "x.algst");
+        assert_eq!(opts.entry, "go");
+    }
+
+    #[test]
+    fn dash_reads_stdin() {
+        let Cli::Check(opts) = parse_cli(&args(&["check", "-"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.file, "-");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for bad in [
+            vec!["check", "x.algst", "--frobnicate"],
+            vec!["run", "--async", "2", "--what", "x.algst"],
+            vec!["serve", "--listen"],
+            vec!["serve", "--nope"],
+            vec!["frobnicate", "x.algst"],
+        ] {
+            let err = parse_cli(&args(&bad)).unwrap_err();
+            assert!(
+                err.contains("unknown") || err.contains("requires a value"),
+                "bad message for {bad:?}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_file_and_extra_file_are_errors() {
+        assert!(parse_cli(&args(&["check"])).unwrap_err().contains("FILE"));
+        assert!(parse_cli(&args(&["check", "a", "b"]))
+            .unwrap_err()
+            .contains("extra argument"));
+        assert!(parse_cli(&args(&["run", "x", "--main"]))
+            .unwrap_err()
+            .contains("requires a value"));
+        assert!(parse_cli(&args(&["run", "x", "--async", "many"]))
+            .unwrap_err()
+            .contains("integer"));
+    }
+
+    #[test]
+    fn serve_options_parse() {
+        let Cli::Serve(opts) = parse_cli(&args(&[
+            "serve",
+            "--workers",
+            "8",
+            "--batch",
+            "64",
+            "--listen",
+            "127.0.0.1:7878",
+            "--stats-on-exit",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.workers, 8);
+        assert_eq!(opts.batch_max, 64);
+        assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:7878"));
+        assert!(opts.stats_on_exit);
+        let Cli::Serve(defaults) = parse_cli(&args(&["serve"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(defaults.workers, 4);
+        assert_eq!(defaults.batch_max, 256);
+        assert_eq!(defaults.listen, None);
+        assert!(!defaults.stats_on_exit);
+        assert!(parse_cli(&args(&["serve", "--workers", "0"])).is_err());
     }
 }

@@ -1,0 +1,98 @@
+//! End-to-end concurrency soak: the full Fig. 10 gen suites checked
+//! from 8 threads simultaneously through one shared store, verdicts
+//! held against the suites' by-construction ground truth and the
+//! single-threaded tree oracle.
+
+use algst::core::normalize::nrm_pos;
+use algst::core::shared::SharedStore;
+use algst::gen::suite::{build_suite, SuiteKind};
+use algst::gen::workload::equiv_workload;
+
+const THREADS: usize = 8;
+
+#[test]
+fn suites_checked_from_eight_threads_agree_with_the_oracle() {
+    let eq = build_suite(SuiteKind::Equivalent, 24, 101);
+    let ne = build_suite(SuiteKind::NonEquivalent, 24, 102);
+    let cases: Vec<(&algst::core::types::Type, &algst::core::types::Type, bool)> = eq
+        .cases
+        .iter()
+        .chain(&ne.cases)
+        .map(|c| (&c.instance.ty, &c.other, c.equivalent))
+        .collect();
+
+    // Tree oracle once, up front (no store of any kind).
+    for &(t, u, expected) in &cases {
+        assert_eq!(
+            nrm_pos(t).alpha_eq(&nrm_pos(u)),
+            expected,
+            "tree oracle disagrees with ground truth on {t} vs {u}"
+        );
+    }
+
+    let shared = SharedStore::new_arc();
+    std::thread::scope(|scope| {
+        for ti in 0..THREADS {
+            let shared = &shared;
+            let cases = &cases;
+            scope.spawn(move || {
+                let mut w = shared.worker();
+                // Stagger direction per thread so interning races cover
+                // both sides of every pair from the first instant.
+                let flip = ti % 2 == 1;
+                for &(t, u, expected) in cases {
+                    let (x, y) = if flip { (u, t) } else { (t, u) };
+                    let a = w.intern(x);
+                    let b = w.intern(y);
+                    assert!(w.equivalent_ids(a, a), "reflexivity");
+                    assert_eq!(
+                        w.equivalent_ids(a, b),
+                        w.equivalent_ids(b, a),
+                        "symmetry on {t} vs {u}"
+                    );
+                    assert_eq!(
+                        w.equivalent_ids(a, b),
+                        expected,
+                        "thread {ti} verdict on {t} vs {u}"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = shared.stats();
+    assert_eq!(stats.workers, THREADS as u64);
+    assert!(stats.nodes > 0);
+    // 8 threads × 48 pairs, but each distinct normal form is computed a
+    // bounded number of times (races at worst double-compute): the hit
+    // rate must dominate.
+    assert!(
+        stats.nrm_hit_rate() > 0.5,
+        "expected a warm-dominated run, got hit rate {:.3} ({stats:?})",
+        stats.nrm_hit_rate()
+    );
+}
+
+#[test]
+fn workload_replay_from_many_threads_is_deterministic() {
+    let eq = build_suite(SuiteKind::Equivalent, 12, 103);
+    let ne = build_suite(SuiteKind::NonEquivalent, 12, 104);
+    let workload = equiv_workload(&[&eq, &ne], 240, 9);
+
+    let shared = SharedStore::new_arc();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let shared = &shared;
+            let workload = &workload;
+            scope.spawn(move || {
+                let mut w = shared.worker();
+                for i in 0..workload.len() {
+                    let (lhs, rhs, expected) = workload.request(i);
+                    let a = w.intern(lhs);
+                    let b = w.intern(rhs);
+                    assert_eq!(w.equivalent_ids(a, b), expected, "request {i}");
+                }
+            });
+        }
+    });
+}

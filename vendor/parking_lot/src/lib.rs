@@ -1,10 +1,10 @@
-//! Offline stand-in for `parking_lot`: a [`Mutex`] with the
-//! guard-returning (non-poisoning) `lock()` signature, implemented over
-//! `std::sync::Mutex`. Poisoning is deliberately ignored — like
-//! `parking_lot`, a panic while holding the lock leaves the data
-//! accessible to later lockers.
+//! Offline stand-in for `parking_lot`: a [`Mutex`] and an [`RwLock`]
+//! with the guard-returning (non-poisoning) `lock()`/`read()`/`write()`
+//! signatures, implemented over their `std::sync` counterparts.
+//! Poisoning is deliberately ignored — like `parking_lot`, a panic while
+//! holding a lock leaves the data accessible to later lockers.
 
-use std::sync::MutexGuard;
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion primitive whose `lock` returns the guard directly.
 #[derive(Debug, Default)]
@@ -43,9 +43,55 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose `read`/`write` return guards directly
+/// (no poisoning). The sharded concurrent type store takes read locks on
+/// every warm lookup, so the non-poisoning fast path matters there.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -66,5 +112,30 @@ mod tests {
         .join();
         *m.lock() += 5;
         assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = Arc::new(RwLock::new(0));
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 0);
+        }
+        *l.write() += 3;
+        assert_eq!(*l.read(), 3);
+    }
+
+    #[test]
+    fn rwlock_survives_panicking_writer() {
+        let l = Arc::new(RwLock::new(1));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the std rwlock");
+        })
+        .join();
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
     }
 }

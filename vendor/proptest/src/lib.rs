@@ -2,9 +2,9 @@
 //!
 //! Implements the subset of the API this workspace's property tests use:
 //! [`strategy::Strategy`] with `prop_map` / `prop_recursive` / `boxed`,
-//! [`strategy::Just`], tuple strategies, the [`prop_oneof!`],
-//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
-//! [`prop_assert_ne!`] macros, and
+//! [`strategy::Just`], tuple strategies, [`collection::vec`], the
+//! [`prop_oneof!`], [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`]
+//! and [`prop_assert_ne!`] macros, and
 //! [`test_runner::ProptestConfig::with_cases`].
 //!
 //! Differences from real proptest: generation only — failing cases are
@@ -12,6 +12,7 @@
 //! — and the per-test RNG is seeded deterministically from the test name,
 //! so runs are reproducible.
 
+pub mod collection;
 pub mod strategy;
 pub mod test_runner;
 
@@ -24,6 +25,9 @@ pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // Real proptest's prelude aliases the crate as `prop` so tests can
+    // say `prop::collection::vec(...)`.
+    pub use crate as prop;
 }
 
 /// Deterministic per-test seed (FNV-1a over the test name).
