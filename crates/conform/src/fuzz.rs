@@ -1,0 +1,663 @@
+//! The seeded differential-fuzzing driver behind `algst fuzz`.
+//!
+//! One run is fully determined by `(seed, iters, sabotage)`: every
+//! random draw flows from a single `StdRng`. Each iteration exercises
+//! the equivalence family; every second iteration additionally runs the
+//! program families (syntax round-trip, metamorphic checking); every
+//! fourth runs the runtime family; every 32nd re-validates the deep
+//! store invariants.
+//!
+//! A disagreement is delta-debugged ([`crate::reduce`]) against the
+//! *specific* oracle pair that split, and written to the failures
+//! directory as a replayable `.algst` file whose comment header records
+//! the oracle, seed, iteration, sabotage flag and verdicts. Replay the
+//! file with `algst fuzz --replay FILE` (add `--sabotage FLAG` to
+//! reproduce an injected-bug run).
+
+use crate::oracles::{
+    check_metamorphic, program_round_trip, run_program, type_round_trip, EquivOracles,
+    MetaTransform, RunOutcome, META_TRANSFORMS,
+};
+use crate::reduce::{reduce_equiv_case, reduce_program, EquivCase};
+use crate::reference::Sabotage;
+use algst_core::kind::Kind;
+use algst_core::protocol::Declarations;
+use algst_core::types::Type;
+use algst_gen::{
+    equivalent_variant, generate_instance, generate_program, nonequivalent_mutant, GenConfig,
+    ProgConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Parameters of one fuzz run.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    pub iters: u64,
+    pub seed: u64,
+    /// Where minimized counterexamples are written.
+    pub out_dir: PathBuf,
+    /// Injected bug, for self-tests (`--sabotage`).
+    pub sabotage: Sabotage,
+    /// FreeST bisimulation expansion budget per pair.
+    pub freest_budget: u64,
+    /// Wall-clock step budget per runtime-oracle program.
+    pub run_budget: Duration,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            iters: 200,
+            seed: 42,
+            out_dir: PathBuf::from("conform-failures"),
+            sabotage: Sabotage::None,
+            freest_budget: 300_000,
+            run_budget: Duration::from_secs(10),
+            quiet: false,
+        }
+    }
+}
+
+/// One recorded oracle disagreement.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// `family:detail`, e.g. `equiv:store-vs-reference`.
+    pub oracle: String,
+    pub detail: String,
+    /// The replayable counterexample file, if one was written.
+    pub file: Option<PathBuf>,
+    /// AST nodes of the minimized counterexample (equiv family).
+    pub minimized_nodes: Option<usize>,
+    pub iter: u64,
+}
+
+/// Counters and failures of a completed run.
+#[derive(Debug, Default)]
+pub struct FuzzReport {
+    pub iters: u64,
+    pub equiv_cases: u64,
+    pub syntax_cases: u64,
+    pub check_cases: u64,
+    pub runtime_cases: u64,
+    /// FreeST verdicts skipped for budget/translatability.
+    pub freest_skips: u64,
+    /// Runtime runs that hit the step budget (not failures).
+    pub budget_hits: u64,
+    pub failures: Vec<Failure>,
+}
+
+impl FuzzReport {
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// One-paragraph human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} iterations: {} equiv pairs ({} freest skips), {} syntax round-trips, \
+             {} metamorphic checks, {} runtime runs ({} budget hits) — {} failure(s)",
+            self.iters,
+            self.equiv_cases,
+            self.freest_skips,
+            self.syntax_cases,
+            self.check_cases,
+            self.runtime_cases,
+            self.budget_hits,
+            self.failures.len()
+        )
+    }
+}
+
+/// Stop recording (and running) after this many failures: a build this
+/// broken needs a fix, not more counterexamples.
+const MAX_FAILURES: usize = 20;
+
+/// Runs the full differential loop. See the module docs for the
+/// per-iteration schedule.
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut oracles = EquivOracles::new(cfg.sabotage, cfg.freest_budget);
+    let mut report = FuzzReport::default();
+
+    for iter in 0..cfg.iters {
+        report.iters = iter + 1;
+        if report.failures.len() >= MAX_FAILURES {
+            break;
+        }
+        if !cfg.quiet && iter > 0 && iter % 100 == 0 {
+            eprintln!(
+                "algst fuzz: {iter}/{} iterations, {}",
+                cfg.iters,
+                report.summary()
+            );
+        }
+
+        equiv_iteration(cfg, &mut rng, &mut oracles, iter, &mut report);
+        if iter % 2 == 0 {
+            program_iteration(cfg, &mut rng, iter, &mut report);
+        }
+        if iter % 4 == 0 {
+            runtime_iteration(cfg, &mut rng, iter, &mut report);
+        }
+        if iter % 32 == 31 {
+            if let Err(violation) = oracles.check_store_invariants() {
+                report.failures.push(Failure {
+                    oracle: "store:invariants".into(),
+                    detail: violation,
+                    file: None,
+                    minimized_nodes: None,
+                    iter,
+                });
+            }
+        }
+    }
+    report
+}
+
+// ------------------------------------------------------------ the families
+
+fn equiv_iteration(
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+    oracles: &mut EquivOracles,
+    iter: u64,
+    report: &mut FuzzReport,
+) {
+    let size = rng.gen_range(4..72);
+    let inst = generate_instance(rng, &GenConfig::sized(size));
+    let truth = rng.gen_range(0..2) == 0;
+    let other = if truth {
+        equivalent_variant(rng, &inst.decls, &inst.ty, Kind::Value, 8)
+    } else {
+        let mutant = nonequivalent_mutant(rng, &inst.ty).expect("generated spines are mutable");
+        equivalent_variant(rng, &inst.decls, &mutant, Kind::Value, 5)
+    };
+    report.equiv_cases += 1;
+
+    let verdicts = oracles.verdicts(&inst.decls, &inst.ty, &other);
+    if verdicts.freest.is_none() {
+        report.freest_skips += 1;
+    }
+    if let Some((a, b)) = verdicts.disagreement(Some(truth)) {
+        let case = EquivCase {
+            decls: inst.decls.clone(),
+            lhs: inst.ty.clone(),
+            rhs: other.clone(),
+        };
+        let oracle = format!("equiv:{a}-vs-{b}");
+        // Ground truth is a property of the original construction — it
+        // cannot be recomputed for reduced candidates, so truth-only
+        // mismatches are written unreduced.
+        let minimized = if b == "ground-truth" {
+            case
+        } else {
+            let pair = b.clone();
+            reduce_equiv_case(&case, 128, &mut |candidate| {
+                oracle_pair_disagrees(oracles, candidate, &pair)
+            })
+        };
+        let final_verdicts = oracles.verdicts(&minimized.decls, &minimized.lhs, &minimized.rhs);
+        let detail = format!(
+            "{} vs {} — verdicts {:?} (truth {:?})",
+            minimized.lhs,
+            minimized.rhs,
+            final_verdicts,
+            if b == "ground-truth" {
+                Some(truth)
+            } else {
+                None
+            }
+        );
+        // Reduction preserves only the oracle-pair disagreement, not
+        // ground truth, so the truth header is recorded exactly for the
+        // (unreduced) ground-truth mismatches that replay against it.
+        let mut body = String::new();
+        if b == "ground-truth" {
+            let _ = writeln!(body, "-- truth: {truth}");
+        }
+        body.push_str(&render_equiv_case(&minimized));
+        let file = write_failure(cfg, &oracle, iter, &detail, &body, report);
+        report.failures.push(Failure {
+            oracle,
+            detail,
+            file,
+            minimized_nodes: Some(minimized.node_count()),
+            iter,
+        });
+    }
+
+    // Syntax family on the same pair: print → parse → resolve identity.
+    for ty in [&inst.ty, &other] {
+        report.syntax_cases += 1;
+        if let Err(detail) = type_round_trip(ty) {
+            let minimized = crate::reduce::reduce_type(ty, 64, &mut |candidate| {
+                type_round_trip(candidate).is_err()
+            });
+            let oracle = "syntax:type-round-trip".to_owned();
+            // Caveat: the body below is serialized with the very printer
+            // under test, so the text may itself reflect the bug (replay
+            // treats an unparseable body as a reproduction; a silently
+            // *different* reparse is only recoverable from the Debug
+            // form recorded in the header).
+            let body = format!(
+                "-- debug-ast: {minimized:?}\ntype ConformLhs = {minimized}\ntype ConformRhs = {minimized}\n"
+            );
+            let detail = format!("{detail} (minimized: {minimized})");
+            let file = write_failure(cfg, &oracle, iter, &detail, &body, report);
+            report.failures.push(Failure {
+                oracle,
+                detail,
+                file,
+                minimized_nodes: Some(minimized.node_count()),
+                iter,
+            });
+        }
+    }
+}
+
+/// Re-runs exactly the two oracles that disagreed on a reduction
+/// candidate — never the full five-way battery, since the reducer calls
+/// this thousands of times.
+fn oracle_pair_disagrees(oracles: &mut EquivOracles, case: &EquivCase, pair: &str) -> bool {
+    let store = oracles.store_verdict(&case.lhs, &case.rhs);
+    match pair {
+        "freest" => {
+            matches!(oracles.freest_verdict(&case.decls, &case.lhs, &case.rhs),
+                     Some(f) if f != store)
+        }
+        "server" => oracles.server_verdict(&case.lhs, &case.rhs) != store,
+        _ => {
+            let v = oracles.fast_verdicts(&case.lhs, &case.rhs);
+            match pair {
+                "shared" => v.shared != store,
+                _ => v.reference != store,
+            }
+        }
+    }
+}
+
+fn program_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut FuzzReport) {
+    let prog_cfg = ProgConfig {
+        spine: rng.gen_range(1..7),
+        choice: true,
+        damage: rng.gen_range(0..3) == 0,
+    };
+    let program = generate_program(rng, &prog_cfg);
+
+    report.syntax_cases += 1;
+    if let Err(detail) = program_round_trip(&program.source) {
+        let minimized = reduce_program(&program.source, 16, &mut |candidate| {
+            program_round_trip(candidate).is_err()
+        });
+        let oracle = "syntax:program-round-trip".to_owned();
+        let file = write_failure(cfg, &oracle, iter, &detail, &minimized, report);
+        report.failures.push(Failure {
+            oracle,
+            detail,
+            file,
+            minimized_nodes: None,
+            iter,
+        });
+    }
+
+    for transform in META_TRANSFORMS {
+        report.check_cases += 1;
+        if let Err(detail) = check_metamorphic(&program.source, transform) {
+            let minimized = reduce_program(&program.source, 16, &mut |candidate| {
+                check_metamorphic(candidate, transform).is_err()
+            });
+            let oracle = format!("check:{}", transform_flag(transform));
+            let file = write_failure(cfg, &oracle, iter, &detail, &minimized, report);
+            report.failures.push(Failure {
+                oracle,
+                detail,
+                file,
+                minimized_nodes: None,
+                iter,
+            });
+        }
+    }
+}
+
+fn runtime_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut FuzzReport) {
+    let prog_cfg = ProgConfig {
+        spine: rng.gen_range(1..7),
+        choice: true,
+        damage: false,
+    };
+    let program = generate_program(rng, &prog_cfg);
+    report.runtime_cases += 1;
+    match run_program(&program, cfg.run_budget) {
+        RunOutcome::Ok => {}
+        RunOutcome::Budget => report.budget_hits += 1,
+        RunOutcome::Failed(detail) => {
+            // Expected output is a property of the original program, so
+            // runtime counterexamples are written unreduced.
+            let oracle = "runtime:run".to_owned();
+            let file = write_failure(cfg, &oracle, iter, &detail, &program.source, report);
+            report.failures.push(Failure {
+                oracle,
+                detail,
+                file,
+                minimized_nodes: None,
+                iter,
+            });
+        }
+    }
+}
+
+fn transform_flag(t: MetaTransform) -> &'static str {
+    match t {
+        MetaTransform::AlphaRename => "alpha-rename",
+        MetaTransform::DoubleNegPayloads => "double-neg",
+        MetaTransform::DualOfDual => "dual-of-dual",
+    }
+}
+
+// ------------------------------------------------------------ failure files
+
+/// Renders a reduced equivalence case as a replayable program: the
+/// protocol declarations plus two `type` aliases naming the pair.
+fn render_equiv_case(case: &EquivCase) -> String {
+    let mut out = String::new();
+    for p in case.decls.protocols() {
+        let _ = write!(out, "protocol {}", p.name);
+        for (i, c) in p.ctors.iter().enumerate() {
+            let _ = write!(out, "{} {}", if i == 0 { " =" } else { " |" }, c.tag);
+            for arg in &c.args {
+                let _ = write!(out, " {}", atom_source(arg));
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "type ConformLhs = {}", case.lhs);
+    let _ = writeln!(out, "type ConformRhs = {}", case.rhs);
+    out
+}
+
+/// Renders a core type for an *atom* position (constructor argument):
+/// self-delimiting forms stay bare, everything else is parenthesized.
+fn atom_source(t: &Type) -> String {
+    match t {
+        Type::Unit | Type::Base(_) | Type::Var(_) | Type::EndIn | Type::EndOut | Type::Pair(..) => {
+            t.to_string()
+        }
+        Type::Proto(_, args) | Type::Data(_, args) if args.is_empty() => t.to_string(),
+        _ => format!("({t})"),
+    }
+}
+
+fn write_failure(
+    cfg: &FuzzConfig,
+    oracle: &str,
+    iter: u64,
+    detail: &str,
+    body: &str,
+    report: &FuzzReport,
+) -> Option<PathBuf> {
+    if std::fs::create_dir_all(&cfg.out_dir).is_err() {
+        return None;
+    }
+    let slug: String = oracle
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    // The running failure count disambiguates multiple failures of the
+    // same oracle within one iteration (no silent overwrites).
+    let path = cfg.out_dir.join(format!(
+        "case-{}-{slug}-i{iter}-n{}.algst",
+        cfg.seed,
+        report.failures.len()
+    ));
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "-- algst-conform counterexample (replay: algst fuzz --replay {})",
+        path.display()
+    );
+    let _ = writeln!(text, "-- oracle: {oracle}");
+    let _ = writeln!(text, "-- sabotage: {}", cfg.sabotage.flag());
+    let _ = writeln!(text, "-- seed: {} iter: {iter}", cfg.seed);
+    for line in detail.lines().take(4) {
+        let _ = writeln!(text, "-- detail: {line}");
+    }
+    let _ = writeln!(text, "-- failures-so-far: {}", report.failures.len());
+    text.push_str(body);
+    std::fs::write(&path, text).ok()?;
+    Some(path)
+}
+
+// ------------------------------------------------------------------ replay
+
+/// Outcome of replaying a counterexample file.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    pub oracle: String,
+    /// True when the failure reproduced.
+    pub reproduced: bool,
+    pub detail: String,
+}
+
+/// Replays a `conform-failures/` file: re-runs the oracle named in its
+/// header on its body. For `equiv:*` files the body's `ConformLhs` /
+/// `ConformRhs` aliases are the compared pair; for program families the
+/// body is the module itself. Runtime replays re-check termination and
+/// error-freedom (the original expected output is not recorded).
+pub fn replay_file(path: &Path, sabotage: Sabotage) -> Result<ReplayOutcome, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let oracle = text
+        .lines()
+        .find_map(|l| l.strip_prefix("-- oracle: "))
+        .ok_or("missing `-- oracle:` header")?
+        .trim()
+        .to_owned();
+
+    if let Some(pair) = oracle.strip_prefix("equiv:") {
+        let (decls, lhs, rhs) = parse_equiv_body(&text)?;
+        // Ground-truth mismatches replay against the recorded truth.
+        let truth = text
+            .lines()
+            .find_map(|l| l.strip_prefix("-- truth: "))
+            .and_then(|v| v.trim().parse::<bool>().ok());
+        let mut oracles = EquivOracles::new(sabotage, 2_000_000);
+        let verdicts = oracles.verdicts(&decls, &lhs, &rhs);
+        let disagreement = verdicts.disagreement(truth);
+        Ok(ReplayOutcome {
+            oracle: oracle.clone(),
+            reproduced: disagreement.is_some(),
+            detail: format!("{pair}: {lhs} vs {rhs} — {verdicts:?} (truth {truth:?})"),
+        })
+    } else if oracle == "syntax:type-round-trip" {
+        // The body was serialized with the printer under test. A body
+        // that no longer parses *is* the printer bug reproducing; a body
+        // that parses to a different type than recorded can only be
+        // detected through the round-trip re-check below.
+        let (_, lhs, _) = match parse_equiv_body(&text) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                return Ok(ReplayOutcome {
+                    oracle,
+                    reproduced: true,
+                    detail: format!("counterexample body does not parse (printer bug): {e}"),
+                })
+            }
+        };
+        let result = type_round_trip(&lhs);
+        Ok(ReplayOutcome {
+            oracle,
+            reproduced: result.is_err(),
+            detail: result.err().unwrap_or_else(|| {
+                "round-trips cleanly (if the original bug reparsed silently differently, \
+                 compare against the file's -- debug-ast header)"
+                    .into()
+            }),
+        })
+    } else if oracle == "syntax:program-round-trip" {
+        let result = program_round_trip(&text);
+        Ok(ReplayOutcome {
+            oracle,
+            reproduced: result.is_err(),
+            detail: result.err().unwrap_or_else(|| "round-trips cleanly".into()),
+        })
+    } else if let Some(flag) = oracle.strip_prefix("check:") {
+        let transform = META_TRANSFORMS
+            .into_iter()
+            .find(|t| transform_flag(*t) == flag)
+            .ok_or_else(|| format!("unknown transform {flag}"))?;
+        let result = check_metamorphic(&text, transform);
+        Ok(ReplayOutcome {
+            oracle,
+            reproduced: result.is_err(),
+            detail: result.err().unwrap_or_else(|| "verdict preserved".into()),
+        })
+    } else if oracle == "runtime:run" {
+        let program = algst_gen::GenProgram {
+            source: text,
+            well_typed: true,
+            expected_output: Vec::new(),
+            entry: "main",
+        };
+        let outcome = run_program(&program, Duration::from_secs(10));
+        let reproduced = matches!(
+            &outcome,
+            RunOutcome::Failed(d) if !d.starts_with("output mismatch")
+        );
+        Ok(ReplayOutcome {
+            oracle,
+            reproduced,
+            detail: format!("{outcome:?} (output not compared on replay)"),
+        })
+    } else {
+        Err(format!("unknown oracle {oracle}"))
+    }
+}
+
+/// Extracts the protocol declarations and the `ConformLhs`/`ConformRhs`
+/// aliases from a replay body, resolving surface types nominally.
+fn parse_equiv_body(text: &str) -> Result<(Declarations, Type, Type), String> {
+    use algst_syntax::ast::Decl;
+    let ast = algst_syntax::parse_program(text).map_err(|e| e.to_string())?;
+    let mut decls = Declarations::new();
+    let (mut lhs, mut rhs) = (None, None);
+    for d in &ast.decls {
+        match d {
+            Decl::Protocol(td) => {
+                let ctors = td
+                    .ctors
+                    .iter()
+                    .map(|c| {
+                        let args = c
+                            .args
+                            .iter()
+                            .map(resolve_stype)
+                            .collect::<Result<Vec<_>, _>>()?;
+                        Ok(algst_core::protocol::Ctor { tag: c.name, args })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                decls
+                    .add_protocol(algst_core::protocol::ProtocolDecl {
+                        name: td.name,
+                        params: td.params.clone(),
+                        ctors,
+                    })
+                    .map_err(|e| e.to_string())?;
+            }
+            Decl::Alias(a) if a.name.as_str() == "ConformLhs" => {
+                lhs = Some(resolve_stype(&a.body)?);
+            }
+            Decl::Alias(a) if a.name.as_str() == "ConformRhs" => {
+                rhs = Some(resolve_stype(&a.body)?);
+            }
+            _ => {}
+        }
+    }
+    match (lhs, rhs) {
+        (Some(l), Some(r)) => Ok((decls, l, r)),
+        _ => Err("replay body needs `type ConformLhs = …` and `type ConformRhs = …`".into()),
+    }
+}
+
+fn resolve_stype(st: &algst_syntax::ast::SType) -> Result<Type, String> {
+    algst_server::resolve::type_from_str(&algst_syntax::printer::type_to_source(st))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("algst-conform-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn clean_run_finds_no_disagreements() {
+        let cfg = FuzzConfig {
+            iters: 40,
+            seed: 7,
+            out_dir: temp_dir("clean"),
+            quiet: true,
+            freest_budget: 200_000,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        assert!(
+            report.clean(),
+            "clean configuration produced failures: {:#?}",
+            report.failures
+        );
+        assert!(report.equiv_cases >= 40);
+        assert!(report.check_cases > 0 && report.runtime_cases > 0);
+    }
+
+    #[test]
+    fn sabotage_produces_minimized_replayable_counterexamples() {
+        let out_dir = temp_dir("sabotage");
+        let cfg = FuzzConfig {
+            iters: 120,
+            seed: 11,
+            out_dir: out_dir.clone(),
+            sabotage: Sabotage::ReferenceDual,
+            quiet: true,
+            freest_budget: 100_000,
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        let equiv_failure = report
+            .failures
+            .iter()
+            .find(|f| f.oracle == "equiv:store-vs-reference")
+            .expect("sabotaged reference must disagree somewhere");
+        let nodes = equiv_failure
+            .minimized_nodes
+            .expect("equiv failures are reduced");
+        assert!(
+            nodes < 15,
+            "counterexample not minimized: {nodes} nodes ({})",
+            equiv_failure.detail
+        );
+        let file = equiv_failure.file.as_ref().expect("failure file written");
+        // Replaying under the same sabotage reproduces the disagreement…
+        let replay = replay_file(file, Sabotage::ReferenceDual).expect("replayable");
+        assert!(
+            replay.reproduced,
+            "replay did not reproduce: {}",
+            replay.detail
+        );
+        // …and the fixed (unsabotaged) oracle set is clean on it.
+        let fixed = replay_file(file, Sabotage::None).expect("replayable");
+        assert!(
+            !fixed.reproduced,
+            "clean oracles disagree: {}",
+            fixed.detail
+        );
+    }
+}

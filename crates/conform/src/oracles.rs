@@ -1,0 +1,706 @@
+//! The four oracle families the fuzzer cross-checks.
+//!
+//! 1. **Equivalence** ([`EquivOracles`]) — one generated pair of types,
+//!    five independent answers: the single-threaded interned
+//!    [`TypeStore`], a [`SharedStore`]/[`WorkerStore`] (the concurrent
+//!    path), the naive reference semantics ([`crate::reference`]), the
+//!    FreeST bisimulation baseline on the translated pair (budgeted),
+//!    and the server [`Engine`] fed the pretty-printed pair over the
+//!    wire protocol — which transitively also exercises the printer,
+//!    the parser, and the server's nominal resolution.
+//! 2. **Syntax** ([`type_round_trip`], [`program_round_trip`]) —
+//!    print → reparse → structural equality, closing the bug class of
+//!    the PR 3 parenthesized-applied-name regression.
+//! 3. **Checking** ([`check_metamorphic`]) — α-renaming,
+//!    equivalent-type substitution (`T ↦ -(-T)` on payloads), and
+//!    dual-of-dual wrapping preserve the checker's verdict.
+//! 4. **Runtime** ([`run_program`]) — a well-typed generated program
+//!    terminates with its predicted output or hits the step budget;
+//!    it never panics and never returns a runtime error.
+
+use crate::reference::{self, Sabotage};
+use algst_core::protocol::Declarations;
+use algst_core::shared::{SharedStore, WorkerStore};
+use algst_core::store::TypeStore;
+use algst_core::types::Type;
+use algst_gen::to_grammar::to_grammar;
+use algst_gen::GenProgram;
+use algst_server::{Engine, Op, Request, Response};
+use algst_syntax::ast::{Decl, Program, SType};
+use algst_syntax::{parse_program, printer};
+use freest::{bisimilar, BisimResult, Grammar};
+use std::sync::Arc;
+
+// ----------------------------------------------------------- equivalence
+
+/// The five equivalence backends, kept warm across a whole fuzz run so
+/// the memoized paths (the ones production traffic hits) are the ones
+/// under test.
+pub struct EquivOracles {
+    store: TypeStore,
+    worker: WorkerStore,
+    engine: Engine,
+    sabotage: Sabotage,
+    /// Bisimulation expansion budget; exhaustion is recorded, not failed
+    /// (the paper's own observation about the baseline).
+    pub freest_budget: u64,
+}
+
+/// One pair's verdicts. `freest` is `None` when the budget ran out or
+/// the instance falls outside the translatable fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EquivVerdicts {
+    pub store: bool,
+    pub shared: bool,
+    pub reference: bool,
+    pub server: bool,
+    pub freest: Option<bool>,
+}
+
+impl EquivVerdicts {
+    /// The first disagreeing oracle pair, as `(name_a, name_b)` with the
+    /// interned store as the pivot, or a truth mismatch against the
+    /// by-construction ground `truth`.
+    pub fn disagreement(&self, truth: Option<bool>) -> Option<(String, String)> {
+        let pivot = self.store;
+        for (name, verdict) in [
+            ("shared", Some(self.shared)),
+            ("reference", Some(self.reference)),
+            ("server", Some(self.server)),
+            ("freest", self.freest),
+        ] {
+            if let Some(v) = verdict {
+                if v != pivot {
+                    return Some(("store".into(), name.into()));
+                }
+            }
+        }
+        if let Some(t) = truth {
+            if pivot != t {
+                return Some(("store".into(), "ground-truth".into()));
+            }
+        }
+        None
+    }
+}
+
+impl EquivOracles {
+    pub fn new(sabotage: Sabotage, freest_budget: u64) -> EquivOracles {
+        // A private shared store (not the process-global one), so fuzz
+        // runs are hermetic and reproducible; two engine workers so the
+        // server path really crosses threads.
+        let shared = SharedStore::new_arc();
+        EquivOracles {
+            store: TypeStore::new(),
+            worker: shared.worker(),
+            engine: Engine::with_store(2, Arc::clone(&shared)),
+            sabotage,
+            freest_budget,
+        }
+    }
+
+    /// Runs every backend on one pair.
+    pub fn verdicts(&mut self, decls: &Declarations, lhs: &Type, rhs: &Type) -> EquivVerdicts {
+        let (a, b) = (self.store.intern(lhs), self.store.intern(rhs));
+        let store = self.store.equivalent_ids(a, b);
+        let (a, b) = (self.worker.intern(lhs), self.worker.intern(rhs));
+        let shared = self.worker.equivalent_ids(a, b);
+        let reference = reference::equivalent_with(lhs, rhs, self.sabotage);
+        let server = self.server_verdict(lhs, rhs);
+        let freest = self.freest_verdict(decls, lhs, rhs);
+        EquivVerdicts {
+            store,
+            shared,
+            reference,
+            server,
+            freest,
+        }
+    }
+
+    /// Like [`EquivOracles::verdicts`] but only the cheap backends — the
+    /// reducer re-validates thousands of candidates with this.
+    pub fn fast_verdicts(&mut self, lhs: &Type, rhs: &Type) -> EquivVerdicts {
+        let (a, b) = (self.store.intern(lhs), self.store.intern(rhs));
+        let store = self.store.equivalent_ids(a, b);
+        let (a, b) = (self.worker.intern(lhs), self.worker.intern(rhs));
+        let shared = self.worker.equivalent_ids(a, b);
+        let reference = reference::equivalent_with(lhs, rhs, self.sabotage);
+        EquivVerdicts {
+            store,
+            shared,
+            reference,
+            server: store, // not consulted by the reducer
+            freest: None,
+        }
+    }
+
+    /// The interned-store verdict alone (the reducer's pivot).
+    pub(crate) fn store_verdict(&mut self, lhs: &Type, rhs: &Type) -> bool {
+        let (a, b) = (self.store.intern(lhs), self.store.intern(rhs));
+        self.store.equivalent_ids(a, b)
+    }
+
+    pub(crate) fn server_verdict(&self, lhs: &Type, rhs: &Type) -> bool {
+        let responses = self.engine.process(vec![Request {
+            id: 1,
+            op: Op::Equiv {
+                lhs: lhs.to_string(),
+                rhs: rhs.to_string(),
+            },
+        }]);
+        match responses.as_slice() {
+            [Response::Equiv { verdict, .. }] => *verdict,
+            other => panic!("server oracle protocol breach: {other:?}"),
+        }
+    }
+
+    pub(crate) fn freest_verdict(
+        &self,
+        decls: &Declarations,
+        lhs: &Type,
+        rhs: &Type,
+    ) -> Option<bool> {
+        let mut g = Grammar::new();
+        let w1 = to_grammar(decls, lhs, &mut g).ok()?;
+        let w2 = to_grammar(decls, rhs, &mut g).ok()?;
+        match bisimilar(&mut g, &w1, &w2, self.freest_budget) {
+            BisimResult::Equivalent => Some(true),
+            BisimResult::NotEquivalent => Some(false),
+            BisimResult::Budget => None,
+        }
+    }
+
+    /// Deep store-invariant check (arena topology, memo fixpoints,
+    /// `intern∘extract` identity) — called periodically by the driver.
+    pub fn check_store_invariants(&mut self) -> Result<(), String> {
+        self.store.check_invariants()
+    }
+}
+
+// ---------------------------------------------------------------- syntax
+
+/// Core-type round trip: `Display → parse → nominal resolve` must be the
+/// identity up to α (here: structural equality, since resolution is
+/// structural). Returns the printed text on failure.
+pub fn type_round_trip(t: &Type) -> Result<(), String> {
+    let printed = t.to_string();
+    let back = algst_server::resolve::type_from_str(&printed)
+        .map_err(|e| format!("`{printed}` does not reparse: {e}"))?;
+    if back.alpha_eq(t) {
+        Ok(())
+    } else {
+        Err(format!(
+            "`{printed}` reparses as `{back}`, structurally different"
+        ))
+    }
+}
+
+/// Surface round trip on a whole module: `parse → to_source → reparse`
+/// must reproduce the AST (up to spans and fresh `_` binder names).
+pub fn program_round_trip(source: &str) -> Result<(), String> {
+    let ast = parse_program(source).map_err(|e| format!("source does not parse: {e}"))?;
+    let printed = printer::program_to_source(&ast);
+    let back = parse_program(&printed)
+        .map_err(|e| format!("printed source does not reparse: {e}\n--- printed ---\n{printed}"))?;
+    if printer::program_eq(&ast, &back) {
+        Ok(())
+    } else {
+        Err(format!(
+            "print→reparse changed the AST\n--- printed ---\n{printed}"
+        ))
+    }
+}
+
+// -------------------------------------------------------------- checking
+
+/// The metamorphic surface transformations. Each preserves typability.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MetaTransform {
+    /// Consistently rename every program-defined lowercase name
+    /// (top-level definitions, binders, type variables).
+    AlphaRename,
+    /// Replace every message payload `T` with `-(-T)` in signatures
+    /// (equivalent by C-NegNeg).
+    DoubleNegPayloads,
+    /// Wrap session-type nodes in signatures in `Dual (Dual ·)`
+    /// (equivalent by C-DualInv).
+    DualOfDual,
+}
+
+pub const META_TRANSFORMS: [MetaTransform; 3] = [
+    MetaTransform::AlphaRename,
+    MetaTransform::DoubleNegPayloads,
+    MetaTransform::DualOfDual,
+];
+
+/// Applies `transform` to the parsed module and returns new source.
+pub fn apply_transform(source: &str, transform: MetaTransform) -> Result<String, String> {
+    let mut ast = parse_program(source).map_err(|e| e.to_string())?;
+    match transform {
+        MetaTransform::AlphaRename => alpha_rename(&mut ast),
+        MetaTransform::DoubleNegPayloads => {
+            for_each_signature(&mut ast, &mut |ty| double_neg_payloads(ty))
+        }
+        MetaTransform::DualOfDual => for_each_signature(&mut ast, &mut |ty| dual_of_dual(ty)),
+    }
+    Ok(printer::program_to_source(&ast))
+}
+
+/// Checks that `transform` preserves the checker's verdict on `source`.
+/// Returns the divergence description on failure.
+pub fn check_metamorphic(source: &str, transform: MetaTransform) -> Result<(), String> {
+    let before = algst_check::check_source(source)
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    let transformed = apply_transform(source, transform)?;
+    let after = algst_check::check_source(&transformed)
+        .map(|_| ())
+        .map_err(|e| e.to_string());
+    if before.is_ok() == after.is_ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{transform:?} changed the verdict: before {:?}, after {:?}\n--- transformed ---\n{transformed}",
+            before.err().unwrap_or_else(|| "ok".into()),
+            after.err().unwrap_or_else(|| "ok".into()),
+        ))
+    }
+}
+
+/// Renames every lowercase name the program itself introduces (top-level
+/// definition names, term binders, type variables) by a fixed injective
+/// suffix, leaving builtins and prelude names untouched. Injectivity
+/// plus totality over the program's own names means no capture can be
+/// introduced.
+fn alpha_rename(ast: &mut Program) {
+    use algst_core::symbol::Symbol;
+    use std::collections::HashSet;
+
+    let mut ours: HashSet<Symbol> = HashSet::new();
+    for d in &ast.decls {
+        match d {
+            Decl::Signature(s) => {
+                ours.insert(s.name);
+            }
+            Decl::Binding(b) => {
+                ours.insert(b.name);
+            }
+            _ => {}
+        }
+    }
+    let rename = move |s: Symbol, ours: &HashSet<Symbol>, binder: bool| -> Symbol {
+        // Fresh `_`-binders keep their placeholder spelling.
+        if s.as_str().contains('%') {
+            return s;
+        }
+        if binder || ours.contains(&s) {
+            Symbol::intern(&format!("{}_ar", s.as_str()))
+        } else {
+            s
+        }
+    };
+
+    // Every *binder* is ours; every *use* is renamed iff its name is a
+    // binder somewhere in scope or a top-level definition. Because the
+    // program's binder names never collide with builtins (generated
+    // names are stamped; builtins like `send` are never rebound by the
+    // generator), renaming all binder names uniformly is sound.
+    let mut binders: HashSet<Symbol> = ours.clone();
+    for d in &ast.decls {
+        collect_binders(d, &mut binders);
+    }
+    let subst = |s: Symbol| rename(s, &binders, binders.contains(&s));
+
+    for d in &mut ast.decls {
+        rename_decl(d, &subst);
+    }
+}
+
+fn collect_binders(d: &Decl, acc: &mut std::collections::HashSet<algst_core::symbol::Symbol>) {
+    use algst_syntax::ast::{Param, Pattern, SExpr};
+    fn expr(e: &SExpr, acc: &mut std::collections::HashSet<algst_core::symbol::Symbol>) {
+        match e {
+            SExpr::Lambda(ps, body, _) => {
+                acc.extend(ps.iter().copied());
+                expr(body, acc);
+            }
+            SExpr::Let(pat, bound, body, _) => {
+                match pat {
+                    Pattern::Var(x) => {
+                        acc.insert(*x);
+                    }
+                    Pattern::Pair(x, y) => {
+                        acc.insert(*x);
+                        acc.insert(*y);
+                    }
+                    Pattern::Unit | Pattern::Wild => {}
+                }
+                expr(bound, acc);
+                expr(body, acc);
+            }
+            SExpr::Case(s, arms, _) => {
+                expr(s, acc);
+                for arm in arms {
+                    acc.extend(arm.binders.iter().copied());
+                    expr(&arm.body, acc);
+                }
+            }
+            SExpr::App(f, a, _) => {
+                expr(f, acc);
+                expr(a, acc);
+            }
+            SExpr::TApp(f, _, _) => expr(f, acc),
+            SExpr::BinOp(_, l, r, _) | SExpr::Pair(l, r, _) => {
+                expr(l, acc);
+                expr(r, acc);
+            }
+            SExpr::If(c, t, f, _) => {
+                expr(c, acc);
+                expr(t, acc);
+                expr(f, acc);
+            }
+            SExpr::Lit(..) | SExpr::Var(..) | SExpr::Con(..) | SExpr::Select(..) => {}
+        }
+    }
+    match d {
+        Decl::Binding(b) => {
+            for p in &b.params {
+                match p {
+                    Param::Term(x) => {
+                        acc.insert(*x);
+                    }
+                    Param::Types(vs) => acc.extend(vs.iter().copied()),
+                    Param::Wild => {}
+                }
+            }
+            expr(&b.body, acc);
+        }
+        Decl::Signature(s) => collect_type_binders(&s.ty, acc),
+        Decl::Alias(a) => {
+            acc.extend(a.params.iter().copied());
+            collect_type_binders(&a.body, acc);
+        }
+        Decl::Protocol(td) | Decl::Data(td) => {
+            acc.extend(td.params.iter().copied());
+        }
+    }
+}
+
+fn collect_type_binders(
+    t: &SType,
+    acc: &mut std::collections::HashSet<algst_core::symbol::Symbol>,
+) {
+    match t {
+        SType::Forall(v, _, body, _) => {
+            acc.insert(*v);
+            collect_type_binders(body, acc);
+        }
+        SType::Arrow(a, b, _) | SType::Pair(a, b, _) | SType::In(a, b, _) | SType::Out(a, b, _) => {
+            collect_type_binders(a, acc);
+            collect_type_binders(b, acc);
+        }
+        SType::Dual(x, _) | SType::Neg(x, _) => collect_type_binders(x, acc),
+        SType::Name(_, args, _) => args.iter().for_each(|a| collect_type_binders(a, acc)),
+        SType::Unit(_) | SType::Var(..) | SType::EndIn(_) | SType::EndOut(_) => {}
+    }
+}
+
+fn rename_decl(
+    d: &mut Decl,
+    subst: &dyn Fn(algst_core::symbol::Symbol) -> algst_core::symbol::Symbol,
+) {
+    use algst_syntax::ast::{Param, Pattern, SExpr};
+    fn ty(t: &mut SType, subst: &dyn Fn(algst_core::symbol::Symbol) -> algst_core::symbol::Symbol) {
+        match t {
+            SType::Var(v, _) => *v = subst(*v),
+            SType::Forall(v, _, body, _) => {
+                *v = subst(*v);
+                ty(body, subst);
+            }
+            SType::Arrow(a, b, _)
+            | SType::Pair(a, b, _)
+            | SType::In(a, b, _)
+            | SType::Out(a, b, _) => {
+                ty(a, subst);
+                ty(b, subst);
+            }
+            SType::Dual(x, _) | SType::Neg(x, _) => ty(x, subst),
+            SType::Name(_, args, _) => args.iter_mut().for_each(|a| ty(a, subst)),
+            SType::Unit(_) | SType::EndIn(_) | SType::EndOut(_) => {}
+        }
+    }
+    fn expr(
+        e: &mut SExpr,
+        subst: &dyn Fn(algst_core::symbol::Symbol) -> algst_core::symbol::Symbol,
+    ) {
+        match e {
+            SExpr::Var(x, _) => *x = subst(*x),
+            SExpr::Lambda(ps, body, _) => {
+                for p in ps.iter_mut() {
+                    *p = subst(*p);
+                }
+                expr(body, subst);
+            }
+            SExpr::Let(pat, bound, body, _) => {
+                match pat {
+                    Pattern::Var(x) => *x = subst(*x),
+                    Pattern::Pair(x, y) => {
+                        *x = subst(*x);
+                        *y = subst(*y);
+                    }
+                    Pattern::Unit | Pattern::Wild => {}
+                }
+                expr(bound, subst);
+                expr(body, subst);
+            }
+            SExpr::Case(s, arms, _) => {
+                expr(s, subst);
+                for arm in arms {
+                    for b in arm.binders.iter_mut() {
+                        *b = subst(*b);
+                    }
+                    expr(&mut arm.body, subst);
+                }
+            }
+            SExpr::App(f, a, _) => {
+                expr(f, subst);
+                expr(a, subst);
+            }
+            SExpr::TApp(f, tys, _) => {
+                expr(f, subst);
+                tys.iter_mut().for_each(|t| ty(t, subst));
+            }
+            SExpr::BinOp(_, l, r, _) | SExpr::Pair(l, r, _) => {
+                expr(l, subst);
+                expr(r, subst);
+            }
+            SExpr::If(c, t, f, _) => {
+                expr(c, subst);
+                expr(t, subst);
+                expr(f, subst);
+            }
+            SExpr::Lit(..) | SExpr::Con(..) | SExpr::Select(..) => {}
+        }
+    }
+    match d {
+        Decl::Signature(s) => {
+            s.name = subst(s.name);
+            ty(&mut s.ty, subst);
+        }
+        Decl::Binding(b) => {
+            b.name = subst(b.name);
+            for p in &mut b.params {
+                match p {
+                    Param::Term(x) => *x = subst(*x),
+                    Param::Types(vs) => vs.iter_mut().for_each(|v| *v = subst(*v)),
+                    Param::Wild => {}
+                }
+            }
+            expr(&mut b.body, subst);
+        }
+        Decl::Alias(a) => {
+            for p in &mut a.params {
+                *p = subst(*p);
+            }
+            ty(&mut a.body, subst);
+        }
+        // Protocol/data declarations carry no lowercase names in the
+        // generated fragment (unparameterized); leave them alone.
+        Decl::Protocol(_) | Decl::Data(_) => {}
+    }
+}
+
+fn for_each_signature(ast: &mut Program, f: &mut dyn FnMut(&mut SType)) {
+    for d in &mut ast.decls {
+        if let Decl::Signature(s) = d {
+            f(&mut s.ty);
+        }
+    }
+}
+
+/// `T ↦ -(-T)` on every message payload (C-NegNeg keeps equivalence).
+fn double_neg_payloads(t: &mut SType) {
+    match t {
+        SType::In(p, s, _) | SType::Out(p, s, _) => {
+            double_neg_payloads(s);
+            let span = p.span();
+            let old = std::mem::replace(&mut **p, SType::Unit(span));
+            **p = SType::Neg(Box::new(SType::Neg(Box::new(old), span)), span);
+        }
+        SType::Arrow(a, b, _) | SType::Pair(a, b, _) => {
+            double_neg_payloads(a);
+            double_neg_payloads(b);
+        }
+        SType::Forall(_, _, body, _) => double_neg_payloads(body),
+        SType::Dual(x, _) | SType::Neg(x, _) => double_neg_payloads(x),
+        SType::Name(..) | SType::Unit(_) | SType::Var(..) | SType::EndIn(_) | SType::EndOut(_) => {}
+    }
+}
+
+/// Wraps the outermost session-type nodes in `Dual (Dual ·)` (C-DualInv
+/// keeps equivalence; the wrapped node is session-kinded so the result
+/// stays well-kinded).
+fn dual_of_dual(t: &mut SType) {
+    match t {
+        SType::In(..) | SType::Out(..) | SType::EndIn(_) | SType::EndOut(_) => {
+            let span = t.span();
+            let old = std::mem::replace(t, SType::Unit(span));
+            *t = SType::Dual(Box::new(SType::Dual(Box::new(old), span)), span);
+        }
+        SType::Arrow(a, b, _) | SType::Pair(a, b, _) => {
+            dual_of_dual(a);
+            dual_of_dual(b);
+        }
+        SType::Forall(_, _, body, _) => dual_of_dual(body),
+        SType::Dual(x, _) => dual_of_dual(x),
+        SType::Name(..) | SType::Unit(_) | SType::Var(..) | SType::Neg(..) => {}
+    }
+}
+
+// --------------------------------------------------------------- runtime
+
+/// Outcome of one runtime-oracle run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Terminated with exactly the predicted output.
+    Ok,
+    /// Hit the declared step budget (deadlock-free by Theorem 5, but the
+    /// budget is the paper's own safety net) — not a failure.
+    Budget,
+    /// Anything else: wrong output, a typed runtime error on a
+    /// well-typed program, or a panic.
+    Failed(String),
+}
+
+/// Checks and runs a generated program under `budget`, classifying the
+/// outcome. A panic on any thread *before the budget elapses* is a
+/// failure, never a crash of the fuzzer itself. Two accepted
+/// limitations of the wall-clock budget: a panic landing after the
+/// budget is reported as [`RunOutcome::Budget`], and a run that hits
+/// the budget leaves its (blocked) interpreter threads parked for the
+/// remainder of the process — generated programs are deadlock-free by
+/// construction, so budget hits are rare (0 in the committed runs).
+pub fn run_program(program: &GenProgram, budget: std::time::Duration) -> RunOutcome {
+    let module = match algst_check::check_source(&program.source) {
+        Ok(m) => m,
+        Err(e) => return RunOutcome::Failed(format!("well-typed program rejected: {e}")),
+    };
+    let interp = algst_runtime::Interp::new(&module);
+    let entry = program.entry.to_owned();
+    let runner = interp.clone();
+    // Run on a dedicated thread so a panic is observed as a join error
+    // instead of masquerading as a timeout (Interp::run_timeout cannot
+    // tell the two apart).
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let result = runner.run(&entry);
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(budget) {
+        Ok(Ok(_)) => {
+            let _ = handle.join();
+            if interp.output() == program.expected_output {
+                RunOutcome::Ok
+            } else {
+                RunOutcome::Failed(format!(
+                    "output mismatch: expected {:?}, got {:?}",
+                    program.expected_output,
+                    interp.output()
+                ))
+            }
+        }
+        Ok(Err(e)) => {
+            let _ = handle.join();
+            RunOutcome::Failed(format!("runtime error on a well-typed program: {e}"))
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => RunOutcome::Budget,
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            RunOutcome::Failed("interpreter thread panicked".into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_gen::{generate_program, ProgConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn metamorphic_transforms_preserve_verdicts() {
+        let mut rng = StdRng::seed_from_u64(88);
+        for damage in [false, true] {
+            let cfg = ProgConfig {
+                spine: 3,
+                choice: true,
+                damage,
+            };
+            for _ in 0..6 {
+                let p = generate_program(&mut rng, &cfg);
+                for t in META_TRANSFORMS {
+                    check_metamorphic(&p.source, t)
+                        .unwrap_or_else(|e| panic!("{t:?} diverged: {e}\n{}", p.source));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_hold_on_generated_programs() {
+        let mut rng = StdRng::seed_from_u64(89);
+        for _ in 0..8 {
+            let p = generate_program(&mut rng, &ProgConfig::default());
+            program_round_trip(&p.source).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn runtime_oracle_accepts_generated_programs() {
+        let mut rng = StdRng::seed_from_u64(90);
+        for _ in 0..4 {
+            let p = generate_program(&mut rng, &ProgConfig::default());
+            assert_eq!(
+                run_program(&p, std::time::Duration::from_secs(20)),
+                RunOutcome::Ok,
+                "\n{}",
+                p.source
+            );
+        }
+    }
+
+    #[test]
+    fn equiv_oracles_agree_on_a_small_suite() {
+        use algst_gen::suite::{build_suite, SuiteKind};
+        let mut oracles = EquivOracles::new(Sabotage::None, 2_000_000);
+        for (kind, seed) in [(SuiteKind::Equivalent, 5), (SuiteKind::NonEquivalent, 6)] {
+            let suite = build_suite(kind, 12, seed);
+            for case in &suite.cases {
+                let v = oracles.verdicts(&case.instance.decls, &case.instance.ty, &case.other);
+                assert_eq!(
+                    v.disagreement(Some(case.equivalent)),
+                    None,
+                    "disagreement on\n  {}\n  {}\n  {v:?}",
+                    case.instance.ty,
+                    case.other
+                );
+            }
+        }
+        oracles.check_store_invariants().expect("store invariants");
+    }
+
+    #[test]
+    fn parse_type_smoke_for_server_path() {
+        // The server oracle goes through Display; pin one tricky shape.
+        let t = Type::forall(
+            "s",
+            algst_core::kind::Kind::Session,
+            Type::arrow(
+                Type::output(Type::neg(Type::int()), Type::var("s")),
+                Type::var("s"),
+            ),
+        );
+        assert!(algst_syntax::parse_type(&t.to_string()).is_ok());
+        type_round_trip(&t).unwrap();
+    }
+}

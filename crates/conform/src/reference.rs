@@ -1,0 +1,288 @@
+//! A naive unfold-and-compare **reference oracle** for type equivalence.
+//!
+//! This is deliberately *not* a wrapper around `algst_core::normalize` —
+//! it re-derives the paper's Fig. 3 semantics from scratch with a
+//! different mechanism, so that a bug in the production normalizer (or
+//! its memoized id-level ports) cannot hide by also living here:
+//!
+//! * instead of rewriting the tree to a normal form and α-comparing, it
+//!   converts each type straight into a canonical value ([`CTy`]) in one
+//!   pass, tracking the pending `Dual` as a boolean *polarity* flag and
+//!   the reverse operator `-` as a *negation parity* on payloads;
+//! * binders become de-Bruijn indices during that same pass, so
+//!   α-equivalence is plain `==` on the result — no renaming, no
+//!   substitution, no store.
+//!
+//! Equivalence is then `canon(T) == canon(U)` — exactly the paper's
+//! `nrm⁺(T) =α nrm⁺(U)`, derived independently.
+//!
+//! The oracle can be *sabotaged* for fuzzer self-tests: see
+//! [`Sabotage`]. A sabotaged reference disagrees with the production
+//! oracles on a well-understood class of inputs, which is how the
+//! `conform` test-suite proves the differential loop and the reducer
+//! actually detect and minimize bugs.
+
+use algst_core::kind::Kind;
+use algst_core::symbol::Symbol;
+use algst_core::types::{BaseType, Type};
+
+/// A deliberate bug injected into an oracle, to prove the fuzzer finds
+/// and minimizes real disagreements.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Sabotage {
+    /// No injected bug (the production configuration).
+    #[default]
+    None,
+    /// The reference oracle ignores a pending `Dual` on `End?`/`End!` —
+    /// i.e. it believes `Dual End? ≡ End?`. Minimal counterexamples are
+    /// 3-node pairs like `Dual End?` vs `End!`.
+    ReferenceDual,
+    /// The reference oracle drops negation parity on message payloads —
+    /// i.e. it believes `?(-T).S ≡ ?T.S`.
+    ReferenceNeg,
+}
+
+impl Sabotage {
+    /// Parses the CLI spelling (`reference-dual`, `reference-neg`).
+    pub fn from_flag(flag: &str) -> Option<Sabotage> {
+        match flag {
+            "none" => Some(Sabotage::None),
+            "reference-dual" => Some(Sabotage::ReferenceDual),
+            "reference-neg" => Some(Sabotage::ReferenceNeg),
+            _ => None,
+        }
+    }
+
+    pub fn flag(self) -> &'static str {
+        match self {
+            Sabotage::None => "none",
+            Sabotage::ReferenceDual => "reference-dual",
+            Sabotage::ReferenceNeg => "reference-neg",
+        }
+    }
+}
+
+/// The canonical value a type maps to. Two types are equivalent iff
+/// their `CTy`s are `==`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum CTy {
+    Unit,
+    Base(BaseType),
+    /// A free variable (no enclosing binder).
+    Free(Symbol),
+    /// A de-Bruijn index, innermost binder 0.
+    Bound(u32),
+    /// `Dual α` for a free / bound variable — the only place a dual can
+    /// survive in a canonical value (paper Lemma 3).
+    DualFree(Symbol),
+    DualBound(u32),
+    Arrow(Box<CTy>, Box<CTy>),
+    Pair(Box<CTy>, Box<CTy>),
+    Forall(Kind, Box<CTy>),
+    In(Box<CTy>, Box<CTy>),
+    Out(Box<CTy>, Box<CTy>),
+    EndIn,
+    EndOut,
+    Proto(Symbol, Vec<CTy>),
+    Data(Symbol, Vec<CTy>),
+    /// A single surviving reverse operator (protocol argument position).
+    Neg(Box<CTy>),
+    /// Robustness fallback: `Dual` of a non-session construct (ill-kinded
+    /// input; mirrors the production normalizer's reification).
+    DualWrap(Box<CTy>),
+}
+
+/// Decides `T ≡_A U` with the reference semantics.
+pub fn equivalent(t: &Type, u: &Type) -> bool {
+    equivalent_with(t, u, Sabotage::None)
+}
+
+/// [`equivalent`] under an injected bug (for fuzzer self-tests).
+pub fn equivalent_with(t: &Type, u: &Type, sabotage: Sabotage) -> bool {
+    canon_root(t, sabotage) == canon_root(u, sabotage)
+}
+
+fn canon_root(t: &Type, sabotage: Sabotage) -> CTy {
+    let mut env = Vec::new();
+    payload(t, &mut env, sabotage)
+}
+
+/// Canonicalizes a *payload / protocol-argument* position: strips the
+/// reverse operator `-` counting parity and re-attaches a single `Neg`
+/// when the parity is odd (`-(-T) = T`, Fig. 3).
+fn payload(t: &Type, env: &mut Vec<Symbol>, sabotage: Sabotage) -> CTy {
+    let mut negated = false;
+    let mut current = t;
+    while let Type::Neg(inner) = current {
+        negated = !negated;
+        current = inner;
+    }
+    let core = spine(current, env, false, sabotage);
+    if negated {
+        CTy::Neg(Box::new(core))
+    } else {
+        core
+    }
+}
+
+/// Canonicalizes a type with a pending-`Dual` polarity flag. `dual`
+/// means "an odd number of `Dual`s surround this position".
+fn spine(t: &Type, env: &mut Vec<Symbol>, dual: bool, sabotage: Sabotage) -> CTy {
+    match t {
+        Type::Dual(inner) => spine(inner, env, !dual, sabotage),
+        Type::EndIn => {
+            if dual && sabotage != Sabotage::ReferenceDual {
+                CTy::EndOut
+            } else {
+                CTy::EndIn
+            }
+        }
+        Type::EndOut => {
+            if dual && sabotage != Sabotage::ReferenceDual {
+                CTy::EndIn
+            } else {
+                CTy::EndOut
+            }
+        }
+        Type::Var(v) => {
+            let bound = env.iter().rev().position(|b| b == v).map(|i| i as u32);
+            match (bound, dual) {
+                (Some(i), false) => CTy::Bound(i),
+                (Some(i), true) => CTy::DualBound(i),
+                (None, false) => CTy::Free(*v),
+                (None, true) => CTy::DualFree(*v),
+            }
+        }
+        // A message direction is its constructor, flipped once per
+        // pending Dual and once per odd payload negation (the
+        // materialization §(±(…)) of Fig. 3, folded into one xor).
+        Type::In(p, s) | Type::Out(p, s) => {
+            let q = payload(p, env, sabotage);
+            let (q, negated) = match q {
+                CTy::Neg(inner) if sabotage != Sabotage::ReferenceNeg => (*inner, true),
+                CTy::Neg(inner) => (*inner, false),
+                q => (q, false),
+            };
+            let receiving = matches!(t, Type::In(..)) ^ negated ^ dual;
+            let cont = Box::new(spine(s, env, dual, sabotage));
+            if receiving {
+                CTy::In(Box::new(q), cont)
+            } else {
+                CTy::Out(Box::new(q), cont)
+            }
+        }
+        // Non-session constructs under a pending Dual are ill-kinded;
+        // reify the dual around the positively canonicalized form, as
+        // the production normalizer does.
+        _ if dual => CTy::DualWrap(Box::new(spine(t, env, false, sabotage))),
+        Type::Unit => CTy::Unit,
+        Type::Base(b) => CTy::Base(*b),
+        Type::Arrow(a, b) => CTy::Arrow(
+            Box::new(spine(a, env, false, sabotage)),
+            Box::new(spine(b, env, false, sabotage)),
+        ),
+        Type::Pair(a, b) => CTy::Pair(
+            Box::new(spine(a, env, false, sabotage)),
+            Box::new(spine(b, env, false, sabotage)),
+        ),
+        Type::Forall(v, k, body) => {
+            env.push(*v);
+            let body = spine(body, env, false, sabotage);
+            env.pop();
+            CTy::Forall(*k, Box::new(body))
+        }
+        Type::Proto(name, args) => CTy::Proto(
+            *name,
+            args.iter().map(|a| payload(a, env, sabotage)).collect(),
+        ),
+        Type::Data(name, args) => CTy::Data(
+            *name,
+            args.iter().map(|a| payload(a, env, sabotage)).collect(),
+        ),
+        Type::Neg(_) => {
+            // A negation in spine position (top level of a protocol
+            // argument was already handled by `payload`; this is the
+            // robustness path for odd inputs).
+            payload(t, env, sabotage)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algst_core::equiv;
+
+    #[test]
+    fn agrees_with_the_paper_worked_examples() {
+        // Dual (?(-Int).α) ≡ ?Int.Dual α
+        let t = Type::dual(Type::input(Type::neg(Type::int()), Type::var("a")));
+        let u = Type::input(Type::int(), Type::dual(Type::var("a")));
+        assert!(equivalent(&t, &u));
+        // Dual End? ≡ End!
+        assert!(equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
+        // ?(-T).S ≡ !T.S
+        let t = Type::input(Type::neg(Type::int()), Type::EndOut);
+        let u = Type::output(Type::int(), Type::EndOut);
+        assert!(equivalent(&t, &u));
+        // Dual is involutory.
+        let s = Type::output(Type::int(), Type::input(Type::bool(), Type::var("s")));
+        assert!(equivalent(&Type::dual(Type::dual(s.clone())), &s));
+    }
+
+    #[test]
+    fn alpha_equivalence_via_de_bruijn() {
+        let t = Type::forall("a", Kind::Session, Type::var("a"));
+        let u = Type::forall("b", Kind::Session, Type::var("b"));
+        assert!(equivalent(&t, &u));
+        let free = Type::forall("a", Kind::Session, Type::var("c"));
+        let bound = Type::forall("c", Kind::Session, Type::var("c"));
+        assert!(!equivalent(&free, &bound));
+    }
+
+    #[test]
+    fn nominality_and_negation_parity() {
+        let t = Type::output(Type::proto("RefP1", vec![]), Type::EndOut);
+        let u = Type::output(Type::proto("RefP2", vec![]), Type::EndOut);
+        assert!(!equivalent(&t, &u));
+        // -(-P) ≡ P in argument position.
+        let t = Type::proto("RefP1", vec![Type::neg(Type::neg(Type::int()))]);
+        let u = Type::proto("RefP1", vec![Type::int()]);
+        assert!(equivalent(&t, &u));
+        let v = Type::proto("RefP1", vec![Type::neg(Type::int())]);
+        assert!(!equivalent(&t, &v));
+    }
+
+    #[test]
+    fn agrees_with_the_production_oracle_on_random_suites() {
+        use algst_gen::suite::{build_suite, SuiteKind};
+        for (kind, seed) in [
+            (SuiteKind::Equivalent, 314),
+            (SuiteKind::NonEquivalent, 159),
+        ] {
+            let suite = build_suite(kind, 40, seed);
+            for case in &suite.cases {
+                let want = equiv::equivalent(&case.instance.ty, &case.other);
+                assert_eq!(
+                    equivalent(&case.instance.ty, &case.other),
+                    want,
+                    "reference disagrees with production on\n  {}\n  {}",
+                    case.instance.ty,
+                    case.other
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sabotage_flips_dual_end_verdicts_only_when_enabled() {
+        let t = Type::dual(Type::EndIn);
+        let u = Type::EndOut;
+        assert!(equivalent_with(&t, &u, Sabotage::None));
+        assert!(!equivalent_with(&t, &u, Sabotage::ReferenceDual));
+        let a = Type::input(Type::neg(Type::int()), Type::EndOut);
+        let b = Type::output(Type::int(), Type::EndOut);
+        assert!(equivalent_with(&a, &b, Sabotage::None));
+        assert!(!equivalent_with(&a, &b, Sabotage::ReferenceNeg));
+    }
+}

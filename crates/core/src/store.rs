@@ -451,6 +451,132 @@ impl TypeStore {
         memo.insert(id, n);
         n
     }
+
+    // ------------------------------------------- introspection (testing)
+
+    /// Memo-table counters, for tests and the `algst-conform` fuzzer.
+    pub fn introspect(&self) -> StoreIntrospection {
+        StoreIntrospection {
+            nodes: self.nodes.len(),
+            nrm_pos_entries: self.memo_pos.iter().filter(|m| m.is_some()).count(),
+            nrm_neg_entries: self.memo_neg.iter().filter(|m| m.is_some()).count(),
+            nrm_fixpoints: self
+                .memo_pos
+                .iter()
+                .enumerate()
+                .filter(|(i, m)| **m == Some(TypeId::from_index(*i)))
+                .count(),
+            extract_memo_entries: self.extract_memo.len(),
+        }
+    }
+
+    /// Deep consistency check of the arena and memo tables, for tests
+    /// and fuzzing — **not** a hot-path function (it walks every node
+    /// and re-extracts every binder-closed id). Verifies, in order:
+    ///
+    /// 1. the hash-consing map and arena are inverse bijections;
+    /// 2. the arena is topological (children strictly precede parents),
+    ///    so ids can never form a cycle;
+    /// 3. `needs_binders` agrees with a recomputation from the children;
+    /// 4. every `nrm⁺` memo entry is *fixpoint-seeded*: its result id is
+    ///    recorded as its own normal form (`nrm(nrm(t)) = nrm(t)` holds
+    ///    by table lookup alone) and lies in the normal-form grammar `Q`
+    ///    of Lemma 3;
+    /// 5. `intern ∘ extract` is the identity on every binder-closed id.
+    ///
+    /// Returns a description of the first violation found.
+    pub fn check_invariants(&mut self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            match self.ids.get(node) {
+                Some(id) if id.index() == i => {}
+                other => {
+                    return Err(format!(
+                        "hash-consing map disagrees with arena at t{i}: {other:?}"
+                    ))
+                }
+            }
+            for child in node_children(node) {
+                if child.index() >= i {
+                    return Err(format!("arena not topological: t{i} has child {child:?}"));
+                }
+            }
+            if self.needs_binders[i] != self.compute_needs(node) {
+                return Err(format!(
+                    "needs_binders stale at t{i}: recorded {}, recomputed {}",
+                    self.needs_binders[i],
+                    self.compute_needs(node)
+                ));
+            }
+        }
+        for i in 0..self.nodes.len() {
+            if let Some(n) = self.memo_pos[i] {
+                if self.memo_pos[n.index()] != Some(n) {
+                    return Err(format!(
+                        "nrm memo not fixpoint-seeded: nrm(t{i}) = {n:?} but nrm({n:?}) = {:?}",
+                        self.memo_pos[n.index()]
+                    ));
+                }
+                // Open subtrees (escaping de-Bruijn indices) cannot be
+                // extracted standalone; their enclosing closed root is
+                // checked instead.
+                if self.is_binder_closed(n) {
+                    let tree = self.extract(n);
+                    if !crate::normalize::is_normal(&tree) {
+                        return Err(format!(
+                            "memoized normal form {n:?} not in grammar Q: {tree}"
+                        ));
+                    }
+                }
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let id = TypeId::from_index(i);
+            if !self.is_binder_closed(id) {
+                continue;
+            }
+            let tree = self.extract(id);
+            let back = self.intern(&tree);
+            if back != id {
+                return Err(format!(
+                    "intern∘extract not the identity: t{i} re-interned as {back:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Child ids of a node, for the introspection walk.
+fn node_children(node: &TNode) -> Vec<TypeId> {
+    match node {
+        TNode::Unit
+        | TNode::Base(_)
+        | TNode::Free(_)
+        | TNode::Bound(_)
+        | TNode::EndIn
+        | TNode::EndOut => Vec::new(),
+        TNode::Arrow(a, b) | TNode::Pair(a, b) | TNode::In(a, b) | TNode::Out(a, b) => {
+            vec![*a, *b]
+        }
+        TNode::Forall(_, t) | TNode::Dual(t) | TNode::Neg(t) => vec![*t],
+        TNode::Proto(_, args) | TNode::Data(_, args) => args.clone(),
+    }
+}
+
+/// Counters returned by [`TypeStore::introspect`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreIntrospection {
+    /// Distinct hash-consed nodes in the arena.
+    pub nodes: usize,
+    /// `nrm⁺` memo entries.
+    pub nrm_pos_entries: usize,
+    /// `nrm⁻` memo entries.
+    pub nrm_neg_entries: usize,
+    /// `nrm⁺` entries that map an id to itself (normal forms; always
+    /// ≥ half of `nrm_pos_entries` thanks to fixpoint seeding).
+    pub nrm_fixpoints: usize,
+    /// Cached whole-tree extractions.
+    pub extract_memo_entries: usize,
 }
 
 // ------------------------------------------------------------- StoreOps
@@ -940,6 +1066,43 @@ fn canonical_binder(next: &mut usize, binders: &[Symbol], free: &HashSet<Symbol>
 mod tests {
     use super::*;
     use crate::normalize::nrm_pos;
+
+    #[test]
+    fn invariants_hold_after_mixed_use() {
+        let mut s = TypeStore::new();
+        let t = Type::dual(Type::output(
+            Type::neg(Type::int()),
+            Type::input(Type::bool(), Type::var("s")),
+        ));
+        let u = Type::forall(
+            "s",
+            Kind::Session,
+            Type::arrow(Type::input(Type::int(), Type::var("s")), Type::var("s")),
+        );
+        let (a, b) = (s.intern(&t), s.intern(&u));
+        s.equivalent_ids(a, b);
+        let n = s.nrm_neg(a);
+        s.extract_cached(n);
+        s.check_invariants().expect("store invariants violated");
+        let intro = s.introspect();
+        assert!(intro.nodes > 0 && intro.nrm_pos_entries > 0);
+        assert!(
+            intro.nrm_fixpoints > 0,
+            "fixpoint seeding must record normal forms as their own nrm"
+        );
+    }
+
+    #[test]
+    fn introspection_counts_memo_growth() {
+        let mut s = TypeStore::new();
+        let id = s.intern(&Type::output(Type::int(), Type::EndOut));
+        let before = s.introspect();
+        assert_eq!(before.nrm_pos_entries, 0);
+        s.nrm(id);
+        let after = s.introspect();
+        assert!(after.nrm_pos_entries > before.nrm_pos_entries);
+        s.check_invariants().expect("store invariants violated");
+    }
 
     #[test]
     fn hash_consing_dedupes() {

@@ -4,6 +4,8 @@
 //!
 //! * [`generate`] — random instances (mutually recursive, unparameterized
 //!   protocols plus a session type) in the FreeST-translatable fragment;
+//! * [`program`] — random *whole programs* (client/server pairs over a
+//!   channel, with known output) for the cross-layer conformance fuzzer;
 //! * [`mutate`] — equivalent partners via random walks over the
 //!   conversion rules (Fig. 2), and non-equivalent mutants via quantifier
 //!   insertion / sub-part replacement;
@@ -15,6 +17,7 @@ pub mod from_freest;
 pub mod generate;
 pub mod instance;
 pub mod mutate;
+pub mod program;
 pub mod suite;
 pub mod to_freest;
 pub mod to_grammar;
@@ -23,6 +26,7 @@ pub mod workload;
 pub use generate::{generate_instance, GenConfig};
 pub use instance::{Instance, TestCase};
 pub use mutate::{equivalent_variant, nonequivalent_mutant};
+pub use program::{generate_program, GenProgram, ProgConfig};
 pub use suite::{build_suite, Suite, SuiteKind};
 pub use to_freest::to_freest;
 pub use to_grammar::to_grammar;

@@ -131,66 +131,34 @@ impl SType {
     }
 }
 
+/// Displays as parseable source. Delegates to the precedence-aware
+/// printer ([`crate::printer::type_to_source`]); the old ad-hoc
+/// parenthesizer emitted text that reparsed differently for arrows and
+/// quantifiers in continuation position.
 impl fmt::Display for SType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fn atom(t: &SType) -> bool {
-            matches!(
-                t,
-                SType::Unit(_)
-                    | SType::Var(..)
-                    | SType::EndIn(_)
-                    | SType::EndOut(_)
-                    | SType::Pair(..)
-            ) || matches!(t, SType::Name(_, args, _) if args.is_empty())
-        }
-        fn paren(t: &SType, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            if atom(t) {
-                write!(f, "{t}")
-            } else {
-                write!(f, "({t})")
-            }
-        }
-        match self {
-            SType::Unit(_) => write!(f, "Unit"),
-            SType::Name(n, args, _) => {
-                write!(f, "{n}")?;
-                for a in args {
-                    write!(f, " ")?;
-                    paren(a, f)?;
-                }
-                Ok(())
-            }
-            SType::Var(v, _) => write!(f, "{v}"),
-            SType::Arrow(a, b, _) => {
-                match **a {
-                    SType::Arrow(..) | SType::Forall(..) => write!(f, "({a})")?,
-                    _ => write!(f, "{a}")?,
-                }
-                write!(f, " -> {b}")
-            }
-            SType::Pair(a, b, _) => write!(f, "({a}, {b})"),
-            SType::Forall(v, k, body, _) => write!(f, "forall ({v}:{k}). {body}"),
-            SType::In(p, s, _) => {
-                write!(f, "?")?;
-                paren(p, f)?;
-                write!(f, ".{s}")
-            }
-            SType::Out(p, s, _) => {
-                write!(f, "!")?;
-                paren(p, f)?;
-                write!(f, ".{s}")
-            }
-            SType::EndIn(_) => write!(f, "End?"),
-            SType::EndOut(_) => write!(f, "End!"),
-            SType::Dual(t, _) => {
-                write!(f, "Dual ")?;
-                paren(t, f)
-            }
-            SType::Neg(t, _) => {
-                write!(f, "-")?;
-                paren(t, f)
-            }
-        }
+        f.write_str(&crate::printer::type_to_source(self))
+    }
+}
+
+/// Displays as parseable source (see [`crate::printer::expr_to_source`]).
+impl fmt::Display for SExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::expr_to_source(self))
+    }
+}
+
+/// Displays as one line of parseable source.
+impl fmt::Display for Decl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::decl_to_source(self))
+    }
+}
+
+/// Displays as parseable source, one declaration per line.
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::printer::program_to_source(self))
     }
 }
 

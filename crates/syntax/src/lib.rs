@@ -27,9 +27,13 @@
 pub mod ast;
 pub mod lexer;
 pub mod parser;
+pub mod printer;
 pub mod span;
 pub mod token;
 
 pub use ast::{Decl, Program, SExpr, SType};
 pub use parser::{parse_expr, parse_program, parse_type, ParseError};
+pub use printer::{
+    decl_to_source, expr_eq, expr_to_source, program_eq, program_to_source, type_eq, type_to_source,
+};
 pub use span::Span;

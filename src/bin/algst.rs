@@ -14,10 +14,19 @@
 //!     [--batch N]                   # max requests per batch (default: 256)
 //!     [--listen ADDR]               # TCP instead of stdio, e.g. 127.0.0.1:7878
 //!     [--stats-on-exit]             # print a stats line to stderr at shutdown
+//! algst fuzz                        # cross-layer differential fuzzing
+//!     [--iters N]                   # iterations (default: 200)
+//!     [--seed N]                    # RNG seed (default: 42)
+//!     [--out DIR]                   # failure dir (default: conform-failures)
+//!     [--sabotage NAME]             # inject a bug (self-test): reference-dual | reference-neg
+//!     [--replay FILE]               # re-run the oracle recorded in a failure file
+//!     [--quiet]                     # no progress lines
 //! ```
 //!
 //! `FILE` may be `-` to read the program from stdin. Unknown flags are
-//! rejected with a usage error.
+//! rejected with a usage error. `fuzz` exits 0 on a clean run and 1
+//! when a disagreement was found (minimized counterexamples land in the
+//! failure directory); `--replay` exits 1 when the failure reproduces.
 
 use algst::check::{check_source, check_source_raw};
 use algst::runtime::Interp;
@@ -29,6 +38,7 @@ use std::time::Duration;
 const USAGE: &str =
     "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]
        algst serve [--workers N] [--batch N] [--listen ADDR] [--stats-on-exit]
+       algst fuzz [--iters N] [--seed N] [--out DIR] [--sabotage NAME] [--replay FILE] [--quiet]
 FILE may be `-` to read from stdin.";
 
 /// Options shared by `check` and `run`.
@@ -50,12 +60,24 @@ struct ServeOpts {
     stats_on_exit: bool,
 }
 
+/// Options for `fuzz`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FuzzOpts {
+    iters: u64,
+    seed: u64,
+    out: String,
+    sabotage: algst_conform::Sabotage,
+    replay: Option<String>,
+    quiet: bool,
+}
+
 /// A fully parsed command line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Cli {
     Check(ProgramOpts),
     Run(ProgramOpts),
     Serve(ServeOpts),
+    Fuzz(FuzzOpts),
 }
 
 /// The value of flag `arg` (the next argument), advancing `i` past it.
@@ -154,7 +176,107 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
             }
             Ok(Cli::Serve(opts))
         }
+        "fuzz" => {
+            let mut opts = FuzzOpts {
+                iters: 200,
+                seed: 42,
+                out: "conform-failures".to_owned(),
+                sabotage: algst_conform::Sabotage::None,
+                replay: None,
+                quiet: false,
+            };
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = rest[i].as_str();
+                let value = |i: &mut usize| flag_value(&rest, i, arg);
+                match arg {
+                    "--iters" => {
+                        opts.iters = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--iters takes a non-negative integer".to_owned())?
+                    }
+                    "--seed" => {
+                        opts.seed = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--seed takes a non-negative integer".to_owned())?
+                    }
+                    "--out" => opts.out = value(&mut i)?.clone(),
+                    "--sabotage" => {
+                        let flag = value(&mut i)?;
+                        opts.sabotage =
+                            algst_conform::Sabotage::from_flag(flag).ok_or_else(|| {
+                                format!(
+                                    "unknown sabotage {flag} (use reference-dual or reference-neg)"
+                                )
+                            })?
+                    }
+                    "--replay" => opts.replay = Some(value(&mut i)?.clone()),
+                    "--quiet" => opts.quiet = true,
+                    other => return Err(format!("unknown flag {other}")),
+                }
+                i += 1;
+            }
+            Ok(Cli::Fuzz(opts))
+        }
         other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Runs the `fuzz` subcommand (or a `--replay`), mapping outcomes to
+/// exit codes: 0 = clean, 1 = disagreement found / reproduced.
+fn run_fuzz(opts: &FuzzOpts) -> ExitCode {
+    if let Some(file) = &opts.replay {
+        return match algst_conform::replay_file(std::path::Path::new(file), opts.sabotage) {
+            Ok(outcome) => {
+                println!(
+                    "replay {}: {} — {}",
+                    outcome.oracle,
+                    if outcome.reproduced {
+                        "REPRODUCED"
+                    } else {
+                        "clean"
+                    },
+                    outcome.detail
+                );
+                if outcome.reproduced {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("replay error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let config = algst_conform::FuzzConfig {
+        iters: opts.iters,
+        seed: opts.seed,
+        out_dir: std::path::PathBuf::from(&opts.out),
+        sabotage: opts.sabotage,
+        quiet: opts.quiet,
+        ..algst_conform::FuzzConfig::default()
+    };
+    let report = algst_conform::run_fuzz(&config);
+    println!("algst fuzz (seed {}): {}", opts.seed, report.summary());
+    for failure in &report.failures {
+        println!(
+            "  FAIL {} at iter {}: {}{}",
+            failure.oracle,
+            failure.iter,
+            failure.detail.lines().next().unwrap_or(""),
+            failure
+                .file
+                .as_ref()
+                .map(|p| format!(" [{}]", p.display()))
+                .unwrap_or_default()
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -182,6 +304,7 @@ fn main() -> ExitCode {
     };
 
     match cli {
+        Cli::Fuzz(opts) => run_fuzz(&opts),
         Cli::Serve(opts) => {
             let engine = Engine::new(opts.workers);
             let config = ServeConfig {
@@ -345,6 +468,57 @@ mod tests {
         assert!(parse_cli(&args(&["run", "x", "--async", "many"]))
             .unwrap_err()
             .contains("integer"));
+    }
+
+    #[test]
+    fn fuzz_options_parse() {
+        let Cli::Fuzz(opts) = parse_cli(&args(&[
+            "fuzz",
+            "--iters",
+            "500",
+            "--seed",
+            "7",
+            "--out",
+            "failures",
+            "--sabotage",
+            "reference-dual",
+            "--quiet",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(opts.iters, 500);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.out, "failures");
+        assert_eq!(opts.sabotage, algst_conform::Sabotage::ReferenceDual);
+        assert!(opts.quiet);
+        assert_eq!(opts.replay, None);
+
+        let Cli::Fuzz(defaults) = parse_cli(&args(&["fuzz"])).unwrap() else {
+            panic!()
+        };
+        assert_eq!(defaults.iters, 200);
+        assert_eq!(defaults.seed, 42);
+        assert_eq!(defaults.out, "conform-failures");
+        assert_eq!(defaults.sabotage, algst_conform::Sabotage::None);
+        assert!(!defaults.quiet);
+
+        let Cli::Fuzz(replay) = parse_cli(&args(&[
+            "fuzz",
+            "--replay",
+            "conform-failures/case-7.algst",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            replay.replay.as_deref(),
+            Some("conform-failures/case-7.algst")
+        );
+
+        assert!(parse_cli(&args(&["fuzz", "--iters", "many"])).is_err());
+        assert!(parse_cli(&args(&["fuzz", "--sabotage", "nope"])).is_err());
+        assert!(parse_cli(&args(&["fuzz", "--what"])).is_err());
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`freest`] — the baseline: context-free session types with
 //!   bisimulation equivalence;
 //! * [`gen`] (`algst-gen`) — benchmark instance generation, mutations and
-//!   the AlgST↔FreeST translations (Fig. 9, App. E).
+//!   the AlgST↔FreeST translations (Fig. 9, App. E);
+//! * [`conform`] (`algst-conform`) — the cross-layer differential fuzzer
+//!   behind `algst fuzz`, with its delta-debugging reducer.
 //!
 //! ## Quickstart
 //!
@@ -61,6 +63,7 @@
 //! ```
 
 pub use algst_check as check;
+pub use algst_conform as conform;
 pub use algst_core as core;
 pub use algst_gen as gen;
 pub use algst_runtime as runtime;

@@ -57,12 +57,44 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         let len = rng.gen_range(self.size.min..=self.size.max);
         (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+
+    /// Shrinks in three passes, most aggressive first: halve the length
+    /// (front half, then back half), drop one element at a time, then
+    /// shrink elements in place via the element strategy. The length
+    /// never goes below the configured minimum.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        let min = self.size.min;
+        let half = (value.len() / 2).max(min);
+        if half < value.len() {
+            out.push(value[..half].to_vec());
+            out.push(value[value.len() - half..].to_vec());
+        }
+        if value.len() > min {
+            for drop_ix in 0..value.len() {
+                let mut shorter = value.clone();
+                shorter.remove(drop_ix);
+                out.push(shorter);
+            }
+        }
+        for (ix, element) in value.iter().enumerate() {
+            for candidate in self.element.shrink(element).into_iter().take(3) {
+                let mut patched = value.clone();
+                patched[ix] = candidate;
+                out.push(patched);
+            }
+        }
+        out
     }
 }
 

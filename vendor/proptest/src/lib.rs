@@ -7,10 +7,14 @@
 //! and [`prop_assert_ne!`] macros, and
 //! [`test_runner::ProptestConfig::with_cases`].
 //!
-//! Differences from real proptest: generation only — failing cases are
-//! reported with their `Debug`/`Display` rendering but are **not shrunk**
-//! — and the per-test RNG is seeded deterministically from the test name,
-//! so runs are reproducible.
+//! Differences from real proptest: no value trees. Shrinking is a
+//! post-hoc pass over the failing value ([`strategy::Strategy::shrink`]
+//! driven by [`shrink_failure`]): integer ranges halve toward their
+//! minimum, `collection::vec` drops and halves elements, unions
+//! (including weighted `prop_oneof![w => s, …]`) pool their options'
+//! proposals — but `prop_map`ped strategies propose nothing (the mapping
+//! cannot be inverted without value trees). The per-test RNG is seeded
+//! deterministically from the test name, so runs are reproducible.
 
 pub mod collection;
 pub mod strategy;
@@ -40,6 +44,65 @@ pub fn seed_for(test_name: &str) -> u64 {
     hash
 }
 
+/// The `proptest!` drive loop: generates `cases` inputs, runs `run` on a
+/// clone of each, and on the first failure shrinks the input to a local
+/// minimum (re-validated against `run` at every step) before panicking
+/// with both the failure message and the minimal input.
+pub fn run_cases<S: strategy::Strategy>(
+    cases: u32,
+    rng: &mut rand::rngs::StdRng,
+    strategy: &S,
+    mut run: impl FnMut(S::Value) -> Result<(), String>,
+) where
+    S::Value: Clone + std::fmt::Debug,
+{
+    for case_index in 0..cases {
+        let input = strategy.generate(rng);
+        if let Err(message) = run(input.clone()) {
+            let (min, min_message, steps) =
+                shrink_failure(strategy, input, message, 1024, |candidate| {
+                    run(candidate.clone()).err()
+                });
+            panic!(
+                "case {}/{} failed: {}\nminimal failing input after {} shrink steps: {:?}",
+                case_index + 1,
+                cases,
+                min_message,
+                steps,
+                min,
+            );
+        }
+    }
+}
+
+/// Greedily drives a failing value to a local minimum: repeatedly adopts
+/// the first [`strategy::Strategy::shrink`] candidate on which `fails`
+/// still returns an error, until no candidate fails (or `max_steps`
+/// accepted steps). By construction the returned value **still fails** —
+/// its failure message is returned alongside — which is the property the
+/// regression tests in this crate pin down.
+pub fn shrink_failure<S: strategy::Strategy>(
+    strategy: &S,
+    mut value: S::Value,
+    mut message: String,
+    max_steps: usize,
+    mut fails: impl FnMut(&S::Value) -> Option<String>,
+) -> (S::Value, String, usize) {
+    let mut steps = 0;
+    'progress: while steps < max_steps {
+        for candidate in strategy.shrink(&value) {
+            if let Some(new_message) = fails(&candidate) {
+                value = candidate;
+                message = new_message;
+                steps += 1;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (value, message, steps)
+}
+
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
 /// becomes a `#[test]` running `body` over `config.cases` generated
 /// inputs.
@@ -65,21 +128,18 @@ macro_rules! proptest {
                 <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
                     $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
                 );
-            for prop_case_index in 0..config.cases {
-                $(let $arg =
-                    $crate::strategy::Strategy::generate(&($strategy), &mut prop_rng);)+
-                // The immediately-called closure turns `prop_assert!`'s
-                // early `return Err(..)` into a value without requiring
-                // the test body to end in an expression.
-                #[allow(clippy::redundant_closure_call)]
-                let prop_result: ::std::result::Result<(), ::std::string::String> = (|| {
-                    $body
-                    ::std::result::Result::Ok(())
-                })();
-                if let ::std::result::Result::Err(message) = prop_result {
-                    panic!("case {}/{} failed: {}", prop_case_index + 1, config.cases, message);
-                }
-            }
+            // All argument strategies fuse into one tuple strategy, so a
+            // failing input can be re-run as a whole during shrinking.
+            // Generation order (hence the value stream per seed) is
+            // unchanged from the per-argument version. `prop_assert!`'s
+            // early `return Err(..)` needs the closure boundary; the same
+            // closure re-runs shrink candidates inside `run_cases`.
+            let prop_strategy = ($(($strategy),)+);
+            $crate::run_cases(config.cases, &mut prop_rng, &prop_strategy, |prop_input| {
+                let ($($arg,)+) = prop_input;
+                $body
+                ::std::result::Result::Ok(())
+            });
         }
     )*};
     ($($rest:tt)*) => {
@@ -138,9 +198,16 @@ macro_rules! prop_assert_ne {
     }};
 }
 
-/// Uniform choice among strategies of the same value type.
+/// Choice among strategies of the same value type: uniform
+/// (`prop_oneof![a, b]`) or weighted (`prop_oneof![3 => a, 1 => b]`,
+/// real proptest's weighted-union syntax).
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
     ($($strategy:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($strategy)),+
@@ -250,6 +317,70 @@ mod tests {
             #[allow(unused)]
             fn inner(x in Just(5u32)) {
                 prop_assert!(x == 4);
+            }
+        }
+        inner();
+    }
+
+    // ------------------------------------------------------- shrinking
+
+    /// The core shrinking guarantee: whatever `shrink_failure` returns
+    /// still fails the predicate it was given.
+    #[test]
+    fn shrunk_integer_still_fails_and_is_minimal() {
+        let strategy = 0..100_000u32;
+        let fails = |v: &u32| (*v >= 37).then(|| format!("{v} too big"));
+        let start = 99_731u32;
+        assert!(fails(&start).is_some(), "precondition: start fails");
+        let (min, message, steps) =
+            crate::shrink_failure(&strategy, start, String::new(), 1024, fails);
+        assert!(fails(&min).is_some(), "shrunk value no longer fails");
+        assert_eq!(min, 37, "halving ladder must reach the boundary");
+        assert!(message.contains("too big"));
+        assert!(steps > 0 && steps < 64, "O(log n) steps, got {steps}");
+    }
+
+    #[test]
+    fn shrunk_vec_still_fails_and_drops_noise() {
+        let strategy = crate::collection::vec(0..100u32, 0..20);
+        // Failure: the vector contains at least one element >= 50.
+        let fails = |v: &Vec<u32>| {
+            v.iter()
+                .any(|&x| x >= 50)
+                .then(|| "has a big element".to_owned())
+        };
+        let start = vec![3, 77, 12, 50, 4, 9];
+        let (min, _, _) = crate::shrink_failure(&strategy, start, String::new(), 1024, fails);
+        assert!(fails(&min).is_some(), "shrunk vec no longer fails");
+        // Element-drop removes everything below 50; element shrinking
+        // halves the survivor down to the boundary.
+        assert_eq!(min, vec![50]);
+    }
+
+    #[test]
+    fn shrunk_union_value_still_fails() {
+        let strategy = prop_oneof![3 => 0..1000u32, 1 => Just(999u32)];
+        let fails = |v: &u32| (*v >= 37).then(|| "boom".to_owned());
+        let (min, _, _) = crate::shrink_failure(&strategy, 731, String::new(), 1024, fails);
+        assert!(fails(&min).is_some(), "shrunk union value no longer fails");
+        assert_eq!(min, 37, "the pooled range option descends to the boundary");
+    }
+
+    #[test]
+    fn shrinking_respects_the_step_budget() {
+        let strategy = 0..u32::MAX;
+        let fails = |v: &u32| (*v > 0).then(String::new);
+        let (_, _, steps) = crate::shrink_failure(&strategy, u32::MAX - 1, String::new(), 2, fails);
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimal failing input")]
+    fn macro_reports_the_shrunk_input() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0..10_000u32) {
+                prop_assert!(x < 5, "{x} not below 5");
             }
         }
         inner();

@@ -1,8 +1,14 @@
-//! Generation-only strategies: each strategy is a recipe for producing
-//! values from an RNG. No value trees, no shrinking.
+//! Strategies: each strategy is a recipe for producing values from an
+//! RNG, plus a *shrinker* proposing smaller variants of a failing value.
+//!
+//! Unlike real proptest there are no value trees: shrinking is a
+//! standalone pass over the final value ([`Strategy::shrink`]), driven to
+//! a fixpoint by [`crate::shrink_failure`]. Strategies that cannot invert
+//! their construction (notably [`Map`]) simply propose nothing.
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
 /// A recipe for generating values of type [`Strategy::Value`].
@@ -12,7 +18,16 @@ pub trait Strategy {
     /// Produces one value.
     fn generate(&self, rng: &mut StdRng) -> Self::Value;
 
-    /// Applies `map` to every generated value.
+    /// Proposes *smaller* candidate values derived from `value`, most
+    /// aggressive first. Candidates need not satisfy any property — the
+    /// shrink driver re-validates each against the failing test. The
+    /// default proposes nothing (no shrinking).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
+    /// Applies `map` to every generated value. Mapped strategies do not
+    /// shrink (the construction cannot be inverted without value trees).
     fn prop_map<O, F>(self, map: F) -> Map<Self, F>
     where
         Self: Sized,
@@ -49,14 +64,18 @@ pub trait Strategy {
         tower
     }
 
-    /// Erases the strategy type. The result is cheaply cloneable.
+    /// Erases the strategy type. The result is cheaply cloneable and
+    /// keeps the underlying shrinker.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
         Self::Value: 'static,
     {
+        let strategy = Rc::new(self);
+        let gen_strategy = Rc::clone(&strategy);
         BoxedStrategy {
-            generate: Rc::new(move |rng| self.generate(rng)),
+            generate: Rc::new(move |rng| gen_strategy.generate(rng)),
+            shrink: Rc::new(move |v| strategy.shrink(v)),
         }
     }
 }
@@ -65,12 +84,15 @@ pub trait Strategy {
 pub struct BoxedStrategy<T> {
     #[allow(clippy::type_complexity)]
     generate: Rc<dyn Fn(&mut StdRng) -> T>,
+    #[allow(clippy::type_complexity)]
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
 }
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy {
             generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
         }
     }
 }
@@ -81,9 +103,14 @@ impl<T> Strategy for BoxedStrategy<T> {
     fn generate(&self, rng: &mut StdRng) -> T {
         (self.generate)(rng)
     }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
 }
 
-/// Always yields a clone of the given value.
+/// Always yields a clone of the given value. Already minimal — never
+/// shrinks.
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);
 
@@ -114,15 +141,29 @@ where
     }
 }
 
-/// Uniform choice among strategies; built by [`crate::prop_oneof!`].
+/// Choice among strategies of the same value type; built by
+/// [`crate::prop_oneof!`], uniformly or weighted (`weight => strategy`).
 pub struct Union<T> {
-    options: Vec<BoxedStrategy<T>>,
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
 }
 
 impl<T> Union<T> {
+    /// Uniform choice (every option has weight 1).
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        Union::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice: an option with weight `2w` is generated twice as
+    /// often as one with weight `w`. Weights must not all be zero.
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
-        Union { options }
+        let total_weight: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights must not all be zero");
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
@@ -130,6 +171,7 @@ impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
         Union {
             options: self.options.clone(),
+            total_weight: self.total_weight,
         }
     }
 }
@@ -138,20 +180,134 @@ impl<T> Strategy for Union<T> {
     type Value = T;
 
     fn generate(&self, rng: &mut StdRng) -> T {
-        let index = rng.gen_range(0..self.options.len());
-        self.options[index].generate(rng)
+        let mut roll = rng.gen_range(0..self.total_weight);
+        for (weight, option) in &self.options {
+            let weight = u64::from(*weight);
+            if roll < weight {
+                return option.generate(rng);
+            }
+            roll -= weight;
+        }
+        unreachable!("roll bounded by the weight total")
+    }
+
+    /// A union cannot know which alternative produced `value`, so it
+    /// pools every alternative's proposals; the shrink driver discards
+    /// the ones that don't reproduce the failure.
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.options
+            .iter()
+            .flat_map(|(_, option)| option.shrink(value))
+            .collect()
     }
 }
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+// ------------------------------------------------------------- integers
+
+/// Halving shrink for an integer generated from `low..`: the minimum
+/// first (biggest jump), then the midpoint, then the predecessor — the
+/// classic bisection ladder, which converges to the smallest failing
+/// value in O(log n) accepted steps.
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),+ $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_ladder!($t, self.start, *value)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                int_ladder!($t, *self.start(), *value)
+            }
+        }
+    )+};
+}
+
+/// The candidates `low`, `low + (v-low)/2`, `v - 1` (deduplicated,
+/// strictly below `v`). The ladder is monotone, so `dedup` suffices.
+macro_rules! int_ladder {
+    ($t:ty, $low:expr, $value:expr) => {{
+        let (low, v): ($t, $t) = ($low, $value);
+        if v <= low {
+            Vec::new()
+        } else {
+            // `v - low` can overflow a signed type spanning both ends of
+            // its domain; fall back to the minimum alone in that case.
+            let mid = match v.checked_sub(low) {
+                Some(d) => low + d / 2,
+                None => low,
+            };
+            let mut out = vec![low, mid, v - 1];
+            out.dedup();
+            out.retain(|c| *c < v);
+            out
+        }
+    }};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// --------------------------------------------------------------- tuples
+
+impl<A: Strategy> Strategy for (A,) {
+    type Value = (A::Value,);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng),)
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        self.0.shrink(&value.0).into_iter().map(|a| (a,)).collect()
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+{
     type Value = (A::Value, B::Value);
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
         (self.0.generate(rng), self.1.generate(rng))
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+{
     type Value = (A::Value, B::Value, C::Value);
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
@@ -161,9 +317,38 @@ impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
             self.2.generate(rng),
         )
     }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c) = value;
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x)),
+        );
+        out
+    }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
+where
+    A::Value: Clone,
+    B::Value: Clone,
+    C::Value: Clone,
+    D::Value: Clone,
+{
     type Value = (A::Value, B::Value, C::Value, D::Value);
 
     fn generate(&self, rng: &mut StdRng) -> Self::Value {
@@ -173,5 +358,87 @@ impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, 
             self.2.generate(rng),
             self.3.generate(rng),
         )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c, d) = value;
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(a)
+            .into_iter()
+            .map(|x| (x, b.clone(), c.clone(), d.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(b)
+                .into_iter()
+                .map(|x| (a.clone(), x, c.clone(), d.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(c)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), x, d.clone())),
+        );
+        out.extend(
+            self.3
+                .shrink(d)
+                .into_iter()
+                .map(|x| (a.clone(), b.clone(), c.clone(), x)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn int_ranges_generate_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = (5..20u32).generate(&mut rng);
+            assert!((5..20).contains(&v));
+            let w = (-4..=4i64).generate(&mut rng);
+            assert!((-4..=4).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_shrink_halves_toward_the_minimum() {
+        let candidates = (0..1000u32).shrink(&800);
+        assert_eq!(candidates, vec![0, 400, 799]);
+        assert!((0..1000u32).shrink(&0).is_empty());
+        let candidates = (-8..=8i32).shrink(&8);
+        assert_eq!(candidates, vec![-8, 0, 7]);
+    }
+
+    #[test]
+    fn weighted_union_respects_weights() {
+        let u = Union::new_weighted(vec![(9, Just(1u8).boxed()), (1, Just(2u8).boxed())]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let ones = (0..1000).filter(|_| u.generate(&mut rng) == 1).count();
+        assert!(
+            (750..1000).contains(&ones),
+            "expected ~900 ones from a 9:1 weighting, got {ones}"
+        );
+    }
+
+    #[test]
+    fn union_shrink_pools_all_options() {
+        let u = Union::new(vec![(0..100u32).boxed(), Just(7u32).boxed()]);
+        let candidates = u.shrink(&50);
+        assert_eq!(candidates, vec![0, 25, 49]); // Just contributes nothing
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let s = ((0..10u32), (0..10u32));
+        let candidates = s.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(candidates.iter().all(|&(a, b)| a == 4 || b == 6));
     }
 }
