@@ -7,6 +7,7 @@
 //! at sizes where FreeST still terminates.
 
 use algst_core::store::TypeStore;
+use algst_core::Session;
 use algst_gen::generate::{generate_instance, GenConfig};
 use algst_gen::instance::TestCase;
 use algst_gen::mutate::{equivalent_variant, nonequivalent_mutant};
@@ -76,20 +77,25 @@ fn bench_fig10(c: &mut Criterion) {
             // as suspiciously fast, so only bench decided cases.
             let budget: u64 = 30_000_000;
             let decided = {
+                let mut s = Session::new();
                 let mut g = Grammar::new();
-                let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
+                let w1 = to_grammar(&mut s, &case.instance.decls, &case.instance.ty, &mut g)
                     .expect("translatable");
-                let w2 =
-                    to_grammar(&case.instance.decls, &case.other, &mut g).expect("translatable");
+                let w2 = to_grammar(&mut s, &case.instance.decls, &case.other, &mut g)
+                    .expect("translatable");
                 bisimilar(&mut g, &w1, &w2, budget) != BisimResult::Budget
             };
             if decided {
+                // One session for all iterations: payload normalization
+                // stays warm, matching how suite translation behaves.
+                let mut s = Session::new();
                 group.bench_with_input(BenchmarkId::new("freest", nodes), &case, |b, case| {
                     b.iter(|| {
                         let mut g = Grammar::new();
-                        let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
-                            .expect("translatable");
-                        let w2 = to_grammar(&case.instance.decls, &case.other, &mut g)
+                        let w1 =
+                            to_grammar(&mut s, &case.instance.decls, &case.instance.ty, &mut g)
+                                .expect("translatable");
+                        let w2 = to_grammar(&mut s, &case.instance.decls, &case.other, &mut g)
                             .expect("translatable");
                         black_box(bisimilar(&mut g, &w1, &w2, budget))
                     })

@@ -4,9 +4,9 @@
 //! treats specially (deep `Dual` nesting, negation chains, wide protocol
 //! arguments).
 
-use algst_core::equiv::equivalent;
 use algst_core::normalize::nrm_pos;
 use algst_core::types::Type;
+use algst_core::Session;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -92,10 +92,11 @@ fn bench_normalization(c: &mut Criterion) {
         group.throughput(Throughput::Elements(
             (t.node_count() + u.node_count()) as u64,
         ));
+        let mut session = Session::new();
         group.bench_with_input(
             BenchmarkId::from_parameter(t.node_count()),
             &(t, u),
-            |b, (t, u)| b.iter(|| black_box(equivalent(black_box(t), black_box(u)))),
+            |b, (t, u)| b.iter(|| black_box(session.equivalent(black_box(t), black_box(u)))),
         );
     }
     group.finish();

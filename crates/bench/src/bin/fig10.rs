@@ -252,7 +252,7 @@ fn run_suite(kind: SuiteKind, args: &Args) -> Vec<Measurement> {
 
     let mut rows: Vec<Measurement> = Vec::with_capacity(suite.cases.len());
     for (i, case) in suite.cases.iter().enumerate() {
-        let m = measure_case(i, case, ids[i], &mut suite.store, args.timeout);
+        let m = measure_case(i, case, ids[i], &mut suite.session, args.timeout);
         if !m.agreed {
             eprintln!("!! case {i}: verdict disagreement (see EXPERIMENTS.md)");
         }

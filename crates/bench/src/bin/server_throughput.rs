@@ -27,6 +27,7 @@
 //! what sharing warm state buys regardless.
 
 use algst_core::store::TypeStore;
+use algst_core::Session;
 use algst_gen::suite::{build_suite, SuiteKind};
 use algst_gen::workload::{equiv_workload, Workload};
 use algst_server::{Engine, Op, Request, Response};
@@ -156,7 +157,7 @@ fn main() {
         eprintln!("!! {mismatches} verdict mismatches against ground truth");
         std::process::exit(1);
     }
-    eprintln!("all verdicts identical to the ground truth (equivalent())");
+    eprintln!("all verdicts identical to the ground truth");
 }
 
 /// One thread, fresh store per request: full cold cost per query.
@@ -180,7 +181,9 @@ fn cold_baseline(workload: &Workload, sample: usize) -> (usize, f64) {
 }
 
 fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bool)]) -> ConfigRun {
-    let engine = Engine::with_store(workers, algst_core::shared::SharedStore::new_arc());
+    // Every config gets a fresh injected session: cold starts are
+    // reproducible and configs cannot warm each other.
+    let engine = Engine::with_session(workers, Session::new());
     // Expected verdict per request id (ids are 1-based arrival order).
     let expected: Vec<bool> = rendered.iter().map(|(_, _, e)| *e).collect();
 

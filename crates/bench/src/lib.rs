@@ -2,6 +2,7 @@
 //! Criterion benchmarks.
 
 use algst_core::store::{TypeId, TypeStore};
+use algst_core::Session;
 use algst_gen::instance::TestCase;
 use algst_gen::to_grammar::to_grammar;
 use freest::{bisimilar_with, BisimResult, Grammar};
@@ -32,15 +33,16 @@ pub struct Measurement {
 
 /// Measures one test case.
 ///
-/// `ids` are `case`'s two sides interned in `store` (suites built by
-/// `algst_gen::suite::build_suite` provide both). The AlgST checks are
-/// microseconds-scale (nanoseconds warm), so they are repeated
-/// adaptively and averaged; the FreeST check runs once under `timeout`.
+/// `ids` are `case`'s two sides interned in `session` (suites built by
+/// `algst_gen::suite::build_suite` provide both via their own session).
+/// The AlgST checks are microseconds-scale (nanoseconds warm), so they
+/// are repeated adaptively and averaged; the FreeST check runs once
+/// under `timeout`.
 pub fn measure_case(
     case_id: usize,
     case: &TestCase,
     ids: (TypeId, TypeId),
-    store: &mut TypeStore,
+    session: &mut Session,
     timeout: Duration,
 ) -> Measurement {
     let nodes = case.node_count();
@@ -56,9 +58,9 @@ pub fn measure_case(
     });
 
     // --- AlgST, warm ---------------------------------------------------
-    // Prime the suite store once, then measure the steady state.
-    let warm_verdict_once = store.equivalent_ids(ids.0, ids.1);
-    let (algst_warm, warm_verdict) = time_adaptive(|| store.equivalent_ids(ids.0, ids.1));
+    // Prime the suite session once, then measure the steady state.
+    let warm_verdict_once = session.equivalent_ids(ids.0, ids.1);
+    let (algst_warm, warm_verdict) = time_adaptive(|| session.equivalent_ids(ids.0, ids.1));
     debug_assert_eq!(warm_verdict_once, warm_verdict);
 
     // --- FreeST --------------------------------------------------------
@@ -67,9 +69,9 @@ pub fn measure_case(
     // the bisimilarity query, as in the paper.
     let start = Instant::now();
     let mut g = Grammar::new();
-    let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
+    let w1 = to_grammar(session, &case.instance.decls, &case.instance.ty, &mut g)
         .expect("suite cases are translatable");
-    let w2 = to_grammar(&case.instance.decls, &case.other, &mut g)
+    let w2 = to_grammar(session, &case.instance.decls, &case.other, &mut g)
         .expect("suite cases are translatable");
     let result = bisimilar_with(&mut g, &w1, &w2, u64::MAX, Some(timeout));
     let freest_elapsed = start.elapsed();
@@ -193,7 +195,7 @@ mod tests {
                 i,
                 case,
                 ids[i],
-                &mut suite.store,
+                &mut suite.session,
                 Duration::from_millis(200),
             );
             assert!(m.agreed, "case {i} disagreed");

@@ -10,11 +10,13 @@
 //! [`Arc<Module>`] so a cache hit is a pointer bump.
 //!
 //! The type-level warm state behind a hit is shared too: elaboration
-//! interns signatures and alias bodies through the process-wide
-//! [`store`](algst_core::shared), so even *distinct* programs using the
-//! same types reuse each other's normalization work.
+//! interns signatures and alias bodies through the **caller's
+//! [`Session`]** — the one each engine worker passes in — so even
+//! *distinct* programs using the same types reuse each other's
+//! normalization work, without ever touching a process-global store.
 
-use crate::{check_source, CheckError, Module};
+use crate::{check_source_in, CheckError, Module};
+use algst_core::Session;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,8 +33,9 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// Memoizes [`check_source`] by source text. Cheap to share behind an
-/// `Arc`; all methods take `&self`.
+/// Memoizes [`check_source_in`] by source text.
+/// Cheap to share behind an `Arc`; all methods take `&self` (the
+/// mutable state is the per-worker [`Session`] passed per call).
 #[derive(Default)]
 pub struct ModuleCache {
     map: Mutex<HashMap<String, Result<Arc<Module>, CheckError>>>,
@@ -53,16 +56,21 @@ impl ModuleCache {
         ModuleCache::default()
     }
 
-    /// [`check_source`] through the cache. The second component is true
-    /// on a cache hit. The lock is *not* held while checking, so slow
+    /// [`check_source_in`] through the cache,
+    /// against the caller's `session`. The second component is true on a
+    /// cache hit. The lock is *not* held while checking, so slow
     /// programs do not serialize the pool; two workers racing on the
     /// same new source may both check it (same result, last write wins).
-    pub fn check_source(&self, src: &str) -> (Result<Arc<Module>, CheckError>, bool) {
+    pub fn check_source(
+        &self,
+        session: &mut Session,
+        src: &str,
+    ) -> (Result<Arc<Module>, CheckError>, bool) {
         if let Some(hit) = self.map.lock().get(src) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (hit.clone(), true);
         }
-        let result = check_source(src).map(Arc::new);
+        let result = check_source_in(session, src).map(Arc::new);
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.map.lock().insert(src.to_owned(), result.clone());
         (result, false)
@@ -86,16 +94,17 @@ mod tests {
 
     #[test]
     fn caches_successes_and_failures() {
+        let mut s = Session::new();
         let cache = ModuleCache::new();
-        let (first, cached) = cache.check_source(OK);
+        let (first, cached) = cache.check_source(&mut s, OK);
         assert!(first.is_ok() && !cached);
-        let (second, cached) = cache.check_source(OK);
+        let (second, cached) = cache.check_source(&mut s, OK);
         assert!(second.is_ok() && cached);
         assert!(Arc::ptr_eq(&first.unwrap(), &second.unwrap()));
 
-        let (err, cached) = cache.check_source(BAD);
+        let (err, cached) = cache.check_source(&mut s, BAD);
         assert!(err.is_err() && !cached);
-        let (err2, cached) = cache.check_source(BAD);
+        let (err2, cached) = cache.check_source(&mut s, BAD);
         assert!(err2.is_err() && cached);
 
         let stats = cache.stats();
@@ -106,9 +115,10 @@ mod tests {
 
     #[test]
     fn distinct_sources_get_distinct_entries() {
+        let mut s = Session::new();
         let cache = ModuleCache::new();
-        let (a, _) = cache.check_source(OK);
-        let (b, _) = cache.check_source("main : Unit\nmain = ()\n");
+        let (a, _) = cache.check_source(&mut s, OK);
+        let (b, _) = cache.check_source(&mut s, "main : Unit\nmain = ()\n");
         assert!(a.is_ok() && b.is_ok());
         assert_eq!(cache.stats().entries, 2);
     }

@@ -14,16 +14,18 @@
 //!
 //! Representation split: the checker *destructures* boundary
 //! [`Type`] trees, but the context stores α-canonical
-//! [`TypeId`](algst_core::store::TypeId)s in the thread-shared
-//! [`TypeStore`](algst_core::store::TypeStore), and every equality test
-//! (E-Check, branch agreement, context agreement) is an id comparison.
-//! `∀`-instantiation (E-TApp) happens at the id level, where it is
-//! capture-free and memoized.
+//! [`TypeId`](algst_core::store::TypeId)s interned in the checker's
+//! [`Session`], and every equality test (E-Check, branch agreement,
+//! context agreement) is an id comparison. `∀`-instantiation (E-TApp)
+//! happens at the id level, where it is capture-free and memoized.
+//!
+//! The session is **injected** ([`Checker::new`]): two checkers over
+//! two sessions share no state, and a server can hand every worker its
+//! own engine.
 
 use crate::constants::type_of_const;
 use crate::context::Ctx;
 use crate::error::TypeError;
-use algst_core::equiv::with_shared_store;
 use algst_core::expr::{Arm, Expr};
 use algst_core::kind::Kind;
 use algst_core::kindcheck::KindCtx;
@@ -32,19 +34,23 @@ use algst_core::protocol::Declarations;
 use algst_core::subst::{subst_type, Subst};
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 use std::collections::HashMap;
 
 /// The expression typechecker. Holds the global protocol/datatype
-/// declarations `Δ` and the stack of in-scope type variables.
-pub struct Checker<'d> {
+/// declarations `Δ`, the stack of in-scope type variables, and the
+/// [`Session`] all interning/instantiation runs against.
+pub struct Checker<'d, 's> {
     decls: &'d Declarations,
+    session: &'s mut Session,
     tyvars: Vec<(Symbol, Kind)>,
 }
 
-impl<'d> Checker<'d> {
-    pub fn new(decls: &'d Declarations) -> Checker<'d> {
+impl<'d, 's> Checker<'d, 's> {
+    pub fn new(decls: &'d Declarations, session: &'s mut Session) -> Checker<'d, 's> {
         Checker {
             decls,
+            session,
             tyvars: Vec::new(),
         }
     }
@@ -67,9 +73,30 @@ impl<'d> Checker<'d> {
 
     /// Pushes a term binder, choosing linear vs. unrestricted usage from
     /// its type (cf. [`crate::context::is_unrestricted`]).
-    fn push_term(&self, ctx: &mut Ctx, name: Symbol, ty: Type) {
+    fn push_term(&mut self, ctx: &mut Ctx, name: Symbol, ty: Type) {
         let un = crate::context::is_unrestricted(self.decls, &ty);
-        ctx.push_term(name, ty, un);
+        ctx.push_term(self.session, name, ty, un);
+    }
+
+    /// α-equivalence through the session: both sides intern to
+    /// α-canonical ids, so the comparison itself is integer equality
+    /// (and both trees are hash-consed for later reuse).
+    fn alpha_eq_interned(&mut self, a: &Type, b: &Type) -> bool {
+        self.session.intern(a) == self.session.intern(b)
+    }
+
+    fn expect_alpha_eq(&mut self, expected: &Type, found: &Type) -> Result<(), TypeError> {
+        if self.alpha_eq_interned(expected, found) {
+            Ok(())
+        } else {
+            // Both sides are normal forms; resugar them for the
+            // diagnostic (pull reified `Dual α` out of spines, drop
+            // fresh binder names).
+            Err(TypeError::Mismatch {
+                expected: resugar(expected),
+                found: resugar(found),
+            })
+        }
     }
 
     // ------------------------------------------------------------ synthesis
@@ -85,7 +112,9 @@ impl<'d> Checker<'d> {
 
             // E-Var / E-Var⋆ — the context stores interned ids; the
             // checker destructures trees, so extract at the boundary.
-            Expr::Var(x) => ctx.use_var_ty(*x).ok_or(TypeError::UnboundVariable(*x)),
+            Expr::Var(x) => ctx
+                .use_var_ty(self.session, *x)
+                .ok_or(TypeError::UnboundVariable(*x)),
 
             // E-Abs
             Expr::Abs(x, ann, body) => {
@@ -141,17 +170,16 @@ impl<'d> Checker<'d> {
                 if let Type::Forall(_, kappa, _) = &ft {
                     let kappa = *kappa;
                     let mut kctx = self.kind_ctx();
-                    return with_shared_store(|s| {
-                        let aid = s.intern(arg);
-                        // Kind checking only reads nodes; the worker's
-                        // local mirror covers every id it just produced.
-                        kctx.check_id(s.local(), aid, kappa)
-                            .map_err(TypeError::from)?;
-                        let fid = s.intern(&ft);
-                        let inst = s.instantiate(fid, aid).expect("interned from a Forall");
-                        let n = s.nrm(inst);
-                        Ok(s.extract_cached(n))
-                    });
+                    let s = &mut *self.session;
+                    let aid = s.intern(arg);
+                    // Kind checking only reads nodes; the session's
+                    // local mirror covers every id it just produced.
+                    kctx.check_id(s.local(), aid, kappa)
+                        .map_err(TypeError::from)?;
+                    let fid = s.intern(&ft);
+                    let inst = s.instantiate(fid, aid).expect("interned from a Forall");
+                    let n = s.nrm(inst);
+                    return Ok(s.extract_cached(n));
                 }
                 Err(TypeError::NotAForall(ft))
             }
@@ -164,7 +192,7 @@ impl<'d> Checker<'d> {
                     return Err(TypeError::RecNotArrow(vty));
                 }
                 let before = ctx.linear_names();
-                ctx.push_unrestricted(*x, vty.clone());
+                ctx.push_unrestricted(self.session, *x, vty.clone());
                 self.check(ctx, v, &vty)?;
                 ctx.remove(*x);
                 let after = ctx.linear_names();
@@ -219,13 +247,13 @@ impl<'d> Checker<'d> {
                 let mut ctx2 = ctx.clone();
                 let t1 = self.synth(ctx, thn)?;
                 let t2 = self.synth(&mut ctx2, els)?;
-                if !alpha_eq_interned(&t1, &t2) {
+                if !self.alpha_eq_interned(&t1, &t2) {
                     return Err(TypeError::BranchTypeMismatch {
                         first: t1,
                         other: t2,
                     });
                 }
-                ctx.same_linear(&ctx2)
+                ctx.same_linear(&ctx2, self.session)
                     .map_err(|detail| TypeError::BranchContextMismatch { detail })?;
                 Ok(t1)
             }
@@ -295,7 +323,7 @@ impl<'d> Checker<'d> {
                 let mut ctx2 = ctx.clone();
                 self.check(ctx, thn, expected)?;
                 self.check(&mut ctx2, els, expected)?;
-                ctx.same_linear(&ctx2)
+                ctx.same_linear(&ctx2, self.session)
                     .map_err(|detail| TypeError::BranchContextMismatch { detail })
             }
             (Expr::Case(scrutinee, arms), _) => self
@@ -313,12 +341,12 @@ impl<'d> Checker<'d> {
             }
             (Expr::Con(tag, args), Type::Data(..)) => self
                 .synth_con(ctx, *tag, args, Some(expected))
-                .and_then(|t| expect_alpha_eq(expected, &t)),
+                .and_then(|t| self.expect_alpha_eq(expected, &t)),
 
             // E-Check: synthesize and compare up to α-equivalence.
             _ => {
                 let found = self.synth(ctx, e)?;
-                expect_alpha_eq(expected, &found)
+                self.expect_alpha_eq(expected, &found)
             }
         }
     }
@@ -525,13 +553,13 @@ impl<'d> Checker<'d> {
             match &result {
                 None => result = Some((vt, bctx)),
                 Some((t0, ctx0)) => {
-                    if !alpha_eq_interned(t0, &vt) {
+                    if !self.alpha_eq_interned(t0, &vt) {
                         return Err(TypeError::BranchTypeMismatch {
                             first: t0.clone(),
                             other: vt,
                         });
                     }
-                    ctx0.same_linear(&bctx)
+                    ctx0.same_linear(&bctx, self.session)
                         .map_err(|detail| TypeError::BranchContextMismatch { detail })?;
                 }
             }
@@ -539,26 +567,6 @@ impl<'d> Checker<'d> {
         let (vt, out_ctx) = result.expect("coverage guarantees at least one arm");
         *ctx = out_ctx;
         Ok(vt)
-    }
-}
-
-/// α-equivalence through the shared store: both sides intern to
-/// α-canonical ids, so the comparison itself is integer equality (and
-/// both trees are hash-consed for later reuse).
-fn alpha_eq_interned(a: &Type, b: &Type) -> bool {
-    with_shared_store(|s| s.intern(a) == s.intern(b))
-}
-
-fn expect_alpha_eq(expected: &Type, found: &Type) -> Result<(), TypeError> {
-    if alpha_eq_interned(expected, found) {
-        Ok(())
-    } else {
-        // Both sides are normal forms; resugar them for the diagnostic
-        // (pull reified `Dual α` out of spines, drop fresh binder names).
-        Err(TypeError::Mismatch {
-            expected: resugar(expected),
-            found: resugar(found),
-        })
     }
 }
 

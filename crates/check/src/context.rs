@@ -7,21 +7,22 @@
 //! survive lookup.
 //!
 //! Entries store interned [`TypeId`]s, not trees: every type is interned
-//! into the thread-shared [`TypeStore`](algst_core::store::TypeStore)
-//! (see [`algst_core::equiv::with_shared_store`]) on the way in. Because
-//! ids are α-canonical, comparing the outgoing contexts of branches
+//! into the checker's [`Session`] on the way in. Because ids are
+//! α-canonical, comparing the outgoing contexts of branches
 //! ([`Ctx::same_linear`], rule E-Match's `Γ₃ =α Γᵢ` side condition) is a
 //! per-entry integer comparison instead of a tree walk — and cloning a
 //! context for a branch copies small ids, never types.
 //!
-//! Ids are only meaningful on the thread that created them; a `Ctx` must
-//! not migrate across threads mid-check (checking is single-threaded).
+//! Ids are only meaningful in the session (and its siblings) that
+//! created them; every interning/extracting method therefore takes the
+//! `&mut Session` the surrounding check runs against — there is no
+//! ambient store a `Ctx` could silently reach instead.
 
 use crate::error::TypeError;
-use algst_core::equiv::with_shared_store;
 use algst_core::store::TypeId;
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 
 /// How an entry may be used.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -61,8 +62,8 @@ impl Ctx {
         self.entries.is_empty()
     }
 
-    pub fn push_linear(&mut self, name: Symbol, ty: Type) {
-        let id = with_shared_store(|s| s.intern(&ty));
+    pub fn push_linear(&mut self, s: &mut Session, name: Symbol, ty: Type) {
+        let id = s.intern(&ty);
         self.push_linear_id(name, id);
     }
 
@@ -76,16 +77,16 @@ impl Ctx {
 
     /// Pushes a term binder with an explicitly chosen usage discipline.
     /// Use [`is_unrestricted`] to compute it from the binder's type.
-    pub fn push_term(&mut self, name: Symbol, ty: Type, unrestricted: bool) {
+    pub fn push_term(&mut self, s: &mut Session, name: Symbol, ty: Type, unrestricted: bool) {
         if unrestricted {
-            self.push_unrestricted(name, ty);
+            self.push_unrestricted(s, name, ty);
         } else {
-            self.push_linear(name, ty);
+            self.push_linear(s, name, ty);
         }
     }
 
-    pub fn push_unrestricted(&mut self, name: Symbol, ty: Type) {
-        let id = with_shared_store(|s| s.intern(&ty));
+    pub fn push_unrestricted(&mut self, s: &mut Session, name: Symbol, ty: Type) {
+        let id = s.intern(&ty);
         self.push_unrestricted_id(name, id);
     }
 
@@ -112,9 +113,9 @@ impl Ctx {
     /// callers that destructure it. Extraction is memoized per id, so a
     /// global referenced many times pays one tree build, then shallow
     /// clones (extracted trees share subterms via `Arc`).
-    pub fn use_var_ty(&mut self, name: Symbol) -> Option<Type> {
+    pub fn use_var_ty(&mut self, s: &mut Session, name: Symbol) -> Option<Type> {
         let id = self.use_var(name)?;
-        Some(with_shared_store(|s| s.extract_cached(id)))
+        Some(s.extract_cached(id))
     }
 
     /// True if `name` is still present (most recent binding).
@@ -158,16 +159,17 @@ impl Ctx {
     /// Compares the linear parts of two contexts. Entry types are
     /// α-canonical ids, so the whole comparison is name + integer
     /// equality per entry — O(1) per entry, no tree traversal. Reports a
-    /// human-readable diff on mismatch.
-    pub fn same_linear(&self, other: &Ctx) -> Result<(), String> {
+    /// human-readable diff on mismatch (`s` only extracts types for the
+    /// diagnostic; the comparison itself never touches the store).
+    pub fn same_linear(&self, other: &Ctx, s: &mut Session) -> Result<(), String> {
         let a = self.linear_entries();
         let b = other.linear_entries();
         if a.len() != b.len() {
-            return Err(diff_message(&a, &b));
+            return Err(diff_message(s, &a, &b));
         }
         for (ea, eb) in a.iter().zip(&b) {
             if ea.name != eb.name || ea.ty != eb.ty {
-                return Err(diff_message(&a, &b));
+                return Err(diff_message(s, &a, &b));
             }
         }
         Ok(())
@@ -235,20 +237,19 @@ pub fn is_unrestricted(decls: &algst_core::protocol::Declarations, ty: &Type) ->
     go(decls, ty, &mut Vec::new())
 }
 
-fn diff_message(a: &[&Entry], b: &[&Entry]) -> String {
-    let show = |es: &[&Entry]| {
+fn diff_message(s: &mut Session, a: &[&Entry], b: &[&Entry]) -> String {
+    let mut show = |es: &[&Entry]| {
         if es.is_empty() {
             "(none)".to_owned()
         } else {
-            with_shared_store(|s| {
-                es.iter()
-                    .map(|e| format!("{}: {}", e.name, s.extract(e.ty)))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            })
+            es.iter()
+                .map(|e| format!("{}: {}", e.name, s.extract(e.ty)))
+                .collect::<Vec<_>>()
+                .join(", ")
         }
     };
-    format!("one branch leaves [{}], another [{}]", show(a), show(b))
+    let left = show(a);
+    format!("one branch leaves [{left}], another [{}]", show(b))
 }
 
 #[cfg(test)]
@@ -261,66 +262,80 @@ mod tests {
 
     #[test]
     fn linear_use_consumes() {
+        let mut s = Session::new();
         let mut ctx = Ctx::new();
-        ctx.push_linear(sym("c"), Type::EndOut);
+        ctx.push_linear(&mut s, sym("c"), Type::EndOut);
         assert!(ctx.use_var(sym("c")).is_some());
         assert!(ctx.use_var(sym("c")).is_none());
     }
 
     #[test]
     fn unrestricted_use_persists() {
+        let mut s = Session::new();
         let mut ctx = Ctx::new();
-        ctx.push_unrestricted(sym("f"), Type::arrow(Type::Unit, Type::Unit));
+        ctx.push_unrestricted(&mut s, sym("f"), Type::arrow(Type::Unit, Type::Unit));
         assert!(ctx.use_var(sym("f")).is_some());
         assert!(ctx.use_var(sym("f")).is_some());
     }
 
     #[test]
     fn shadowing_uses_innermost() {
+        let mut s = Session::new();
         let mut ctx = Ctx::new();
-        ctx.push_linear(sym("x"), Type::int());
-        ctx.push_linear(sym("x"), Type::bool());
-        let t = ctx.use_var_ty(sym("x")).unwrap();
+        ctx.push_linear(&mut s, sym("x"), Type::int());
+        ctx.push_linear(&mut s, sym("x"), Type::bool());
+        let t = ctx.use_var_ty(&mut s, sym("x")).unwrap();
         assert_eq!(t, Type::bool());
-        let t = ctx.use_var_ty(sym("x")).unwrap();
+        let t = ctx.use_var_ty(&mut s, sym("x")).unwrap();
         assert_eq!(t, Type::int());
     }
 
     #[test]
     fn expect_consumed_flags_leftover_linear() {
+        let mut s = Session::new();
         let mut ctx = Ctx::new();
-        ctx.push_linear(sym("c"), Type::EndOut);
+        ctx.push_linear(&mut s, sym("c"), Type::EndOut);
         assert!(matches!(
             ctx.expect_consumed(sym("c")),
             Err(TypeError::UnusedLinear(_))
         ));
         // Unrestricted leftovers are popped silently.
         let mut ctx = Ctx::new();
-        ctx.push_unrestricted(sym("g"), Type::Unit);
+        ctx.push_unrestricted(&mut s, sym("g"), Type::Unit);
         ctx.expect_consumed(sym("g")).unwrap();
         assert!(!ctx.contains(sym("g")));
     }
 
     #[test]
     fn same_linear_ignores_unrestricted() {
+        let mut s = Session::new();
         let mut a = Ctx::new();
-        a.push_unrestricted(sym("f"), Type::Unit);
-        a.push_linear(sym("c"), Type::EndIn);
+        a.push_unrestricted(&mut s, sym("f"), Type::Unit);
+        a.push_linear(&mut s, sym("c"), Type::EndIn);
         let mut b = Ctx::new();
-        b.push_linear(sym("c"), Type::EndIn);
-        a.same_linear(&b).unwrap();
+        b.push_linear(&mut s, sym("c"), Type::EndIn);
+        a.same_linear(&b, &mut s).unwrap();
         b.use_var(sym("c"));
-        assert!(a.same_linear(&b).is_err());
+        assert!(a.same_linear(&b, &mut s).is_err());
     }
 
     #[test]
     fn same_linear_is_alpha_insensitive() {
         use algst_core::kind::Kind;
         // Entries interned to the same id despite different binder names.
+        let mut s = Session::new();
         let mut a = Ctx::new();
-        a.push_linear(sym("h"), Type::forall("x", Kind::Session, Type::var("x")));
+        a.push_linear(
+            &mut s,
+            sym("h"),
+            Type::forall("x", Kind::Session, Type::var("x")),
+        );
         let mut b = Ctx::new();
-        b.push_linear(sym("h"), Type::forall("y", Kind::Session, Type::var("y")));
-        a.same_linear(&b).unwrap();
+        b.push_linear(
+            &mut s,
+            sym("h"),
+            Type::forall("y", Kind::Session, Type::var("y")),
+        );
+        a.same_linear(&b, &mut s).unwrap();
     }
 }

@@ -13,13 +13,13 @@
 //! * saturate or η-expand data constructor applications.
 
 use crate::error::{CheckError, TypeError};
-use algst_core::equiv::with_shared_store;
 use algst_core::expr::{Arm, Builtin, Const, Expr};
 use algst_core::protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
 use algst_core::store::TypeId;
 use algst_core::subst::Subst;
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 use algst_syntax::ast::{
     BindingDecl, Decl, Param, Pattern, Program, SArm, SExpr, SType, SignatureDecl,
 };
@@ -35,8 +35,9 @@ pub struct Elaborated {
     pub defs: Vec<(Symbol, Expr)>,
 }
 
-/// Elaborates a parsed program.
-pub fn elaborate(program: &Program) -> Result<Elaborated, CheckError> {
+/// Elaborates a parsed program. Alias bodies are interned into
+/// `session`, so later instantiations are id-level and capture-free.
+pub fn elaborate(program: &Program, session: &mut Session) -> Result<Elaborated, CheckError> {
     // Pass 1: collect headers so names resolve regardless of order.
     let mut protocol_names: HashSet<Symbol> = HashSet::new();
     let mut data_names: HashSet<Symbol> = HashSet::new();
@@ -57,6 +58,7 @@ pub fn elaborate(program: &Program) -> Result<Elaborated, CheckError> {
     }
 
     let mut resolver = Resolver {
+        session,
         protocol_names,
         data_names,
         alias_srcs,
@@ -157,18 +159,20 @@ pub fn elaborate(program: &Program) -> Result<Elaborated, CheckError> {
 
 // ----------------------------------------------------------- type resolver
 
-struct Resolver {
+struct Resolver<'s> {
+    /// The check's session: alias bodies are interned here.
+    session: &'s mut Session,
     protocol_names: HashSet<Symbol>,
     data_names: HashSet<Symbol>,
     alias_srcs: HashMap<Symbol, (Vec<Symbol>, SType)>,
-    /// Resolved alias bodies, interned once into the shared type store;
+    /// Resolved alias bodies, interned once into the session's store;
     /// each use then instantiates by id-level substitution (capture-free,
     /// hash-consed) instead of re-walking the body tree.
     alias_cache: HashMap<Symbol, (Vec<Symbol>, TypeId)>,
     visiting: HashSet<Symbol>,
 }
 
-impl Resolver {
+impl Resolver<'_> {
     fn resolve(&mut self, t: &SType) -> Result<Type, TypeError> {
         Ok(match t {
             SType::Unit(_) => Type::Unit,
@@ -205,10 +209,11 @@ impl Resolver {
                                 found: rargs.len(),
                             });
                         }
-                        with_shared_store(|s| {
-                            let inst = Subst::parallel(&params, &rargs).apply_interned(s, body);
-                            s.extract(inst)
-                        })
+                        {
+                            let inst =
+                                Subst::parallel(&params, &rargs).apply_interned(self.session, body);
+                            self.session.extract(inst)
+                        }
                     }
                     _ => return Err(TypeError::UnknownTypeName(*name)),
                 }
@@ -229,7 +234,7 @@ impl Resolver {
             .cloned()
             .expect("resolve_alias called for a known alias");
         let body = self.resolve(&body_src)?;
-        let body = with_shared_store(|s| s.intern(&body));
+        let body = self.session.intern(&body);
         self.visiting.remove(&name);
         let entry = (params, body);
         self.alias_cache.insert(name, entry.clone());
@@ -242,7 +247,7 @@ impl Resolver {
 /// Turns an equation `f p₁ … pₙ = e` with signature `T` into nested
 /// `Λ`/`λ` abstractions whose annotations are read off `T`.
 fn elaborate_binding(
-    resolver: &mut Resolver,
+    resolver: &mut Resolver<'_>,
     decls: &Declarations,
     globals: &HashSet<Symbol>,
     sig: &Type,
@@ -259,7 +264,7 @@ fn elaborate_binding(
 }
 
 fn build_params(
-    ee: &mut ExprElab<'_>,
+    ee: &mut ExprElab<'_, '_>,
     ty: &Type,
     params: &[Param],
     body: &SExpr,
@@ -291,7 +296,7 @@ fn build_params(
             // Consume one ∀ per listed variable, renaming the binder to the
             // equation's chosen name.
             fn go(
-                ee: &mut ExprElab<'_>,
+                ee: &mut ExprElab<'_, '_>,
                 ty: &Type,
                 vars: &[Symbol],
                 rest: &[Param],
@@ -320,14 +325,14 @@ fn build_params(
 
 // ------------------------------------------------------ expression elabor.
 
-struct ExprElab<'r> {
-    resolver: &'r mut Resolver,
+struct ExprElab<'r, 's> {
+    resolver: &'r mut Resolver<'s>,
     decls: &'r Declarations,
     globals: &'r HashSet<Symbol>,
     scope: Vec<Symbol>,
 }
 
-impl ExprElab<'_> {
+impl ExprElab<'_, '_> {
     fn resolve_ty(&mut self, t: &SType) -> Result<Type, TypeError> {
         self.resolver.resolve(t)
     }

@@ -40,6 +40,7 @@ use algst_core::normalize::nrm_pos;
 use algst_core::protocol::Declarations;
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 use algst_syntax::ast::Program;
 use algst_syntax::parse_program;
 use std::collections::HashMap;
@@ -107,22 +108,45 @@ impl Module {
     }
 }
 
-/// Parses, elaborates and type-checks `src` together with the [`PRELUDE`].
+/// Parses, elaborates and type-checks `src` together with the
+/// [`PRELUDE`], against a **fresh session over the process-global
+/// store** — a convenience for one-shot callers. Embedders that need
+/// isolation (or want to keep one store warm across many modules) use
+/// [`check_source_in`] with their own [`Session`].
 pub fn check_source(src: &str) -> Result<Module, CheckError> {
+    check_source_in(&mut Session::global(), src)
+}
+
+/// [`check_source`] against a caller-owned [`Session`]: every type the
+/// elaborator or checker interns lands in *that* session's store and
+/// nowhere else.
+pub fn check_source_in(session: &mut Session, src: &str) -> Result<Module, CheckError> {
     let mut program = parse_program(PRELUDE)?;
     let user = parse_program(src)?;
     program.decls.extend(user.decls);
-    check_program(&program)
+    check_program_in(session, &program)
 }
 
 /// Like [`check_source`] but without the prelude.
 pub fn check_source_raw(src: &str) -> Result<Module, CheckError> {
-    check_program(&parse_program(src)?)
+    check_program_in(&mut Session::global(), &parse_program(src)?)
 }
 
-/// Elaborates and type-checks an already-parsed program.
+/// Like [`check_source_in`] but without the prelude.
+pub fn check_source_raw_in(session: &mut Session, src: &str) -> Result<Module, CheckError> {
+    check_program_in(session, &parse_program(src)?)
+}
+
+/// Elaborates and type-checks an already-parsed program against a fresh
+/// global-store session (see [`check_source`] for the trade-off).
 pub fn check_program(program: &Program) -> Result<Module, CheckError> {
-    let elaborate::Elaborated { decls, sigs, defs } = elaborate::elaborate(program)?;
+    check_program_in(&mut Session::global(), program)
+}
+
+/// Elaborates and type-checks an already-parsed program against
+/// `session`.
+pub fn check_program_in(session: &mut Session, program: &Program) -> Result<Module, CheckError> {
+    let elaborate::Elaborated { decls, sigs, defs } = elaborate::elaborate(program, session)?;
 
     // Kind-check signatures and build the global (unrestricted) context.
     let mut kctx = algst_core::kindcheck::KindCtx::new(&decls);
@@ -131,12 +155,12 @@ pub fn check_program(program: &Program) -> Result<Module, CheckError> {
     for (name, ty) in &sigs {
         kctx.check(ty, algst_core::kind::Kind::Value)?;
         let n = nrm_pos(ty);
-        ctx.push_unrestricted(*name, n.clone());
+        ctx.push_unrestricted(session, *name, n.clone());
         norm_sigs.insert(*name, n);
     }
 
     // Check every definition against its (normalized) signature.
-    let mut checker = Checker::new(&decls);
+    let mut checker = Checker::new(&decls, session);
     for (name, def) in &defs {
         let goal = norm_sigs[name].clone();
         checker

@@ -18,34 +18,43 @@ use algst_core::kind::Kind;
 use algst_core::normalize::{nrm_neg, nrm_pos};
 use algst_core::protocol::Declarations;
 use algst_core::types::Type;
+use algst_core::Session;
 
-/// Checks `Γ ⊢ p` with `ctx` threaded through the process tree.
-pub fn check_process(decls: &Declarations, ctx: &mut Ctx, p: &Process) -> Result<(), TypeError> {
+/// Checks `Γ ⊢ p` with `ctx` threaded through the process tree, against
+/// the caller's `session`.
+pub fn check_process(
+    session: &mut Session,
+    decls: &Declarations,
+    ctx: &mut Ctx,
+    p: &Process,
+) -> Result<(), TypeError> {
     match p {
         Process::Thread(e) => {
-            let mut checker = Checker::new(decls);
+            let mut checker = Checker::new(decls, session);
             checker.check(ctx, e, &Type::Unit)
         }
         Process::Par(p1, p2) => {
-            check_process(decls, ctx, p1)?;
-            check_process(decls, ctx, p2)
+            check_process(session, decls, ctx, p1)?;
+            check_process(session, decls, ctx, p2)
         }
         Process::New(x, y, ty, body) => {
             let mut kctx = algst_core::kindcheck::KindCtx::new(decls);
             kctx.check(ty, Kind::Session)?;
-            ctx.push_linear(*x, nrm_pos(ty));
-            ctx.push_linear(*y, nrm_neg(ty));
-            check_process(decls, ctx, body)?;
+            ctx.push_linear(session, *x, nrm_pos(ty));
+            ctx.push_linear(session, *y, nrm_neg(ty));
+            check_process(session, decls, ctx, body)?;
             ctx.expect_consumed(*y)?;
             ctx.expect_consumed(*x)
         }
     }
 }
 
-/// Checks a closed process: no free linear resources before or after.
+/// Checks a closed process against a fresh global-store session: no
+/// free linear resources before or after.
 pub fn check_process_closed(decls: &Declarations, p: &Process) -> Result<(), TypeError> {
+    let mut session = Session::global();
     let mut ctx = Ctx::new();
-    check_process(decls, &mut ctx, p)?;
+    check_process(&mut session, decls, &mut ctx, p)?;
     if let Some(stray) = ctx.linear_names().first() {
         return Err(TypeError::UnusedLinear(*stray));
     }

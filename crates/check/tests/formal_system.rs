@@ -9,6 +9,7 @@ use algst_core::normalize::nrm_pos;
 use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 
 fn decls() -> Declarations {
     let mut d = Declarations::new();
@@ -29,21 +30,28 @@ fn decls() -> Declarations {
     d
 }
 
-fn synth(decls: &Declarations, ctx: &mut Ctx, e: &Expr) -> Result<Type, TypeError> {
-    Checker::new(decls).synth(ctx, e)
+fn synth(
+    s: &mut Session,
+    decls: &Declarations,
+    ctx: &mut Ctx,
+    e: &Expr,
+) -> Result<Type, TypeError> {
+    Checker::new(decls, s).synth(ctx, e)
 }
 
 #[test]
 fn identity_synthesizes() {
     let d = decls();
+    let mut s = Session::new();
     let id = Expr::abs("x", Type::int(), Expr::var("x"));
-    let t = synth(&d, &mut Ctx::new(), &id).unwrap();
+    let t = synth(&mut s, &d, &mut Ctx::new(), &id).unwrap();
     assert_eq!(t.to_string(), "Int -> Int");
 }
 
 #[test]
 fn tabs_value_restriction() {
     let d = decls();
+    let mut s = Session::new();
     // Λα:S. ((λx:Unit.x) ()) — body not a value.
     let bad = Expr::tabs(
         "a",
@@ -51,7 +59,7 @@ fn tabs_value_restriction() {
         Expr::app(Expr::abs("x", Type::Unit, Expr::var("x")), Expr::unit()),
     );
     assert!(matches!(
-        synth(&d, &mut Ctx::new(), &bad),
+        synth(&mut s, &d, &mut Ctx::new(), &bad),
         Err(TypeError::TAbsNotValue)
     ));
 }
@@ -59,14 +67,15 @@ fn tabs_value_restriction() {
 #[test]
 fn unannotated_lambda_has_no_synthesis_rule() {
     let d = decls();
+    let mut s = Session::new();
     let e = Expr::abs_u("x", Expr::var("x"));
     assert!(matches!(
-        synth(&d, &mut Ctx::new(), &e),
+        synth(&mut s, &d, &mut Ctx::new(), &e),
         Err(TypeError::NeedsAnnotation)
     ));
     // But it checks against an arrow (E-Abs').
     let mut ctx = Ctx::new();
-    Checker::new(&d)
+    Checker::new(&d, &mut s)
         .check(&mut ctx, &e, &Type::arrow(Type::int(), Type::int()))
         .unwrap();
 }
@@ -74,9 +83,10 @@ fn unannotated_lambda_has_no_synthesis_rule() {
 #[test]
 fn rec_requires_arrow_annotation() {
     let d = decls();
+    let mut s = Session::new();
     let bad = Expr::rec("f", Type::int(), Expr::int(3));
     assert!(matches!(
-        synth(&d, &mut Ctx::new(), &bad),
+        synth(&mut s, &d, &mut Ctx::new(), &bad),
         Err(TypeError::RecNotArrow(_))
     ));
 }
@@ -84,6 +94,7 @@ fn rec_requires_arrow_annotation() {
 #[test]
 fn rec_cannot_capture_linear_variables() {
     let d = decls();
+    let mut s = Session::new();
     // rec f: Unit -> Unit. λu:Unit. let * = terminate c in u — captures c.
     let body = Expr::abs(
         "u",
@@ -95,9 +106,9 @@ fn rec_cannot_capture_linear_variables() {
     );
     let rec = Expr::rec("f", Type::arrow(Type::Unit, Type::Unit), body);
     let mut ctx = Ctx::new();
-    ctx.push_linear(Symbol::intern("c"), Type::EndOut);
+    ctx.push_linear(&mut s, Symbol::intern("c"), Type::EndOut);
     assert!(matches!(
-        synth(&d, &mut ctx, &rec),
+        synth(&mut s, &d, &mut ctx, &rec),
         Err(TypeError::LinearInRecursive { .. })
     ));
 }
@@ -105,6 +116,7 @@ fn rec_cannot_capture_linear_variables() {
 #[test]
 fn local_rec_function_applies() {
     let d = decls();
+    let mut s = Session::new();
     // (rec f: Int -> Int. λn:Int. if n == 0 then 0 else f (n - 1)) 3 ⇒ Int
     let body = Expr::abs(
         "n",
@@ -128,7 +140,7 @@ fn local_rec_function_applies() {
         Expr::rec("f", Type::arrow(Type::int(), Type::int()), body),
         Expr::int(3),
     );
-    let t = synth(&d, &mut Ctx::new(), &e).unwrap();
+    let t = synth(&mut s, &d, &mut Ctx::new(), &e).unwrap();
     assert_eq!(t, Type::int());
 }
 
@@ -136,13 +148,14 @@ fn local_rec_function_applies() {
 fn leftover_threading_through_pairs() {
     // ⟨terminate c, 1⟩ consumes c from the context.
     let d = decls();
+    let mut s = Session::new();
     let mut ctx = Ctx::new();
-    ctx.push_linear(Symbol::intern("c"), Type::EndOut);
+    ctx.push_linear(&mut s, Symbol::intern("c"), Type::EndOut);
     let e = Expr::pair(
         Expr::app(Expr::Const(Const::Terminate), Expr::var("c")),
         Expr::int(1),
     );
-    let t = synth(&d, &mut ctx, &e).unwrap();
+    let t = synth(&mut s, &d, &mut ctx, &e).unwrap();
     assert_eq!(t.to_string(), "(Unit, Int)");
     assert!(!ctx.contains(Symbol::intern("c")));
 }
@@ -152,6 +165,7 @@ fn match_pushes_continuations_with_polarity() {
     // match c with {FNeg c -> …, FAdd c -> …} where c : ?FArith.End?
     // FNeg arm: c : ?Int.!Int.End? ; FAdd arm: c : ?Int.?Int.!Int.End?
     let d = decls();
+    let mut s = Session::new();
     let recv_int = |cont_ty: Type, chan: &str| {
         Expr::app(
             Expr::tapps(Expr::Const(Const::Receive), [Type::int(), cont_ty]),
@@ -200,16 +214,18 @@ fn match_pushes_continuations_with_polarity() {
     let e = Expr::case(Expr::var("ch"), vec![neg_arm, add_arm]);
     let mut ctx = Ctx::new();
     ctx.push_linear(
+        &mut s,
         Symbol::intern("ch"),
         nrm_pos(&Type::input(Type::proto("FArith", vec![]), Type::EndIn)),
     );
-    let t = synth(&d, &mut ctx, &e).unwrap();
+    let t = synth(&mut s, &d, &mut ctx, &e).unwrap();
     assert_eq!(t, Type::Unit);
 }
 
 #[test]
 fn match_with_wrong_arm_type_fails() {
     let d = decls();
+    let mut s = Session::new();
     // FNeg arm treats the continuation as if it were ?Int.?Int…
     let bad_arm = Arm {
         tag: Symbol::intern("FNeg"),
@@ -224,43 +240,48 @@ fn match_with_wrong_arm_type_fails() {
     let e = Expr::case(Expr::var("ch"), vec![bad_arm, other]);
     let mut ctx = Ctx::new();
     ctx.push_linear(
+        &mut s,
         Symbol::intern("ch"),
         nrm_pos(&Type::input(Type::proto("FArith", vec![]), Type::EndIn)),
     );
-    assert!(synth(&d, &mut ctx, &e).is_err());
+    assert!(synth(&mut s, &d, &mut ctx, &e).is_err());
 }
 
 #[test]
 fn select_then_send_roundtrip_types() {
     // select FNeg [End!] ch ⇒ !Int.?Int.End!
     let d = decls();
+    let mut s = Session::new();
     let e = Expr::app(
         Expr::tapp(Expr::select("FNeg"), Type::EndOut),
         Expr::var("ch"),
     );
     let mut ctx = Ctx::new();
     ctx.push_linear(
+        &mut s,
         Symbol::intern("ch"),
         Type::output(Type::proto("FArith", vec![]), Type::EndOut),
     );
-    let t = synth(&d, &mut ctx, &e).unwrap();
+    let t = synth(&mut s, &d, &mut ctx, &e).unwrap();
     assert_eq!(t.to_string(), "!Int.?Int.End!");
 }
 
 #[test]
 fn new_returns_dual_endpoints() {
     let d = decls();
+    let mut s = Session::new();
     let e = Expr::tapp(
         Expr::Const(Const::New),
         Type::output(Type::int(), Type::EndOut),
     );
-    let t = synth(&d, &mut Ctx::new(), &e).unwrap();
+    let t = synth(&mut s, &d, &mut Ctx::new(), &e).unwrap();
     assert_eq!(t.to_string(), "(!Int.End!, ?Int.End?)");
 }
 
 #[test]
 fn branches_must_agree_on_leftovers() {
     let d = decls();
+    let mut s = Session::new();
     // if b then terminate c else () — one branch leaks c.
     let e = Expr::if_(
         Expr::var("b"),
@@ -268,10 +289,10 @@ fn branches_must_agree_on_leftovers() {
         Expr::unit(),
     );
     let mut ctx = Ctx::new();
-    ctx.push_unrestricted(Symbol::intern("b"), Type::bool());
-    ctx.push_linear(Symbol::intern("c"), Type::EndOut);
+    ctx.push_unrestricted(&mut s, Symbol::intern("b"), Type::bool());
+    ctx.push_linear(&mut s, Symbol::intern("c"), Type::EndOut);
     assert!(matches!(
-        synth(&d, &mut ctx, &e),
+        synth(&mut s, &d, &mut ctx, &e),
         Err(TypeError::BranchContextMismatch { .. })
     ));
 }

@@ -85,7 +85,14 @@ pub struct FuzzReport {
     pub syntax_cases: u64,
     pub check_cases: u64,
     pub runtime_cases: u64,
-    /// FreeST verdicts skipped for budget/translatability.
+    /// Generated modules pushed through the server `check` op and
+    /// cross-checked against a direct in-process check.
+    pub server_check_cases: u64,
+    /// Pairs whose FreeST run exhausted the base budget and was retried
+    /// once at 10×.
+    pub freest_retries: u64,
+    /// FreeST verdicts still skipped after the adaptive retry
+    /// (budget exhaustion at 10×, or untranslatable instances).
     pub freest_skips: u64,
     /// Runtime runs that hit the step budget (not failures).
     pub budget_hits: u64,
@@ -100,13 +107,16 @@ impl FuzzReport {
     /// One-paragraph human summary.
     pub fn summary(&self) -> String {
         format!(
-            "{} iterations: {} equiv pairs ({} freest skips), {} syntax round-trips, \
-             {} metamorphic checks, {} runtime runs ({} budget hits) — {} failure(s)",
+            "{} iterations: {} equiv pairs ({} freest budget retries, {} still skipped), \
+             {} syntax round-trips, {} metamorphic checks, {} server check ops, \
+             {} runtime runs ({} budget hits) — {} failure(s)",
             self.iters,
             self.equiv_cases,
+            self.freest_retries,
             self.freest_skips,
             self.syntax_cases,
             self.check_cases,
+            self.server_check_cases,
             self.runtime_cases,
             self.budget_hits,
             self.failures.len()
@@ -140,10 +150,10 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 
         equiv_iteration(cfg, &mut rng, &mut oracles, iter, &mut report);
         if iter % 2 == 0 {
-            program_iteration(cfg, &mut rng, iter, &mut report);
+            program_iteration(cfg, &mut rng, &mut oracles, iter, &mut report);
         }
         if iter % 4 == 0 {
-            runtime_iteration(cfg, &mut rng, iter, &mut report);
+            runtime_iteration(cfg, &mut rng, &mut oracles, iter, &mut report);
         }
         if iter % 32 == 31 {
             if let Err(violation) = oracles.check_store_invariants() {
@@ -181,6 +191,9 @@ fn equiv_iteration(
     report.equiv_cases += 1;
 
     let verdicts = oracles.verdicts(&inst.decls, &inst.ty, &other);
+    if verdicts.freest_retried {
+        report.freest_retries += 1;
+    }
     if verdicts.freest.is_none() {
         report.freest_skips += 1;
     }
@@ -282,13 +295,38 @@ fn oracle_pair_disagrees(oracles: &mut EquivOracles, case: &EquivCase, pair: &st
     }
 }
 
-fn program_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut FuzzReport) {
+fn program_iteration(
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+    oracles: &mut EquivOracles,
+    iter: u64,
+    report: &mut FuzzReport,
+) {
     let prog_cfg = ProgConfig {
         spine: rng.gen_range(1..7),
         choice: true,
         damage: rng.gen_range(0..3) == 0,
     };
     let program = generate_program(rng, &prog_cfg);
+
+    // Server check-op family: the module through the engine's
+    // check/module-cache path vs a direct in-process check. Covers both
+    // well-typed and damaged modules (`prog_cfg.damage`).
+    report.server_check_cases += 1;
+    if let Some(detail) = oracles.server_check_disagreement(&program.source) {
+        let minimized = reduce_program(&program.source, 16, &mut |candidate| {
+            oracles.server_check_disagreement(candidate).is_some()
+        });
+        let oracle = "server-check:engine-vs-direct".to_owned();
+        let file = write_failure(cfg, &oracle, iter, &detail, &minimized, report);
+        report.failures.push(Failure {
+            oracle,
+            detail,
+            file,
+            minimized_nodes: None,
+            iter,
+        });
+    }
 
     report.syntax_cases += 1;
     if let Err(detail) = program_round_trip(&program.source) {
@@ -308,9 +346,11 @@ fn program_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut
 
     for transform in META_TRANSFORMS {
         report.check_cases += 1;
-        if let Err(detail) = check_metamorphic(&program.source, transform) {
+        if let Err(detail) =
+            check_metamorphic(oracles.checker_session(), &program.source, transform)
+        {
             let minimized = reduce_program(&program.source, 16, &mut |candidate| {
-                check_metamorphic(candidate, transform).is_err()
+                check_metamorphic(oracles.checker_session(), candidate, transform).is_err()
             });
             let oracle = format!("check:{}", transform_flag(transform));
             let file = write_failure(cfg, &oracle, iter, &detail, &minimized, report);
@@ -325,7 +365,13 @@ fn program_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut
     }
 }
 
-fn runtime_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut FuzzReport) {
+fn runtime_iteration(
+    cfg: &FuzzConfig,
+    rng: &mut StdRng,
+    oracles: &mut EquivOracles,
+    iter: u64,
+    report: &mut FuzzReport,
+) {
     let prog_cfg = ProgConfig {
         spine: rng.gen_range(1..7),
         choice: true,
@@ -333,7 +379,7 @@ fn runtime_iteration(cfg: &FuzzConfig, rng: &mut StdRng, iter: u64, report: &mut
     };
     let program = generate_program(rng, &prog_cfg);
     report.runtime_cases += 1;
-    match run_program(&program, cfg.run_budget) {
+    match run_program(oracles.checker_session(), &program, cfg.run_budget) {
         RunOutcome::Ok => {}
         RunOutcome::Budget => report.budget_hits += 1,
         RunOutcome::Failed(detail) => {
@@ -506,12 +552,20 @@ pub fn replay_file(path: &Path, sabotage: Sabotage) -> Result<ReplayOutcome, Str
             reproduced: result.is_err(),
             detail: result.err().unwrap_or_else(|| "round-trips cleanly".into()),
         })
+    } else if oracle == "server-check:engine-vs-direct" {
+        let mut oracles = EquivOracles::new(sabotage, 2_000_000);
+        let disagreement = oracles.server_check_disagreement(&text);
+        Ok(ReplayOutcome {
+            oracle,
+            reproduced: disagreement.is_some(),
+            detail: disagreement.unwrap_or_else(|| "engine and direct check agree".into()),
+        })
     } else if let Some(flag) = oracle.strip_prefix("check:") {
         let transform = META_TRANSFORMS
             .into_iter()
             .find(|t| transform_flag(*t) == flag)
             .ok_or_else(|| format!("unknown transform {flag}"))?;
-        let result = check_metamorphic(&text, transform);
+        let result = check_metamorphic(&mut algst_core::Session::new(), &text, transform);
         Ok(ReplayOutcome {
             oracle,
             reproduced: result.is_err(),
@@ -524,7 +578,11 @@ pub fn replay_file(path: &Path, sabotage: Sabotage) -> Result<ReplayOutcome, Str
             expected_output: Vec::new(),
             entry: "main",
         };
-        let outcome = run_program(&program, Duration::from_secs(10));
+        let outcome = run_program(
+            &mut algst_core::Session::new(),
+            &program,
+            Duration::from_secs(10),
+        );
         let reproduced = matches!(
             &outcome,
             RunOutcome::Failed(d) if !d.starts_with("output mismatch")
@@ -616,6 +674,16 @@ mod tests {
         );
         assert!(report.equiv_cases >= 40);
         assert!(report.check_cases > 0 && report.runtime_cases > 0);
+        assert!(
+            report.server_check_cases >= 20,
+            "the server check-op family must run on every program iteration"
+        );
+        // Adaptive budget: whatever was retried is accounted; skips can
+        // only be pairs that still failed at 10× or are untranslatable.
+        assert!(report.freest_skips <= report.equiv_cases);
+        let summary = report.summary();
+        assert!(summary.contains("server check ops"), "{summary}");
+        assert!(summary.contains("budget retries"), "{summary}");
     }
 
     #[test]

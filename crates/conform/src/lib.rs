@@ -8,10 +8,11 @@
 //!
 //! | family   | generated input            | cross-checked answers                         |
 //! |----------|----------------------------|-----------------------------------------------|
-//! | equiv    | protocol decls + type pair | `TypeStore` ids · `SharedStore`/`WorkerStore` · naive reference ([`reference`]) · FreeST bisimulation · server [`Engine`](algst_server::Engine) over the wire format · by-construction ground truth |
+//! | equiv    | protocol decls + type pair | `TypeStore` ids · `SharedStore`/`WorkerStore` · naive reference ([`mod@reference`]) · FreeST bisimulation · server [`Engine`](algst_server::Engine) over the wire format · by-construction ground truth |
 //! | syntax   | types and whole modules    | print → reparse → structural AST equality      |
 //! | check    | well-typed + damaged modules | verdict stable under α-renaming, `-(-T)` payloads, `Dual (Dual ·)` |
 //! | runtime  | client/server modules      | terminates with predicted output or hits the step budget; never panics, never errors |
+//! | server-check | well-typed + damaged modules | engine `check` op (module cache, injected session) vs direct in-process check |
 //!
 //! Every counterexample is minimized by the reducer ([`reduce`]) —
 //! AST-level hierarchical reduction re-validated against the *specific*

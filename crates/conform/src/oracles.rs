@@ -1,13 +1,14 @@
-//! The four oracle families the fuzzer cross-checks.
+//! The five oracle families the fuzzer cross-checks.
 //!
 //! 1. **Equivalence** ([`EquivOracles`]) — one generated pair of types,
 //!    five independent answers: the single-threaded interned
-//!    [`TypeStore`], a [`SharedStore`]/[`WorkerStore`] (the concurrent
-//!    path), the naive reference semantics ([`crate::reference`]), the
-//!    FreeST bisimulation baseline on the translated pair (budgeted),
-//!    and the server [`Engine`] fed the pretty-printed pair over the
-//!    wire protocol — which transitively also exercises the printer,
-//!    the parser, and the server's nominal resolution.
+//!    [`TypeStore`], a [`Session`] over a private shared store (the
+//!    concurrent path), the naive reference semantics
+//!    ([`crate::reference`]), the FreeST bisimulation baseline on the
+//!    translated pair (budgeted, with one adaptive 10× retry), and the
+//!    server [`Engine`] fed the pretty-printed pair over the wire
+//!    protocol — which transitively also exercises the printer, the
+//!    parser, and the server's nominal resolution.
 //! 2. **Syntax** ([`type_round_trip`], [`program_round_trip`]) —
 //!    print → reparse → structural equality, closing the bug class of
 //!    the PR 3 parenthesized-applied-name regression.
@@ -17,19 +18,24 @@
 //! 4. **Runtime** ([`run_program`]) — a well-typed generated program
 //!    terminates with its predicted output or hits the step budget;
 //!    it never panics and never returns a runtime error.
+//! 5. **Server check-op** ([`EquivOracles::server_check_disagreement`])
+//!    — whole generated modules (well-typed and deliberately damaged)
+//!    sent through the engine's `check`/module-cache path must get the
+//!    same ok/reject verdict as a direct in-process check against an
+//!    unrelated session. Possible at all only because the engine is now
+//!    fully session-parameterized.
 
 use crate::reference::{self, Sabotage};
 use algst_core::protocol::Declarations;
-use algst_core::shared::{SharedStore, WorkerStore};
 use algst_core::store::TypeStore;
 use algst_core::types::Type;
+use algst_core::Session;
 use algst_gen::to_grammar::to_grammar;
 use algst_gen::GenProgram;
 use algst_server::{Engine, Op, Request, Response};
 use algst_syntax::ast::{Decl, Program, SType};
 use algst_syntax::{parse_program, printer};
 use freest::{bisimilar, BisimResult, Grammar};
-use std::sync::Arc;
 
 // ----------------------------------------------------------- equivalence
 
@@ -38,16 +44,21 @@ use std::sync::Arc;
 /// under test.
 pub struct EquivOracles {
     store: TypeStore,
-    worker: WorkerStore,
+    /// The concurrent path: a [`Session`] sibling of the engine's store.
+    session: Session,
+    /// A session on a store unrelated to everything above, for the
+    /// direct side of the server check-op family.
+    direct: Session,
     engine: Engine,
     sabotage: Sabotage,
-    /// Bisimulation expansion budget; exhaustion is recorded, not failed
-    /// (the paper's own observation about the baseline).
+    /// Bisimulation expansion budget; exhaustion triggers one retry at
+    /// 10× and is then recorded, not failed (the paper's own
+    /// observation about the baseline).
     pub freest_budget: u64,
 }
 
-/// One pair's verdicts. `freest` is `None` when the budget ran out or
-/// the instance falls outside the translatable fragment.
+/// One pair's verdicts. `freest` is `None` when the (retried) budget
+/// ran out or the instance falls outside the translatable fragment.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct EquivVerdicts {
     pub store: bool,
@@ -55,6 +66,9 @@ pub struct EquivVerdicts {
     pub reference: bool,
     pub server: bool,
     pub freest: Option<bool>,
+    /// The base FreeST budget was exhausted and the pair was retried at
+    /// 10× (whatever the outcome of the retry).
+    pub freest_retried: bool,
 }
 
 impl EquivVerdicts {
@@ -84,36 +98,65 @@ impl EquivVerdicts {
     }
 }
 
+/// Outcome of one FreeST bisimulation attempt at a fixed budget.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FreestOutcome {
+    /// The bisimulation decided the pair.
+    Verdict(bool),
+    /// The expansion budget ran out before a decision.
+    Budget,
+    /// The pair is outside the FreeST-translatable fragment.
+    Untranslatable,
+}
+
 impl EquivOracles {
     pub fn new(sabotage: Sabotage, freest_budget: u64) -> EquivOracles {
-        // A private shared store (not the process-global one), so fuzz
-        // runs are hermetic and reproducible; two engine workers so the
-        // server path really crosses threads.
-        let shared = SharedStore::new_arc();
+        // A private session (not the process-global store), so fuzz runs
+        // are hermetic and reproducible; the engine is injected a
+        // sibling so the server path shares the same warm store across
+        // its two workers (crossing threads for real).
+        let session = Session::new();
+        let engine = Engine::with_session(2, session.sibling());
         EquivOracles {
             store: TypeStore::new(),
-            worker: shared.worker(),
-            engine: Engine::with_store(2, Arc::clone(&shared)),
+            session,
+            direct: Session::new(),
+            engine,
             sabotage,
             freest_budget,
         }
     }
 
-    /// Runs every backend on one pair.
+    /// Runs every backend on one pair. A FreeST budget exhaustion at the
+    /// base budget is retried once at 10× ([`EquivVerdicts::freest_retried`]).
     pub fn verdicts(&mut self, decls: &Declarations, lhs: &Type, rhs: &Type) -> EquivVerdicts {
         let (a, b) = (self.store.intern(lhs), self.store.intern(rhs));
         let store = self.store.equivalent_ids(a, b);
-        let (a, b) = (self.worker.intern(lhs), self.worker.intern(rhs));
-        let shared = self.worker.equivalent_ids(a, b);
+        let (a, b) = (self.session.intern(lhs), self.session.intern(rhs));
+        let shared = self.session.equivalent_ids(a, b);
         let reference = reference::equivalent_with(lhs, rhs, self.sabotage);
         let server = self.server_verdict(lhs, rhs);
-        let freest = self.freest_verdict(decls, lhs, rhs);
+        let (freest, freest_retried) =
+            match self.freest_outcome(decls, lhs, rhs, self.freest_budget) {
+                FreestOutcome::Verdict(v) => (Some(v), false),
+                FreestOutcome::Untranslatable => (None, false),
+                FreestOutcome::Budget => {
+                    // Adaptive budget: deep-norm instances that exhaust the
+                    // default budget usually decide comfortably at 10×.
+                    let retry = self.freest_outcome(decls, lhs, rhs, self.freest_budget * 10);
+                    match retry {
+                        FreestOutcome::Verdict(v) => (Some(v), true),
+                        _ => (None, true),
+                    }
+                }
+            };
         EquivVerdicts {
             store,
             shared,
             reference,
             server,
             freest,
+            freest_retried,
         }
     }
 
@@ -122,8 +165,8 @@ impl EquivOracles {
     pub fn fast_verdicts(&mut self, lhs: &Type, rhs: &Type) -> EquivVerdicts {
         let (a, b) = (self.store.intern(lhs), self.store.intern(rhs));
         let store = self.store.equivalent_ids(a, b);
-        let (a, b) = (self.worker.intern(lhs), self.worker.intern(rhs));
-        let shared = self.worker.equivalent_ids(a, b);
+        let (a, b) = (self.session.intern(lhs), self.session.intern(rhs));
+        let shared = self.session.equivalent_ids(a, b);
         let reference = reference::equivalent_with(lhs, rhs, self.sabotage);
         EquivVerdicts {
             store,
@@ -131,6 +174,7 @@ impl EquivOracles {
             reference,
             server: store, // not consulted by the reducer
             freest: None,
+            freest_retried: false,
         }
     }
 
@@ -155,19 +199,78 @@ impl EquivOracles {
     }
 
     pub(crate) fn freest_verdict(
-        &self,
+        &mut self,
         decls: &Declarations,
         lhs: &Type,
         rhs: &Type,
     ) -> Option<bool> {
-        let mut g = Grammar::new();
-        let w1 = to_grammar(decls, lhs, &mut g).ok()?;
-        let w2 = to_grammar(decls, rhs, &mut g).ok()?;
-        match bisimilar(&mut g, &w1, &w2, self.freest_budget) {
-            BisimResult::Equivalent => Some(true),
-            BisimResult::NotEquivalent => Some(false),
-            BisimResult::Budget => None,
+        match self.freest_outcome(decls, lhs, rhs, self.freest_budget) {
+            FreestOutcome::Verdict(v) => Some(v),
+            _ => None,
         }
+    }
+
+    fn freest_outcome(
+        &mut self,
+        decls: &Declarations,
+        lhs: &Type,
+        rhs: &Type,
+        budget: u64,
+    ) -> FreestOutcome {
+        let mut g = Grammar::new();
+        let (w1, w2) = match (
+            to_grammar(&mut self.session, decls, lhs, &mut g),
+            to_grammar(&mut self.session, decls, rhs, &mut g),
+        ) {
+            (Ok(w1), Ok(w2)) => (w1, w2),
+            _ => return FreestOutcome::Untranslatable,
+        };
+        match bisimilar(&mut g, &w1, &w2, budget) {
+            BisimResult::Equivalent => FreestOutcome::Verdict(true),
+            BisimResult::NotEquivalent => FreestOutcome::Verdict(false),
+            BisimResult::Budget => FreestOutcome::Budget,
+        }
+    }
+
+    // ------------------------------------------------- server check-op
+
+    /// The engine's `check`-op verdict on a whole module (true = well
+    /// typed), through the module cache and the worker's session.
+    pub(crate) fn engine_check_verdict(&self, source: &str) -> bool {
+        let responses = self.engine.process(vec![Request {
+            id: 1,
+            op: Op::Check {
+                source: source.to_owned(),
+            },
+        }]);
+        match responses.as_slice() {
+            [Response::Check { ok, .. }] => *ok,
+            other => panic!("server check oracle protocol breach: {other:?}"),
+        }
+    }
+
+    /// Direct in-process check of the same module, against a session
+    /// whose store is unrelated to the engine's.
+    pub(crate) fn direct_check_verdict(&mut self, source: &str) -> bool {
+        algst_check::check_source_in(&mut self.direct, source).is_ok()
+    }
+
+    /// The private session the metamorphic/runtime check families run
+    /// against — the fuzz loop stays hermetic (nothing touches the
+    /// process-global store) and each check syncs only this store's
+    /// delta instead of re-mirroring a growing global arena.
+    pub(crate) fn checker_session(&mut self) -> &mut Session {
+        &mut self.direct
+    }
+
+    /// The check-op differential: `Some(detail)` when the engine's
+    /// module-cache path and the direct check disagree on `source`.
+    pub fn server_check_disagreement(&mut self, source: &str) -> Option<String> {
+        let engine = self.engine_check_verdict(source);
+        let direct = self.direct_check_verdict(source);
+        (engine != direct).then(|| {
+            format!("engine check op says ok={engine}, direct check_source_in says ok={direct}")
+        })
     }
 
     /// Deep store-invariant check (arena topology, memo fixpoints,
@@ -246,14 +349,19 @@ pub fn apply_transform(source: &str, transform: MetaTransform) -> Result<String,
     Ok(printer::program_to_source(&ast))
 }
 
-/// Checks that `transform` preserves the checker's verdict on `source`.
-/// Returns the divergence description on failure.
-pub fn check_metamorphic(source: &str, transform: MetaTransform) -> Result<(), String> {
-    let before = algst_check::check_source(source)
+/// Checks that `transform` preserves the checker's verdict on `source`,
+/// against the caller's `session`. Returns the divergence description
+/// on failure.
+pub fn check_metamorphic(
+    session: &mut Session,
+    source: &str,
+    transform: MetaTransform,
+) -> Result<(), String> {
+    let before = algst_check::check_source_in(session, source)
         .map(|_| ())
         .map_err(|e| e.to_string());
     let transformed = apply_transform(source, transform)?;
-    let after = algst_check::check_source(&transformed)
+    let after = algst_check::check_source_in(session, &transformed)
         .map(|_| ())
         .map_err(|e| e.to_string());
     if before.is_ok() == after.is_ok() {
@@ -580,8 +688,12 @@ pub enum RunOutcome {
 /// the budget leaves its (blocked) interpreter threads parked for the
 /// remainder of the process — generated programs are deadlock-free by
 /// construction, so budget hits are rare (0 in the committed runs).
-pub fn run_program(program: &GenProgram, budget: std::time::Duration) -> RunOutcome {
-    let module = match algst_check::check_source(&program.source) {
+pub fn run_program(
+    session: &mut Session,
+    program: &GenProgram,
+    budget: std::time::Duration,
+) -> RunOutcome {
+    let module = match algst_check::check_source_in(session, &program.source) {
         Ok(m) => m,
         Err(e) => return RunOutcome::Failed(format!("well-typed program rejected: {e}")),
     };
@@ -630,6 +742,7 @@ mod tests {
     #[test]
     fn metamorphic_transforms_preserve_verdicts() {
         let mut rng = StdRng::seed_from_u64(88);
+        let mut session = Session::new();
         for damage in [false, true] {
             let cfg = ProgConfig {
                 spine: 3,
@@ -639,7 +752,7 @@ mod tests {
             for _ in 0..6 {
                 let p = generate_program(&mut rng, &cfg);
                 for t in META_TRANSFORMS {
-                    check_metamorphic(&p.source, t)
+                    check_metamorphic(&mut session, &p.source, t)
                         .unwrap_or_else(|e| panic!("{t:?} diverged: {e}\n{}", p.source));
                 }
             }
@@ -658,10 +771,11 @@ mod tests {
     #[test]
     fn runtime_oracle_accepts_generated_programs() {
         let mut rng = StdRng::seed_from_u64(90);
+        let mut session = Session::new();
         for _ in 0..4 {
             let p = generate_program(&mut rng, &ProgConfig::default());
             assert_eq!(
-                run_program(&p, std::time::Duration::from_secs(20)),
+                run_program(&mut session, &p, std::time::Duration::from_secs(20)),
                 RunOutcome::Ok,
                 "\n{}",
                 p.source
@@ -687,6 +801,51 @@ mod tests {
             }
         }
         oracles.check_store_invariants().expect("store invariants");
+    }
+
+    #[test]
+    fn server_check_family_agrees_on_generated_modules() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut oracles = EquivOracles::new(Sabotage::None, 100_000);
+        for damage in [false, true] {
+            let cfg = ProgConfig {
+                spine: 3,
+                choice: true,
+                damage,
+            };
+            for _ in 0..4 {
+                let p = generate_program(&mut rng, &cfg);
+                assert_eq!(
+                    oracles.server_check_disagreement(&p.source),
+                    None,
+                    "engine check op diverged from direct check on\n{}",
+                    p.source
+                );
+                // Sanity: damaged modules really are rejected by both.
+                assert_eq!(oracles.engine_check_verdict(&p.source), p.well_typed);
+            }
+        }
+    }
+
+    #[test]
+    fn freest_budget_retry_decides_within_ten_x() {
+        // A pair that exhausts a deliberately tiny base budget must be
+        // retried at 10× and decided there.
+        use algst_gen::suite::{build_suite, SuiteKind};
+        let suite = build_suite(SuiteKind::Equivalent, 12, 77);
+        let mut tiny = EquivOracles::new(Sabotage::None, 8);
+        let mut saw_retry_decided = false;
+        for case in &suite.cases {
+            let v = tiny.verdicts(&case.instance.decls, &case.instance.ty, &case.other);
+            if v.freest_retried && v.freest.is_some() {
+                saw_retry_decided = true;
+                assert_eq!(v.freest, Some(case.equivalent));
+            }
+        }
+        assert!(
+            saw_retry_decided,
+            "a base budget of 8 expansions must exhaust somewhere and recover at 80"
+        );
     }
 
     #[test]

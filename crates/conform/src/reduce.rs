@@ -540,7 +540,9 @@ mod tests {
     fn program_reducer_drops_irrelevant_declarations() {
         let source = "\
 a : Unit\na = ()\nb : Unit\nb = ()\nneedle : Int\nneedle = ()\nmain : Unit\nmain = ()\n";
-        let mut fails = |candidate: &str| algst_check::check_source(candidate).is_err();
+        let mut session = algst_core::Session::new();
+        let mut fails =
+            |candidate: &str| algst_check::check_source_in(&mut session, candidate).is_err();
         assert!(fails(source));
         let reduced = reduce_program(source, 16, &mut fails);
         assert!(fails(&reduced));

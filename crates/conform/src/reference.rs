@@ -6,7 +6,7 @@
 //! its memoized id-level ports) cannot hide by also living here:
 //!
 //! * instead of rewriting the tree to a normal form and α-comparing, it
-//!   converts each type straight into a canonical value ([`CTy`]) in one
+//!   converts each type straight into a canonical value (`CTy`) in one
 //!   pass, tracking the pending `Dual` as a boolean *polarity* flag and
 //!   the reverse operator `-` as a *negation parity* on payloads;
 //! * binders become de-Bruijn indices during that same pass, so
@@ -211,7 +211,7 @@ fn spine(t: &Type, env: &mut Vec<Symbol>, dual: bool, sabotage: Sabotage) -> CTy
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algst_core::equiv;
+    use algst_core::Session;
 
     #[test]
     fn agrees_with_the_paper_worked_examples() {
@@ -261,8 +261,9 @@ mod tests {
             (SuiteKind::NonEquivalent, 159),
         ] {
             let suite = build_suite(kind, 40, seed);
+            let mut production = Session::new();
             for case in &suite.cases {
-                let want = equiv::equivalent(&case.instance.ty, &case.other);
+                let want = production.equivalent(&case.instance.ty, &case.other);
                 assert_eq!(
                     equivalent(&case.instance.ty, &case.other),
                     want,

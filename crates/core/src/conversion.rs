@@ -214,7 +214,11 @@ fn congruence_rewrites(ctx: &mut KindCtx<'_>, ty: &Type, out: &mut Vec<Type>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::equiv::equivalent;
+    use crate::session::Session;
+
+    fn equivalent(t: &Type, u: &Type) -> bool {
+        Session::new().equivalent(t, u)
+    }
     use crate::protocol::{Ctor, ProtocolDecl};
 
     fn sample_decls() -> Declarations {

@@ -1,52 +1,67 @@
-//! Algorithmic type equivalence (paper Theorems 1–3).
+//! Algorithmic type equivalence (paper Theorems 1–3) — **deprecated
+//! compatibility shims** over the process-global store.
 //!
-//! `T ≡_A U` holds iff `nrm⁺(T) =α nrm⁺(U)`. The test runs in
-//! `O(|T| + |U|)` — this is the headline complexity result the paper
-//! benchmarks against FreeST in Figure 10.
+//! `T ≡_A U` holds iff `nrm⁺(T) =α nrm⁺(U)`; the test runs in
+//! `O(|T| + |U|)`. The supported way to run it is an explicit
+//! [`Session`](crate::Session) handle:
 //!
-//! Since the hash-consed [`TypeStore`](crate::store::TypeStore) landed,
-//! the functions here are thin wrappers over the **process-wide sharded
-//! store** ([`crate::shared::SharedStore`]): types are interned
-//! (α-canonical ids), normalization is memoized per id, and the final
-//! α-comparison is a single id equality. Each thread works through its
-//! own [`WorkerStore`] mirror, so warm queries are lock-free — but the
-//! arena and memo tables behind them are shared, so a type normalized by
-//! *any* thread is warm for *every* thread. Only the first contact with
-//! a type, process-wide, pays the linear traversal. Use
-//! [`with_shared_store`] to run id-level code against this thread's
-//! worker, [`global_store`] to attach workers of your own (e.g. a server
-//! worker pool), or a private [`TypeStore`](crate::store::TypeStore) for
-//! full isolation.
+//! ```
+//! use algst_core::{Session, types::Type};
+//! let mut session = Session::new();
+//! assert!(session.equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
+//! ```
+//!
+//! The free functions here predate [`Session`](crate::Session): they
+//! reach one process-global [`SharedStore`] through a `thread_local!`
+//! worker, so every caller in the process shares warm state — and no
+//! caller can ever be isolated from another. They remain for source
+//! compatibility, share their store with [`Session::global`](crate::Session::global)
+//! (ids interoperate), and will be removed once nothing links them.
+//! This module is the **only** place allowed to touch the thread-local
+//! worker; everything else takes a `&mut Session`.
 
 use crate::normalize::resugar;
+use crate::session::global_shared;
 use crate::shared::{SharedStore, StoreStats, WorkerStore};
 use crate::types::Type;
 use std::cell::RefCell;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
-fn global() -> &'static Arc<SharedStore> {
-    static GLOBAL: OnceLock<Arc<SharedStore>> = OnceLock::new();
-    GLOBAL.get_or_init(SharedStore::new_arc)
-}
-
-/// The process-wide [`SharedStore`] behind [`equivalent`] and friends.
-/// Attach additional workers with
-/// [`SharedStore::worker`](crate::shared::SharedStore::worker) — ids are
-/// interchangeable with the ones [`with_shared_store`] produces.
+/// The process-wide [`SharedStore`] behind the shims in this module and
+/// behind [`Session::global`](crate::Session::global).
+#[deprecated(note = "use algst_core::Session::global() and Session::store() instead")]
 pub fn global_store() -> Arc<SharedStore> {
-    Arc::clone(global())
+    Arc::clone(global_shared())
 }
 
 /// Statistics of the process-wide store (nodes, `nrm` hits/misses).
 /// Flushes this thread's pending delta first so the caller sees its own
 /// work reflected.
+#[deprecated(note = "use algst_core::Session::global() and Session::stats() instead")]
 pub fn store_stats() -> StoreStats {
-    with_shared_store(|s| s.publish());
-    global().stats()
+    with_worker(|s| s.publish());
+    global_shared().stats()
 }
 
 thread_local! {
     static WORKER: RefCell<Option<WorkerStore>> = const { RefCell::new(None) };
+}
+
+/// The non-deprecated internal body of [`with_shared_store`], so the
+/// other shims can share it without tripping `deny(deprecated)`.
+fn with_worker<R>(f: impl FnOnce(&mut WorkerStore) -> R) -> R {
+    WORKER.with(|w| {
+        let mut slot = w.try_borrow_mut().unwrap_or_else(|_| {
+            panic!(
+                "with_shared_store is not re-entrant: the thread-local worker is \
+                 already borrowed by an enclosing call. Port the caller to \
+                 algst_core::Session, whose explicit handles make this \
+                 impossible by construction."
+            )
+        });
+        let worker = slot.get_or_insert_with(|| global_shared().worker());
+        f(worker)
+    })
 }
 
 /// Runs `f` against this thread's [`WorkerStore`] onto the process-wide
@@ -54,20 +69,19 @@ thread_local! {
 ///
 /// # Panics
 /// Panics if called re-entrantly from within another `with_shared_store`
-/// closure (the worker is a single `RefCell`).
+/// closure (the worker is a single `RefCell`). [`Session`](crate::Session)
+/// has no such trap: its handles are plain values the borrow checker
+/// tracks.
+#[deprecated(note = "use an explicit algst_core::Session (Session::global() shares this store)")]
 pub fn with_shared_store<R>(f: impl FnOnce(&mut WorkerStore) -> R) -> R {
-    WORKER.with(|w| {
-        let mut slot = w.borrow_mut();
-        let worker = slot.get_or_insert_with(|| global().worker());
-        f(worker)
-    })
+    with_worker(f)
 }
 
-/// Normalizes `t` through the shared store: `nrm⁺` with global
-/// memoization. Equivalent to [`crate::normalize::nrm_pos`] up to
-/// α-renaming, but repeated sub-spines normalize once per thread.
+/// Normalizes `t` through the process-global store: `nrm⁺` with global
+/// memoization.
+#[deprecated(note = "use algst_core::Session::normalize instead")]
 pub fn nrm_shared(t: &Type) -> Type {
-    with_shared_store(|s| {
+    with_worker(|s| {
         let id = s.intern(t);
         let n = s.nrm(id);
         s.extract(n)
@@ -75,22 +89,9 @@ pub fn nrm_shared(t: &Type) -> Type {
 }
 
 /// Decides `T ≡_A U` by comparing positive normal forms up to α-renaming.
-///
-/// ```
-/// use algst_core::{equiv::equivalent, types::Type};
-/// // Dual (!Repeat.?X.Dual End!)  ≡  ?Repeat.!X.End!   (cf. paper Fig. 9)
-/// let lhs = Type::dual(Type::output(
-///     Type::proto("RepeatEq", vec![]),
-///     Type::input(Type::var("x"), Type::dual(Type::EndOut)),
-/// ));
-/// let rhs = Type::input(
-///     Type::proto("RepeatEq", vec![]),
-///     Type::output(Type::var("x"), Type::EndOut),
-/// );
-/// assert!(equivalent(&lhs, &rhs));
-/// ```
+#[deprecated(note = "use algst_core::Session::equivalent instead")]
 pub fn equivalent(t: &Type, u: &Type) -> bool {
-    with_shared_store(|s| {
+    with_worker(|s| {
         let a = s.intern(t);
         let b = s.intern(u);
         s.equivalent_ids(a, b)
@@ -98,11 +99,10 @@ pub fn equivalent(t: &Type, u: &Type) -> bool {
 }
 
 /// Decides equivalence of the *duals* of two session types by comparing
-/// negative normal forms (Theorem 1, item 2). Equivalent to
-/// `equivalent(&Type::dual(t), &Type::dual(u))` but without allocating the
-/// wrappers.
+/// negative normal forms (Theorem 1, item 2).
+#[deprecated(note = "use algst_core::Session::equivalent_dual instead")]
 pub fn equivalent_dual(t: &Type, u: &Type) -> bool {
-    with_shared_store(|s| {
+    with_worker(|s| {
         let a = s.intern(t);
         let b = s.intern(u);
         s.nrm_neg(a) == s.nrm_neg(b)
@@ -110,11 +110,10 @@ pub fn equivalent_dual(t: &Type, u: &Type) -> bool {
 }
 
 /// Normalizes and compares; on mismatch returns the two normal forms
-/// **resugared for display** (reified `Dual α` pulled back out of the
-/// spine, fresh binders renamed — see [`crate::normalize::resugar`]), for
-/// error messages of the shape "expected `S`, found `T`".
+/// resugared for display.
+#[deprecated(note = "use algst_core::Session::check_equivalent instead")]
 pub fn check_equivalent(t: &Type, u: &Type) -> Result<(), (Type, Type)> {
-    with_shared_store(|s| {
+    with_worker(|s| {
         let a = s.intern(t);
         let b = s.intern(u);
         let (na, nb) = (s.nrm(a), s.nrm(b));
@@ -127,110 +126,63 @@ pub fn check_equivalent(t: &Type, u: &Type) -> Result<(), (Type, Type)> {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::kind::Kind;
+    use crate::session::Session;
 
     #[test]
-    fn equivalence_is_reflexive_and_symmetric() {
-        let t = Type::forall(
-            "s",
-            Kind::Session,
-            Type::arrow(
-                Type::output(Type::proto("AstEq", vec![]), Type::var("s")),
-                Type::var("s"),
-            ),
-        );
-        assert!(equivalent(&t, &t));
-        let u = Type::forall(
-            "r",
-            Kind::Session,
-            Type::arrow(
-                Type::output(Type::proto("AstEq", vec![]), Type::var("r")),
-                Type::var("r"),
-            ),
-        );
+    fn shims_and_sessions_share_the_global_store() {
+        // A verdict computed through the deprecated path is warm for a
+        // global session, and ids interoperate — migration can proceed
+        // caller by caller.
+        let t = Type::dual(Type::output(Type::int(), Type::var("shimCompat")));
+        let u = Type::input(Type::int(), Type::dual(Type::var("shimCompat")));
         assert!(equivalent(&t, &u));
-        assert!(equivalent(&u, &t));
+        let mut s = Session::global();
+        assert!(s.equivalent(&t, &u));
+        let shim_id = with_shared_store(|w| w.intern(&t));
+        assert_eq!(s.intern(&t), shim_id);
     }
 
     #[test]
-    fn nominal_protocols_differ_by_name() {
-        let t = Type::output(Type::proto("P1", vec![]), Type::EndOut);
-        let u = Type::output(Type::proto("P2", vec![]), Type::EndOut);
-        assert!(!equivalent(&t, &u));
-    }
-
-    #[test]
-    fn fig9_nonequivalent_example() {
-        // ?Repeat Int . S  vs  ?Repeat String . S
-        let s = Type::output(Type::pair(Type::char(), Type::EndOut), Type::EndOut);
-        let t = Type::input(Type::proto("Rep9", vec![Type::int()]), s.clone());
-        let u = Type::input(Type::proto("Rep9", vec![Type::string()]), s);
-        assert!(!equivalent(&t, &u));
-    }
-
-    #[test]
-    fn dual_equivalences() {
-        // Dual End? ≡ End!
-        assert!(equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
-        // Dual (?T.S) ≡ !T.Dual S
-        let t = Type::dual(Type::input(Type::int(), Type::EndIn));
-        let u = Type::output(Type::int(), Type::dual(Type::EndIn));
-        assert!(equivalent(&t, &u));
-    }
-
-    #[test]
-    fn equivalent_dual_matches_wrapping() {
-        let t = Type::input(Type::int(), Type::var("s"));
-        let u = Type::dual(Type::output(Type::int(), Type::dual(Type::var("s"))));
-        assert_eq!(
-            equivalent_dual(&t, &u),
-            equivalent(&Type::dual(t.clone()), &Type::dual(u.clone()))
-        );
-        assert!(equivalent_dual(&t, &u));
-    }
-
-    #[test]
-    fn check_equivalent_reports_normal_forms() {
+    fn shim_verdicts_match_session_verdicts() {
         let t = Type::dual(Type::EndIn);
-        let u = Type::EndIn;
-        let (nt, nu) = check_equivalent(&t, &u).unwrap_err();
-        assert_eq!(nt, Type::EndOut);
-        assert_eq!(nu, Type::EndIn);
+        assert!(equivalent(&t, &Type::EndOut));
+        assert!(equivalent_dual(&Type::EndIn, &Type::dual(Type::EndOut)));
+        let (nt, nu) = check_equivalent(&t, &Type::EndIn).unwrap_err();
+        assert_eq!((nt, nu), (Type::EndOut, Type::EndIn));
+        let mut s = Session::global();
+        assert_eq!(nrm_shared(&t), s.normalize(&t));
     }
 
     #[test]
-    fn check_equivalent_resugars_reified_duals() {
-        // The raw normal form of the left side is `?Int.!Bool.Dual s` —
-        // a reified `Dual s` the user never wrote. The error must show
-        // the resugared `Dual (!Int.?Bool.s)` instead.
-        let t = Type::dual(Type::output(
-            Type::int(),
-            Type::input(Type::bool(), Type::var("s")),
-        ));
-        let u = Type::input(Type::int(), Type::var("s"));
-        let (nt, nu) = check_equivalent(&t, &u).unwrap_err();
-        assert_eq!(nt.to_string(), "Dual (!Int.?Bool.s)");
-        assert_eq!(nu.to_string(), "?Int.s");
-        // Resugaring is display-only: both sides stay equivalent to the
-        // originals.
-        assert!(equivalent(&nt, &t));
-        assert!(equivalent(&nu, &u));
+    fn reentrant_shim_use_panics_cleanly() {
+        // Regression (ISSUE 5 satellite): the legacy shim must keep
+        // failing fast on the nesting bug — with a message that points
+        // at the fix — while the same pattern written with Sessions
+        // compiles and runs (see `session::tests::nested_use_is_fine_by_
+        // construction`).
+        let caught = std::panic::catch_unwind(|| {
+            with_shared_store(|_outer| with_shared_store(|inner| inner.intern(&Type::EndOut)))
+        })
+        .expect_err("nested with_shared_store must panic");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(
+            message.contains("not re-entrant") && message.contains("Session"),
+            "panic message must name the bug and the migration: {message}"
+        );
     }
 
     #[test]
-    fn shared_store_memoizes_across_calls() {
-        let t = Type::dual(Type::output(Type::int(), Type::var("warmS")));
-        let u = Type::input(Type::int(), Type::dual(Type::var("warmS")));
-        assert!(equivalent(&t, &u));
-        // A second query hits the memo: both sides are already recorded
-        // as normalized in the shared store.
-        with_shared_store(|s| {
-            let a = s.intern(&t);
-            let na = s.nrm(a);
-            assert!(s.is_normalized(na));
-        });
-        assert!(equivalent(&t, &u));
+    fn store_stats_reflects_shim_work() {
+        let t = Type::dual(Type::input(Type::int(), Type::var("shimStats")));
+        assert!(equivalent(&t, &t));
+        let stats = store_stats();
+        assert!(stats.nodes > 0);
     }
 }

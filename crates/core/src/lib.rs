@@ -24,10 +24,13 @@
 //!   ([`shared::SharedStore`]) with per-thread mirrors that publish
 //!   write deltas ([`shared::WorkerStore`]), so every thread shares
 //!   warm state.
-//! * [`equiv`] — **linear-time** type equivalence as α-comparison of normal
-//!   forms (Theorems 1–3), backed by the process-wide store (per-thread
-//!   [`shared::WorkerStore`] handles) so repeated queries amortize to id
-//!   comparisons across *all* threads.
+//! * [`session`] — the public entry point: an explicit [`Session`]
+//!   handle owning a worker over a shared store. All of
+//!   intern/normalize/equivalence/duality run against *its* store;
+//!   sessions are isolated unless deliberately made siblings.
+//! * [`equiv`] — **deprecated** free-function shims for linear-time
+//!   equivalence (Theorems 1–3) over one process-global store; kept for
+//!   source compatibility, superseded by [`Session`].
 //! * [`conversion`] — the declarative conversion relation (Fig. 2) as a
 //!   rewrite system, used for testing and benchmark-instance generation.
 //! * [`expr`] — core expressions, constants and processes (Section 4).
@@ -36,12 +39,13 @@
 //! ## Example
 //!
 //! ```
-//! use algst_core::{equiv::equivalent, types::Type};
+//! use algst_core::{Session, types::Type};
 //!
 //! // Dual (?(-Int).End?)  ≡  !(-Int).Dual End?  ≡  ?Int.End!
+//! let mut session = Session::new();
 //! let t = Type::dual(Type::input(Type::neg(Type::int()), Type::EndIn));
 //! let u = Type::input(Type::int(), Type::EndOut);
-//! assert!(equivalent(&t, &u));
+//! assert!(session.equivalent(&t, &u));
 //! ```
 
 pub mod conversion;
@@ -51,16 +55,17 @@ pub mod kind;
 pub mod kindcheck;
 pub mod normalize;
 pub mod protocol;
+pub mod session;
 pub mod shared;
 pub mod store;
 pub mod subst;
 pub mod symbol;
 pub mod types;
 
-pub use equiv::equivalent;
 pub use kind::Kind;
 pub use normalize::{nrm_neg, nrm_pos};
 pub use protocol::{Ctor, DataDecl, Declarations, ProtocolDecl};
+pub use session::Session;
 pub use store::{TNode, TypeId, TypeStore};
 pub use symbol::Symbol;
 pub use types::Type;

@@ -78,7 +78,7 @@ impl Subst {
     /// renaming (nameless binders cannot capture). Agrees with
     /// [`Subst::apply`] up to α-equivalence — i.e. produces the id that
     /// `apply`'s result would intern to. Generic over [`StoreOps`], so it
-    /// runs against both a private [`TypeStore`] and a concurrent
+    /// runs against both a private [`TypeStore`](crate::store::TypeStore) and a concurrent
     /// [`WorkerStore`](crate::shared::WorkerStore).
     pub fn apply_interned<S: StoreOps>(&self, store: &mut S, id: TypeId) -> TypeId {
         if self.is_empty() {

@@ -3,7 +3,6 @@
 //! types.
 
 use algst_core::conversion::one_step_rewrites;
-use algst_core::equiv::{equivalent, equivalent_dual};
 use algst_core::kind::Kind;
 use algst_core::kindcheck::KindCtx;
 use algst_core::normalize::{is_normal, nrm_neg, nrm_pos, resugar};
@@ -11,7 +10,19 @@ use algst_core::protocol::{Ctor, Declarations, ProtocolDecl};
 use algst_core::store::{TNode, TypeStore};
 use algst_core::symbol::Symbol;
 use algst_core::types::Type;
+use algst_core::Session;
 use proptest::prelude::*;
+
+/// `T ≡_A U` through a fresh [`Session`] — each property case is
+/// hermetic (no cross-case warm state to mask a bug).
+fn equivalent(t: &Type, u: &Type) -> bool {
+    Session::new().equivalent(t, u)
+}
+
+/// Negative-normal-form equivalence through a fresh [`Session`].
+fn equivalent_dual(t: &Type, u: &Type) -> bool {
+    Session::new().equivalent_dual(t, u)
+}
 
 /// Test declarations: a parameterized stream and a mutually recursive
 /// pair, mirroring the shapes in the paper's examples.

@@ -4,7 +4,7 @@
 //! and a session type referring to them."
 
 use algst_core::protocol::Declarations;
-use algst_core::store::{TypeId, TypeStore};
+use algst_core::store::{StoreOps, TypeId};
 use algst_core::types::Type;
 
 /// One benchmark instance.
@@ -53,11 +53,12 @@ impl TestCase {
         self.instance.node_count()
     }
 
-    /// Interns both sides of the pair into `store`, returning
-    /// `(ty, other)` ids. Suites built by
-    /// [`crate::suite::build_suite`] carry these ids already
-    /// ([`crate::suite::Suite::ids`]); use this for ad-hoc cases.
-    pub fn intern_into(&self, store: &mut TypeStore) -> (TypeId, TypeId) {
+    /// Interns both sides of the pair into `store` — any [`StoreOps`]
+    /// implementor: a private `TypeStore`, a `WorkerStore`, or a
+    /// [`Session`](algst_core::Session) — returning `(ty, other)` ids.
+    /// Suites built by [`crate::suite::build_suite`] carry these ids
+    /// already ([`crate::suite::Suite::ids`]); use this for ad-hoc cases.
+    pub fn intern_into<S: StoreOps>(&self, store: &mut S) -> (TypeId, TypeId) {
         (store.intern(&self.instance.ty), store.intern(&self.other))
     }
 }

@@ -9,7 +9,7 @@
 //! * [`mutate`] — equivalent partners via random walks over the
 //!   conversion rules (Fig. 2), and non-equivalent mutants via quantifier
 //!   insertion / sub-part replacement;
-//! * [`to_freest`] — the AlgST → FreeST translation of Fig. 9 / App. E;
+//! * [`mod@to_freest`] — the AlgST → FreeST translation of Fig. 9 / App. E;
 //! * [`from_freest`] — the reverse embedding of App. E Fig. 13;
 //! * [`suite`] — assembly of the paper's 324-test suites for Fig. 10.
 

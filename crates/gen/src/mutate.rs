@@ -221,18 +221,19 @@ fn rewrite_nth(
 mod tests {
     use super::*;
     use crate::generate::{generate_instance, GenConfig};
-    use algst_core::equiv::equivalent;
+    use algst_core::Session;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     #[test]
     fn equivalent_variants_are_equivalent() {
         let mut rng = StdRng::seed_from_u64(11);
+        let mut s = Session::new();
         for i in 0..40 {
             let inst = generate_instance(&mut rng, &GenConfig::sized(10 + i));
             let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 8);
             assert!(
-                equivalent(&inst.ty, &variant),
+                s.equivalent(&inst.ty, &variant),
                 "walk broke equivalence:\n  {}\n  {}",
                 inst.ty,
                 variant
@@ -257,11 +258,12 @@ mod tests {
     #[test]
     fn mutants_are_not_equivalent() {
         let mut rng = StdRng::seed_from_u64(13);
+        let mut s = Session::new();
         for i in 0..60 {
             let inst = generate_instance(&mut rng, &GenConfig::sized(8 + i));
             let mutant = nonequivalent_mutant(&mut rng, &inst.ty).expect("mutable");
             assert!(
-                !equivalent(&inst.ty, &mutant),
+                !s.equivalent(&inst.ty, &mutant),
                 "mutation preserved equivalence:\n  {}\n  {}",
                 inst.ty,
                 mutant
@@ -276,6 +278,7 @@ mod tests {
             Type::output(Type::neg(Type::bool()), Type::EndOut),
         );
         let mut rng = StdRng::seed_from_u64(5);
+        let mut s = Session::new();
         for damage in [
             Damage::InsertQuantifier,
             Damage::SwapBase,
@@ -283,7 +286,7 @@ mod tests {
             Damage::FlipDirection,
         ] {
             let m = apply(&mut rng, &ty, damage).expect("applies");
-            assert!(!equivalent(&ty, &m), "{damage:?} kept equivalence: {m}");
+            assert!(!s.equivalent(&ty, &m), "{damage:?} kept equivalence: {m}");
         }
     }
 }

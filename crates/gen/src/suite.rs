@@ -6,7 +6,8 @@ use crate::generate::{generate_instance, GenConfig};
 use crate::instance::TestCase;
 use crate::mutate::{equivalent_variant, nonequivalent_mutant};
 use algst_core::kind::Kind;
-use algst_core::store::{TypeId, TypeStore};
+use algst_core::store::TypeId;
+use algst_core::Session;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,15 +21,16 @@ pub enum SuiteKind {
 }
 
 /// A full benchmark suite. Cases are interned at construction time into
-/// a suite-owned [`TypeStore`], so consumers can run id-level (warm,
-/// memoized) equivalence queries next to the tree-level (cold) ones.
+/// a **suite-owned [`Session`]** (private store — nothing leaks into or
+/// out of other suites), so consumers can run id-level (warm, memoized)
+/// equivalence queries next to the tree-level (cold) ones.
 #[derive(Debug)]
 pub struct Suite {
     pub kind: SuiteKind,
     pub cases: Vec<TestCase>,
-    /// The hash-consing store every case is interned into. Shared
-    /// sub-spines across cases are stored once.
-    pub store: TypeStore,
+    /// The session every case is interned into. Shared sub-spines
+    /// across cases are stored once.
+    pub session: Session,
     /// Per-case `(ty, other)` ids, parallel to `cases`.
     pub ids: Vec<(TypeId, TypeId)>,
 }
@@ -41,7 +43,7 @@ pub const PAPER_SUITE_SIZE: usize = 324;
 pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut cases = Vec::with_capacity(count);
-    let mut store = TypeStore::new();
+    let mut session = Session::new();
     let mut ids = Vec::with_capacity(count);
     for i in 0..count {
         // Sweep target sizes roughly linearly from ~4 to ~130 AlgST nodes,
@@ -67,13 +69,13 @@ pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
             other,
             equivalent: kind == SuiteKind::Equivalent,
         };
-        ids.push(case.intern_into(&mut store));
+        ids.push(case.intern_into(&mut session));
         cases.push(case);
     }
     Suite {
         kind,
         cases,
-        store,
+        session,
         ids,
     }
 }
@@ -81,21 +83,28 @@ pub fn build_suite(kind: SuiteKind, count: usize, seed: u64) -> Suite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algst_core::equiv::equivalent;
+    use algst_core::Session;
 
     #[test]
     fn equivalent_suite_is_equivalent() {
-        let suite = build_suite(SuiteKind::Equivalent, 40, 1);
+        let mut suite = build_suite(SuiteKind::Equivalent, 40, 1);
+        let mut s = suite.session.sibling();
         for case in &suite.cases {
-            assert!(equivalent(&case.instance.ty, &case.other));
+            assert!(s.equivalent(&case.instance.ty, &case.other));
+        }
+        drop(s);
+        // The suite's own session answers the same at the id level.
+        for &(a, b) in &suite.ids {
+            assert!(suite.session.equivalent_ids(a, b));
         }
     }
 
     #[test]
     fn nonequivalent_suite_is_not() {
         let suite = build_suite(SuiteKind::NonEquivalent, 40, 2);
+        let mut s = Session::new();
         for case in &suite.cases {
-            assert!(!equivalent(&case.instance.ty, &case.other));
+            assert!(!s.equivalent(&case.instance.ty, &case.other));
         }
     }
 
@@ -105,7 +114,7 @@ mod tests {
             let mut suite = build_suite(kind, 25, seed);
             for (case, &(a, b)) in suite.cases.iter().zip(&suite.ids) {
                 assert_eq!(
-                    suite.store.equivalent_ids(a, b),
+                    suite.session.equivalent_ids(a, b),
                     case.equivalent,
                     "id-level verdict disagrees on {} vs {}",
                     case.instance.ty,

@@ -17,6 +17,7 @@
 use algst_core::protocol::Declarations;
 use algst_core::symbol::Symbol;
 use algst_core::types::{BaseType, Type};
+use algst_core::Session;
 use freest::{CfType, Dir, Payload};
 use std::fmt;
 
@@ -37,16 +38,20 @@ impl fmt::Display for UntranslatableError {
 
 impl std::error::Error for UntranslatableError {}
 
-/// Translates an AlgST session type (over `decls`) to a FreeST type.
+/// Translates an AlgST session type (over `decls`) to a FreeST type,
+/// normalizing through the caller's `session` (repeated (sub)types
+/// across a suite hit its memo).
 ///
 /// # Errors
 /// Fails on parameterized protocol applications, function types in
 /// message positions, and other constructs outside the benchmark
 /// fragment.
-pub fn to_freest(decls: &Declarations, ty: &Type) -> Result<CfType, UntranslatableError> {
-    // Memoized normalization through the shared store: repeated
-    // (sub)types across a suite normalize once per thread.
-    let n = algst_core::equiv::nrm_shared(ty);
+pub fn to_freest(
+    session: &mut Session,
+    decls: &Declarations,
+    ty: &Type,
+) -> Result<CfType, UntranslatableError> {
+    let n = session.normalize(ty);
     let mut tr = Translator {
         decls,
         stack: Vec::new(),
@@ -205,7 +210,8 @@ mod tests {
     #[test]
     fn fig9_translation_matches_paper_shape() {
         let (d, ty) = fig9();
-        let cf = to_freest(&d, &ty).unwrap();
+        let mut s = Session::new();
+        let cf = to_freest(&mut s, &d, &ty).unwrap();
         let s = cf.to_string();
         // (rec repeatf9_i. &{MoreF9: ?Int; repeatf9_i, QuitF9: Skip}); !(Char, End!); End!
         assert!(s.contains("rec repeatf9_i"), "{s}");
@@ -218,16 +224,18 @@ mod tests {
     #[test]
     fn sending_context_uses_internal_choice() {
         let (d, _) = fig9();
+        let mut s = Session::new();
         let ty = Type::output(Type::proto("RepeatF9", vec![]), Type::EndOut);
-        let cf = to_freest(&d, &ty).unwrap();
+        let cf = to_freest(&mut s, &d, &ty).unwrap();
         assert!(cf.to_string().contains("+{MoreF9: !Int"), "{cf}");
     }
 
     #[test]
     fn negation_flips_the_inlined_direction() {
         let (d, _) = fig9();
+        let mut s = Session::new();
         let ty = Type::output(Type::neg(Type::proto("RepeatF9", vec![])), Type::EndOut);
-        let cf = to_freest(&d, &ty).unwrap();
+        let cf = to_freest(&mut s, &d, &ty).unwrap();
         // !( -Repeat ) behaves as a receive of Repeat.
         assert!(cf.to_string().contains("&{MoreF9: ?Int"), "{cf}");
     }
@@ -242,8 +250,9 @@ mod tests {
         })
         .unwrap();
         d.validate().unwrap();
+        let mut s = Session::new();
         let ty = Type::output(Type::proto("PairF9", vec![]), Type::EndOut);
-        let cf = to_freest(&d, &ty).unwrap();
+        let cf = to_freest(&mut s, &d, &ty).unwrap();
         // No choice tag in sight — just the field sequence.
         assert!(!cf.to_string().contains("MkPairF9"), "{cf}");
         let expected = CfType::seq_all([
@@ -260,8 +269,9 @@ mod tests {
     #[test]
     fn dual_variables_are_distinct() {
         let d = Declarations::new();
-        let a = to_freest(&d, &Type::dual(Type::var("sv"))).unwrap();
-        let b = to_freest(&d, &Type::var("sv")).unwrap();
+        let mut s = Session::new();
+        let a = to_freest(&mut s, &d, &Type::dual(Type::var("sv"))).unwrap();
+        let b = to_freest(&mut s, &d, &Type::var("sv")).unwrap();
         assert_ne!(a, b);
     }
 
@@ -269,8 +279,14 @@ mod tests {
     fn normalization_happens_first() {
         // Dual(?Int.End?) translates like !Int.End!.
         let d = Declarations::new();
-        let a = to_freest(&d, &Type::dual(Type::input(Type::int(), Type::EndIn))).unwrap();
-        let b = to_freest(&d, &Type::output(Type::int(), Type::EndOut)).unwrap();
+        let mut s = Session::new();
+        let a = to_freest(
+            &mut s,
+            &d,
+            &Type::dual(Type::input(Type::int(), Type::EndIn)),
+        )
+        .unwrap();
+        let b = to_freest(&mut s, &d, &Type::output(Type::int(), Type::EndOut)).unwrap();
         assert_eq!(a, b);
     }
 
@@ -280,6 +296,7 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(21);
+        let mut s = Session::new();
         for i in 0..40 {
             // Without deep-norm chains: the inlining translation is
             // exponential in chain depth by construction (see
@@ -287,7 +304,7 @@ mod tests {
             let mut cfg = GenConfig::sized(10 + 2 * i);
             cfg.deep_norms = 0.0;
             let inst = generate_instance(&mut rng, &cfg);
-            let cf = to_freest(&inst.decls, &inst.ty)
+            let cf = to_freest(&mut s, &inst.decls, &inst.ty)
                 .unwrap_or_else(|e| panic!("untranslatable {}: {e}", inst.ty));
             assert!(cf.is_contractive(), "non-contractive: {cf}");
         }

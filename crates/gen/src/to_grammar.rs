@@ -1,7 +1,7 @@
 //! Direct translation of AlgST benchmark instances into simple grammars,
 //! bypassing the intermediate [`freest::CfType`] tree.
 //!
-//! Two differences to [`crate::to_freest`] (which follows the paper's
+//! Two differences to [`mod@crate::to_freest`] (which follows the paper's
 //! Fig. 9 presentation for display purposes):
 //!
 //! 1. **Linear space.** Inlining protocols at every use site duplicates
@@ -30,6 +30,7 @@ use crate::to_freest::UntranslatableError;
 use algst_core::protocol::Declarations;
 use algst_core::symbol::Symbol;
 use algst_core::types::{BaseType, Type};
+use algst_core::Session;
 use freest::grammar::{Action, Grammar, NonTerm, Word};
 use freest::{CfType, Dir, Payload};
 use std::collections::HashMap;
@@ -40,11 +41,13 @@ use std::collections::HashMap;
 /// Fails on constructs outside the benchmark fragment (parameterized
 /// protocols, function types in message positions).
 pub fn to_grammar(
+    session: &mut Session,
     decls: &Declarations,
     ty: &Type,
     g: &mut Grammar,
 ) -> Result<Word, UntranslatableError> {
     let mut tr = GrammarTranslator {
+        session,
         decls,
         g,
         protocols: HashMap::new(),
@@ -55,7 +58,10 @@ pub fn to_grammar(
     tr.session(ty)
 }
 
-struct GrammarTranslator<'d, 'g> {
+struct GrammarTranslator<'d, 'g, 's> {
+    /// Value payloads are canonicalized (normalized) through this
+    /// session, so repeated payloads across a suite hit its memo.
+    session: &'s mut Session,
     decls: &'d Declarations,
     g: &'g mut Grammar,
     /// Finished (protocol, direction) words.
@@ -68,7 +74,7 @@ struct GrammarTranslator<'d, 'g> {
     bound: Vec<(Symbol, String)>,
 }
 
-impl GrammarTranslator<'_, '_> {
+impl GrammarTranslator<'_, '_, '_> {
     fn session(&mut self, ty: &Type) -> Result<Word, UntranslatableError> {
         Ok(match ty {
             Type::EndOut => self.g.word_of(&CfType::End(Dir::Out)),
@@ -233,9 +239,9 @@ impl GrammarTranslator<'_, '_> {
     /// their own (cheap) equivalence, distinct from the spine's
     /// equirecursive reasoning.
     fn value_payload(&mut self, ty: &Type) -> Result<Payload, UntranslatableError> {
-        // Normalize through the shared store: repeated payloads across a
+        // Normalize through the session: repeated payloads across a
         // suite (protocol argument types recur constantly) hit the memo.
-        let n = algst_core::equiv::nrm_shared(ty);
+        let n = self.session.normalize(ty);
         self.canonical_payload(&n)
     }
 
@@ -277,9 +283,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn verdict(decls: &Declarations, a: &Type, b: &Type, budget: u64) -> BisimResult {
+        let mut s = Session::new();
         let mut g = Grammar::new();
-        let wa = to_grammar(decls, a, &mut g).expect("translatable");
-        let wb = to_grammar(decls, b, &mut g).expect("translatable");
+        let wa = to_grammar(&mut s, decls, a, &mut g).expect("translatable");
+        let wb = to_grammar(&mut s, decls, b, &mut g).expect("translatable");
         bisimilar(&mut g, &wa, &wb, budget)
     }
 
@@ -291,9 +298,10 @@ mod tests {
         let s = Type::output(Type::int(), Type::input(Type::bool(), Type::EndOut));
         let dual = Type::dual(s.clone());
         let pushed = Type::input(Type::int(), Type::output(Type::bool(), Type::EndIn));
+        let mut s = Session::new();
         let mut g = Grammar::new();
-        let w_dual = to_grammar(&d, &dual, &mut g).unwrap();
-        let w_pushed = to_grammar(&d, &pushed, &mut g).unwrap();
+        let w_dual = to_grammar(&mut s, &d, &dual, &mut g).unwrap();
+        let w_pushed = to_grammar(&mut s, &d, &pushed, &mut g).unwrap();
         assert_ne!(w_dual, w_pushed, "structural rendering must not normalize");
         assert_eq!(
             bisimilar(&mut g, &w_dual, &w_pushed, 100_000),
@@ -306,9 +314,10 @@ mod tests {
         let d = Declarations::new();
         let s = Type::output(Type::int(), Type::EndOut);
         let dd = Type::dual(Type::dual(s.clone()));
+        let mut sess = Session::new();
         let mut g = Grammar::new();
-        let w1 = to_grammar(&d, &s, &mut g).unwrap();
-        let w2 = to_grammar(&d, &dd, &mut g).unwrap();
+        let w1 = to_grammar(&mut sess, &d, &s, &mut g).unwrap();
+        let w2 = to_grammar(&mut sess, &d, &dd, &mut g).unwrap();
         assert_ne!(w1, w2);
         assert_eq!(
             bisimilar(&mut g, &w1, &w2, 100_000),
@@ -346,8 +355,9 @@ mod tests {
         let mut cfg = GenConfig::sized(120);
         cfg.deep_norms = 1.0;
         let inst = generate_instance(&mut rng, &cfg);
+        let mut s = Session::new();
         let mut g = Grammar::new();
-        let w = to_grammar(&inst.decls, &inst.ty, &mut g).expect("translatable");
+        let w = to_grammar(&mut s, &inst.decls, &inst.ty, &mut g).expect("translatable");
         assert!(
             g.len() < 4096,
             "grammar should be small, got {} nonterminals",

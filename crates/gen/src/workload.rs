@@ -111,7 +111,7 @@ pub fn equiv_workload(suites: &[&Suite], requests: usize, seed: u64) -> Workload
 mod tests {
     use super::*;
     use crate::suite::{build_suite, SuiteKind};
-    use algst_core::equiv::equivalent;
+    use algst_core::Session;
 
     #[test]
     fn covers_every_pair_then_repeats() {
@@ -134,9 +134,10 @@ mod tests {
         let eq = build_suite(SuiteKind::Equivalent, 6, 31);
         let ne = build_suite(SuiteKind::NonEquivalent, 6, 32);
         let w = equiv_workload(&[&eq, &ne], 30, 8);
+        let mut s = Session::new();
         for i in 0..w.len() {
             let (lhs, rhs, expected) = w.request(i);
-            assert_eq!(equivalent(lhs, rhs), expected, "request {i}");
+            assert_eq!(s.equivalent(lhs, rhs), expected, "request {i}");
         }
     }
 

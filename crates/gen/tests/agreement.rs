@@ -4,7 +4,6 @@
 //! *translated* pair — must return the same verdict, which must also match
 //! the ground truth built into the suite.
 
-use algst_core::equiv::equivalent;
 use algst_gen::suite::{build_suite, SuiteKind};
 use algst_gen::to_grammar::to_grammar;
 use freest::{bisimilar, BisimResult, Grammar};
@@ -13,9 +12,10 @@ const BUDGET: u64 = 2_000_000;
 
 fn check_agreement(kind: SuiteKind, count: usize, seed: u64) {
     let suite = build_suite(kind, count, seed);
+    let mut session = suite.session.sibling();
     let mut budget_hits = 0;
     for (i, case) in suite.cases.iter().enumerate() {
-        let algst_verdict = equivalent(&case.instance.ty, &case.other);
+        let algst_verdict = session.equivalent(&case.instance.ty, &case.other);
         assert_eq!(
             algst_verdict, case.equivalent,
             "case {i}: AlgST verdict disagrees with ground truth\n  T  = {}\n  T' = {}",
@@ -23,9 +23,14 @@ fn check_agreement(kind: SuiteKind, count: usize, seed: u64) {
         );
 
         let mut g = Grammar::new();
-        let w1 = to_grammar(&case.instance.decls, &case.instance.ty, &mut g)
-            .unwrap_or_else(|e| panic!("case {i} untranslatable: {e}"));
-        let w2 = to_grammar(&case.instance.decls, &case.other, &mut g)
+        let w1 = to_grammar(
+            &mut session,
+            &case.instance.decls,
+            &case.instance.ty,
+            &mut g,
+        )
+        .unwrap_or_else(|e| panic!("case {i} untranslatable: {e}"));
+        let w2 = to_grammar(&mut session, &case.instance.decls, &case.other, &mut g)
             .unwrap_or_else(|e| panic!("case {i} untranslatable: {e}"));
         match bisimilar(&mut g, &w1, &w2, BUDGET) {
             BisimResult::Equivalent => assert!(

@@ -8,7 +8,7 @@
 //! * **Semantic agreement**: the literal small-step reducer and the
 //!   efficient big-step interpreter compute the same results.
 
-use algst_check::{check_source, Checker, Ctx, Module};
+use algst_check::{check_source, check_source_in, Checker, Ctx, Module};
 use algst_core::expr::{Expr, Lit};
 use algst_core::normalize::nrm_pos;
 use algst_core::symbol::Symbol;
@@ -85,16 +85,18 @@ fn globals_of(module: &Module) -> HashMap<Symbol, Arc<Expr>> {
 /// Steps `probe` to a value, checking the synthesized type after every
 /// transition.
 fn check_preservation(src: &str) -> (Expr, usize) {
-    let module = check_source(src).unwrap_or_else(|e| panic!("does not check: {e}"));
+    let mut session = algst_core::Session::new();
+    let module =
+        check_source_in(&mut session, src).unwrap_or_else(|e| panic!("does not check: {e}"));
     let globals = globals_of(&module);
     let mut current: Expr = (**module.def("probe").expect("probe defined")).clone();
 
     // Typing context: all module definitions as unrestricted globals.
-    let fresh_ctx = || {
+    let fresh_ctx = |session: &mut algst_core::Session| {
         let mut ctx = Ctx::new();
         for (name, _) in module.defs() {
             if let Some(sig) = module.norm_sig(name.as_str()) {
-                ctx.push_unrestricted(name, sig.clone());
+                ctx.push_unrestricted(session, name, sig.clone());
             }
         }
         ctx
@@ -106,8 +108,8 @@ fn check_preservation(src: &str) -> (Expr, usize) {
         // Theorem 4.2: the *checking* judgment is preserved (reducts may
         // contain unannotated lambdas, which only check — exactly why the
         // theorem is stated for both judgments).
-        let mut checker = Checker::new(&module.decls);
-        let mut ctx = fresh_ctx();
+        let mut ctx = fresh_ctx(&mut session);
+        let mut checker = Checker::new(&module.decls, &mut session);
         checker
             .check(&mut ctx, &current, &expected)
             .unwrap_or_else(|e| {

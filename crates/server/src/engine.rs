@@ -1,11 +1,17 @@
-//! The batch engine: a worker pool over one [`SharedStore`].
+//! The batch engine: a worker pool over one **injected**
+//! [`Session`] store.
 //!
 //! Requests travel in **batches** (`Vec<Request>` per channel message),
 //! so channel synchronization amortizes over many requests — essential
 //! when a warm `equiv` is tens of nanoseconds of actual work. Each
-//! worker owns a [`WorkerStore`] mirror of the shared store and
+//! worker owns a sibling [`Session`] of the engine's injected one and
 //! **publishes its memo deltas after every batch**, so normal forms
 //! computed for one client warm every other worker's next batch.
+//!
+//! **Every** op runs against the injected session — `equiv` resolution
+//! and interning, and the `check` op's elaboration/checking alike.
+//! Nothing in the engine reaches a process-global store, so two engines
+//! in one process are fully isolated (see `tests/isolation.rs`).
 //!
 //! Above the store sit three request-level caches, all shared across
 //! workers:
@@ -22,8 +28,9 @@
 use crate::protocol::{Op, Request, Response, Snapshot};
 use crate::resolve::type_from_str;
 use algst_check::cache::ModuleCache;
-use algst_core::shared::{SharedStore, WorkerStore, SHARDS};
+use algst_core::shared::{SharedStore, SHARDS};
 use algst_core::store::TypeId;
+use algst_core::Session;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -156,22 +163,24 @@ fn queue_capacity(workers: usize) -> usize {
 }
 
 impl Engine {
-    /// A pool of `workers` threads over the **process-global** store
-    /// (the one `algst_core::equiv::equivalent` uses), so a long-running
-    /// server shares warm state with in-process checking.
+    /// A pool of `workers` threads over the **process-global** session
+    /// store ([`Session::global`]), so a long-running server shares warm
+    /// state with in-process checking that also opted into it.
     pub fn new(workers: usize) -> Engine {
-        Engine::with_store(workers, algst_core::equiv::global_store())
+        Engine::with_session(workers, Session::global())
     }
 
-    /// A pool over a caller-provided store — benchmarks use this to
-    /// measure cold starts reproducibly.
-    ///
-    /// Caveat: only `equiv` requests run against `shared`. The `check`
-    /// op goes through `algst_check`, whose elaboration uses the
-    /// **process-global** store (`algst_core::equiv::with_shared_store`)
-    /// regardless of this parameter — so cold-start measurements are
-    /// reproducible for `equiv` workloads, and `stats`/`snapshot`
-    /// report only the private store's node/nrm activity.
+    /// A pool over a caller-provided [`Session`]: each worker thread
+    /// runs a sibling of it, and **both** `equiv` and `check` requests
+    /// resolve, intern, elaborate and normalize against that store and
+    /// no other. Injecting [`Session::new`] gives a fully isolated
+    /// engine (benchmarks use this to measure cold starts reproducibly;
+    /// multi-tenant embedders use it for per-tenant isolation).
+    pub fn with_session(workers: usize, session: Session) -> Engine {
+        Engine::with_store(workers, Arc::clone(session.store()))
+    }
+
+    /// [`Engine::with_session`] from the raw shared store handle.
     pub fn with_store(workers: usize, shared: Arc<SharedStore>) -> Engine {
         let workers = workers.max(1);
         let (tx, rx) = bounded::<Batch>(queue_capacity(workers));
@@ -248,28 +257,30 @@ impl Drop for Engine {
 }
 
 fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineState>) {
-    let mut store = shared.worker();
+    // Each worker attaches its own sibling session to the injected
+    // store; the engine never touches any other store.
+    let mut session = Session::with_store(shared);
     while let Ok(batch) = rx.recv() {
         let mut out = Vec::with_capacity(batch.items.len());
         for req in batch.items {
             state.requests.fetch_add(1, Ordering::Relaxed);
-            out.push(handle(&mut store, &state, req));
+            out.push(handle(&mut session, &state, req));
         }
         // Merge this batch's freshly computed normal forms into the
         // shared memo shards: the next batch on *any* worker sees them.
-        store.publish();
+        session.publish();
         // The submitter may be gone (client hung up); that is its
         // prerogative, not an engine error.
         let _ = batch.reply.send(out);
     }
 }
 
-fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Response {
+fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response {
     let id = req.id;
     match req.op {
         Op::Equiv { lhs, rhs } => {
             let start = Instant::now();
-            let a = match resolve_cached(store, state, &lhs) {
+            let a = match resolve_cached(session, state, &lhs) {
                 Ok(a) => a,
                 Err(e) => {
                     return Response::Error {
@@ -278,7 +289,7 @@ fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Respons
                     }
                 }
             };
-            let b = match resolve_cached(store, state, &rhs) {
+            let b = match resolve_cached(session, state, &rhs) {
                 Ok(b) => b,
                 Err(e) => {
                     return Response::Error {
@@ -296,7 +307,7 @@ fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Respons
                     (v, true)
                 }
                 None => {
-                    let v = store.equivalent_ids(key.0, key.1);
+                    let v = session.equivalent_ids(key.0, key.1);
                     state.verdict_put(key, v);
                     state.equiv_misses.fetch_add(1, Ordering::Relaxed);
                     (v, false)
@@ -311,7 +322,9 @@ fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Respons
         }
         Op::Check { source } => {
             let start = Instant::now();
-            let (result, cached) = state.modules.check_source(&source);
+            // The module cache elaborates through this worker's session,
+            // so checked signatures warm the same store `equiv` uses.
+            let (result, cached) = state.modules.check_source(session, &source);
             Response::Check {
                 id,
                 ok: result.is_ok(),
@@ -322,8 +335,8 @@ fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Respons
         }
         Op::Stats => {
             // Publish first so this worker's own counters are included.
-            store.publish();
-            let snap = state.snapshot(store.shared());
+            session.publish();
+            let snap = state.snapshot(session.store());
             Response::Stats { id, snapshot: snap }
         }
         Op::Shutdown => Response::Shutdown { id },
@@ -331,16 +344,12 @@ fn handle(store: &mut WorkerStore, state: &EngineState, req: Request) -> Respons
     }
 }
 
-fn resolve_cached(
-    store: &mut WorkerStore,
-    state: &EngineState,
-    src: &str,
-) -> Result<TypeId, String> {
+fn resolve_cached(session: &mut Session, state: &EngineState, src: &str) -> Result<TypeId, String> {
     if let Some(hit) = state.parse_get(src) {
         return Ok(hit);
     }
     let ty = type_from_str(src)?;
-    let id = store.intern(&ty);
+    let id = session.intern(&ty);
     state.parse_put(src, id);
     Ok(id)
 }
@@ -362,7 +371,7 @@ mod tests {
 
     #[test]
     fn verdicts_match_equivalent_and_warm_on_repeat() {
-        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let engine = Engine::with_session(2, Session::new());
         let reqs = vec![
             equiv(1, "!Int.End!", "Dual (?Int.End?)"),
             equiv(2, "!Int.End!", "!Bool.End!"),
@@ -393,14 +402,14 @@ mod tests {
 
     #[test]
     fn parse_errors_come_back_as_error_responses() {
-        let engine = Engine::with_store(1, SharedStore::new_arc());
+        let engine = Engine::with_session(1, Session::new());
         let resp = engine.process(vec![equiv(1, "!Int.", "End!")]);
         assert!(matches!(&resp[0], Response::Error { id: 1, .. }));
     }
 
     #[test]
     fn check_op_uses_the_module_cache() {
-        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let engine = Engine::with_session(2, Session::new());
         let req = |id| parse_request(r#"{"op":"check","source":"main : Unit\nmain = ()"}"#, id);
         let first = engine.process(vec![req(1)]);
         let second = engine.process(vec![req(2)]);
@@ -419,7 +428,7 @@ mod tests {
 
     #[test]
     fn stats_report_caches_and_store() {
-        let engine = Engine::with_store(1, SharedStore::new_arc());
+        let engine = Engine::with_session(1, Session::new());
         engine.process(vec![
             equiv(1, "!Int.End!", "Dual (?Int.End?)"),
             equiv(2, "!Int.End!", "Dual (?Int.End?)"),
@@ -440,7 +449,7 @@ mod tests {
 
     #[test]
     fn batches_fan_out_across_workers() {
-        let engine = Engine::with_store(4, SharedStore::new_arc());
+        let engine = Engine::with_session(4, Session::new());
         let (reply_tx, reply_rx) = bounded(64);
         let mut expected = 0u64;
         for b in 0..16 {

@@ -50,7 +50,11 @@ fn resolve(st: &SType) -> Type {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algst_core::equiv::equivalent;
+    use algst_core::Session;
+
+    fn equivalent(t: &Type, u: &Type) -> bool {
+        Session::new().equivalent(t, u)
+    }
 
     #[test]
     fn parses_session_types() {

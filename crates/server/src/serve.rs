@@ -193,10 +193,10 @@ pub fn serve_listener(
 mod tests {
     use super::*;
     use crate::json;
-    use algst_core::shared::SharedStore;
+    use algst_core::Session;
 
     fn run(input: &str) -> (ServeSummary, Vec<Vec<(String, json::Value)>>) {
-        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let engine = Engine::with_session(2, Session::new());
         let mut out = Vec::new();
         let summary =
             serve_session(&engine, input.as_bytes(), &mut out, ServeConfig::default()).unwrap();
@@ -284,7 +284,7 @@ mod tests {
     #[test]
     fn tcp_round_trip() {
         use std::io::{BufRead, BufReader, Write};
-        let engine = Engine::with_store(2, SharedStore::new_arc());
+        let engine = Engine::with_session(2, Session::new());
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         std::thread::scope(|scope| {

@@ -1,0 +1,157 @@
+//! Engine/session isolation (ISSUE 5 acceptance): two engines in one
+//! process, each over its own injected [`Session`], are observably
+//! independent — for `equiv` **and** for `check`, whose elaboration
+//! used to leak through a process-global store.
+
+use algst_core::{Session, Type};
+use algst_server::{Engine, Op, Request, Response};
+
+fn equiv(id: u64, lhs: &str, rhs: &str) -> Request {
+    Request {
+        id,
+        op: Op::Equiv {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        },
+    }
+}
+
+fn check(id: u64, source: &str) -> Request {
+    Request {
+        id,
+        op: Op::Check {
+            source: source.into(),
+        },
+    }
+}
+
+const MODULE: &str = "main : Unit\nmain = ()";
+
+#[test]
+fn two_engines_share_no_state() {
+    let a = Engine::with_session(2, Session::new());
+    let b = Engine::with_session(2, Session::new());
+
+    // Drive engine `a` through both request families.
+    let responses = a.process(vec![
+        equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+        equiv(2, "!Int.End!", "Dual (?Int.End?)"),
+        check(3, MODULE),
+        check(4, MODULE),
+    ]);
+    assert!(matches!(
+        responses[0],
+        Response::Equiv {
+            verdict: true,
+            warm: false,
+            ..
+        }
+    ));
+    assert!(matches!(responses[1], Response::Equiv { warm: true, .. }));
+    assert!(matches!(
+        responses[2],
+        Response::Check {
+            ok: true,
+            cached: false,
+            ..
+        }
+    ));
+    assert!(matches!(
+        responses[3],
+        Response::Check {
+            ok: true,
+            cached: true,
+            ..
+        }
+    ));
+
+    // `a` is warm across the board; `b` has seen *nothing* of it.
+    let snap_a = a.snapshot();
+    let snap_b = b.snapshot();
+    assert!(snap_a.nodes > 0 && snap_a.equiv_entries == 1 && snap_a.module_entries == 1);
+    assert_eq!(snap_b.requests, 0);
+    assert_eq!(snap_b.nodes, 0, "b's store must not contain a's types");
+    assert_eq!(snap_b.equiv_entries, 0, "b's verdict cache must be empty");
+    assert_eq!(snap_b.parse_entries, 0, "b's parse cache must be empty");
+    assert_eq!(snap_b.module_entries, 0, "b's module cache must be empty");
+    assert_eq!(
+        snap_b.nrm_hits + snap_b.nrm_misses,
+        0,
+        "b's store must have normalized nothing"
+    );
+
+    // The same traffic on `b` is answered correctly but *cold*: its
+    // first contact is a verdict-cache miss and an uncached check.
+    let responses = b.process(vec![
+        equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+        check(2, MODULE),
+    ]);
+    assert!(matches!(
+        responses[0],
+        Response::Equiv {
+            verdict: true,
+            warm: false,
+            ..
+        }
+    ));
+    assert!(matches!(
+        responses[1],
+        Response::Check {
+            ok: true,
+            cached: false,
+            ..
+        }
+    ));
+
+    // Counters stay independent afterwards, too.
+    let snap_a2 = a.snapshot();
+    let snap_b2 = b.snapshot();
+    assert_eq!(snap_a2.requests, 4);
+    assert_eq!(snap_b2.requests, 2);
+    assert_eq!(snap_a2.equiv_misses, 1);
+    assert_eq!(snap_b2.equiv_misses, 1);
+}
+
+#[test]
+fn engine_check_interns_into_the_injected_store_only() {
+    // The check op's elaboration must land in the engine's own store —
+    // the nodes counter moves on the injected session's store, while an
+    // unrelated session observes nothing.
+    let session = Session::new();
+    let mut outside = Session::new();
+    let engine = Engine::with_session(1, session);
+
+    let before = engine.snapshot().nodes;
+    let responses = engine.process(vec![check(
+        1,
+        "ping : forall (s:S). !Int.s -> s\nping [s] c = sendInt [s] 7 c\n\nmain : Unit\nmain = ()",
+    )]);
+    assert!(matches!(responses[0], Response::Check { ok: true, .. }));
+    assert!(
+        engine.snapshot().nodes > before,
+        "elaborated signatures must intern into the engine's store"
+    );
+    assert_eq!(
+        outside.stats().nodes,
+        0,
+        "an unrelated session must observe none of the engine's work"
+    );
+}
+
+#[test]
+fn sessions_reinterpret_each_others_ids() {
+    // TypeIds are meaningful only within one store: the "same" id names
+    // different types in different sessions once their intern orders
+    // diverge — so ids can never silently cross an isolation boundary.
+    let mut a = Session::new();
+    let mut b = Session::new();
+    let t = Type::output(Type::int(), Type::input(Type::bool(), Type::EndIn));
+    b.intern(&Type::pair(Type::string(), Type::string()));
+    let in_a = a.intern(&t);
+    let in_b = b.intern(&t);
+    assert_ne!(in_a, in_b, "intern orders diverged, so ids must too");
+    assert!(
+        !b.extract(in_a).alpha_eq(&t),
+        "a's id re-read in b names a different type"
+    );
+}

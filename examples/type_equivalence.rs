@@ -8,7 +8,6 @@
 //!
 //! (The full 324-case harness is `cargo run --release -p algst-bench --bin fig10`.)
 
-use algst::core::equiv::equivalent;
 use algst::core::kind::Kind;
 use algst::core::protocol::{Ctor, Declarations, ProtocolDecl};
 use algst::core::symbol::Symbol;
@@ -18,17 +17,21 @@ use algst::gen::generate::{generate_instance, GenConfig};
 use algst::gen::mutate::equivalent_variant;
 use algst::gen::to_freest::to_freest;
 use algst::gen::to_grammar::to_grammar;
+use algst::Session;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 
 fn main() {
-    fig9_walkthrough();
-    mini_sweep();
+    // One explicit session carries the whole example: every intern,
+    // normalization and verdict lands in this handle and nowhere else.
+    let mut session = Session::new();
+    fig9_walkthrough(&mut session);
+    mini_sweep(&mut session);
 }
 
 /// The paper's Fig. 9 instance, spelled out.
-fn fig9_walkthrough() {
+fn fig9_walkthrough(session: &mut Session) {
     let mut decls = Declarations::new();
     decls
         .add_protocol(ProtocolDecl {
@@ -51,7 +54,7 @@ fn fig9_walkthrough() {
     println!("AlgST type:          {ty}");
     println!(
         "FreeST counterpart:  {}",
-        to_freest(&decls, &ty).expect("translatable")
+        to_freest(session, &decls, &ty).expect("translatable")
     );
 
     // Dual (!Repeat Int. ?(Char, End!). Dual End!) — the equivalent variant.
@@ -65,7 +68,7 @@ fn fig9_walkthrough() {
     println!("equivalent variant:  {equiv_variant}");
     println!(
         "  AlgST ≡ in linear time: {}",
-        equivalent(&ty, &equiv_variant)
+        session.equivalent(&ty, &equiv_variant)
     );
 
     // ?Repeat String … — the non-equivalent variant (payload changed).
@@ -74,11 +77,11 @@ fn fig9_walkthrough() {
         Type::output(Type::pair(Type::string(), Type::EndOut), Type::EndOut),
     );
     println!("non-equivalent:      {non_equiv}");
-    println!("  AlgST ≡: {}", equivalent(&ty, &non_equiv));
+    println!("  AlgST ≡: {}", session.equivalent(&ty, &non_equiv));
     println!();
 }
 
-fn mini_sweep() {
+fn mini_sweep(session: &mut Session) {
     println!("== mini Figure 10 sweep (see `fig10` binary for the real thing) ==");
     println!(
         "{:>6} | {:>12} | {:>14}",
@@ -92,15 +95,15 @@ fn mini_sweep() {
         let start = Instant::now();
         let mut verdict = true;
         for _ in 0..1000 {
-            verdict &= equivalent(&inst.ty, &variant);
+            verdict &= session.equivalent(&inst.ty, &variant);
         }
         let algst_us = start.elapsed().as_secs_f64() * 1e6 / 1000.0;
         assert!(verdict, "conversion walk must preserve equivalence");
 
         let start = Instant::now();
         let mut g = Grammar::new();
-        let w1 = to_grammar(&inst.decls, &inst.ty, &mut g).expect("translatable");
-        let w2 = to_grammar(&inst.decls, &variant, &mut g).expect("translatable");
+        let w1 = to_grammar(session, &inst.decls, &inst.ty, &mut g).expect("translatable");
+        let w2 = to_grammar(session, &inst.decls, &variant, &mut g).expect("translatable");
         let res = bisimilar_with(&mut g, &w1, &w2, u64::MAX, Some(Duration::from_secs(2)));
         let freest_us = start.elapsed().as_secs_f64() * 1e6;
 

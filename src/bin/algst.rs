@@ -28,8 +28,8 @@
 //! when a disagreement was found (minimized counterexamples land in the
 //! failure directory); `--replay` exits 1 when the failure reproduces.
 
-use algst::check::{check_source, check_source_raw};
 use algst::runtime::Interp;
+use algst::{Pipeline, Session};
 use algst_server::{serve_stdio, serve_tcp, Engine, ServeConfig};
 use std::io::Read;
 use std::process::ExitCode;
@@ -306,7 +306,10 @@ fn main() -> ExitCode {
     match cli {
         Cli::Fuzz(opts) => run_fuzz(&opts),
         Cli::Serve(opts) => {
-            let engine = Engine::new(opts.workers);
+            // The serving store is this process's global session store,
+            // so in-process checks (if any) share its warm state; a
+            // `Session::new()` here would isolate the service instead.
+            let engine = Engine::with_session(opts.workers, Session::global());
             let config = ServeConfig {
                 batch_max: opts.batch_max,
                 stats_on_exit: opts.stats_on_exit,
@@ -372,11 +375,14 @@ fn with_module(
     } else {
         &opts.file
     };
-    match if opts.prelude {
-        check_source(&source)
+    // One pipeline (one session) per invocation: the CLI is a regular
+    // embedder of the context-first API, like any other.
+    let mut pipeline = if opts.prelude {
+        Pipeline::new()
     } else {
-        check_source_raw(&source)
-    } {
+        Pipeline::new().without_prelude()
+    };
+    match pipeline.check(&source) {
         Ok(module) => then(display, &module),
         Err(e) => {
             eprintln!("{display}: {e}");

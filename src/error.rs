@@ -1,0 +1,100 @@
+//! The unified error type of the `algst` facade.
+//!
+//! Every stage a [`Pipeline`](crate::Pipeline) runs — parse, resolve,
+//! elaborate, check, run — reports through one [`enum@Error`], so
+//! embedders match on a single type at the boundary instead of
+//! re-wrapping four per-crate error enums. The underlying structured
+//! errors are preserved (not stringified), and [`Error::span`] recovers
+//! the source location where one is known.
+
+use algst_syntax::span::Span;
+use algst_syntax::ParseError;
+use std::fmt;
+
+/// Any error produced by a [`Pipeline`](crate::Pipeline) stage.
+///
+/// ```
+/// let mut pipeline = algst::Pipeline::new();
+/// let err = pipeline.check("main : Unit\nmain = !!").unwrap_err();
+/// let algst::Error::Parse(parse) = &err else {
+///     panic!("expected a parse error, got {err}");
+/// };
+/// // Parse errors carry their source span (1-based line/column).
+/// assert_eq!(err.span().unwrap().line, parse.span.line);
+/// assert_eq!(err.span().unwrap().line, 2);
+/// ```
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Lexing or parsing failed; carries the offending [`Span`].
+    Parse(ParseError),
+    /// A protocol/datatype declaration is malformed (duplicate name,
+    /// duplicate tag, unbound parameter, …).
+    Decl(algst_core::protocol::DeclError),
+    /// Elaboration or type checking rejected the program.
+    Type(algst_check::TypeError),
+    /// A standalone type string ([`Pipeline::parse_type`](crate::Pipeline::parse_type))
+    /// did not resolve.
+    Resolve(String),
+    /// The interpreter failed ([`Pipeline::run`](crate::Pipeline::run)).
+    Runtime(String),
+}
+
+impl Error {
+    /// The source span the error points at, where the stage records one
+    /// (currently: parse errors).
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Error::Parse(e) => Some(e.span),
+            _ => None,
+        }
+    }
+
+    /// The pipeline stage that produced this error, as a stable label
+    /// (`"parse"`, `"decl"`, `"type"`, `"resolve"`, `"runtime"`).
+    pub fn stage(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Decl(_) => "decl",
+            Error::Type(_) => "type",
+            Error::Resolve(_) => "resolve",
+            Error::Runtime(_) => "runtime",
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Decl(e) => write!(f, "{e}"),
+            Error::Type(e) => write!(f, "{e}"),
+            Error::Resolve(m) => write!(f, "cannot resolve type: {m}"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<algst_check::CheckError> for Error {
+    fn from(e: algst_check::CheckError) -> Error {
+        match e {
+            algst_check::CheckError::Parse(p) => Error::Parse(p),
+            algst_check::CheckError::Decl(d) => Error::Decl(d),
+            algst_check::CheckError::Type(t) => Error::Type(t),
+        }
+    }
+}
+
+impl From<algst_check::TypeError> for Error {
+    fn from(e: algst_check::TypeError) -> Error {
+        Error::Type(e)
+    }
+}

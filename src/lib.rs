@@ -6,15 +6,42 @@
 //! equivalence, together with everything needed to reproduce the paper's
 //! evaluation against FreeST-style context-free session types.
 //!
-//! This facade crate re-exports the workspace:
+//! The embedding surface is **context-first**: construct a [`Session`]
+//! (or a [`Pipeline`], which owns one) and every intern / normalize /
+//! equivalence / check runs against *that* handle — two sessions share
+//! nothing unless you make them siblings. One unified [`enum@Error`]
+//! (structured, spans preserved) covers every stage at the boundary.
+//!
+//! ## Embedding in ten lines
+//!
+//! ```
+//! let mut pipeline = algst::Pipeline::new(); // isolated engine
+//! let module = pipeline
+//!     .check("inc : Int -> Int\ninc x = x + 1\n\nmain : Unit\nmain = ()")
+//!     .expect("type checks");
+//! assert!(module.sig("inc").is_some());
+//! assert!(pipeline
+//!     .equivalent_src("!Int.End!", "Dual (?Int.End?)")
+//!     .expect("both sides resolve"));
+//! // Hand the warm store to a serving pool: both `equiv` and `check`
+//! // ops will run against it — and against nothing else.
+//! let engine = algst::server::Engine::with_session(2, pipeline.into_session());
+//! assert!(engine.snapshot().nodes > 0);
+//! ```
+//!
+//! This facade crate adds [`Pipeline`]/[`enum@Error`] and re-exports the
+//! workspace:
 //!
 //! * [`core`] (`algst-core`) — kinds, types, protocol declarations,
-//!   normalization (Fig. 3) and equivalence (Theorems 1–3);
+//!   normalization (Fig. 3), the hash-consed/sharded stores, and
+//!   [`Session`] — equivalence per Theorems 1–3;
 //! * [`syntax`] (`algst-syntax`) — lexer/parser for the surface language;
 //! * [`check`] (`algst-check`) — bidirectional typechecker (Figs. 4, 5)
 //!   and process typing (Fig. 8);
 //! * [`runtime`] (`algst-runtime`) — thread-and-channel interpreter
 //!   (Figs. 6, 7);
+//! * [`server`] (`algst-server`) — the JSON-lines batch service over a
+//!   session-injected worker pool;
 //! * [`freest`] — the baseline: context-free session types with
 //!   bisimulation equivalence;
 //! * [`gen`] (`algst-gen`) — benchmark instance generation, mutations and
@@ -56,16 +83,28 @@
 //! ## Linear-time equivalence
 //!
 //! ```
-//! use algst::core::{equiv::equivalent, types::Type};
+//! use algst::{core::types::Type, Session};
+//! let mut session = Session::new();
 //! let t = Type::dual(Type::input(Type::neg(Type::int()), Type::EndIn));
 //! let u = Type::input(Type::int(), Type::EndOut);
-//! assert!(equivalent(&t, &u));
+//! assert!(session.equivalent(&t, &u));
 //! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod pipeline;
+
+pub use error::Error;
+pub use pipeline::Pipeline;
+
+pub use algst_core::Session;
 
 pub use algst_check as check;
 pub use algst_conform as conform;
 pub use algst_core as core;
 pub use algst_gen as gen;
 pub use algst_runtime as runtime;
+pub use algst_server as server;
 pub use algst_syntax as syntax;
 pub use freest;

@@ -20,13 +20,13 @@
 //! The generator's benchmark fragment uses unparameterized protocols, so
 //! `Repeat Int` is declared at the instantiated payload.
 
-use algst::core::equiv::equivalent;
 use algst::core::protocol::{Ctor, Declarations, ProtocolDecl};
 use algst::core::symbol::Symbol;
 use algst::core::types::Type;
 use algst::freest::{equivalent_types, BisimResult};
 use algst::gen::to_freest::to_freest;
 use algst::syntax::parse_type;
+use algst::Session;
 
 fn fig9_decls() -> Declarations {
     let mut d = Declarations::new();
@@ -60,7 +60,8 @@ fn algst_type_parses_as_displayed() {
 
 #[test]
 fn freest_counterpart_matches_figure() {
-    let cf = to_freest(&fig9_decls(), &fig9_type()).expect("translatable");
+    let mut s = Session::new();
+    let cf = to_freest(&mut s, &fig9_decls(), &fig9_type()).expect("translatable");
     let s = cf.to_string();
     // rec binder over an external choice with the More/Quit branches,
     // then the (Char, End!) transmission and the End.
@@ -83,10 +84,14 @@ fn equivalent_variant_is_equivalent_in_both_systems() {
             Type::dual(Type::EndOut),
         ),
     ));
-    assert!(equivalent(&ty, &variant), "AlgST must identify the variant");
+    let mut s = Session::new();
+    assert!(
+        s.equivalent(&ty, &variant),
+        "AlgST must identify the variant"
+    );
 
-    let cf1 = to_freest(&decls, &ty).expect("translatable");
-    let cf2 = to_freest(&decls, &variant).expect("translatable");
+    let cf1 = to_freest(&mut s, &decls, &ty).expect("translatable");
+    let cf2 = to_freest(&mut s, &decls, &variant).expect("translatable");
     assert_eq!(
         equivalent_types(&cf1, &cf2, 1_000_000),
         BisimResult::Equivalent,
@@ -106,10 +111,11 @@ fn nonequivalent_variant_is_rejected_in_both_systems() {
         Type::proto("RepeatG9", vec![]),
         Type::output(Type::pair(Type::string(), Type::EndOut), Type::EndOut),
     );
-    assert!(!equivalent(&ty, &mutant));
+    let mut s = Session::new();
+    assert!(!s.equivalent(&ty, &mutant));
 
-    let cf1 = to_freest(&decls, &ty).expect("translatable");
-    let cf2 = to_freest(&decls, &mutant).expect("translatable");
+    let cf1 = to_freest(&mut s, &decls, &ty).expect("translatable");
+    let cf2 = to_freest(&mut s, &decls, &mutant).expect("translatable");
     assert_eq!(
         equivalent_types(&cf1, &cf2, 1_000_000),
         BisimResult::NotEquivalent

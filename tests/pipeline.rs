@@ -3,12 +3,12 @@
 //! (generate → mutate → translate → decide).
 
 use algst::check::check_source;
-use algst::core::equiv::equivalent;
 use algst::core::kind::Kind;
 use algst::gen::generate::{generate_instance, GenConfig};
 use algst::gen::mutate::{equivalent_variant, nonequivalent_mutant};
 use algst::gen::to_freest::to_freest;
 use algst::runtime::Interp;
+use algst::Session;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -114,21 +114,22 @@ main =
 #[test]
 fn benchmark_pipeline_is_consistent() {
     let mut rng = StdRng::seed_from_u64(31415);
+    let mut session = Session::new();
     for size in [6usize, 20, 40, 70, 100] {
         let inst = generate_instance(&mut rng, &GenConfig::sized(size));
         let variant = equivalent_variant(&mut rng, &inst.decls, &inst.ty, Kind::Value, 12);
-        assert!(equivalent(&inst.ty, &variant));
+        assert!(session.equivalent(&inst.ty, &variant));
         let mutant = nonequivalent_mutant(&mut rng, &inst.ty).expect("mutable");
-        assert!(!equivalent(&inst.ty, &mutant));
+        assert!(!session.equivalent(&inst.ty, &mutant));
 
-        let cf = to_freest(&inst.decls, &inst.ty).expect("translatable");
+        let cf = to_freest(&mut session, &inst.decls, &inst.ty).expect("translatable");
         assert!(cf.is_contractive());
 
         // Verdicts survive normalization (the checker may be handed
         // either form).
         let n = algst::core::nrm_pos(&inst.ty);
-        assert!(equivalent(&n, &variant));
-        assert!(!equivalent(&n, &mutant));
+        assert!(session.equivalent(&n, &variant));
+        assert!(!session.equivalent(&n, &mutant));
     }
 }
 

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
 
-/// The element-count specification accepted by [`vec`] — a subset of
+/// The element-count specification accepted by [`vec()`] — a subset of
 /// real proptest's `SizeRange` conversions.
 #[derive(Clone, Debug)]
 pub struct SizeRange {
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
