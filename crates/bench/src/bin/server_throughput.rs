@@ -1,38 +1,71 @@
 //! Throughput/latency benchmark for `algst-server`: the gen-suite
-//! workload pushed through the batch engine at several worker counts.
+//! workload pushed through the batch engine at several worker counts,
+//! then through the full TCP wire path under concurrent clients.
 //!
 //! ```text
 //! cargo run --release -p algst-bench --bin server_throughput -- \
 //!     [--requests 200000] [--cases 60] [--seed 1] [--batch 256] \
-//!     [--workers 1,4,8] [--json BENCH_server.json]
+//!     [--workers 1,4,8] [--json BENCH_server.json] \
+//!     [--clients 8] [--pipeline 32] [--wire-requests 40000] \
+//!     [--wire-workers 4] [--no-wire]
 //! ```
 //!
-//! For each worker count the engine starts **cold** (fresh
-//! `SharedStore`), replays the same reproducible request stream
-//! (`algst_gen::workload`: every suite pair once, then uniform re-sampling
-//! with random orientation — the warm-dominated shape of real traffic),
-//! checks every verdict against the generator's ground truth, and
-//! reports requests/second plus per-request sojourn latency percentiles
-//! (p50/p95/p99, measured submit→response per batch).
+//! **Engine mode** (always runs): for each worker count the engine
+//! starts **cold** (fresh `SharedStore`), replays the same reproducible
+//! request stream (`algst_gen::workload`: every suite pair once, then
+//! uniform re-sampling with random orientation — the warm-dominated
+//! shape of real traffic), checks every verdict against the generator's
+//! ground truth, and reports requests/second plus per-request sojourn
+//! latency percentiles (p50/p95/p99, measured submit→response per
+//! batch).
 //!
-//! Two baselines anchor the numbers:
+//! **Wire mode** (`--clients N --pipeline D`, on by default): the same
+//! workload is dealt round-robin onto `N` real TCP clients, each
+//! pipelining up to `D` requests deep over its own connection, against
+//! two server front-ends sharing the engine design:
+//! * `sequential` — a faithful replica of the pre-concurrency wire
+//!   path: one connection served at a time (accept → serve to EOF →
+//!   accept next, so client `k+1` waits for client `k`) and no
+//!   `TCP_NODELAY` on the accepted socket, exactly as the old listener
+//!   behaved — on loopback the Nagle/delayed-ACK interaction alone
+//!   costs tens of milliseconds per pipelined round trip;
+//! * `concurrent` — [`algst_server::serve_listener`] as shipped: all
+//!   connections served at once over the shared worker pool, accepted
+//!   sockets set `TCP_NODELAY`.
+//!
+//! The speedup is therefore what a fleet of clients actually gains
+//! from this server generation, not a pure thread-scaling number —
+//! `host_cpus` in the JSON tells you how much parallelism was even
+//! available.
+//!
+//! Both report wire req/s and per-connection latency percentiles
+//! (measured client-side, write→response-line per request), and every
+//! verdict is checked against ground truth. `wire_speedup` is the
+//! concurrent/sequential wall-clock ratio for the identical byte
+//! streams.
+//!
+//! Two baselines anchor the engine numbers:
 //! * `cold_baseline` — a single thread paying the **full cold cost** per
 //!   request (fresh store: intern + normalize + compare), i.e. what
 //!   each thread paid before the store was lifted to a shared one;
 //! * the 1-worker config — the same engine, serialized.
 //!
-//! The JSON records `host_cpus`; the worker-scaling ratio
-//! (`speedup_8w_vs_1w`) is only meaningful when the host actually has
-//! cores to scale onto, while `speedup_8w_vs_cold_single_thread` shows
-//! what sharing warm state buys regardless.
+//! The JSON records `host_cpus`; scaling ratios are only meaningful
+//! when the host actually has cores to scale onto, while the
+//! `*_vs_cold` ratios show what sharing warm state buys regardless.
 
 use algst_core::store::TypeStore;
 use algst_core::Session;
 use algst_gen::suite::{build_suite, SuiteKind};
 use algst_gen::workload::{equiv_workload, Workload};
-use algst_server::{Engine, Op, Request, Response};
+use algst_server::engine::BatchReply;
+use algst_server::{
+    json, serve_listener, serve_session, Engine, Op, Request, Response, ServeConfig,
+};
 use crossbeam::channel::bounded;
-use std::io::Write as _;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -42,6 +75,11 @@ struct Args {
     batch: usize,
     workers: Vec<usize>,
     json_path: Option<String>,
+    clients: usize,
+    pipeline: usize,
+    wire_requests: usize,
+    wire_workers: usize,
+    wire: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +90,11 @@ fn parse_args() -> Args {
         batch: 256,
         workers: vec![1, 4, 8],
         json_path: Some("BENCH_server.json".to_owned()),
+        clients: 8,
+        pipeline: 32,
+        wire_requests: 40_000,
+        wire_workers: 4,
+        wire: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -78,12 +121,25 @@ fn parse_args() -> Args {
             }
             "--json" => args.json_path = Some(value(&mut i)),
             "--no-json" => args.json_path = None,
+            "--clients" => args.clients = value(&mut i).parse().expect("--clients number"),
+            "--pipeline" => args.pipeline = value(&mut i).parse().expect("--pipeline number"),
+            "--wire-requests" => {
+                args.wire_requests = value(&mut i).parse().expect("--wire-requests number")
+            }
+            "--wire-workers" => {
+                args.wire_workers = value(&mut i).parse().expect("--wire-workers number")
+            }
+            "--no-wire" => args.wire = false,
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+    if args.clients == 0 || args.pipeline == 0 {
+        eprintln!("--clients and --pipeline must be at least 1");
+        std::process::exit(2);
     }
     args
 }
@@ -101,6 +157,28 @@ struct ConfigRun {
     nodes: u64,
     nrm_hit_rate: f64,
     equiv_hit_rate: f64,
+}
+
+/// Client-side stats for one wire connection.
+struct ClientRun {
+    requests: usize,
+    req_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mismatches: u64,
+}
+
+/// One wire front-end configuration (sequential or concurrent accept).
+struct WireRun {
+    mode: &'static str,
+    elapsed: Duration,
+    req_per_s: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mismatches: u64,
+    per_client: Vec<ClientRun>,
 }
 
 fn main() {
@@ -149,9 +227,48 @@ fn main() {
         runs.push(run);
     }
 
-    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum();
+    let wire_runs = if args.wire {
+        let wire_workload = equiv_workload(
+            &[&eq, &ne],
+            args.wire_requests.min(args.requests),
+            args.seed,
+        );
+        let streams = render_client_streams(&wire_workload, args.clients);
+        eprintln!(
+            "wire mode: {} requests over {} clients, pipeline depth {}…",
+            wire_workload.len(),
+            args.clients,
+            args.pipeline
+        );
+        let runs = [
+            run_wire(false, &streams, args.pipeline, args.wire_workers),
+            run_wire(true, &streams, args.pipeline, args.wire_workers),
+        ];
+        for r in &runs {
+            eprintln!(
+                "wire {:>10}: {:>9.0} req/s   p50 {:>8.2} µs   p95 {:>8.2} µs   \
+                 p99 {:>8.2} µs   mismatches {}",
+                r.mode, r.req_per_s, r.p50_us, r.p95_us, r.p99_us, r.mismatches,
+            );
+        }
+        eprintln!(
+            "wire speedup (concurrent vs sequential, {} clients): {:.2}×",
+            args.clients,
+            runs[1].req_per_s / runs[0].req_per_s
+        );
+        Some(runs)
+    } else {
+        None
+    };
+
+    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum::<u64>()
+        + wire_runs
+            .iter()
+            .flatten()
+            .map(|r| r.mismatches)
+            .sum::<u64>();
     if let Some(path) = &args.json_path {
-        write_json(path, &args, host_cpus, cold, &runs);
+        write_json(path, &args, host_cpus, cold, &runs, wire_runs.as_ref());
     }
     if mismatches > 0 {
         eprintln!("!! {mismatches} verdict mismatches against ground truth");
@@ -180,6 +297,13 @@ fn cold_baseline(workload: &Workload, sample: usize) -> (usize, f64) {
     (sample, sample as f64 / elapsed.as_secs_f64())
 }
 
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize]
+}
+
 fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bool)]) -> ConfigRun {
     // Every config gets a fresh injected session: cold starts are
     // reproducible and configs cannot warm each other.
@@ -187,20 +311,20 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
     // Expected verdict per request id (ids are 1-based arrival order).
     let expected: Vec<bool> = rendered.iter().map(|(_, _, e)| *e).collect();
 
-    let (reply_tx, reply_rx) = bounded::<Vec<Response>>(workers.max(1) * 4);
+    let (reply_tx, reply_rx) = bounded::<BatchReply>(workers.max(1) * 4);
     let start = Instant::now();
 
     // Collector: records per-batch completion instants and checks
-    // verdicts; joined after all batches are submitted.
+    // verdicts; joined after all batches are submitted. The batch seq
+    // carries the first request id of the batch.
     let collector = std::thread::spawn({
         let expected = expected.clone();
         move || {
             let mut completions: Vec<(u64, Instant, usize)> = Vec::new();
             let mut mismatches = 0u64;
             let mut warm_hits = 0u64;
-            while let Ok(responses) = reply_rx.recv() {
+            while let Ok((first_id, responses)) = reply_rx.recv() {
                 let now = Instant::now();
-                let first_id = responses.first().map(Response::id).unwrap_or(0);
                 for r in &responses {
                     match r {
                         Response::Equiv {
@@ -222,7 +346,8 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
         }
     });
 
-    // Submitter: contiguous ids per batch, one submit-instant per batch.
+    // Submitter: contiguous ids per batch, one submit-instant per batch;
+    // the first id doubles as the batch seq echoed back by the engine.
     let mut submit_times: Vec<(u64, Instant)> = Vec::new();
     let mut next_id = 1u64;
     for chunk in rendered.chunks(batch_size) {
@@ -242,7 +367,7 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
             })
             .collect();
         submit_times.push((first_id, Instant::now()));
-        engine.submit(items, reply_tx.clone());
+        engine.submit(first_id, items, reply_tx.clone());
     }
     drop(reply_tx);
     let (completions, mismatches, warm_hits) = collector.join().expect("collector");
@@ -264,21 +389,15 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
         latencies_us.extend(std::iter::repeat(us).take(*len));
     }
     latencies_us.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        if latencies_us.is_empty() {
-            return 0.0;
-        }
-        latencies_us[((latencies_us.len() - 1) as f64 * p).round() as usize]
-    };
 
     let snapshot = engine.snapshot();
     ConfigRun {
         workers,
         elapsed,
         req_per_s: rendered.len() as f64 / elapsed.as_secs_f64(),
-        p50_us: pct(0.50),
-        p95_us: pct(0.95),
-        p99_us: pct(0.99),
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
         mismatches,
         warm_hits,
         nodes: snapshot.nodes,
@@ -287,7 +406,185 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
     }
 }
 
-fn write_json(path: &str, args: &Args, host_cpus: usize, cold: (usize, f64), runs: &[ConfigRun]) {
+/// Deals the workload onto per-client streams and renders each request
+/// to its wire line (explicit 1-based per-connection id) plus the
+/// ground-truth verdict.
+fn render_client_streams(workload: &Workload, clients: usize) -> Vec<Vec<(String, bool)>> {
+    workload
+        .split_round_robin(clients)
+        .iter()
+        .map(|part| {
+            (0..part.len())
+                .map(|i| {
+                    let (lhs, rhs, expected) = part.request(i);
+                    let line = format!(
+                        "{{\"id\":{},\"op\":\"equiv\",\"lhs\":\"{}\",\"rhs\":\"{}\"}}\n",
+                        i + 1,
+                        json::escape(&lhs.to_string()),
+                        json::escape(&rhs.to_string()),
+                    );
+                    (line, expected)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Drives one client connection: writes its stream keeping up to
+/// `pipeline` requests in flight, reads responses (ordered per
+/// connection), records client-side write→response latency per request
+/// and checks verdicts. Returns per-connection stats.
+fn drive_client(
+    addr: std::net::SocketAddr,
+    lines: &[(String, bool)],
+    pipeline: usize,
+) -> ClientRun {
+    let mut stream = TcpStream::connect(addr).expect("client connect");
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone().expect("clone client socket"));
+    let mut inflight: VecDeque<(u64, Instant, bool)> = VecDeque::with_capacity(pipeline);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(lines.len());
+    let mut mismatches = 0u64;
+    let mut next = 0usize;
+    let mut line = String::new();
+    let start = Instant::now();
+    while latencies_us.len() < lines.len() {
+        while next < lines.len() && inflight.len() < pipeline {
+            let (text, expected) = &lines[next];
+            let sent = Instant::now();
+            stream.write_all(text.as_bytes()).expect("client write");
+            inflight.push_back((next as u64 + 1, sent, *expected));
+            next += 1;
+        }
+        line.clear();
+        let n = reader.read_line(&mut line).expect("client read");
+        assert!(
+            n > 0,
+            "server closed early with {} in flight",
+            inflight.len()
+        );
+        let (id, sent, expected) = inflight.pop_front().expect("response without request");
+        let pairs = json::parse_object(line.trim()).expect("response json");
+        assert_eq!(
+            json::get(&pairs, "id").and_then(json::Value::as_int),
+            Some(id as i64),
+            "out-of-order response: {line}"
+        );
+        if json::get(&pairs, "verdict") != Some(&json::Value::Bool(expected)) {
+            mismatches += 1;
+        }
+        latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+    }
+    let elapsed = start.elapsed();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    ClientRun {
+        requests: lines.len(),
+        req_per_s: lines.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        mismatches,
+    }
+}
+
+/// Runs all client streams against a fresh engine behind either the
+/// concurrent listener or a sequential accept-one-at-a-time baseline.
+/// Wall-clock covers first connect to last response across all clients.
+fn run_wire(
+    concurrent: bool,
+    streams: &[Vec<(String, bool)>],
+    pipeline: usize,
+    workers: usize,
+) -> WireRun {
+    let engine = Engine::with_session(workers, Session::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local addr");
+    let clients = streams.len();
+
+    let (per_client, elapsed) = std::thread::scope(|scope| {
+        let server = if concurrent {
+            scope.spawn(|| {
+                serve_listener(&engine, &listener, ServeConfig::default())
+                    .expect("concurrent server");
+            })
+        } else {
+            // The pre-concurrency baseline: serve one connection to EOF,
+            // then accept the next — later clients queue behind earlier
+            // ones exactly as the old listener behaved.
+            scope.spawn(|| {
+                for _ in 0..clients {
+                    let (stream, _) = listener.accept().expect("accept");
+                    let input = stream.try_clone().expect("clone server socket");
+                    serve_session(&engine, input, stream, ServeConfig::default())
+                        .expect("sequential server");
+                }
+            })
+        };
+        let start = Instant::now();
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|lines| scope.spawn(move || drive_client(addr, lines, pipeline)))
+            .collect();
+        let per_client: Vec<ClientRun> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client"))
+            .collect();
+        let elapsed = start.elapsed();
+        if concurrent {
+            // Drain the listener so the scope can join the server.
+            let mut stream = TcpStream::connect(addr).expect("shutdown connect");
+            stream
+                .write_all(b"{\"op\":\"shutdown\"}\n")
+                .expect("shutdown write");
+            let mut line = String::new();
+            BufReader::new(stream)
+                .read_line(&mut line)
+                .expect("shutdown read");
+        }
+        server.join().expect("server thread");
+        (per_client, elapsed)
+    });
+
+    let total: usize = per_client.iter().map(|c| c.requests).sum();
+    let mismatches: u64 = per_client.iter().map(|c| c.mismatches).sum();
+    WireRun {
+        mode: if concurrent {
+            "concurrent"
+        } else {
+            "sequential"
+        },
+        elapsed,
+        req_per_s: total as f64 / elapsed.as_secs_f64(),
+        p50_us: weighted_percentile(&per_client, |c| c.p50_us),
+        p95_us: weighted_percentile(&per_client, |c| c.p95_us),
+        p99_us: weighted_percentile(&per_client, |c| c.p99_us),
+        mismatches,
+        per_client,
+    }
+}
+
+/// Request-weighted mean of a per-connection percentile — the headline
+/// aggregate; exact per-connection values are in `per_connection`.
+fn weighted_percentile(clients: &[ClientRun], f: impl Fn(&ClientRun) -> f64) -> f64 {
+    let total: usize = clients.iter().map(|c| c.requests).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    clients
+        .iter()
+        .map(|c| f(c) * c.requests as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+fn write_json(
+    path: &str,
+    args: &Args,
+    host_cpus: usize,
+    cold: (usize, f64),
+    runs: &[ConfigRun],
+    wire: Option<&[WireRun; 2]>,
+) {
     let mut f = std::fs::File::create(path).expect("create json");
     writeln!(f, "{{").expect("write");
     writeln!(f, "  \"bench\": \"server_throughput\",").expect("write");
@@ -326,6 +623,57 @@ fn write_json(path: &str, args: &Args, host_cpus: usize, cold: (usize, f64), run
         .expect("write");
     }
     writeln!(f, "  ],").expect("write");
+    if let Some(wire) = wire {
+        writeln!(f, "  \"wire\": {{").expect("write");
+        writeln!(f, "    \"clients\": {},", args.clients).expect("write");
+        writeln!(f, "    \"pipeline\": {},", args.pipeline).expect("write");
+        writeln!(f, "    \"workers\": {},", args.wire_workers).expect("write");
+        writeln!(
+            f,
+            "    \"requests\": {},",
+            wire[0].per_client.iter().map(|c| c.requests).sum::<usize>()
+        )
+        .expect("write");
+        writeln!(f, "    \"configs\": [").expect("write");
+        for (i, r) in wire.iter().enumerate() {
+            let comma = if i + 1 < wire.len() { "," } else { "" };
+            writeln!(
+                f,
+                "      {{\"mode\": \"{}\", \"elapsed_ms\": {:.3}, \"req_per_s\": {:.1}, \
+                 \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"verdict_mismatches\": {},",
+                r.mode,
+                r.elapsed.as_secs_f64() * 1e3,
+                r.req_per_s,
+                r.p50_us,
+                r.p95_us,
+                r.p99_us,
+                r.mismatches,
+            )
+            .expect("write");
+            writeln!(f, "       \"per_connection\": [").expect("write");
+            for (j, c) in r.per_client.iter().enumerate() {
+                let ccomma = if j + 1 < r.per_client.len() { "," } else { "" };
+                writeln!(
+                    f,
+                    "         {{\"client\": {j}, \"requests\": {}, \"req_per_s\": {:.1}, \
+                     \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+                     \"verdict_mismatches\": {}}}{ccomma}",
+                    c.requests, c.req_per_s, c.p50_us, c.p95_us, c.p99_us, c.mismatches,
+                )
+                .expect("write");
+            }
+            writeln!(f, "       ]}}{comma}").expect("write");
+        }
+        writeln!(f, "    ],").expect("write");
+        writeln!(
+            f,
+            "    \"wire_speedup_concurrent_vs_sequential\": {:.2}",
+            wire[1].req_per_s / wire[0].req_per_s
+        )
+        .expect("write");
+        writeln!(f, "  }},").expect("write");
+    }
     let by_workers = |n: usize| runs.iter().find(|r| r.workers == n);
     let best = runs
         .iter()
@@ -353,7 +701,12 @@ fn write_json(path: &str, args: &Args, host_cpus: usize, cold: (usize, f64), run
             .expect("write");
         }
     }
-    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum();
+    let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum::<u64>()
+        + wire
+            .iter()
+            .flat_map(|w| w.iter())
+            .map(|r| r.mismatches)
+            .sum::<u64>();
     writeln!(f, "  \"verdict_mismatches_total\": {mismatches}").expect("write");
     writeln!(f, "}}").expect("write");
     eprintln!("wrote {path}");

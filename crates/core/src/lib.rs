@@ -28,9 +28,6 @@
 //!   handle owning a worker over a shared store. All of
 //!   intern/normalize/equivalence/duality run against *its* store;
 //!   sessions are isolated unless deliberately made siblings.
-//! * [`equiv`] — **deprecated** free-function shims for linear-time
-//!   equivalence (Theorems 1–3) over one process-global store; kept for
-//!   source compatibility, superseded by [`Session`].
 //! * [`conversion`] — the declarative conversion relation (Fig. 2) as a
 //!   rewrite system, used for testing and benchmark-instance generation.
 //! * [`expr`] — core expressions, constants and processes (Section 4).
@@ -49,7 +46,6 @@
 //! ```
 
 pub mod conversion;
-pub mod equiv;
 pub mod expr;
 pub mod kind;
 pub mod kindcheck;

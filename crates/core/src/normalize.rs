@@ -19,7 +19,7 @@
 //!     | End? | End! | Dual α | ρ Q̄
 //! ```
 //!
-//! Equivalence is then α-comparison of normal forms ([`crate::equiv`]),
+//! Equivalence is then α-comparison of normal forms ([`crate::session`]),
 //! which runs in time linear in the sizes of the types (Theorem 3).
 
 use crate::types::Type;
@@ -137,7 +137,7 @@ pub fn nrm_neg(t: &Type) -> Type {
 /// * renames fresh `name%N` binders back to readable, capture-free names.
 ///
 /// The result is always equivalent to the input; it is meant for error
-/// messages ([`crate::equiv::check_equivalent`]), never for comparison.
+/// messages (the checker's mismatch diagnostics), never for comparison.
 pub fn resugar(t: &Type) -> Type {
     if matches!(t, Type::In(..) | Type::Out(..)) {
         if let Some(flipped) = unreify_dual_spine(t) {

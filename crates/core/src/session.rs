@@ -2,8 +2,8 @@
 //! owns instead of reaching for a process-global store.
 //!
 //! Historically the public API was free functions over an ambient
-//! `thread_local!` worker ([`crate::equiv::with_shared_store`]). That
-//! shape has two structural problems the [`Session`] redesign removes:
+//! `thread_local!` worker (the since-removed `equiv` module). That
+//! shape had two structural problems the [`Session`] redesign removes:
 //!
 //! * **No isolation.** Every caller in the process shared one store, so
 //!   two engines (two tenants, a fuzzer and its oracle, a bench's cold
@@ -42,9 +42,8 @@ use crate::types::Type;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-/// The process-wide store behind [`Session::global`] and the deprecated
-/// `equiv` free-function shims. Private: reachable only through
-/// `Session::global()` / `equiv::global_store()`.
+/// The process-wide store behind [`Session::global`]. Private:
+/// reachable only through `Session::global()`.
 pub(crate) fn global_shared() -> &'static Arc<SharedStore> {
     static GLOBAL: OnceLock<Arc<SharedStore>> = OnceLock::new();
     GLOBAL.get_or_init(SharedStore::new_arc)
@@ -87,11 +86,11 @@ impl Session {
         Session::with_store(SharedStore::new_arc())
     }
 
-    /// A session over the **process-global** store — the one the
-    /// deprecated [`crate::equiv`] free functions use. Ids and warm
-    /// state are interchangeable with those shims and with every other
-    /// `Session::global()`, so this is the drop-in migration target for
-    /// code that relied on ambient sharing.
+    /// A session over the **process-global** store. Ids and warm state
+    /// are interchangeable with every other `Session::global()`, so
+    /// this is the drop-in target for code that wants ambient sharing
+    /// across independent call sites (the CLI's serving engine uses
+    /// it); everything else should prefer [`Session::new`].
     ///
     /// ```
     /// use algst_core::{Session, types::Type};

@@ -190,7 +190,7 @@ impl Type {
     /// Structural α-equivalence (binders compared up to renaming).
     ///
     /// Combined with normalization this decides type equivalence
-    /// ([`crate::equiv::equivalent`]): `T ≡_A U  iff  nrm⁺(T) =α nrm⁺(U)`.
+    /// ([`crate::session::Session::equivalent`]): `T ≡_A U  iff  nrm⁺(T) =α nrm⁺(U)`.
     pub fn alpha_eq(&self, other: &Type) -> bool {
         fn go(a: &Type, b: &Type, env: &mut Vec<(Symbol, Symbol)>) -> bool {
             match (a, b) {

@@ -61,6 +61,28 @@ impl Workload {
     pub fn is_empty(&self) -> bool {
         self.requests.is_empty()
     }
+
+    /// Deals the request stream round-robin onto `clients` per-client
+    /// streams (client `c` takes requests `c`, `c+clients`, …), each
+    /// sharing the same ground-truth pair table. Round-robin keeps every
+    /// client's stream a representative slice of the whole — the cold
+    /// first-pass pairs are spread across clients instead of all landing
+    /// on the first one — so concurrent-serving benchmarks drive each
+    /// connection with the same warm/cold mix the sequential stream has.
+    pub fn split_round_robin(&self, clients: usize) -> Vec<Workload> {
+        let clients = clients.max(1);
+        let mut streams: Vec<Vec<WorkloadRequest>> = vec![Vec::new(); clients];
+        for (i, r) in self.requests.iter().enumerate() {
+            streams[i % clients].push(*r);
+        }
+        streams
+            .into_iter()
+            .map(|requests| Workload {
+                pairs: self.pairs.clone(),
+                requests,
+            })
+            .collect()
+    }
 }
 
 /// Builds a stream of `requests` equivalence queries over the pairs of
@@ -146,6 +168,35 @@ mod tests {
         let w = equiv_workload(&[], 100, 1);
         assert!(w.is_empty());
         assert!(w.pairs.is_empty());
+    }
+
+    #[test]
+    fn split_round_robin_partitions_the_stream() {
+        let eq = build_suite(SuiteKind::Equivalent, 8, 51);
+        let ne = build_suite(SuiteKind::NonEquivalent, 8, 52);
+        let w = equiv_workload(&[&eq, &ne], 103, 11);
+        let parts = w.split_round_robin(4);
+        assert_eq!(parts.len(), 4);
+        // Sizes are balanced (103 = 26+26+26+25) and nothing is lost:
+        // re-interleaving the parts reproduces the original stream.
+        assert_eq!(parts.iter().map(Workload::len).sum::<usize>(), w.len());
+        assert!(parts.iter().all(|p| p.len() >= w.len() / 4));
+        for (i, r) in w.requests.iter().enumerate() {
+            assert_eq!(parts[i % 4].requests[i / 4], *r, "request {i}");
+        }
+        // Every part shares the full pair table, so `request(i)` views
+        // resolve identically to the parent workload's.
+        for p in &parts {
+            assert_eq!(p.pairs.len(), w.pairs.len());
+        }
+        // The cold first-pass is spread across clients, not front-loaded
+        // onto client 0: each part starts with a distinct cold pair.
+        let first_pairs: Vec<usize> = parts.iter().map(|p| p.requests[0].pair).collect();
+        assert_eq!(first_pairs, vec![0, 1, 2, 3]);
+        // Degenerate client counts still cover the stream.
+        let one = w.split_round_robin(0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].requests, w.requests);
     }
 
     #[test]

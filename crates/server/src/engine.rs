@@ -39,11 +39,20 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// What the workers send back per batch: the submitter's sequence tag
+/// plus the responses, in batch order. The tag lets a submitter with
+/// several batches in flight (a pipelining connection) reassemble
+/// per-connection response order even though batches complete on
+/// different workers at different times.
+pub type BatchReply = (u64, Vec<Response>);
+
 /// A batch of requests plus the channel their responses go back on.
-/// Responses come back as one `Vec` per batch, in batch order.
+/// Responses come back as one [`BatchReply`] per batch, in batch order,
+/// tagged with the submitter-chosen `seq`.
 pub struct Batch {
+    pub seq: u64,
     pub items: Vec<Request>,
-    pub reply: Sender<Vec<Response>>,
+    pub reply: Sender<BatchReply>,
 }
 
 impl std::fmt::Debug for Batch {
@@ -215,11 +224,14 @@ impl Engine {
     }
 
     /// Queues a batch; blocks when the queue is full (backpressure).
-    pub fn submit(&self, items: Vec<Request>, reply: Sender<Vec<Response>>) {
+    /// `seq` is echoed back with the responses — submitters that
+    /// pipeline several batches use consecutive numbers to restore
+    /// per-connection order; one-shot callers pass 0.
+    pub fn submit(&self, seq: u64, items: Vec<Request>, reply: Sender<BatchReply>) {
         self.tx
             .as_ref()
             .expect("engine already shut down")
-            .send(Batch { items, reply })
+            .send(Batch { seq, items, reply })
             .expect("workers alive while engine holds the sender");
     }
 
@@ -227,8 +239,8 @@ impl Engine {
     /// the pool and wait for its responses (batch order preserved).
     pub fn process(&self, items: Vec<Request>) -> Vec<Response> {
         let (reply_tx, reply_rx) = bounded(1);
-        self.submit(items, reply_tx);
-        reply_rx.recv().expect("workers reply to every batch")
+        self.submit(0, items, reply_tx);
+        reply_rx.recv().expect("workers reply to every batch").1
     }
 
     /// A point-in-time statistics snapshot (`stats` op, bench reports).
@@ -269,9 +281,12 @@ fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineS
         // Merge this batch's freshly computed normal forms into the
         // shared memo shards: the next batch on *any* worker sees them.
         session.publish();
-        // The submitter may be gone (client hung up); that is its
-        // prerogative, not an engine error.
-        let _ = batch.reply.send(out);
+        // The submitter may be gone (client hung up, writer dead): the
+        // send fails fast — the vendored channel wakes blocked senders
+        // on receiver drop — and the responses are discarded. That is
+        // the client's prerogative, not an engine error, and it must
+        // never stall this worker (other connections share the pool).
+        let _ = batch.reply.send((batch.seq, out));
     }
 }
 
@@ -459,16 +474,22 @@ mod tests {
                     equiv(b * 8 + i + 1, "!Int.End!", "Dual (?Int.End?)")
                 })
                 .collect();
-            engine.submit(items, reply_tx.clone());
+            engine.submit(b, items, reply_tx.clone());
         }
         drop(reply_tx);
         let mut got = 0u64;
-        while let Ok(batch) = reply_rx.recv() {
+        let mut seqs = Vec::new();
+        while let Ok((seq, batch)) = reply_rx.recv() {
+            seqs.push(seq);
             got += batch.len() as u64;
             for r in batch {
                 assert!(matches!(r, Response::Equiv { verdict: true, .. }));
             }
         }
         assert_eq!(got, expected);
+        // Every submitted batch came back exactly once, tag intact
+        // (possibly out of submission order — that is the demux's job).
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
     }
 }

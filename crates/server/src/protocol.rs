@@ -116,6 +116,12 @@ pub struct Snapshot {
     /// Module (check-op) cache: entries, hits.
     pub module_entries: u64,
     pub module_hits: u64,
+    /// Connections accepted / currently open. The engine itself knows
+    /// nothing about connections; the serving front-end fills these in
+    /// when a `stats` response passes through a connection's writer
+    /// (zero under `Engine::snapshot` or stdio serving).
+    pub conns_accepted: u64,
+    pub conns_active: u64,
 }
 
 impl Snapshot {
@@ -218,7 +224,8 @@ impl Response {
                      \"nodes\":{},\"nrm_hits\":{},\"nrm_misses\":{},\"nrm_hit_rate\":{:.4},\
                      \"equiv_entries\":{},\"equiv_hits\":{},\"equiv_misses\":{},\
                      \"equiv_hit_rate\":{:.4},\"parse_entries\":{},\
-                     \"module_entries\":{},\"module_hits\":{}}}",
+                     \"module_entries\":{},\"module_hits\":{},\
+                     \"conns_accepted\":{},\"conns_active\":{}}}",
                     s.requests,
                     s.workers,
                     s.nodes,
@@ -232,6 +239,8 @@ impl Response {
                     s.parse_entries,
                     s.module_entries,
                     s.module_hits,
+                    s.conns_accepted,
+                    s.conns_active,
                 )
             }
             Response::Shutdown { id } => {

@@ -1,24 +1,67 @@
-//! Front-ends: the JSON-lines loop over stdio or a TCP listener.
+//! Front-ends: the JSON-lines loop over stdio or a **concurrent** TCP
+//! listener.
 //!
-//! The reader thread-of-control parses lines into [`Request`]s and
-//! submits them to the [`Engine`] in **adaptive batches**: it keeps
-//! pulling lines while the input buffer has more bytes ready (a piped
-//! client that wrote a burst gets one batch), flushing at
-//! [`ServeConfig::batch_max`] so latency stays bounded under a firehose.
-//! A separate writer thread drains responses and writes them as they
-//! complete — so a client that waits for an answer before sending its
-//! next request never deadlocks, and a client that streams thousands of
-//! requests overlaps its parsing with the pool's checking.
+//! ```text
+//!              ┌── conn 1: reader ──batches──►┐            ┌──► demux/writer 1
+//! acceptor ──► ├── conn 2: reader ──batches──►│ Engine     ├──► demux/writer 2
+//!  (drain      └── conn N: reader ──batches──►│ worker pool└──► demux/writer N
+//!   state)                                    └─ SharedStore + request caches
+//! ```
 //!
-//! A `shutdown` request stops reading, drains everything in flight,
-//! answers `{"op":"shutdown","ok":true}` and returns. EOF behaves the
-//! same, minus the response.
+//! Every accepted connection gets its own reader (this thread-of-control
+//! parses lines into [`Request`]s) and its own demultiplexing writer
+//! thread; all of them share one [`Engine`] worker pool, so warm state
+//! crosses connections. Per connection:
+//!
+//! * **Pipelining.** The reader keeps batching while bytes are ready (a
+//!   client that wrote a burst gets one batch), flushing at
+//!   [`ServeConfig::batch_max`] so latency stays bounded under a
+//!   firehose, and submits the next batch without waiting for the
+//!   previous one to complete.
+//! * **Ordered demux.** Batches complete on different workers in any
+//!   order; each batch is tagged with a per-connection sequence number
+//!   and the connection's writer reorders them, so responses reach the
+//!   client in request order even at pipelining depth ≫ batch size.
+//! * **Backpressure.** At most [`ServeConfig`]'s in-flight window of
+//!   batches may be submitted-but-unwritten per connection; past that
+//!   the reader stops reading (TCP backpressure reaches the client).
+//!   The engine's own bounded queue backpressures across connections.
+//! * **Timeouts.** A client that sends no byte for
+//!   [`ServeConfig::read_timeout`] (slow loris, dead peer) gets an
+//!   `error` response and its connection closed; other connections are
+//!   unaffected.
+//! * **Disconnects.** A client that vanishes mid-batch has its
+//!   undeliverable responses discarded — the writer dies, pending reply
+//!   sends fail fast, and the worker pool moves on to other
+//!   connections' work.
+//!
+//! A `shutdown` request (on **any** connection) starts a graceful
+//! drain: the acceptor stops accepting, every connection finishes the
+//! requests it has already received — including what is sitting in its
+//! socket buffer — answers its client, and closes; then the listener
+//! returns. EOF on a connection ends just that connection, minus the
+//! `shutdown` response.
 
-use crate::engine::Engine;
-use crate::protocol::{parse_request, Op, Request};
-use crossbeam::channel::bounded;
-use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::TcpListener;
+use crate::engine::{BatchReply, Engine};
+use crate::protocol::{parse_request, Op, Request, Response};
+use crossbeam::channel::{bounded, Sender};
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a blocked connection read wakes up to check the drain flag
+/// and the read-timeout deadline (the socket read timeout).
+const TICK: Duration = Duration::from_millis(50);
+
+/// How long the acceptor sleeps when there is no connection to accept.
+const ACCEPT_TICK: Duration = Duration::from_millis(5);
+
+/// Hard cap on how long a draining connection keeps serving a client
+/// that continues to stream requests after `shutdown`.
+const DRAIN_MAX: Duration = Duration::from_secs(2);
 
 /// Front-end configuration (the engine itself is configured separately).
 #[derive(Clone, Copy, Debug)]
@@ -27,6 +70,12 @@ pub struct ServeConfig {
     pub batch_max: usize,
     /// Print a `stats`-shaped JSON line to stderr when the session ends.
     pub stats_on_exit: bool,
+    /// Max simultaneously served TCP connections; further clients are
+    /// refused with an `error` line. Ignored for stdio.
+    pub max_conns: usize,
+    /// Close a connection when no byte arrives for this long (`None`
+    /// disables). Enforced for TCP; stdio reads block indefinitely.
+    pub read_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -34,6 +83,8 @@ impl Default for ServeConfig {
         ServeConfig {
             batch_max: 256,
             stats_on_exit: false,
+            max_conns: 64,
+            read_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -43,12 +94,324 @@ impl Default for ServeConfig {
 pub struct ServeSummary {
     pub requests: u64,
     pub responses: u64,
+    /// Connections served (1 for stdio / single-stream sessions).
+    pub connections: u64,
     pub saw_shutdown: bool,
 }
 
+/// Shared acceptor/connection state: the connection gauges reported by
+/// `stats`, and the drain flag every reader polls.
+#[derive(Debug, Default)]
+struct Registry {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl Registry {
+    fn connect(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn disconnect(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// In-flight window: how many batches a connection may have
+/// submitted-but-unwritten before its reader stops reading.
+fn inflight_window(config: &ServeConfig) -> u64 {
+    ((4096 / config.batch_max.max(1)).max(4)) as u64
+}
+
+/// Why the reader stopped consuming input.
+enum ReadEnd {
+    /// EOF, shutdown op, drain completed, or client timed out.
+    Done,
+    /// The transport failed (reset, unexpected error).
+    Failed(io::Error),
+}
+
+/// Serves one connection: reads newline-delimited requests from
+/// `input`, pipelines them through `engine`, and writes responses to
+/// `output` in request order. Returns when the input ends, a `shutdown`
+/// op is processed, the drain flag fires, or the client times out.
+fn serve_conn<R, W>(
+    engine: &Engine,
+    input: R,
+    output: W,
+    config: ServeConfig,
+    registry: &Registry,
+) -> io::Result<ServeSummary>
+where
+    R: Read,
+    W: Write + Send,
+{
+    let window = inflight_window(&config);
+    // +2: room for the reader-injected timeout error batch and the
+    // final flush batch, so those sends can never block on a full
+    // channel while the writer is catching up.
+    let (reply_tx, reply_rx) = bounded::<BatchReply>(window as usize + 2);
+    let written_batches = Arc::new(AtomicU64::new(0));
+    let mut summary = ServeSummary {
+        connections: 1,
+        ..ServeSummary::default()
+    };
+
+    let result = std::thread::scope(|scope| {
+        let writer = scope.spawn({
+            let written_batches = Arc::clone(&written_batches);
+            move || -> io::Result<u64> {
+                let mut output = output;
+                let mut written = 0u64;
+                let mut next_seq = 0u64;
+                let mut held: BTreeMap<u64, Vec<Response>> = BTreeMap::new();
+                while let Ok((seq, batch)) = reply_rx.recv() {
+                    held.insert(seq, batch);
+                    // Write every contiguous batch: responses leave in
+                    // request order no matter the completion order.
+                    while let Some(batch) = held.remove(&next_seq) {
+                        for response in &batch {
+                            let line = match response {
+                                // The engine knows nothing about
+                                // connections; patch the gauges into
+                                // stats responses on the way out.
+                                Response::Stats { id, snapshot } => {
+                                    let mut snapshot = *snapshot;
+                                    snapshot.conns_accepted =
+                                        registry.accepted.load(Ordering::Relaxed);
+                                    snapshot.conns_active = registry.active.load(Ordering::Relaxed);
+                                    Response::Stats { id: *id, snapshot }.to_json()
+                                }
+                                other => other.to_json(),
+                            };
+                            writeln!(output, "{line}")?;
+                        }
+                        written += batch.len() as u64;
+                        next_seq += 1;
+                        written_batches.store(next_seq, Ordering::Release);
+                    }
+                    // One flush per wakeup: keeps request/response
+                    // clients moving without a syscall per line.
+                    output.flush()?;
+                }
+                output.flush()?;
+                Ok(written)
+            }
+        });
+
+        let end = {
+            let writer_finished = || writer.is_finished();
+            let mut reader = ConnReader {
+                engine,
+                config,
+                registry,
+                writer_finished: &writer_finished,
+                reply_tx: &reply_tx,
+                written_batches: &written_batches,
+                next_seq: 0,
+                next_id: 0,
+                pending: Vec::new(),
+                summary: &mut summary,
+            };
+            reader.run(input)
+        };
+        // Drop our reply sender: once the workers finish the submitted
+        // batches and drop theirs, the writer sees disconnect and ends.
+        drop(reply_tx);
+        let written = writer.join().expect("writer thread does not panic");
+        match end {
+            ReadEnd::Failed(e) => Err(e),
+            ReadEnd::Done => match written {
+                Ok(n) => {
+                    summary.responses = n;
+                    Ok(())
+                }
+                // The client stopped reading (EPIPE, reset): its
+                // undelivered responses were discarded; not our error.
+                Err(_) => Ok(()),
+            },
+        }
+    });
+
+    result?;
+    Ok(summary)
+}
+
+/// The per-connection reader state machine (see module docs).
+struct ConnReader<'a> {
+    engine: &'a Engine,
+    config: ServeConfig,
+    registry: &'a Registry,
+    writer_finished: &'a dyn Fn() -> bool,
+    reply_tx: &'a Sender<BatchReply>,
+    written_batches: &'a AtomicU64,
+    next_seq: u64,
+    next_id: u64,
+    pending: Vec<Request>,
+    summary: &'a mut ServeSummary,
+}
+
+impl ConnReader<'_> {
+    fn run<R: Read>(&mut self, mut input: R) -> ReadEnd {
+        let mut buf: Vec<u8> = Vec::with_capacity(8192);
+        let mut chunk = [0u8; 8192];
+        let mut last_data = Instant::now();
+        let mut drain_deadline: Option<Instant> = None;
+
+        loop {
+            // Process every complete line already buffered, batching at
+            // burst boundaries (drained buffer) or batch_max.
+            if self.consume_lines(&mut buf) {
+                self.flush_pending();
+                return ReadEnd::Done; // shutdown op
+            }
+            self.flush_pending();
+
+            // A dead writer (client stopped reading: EPIPE, reset) makes
+            // every further response undeliverable — stop parsing and
+            // checking instead of burning the pool on discarded work.
+            if (self.writer_finished)() {
+                return ReadEnd::Done;
+            }
+            if self.registry.draining() && drain_deadline.is_none() {
+                // Drain: finish what this client already sent — keep
+                // reading until the socket goes quiet for a tick (or
+                // EOF), bounded by DRAIN_MAX against a client that
+                // streams on regardless.
+                drain_deadline = Some(Instant::now() + DRAIN_MAX);
+            }
+            if let Some(deadline) = drain_deadline {
+                if Instant::now() >= deadline {
+                    return ReadEnd::Done;
+                }
+            }
+
+            match input.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF. A trailing line without a newline still
+                    // counts as a request (matches piped-input clients).
+                    self.consume_trailing(&buf);
+                    self.flush_pending();
+                    return ReadEnd::Done;
+                }
+                Ok(n) => {
+                    buf.extend_from_slice(&chunk[..n]);
+                    last_data = Instant::now();
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Tick: the socket was quiet for one read timeout.
+                    if drain_deadline.is_some() {
+                        // Quiet during drain = the client's in-flight
+                        // data is fully consumed; we are done.
+                        return ReadEnd::Done;
+                    }
+                    if let Some(limit) = self.config.read_timeout {
+                        if last_data.elapsed() >= limit {
+                            self.next_seq += 1;
+                            let _ = self.reply_tx.send((
+                                self.next_seq - 1,
+                                vec![Response::Error {
+                                    id: 0,
+                                    error: format!(
+                                        "read timeout: no data received for {}s",
+                                        limit.as_secs_f64()
+                                    ),
+                                }],
+                            ));
+                            return ReadEnd::Done;
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return ReadEnd::Failed(e),
+            }
+        }
+    }
+
+    /// Parses and enqueues every complete line in `buf`, draining them
+    /// from the front. Returns true when a `shutdown` op was consumed
+    /// (remaining buffered input is intentionally discarded).
+    fn consume_lines(&mut self, buf: &mut Vec<u8>) -> bool {
+        let mut start = 0usize;
+        let mut stop = false;
+        while let Some(nl) = buf[start..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&buf[start..start + nl]);
+            start += nl + 1;
+            if self.push_line(line.trim()) {
+                stop = true;
+                break;
+            }
+            if self.pending.len() >= self.config.batch_max {
+                self.flush_pending();
+            }
+        }
+        buf.drain(..start);
+        stop
+    }
+
+    fn consume_trailing(&mut self, buf: &[u8]) {
+        let tail = String::from_utf8_lossy(buf);
+        self.push_line(tail.trim());
+    }
+
+    /// Parses one trimmed line into `pending`. Returns true on a
+    /// `shutdown` op (which also starts the server-wide drain).
+    fn push_line(&mut self, trimmed: &str) -> bool {
+        if trimmed.is_empty() {
+            return false;
+        }
+        self.next_id += 1;
+        let request = parse_request(trimmed, self.next_id);
+        let stop = matches!(request.op, Op::Shutdown);
+        self.summary.requests += 1;
+        self.pending.push(request);
+        if stop {
+            self.summary.saw_shutdown = true;
+            self.registry.begin_drain();
+        }
+        stop
+    }
+
+    /// Submits the pending batch (if any), honoring the per-connection
+    /// in-flight window: past it, we stop and let TCP backpressure the
+    /// client rather than buffering unbounded work.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let window = inflight_window(&self.config);
+        while self.next_seq - self.written_batches.load(Ordering::Acquire) >= window {
+            if (self.writer_finished)() {
+                // Client gone; drop the work.
+                self.pending.clear();
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.engine.submit(
+            seq,
+            std::mem::take(&mut self.pending),
+            self.reply_tx.clone(),
+        );
+    }
+}
+
 /// Serves one JSON-lines session: reads requests from `input`, writes
-/// responses to `output` (order of completion, tagged by id). Returns
-/// when the input ends or a `shutdown` op is processed.
+/// responses to `output` **in request order** (batches are demultiplexed
+/// by sequence number). Returns when the input ends or a `shutdown` op
+/// is processed.
 pub fn serve_session<R, W>(
     engine: &Engine,
     input: R,
@@ -59,84 +422,13 @@ where
     R: Read,
     W: Write + Send,
 {
-    let mut input = BufReader::new(input);
-    let (reply_tx, reply_rx) = bounded::<Vec<crate::protocol::Response>>(queue_depth(&config));
-    let mut summary = ServeSummary::default();
-
-    std::thread::scope(|scope| {
-        let writer = scope.spawn(move || -> io::Result<u64> {
-            let mut output = output;
-            let mut written = 0u64;
-            while let Ok(batch) = reply_rx.recv() {
-                for response in &batch {
-                    writeln!(output, "{}", response.to_json())?;
-                }
-                written += batch.len() as u64;
-                // One flush per batch: keeps request/response clients
-                // moving without a syscall per line under load.
-                output.flush()?;
-            }
-            output.flush()?;
-            Ok(written)
-        });
-
-        let mut line = String::new();
-        let mut pending: Vec<Request> = Vec::new();
-        let mut next_id = 0u64;
-        'read: loop {
-            // A dead writer (client stopped reading: EPIPE, reset) makes
-            // every further response undeliverable — stop parsing and
-            // checking instead of burning the pool on discarded work.
-            if writer.is_finished() {
-                break 'read;
-            }
-            line.clear();
-            let n = input.read_line(&mut line)?;
-            if n == 0 {
-                break 'read; // EOF
-            }
-            let trimmed = line.trim();
-            if trimmed.is_empty() {
-                continue;
-            }
-            next_id += 1;
-            let request = parse_request(trimmed, next_id);
-            let stop = matches!(request.op, Op::Shutdown);
-            summary.requests += 1;
-            pending.push(request);
-            if stop {
-                summary.saw_shutdown = true;
-                break 'read;
-            }
-            // Flush a batch when it is full or the pipe has no more
-            // bytes ready (burst boundary).
-            if pending.len() >= config.batch_max || input.buffer().is_empty() {
-                engine.submit(std::mem::take(&mut pending), reply_tx.clone());
-            }
-        }
-        if !pending.is_empty() {
-            engine.submit(std::mem::take(&mut pending), reply_tx.clone());
-        }
-        // Drop our reply sender: once the workers finish the submitted
-        // batches and drop theirs, the writer sees disconnect and ends.
-        drop(reply_tx);
-        match writer.join().expect("writer thread does not panic") {
-            Ok(written) => {
-                summary.responses = written;
-                Ok(())
-            }
-            Err(e) => Err(e),
-        }
-    })?;
-
+    let registry = Registry::default();
+    registry.connect();
+    let summary = serve_conn(engine, input, output, config, &registry)?;
     if config.stats_on_exit {
         eprintln!("{}", stats_line(engine));
     }
     Ok(summary)
-}
-
-fn queue_depth(config: &ServeConfig) -> usize {
-    (4096 / config.batch_max.max(1)).max(4)
 }
 
 /// The engine snapshot rendered exactly like a `stats` response (without
@@ -155,9 +447,12 @@ pub fn serve_stdio(engine: &Engine, config: ServeConfig) -> io::Result<ServeSumm
     serve_session(engine, io::stdin().lock(), io::stdout(), config)
 }
 
-/// Binds `addr` and serves TCP connections **sequentially** (each
-/// connection gets the full worker pool; a `shutdown` op ends the whole
-/// listener). Returns the summary of the session that saw the shutdown.
+/// Binds `addr` and serves TCP connections **concurrently**: every
+/// accepted connection gets its own reader and ordered-demux writer
+/// over the shared worker pool, up to [`ServeConfig::max_conns`] at
+/// once. A `shutdown` op on any connection drains the whole listener:
+/// no new connections, every in-flight request on every connection is
+/// answered, then this returns the aggregated summary.
 pub fn serve_tcp(engine: &Engine, addr: &str, config: ServeConfig) -> io::Result<ServeSummary> {
     let listener = TcpListener::bind(addr)?;
     serve_listener(engine, &listener, config)
@@ -166,27 +461,116 @@ pub fn serve_tcp(engine: &Engine, addr: &str, config: ServeConfig) -> io::Result
 /// [`serve_tcp`] over an already-bound listener (lets callers pick port
 /// 0 and read the real address back). A connection that fails mid-
 /// session (client reset, EPIPE) is logged and dropped — the listener
-/// keeps serving; only `accept` errors end the loop.
+/// keeps serving; only `accept` errors end the loop early.
 pub fn serve_listener(
     engine: &Engine,
     listener: &TcpListener,
     config: ServeConfig,
 ) -> io::Result<ServeSummary> {
-    loop {
-        let (stream, peer) = listener.accept()?;
-        let reader = match stream.try_clone() {
-            Ok(reader) => reader,
-            Err(e) => {
-                eprintln!("algst serve: dropping connection from {peer}: {e}");
-                continue;
+    listener.set_nonblocking(true)?;
+    let registry = Registry::default();
+    let mut total = ServeSummary::default();
+
+    let result = std::thread::scope(|scope| -> io::Result<()> {
+        let mut conns: Vec<std::thread::ScopedJoinHandle<'_, io::Result<ServeSummary>>> =
+            Vec::new();
+        let reap =
+            |conns: &mut Vec<std::thread::ScopedJoinHandle<'_, io::Result<ServeSummary>>>,
+             total: &mut ServeSummary,
+             all: bool| {
+                let mut i = 0;
+                while i < conns.len() {
+                    if all || conns[i].is_finished() {
+                        let handle = conns.swap_remove(i);
+                        total.connections += 1;
+                        match handle.join().expect("connection thread does not panic") {
+                            Ok(s) => {
+                                total.requests += s.requests;
+                                total.responses += s.responses;
+                                total.saw_shutdown |= s.saw_shutdown;
+                            }
+                            Err(e) => eprintln!("algst serve: connection failed: {e}"),
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+            };
+
+        loop {
+            reap(&mut conns, &mut total, false);
+            if registry.draining() {
+                // Stop accepting; wait for every connection to finish
+                // its in-flight work and answer its client.
+                reap(&mut conns, &mut total, true);
+                return Ok(());
             }
-        };
-        match serve_session(engine, reader, stream, config) {
-            Ok(summary) if summary.saw_shutdown => return Ok(summary),
-            Ok(_) => {}
-            Err(e) => eprintln!("algst serve: connection from {peer} failed: {e}"),
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    if registry.active.load(Ordering::Relaxed) >= config.max_conns as u64 {
+                        refuse(stream, config.max_conns);
+                        continue;
+                    }
+                    // Accepted sockets may inherit the listener's
+                    // nonblocking flag on some platforms; we want
+                    // blocking reads with a tick-sized timeout so the
+                    // reader can poll the drain flag and its deadline.
+                    // Nagle + delayed ACKs cost tens of milliseconds per
+                    // pipelined round trip; responses are already
+                    // batch-flushed, so small writes going out at once is
+                    // exactly what we want.
+                    stream.set_nodelay(true).ok();
+                    let setup = stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_read_timeout(Some(TICK)))
+                        .and_then(|()| stream.try_clone());
+                    let reader = match setup {
+                        Ok(reader) => reader,
+                        Err(e) => {
+                            eprintln!("algst serve: dropping connection from {peer}: {e}");
+                            continue;
+                        }
+                    };
+                    registry.connect();
+                    let registry = &registry;
+                    conns.push(scope.spawn(move || {
+                        let result = serve_conn(engine, reader, stream, config, registry);
+                        registry.disconnect();
+                        result
+                    }));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_TICK);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Fatal accept error: drain what is running, then
+                    // surface the error.
+                    registry.begin_drain();
+                    reap(&mut conns, &mut total, true);
+                    return Err(e);
+                }
+            }
         }
+    });
+
+    if config.stats_on_exit {
+        eprintln!("{}", stats_line(engine));
     }
+    result?;
+    Ok(total)
+}
+
+/// Tells an over-capacity client why it is being dropped. Best effort:
+/// the refusal itself must never take the listener down.
+fn refuse(mut stream: TcpStream, max_conns: usize) {
+    let line = Response::Error {
+        id: 0,
+        error: format!("server at capacity ({max_conns} connections)"),
+    }
+    .to_json();
+    let _ = writeln!(stream, "{line}");
+    let _ = stream.flush();
 }
 
 #[cfg(test)]
@@ -201,11 +585,10 @@ mod tests {
         let summary =
             serve_session(&engine, input.as_bytes(), &mut out, ServeConfig::default()).unwrap();
         let text = String::from_utf8(out).unwrap();
-        let mut lines: Vec<Vec<(String, json::Value)>> = text
+        let lines: Vec<Vec<(String, json::Value)>> = text
             .lines()
             .map(|l| json::parse_object(l).unwrap_or_else(|e| panic!("bad line {l}: {e}")))
             .collect();
-        lines.sort_by_key(|pairs| json::get(pairs, "id").and_then(json::Value::as_int));
         (summary, lines)
     }
 
@@ -226,7 +609,19 @@ mod tests {
         let (summary, lines) = run(input);
         assert_eq!(summary.requests, 5);
         assert_eq!(summary.responses, 5);
+        assert_eq!(summary.connections, 1);
         assert!(summary.saw_shutdown);
+        // Responses arrive in request order (the demux reorders
+        // batches), so no sort is needed.
+        let ids: Vec<_> = lines
+            .iter()
+            .map(|pairs| {
+                json::get(pairs, "id")
+                    .and_then(json::Value::as_int)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
         let verdict = |ix: usize| json::get(&lines[ix], "verdict").cloned();
         assert_eq!(verdict(0), Some(json::Value::Bool(true)));
         assert_eq!(verdict(1), Some(json::Value::Bool(false)));
@@ -236,6 +631,11 @@ mod tests {
         assert_eq!(
             json::get(&lines[3], "op").and_then(json::Value::as_str),
             Some("stats")
+        );
+        // A single-stream session reports one connection in stats.
+        assert_eq!(
+            json::get(&lines[3], "conns_accepted").and_then(json::Value::as_int),
+            Some(1)
         );
         assert_eq!(
             json::get(&lines[4], "op").and_then(json::Value::as_str),
@@ -249,6 +649,17 @@ mod tests {
         assert_eq!(summary.requests, 1);
         assert_eq!(summary.responses, 1);
         assert!(!summary.saw_shutdown);
+        assert_eq!(
+            json::get(&lines[0], "verdict"),
+            Some(&json::Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn trailing_line_without_newline_is_served() {
+        let (summary, lines) = run("{\"op\":\"equiv\",\"lhs\":\"End!\",\"rhs\":\"Dual End?\"}");
+        assert_eq!(summary.requests, 1);
+        assert_eq!(summary.responses, 1);
         assert_eq!(
             json::get(&lines[0], "verdict"),
             Some(&json::Value::Bool(true))
@@ -282,6 +693,51 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_burst_comes_back_in_order() {
+        // Far more requests than batch_max in one burst: several batches
+        // are in flight at once and may complete out of order across
+        // the two workers — the demux must still write request order.
+        let mut input = String::new();
+        for i in 0..200 {
+            let (lhs, rhs) = if i % 3 == 0 {
+                ("!Int.End!", "!Bool.End!")
+            } else {
+                ("!Int.End!", "Dual (?Int.End?)")
+            };
+            input.push_str(&format!(
+                "{{\"id\":{},\"op\":\"equiv\",\"lhs\":\"{lhs}\",\"rhs\":\"{rhs}\"}}\n",
+                i + 1
+            ));
+        }
+        let engine = Engine::with_session(2, Session::new());
+        let mut out = Vec::new();
+        let config = ServeConfig {
+            batch_max: 8,
+            ..ServeConfig::default()
+        };
+        let summary = serve_session(&engine, input.as_bytes(), &mut out, config).unwrap();
+        assert_eq!(summary.requests, 200);
+        assert_eq!(summary.responses, 200);
+        let text = String::from_utf8(out).unwrap();
+        let mut seen = 0i64;
+        for line in text.lines() {
+            let pairs = json::parse_object(line).unwrap();
+            let id = json::get(&pairs, "id")
+                .and_then(json::Value::as_int)
+                .unwrap();
+            assert_eq!(id, seen + 1, "responses out of order");
+            seen = id;
+            let expected = (id - 1) % 3 != 0;
+            assert_eq!(
+                json::get(&pairs, "verdict"),
+                Some(&json::Value::Bool(expected)),
+                "verdict for {id}"
+            );
+        }
+        assert_eq!(seen, 200);
+    }
+
+    #[test]
     fn tcp_round_trip() {
         use std::io::{BufRead, BufReader, Write};
         let engine = Engine::with_session(2, Session::new());
@@ -308,6 +764,60 @@ mod tests {
             assert!(line.contains("\"shutdown\""));
             let summary = server.join().unwrap();
             assert!(summary.saw_shutdown);
+            assert_eq!(summary.connections, 1);
+        });
+    }
+
+    #[test]
+    fn half_written_line_and_dropped_socket_is_discarded_cleanly() {
+        // The satellite fix: a client that sends a full request plus
+        // half of a second line and vanishes without reading must have
+        // its in-flight responses discarded — no panic, no stall — and
+        // the server must keep serving other clients.
+        use std::io::{BufRead, BufReader, Write};
+        let engine = Engine::with_session(2, Session::new());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let server =
+                scope.spawn(|| serve_listener(&engine, &listener, ServeConfig::default()).unwrap());
+            {
+                let mut rude = std::net::TcpStream::connect(addr).unwrap();
+                // A deep pipelined burst keeps responses in flight, then
+                // half a line, then a hard drop without reading a byte.
+                // Closing with unread response data in the receive
+                // buffer makes the kernel reset the connection, so the
+                // server's writer hits a mid-stream write error.
+                let mut burst = String::new();
+                for _ in 0..500 {
+                    burst.push_str(
+                        "{\"op\":\"equiv\",\"lhs\":\"!Int.End!\",\"rhs\":\"Dual (?Int.End?)\"}\n",
+                    );
+                }
+                burst.push_str("{\"op\":\"equiv\",\"lhs\":\"!In");
+                rude.write_all(burst.as_bytes()).unwrap();
+                // Give the server time to respond into our (unread)
+                // receive buffer before the abrupt close.
+                std::thread::sleep(Duration::from_millis(100));
+                // Dropped here without reading any response.
+            }
+            // A well-behaved client on another connection is unaffected.
+            let mut stream = std::net::TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"{\"op\":\"equiv\",\"lhs\":\"End?\",\"rhs\":\"Dual End!\"}\n")
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let pairs = json::parse_object(line.trim()).unwrap();
+            assert_eq!(json::get(&pairs, "verdict"), Some(&json::Value::Bool(true)));
+            stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("\"shutdown\""));
+            let summary = server.join().unwrap();
+            assert!(summary.saw_shutdown);
+            assert_eq!(summary.connections, 2);
         });
     }
 }

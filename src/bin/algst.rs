@@ -13,6 +13,8 @@
 //!     [--workers N]                 # worker pool size (default: 4)
 //!     [--batch N]                   # max requests per batch (default: 256)
 //!     [--listen ADDR]               # TCP instead of stdio, e.g. 127.0.0.1:7878
+//!     [--max-conns N]               # concurrent TCP connection cap (default: 64)
+//!     [--read-timeout SECS]         # drop a silent client after SECS (default: 30; 0 = never)
 //!     [--stats-on-exit]             # print a stats line to stderr at shutdown
 //! algst fuzz                        # cross-layer differential fuzzing
 //!     [--iters N]                   # iterations (default: 200)
@@ -37,7 +39,8 @@ use std::time::Duration;
 
 const USAGE: &str =
     "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]
-       algst serve [--workers N] [--batch N] [--listen ADDR] [--stats-on-exit]
+       algst serve [--workers N] [--batch N] [--listen ADDR] [--max-conns N]
+                   [--read-timeout SECS] [--stats-on-exit]
        algst fuzz [--iters N] [--seed N] [--out DIR] [--sabotage NAME] [--replay FILE] [--quiet]
 FILE may be `-` to read from stdin.";
 
@@ -57,6 +60,8 @@ struct ServeOpts {
     workers: usize,
     batch_max: usize,
     listen: Option<String>,
+    max_conns: usize,
+    read_timeout: Option<Duration>,
     stats_on_exit: bool,
 }
 
@@ -145,6 +150,8 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                 workers: 4,
                 batch_max: 256,
                 listen: None,
+                max_conns: 64,
+                read_timeout: Some(Duration::from_secs(30)),
                 stats_on_exit: false,
             };
             let mut i = 0;
@@ -169,6 +176,21 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                         }
                     }
                     "--listen" => opts.listen = Some(value(&mut i)?.clone()),
+                    "--max-conns" => {
+                        opts.max_conns = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--max-conns takes a positive integer".to_owned())?;
+                        if opts.max_conns == 0 {
+                            return Err("--max-conns takes a positive integer".into());
+                        }
+                    }
+                    "--read-timeout" => {
+                        let secs: u64 = value(&mut i)?
+                            .parse()
+                            .map_err(|_| "--read-timeout takes a number of seconds".to_owned())?;
+                        // 0 = never time a client out.
+                        opts.read_timeout = (secs > 0).then(|| Duration::from_secs(secs));
+                    }
                     "--stats-on-exit" => opts.stats_on_exit = true,
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -313,6 +335,8 @@ fn main() -> ExitCode {
             let config = ServeConfig {
                 batch_max: opts.batch_max,
                 stats_on_exit: opts.stats_on_exit,
+                max_conns: opts.max_conns,
+                read_timeout: opts.read_timeout,
             };
             let served = match &opts.listen {
                 Some(addr) => {
@@ -537,6 +561,10 @@ mod tests {
             "64",
             "--listen",
             "127.0.0.1:7878",
+            "--max-conns",
+            "128",
+            "--read-timeout",
+            "5",
             "--stats-on-exit",
         ]))
         .unwrap() else {
@@ -545,6 +573,8 @@ mod tests {
         assert_eq!(opts.workers, 8);
         assert_eq!(opts.batch_max, 64);
         assert_eq!(opts.listen.as_deref(), Some("127.0.0.1:7878"));
+        assert_eq!(opts.max_conns, 128);
+        assert_eq!(opts.read_timeout, Some(Duration::from_secs(5)));
         assert!(opts.stats_on_exit);
         let Cli::Serve(defaults) = parse_cli(&args(&["serve"])).unwrap() else {
             panic!()
@@ -552,7 +582,17 @@ mod tests {
         assert_eq!(defaults.workers, 4);
         assert_eq!(defaults.batch_max, 256);
         assert_eq!(defaults.listen, None);
+        assert_eq!(defaults.max_conns, 64);
+        assert_eq!(defaults.read_timeout, Some(Duration::from_secs(30)));
         assert!(!defaults.stats_on_exit);
         assert!(parse_cli(&args(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--max-conns", "0"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--read-timeout", "soon"])).is_err());
+        // --read-timeout 0 disables the timeout entirely.
+        let Cli::Serve(no_timeout) = parse_cli(&args(&["serve", "--read-timeout", "0"])).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(no_timeout.read_timeout, None);
     }
 }
