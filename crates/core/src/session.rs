@@ -303,6 +303,26 @@ impl Session {
 
     /// Statistics of the store behind this session (its own pending
     /// delta published first, so the caller sees its work reflected).
+    ///
+    /// Besides hit/miss rates, the stats expose the store's contention
+    /// profile: the snapshot generation, how many generations were
+    /// installed, how many cold interns entered the writer mutex
+    /// (`slow_path`), and the total lock acquisitions — which stay flat
+    /// across warm replays.
+    ///
+    /// ```
+    /// use algst_core::{Session, Type};
+    /// let mut session = Session::new();
+    /// assert!(session.equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
+    /// let stats = session.stats(); // publishes, then snapshots the store
+    /// assert!(stats.slow_path > 0, "cold interning took the writer mutex");
+    /// assert!(stats.generation >= 1 && stats.snapshot_installs >= 1);
+    ///
+    /// // A fully-warm replay acquires no locks at all.
+    /// let locks_before = stats.lock_acquisitions;
+    /// assert!(session.equivalent(&Type::dual(Type::EndIn), &Type::EndOut));
+    /// assert_eq!(session.stats().lock_acquisitions, locks_before);
+    /// ```
     pub fn stats(&mut self) -> StoreStats {
         self.worker.publish();
         self.worker.shared().stats()

@@ -1,32 +1,94 @@
-//! A **sharded concurrent type store**: the multi-threaded lift of
-//! [`crate::store`].
+//! An **epoch-snapshot concurrent type store**: the multi-threaded lift
+//! of [`crate::store`], with a lock-free warm path.
 //!
 //! The single-threaded [`TypeStore`] makes equivalence O(1) amortized,
 //! but each thread used to pay its own cold interning and normalization.
-//! This module shares that warm state across threads:
+//! This module shares that warm state across threads without making any
+//! warm read take a lock or an atomic read-modify-write:
 //!
-//! * [`SharedStore`] — the process-wide, **read-mostly** source of truth:
-//!   an append-only node arena plus hash-consing and `nrm⁺`/`nrm⁻` memo
-//!   maps, each split over [`SHARDS`] `parking_lot` RwLocks so readers on
-//!   different keys never contend. Because the arena is append-only, a
-//!   [`TypeId`] is never invalidated: readers can cache anything they
-//!   have seen forever.
-//! * [`WorkerStore`] — a per-thread handle. It keeps a **local mirror**
-//!   (a plain [`TypeStore`] whose arena is always a prefix-consistent
-//!   copy of the shared one), so warm lookups are lock-free vector
-//!   indexing, exactly as fast as the single-threaded store. Cache
-//!   misses fall through to the shared shards; freshly computed memo
-//!   entries accumulate in **write deltas** that are merged into the
-//!   shared maps on [`WorkerStore::publish`] (called automatically at a
-//!   size threshold and on drop) — after which *every* worker gets warm
-//!   hits for them.
+//! * [`SharedStore`] — the process-wide source of truth. It owns
+//!   - a **lock-free append-only arena** (the id space): a spine of
+//!     doubling segments whose slots are written exactly once, so a
+//!     reader resolves any published [`TypeId`] with plain acquire
+//!     loads;
+//!   - an **immutable, generation-stamped `Snapshot`** of the
+//!     hash-consing map and the `nrm⁺`/`nrm⁻` memo tables. A snapshot is
+//!     a small stack of frozen `Arc<HashMap>` layers (LSM-style), never
+//!     mutated after install; and
+//!   - a single **writer mutex** guarding the pending (not yet
+//!     installed) delta and the arena tail. Only cold interning and
+//!     delta publication ever touch it.
+//! * [`WorkerStore`] — a per-thread handle: a cached `Arc` of some
+//!   recent snapshot plus a **local mirror** (a plain [`TypeStore`]
+//!   whose arena is always a prefix-consistent copy of the shared one).
+//!   Warm lookups hit the mirror or the cached snapshot; freshly
+//!   computed memo entries accumulate in private deltas merged on
+//!   [`WorkerStore::publish`] (automatic at a size threshold and on
+//!   drop), which installs a new generation every other worker can then
+//!   read without locks.
+//!
+//! ## The warm path takes zero locks
+//!
+//! A warm read — id lookup, `nrm` memo hit, intern hit on an existing
+//! node — is, in order: a local-mirror probe (thread-private), then a
+//! probe of the cached snapshot's layers (immutable, lock-free). On a
+//! snapshot miss the worker compares one atomic **generation counter**
+//! (an acquire *load*, not an RMW) against its cached snapshot; only
+//! when the store has actually moved does it refresh through the
+//! snapshot lock, and only a genuine cold miss enters the writer mutex.
+//! The always-on [`StoreStats::lock_acquisitions`] counter records every
+//! lock taken, so "warm replay acquires zero locks" is a testable
+//! invariant, not a hope (see `tests/snapshot_stress.rs`).
+//!
+//! ## Publication protocol
+//!
+//! Writers never mutate shared state in place:
+//!
+//! 1. **Cold intern** (`intern_slow`): take the writer mutex, re-read
+//!    the current snapshot (its generation is frozen while the mutex is
+//!    held, because installs require the same mutex), re-check the
+//!    snapshot *and* the pending delta for a racing intern of the same
+//!    node, and only then append to the arena and record the node in the
+//!    pending delta. This re-check-under-lock is what makes arena ids
+//!    unique and globally agreed.
+//! 2. **Memo publication** (`publish_deltas`): take the writer mutex,
+//!    fold the worker's `nrm±` deltas into the pending delta, and
+//!    **install**: build a new `Snapshot` by pushing the pending delta
+//!    as a fresh layer (merging top layers while a layer is at least
+//!    half its elder's size, so lookup depth stays O(log n) and inserts
+//!    amortize to O(1)), swap it into place, then bump the generation
+//!    counter. Snapshots are immutable after install: an entry present
+//!    in generation g is present, with the same value, in every
+//!    generation ≥ g. Workers may install early (without an explicit
+//!    publish) once the pending delta exceeds a small threshold, so cold
+//!    interns become visible to siblings promptly.
+//!
+//! Memo values can race benignly: `nrm` is deterministic and ids are
+//! global, so two workers computing `nrm(id)` independently record the
+//! *same* entry; installs overwrite equals with equals.
+//!
+//! ## Memory ordering invariants
+//!
+//! * Arena slots are `OnceLock`s: the writer's `set` (release) pairs
+//!   with every reader's `get` (acquire), so a reader that can name an
+//!   id sees its node fully initialized. Ids only travel between
+//!   threads through synchronizing edges (a snapshot install, the writer
+//!   mutex, a channel send), each of which happens-after the slot write
+//!   on the writer thread.
+//! * The arena's `committed` length is released by the writer after the
+//!   slot write and acquired by [`SharedStore::len`]; a length you
+//!   observe is a prefix you can read.
+//! * The generation counter is stored with release ordering *after* the
+//!   new snapshot is swapped in, and probed with acquire ordering; a
+//!   worker that observes generation g through the probe will find a
+//!   snapshot with generation ≥ g when it refreshes.
 //!
 //! ## Id agreement
 //!
-//! All workers of one [`SharedStore`] agree on ids: a node is appended to
-//! the shared arena exactly once (under the arena write lock, re-checking
-//! the intern shard), and a worker copies shared nodes into its mirror
-//! *in arena order*, so the mirror's hash-consing assigns every node the
+//! All workers of one [`SharedStore`] agree on ids: a node is appended
+//! to the arena exactly once (under the writer mutex, after the
+//! re-check), and a worker copies shared nodes into its mirror *in
+//! arena order*, so the mirror's hash-consing assigns every node the
 //! same index it has globally. Children always precede parents in an
 //! append-only arena, so syncing a prefix keeps the mirror closed under
 //! sub-ids.
@@ -39,32 +101,211 @@
 use crate::store::{StoreOps, TNode, TypeId, TypeStore};
 use crate::symbol::Symbol;
 use crate::types::Type;
-use parking_lot::RwLock;
-use std::collections::hash_map::DefaultHasher;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-
-/// Number of lock shards per table. Power of two; keys are spread by
-/// hash (intern map) or id (memo maps).
-pub const SHARDS: usize = 16;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Delta size at which a worker auto-publishes its memo entries.
 const PUBLISH_THRESHOLD: usize = 1024;
+
+/// Pending (uninstalled) writer-side entries at which a cold intern
+/// installs a snapshot on its own, so fresh nodes reach siblings even
+/// between explicit publishes.
+const INSTALL_THRESHOLD: usize = 64;
+
+/// log2 of the first arena segment's slot count.
+const SEG0_BITS: u32 = 10;
+
+/// Number of doubling segments: 2^10 + 2^11 + … covers the whole
+/// `u32` id space with room to spare.
+const SPINE: usize = 22;
+
+// ------------------------------------------------------------- arena
+
+/// Lock-free append-only node arena. Slots are written exactly once
+/// (before their index is ever published) and segments double in size,
+/// so a slot's address never moves and readers need no lock.
+struct Arena {
+    spine: [OnceLock<Box<[OnceLock<TNode>]>>; SPINE],
+    /// Slots fully initialized. Written (release) only under the
+    /// writer mutex; read (acquire) by anyone.
+    committed: AtomicUsize,
+}
+
+impl Arena {
+    fn new() -> Arena {
+        Arena {
+            spine: [const { OnceLock::new() }; SPINE],
+            committed: AtomicUsize::new(0),
+        }
+    }
+
+    /// Maps a flat index to (segment, offset). Segment k holds
+    /// 2^(10+k) slots, so `i + 2^10` lands in the segment named by its
+    /// highest set bit.
+    fn locate(i: usize) -> (usize, usize) {
+        let j = i + (1 << SEG0_BITS);
+        let seg = (usize::BITS - 1 - j.leading_zeros() - SEG0_BITS) as usize;
+        let off = j - (1usize << (seg as u32 + SEG0_BITS));
+        (seg, off)
+    }
+
+    fn len(&self) -> usize {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Reads a committed slot. Lock-free: two acquire loads (segment
+    /// pointer, slot).
+    fn get(&self, i: usize) -> &TNode {
+        let (seg, off) = Self::locate(i);
+        self.spine[seg]
+            .get()
+            .expect("arena segment missing for committed id")[off]
+            .get()
+            .expect("arena slot missing for committed id")
+    }
+
+    /// Appends a node. Caller must hold the writer mutex (single
+    /// writer at a time).
+    fn push(&self, node: TNode) -> usize {
+        let i = self.committed.load(Ordering::Relaxed);
+        let (seg, off) = Self::locate(i);
+        let segment = self.spine[seg].get_or_init(|| {
+            (0..(1usize << (seg as u32 + SEG0_BITS)))
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        if segment[off].set(node).is_err() {
+            unreachable!("arena slot {i} written twice");
+        }
+        self.committed.store(i + 1, Ordering::Release);
+        i
+    }
+}
+
+// ------------------------------------------------------------ layers
+
+/// A frozen stack of hash-map layers, newest last. Lookups scan
+/// newest→oldest; pushing a delta merges top layers while one is at
+/// least half its elder's size (LSM-style), keeping depth O(log n).
+struct Layers<K, V> {
+    layers: Vec<Arc<HashMap<K, V>>>,
+}
+
+impl<K, V> Clone for Layers<K, V> {
+    fn clone(&self) -> Layers<K, V> {
+        Layers {
+            layers: self.layers.clone(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Copy> Layers<K, V> {
+    fn new() -> Layers<K, V> {
+        Layers { layers: Vec::new() }
+    }
+
+    fn get(&self, k: &K) -> Option<V> {
+        self.layers.iter().rev().find_map(|m| m.get(k).copied())
+    }
+
+    fn len(&self) -> usize {
+        self.layers.iter().map(|m| m.len()).sum()
+    }
+
+    /// A new stack with `delta` as the top layer, compacted.
+    fn with_delta(&self, delta: HashMap<K, V>) -> Layers<K, V> {
+        if delta.is_empty() {
+            return self.clone();
+        }
+        let mut layers = self.layers.clone();
+        layers.push(Arc::new(delta));
+        while layers.len() >= 2 {
+            let top = layers[layers.len() - 1].len();
+            let below = layers[layers.len() - 2].len();
+            if top * 2 < below {
+                break;
+            }
+            let top = layers.pop().unwrap();
+            let below = layers.pop().unwrap();
+            // `below` may still be shared with older snapshots, so merge
+            // into a copy; newer entries win (they are equal anyway).
+            let mut merged = HashMap::clone(&below);
+            merged.extend(top.iter().map(|(k, v)| (k.clone(), *v)));
+            layers.push(Arc::new(merged));
+        }
+        Layers { layers }
+    }
+}
+
+// ---------------------------------------------------------- snapshot
+
+/// One immutable, generation-stamped view of the intern and memo
+/// tables. Never mutated after install; prefix property: every entry
+/// of generation g is present unchanged in all generations ≥ g.
+struct Snapshot {
+    generation: u64,
+    /// Arena length at install time; every id in the tables is below it.
+    nodes_len: usize,
+    intern: Layers<TNode, TypeId>,
+    pos: Layers<TypeId, TypeId>,
+    neg: Layers<TypeId, TypeId>,
+}
+
+impl Snapshot {
+    fn empty() -> Snapshot {
+        Snapshot {
+            generation: 0,
+            nodes_len: 0,
+            intern: Layers::new(),
+            pos: Layers::new(),
+            neg: Layers::new(),
+        }
+    }
+}
+
+/// Writer-side entries not yet installed into a snapshot. Guarded by
+/// the writer mutex.
+#[derive(Default)]
+struct Pending {
+    intern: HashMap<TNode, TypeId>,
+    pos: HashMap<TypeId, TypeId>,
+    neg: HashMap<TypeId, TypeId>,
+}
+
+impl Pending {
+    fn len(&self) -> usize {
+        self.intern.len() + self.pos.len() + self.neg.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ------------------------------------------------------------- stats
 
 #[derive(Default)]
 struct Counters {
     /// `nrm` memo hits answered from a worker's local mirror.
     nrm_local_hits: AtomicU64,
-    /// `nrm` memo hits answered by a shared shard (then cached locally).
-    nrm_shared_hits: AtomicU64,
+    /// `nrm` memo hits answered by a snapshot layer (then cached locally).
+    nrm_snapshot_hits: AtomicU64,
     /// `nrm` memo misses (a normal form actually computed).
     nrm_misses: AtomicU64,
-    /// Times a worker merged its deltas into the shared maps.
+    /// Times a worker published non-empty deltas.
     publishes: AtomicU64,
     /// Workers ever attached.
     workers: AtomicU64,
+    /// Snapshot generations installed.
+    installs: AtomicU64,
+    /// Cold interns that entered the writer mutex.
+    slow_path: AtomicU64,
+    /// Every lock acquisition on the store (writer mutex + snapshot
+    /// RwLock, reads and writes). Zero across a warm replay.
+    lock_acquisitions: AtomicU64,
 }
 
 /// A point-in-time snapshot of store-wide statistics, for the server's
@@ -75,16 +316,25 @@ struct Counters {
 pub struct StoreStats {
     /// Distinct hash-consed nodes in the shared arena.
     pub nodes: u64,
-    /// `nrm⁺`/`nrm⁻` memo hits (local mirror + shared shards).
+    /// `nrm⁺`/`nrm⁻` memo hits (local mirror + snapshot layers).
     pub nrm_hits: u64,
-    /// Of those, hits that had to touch a shared shard.
+    /// Of those, hits that had to read a snapshot layer.
     pub nrm_shared_hits: u64,
     /// `nrm⁺`/`nrm⁻` computations that found no memo entry.
     pub nrm_misses: u64,
-    /// Delta merges performed by workers.
+    /// Non-empty delta publications by workers.
     pub publishes: u64,
     /// Workers ever attached to this store.
     pub workers: u64,
+    /// Current snapshot generation (0 = nothing installed yet).
+    pub generation: u64,
+    /// Snapshot generations installed (publishes + threshold installs).
+    pub snapshot_installs: u64,
+    /// Cold interns that took the writer mutex.
+    pub slow_path: u64,
+    /// Total lock acquisitions on the shared store. A fully-warm
+    /// replay adds exactly zero (see `tests/snapshot_stress.rs`).
+    pub lock_acquisitions: u64,
 }
 
 impl StoreStats {
@@ -98,26 +348,28 @@ impl StoreStats {
     }
 }
 
-/// The process-wide arena + memo tables. Cheap to share (`Arc`); create
+// ------------------------------------------------------- SharedStore
+
+/// The process-wide arena + snapshot. Cheap to share (`Arc`); create
 /// per-thread handles with [`SharedStore::worker`].
 pub struct SharedStore {
-    /// Append-only node arena: the id space. Guarded by one RwLock —
-    /// workers only read it when extending their mirror (rare after
-    /// warm-up), and only writers append.
-    nodes: RwLock<Vec<TNode>>,
-    /// Hash-consing map, sharded by node hash.
-    intern: Vec<RwLock<HashMap<TNode, TypeId>>>,
-    /// `nrm⁺` memo, sharded by id.
-    pos: Vec<RwLock<HashMap<TypeId, TypeId>>>,
-    /// `nrm⁻` memo, sharded by id.
-    neg: Vec<RwLock<HashMap<TypeId, TypeId>>>,
+    arena: Arena,
+    /// Fast staleness probe: equals `current`'s generation. Stored
+    /// (release) after each install, probed (acquire) lock-free.
+    generation: AtomicU64,
+    /// The current snapshot. Locked only to refresh after a stale
+    /// probe and to install — never on the warm path.
+    current: RwLock<Arc<Snapshot>>,
+    /// Writer mutex: pending delta + arena tail. Cold path only.
+    pending: Mutex<Pending>,
     counters: Counters,
 }
 
 impl std::fmt::Debug for SharedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SharedStore")
-            .field("nodes", &self.nodes.read().len())
+            .field("nodes", &self.len())
+            .field("generation", &self.generation.load(Ordering::Relaxed))
             .finish()
     }
 }
@@ -128,21 +380,13 @@ impl Default for SharedStore {
     }
 }
 
-fn shard_table() -> Vec<RwLock<HashMap<TNode, TypeId>>> {
-    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
-}
-
-fn memo_table() -> Vec<RwLock<HashMap<TypeId, TypeId>>> {
-    (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect()
-}
-
 impl SharedStore {
     pub fn new() -> SharedStore {
         SharedStore {
-            nodes: RwLock::new(Vec::new()),
-            intern: shard_table(),
-            pos: memo_table(),
-            neg: memo_table(),
+            arena: Arena::new(),
+            generation: AtomicU64::new(0),
+            current: RwLock::new(Arc::new(Snapshot::empty())),
+            pending: Mutex::new(Pending::default()),
             counters: Counters::default(),
         }
     }
@@ -153,23 +397,25 @@ impl SharedStore {
         Arc::new(SharedStore::new())
     }
 
-    /// Attaches a new per-thread worker handle.
+    /// Attaches a new per-thread worker handle (one counted lock, to
+    /// grab the current snapshot).
     pub fn worker(self: &Arc<Self>) -> WorkerStore {
         self.counters.workers.fetch_add(1, Ordering::Relaxed);
         WorkerStore {
+            snapshot: self.load_snapshot(),
             shared: Arc::clone(self),
             local: TypeStore::new(),
             delta_pos: Vec::new(),
             delta_neg: Vec::new(),
             local_hits: 0,
-            shared_hits: 0,
+            snapshot_hits: 0,
             misses: 0,
         }
     }
 
     /// Distinct nodes interned so far (across all workers).
     pub fn len(&self) -> usize {
-        self.nodes.read().len()
+        self.arena.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -182,83 +428,115 @@ impl SharedStore {
         StoreStats {
             nodes: self.len() as u64,
             nrm_hits: c.nrm_local_hits.load(Ordering::Relaxed)
-                + c.nrm_shared_hits.load(Ordering::Relaxed),
-            nrm_shared_hits: c.nrm_shared_hits.load(Ordering::Relaxed),
+                + c.nrm_snapshot_hits.load(Ordering::Relaxed),
+            nrm_shared_hits: c.nrm_snapshot_hits.load(Ordering::Relaxed),
             nrm_misses: c.nrm_misses.load(Ordering::Relaxed),
             publishes: c.publishes.load(Ordering::Relaxed),
             workers: c.workers.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
+            snapshot_installs: c.installs.load(Ordering::Relaxed),
+            slow_path: c.slow_path.load(Ordering::Relaxed),
+            lock_acquisitions: c.lock_acquisitions.load(Ordering::Relaxed),
         }
     }
 
-    fn node_shard(node: &TNode) -> usize {
-        let mut h = DefaultHasher::new();
-        node.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+    fn count_lock(&self) {
+        self.counters
+            .lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    fn id_shard(id: TypeId) -> usize {
-        id.index() % SHARDS
+    /// Reads the current snapshot (one counted read-lock).
+    fn load_snapshot(&self) -> Arc<Snapshot> {
+        self.count_lock();
+        Arc::clone(&self.current.read())
     }
 
-    /// Hash-conses `node` globally. Fast path: one shard read lock.
-    /// Slow path (new node): arena write lock, then shard write lock,
-    /// re-checking for a racing intern of the same node.
-    fn intern_node(&self, node: &TNode) -> TypeId {
-        let sh = Self::node_shard(node);
-        if let Some(&id) = self.intern[sh].read().get(node) {
-            return id;
+    /// Installs the pending delta as a new generation. Caller holds the
+    /// writer mutex; `base` must be the current snapshot (its generation
+    /// cannot move while the mutex is held).
+    fn install_locked(&self, pending: &mut Pending, base: &Snapshot) -> Arc<Snapshot> {
+        let next = Arc::new(Snapshot {
+            generation: base.generation + 1,
+            nodes_len: self.arena.len(),
+            intern: base.intern.with_delta(std::mem::take(&mut pending.intern)),
+            pos: base.pos.with_delta(std::mem::take(&mut pending.pos)),
+            neg: base.neg.with_delta(std::mem::take(&mut pending.neg)),
+        });
+        debug_assert!(
+            next.intern.len() <= next.nodes_len,
+            "snapshot names an id beyond the arena"
+        );
+        self.count_lock();
+        *self.current.write() = Arc::clone(&next);
+        // Release: pairs with the acquire probe in `WorkerStore::refresh`.
+        self.generation.store(next.generation, Ordering::Release);
+        self.counters.installs.fetch_add(1, Ordering::Relaxed);
+        next
+    }
+
+    /// Cold interning slow path: the only place nodes are appended.
+    /// Returns the id plus the snapshot the decision was made against
+    /// (possibly newer than the caller's).
+    fn intern_slow(&self, node: &TNode) -> (TypeId, Arc<Snapshot>) {
+        self.counters.slow_path.fetch_add(1, Ordering::Relaxed);
+        self.count_lock();
+        let mut pending = self.pending.lock();
+        // Re-read under the mutex: another writer may have installed a
+        // newer generation between our lock-free probes and here.
+        let snap = self.load_snapshot();
+        if let Some(id) = snap.intern.get(node) {
+            return (id, snap);
         }
-        // Lock order everywhere: arena before intern shard.
-        let mut nodes = self.nodes.write();
-        let mut map = self.intern[sh].write();
-        if let Some(&id) = map.get(node) {
-            return id;
+        if let Some(&id) = pending.intern.get(node) {
+            return (id, snap);
         }
-        let id = TypeId::from_index(nodes.len());
-        nodes.push(node.clone());
-        map.insert(node.clone(), id);
-        id
+        let id = TypeId::from_index(self.arena.push(node.clone()));
+        pending.intern.insert(node.clone(), id);
+        if pending.len() >= INSTALL_THRESHOLD {
+            let snap = self.install_locked(&mut pending, &snap);
+            return (id, snap);
+        }
+        (id, snap)
     }
 
-    fn memo_get(table: &[RwLock<HashMap<TypeId, TypeId>>], id: TypeId) -> Option<TypeId> {
-        table[Self::id_shard(id)].read().get(&id).copied()
-    }
-
-    fn memo_merge(table: &[RwLock<HashMap<TypeId, TypeId>>], delta: &[(TypeId, TypeId)]) {
-        // Group by shard so each lock is taken once per publish.
-        for (sh, shard) in table.iter().enumerate() {
-            let mut batch = delta
-                .iter()
-                .filter(|(id, _)| Self::id_shard(*id) == sh)
-                .peekable();
-            if batch.peek().is_none() {
-                continue;
-            }
-            let mut map = shard.write();
-            for &(id, nf) in batch {
-                map.insert(id, nf);
-            }
+    /// Folds a worker's memo deltas into the pending delta and installs
+    /// a new generation. Called only with non-empty deltas.
+    fn publish_deltas(&self, pos: &[(TypeId, TypeId)], neg: &[(TypeId, TypeId)]) -> Arc<Snapshot> {
+        self.count_lock();
+        let mut pending = self.pending.lock();
+        pending.pos.extend(pos.iter().copied());
+        pending.neg.extend(neg.iter().copied());
+        let snap = self.load_snapshot();
+        if pending.is_empty() {
+            return snap;
         }
+        self.install_locked(&mut pending, &snap)
     }
 }
+
+// ------------------------------------------------------- WorkerStore
 
 /// A per-thread (or per-worker) handle onto a [`SharedStore`].
 ///
 /// Implements the same id-level operations as [`TypeStore`] — `intern`,
 /// `nrm`, `equivalent_ids`, substitution, extraction — with identical
 /// semantics (both run the [`StoreOps`] algorithms). Warm queries touch
-/// only the local mirror; cold ones consult the shared shards and
-/// publish what they learn.
+/// only the local mirror and the cached immutable snapshot (no locks);
+/// cold ones enter the shared writer mutex and publish what they learn.
 pub struct WorkerStore {
     shared: Arc<SharedStore>,
+    /// Cached (possibly stale) snapshot; refreshed only after a miss
+    /// when the generation probe says the store has moved.
+    snapshot: Arc<Snapshot>,
     /// Prefix-consistent mirror of the shared arena; also holds the
     /// local memo caches, binder-name hints and the extraction memo.
     local: TypeStore,
-    /// Memo entries computed here and not yet merged into the shared maps.
+    /// Memo entries computed here and not yet published.
     delta_pos: Vec<(TypeId, TypeId)>,
     delta_neg: Vec<(TypeId, TypeId)>,
     local_hits: u64,
-    shared_hits: u64,
+    snapshot_hits: u64,
     misses: u64,
 }
 
@@ -266,6 +544,7 @@ impl std::fmt::Debug for WorkerStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkerStore")
             .field("mirrored", &self.local.len())
+            .field("generation", &self.snapshot.generation)
             .field(
                 "unpublished",
                 &(self.delta_pos.len() + self.delta_neg.len()),
@@ -287,41 +566,58 @@ impl WorkerStore {
         &self.local
     }
 
-    /// Extends the local mirror to cover `id`. Copying in arena order
-    /// reproduces the shared indices exactly (see module docs).
+    /// Re-reads the generation counter (acquire load, no RMW) and
+    /// refreshes the cached snapshot if the store has moved. Returns
+    /// true when the snapshot changed.
+    fn refresh(&mut self) -> bool {
+        if self.shared.generation.load(Ordering::Acquire) == self.snapshot.generation {
+            return false;
+        }
+        self.snapshot = self.shared.load_snapshot();
+        true
+    }
+
+    /// Extends the local mirror to cover `id`, reading the lock-free
+    /// arena directly. Copying in arena order reproduces the shared
+    /// indices exactly (see module docs).
     fn sync_to(&mut self, id: TypeId) {
         if self.local.len() > id.index() {
             return;
         }
-        let nodes = self.shared.nodes.read();
         for i in self.local.len()..=id.index() {
-            let got = self.local.mk(nodes[i].clone());
+            let got = self.local.mk(self.shared.arena.get(i).clone());
             debug_assert_eq!(got.index(), i, "mirror diverged from shared arena");
         }
     }
 
-    /// Merges this worker's memo deltas into the shared shards and folds
-    /// its hit/miss counters into the shared statistics. Cheap when
-    /// there is nothing to publish.
+    /// Publishes this worker's memo deltas as a new snapshot generation
+    /// and folds its hit/miss counters into the shared statistics.
+    /// Takes no locks when there is nothing to publish.
     pub fn publish(&mut self) {
-        if !self.delta_pos.is_empty() {
-            SharedStore::memo_merge(&self.shared.pos, &self.delta_pos);
+        if !self.delta_pos.is_empty() || !self.delta_neg.is_empty() {
+            self.snapshot = self.shared.publish_deltas(&self.delta_pos, &self.delta_neg);
             self.delta_pos.clear();
-        }
-        if !self.delta_neg.is_empty() {
-            SharedStore::memo_merge(&self.shared.neg, &self.delta_neg);
             self.delta_neg.clear();
+            self.shared
+                .counters
+                .publishes
+                .fetch_add(1, Ordering::Relaxed);
         }
         let c = &self.shared.counters;
-        c.nrm_local_hits
-            .fetch_add(self.local_hits, Ordering::Relaxed);
-        c.nrm_shared_hits
-            .fetch_add(self.shared_hits, Ordering::Relaxed);
-        c.nrm_misses.fetch_add(self.misses, Ordering::Relaxed);
-        c.publishes.fetch_add(1, Ordering::Relaxed);
-        self.local_hits = 0;
-        self.shared_hits = 0;
-        self.misses = 0;
+        if self.local_hits > 0 {
+            c.nrm_local_hits
+                .fetch_add(self.local_hits, Ordering::Relaxed);
+            self.local_hits = 0;
+        }
+        if self.snapshot_hits > 0 {
+            c.nrm_snapshot_hits
+                .fetch_add(self.snapshot_hits, Ordering::Relaxed);
+            self.snapshot_hits = 0;
+        }
+        if self.misses > 0 {
+            c.nrm_misses.fetch_add(self.misses, Ordering::Relaxed);
+            self.misses = 0;
+        }
     }
 
     fn maybe_publish(&mut self) {
@@ -338,7 +634,7 @@ impl WorkerStore {
         StoreOps::intern(self, t)
     }
 
-    /// Memoized `nrm⁺` at the id level (local mirror → shared shards →
+    /// Memoized `nrm⁺` at the id level (local mirror → snapshot →
     /// compute and record).
     pub fn nrm(&mut self, id: TypeId) -> TypeId {
         StoreOps::nrm(self, id)
@@ -400,7 +696,20 @@ impl StoreOps for WorkerStore {
         if let Some(id) = self.local.lookup_node(&node) {
             return id;
         }
-        let id = self.shared.intern_node(&node);
+        let mut found = self.snapshot.intern.get(&node);
+        if found.is_none() && self.refresh() {
+            found = self.snapshot.intern.get(&node);
+        }
+        let id = match found {
+            Some(id) => id,
+            None => {
+                let (id, snap) = self.shared.intern_slow(&node);
+                if snap.generation > self.snapshot.generation {
+                    self.snapshot = snap;
+                }
+                id
+            }
+        };
         self.sync_to(id);
         id
     }
@@ -416,8 +725,12 @@ impl StoreOps for WorkerStore {
             self.local_hits += 1;
             return Some(n);
         }
-        if let Some(n) = SharedStore::memo_get(&self.shared.pos, id) {
-            self.shared_hits += 1;
+        let mut hit = self.snapshot.pos.get(&id);
+        if hit.is_none() && self.refresh() {
+            hit = self.snapshot.pos.get(&id);
+        }
+        if let Some(n) = hit {
+            self.snapshot_hits += 1;
             self.sync_to(n);
             StoreOps::memo_pos_record(&mut self.local, id, n);
             return Some(n);
@@ -440,8 +753,12 @@ impl StoreOps for WorkerStore {
             self.local_hits += 1;
             return Some(n);
         }
-        if let Some(n) = SharedStore::memo_get(&self.shared.neg, id) {
-            self.shared_hits += 1;
+        let mut hit = self.snapshot.neg.get(&id);
+        if hit.is_none() && self.refresh() {
+            hit = self.snapshot.neg.get(&id);
+        }
+        if let Some(n) = hit {
+            self.snapshot_hits += 1;
             self.sync_to(n);
             StoreOps::memo_neg_record(&mut self.local, id, n);
             return Some(n);
@@ -499,6 +816,42 @@ mod tests {
     }
 
     #[test]
+    fn arena_locate_round_trips() {
+        let mut flat = 0usize;
+        for seg in 0..6usize {
+            let size = 1usize << (seg as u32 + SEG0_BITS);
+            for off in [0, 1, size / 2, size - 1] {
+                let i = (1usize << (seg as u32 + SEG0_BITS)) - (1 << SEG0_BITS) + off;
+                assert_eq!(Arena::locate(i), (seg, off), "index {i}");
+            }
+            flat += size;
+        }
+        assert!(flat > 0);
+    }
+
+    #[test]
+    fn layers_compact_and_shadow() {
+        let mut layers: Layers<u32, u32> = Layers::new();
+        for gen in 0..100u32 {
+            let mut delta = HashMap::new();
+            delta.insert(gen, gen * 2);
+            delta.insert(1000 + gen % 3, gen); // repeatedly overwritten keys
+            layers = layers.with_delta(delta);
+        }
+        assert!(
+            layers.layers.len() <= 8,
+            "compaction failed: {} layers for 100 deltas",
+            layers.layers.len()
+        );
+        for gen in 0..100u32 {
+            assert_eq!(layers.get(&gen), Some(gen * 2));
+        }
+        // Newest write wins for shadowed keys: key 1000 is written by every
+        // gen with gen % 3 == 0, so gen 99 is the last writer.
+        assert_eq!(layers.get(&1000), Some(99));
+    }
+
+    #[test]
     fn workers_agree_on_ids_and_verdicts() {
         let shared = SharedStore::new_arc();
         let mut w1 = shared.worker();
@@ -539,13 +892,38 @@ mod tests {
         let n = w1.nrm(id);
         w1.publish();
         // A brand-new worker sees the published memo: its first nrm is a
-        // shared-shard hit, not a recomputation.
+        // snapshot hit, not a recomputation.
         let mut w2 = shared.worker();
         let before = shared.stats();
         assert_eq!(w2.nrm(id), n);
         w2.publish();
         let after = shared.stats();
         assert!(after.nrm_shared_hits > before.nrm_shared_hits);
+        assert_eq!(after.nrm_misses, before.nrm_misses, "nothing recomputed");
+    }
+
+    #[test]
+    fn threshold_install_shares_cold_interns_without_publish() {
+        let shared = SharedStore::new_arc();
+        let mut w1 = shared.worker();
+        // Intern well past INSTALL_THRESHOLD fresh nodes; never publish.
+        for i in 0..(4 * INSTALL_THRESHOLD) {
+            w1.intern(&Type::output(
+                Type::int(),
+                Type::var(format!("v{i}").as_str()),
+            ));
+        }
+        let stats = shared.stats();
+        assert!(
+            stats.snapshot_installs >= 1,
+            "cold interning must install snapshots on its own"
+        );
+        assert!(stats.slow_path >= 4 * INSTALL_THRESHOLD as u64);
+        // A fresh worker resolves an installed node without the slow path.
+        let mut w2 = shared.worker();
+        let before = shared.stats().slow_path;
+        w2.intern(&Type::output(Type::int(), Type::var("v0")));
+        assert_eq!(shared.stats().slow_path, before, "hit must be lock-free");
     }
 
     #[test]
@@ -576,6 +954,9 @@ mod tests {
         assert!(stats.nrm_hits > 0, "second contact hits the memo");
         assert!(stats.nrm_hit_rate() > 0.0 && stats.nrm_hit_rate() < 1.0);
         assert_eq!(stats.workers, 1);
+        assert!(stats.generation >= 1, "publish installs a generation");
+        assert!(stats.snapshot_installs >= 1);
+        assert!(stats.slow_path > 0, "cold interning walks the slow path");
     }
 
     #[test]

@@ -129,6 +129,88 @@ pub fn equiv_workload(suites: &[&Suite], requests: usize, seed: u64) -> Workload
     }
 }
 
+/// A session-syntax tag type unique to `i`: the binary digits of `i`
+/// (LSB outermost) as a `!Int.` / `?Bool.` chain over `End!`. Distinct
+/// `i` give non-equivalent (already normal) session types, the encoding
+/// uses only constructs every wire renderer/parser round-trips, and
+/// tags share suffixes so the arena grows O(1) nodes per tag.
+fn fresh_tag(i: usize) -> Type {
+    let mut t = Type::EndOut;
+    let mut n = i;
+    loop {
+        t = if n & 1 == 0 {
+            Type::output(Type::int(), t)
+        } else {
+            Type::input(Type::bool(), t)
+        };
+        n >>= 1;
+        if n == 0 {
+            break;
+        }
+    }
+    t
+}
+
+/// A **cold-heavy** request stream: roughly `fresh_permille`/1000 of
+/// the requests query a *never-seen-before* pair, modeling tenants that
+/// keep bringing new protocols instead of replaying warm ones.
+///
+/// A fresh pair is a base pair with both sides wrapped in the same
+/// `!(tag).·` guard, where an internal tag generator makes the tag unique per fresh
+/// request. Wrapping both sides in an identical send of a non-`Neg`
+/// payload preserves the verdict exactly — `nrm` distributes to
+/// `!(nrm tag).nrm lhs` vs `!(nrm tag).nrm rhs`, which are equal iff the
+/// normal forms of the originals are — so the stream stays fully
+/// checkable against the suites' ground truth while forcing cold
+/// interning and normalization on nearly every such request.
+pub fn cold_heavy_workload(
+    suites: &[&Suite],
+    requests: usize,
+    fresh_permille: u32,
+    seed: u64,
+) -> Workload {
+    let base = equiv_workload(suites, 0, seed);
+    let mut pairs = base.pairs;
+    let base_len = pairs.len();
+    if base_len == 0 {
+        return Workload {
+            pairs,
+            requests: Vec::new(),
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = Vec::with_capacity(requests);
+    let mut fresh = 0usize;
+    for _ in 0..requests {
+        if rng.gen_range(0..1000u32) < fresh_permille {
+            let b = rng.gen_range(0..base_len);
+            let tag = fresh_tag(fresh);
+            fresh += 1;
+            let p = pairs[b].clone();
+            pairs.push(WorkloadPair {
+                suite: p.suite,
+                case: p.case,
+                lhs: Type::output(tag.clone(), p.lhs),
+                rhs: Type::output(tag, p.rhs),
+                expected: p.expected,
+            });
+            stream.push(WorkloadRequest {
+                pair: pairs.len() - 1,
+                flipped: false,
+            });
+        } else {
+            stream.push(WorkloadRequest {
+                pair: rng.gen_range(0..base_len),
+                flipped: rng.gen_range(0..2) == 1,
+            });
+        }
+    }
+    Workload {
+        pairs,
+        requests: stream,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +287,46 @@ mod tests {
         let a = equiv_workload(&[&eq], 40, 9);
         let b = equiv_workload(&[&eq], 40, 9);
         assert_eq!(a.requests, b.requests);
+        let a = cold_heavy_workload(&[&eq], 40, 750, 9);
+        let b = cold_heavy_workload(&[&eq], 40, 750, 9);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.pairs.len(), b.pairs.len());
+    }
+
+    #[test]
+    fn fresh_tags_are_distinct_and_normal() {
+        let mut s = Session::new();
+        let ids: Vec<_> = (0..64).map(|i| s.intern(&fresh_tag(i))).collect();
+        for (i, &a) in ids.iter().enumerate() {
+            assert_eq!(s.nrm(a), a, "tag {i} must be its own normal form");
+            for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "tags {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn cold_heavy_is_mostly_fresh_and_ground_truth_holds() {
+        let eq = build_suite(SuiteKind::Equivalent, 6, 61);
+        let ne = build_suite(SuiteKind::NonEquivalent, 6, 62);
+        let w = cold_heavy_workload(&[&eq, &ne], 200, 750, 13);
+        assert_eq!(w.len(), 200);
+        let base = 12;
+        let fresh = w.requests.iter().filter(|r| r.pair >= base).count();
+        assert!(
+            (100..=200).contains(&fresh),
+            "expected ~75% fresh pairs, got {fresh}/200"
+        );
+        // Fresh pairs are unique: each is queried exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for r in w.requests.iter().filter(|r| r.pair >= base) {
+            assert!(seen.insert(r.pair), "fresh pair {} repeated", r.pair);
+        }
+        // Wrapping preserved every verdict.
+        let mut s = Session::new();
+        for i in 0..w.len() {
+            let (lhs, rhs, expected) = w.request(i);
+            assert_eq!(s.equivalent(lhs, rhs), expected, "request {i}");
+        }
     }
 }

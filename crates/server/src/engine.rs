@@ -13,31 +13,53 @@
 //! Nothing in the engine reaches a process-global store, so two engines
 //! in one process are fully isolated (see `tests/isolation.rs`).
 //!
-//! Above the store sit three request-level caches, all shared across
-//! workers:
+//! Above the store sit the request-level caches. Like the type store
+//! itself, they are **two-tier** so the warm path is lock-free:
+//!
+//! * each worker keeps **private** verdict and parse maps
+//!   (`WorkerCaches`) answering repeated pairs/strings with zero
+//!   shared-memory traffic — sound because a verdict for a pair of ids
+//!   and the id for a source string never change;
+//! * behind them sit the **shared, sharded** fallback maps, consulted
+//!   (and filled) only on a worker's first miss, so one worker's cold
+//!   computation still warms every other worker's fallback. Every
+//!   shard-lock acquisition is counted in `cache_locks`.
+//!
+//! The caches:
 //!
 //! * the **per-pair verdict cache** (`equiv` memo): a canonically
-//!   ordered `(TypeId, TypeId) → bool` map, sharded like the store.
-//!   A repeated pair — the dominant case under real traffic — skips
-//!   even the `nrm` memo lookups, and its response says `"warm":true`.
+//!   ordered `(TypeId, TypeId) → bool` map. A repeated pair — the
+//!   dominant case under real traffic — skips even the `nrm` memo
+//!   lookups, and its response says `"warm":true`.
 //! * the **parse cache**: source string → interned [`TypeId`], skipping
 //!   lex/parse/resolve for repeated type strings.
 //! * the **module cache** (`check` op): source → checked
 //!   [`Module`](algst_check::Module), see [`algst_check::cache`].
+//!
+//! Request counters are tallied per batch in worker-local integers and
+//! folded into the shared atomics once per batch, so the per-request
+//! warm path performs no atomic RMWs either. Statistics therefore trail
+//! the live state by at most one in-flight batch per worker (a `stats`
+//! request folds its own worker's tally first).
 
 use crate::protocol::{Op, Request, Response, Snapshot};
 use crate::resolve::type_from_str;
 use algst_check::cache::ModuleCache;
-use algst_core::shared::{SharedStore, SHARDS};
+use algst_core::shared::SharedStore;
 use algst_core::store::TypeId;
 use algst_core::Session;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Lock shards for the shared fallback caches. Worker-local caches
+/// absorb the warm path; the shards only see each worker's first miss
+/// on a key, so a small fixed count is plenty.
+const SHARDS: usize = 16;
 
 /// What the workers send back per batch: the submitter's sequence tag
 /// plus the responses, in batch order. The tag lets a submitter with
@@ -65,9 +87,9 @@ impl std::fmt::Debug for Batch {
 
 /// Request-level shared state (everything above the type store).
 struct EngineState {
-    /// Per-pair verdict cache, keyed by canonically ordered ids.
+    /// Shared fallback verdict cache, keyed by canonically ordered ids.
     verdicts: Vec<RwLock<HashMap<(TypeId, TypeId), bool>>>,
-    /// Type-string parse cache (successes only; errors are rare and
+    /// Shared fallback parse cache (successes only; errors are rare and
     /// cheap to reproduce).
     parses: Vec<RwLock<HashMap<String, TypeId>>>,
     modules: ModuleCache,
@@ -75,6 +97,28 @@ struct EngineState {
     requests: AtomicU64,
     equiv_hits: AtomicU64,
     equiv_misses: AtomicU64,
+    /// Shard-lock acquisitions on the fallback caches. Flat across a
+    /// warm replay (worker-local caches answer everything).
+    cache_locks: AtomicU64,
+}
+
+/// Per-worker private caches over [`EngineState`]'s shared fallbacks.
+/// Both maps memo facts that never change (a verdict for a pair of
+/// interned ids; the id a source string parses to), so caching them
+/// per worker without invalidation is sound.
+#[derive(Default)]
+struct WorkerCaches {
+    verdicts: HashMap<(TypeId, TypeId), bool>,
+    parses: HashMap<String, TypeId>,
+}
+
+/// Per-batch counter tally, folded into [`EngineState`]'s atomics once
+/// per batch (not per request).
+#[derive(Default)]
+struct Tally {
+    requests: u64,
+    equiv_hits: u64,
+    equiv_misses: u64,
 }
 
 impl EngineState {
@@ -87,6 +131,21 @@ impl EngineState {
             requests: AtomicU64::new(0),
             equiv_hits: AtomicU64::new(0),
             equiv_misses: AtomicU64::new(0),
+            cache_locks: AtomicU64::new(0),
+        }
+    }
+
+    fn fold(&self, tally: &Tally) {
+        if tally.requests > 0 {
+            self.requests.fetch_add(tally.requests, Ordering::Relaxed);
+        }
+        if tally.equiv_hits > 0 {
+            self.equiv_hits
+                .fetch_add(tally.equiv_hits, Ordering::Relaxed);
+        }
+        if tally.equiv_misses > 0 {
+            self.equiv_misses
+                .fetch_add(tally.equiv_misses, Ordering::Relaxed);
         }
     }
 
@@ -100,6 +159,7 @@ impl EngineState {
             equiv_hits: self.equiv_hits.load(Ordering::Relaxed),
             equiv_misses: self.equiv_misses.load(Ordering::Relaxed),
             parse_entries,
+            cache_locks: self.cache_locks.load(Ordering::Relaxed),
             ..Snapshot::default()
         };
         snap.merge_store(store.stats());
@@ -111,7 +171,12 @@ impl EngineState {
         (key.0.index() ^ key.1.index().rotate_left(16)) % SHARDS
     }
 
+    fn count_cache_lock(&self) {
+        self.cache_locks.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn verdict_get(&self, key: (TypeId, TypeId)) -> Option<bool> {
+        self.count_cache_lock();
         self.verdicts[Self::pair_shard(key)]
             .read()
             .get(&key)
@@ -119,6 +184,7 @@ impl EngineState {
     }
 
     fn verdict_put(&self, key: (TypeId, TypeId), verdict: bool) {
+        self.count_cache_lock();
         self.verdicts[Self::pair_shard(key)]
             .write()
             .insert(key, verdict);
@@ -132,10 +198,12 @@ impl EngineState {
     }
 
     fn parse_get(&self, src: &str) -> Option<TypeId> {
+        self.count_cache_lock();
         self.parses[Self::str_shard(src)].read().get(src).copied()
     }
 
     fn parse_put(&self, src: &str, id: TypeId) {
+        self.count_cache_lock();
         self.parses[Self::str_shard(src)]
             .write()
             .insert(src.to_owned(), id);
@@ -151,7 +219,13 @@ impl EngineState {
 /// The worker pool. Submit [`Batch`]es with [`Engine::submit`]; drop
 /// (or [`Engine::shutdown`]) to stop the workers.
 pub struct Engine {
-    tx: Option<Sender<Batch>>,
+    /// One queue per worker, batches dealt round-robin. A single shared
+    /// MPMC queue double-wakes on small hosts: every push notifies a
+    /// *parked* worker even though an active worker drains the message
+    /// first, so the woken worker loses the race and re-parks — two
+    /// context switches per batch instead of one once the pool grows.
+    tx: Option<Vec<Sender<Batch>>>,
+    next: AtomicUsize,
     workers: Vec<JoinHandle<()>>,
     shared: Arc<SharedStore>,
     state: Arc<EngineState>,
@@ -167,8 +241,15 @@ impl std::fmt::Debug for Engine {
 
 /// Queue capacity: enough in-flight batches to keep every worker busy
 /// without buffering unbounded input.
+/// Admission window per worker queue. The cap is chosen so that the
+/// total of admitted-but-unfinished batches (queued across all queues +
+/// one in service per worker) stays roughly constant as the pool grows:
+/// queueing delay then converts into parallel service instead of
+/// compounding with the worker count, keeping tail latency flat across
+/// pool sizes.
 fn queue_capacity(workers: usize) -> usize {
-    workers.max(1) * 4
+    const INFLIGHT_TARGET: usize = 16;
+    (INFLIGHT_TARGET / workers.max(1)).max(2)
 }
 
 impl Engine {
@@ -192,11 +273,12 @@ impl Engine {
     /// [`Engine::with_session`] from the raw shared store handle.
     pub fn with_store(workers: usize, shared: Arc<SharedStore>) -> Engine {
         let workers = workers.max(1);
-        let (tx, rx) = bounded::<Batch>(queue_capacity(workers));
         let state = Arc::new(EngineState::new(workers));
+        let mut txs = Vec::with_capacity(workers);
         let handles = (0..workers)
             .map(|i| {
-                let rx = rx.clone();
+                let (tx, rx) = bounded::<Batch>(queue_capacity(workers));
+                txs.push(tx);
                 let shared = Arc::clone(&shared);
                 let state = Arc::clone(&state);
                 std::thread::Builder::new()
@@ -206,7 +288,8 @@ impl Engine {
             })
             .collect();
         Engine {
-            tx: Some(tx),
+            tx: Some(txs),
+            next: AtomicUsize::new(0),
             workers: handles,
             shared,
             state,
@@ -228,9 +311,9 @@ impl Engine {
     /// pipeline several batches use consecutive numbers to restore
     /// per-connection order; one-shot callers pass 0.
     pub fn submit(&self, seq: u64, items: Vec<Request>, reply: Sender<BatchReply>) {
-        self.tx
-            .as_ref()
-            .expect("engine already shut down")
+        let txs = self.tx.as_ref().expect("engine already shut down");
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
+        txs[i]
             .send(Batch { seq, items, reply })
             .expect("workers alive while engine holds the sender");
     }
@@ -272,14 +355,18 @@ fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineS
     // Each worker attaches its own sibling session to the injected
     // store; the engine never touches any other store.
     let mut session = Session::with_store(shared);
+    let mut caches = WorkerCaches::default();
     while let Ok(batch) = rx.recv() {
         let mut out = Vec::with_capacity(batch.items.len());
+        let mut tally = Tally::default();
         for req in batch.items {
-            state.requests.fetch_add(1, Ordering::Relaxed);
-            out.push(handle(&mut session, &state, req));
+            tally.requests += 1;
+            out.push(handle(&mut session, &state, &mut caches, &mut tally, req));
         }
-        // Merge this batch's freshly computed normal forms into the
-        // shared memo shards: the next batch on *any* worker sees them.
+        state.fold(&tally);
+        // Publish this batch's freshly computed normal forms as a new
+        // store generation: the next batch on *any* worker sees them.
+        // A no-op (no locks) when the batch was fully warm.
         session.publish();
         // The submitter may be gone (client hung up, writer dead): the
         // send fails fast — the vendored channel wakes blocked senders
@@ -290,12 +377,18 @@ fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineS
     }
 }
 
-fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response {
+fn handle(
+    session: &mut Session,
+    state: &EngineState,
+    caches: &mut WorkerCaches,
+    tally: &mut Tally,
+    req: Request,
+) -> Response {
     let id = req.id;
     match req.op {
         Op::Equiv { lhs, rhs } => {
             let start = Instant::now();
-            let a = match resolve_cached(session, state, &lhs) {
+            let a = match resolve_cached(session, state, caches, &lhs) {
                 Ok(a) => a,
                 Err(e) => {
                     return Response::Error {
@@ -304,7 +397,7 @@ fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response 
                     }
                 }
             };
-            let b = match resolve_cached(session, state, &rhs) {
+            let b = match resolve_cached(session, state, caches, &rhs) {
                 Ok(b) => b,
                 Err(e) => {
                     return Response::Error {
@@ -316,17 +409,19 @@ fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response 
             // Equivalence is symmetric: canonical key order doubles the
             // cache's effective coverage.
             let key = if a <= b { (a, b) } else { (b, a) };
-            let (verdict, warm) = match state.verdict_get(key) {
-                Some(v) => {
-                    state.equiv_hits.fetch_add(1, Ordering::Relaxed);
-                    (v, true)
-                }
-                None => {
-                    let v = session.equivalent_ids(key.0, key.1);
-                    state.verdict_put(key, v);
-                    state.equiv_misses.fetch_add(1, Ordering::Relaxed);
-                    (v, false)
-                }
+            let (verdict, warm) = if let Some(&v) = caches.verdicts.get(&key) {
+                tally.equiv_hits += 1;
+                (v, true)
+            } else if let Some(v) = state.verdict_get(key) {
+                caches.verdicts.insert(key, v);
+                tally.equiv_hits += 1;
+                (v, true)
+            } else {
+                let v = session.equivalent_ids(key.0, key.1);
+                state.verdict_put(key, v);
+                caches.verdicts.insert(key, v);
+                tally.equiv_misses += 1;
+                (v, false)
             };
             Response::Equiv {
                 id,
@@ -349,8 +444,10 @@ fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response 
             }
         }
         Op::Stats => {
-            // Publish first so this worker's own counters are included.
+            // Publish and fold this worker's own tally first so its
+            // work (including this batch's prefix) is included.
             session.publish();
+            state.fold(&std::mem::take(tally));
             let snap = state.snapshot(session.store());
             Response::Stats { id, snapshot: snap }
         }
@@ -359,13 +456,23 @@ fn handle(session: &mut Session, state: &EngineState, req: Request) -> Response 
     }
 }
 
-fn resolve_cached(session: &mut Session, state: &EngineState, src: &str) -> Result<TypeId, String> {
-    if let Some(hit) = state.parse_get(src) {
-        return Ok(hit);
+fn resolve_cached(
+    session: &mut Session,
+    state: &EngineState,
+    caches: &mut WorkerCaches,
+    src: &str,
+) -> Result<TypeId, String> {
+    if let Some(&id) = caches.parses.get(src) {
+        return Ok(id);
+    }
+    if let Some(id) = state.parse_get(src) {
+        caches.parses.insert(src.to_owned(), id);
+        return Ok(id);
     }
     let ty = type_from_str(src)?;
     let id = session.intern(&ty);
     state.parse_put(src, id);
+    caches.parses.insert(src.to_owned(), id);
     Ok(id)
 }
 
@@ -460,6 +567,36 @@ mod tests {
         assert_eq!(snapshot.equiv_hits, 1);
         assert_eq!(snapshot.equiv_misses, 1);
         assert!(snapshot.requests >= 2);
+    }
+
+    #[test]
+    fn warm_replay_takes_no_locks() {
+        let engine = Engine::with_session(1, Session::new());
+        let reqs = || {
+            vec![
+                equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+                equiv(2, "?Bool.End?", "Dual (!Bool.End!)"),
+                equiv(3, "!Int.End!", "!Bool.End!"),
+            ]
+        };
+        // Two passes: the first computes, the second fills any remaining
+        // worker-local cache entries from the shared fallbacks.
+        engine.process(reqs());
+        engine.process(reqs());
+        let before = engine.snapshot();
+        for _ in 0..3 {
+            engine.process(reqs());
+        }
+        let after = engine.snapshot();
+        assert_eq!(
+            after.cache_locks, before.cache_locks,
+            "warm replay must not touch the shared cache shards"
+        );
+        assert_eq!(
+            after.store_locks, before.store_locks,
+            "warm replay must not lock the type store"
+        );
+        assert_eq!(after.store_generation, before.store_generation);
     }
 
     #[test]

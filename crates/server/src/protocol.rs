@@ -116,6 +116,16 @@ pub struct Snapshot {
     /// Module (check-op) cache: entries, hits.
     pub module_entries: u64,
     pub module_hits: u64,
+    /// Store contention profile: current snapshot generation, snapshot
+    /// installs, cold interns that entered the writer mutex, and total
+    /// store lock acquisitions (flat across warm traffic).
+    pub store_generation: u64,
+    pub snapshot_installs: u64,
+    pub store_slow_path: u64,
+    pub store_locks: u64,
+    /// Shard-lock acquisitions on the engine's fallback verdict/parse
+    /// caches (worker-local caches absorb the warm path).
+    pub cache_locks: u64,
     /// Connections accepted / currently open. The engine itself knows
     /// nothing about connections; the serving front-end fills these in
     /// when a `stats` response passes through a connection's writer
@@ -145,6 +155,10 @@ impl Snapshot {
         self.nodes = s.nodes;
         self.nrm_hits = s.nrm_hits;
         self.nrm_misses = s.nrm_misses;
+        self.store_generation = s.generation;
+        self.snapshot_installs = s.snapshot_installs;
+        self.store_slow_path = s.slow_path;
+        self.store_locks = s.lock_acquisitions;
     }
 
     pub(crate) fn merge_modules(&mut self, s: CacheStats) {
@@ -225,6 +239,8 @@ impl Response {
                      \"equiv_entries\":{},\"equiv_hits\":{},\"equiv_misses\":{},\
                      \"equiv_hit_rate\":{:.4},\"parse_entries\":{},\
                      \"module_entries\":{},\"module_hits\":{},\
+                     \"store_generation\":{},\"snapshot_installs\":{},\
+                     \"store_slow_path\":{},\"store_locks\":{},\"cache_locks\":{},\
                      \"conns_accepted\":{},\"conns_active\":{}}}",
                     s.requests,
                     s.workers,
@@ -239,6 +255,11 @@ impl Response {
                     s.parse_entries,
                     s.module_entries,
                     s.module_hits,
+                    s.store_generation,
+                    s.snapshot_installs,
+                    s.store_slow_path,
+                    s.store_locks,
+                    s.cache_locks,
                     s.conns_accepted,
                     s.conns_active,
                 )

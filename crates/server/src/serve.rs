@@ -433,6 +433,26 @@ where
 
 /// The engine snapshot rendered exactly like a `stats` response (without
 /// an id), for `--stats-on-exit`.
+///
+/// Besides cache hit rates, the line carries the store's contention
+/// profile — snapshot generation, installs, slow-path (writer-mutex)
+/// entries, and lock counts — so "the warm path took no locks" is
+/// observable from the outside:
+///
+/// ```
+/// use algst_core::Session;
+/// use algst_server::{Engine, Request, parse_request};
+/// use algst_server::serve::stats_line;
+///
+/// let engine = Engine::with_session(1, Session::new());
+/// let req = parse_request(r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#, 1);
+/// engine.process(vec![req]);
+/// let line = stats_line(&engine);
+/// for key in ["store_generation", "snapshot_installs", "store_slow_path",
+///             "store_locks", "cache_locks"] {
+///     assert!(line.contains(key), "{key} missing from {line}");
+/// }
+/// ```
 pub fn stats_line(engine: &Engine) -> String {
     let response = crate::protocol::Response::Stats {
         id: 0,

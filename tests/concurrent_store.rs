@@ -40,7 +40,7 @@ fn suites_checked_from_eight_threads_agree_with_the_oracle() {
                 // Stagger direction per thread so interning races cover
                 // both sides of every pair from the first instant.
                 let flip = ti % 2 == 1;
-                for &(t, u, expected) in cases {
+                for (ci, &(t, u, expected)) in cases.iter().enumerate() {
                     let (x, y) = if flip { (u, t) } else { (t, u) };
                     let a = w.intern(x);
                     let b = w.intern(y);
@@ -55,6 +55,12 @@ fn suites_checked_from_eight_threads_agree_with_the_oracle() {
                         expected,
                         "thread {ti} verdict on {t} vs {u}"
                     );
+                    // Publish with the same cadence the server engine
+                    // uses (after every batch), so one thread's normal
+                    // forms warm the others mid-run.
+                    if ci % 8 == 7 {
+                        w.publish();
+                    }
                 }
             });
         }
@@ -71,6 +77,48 @@ fn suites_checked_from_eight_threads_agree_with_the_oracle() {
         "expected a warm-dominated run, got hit rate {:.3} ({stats:?})",
         stats.nrm_hit_rate()
     );
+}
+
+/// The contention-free warm path, end to end: after one worker has
+/// computed and published everything a 200K-request workload needs, a
+/// fresh worker replaying the entire stream acquires **zero** locks on
+/// the shared store (ISSUE 7 acceptance criterion).
+#[test]
+fn fully_warm_200k_request_replay_takes_zero_locks() {
+    let eq = build_suite(SuiteKind::Equivalent, 16, 105);
+    let ne = build_suite(SuiteKind::NonEquivalent, 16, 106);
+    let workload = equiv_workload(&[&eq, &ne], 200_000, 17);
+
+    let shared = SharedStore::new_arc();
+    {
+        let mut w = shared.worker();
+        for i in 0..workload.len() {
+            let (lhs, rhs, expected) = workload.request(i);
+            let a = w.intern(lhs);
+            let b = w.intern(rhs);
+            assert_eq!(w.equivalent_ids(a, b), expected, "warm-up request {i}");
+        }
+        w.publish();
+    }
+
+    let mut w = shared.worker(); // attach before the baseline
+    let baseline = shared.stats();
+    for i in 0..workload.len() {
+        let (lhs, rhs, expected) = workload.request(i);
+        let a = w.intern(lhs);
+        let b = w.intern(rhs);
+        assert_eq!(w.equivalent_ids(a, b), expected, "replay request {i}");
+    }
+    w.publish();
+    let after = shared.stats();
+    assert_eq!(
+        after.lock_acquisitions,
+        baseline.lock_acquisitions,
+        "a fully-warm 200K-request replay must be lock-free (took {} locks)",
+        after.lock_acquisitions - baseline.lock_acquisitions
+    );
+    assert_eq!(after.slow_path, baseline.slow_path);
+    assert_eq!(after.generation, baseline.generation);
 }
 
 #[test]

@@ -66,17 +66,56 @@ struct State<T> {
     /// from the front (the smallest remaining ticket), so a rendezvous
     /// sender is released exactly when `popped > ticket`.
     popped: u64,
+    /// Senders currently blocked on `not_full` (for queue room or a
+    /// rendezvous handoff). Every pop frees a slot, so a pop wakes one
+    /// of them whenever this is nonzero — gating on "queue was exactly
+    /// full" instead loses wakeups when one receiver drains several
+    /// messages back-to-back (only the first pop would notify, stranding
+    /// the remaining blocked senders).
+    waiting_senders: usize,
+    /// Receivers currently blocked on `not_empty`; lets a send into a
+    /// busy (nobody-parked) consumer pool skip the futex syscall.
+    waiting_receivers: usize,
 }
 
 struct Shared<T> {
     capacity: usize,
     state: Mutex<State<T>>,
-    cond: Condvar,
+    /// Waited on by receivers; signalled per message pushed (one waiter —
+    /// one message, one wakeup) and broadcast on sender disconnect. Split
+    /// from `not_full` so a send never wakes the whole worker pool: with
+    /// one shared condvar, every push `notify_all`ed N blocked consumers
+    /// to deliver one message — a thundering herd that serialized
+    /// multi-worker engines on small hosts.
+    not_empty: Condvar,
+    /// Waited on by senders: for queue room (capacity > 0) or for their
+    /// ticket to be consumed (rendezvous). Room frees one slot, so one
+    /// wakeup; a rendezvous pop must broadcast, because the wakeup is for
+    /// one *specific* sender and `notify_one` could pick another.
+    not_full: Condvar,
 }
 
 impl<T> Shared<T> {
     fn lock(&self) -> MutexGuard<'_, State<T>> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes the sender(s) a pop may unblock. `st` is the post-pop state.
+    fn wake_senders_after_pop(&self, st: &State<T>) {
+        if st.waiting_senders == 0 {
+            // Nobody parked: keep the uncontended pop syscall-free.
+            return;
+        }
+        if self.capacity == 0 {
+            // The wakeup targets the one sender whose ticket was just
+            // consumed; notify_one could pick a different rendezvous
+            // sender, which would re-sleep and strand the right one.
+            self.not_full.notify_all();
+        } else {
+            // The pop freed one slot (post-pop length is always below
+            // capacity), so exactly one blocked sender can proceed.
+            self.not_full.notify_one();
+        }
     }
 }
 
@@ -103,8 +142,11 @@ pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
             receivers: 1,
             pushed: 0,
             popped: 0,
+            waiting_senders: 0,
+            waiting_receivers: 0,
         }),
-        cond: Condvar::new(),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
     });
     (
         Sender {
@@ -127,7 +169,9 @@ impl<T> Sender<T> {
             if st.receivers == 0 {
                 return Err(SendError(value));
             }
-            st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            st.waiting_senders += 1;
+            st = shared.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+            st.waiting_senders -= 1;
         }
         if st.receivers == 0 {
             return Err(SendError(value));
@@ -136,7 +180,13 @@ impl<T> Sender<T> {
         let ticket = st.pushed;
         st.queue.push_back((ticket, value));
         st.pushed += 1;
-        shared.cond.notify_all();
+        // One message, one consumer: wake exactly one blocked receiver.
+        // (A receiver that never parks finds the message by checking the
+        // queue under the mutex before waiting, so no syscall is needed
+        // when nobody is parked.)
+        if st.waiting_receivers > 0 {
+            shared.not_empty.notify_one();
+        }
 
         if shared.capacity == 0 {
             // Rendezvous: stay until our message has been popped.
@@ -145,17 +195,19 @@ impl<T> Sender<T> {
                     // Reclaim the message (still queued, since popped is
                     // at most our ticket) so the caller gets it back, as
                     // crossbeam's SendError does. Other blocked senders'
-                    // tickets are unaffected.
+                    // tickets are unaffected (and were all woken by the
+                    // receiver-disconnect broadcast already).
                     let index = st
                         .queue
                         .iter()
                         .position(|(t, _)| *t == ticket)
                         .expect("unpopped message present");
                     let (_, value) = st.queue.remove(index).expect("index just found");
-                    shared.cond.notify_all();
                     return Err(SendError(value));
                 }
-                st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+                st.waiting_senders += 1;
+                st = shared.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+                st.waiting_senders -= 1;
             }
         }
         Ok(())
@@ -171,13 +223,15 @@ impl<T> Receiver<T> {
         loop {
             if let Some((ticket, value)) = st.queue.pop_front() {
                 st.popped = ticket + 1;
-                shared.cond.notify_all();
+                shared.wake_senders_after_pop(&st);
                 return Ok(value);
             }
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = shared.cond.wait(st).unwrap_or_else(|e| e.into_inner());
+            st.waiting_receivers += 1;
+            st = shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            st.waiting_receivers -= 1;
         }
     }
 
@@ -189,7 +243,7 @@ impl<T> Receiver<T> {
         loop {
             if let Some((ticket, value)) = st.queue.pop_front() {
                 st.popped = ticket + 1;
-                shared.cond.notify_all();
+                shared.wake_senders_after_pop(&st);
                 return Ok(value);
             }
             if st.senders == 0 {
@@ -199,11 +253,13 @@ impl<T> Receiver<T> {
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
+            st.waiting_receivers += 1;
             let (guard, _) = shared
-                .cond
+                .not_empty
                 .wait_timeout(st, deadline - now)
                 .unwrap_or_else(|e| e.into_inner());
             st = guard;
+            st.waiting_receivers -= 1;
         }
     }
 }
@@ -231,7 +287,8 @@ impl<T> Drop for Sender<T> {
         let mut st = self.shared.lock();
         st.senders -= 1;
         if st.senders == 0 {
-            self.shared.cond.notify_all();
+            // Blocked receivers must observe the disconnect.
+            self.shared.not_empty.notify_all();
         }
     }
 }
@@ -241,7 +298,9 @@ impl<T> Drop for Receiver<T> {
         let mut st = self.shared.lock();
         st.receivers -= 1;
         if st.receivers == 0 {
-            self.shared.cond.notify_all();
+            // Blocked senders (room waiters and rendezvous waiters alike)
+            // must observe the disconnect.
+            self.shared.not_full.notify_all();
         }
     }
 }
@@ -273,6 +332,54 @@ mod tests {
         for i in 0..3 {
             assert_eq!(rx.recv().unwrap(), i);
         }
+    }
+
+    #[test]
+    fn every_blocked_receiver_gets_a_message() {
+        // One notify per push must reach every blocked consumer: with 8
+        // receivers parked before any send, 8 sends must unblock all 8
+        // (guards the notify_one wakeup accounting against lost wakeups).
+        let (tx, rx) = bounded(8);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.recv().unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30)); // let them park
+        for i in 0..8 {
+            tx.send(i).unwrap();
+        }
+        let mut got: Vec<i32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pops_unblock_senders_waiting_for_room() {
+        // One receiver draining a capacity-2 queue back-to-back must
+        // unblock EVERY parked sender, not just the one woken by the
+        // full→non-full transition (regression: gating the not_full
+        // notify on "queue was exactly full" stranded the rest).
+        let (tx, rx) = bounded(2);
+        tx.send(0).unwrap();
+        tx.send(1).unwrap(); // fill the queue
+        let handles: Vec<_> = (2..=5)
+            .map(|i| {
+                let tx = tx.clone();
+                thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(30)); // all four block on room
+        let mut got = Vec::new();
+        for _ in 0..6 {
+            got.push(rx.recv().unwrap());
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
