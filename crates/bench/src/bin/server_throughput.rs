@@ -8,7 +8,8 @@
 //!     [--workers 1,4,8] [--json BENCH_server.json] \
 //!     [--clients 8] [--pipeline 32] [--wire-requests 40000] \
 //!     [--wire-workers 4] [--no-wire] [--repeat 3] \
-//!     [--cold-heavy-requests 50000] [--fresh-permille 750] [--no-cold-heavy]
+//!     [--cold-heavy-requests 50000] [--fresh-permille 750] [--no-cold-heavy] \
+//!     [--run-id ID]
 //! ```
 //!
 //! **Engine mode** (always runs): for each worker count the engine
@@ -74,7 +75,7 @@ use algst_gen::suite::{build_suite, SuiteKind};
 use algst_gen::workload::{cold_heavy_workload, equiv_workload, Workload};
 use algst_server::engine::BatchReply;
 use algst_server::{
-    json, serve_listener, serve_session, Engine, Op, Request, Response, ServeConfig,
+    json, serve_listener, serve_session, Engine, ObsOptions, Op, Request, Response, ServeConfig,
 };
 use crossbeam::channel::bounded;
 use std::collections::VecDeque;
@@ -98,6 +99,36 @@ struct Args {
     cold_heavy_requests: Option<usize>,
     fresh_permille: u32,
     repeat: usize,
+    run_id: Option<String>,
+}
+
+/// Where this result came from: resolved once at startup, recorded in
+/// the JSON verbatim. The bench itself reads no wall clock — a run is
+/// identified by the injected `--run-id` (CI passes its own), not a
+/// timestamp, so identical runs produce identical provenance.
+struct Provenance {
+    git_rev: String,
+    rustc_version: String,
+}
+
+impl Provenance {
+    fn resolve() -> Provenance {
+        let capture = |cmd: &str, cmd_args: &[&str]| -> String {
+            std::process::Command::new(cmd)
+                .args(cmd_args)
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_owned())
+                .filter(|s| !s.is_empty())
+                .unwrap_or_else(|| "unknown".to_owned())
+        };
+        Provenance {
+            git_rev: capture("git", &["rev-parse", "--short", "HEAD"]),
+            rustc_version: capture("rustc", &["--version"]),
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -117,6 +148,7 @@ fn parse_args() -> Args {
         cold_heavy_requests: None,
         fresh_permille: 750,
         repeat: 3,
+        run_id: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -161,6 +193,7 @@ fn parse_args() -> Args {
                 args.repeat = value(&mut i).parse().expect("--repeat number");
                 assert!(args.repeat >= 1, "--repeat must be at least 1");
             }
+            "--run-id" => args.run_id = Some(value(&mut i)),
             "--fresh-permille" => {
                 args.fresh_permille = value(&mut i).parse().expect("--fresh-permille number");
                 assert!(
@@ -200,6 +233,9 @@ struct ConfigRun {
     store_slow_path: u64,
     store_locks: u64,
     cache_locks: u64,
+    /// Per-stage latency summaries from the metrics registry (name,
+    /// count, p50/p95/p99 in µs) — present only for metrics-on runs.
+    stages: Vec<(String, u64, f64, f64, f64)>,
 }
 
 /// Client-side stats for one wire connection.
@@ -253,7 +289,37 @@ fn main() {
         cold.1, cold.0
     );
 
-    let runs = run_sweep("warm  ", &args.workers, args.batch, &rendered, args.repeat);
+    // The headline sweep runs with metrics recording ON — that is the
+    // shipped configuration — and a metrics-OFF sweep prices the
+    // observability layer itself (`obs_overhead_ratio` per config).
+    let runs = run_sweep(
+        "warm  ",
+        &args.workers,
+        args.batch,
+        &rendered,
+        args.repeat,
+        true,
+    );
+    let runs_off = run_sweep(
+        "warm-0",
+        &args.workers,
+        args.batch,
+        &rendered,
+        args.repeat,
+        false,
+    );
+    let obs_ratios: Vec<(usize, f64)> = runs
+        .iter()
+        .filter_map(|on| {
+            runs_off
+                .iter()
+                .find(|off| off.workers == on.workers)
+                .map(|off| (on.workers, on.req_per_s / off.req_per_s))
+        })
+        .collect();
+    for (workers, ratio) in &obs_ratios {
+        eprintln!("obs overhead: workers {workers:>2} metrics-on/off throughput ratio {ratio:.3}");
+    }
 
     let cold_heavy_runs = if args.cold_heavy {
         let n = args
@@ -277,6 +343,7 @@ fn main() {
             args.batch,
             &rendered_ch,
             args.repeat,
+            true,
         ))
     } else {
         None
@@ -331,9 +398,12 @@ fn main() {
         write_json(
             path,
             &args,
+            &Provenance::resolve(),
             host_cpus,
             cold,
             &runs,
+            &runs_off,
+            &obs_ratios,
             cold_heavy_runs.as_deref(),
             wire_runs.as_ref(),
         );
@@ -372,10 +442,24 @@ fn percentile(sorted_us: &[f64], p: f64) -> f64 {
     sorted_us[((sorted_us.len() - 1) as f64 * p).round() as usize]
 }
 
-fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bool)]) -> ConfigRun {
+fn run_config(
+    workers: usize,
+    batch_size: usize,
+    rendered: &[(String, String, bool)],
+    metrics: bool,
+) -> ConfigRun {
     // Every config gets a fresh injected session: cold starts are
-    // reproducible and configs cannot warm each other.
-    let engine = Engine::with_session(workers, Session::new());
+    // reproducible and configs cannot warm each other. `metrics` toggles
+    // the registry recording (the sink stays disabled either way) so the
+    // sweep can price observability itself.
+    let engine = Engine::with_obs(
+        workers,
+        Session::new(),
+        ObsOptions {
+            metrics,
+            ..ObsOptions::default()
+        },
+    );
     // Expected verdict per request id (ids are 1-based arrival order).
     let expected: Vec<bool> = rendered.iter().map(|(_, _, e)| *e).collect();
 
@@ -458,6 +542,26 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
     }
     latencies_us.sort_by(|a, b| a.total_cmp(b));
 
+    let stages = if metrics {
+        engine
+            .metrics_registry()
+            .snapshot()
+            .histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(name, h)| {
+                (
+                    name.clone(),
+                    h.count,
+                    h.quantile(0.50) as f64 / 1e3,
+                    h.quantile(0.95) as f64 / 1e3,
+                    h.quantile(0.99) as f64 / 1e3,
+                )
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let snapshot = engine.snapshot();
     ConfigRun {
         workers,
@@ -476,6 +580,7 @@ fn run_config(workers: usize, batch_size: usize, rendered: &[(String, String, bo
         store_slow_path: snapshot.store_slow_path,
         store_locks: snapshot.store_locks,
         cache_locks: snapshot.cache_locks,
+        stages,
     }
 }
 
@@ -490,11 +595,12 @@ fn run_sweep(
     batch: usize,
     rendered: &[(String, String, bool)],
     repeat: usize,
+    metrics: bool,
 ) -> Vec<ConfigRun> {
     let mut runs: Vec<ConfigRun> = Vec::new();
     for &workers in workers_list {
         let run = (0..repeat.max(1))
-            .map(|_| run_config(workers, batch, rendered))
+            .map(|_| run_config(workers, batch, rendered, metrics))
             .max_by(|a, b| a.req_per_s.total_cmp(&b.req_per_s))
             .expect("at least one repeat");
         eprintln!(
@@ -714,13 +820,13 @@ fn weighted_percentile(clients: &[ClientRun], f: impl Fn(&ClientRun) -> f64) -> 
 /// Renders one engine-config run as a JSON object line, including the
 /// contention profile (generation, installs, slow-path, lock counters).
 fn config_json(r: &ConfigRun) -> String {
-    format!(
+    let mut out = format!(
         "{{\"workers\": {}, \"elapsed_ms\": {:.3}, \"req_per_s\": {:.1}, \
          \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
          \"verdict_mismatches\": {}, \"warm_hits\": {}, \"nodes\": {}, \
          \"nrm_hit_rate\": {:.4}, \"equiv_hit_rate\": {:.4}, \
          \"store_generation\": {}, \"snapshot_installs\": {}, \
-         \"store_slow_path\": {}, \"store_locks\": {}, \"cache_locks\": {}}}",
+         \"store_slow_path\": {}, \"store_locks\": {}, \"cache_locks\": {}",
         r.workers,
         r.elapsed.as_secs_f64() * 1e3,
         r.req_per_s,
@@ -737,21 +843,61 @@ fn config_json(r: &ConfigRun) -> String {
         r.store_slow_path,
         r.store_locks,
         r.cache_locks,
-    )
+    );
+    if !r.stages.is_empty() {
+        out.push_str(", \"stages\": {");
+        for (i, (name, count, p50, p95, p99)) in r.stages.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{name}\": {{\"count\": {count}, \"p50_us\": {p50:.3}, \
+                 \"p95_us\": {p95:.3}, \"p99_us\": {p99:.3}}}"
+            ));
+        }
+        out.push('}');
+    }
+    out.push('}');
+    out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     args: &Args,
+    provenance: &Provenance,
     host_cpus: usize,
     cold: (usize, f64),
     runs: &[ConfigRun],
+    runs_off: &[ConfigRun],
+    obs_ratios: &[(usize, f64)],
     cold_heavy: Option<&[ConfigRun]>,
     wire: Option<&[WireRun; 2]>,
 ) {
     let mut f = std::fs::File::create(path).expect("create json");
     writeln!(f, "{{").expect("write");
     writeln!(f, "  \"bench\": \"server_throughput\",").expect("write");
+    writeln!(
+        f,
+        "  \"run_id\": {},",
+        args.run_id
+            .as_ref()
+            .map(|id| format!("\"{}\"", json::escape(id)))
+            .unwrap_or_else(|| "null".to_owned())
+    )
+    .expect("write");
+    writeln!(
+        f,
+        "  \"git_rev\": \"{}\",",
+        json::escape(&provenance.git_rev)
+    )
+    .expect("write");
+    writeln!(
+        f,
+        "  \"rustc_version\": \"{}\",",
+        json::escape(&provenance.rustc_version)
+    )
+    .expect("write");
     writeln!(f, "  \"requests\": {},", args.requests).expect("write");
     writeln!(f, "  \"cases_per_suite\": {},", args.cases).expect("write");
     writeln!(f, "  \"batch\": {},", args.batch).expect("write");
@@ -770,6 +916,39 @@ fn write_json(
         writeln!(f, "    {}{comma}", config_json(r)).expect("write");
     }
     writeln!(f, "  ],").expect("write");
+    // The same sweep with metrics recording disabled, plus the per-
+    // config on/off throughput ratio (the < 5% overhead gate reads
+    // `obs_overhead_min_ratio`).
+    writeln!(f, "  \"metrics_off_configs\": [").expect("write");
+    for (i, r) in runs_off.iter().enumerate() {
+        let comma = if i + 1 < runs_off.len() { "," } else { "" };
+        writeln!(f, "    {}{comma}", config_json(r)).expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
+    writeln!(f, "  \"obs_overhead_ratio\": [").expect("write");
+    for (i, (workers, ratio)) in obs_ratios.iter().enumerate() {
+        let comma = if i + 1 < obs_ratios.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"workers\": {workers}, \"metrics_on_over_off\": {ratio:.4}}}{comma}"
+        )
+        .expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
+    let min_ratio = obs_ratios
+        .iter()
+        .map(|&(_, r)| r)
+        .fold(f64::INFINITY, f64::min);
+    writeln!(
+        f,
+        "  \"obs_overhead_min_ratio\": {:.4},",
+        if min_ratio.is_finite() {
+            min_ratio
+        } else {
+            1.0
+        }
+    )
+    .expect("write");
     if let Some(ch) = cold_heavy {
         writeln!(f, "  \"cold_heavy\": {{").expect("write");
         writeln!(

@@ -333,6 +333,13 @@ impl Session {
     pub fn worker_mut(&mut self) -> &mut WorkerStore {
         &mut self.worker
     }
+
+    /// Install cold-path observability hooks on the store behind this
+    /// session (see [`SharedStore::install_obs`]). Returns `false` if
+    /// the store already has hooks — the first installer wins.
+    pub fn install_obs(&self, obs: crate::shared::StoreObs) -> bool {
+        self.worker.shared().install_obs(obs)
+    }
 }
 
 /// A `Session` runs the same id-level algorithms as every other store:

@@ -101,6 +101,7 @@
 use crate::store::{StoreOps, TNode, TypeId, TypeStore};
 use crate::symbol::Symbol;
 use crate::types::Type;
+use algst_obs::{Field, Histogram, Level, Span, TraceSink};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -350,6 +351,26 @@ impl StoreStats {
 
 // ------------------------------------------------------- SharedStore
 
+/// Observability hooks a store owner (typically the serving engine) may
+/// install with [`SharedStore::install_obs`].
+///
+/// The hooks live entirely on the store's **cold** paths — the interning
+/// slow path and snapshot installs, both of which already take the
+/// writer mutex and run at microsecond scale — so installing them does
+/// not add a single instruction to warm lock-free reads.
+#[derive(Debug)]
+pub struct StoreObs {
+    /// Latency histogram for [`intern`](StoreOps) slow-path entries
+    /// (mutex + re-probe + arena append, possibly an install).
+    pub slow_path_ns: Arc<Histogram>,
+    /// Latency histogram for snapshot installs (delta fold + pointer
+    /// swap).
+    pub install_ns: Arc<Histogram>,
+    /// Event sink; receives a `snapshot_install` event (at
+    /// [`Level::Debug`]) for every new generation.
+    pub sink: Arc<TraceSink>,
+}
+
 /// The process-wide arena + snapshot. Cheap to share (`Arc`); create
 /// per-thread handles with [`SharedStore::worker`].
 pub struct SharedStore {
@@ -363,6 +384,9 @@ pub struct SharedStore {
     /// Writer mutex: pending delta + arena tail. Cold path only.
     pending: Mutex<Pending>,
     counters: Counters,
+    /// Cold-path instrumentation, if an owner installed any. Probed
+    /// only where the writer mutex is already in play.
+    obs: OnceLock<StoreObs>,
 }
 
 impl std::fmt::Debug for SharedStore {
@@ -388,7 +412,16 @@ impl SharedStore {
             current: RwLock::new(Arc::new(Snapshot::empty())),
             pending: Mutex::new(Pending::default()),
             counters: Counters::default(),
+            obs: OnceLock::new(),
         }
+    }
+
+    /// Install cold-path observability hooks (slow-path and install
+    /// histograms plus an event sink). Returns `false` if hooks were
+    /// already installed — the first installer wins, so two engines
+    /// sharing one store do not double-count.
+    pub fn install_obs(&self, obs: StoreObs) -> bool {
+        self.obs.set(obs).is_ok()
     }
 
     /// Convenience: a fresh store behind an [`Arc`], ready for
@@ -456,6 +489,11 @@ impl SharedStore {
     /// writer mutex; `base` must be the current snapshot (its generation
     /// cannot move while the mutex is held).
     fn install_locked(&self, pending: &mut Pending, base: &Snapshot) -> Arc<Snapshot> {
+        let span = self.obs.get().map(|_| Span::begin());
+        let (delta_intern, delta_memo) = (
+            pending.intern.len() as u64,
+            (pending.pos.len() + pending.neg.len()) as u64,
+        );
         let next = Arc::new(Snapshot {
             generation: base.generation + 1,
             nodes_len: self.arena.len(),
@@ -472,6 +510,23 @@ impl SharedStore {
         // Release: pairs with the acquire probe in `WorkerStore::refresh`.
         self.generation.store(next.generation, Ordering::Release);
         self.counters.installs.fetch_add(1, Ordering::Relaxed);
+        if let (Some(obs), Some(span)) = (self.obs.get(), span) {
+            let ns = span.elapsed_ns();
+            obs.install_ns.record(ns);
+            if obs.sink.enabled(Level::Debug) {
+                obs.sink.event(
+                    Level::Debug,
+                    "snapshot_install",
+                    &[
+                        ("generation", Field::U64(next.generation)),
+                        ("nodes", Field::U64(next.nodes_len as u64)),
+                        ("delta_intern", Field::U64(delta_intern)),
+                        ("delta_memo", Field::U64(delta_memo)),
+                        ("install_us", Field::F64(ns as f64 / 1_000.0)),
+                    ],
+                );
+            }
+        }
         next
     }
 
@@ -479,6 +534,15 @@ impl SharedStore {
     /// Returns the id plus the snapshot the decision was made against
     /// (possibly newer than the caller's).
     fn intern_slow(&self, node: &TNode) -> (TypeId, Arc<Snapshot>) {
+        let span = self.obs.get().map(|_| Span::begin());
+        let out = self.intern_slow_inner(node);
+        if let (Some(obs), Some(span)) = (self.obs.get(), span) {
+            obs.slow_path_ns.record(span.elapsed_ns());
+        }
+        out
+    }
+
+    fn intern_slow_inner(&self, node: &TNode) -> (TypeId, Arc<Snapshot>) {
         self.counters.slow_path.fetch_add(1, Ordering::Relaxed);
         self.count_lock();
         let mut pending = self.pending.lock();

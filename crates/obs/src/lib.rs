@@ -1,0 +1,59 @@
+//! # algst-obs — observability primitives for the AlgST serving stack
+//!
+//! Hand-rolled, dependency-free metrics and tracing, in the same spirit
+//! as the workspace's vendored stand-ins: small, `std`-only, and shaped
+//! exactly for the serving stack's constraints. The warm request path
+//! runs at ~1.5M req/s with a **zero-lock** store, so every primitive
+//! here is designed around one rule: *nothing on the warm path may take
+//! a lock or issue a per-request atomic RMW*.
+//!
+//! Three layers:
+//!
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`],
+//!   [`LocalHistogram`]) — named process-wide instruments. Histograms
+//!   use fixed log2 buckets and lock-free `fetch_add` on record; the
+//!   engine's workers record into plain-integer [`LocalHistogram`]
+//!   shards and fold them into the shared [`Histogram`]s at batch
+//!   boundaries, so warm-path recording is an array increment.
+//! * **Spans** ([`Span`]) — a minimal monotonic timer for per-stage
+//!   latency attribution (read → parse → resolve → intern → nrm →
+//!   equiv/check → serialize → write, plus store slow-path, snapshot
+//!   install, and queue sojourn).
+//! * **Events** ([`TraceSink`], [`Level`], [`Field`]) — a structured
+//!   JSON-lines sink for slow-request traces, connection lifecycle
+//!   events, and snapshot-install events.
+//!
+//! ```
+//! use algst_obs::{Registry, Span, LocalHistogram};
+//!
+//! let registry = Registry::new();
+//! let requests = registry.counter("requests_total");
+//! let service = registry.histogram("request_service_ns");
+//!
+//! // Warm path: record into a worker-local shard (no atomics)...
+//! let mut local = LocalHistogram::default();
+//! let span = Span::begin();
+//! let busy_work = (0..100).sum::<u64>();
+//! local.record(span.elapsed_ns());
+//!
+//! // ...and fold at the batch boundary (one fetch_add per touched bucket).
+//! requests.add(1);
+//! service.fold(&mut local);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.histograms[0].1.count, 1);
+//! assert!(busy_work > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod metrics;
+mod sink;
+mod span;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricsSnapshot, Registry,
+    BUCKETS,
+};
+pub use sink::{Field, Level, TraceSink};
+pub use span::Span;

@@ -1,0 +1,460 @@
+//! Named counters, gauges and log2-bucket latency histograms, collected
+//! in a process-wide [`Registry`] with mergeable, stably-ordered
+//! snapshots and a Prometheus-style text exposition.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of histogram buckets.
+///
+/// Bucket 0 holds the value `0`; bucket `b` (for `1 <= b < BUCKETS - 1`)
+/// holds values in `[2^(b-1), 2^b - 1]`; the last bucket is open-ended
+/// and absorbs everything at or above `2^(BUCKETS - 2)`. With 40 buckets
+/// and nanosecond samples that spans single-digit nanoseconds to ~9
+/// minutes — wide enough for every latency the serving stack records.
+pub const BUCKETS: usize = 40;
+
+/// Upper bound (inclusive) reported for `bucket`. The open-ended last
+/// bucket is capped at `2^(BUCKETS - 1) - 1` so percentile estimates
+/// stay finite.
+fn bucket_upper(bucket: usize) -> u64 {
+    (1u64 << bucket.min(BUCKETS - 1)) - 1
+}
+
+/// Bucket index for a recorded value: the value's bit length, clamped to
+/// the open-ended last bucket.
+fn bucket_index(value: u64) -> usize {
+    ((u64::BITS - value.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// A monotonically increasing counter (lock-free; relaxed ordering).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (lock-free; relaxed ordering) — e.g.
+/// active connections or configured worker count.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, n: i64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log2 latency histogram shared across threads.
+///
+/// [`record`](Histogram::record) is a handful of relaxed `fetch_add`s;
+/// there is no lock anywhere. Hot paths should prefer a per-worker
+/// [`LocalHistogram`] folded in at batch boundaries via
+/// [`fold`](Histogram::fold), which touches the shared cache lines once
+/// per batch instead of once per request.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample (typically nanoseconds).
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Fold a local shard into this histogram and clear the shard.
+    ///
+    /// Only touched buckets are written, so an idle batch costs nothing.
+    pub fn fold(&self, local: &mut LocalHistogram) {
+        if local.count == 0 {
+            return;
+        }
+        for (b, &n) in local.buckets.iter().enumerate() {
+            if n != 0 {
+                self.buckets[b].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count, Ordering::Relaxed);
+        self.sum.fetch_add(local.sum, Ordering::Relaxed);
+        *local = LocalHistogram::default();
+    }
+
+    /// Snapshot the current buckets, count and sum.
+    ///
+    /// Loads are relaxed and not mutually atomic: under concurrent
+    /// recording the fields may disagree by in-flight samples. Values
+    /// are exact once writers are quiesced (e.g. after a fold).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|b| self.buckets[b].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A single-thread histogram shard: plain integers, no atomics.
+///
+/// Workers record warm-path samples here (an array increment) and fold
+/// into the shared [`Histogram`] at batch boundaries.
+#[derive(Debug, Clone)]
+pub struct LocalHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Default for LocalHistogram {
+    fn default() -> Self {
+        LocalHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl LocalHistogram {
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        // Wrapping, matching the shared histogram's `fetch_add`: a sum of
+        // nanosecond samples takes centuries to wrap, and bucket counts
+        // (which drive quantiles) are unaffected either way.
+        self.sum = self.sum.wrapping_add(value);
+    }
+
+    /// Number of samples recorded since the last fold.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// An immutable copy of a histogram's buckets, mergeable across shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`BUCKETS`] for the bucket layout).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merge another snapshot (e.g. a sibling shard) into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (b, n) in other.buckets.iter().enumerate() {
+            self.buckets[b] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Estimated quantile `q` in `[0, 1]`: the inclusive upper bound of
+    /// the first bucket whose cumulative count reaches `q * count`.
+    /// Returns 0 for an empty histogram. The open-ended last bucket
+    /// reports `2^39 - 1` (samples beyond it are clamped on record).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper(b);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A process-wide collection of named instruments.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a short mutex and
+/// is meant for startup or other cold moments; callers keep the returned
+/// `Arc` handles and record through those. Snapshots iterate the
+/// underlying `BTreeMap`s, so every snapshot lists instruments in
+/// **stable sorted name order** — the property the wire-level `metrics`
+/// op and the Prometheus exposition rely on for byte-diffable output.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// Create an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("obs registry poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Snapshot every instrument, sorted by name within each kind.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]: every instrument, sorted by
+/// name within its kind, ready for serialization.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every histogram, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Render the snapshot in the Prometheus text exposition format,
+    /// with `prefix` prepended to every metric name (e.g. `"algst_"`).
+    ///
+    /// Histogram buckets are emitted cumulatively with `le` labels up to
+    /// the highest populated bucket, then `+Inf`, `_sum` and `_count`.
+    /// Output order is deterministic: counters, gauges, histograms, each
+    /// sorted by name.
+    pub fn prometheus(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {prefix}{name} counter");
+            let _ = writeln!(out, "{prefix}{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {prefix}{name} gauge");
+            let _ = writeln!(out, "{prefix}{name} {value}");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {prefix}{name} histogram");
+            let top = hist
+                .buckets
+                .iter()
+                .rposition(|&n| n != 0)
+                .map(|b| b.min(BUCKETS - 2))
+                .unwrap_or(0);
+            let mut cumulative = 0u64;
+            for b in 0..=top {
+                cumulative += hist.buckets[b];
+                let le = bucket_upper(b);
+                let _ = writeln!(out, "{prefix}{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{prefix}{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+            let _ = writeln!(out, "{prefix}{name}_sum {}", hist.sum);
+            let _ = writeln!(out, "{prefix}{name}_count {}", hist.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2_with_open_tail() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every bucket's upper bound sorts strictly below the next's.
+        for b in 0..BUCKETS - 1 {
+            assert!(bucket_upper(b) < bucket_upper(b + 1));
+        }
+    }
+
+    #[test]
+    fn local_fold_matches_direct_recording() {
+        let shared = Histogram::default();
+        let mut local = LocalHistogram::default();
+        let direct = Histogram::default();
+        for v in [0u64, 1, 7, 63, 64, 100_000, 1 << 41] {
+            local.record(v);
+            direct.record(v);
+        }
+        shared.fold(&mut local);
+        assert_eq!(shared.snapshot(), direct.snapshot());
+        assert_eq!(local.count(), 0, "fold must drain the shard");
+        // A second fold of the drained shard is a no-op.
+        shared.fold(&mut local);
+        assert_eq!(shared.snapshot().count, 7);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let mut snap = HistogramSnapshot::default();
+        assert_eq!(snap.quantile(0.99), 0);
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.record(100); // bucket 7, upper bound 127
+        }
+        for _ in 0..10 {
+            h.record(1_000_000); // bucket 20, upper bound ~1.05ms
+        }
+        snap = h.snapshot();
+        assert_eq!(snap.quantile(0.5), 127);
+        assert_eq!(snap.quantile(0.9), 127);
+        assert_eq!(snap.quantile(0.95), bucket_upper(20));
+        assert!((snap.mean() - 100_090.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_regardless_of_insertion_order() {
+        let r = Registry::new();
+        r.counter("zeta").add(1);
+        r.counter("alpha").add(2);
+        r.gauge("mid").set(-3);
+        r.histogram("beta").record(5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+        assert_eq!(snap.gauges, vec![("mid".to_string(), -3)]);
+        assert_eq!(snap.histograms[0].0, "beta");
+        // Same handle comes back for the same name.
+        r.counter("alpha").inc();
+        assert_eq!(r.snapshot().counters[0].1, 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_cumulative_buckets() {
+        let r = Registry::new();
+        r.counter("requests_total").add(3);
+        r.gauge("workers").set(4);
+        let h = r.histogram("service_ns");
+        h.record(1); // bucket 1
+        h.record(3); // bucket 2
+        h.record(3);
+        let text = r.snapshot().prometheus("algst_");
+        assert!(text.contains("# TYPE algst_requests_total counter\nalgst_requests_total 3\n"));
+        assert!(text.contains("# TYPE algst_workers gauge\nalgst_workers 4\n"));
+        assert!(text.contains("algst_service_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("algst_service_ns_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("algst_service_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("algst_service_ns_sum 7\n"));
+        assert!(text.contains("algst_service_ns_count 3\n"));
+        // Byte-stable across repeated snapshots.
+        assert_eq!(text, r.snapshot().prometheus("algst_"));
+    }
+}

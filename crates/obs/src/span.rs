@@ -1,0 +1,50 @@
+//! A minimal monotonic span timer for per-stage latency attribution.
+
+use std::time::Instant;
+
+use crate::LocalHistogram;
+
+/// A started timer over one stage of a request's lifecycle.
+///
+/// `Span` is deliberately tiny — one `Instant` — because the serving
+/// stack opens and closes several per cold request. It does not record
+/// anywhere by itself; callers pass the elapsed nanoseconds to whichever
+/// histogram or trace field owns the stage, which keeps the *decision*
+/// to measure (warm paths measure once, cold paths per stage) in the
+/// engine where the cost is visible.
+///
+/// ```
+/// use algst_obs::{LocalHistogram, Span};
+/// let mut hist = LocalHistogram::default();
+/// let span = Span::begin();
+/// let ns = span.record(&mut hist);
+/// assert_eq!(hist.count(), 1);
+/// assert!(ns < 1_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Span {
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing now.
+    pub fn begin() -> Span {
+        Span {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`begin`](Span::begin), saturated to `u64`
+    /// (584 years — effectively never).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Record the elapsed time into a local histogram shard and return
+    /// the measured nanoseconds.
+    pub fn record(self, hist: &mut LocalHistogram) -> u64 {
+        let ns = self.elapsed_ns();
+        hist.record(ns);
+        ns
+    }
+}

@@ -42,19 +42,23 @@
 //! the live state by at most one in-flight batch per worker (a `stats`
 //! request folds its own worker's tally first).
 
+use crate::json::Value;
 use crate::protocol::{Op, Request, Response, Snapshot};
 use crate::resolve::type_from_str;
 use algst_check::cache::ModuleCache;
-use algst_core::shared::SharedStore;
+use algst_core::shared::{SharedStore, StoreObs};
 use algst_core::store::TypeId;
 use algst_core::Session;
+use algst_obs::{
+    Counter, Field, Gauge, Histogram, Level, LocalHistogram, Registry, Span, TraceSink,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Lock shards for the shared fallback caches. Worker-local caches
 /// absorb the warm path; the shards only see each worker's first miss
@@ -73,6 +77,13 @@ pub type BatchReply = (u64, Vec<Response>);
 /// tagged with the submitter-chosen `seq`.
 pub struct Batch {
     pub seq: u64,
+    /// Submitting connection (0 for stdio/one-shot callers); carried
+    /// into slow-request trace events so cross-connection interference
+    /// is attributable.
+    pub conn: u64,
+    /// When the batch entered the queue; the worker records the
+    /// dequeue-to-service gap as `queue_sojourn_ns`.
+    pub submitted: Instant,
     pub items: Vec<Request>,
     pub reply: Sender<BatchReply>,
 }
@@ -216,6 +227,213 @@ impl EngineState {
     }
 }
 
+/// Observability wiring for an [`Engine`].
+///
+/// The default is metrics **on** with tracing **off**: counters and
+/// histograms record into a fresh registry (per-worker local shards
+/// folded at batch boundaries — no warm-path atomics), no events are
+/// emitted, and nothing is considered slow. `metrics: false` turns the
+/// engine's recording off entirely (the benchmark's baseline mode).
+#[derive(Clone, Debug)]
+pub struct ObsOptions {
+    /// Where counters, gauges and histograms live. Share one registry
+    /// across engine + front-end to scrape everything at once.
+    pub registry: Arc<Registry>,
+    /// Event sink for slow-request, connection and store events.
+    pub sink: Arc<TraceSink>,
+    /// Emit a `slow_request` event (at [`Level::Info`]) for any request
+    /// whose in-worker service time is at or above this. `None` means
+    /// never.
+    pub trace_threshold: Option<Duration>,
+    /// Master switch for the engine's own recording. Store hooks are
+    /// only installed when true.
+    pub metrics: bool,
+}
+
+impl Default for ObsOptions {
+    fn default() -> ObsOptions {
+        ObsOptions {
+            registry: Arc::new(Registry::new()),
+            sink: Arc::new(TraceSink::disabled()),
+            trace_threshold: None,
+            metrics: true,
+        }
+    }
+}
+
+/// Pre-resolved handles into the registry, so recording never re-hashes
+/// a metric name.
+pub(crate) struct EngineMetrics {
+    requests: Arc<Counter>,
+    equiv: Arc<Counter>,
+    checks: Arc<Counter>,
+    errors: Arc<Counter>,
+    slow: Arc<Counter>,
+    batches: Arc<Counter>,
+    conns_accepted: Arc<Counter>,
+    conns_closed: Arc<Counter>,
+    conn_timeouts: Arc<Counter>,
+    conns_active: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    request_ns: Arc<Histogram>,
+    sojourn_ns: Arc<Histogram>,
+    publish_ns: Arc<Histogram>,
+    parse_ns: Arc<Histogram>,
+    intern_ns: Arc<Histogram>,
+    equiv_ns: Arc<Histogram>,
+    check_ns: Arc<Histogram>,
+    read_parse_ns: Arc<Histogram>,
+    write_ns: Arc<Histogram>,
+}
+
+impl EngineMetrics {
+    fn new(registry: &Registry) -> EngineMetrics {
+        EngineMetrics {
+            requests: registry.counter("requests_total"),
+            equiv: registry.counter("equiv_requests_total"),
+            checks: registry.counter("check_requests_total"),
+            errors: registry.counter("error_responses_total"),
+            slow: registry.counter("slow_requests_total"),
+            batches: registry.counter("batches_total"),
+            conns_accepted: registry.counter("conns_accepted_total"),
+            conns_closed: registry.counter("conns_closed_total"),
+            conn_timeouts: registry.counter("conn_timeouts_total"),
+            conns_active: registry.gauge("conns_active"),
+            workers: registry.gauge("workers"),
+            request_ns: registry.histogram("request_service_ns"),
+            sojourn_ns: registry.histogram("queue_sojourn_ns"),
+            publish_ns: registry.histogram("batch_publish_ns"),
+            parse_ns: registry.histogram("stage_parse_ns"),
+            intern_ns: registry.histogram("stage_intern_ns"),
+            equiv_ns: registry.histogram("stage_equiv_ns"),
+            check_ns: registry.histogram("stage_check_ns"),
+            read_parse_ns: registry.histogram("stage_read_parse_ns"),
+            write_ns: registry.histogram("stage_write_ns"),
+        }
+    }
+}
+
+/// Worker-local observability shard: plain integers and local histogram
+/// arrays, folded into the shared registry once per batch. The warm
+/// path's entire observability cost is one `Instant` pair (already paid
+/// for the response's `ns` field) plus a handful of these increments.
+#[derive(Default)]
+struct LocalObs {
+    requests: u64,
+    equiv: u64,
+    checks: u64,
+    errors: u64,
+    slow: u64,
+    batches: u64,
+    request_ns: LocalHistogram,
+    sojourn_ns: LocalHistogram,
+    publish_ns: LocalHistogram,
+    parse_ns: LocalHistogram,
+    intern_ns: LocalHistogram,
+    equiv_ns: LocalHistogram,
+    check_ns: LocalHistogram,
+}
+
+/// The engine's observability state: options plus resolved handles.
+/// Shared (behind `Arc`) with the serving front-end, which records
+/// reader/writer stages and connection lifecycle through it.
+pub(crate) struct EngineObs {
+    opts: ObsOptions,
+    m: EngineMetrics,
+}
+
+impl EngineObs {
+    fn new(opts: ObsOptions) -> EngineObs {
+        let m = EngineMetrics::new(&opts.registry);
+        EngineObs { opts, m }
+    }
+
+    /// Is the engine recording at all?
+    pub(crate) fn enabled(&self) -> bool {
+        self.opts.metrics
+    }
+
+    pub(crate) fn sink(&self) -> &TraceSink {
+        &self.opts.sink
+    }
+
+    fn threshold_ns(&self) -> Option<u64> {
+        self.opts
+            .trace_threshold
+            .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Fold a worker's local shard into the shared registry.
+    fn fold(&self, lobs: &mut LocalObs) {
+        if !self.enabled() {
+            return;
+        }
+        let m = &self.m;
+        for (counter, n) in [
+            (&m.requests, lobs.requests),
+            (&m.equiv, lobs.equiv),
+            (&m.checks, lobs.checks),
+            (&m.errors, lobs.errors),
+            (&m.slow, lobs.slow),
+            (&m.batches, lobs.batches),
+        ] {
+            if n > 0 {
+                counter.add(n);
+            }
+        }
+        m.request_ns.fold(&mut lobs.request_ns);
+        m.sojourn_ns.fold(&mut lobs.sojourn_ns);
+        m.publish_ns.fold(&mut lobs.publish_ns);
+        m.parse_ns.fold(&mut lobs.parse_ns);
+        m.intern_ns.fold(&mut lobs.intern_ns);
+        m.equiv_ns.fold(&mut lobs.equiv_ns);
+        m.check_ns.fold(&mut lobs.check_ns);
+        // The histogram folds drained themselves; zero the counters.
+        lobs.requests = 0;
+        lobs.equiv = 0;
+        lobs.checks = 0;
+        lobs.errors = 0;
+        lobs.slow = 0;
+        lobs.batches = 0;
+    }
+
+    // ---- hooks for the serving front-end (same crate) ----
+
+    pub(crate) fn conn_opened(&self) {
+        if self.enabled() {
+            self.m.conns_accepted.inc();
+            self.m.conns_active.inc();
+        }
+    }
+
+    pub(crate) fn conn_closed(&self) {
+        if self.enabled() {
+            self.m.conns_closed.inc();
+            self.m.conns_active.dec();
+        }
+    }
+
+    pub(crate) fn conn_timeout(&self) {
+        if self.enabled() {
+            self.m.conn_timeouts.inc();
+        }
+    }
+
+    /// Reader-side read+parse time for one consumed input chunk.
+    pub(crate) fn record_read_parse(&self, ns: u64) {
+        if self.enabled() {
+            self.m.read_parse_ns.record(ns);
+        }
+    }
+
+    /// Writer-side serialize+write time for one batch of responses.
+    pub(crate) fn record_write(&self, ns: u64) {
+        if self.enabled() {
+            self.m.write_ns.record(ns);
+        }
+    }
+}
+
 /// The worker pool. Submit [`Batch`]es with [`Engine::submit`]; drop
 /// (or [`Engine::shutdown`]) to stop the workers.
 pub struct Engine {
@@ -229,6 +447,7 @@ pub struct Engine {
     workers: Vec<JoinHandle<()>>,
     shared: Arc<SharedStore>,
     state: Arc<EngineState>,
+    obs: Arc<EngineObs>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -272,7 +491,31 @@ impl Engine {
 
     /// [`Engine::with_session`] from the raw shared store handle.
     pub fn with_store(workers: usize, shared: Arc<SharedStore>) -> Engine {
+        Engine::with_store_obs(workers, shared, ObsOptions::default())
+    }
+
+    /// [`Engine::with_session`] with explicit observability wiring.
+    pub fn with_obs(workers: usize, session: Session, obs: ObsOptions) -> Engine {
+        Engine::with_store_obs(workers, Arc::clone(session.store()), obs)
+    }
+
+    /// [`Engine::with_store`] with explicit observability wiring.
+    pub fn with_store_obs(workers: usize, shared: Arc<SharedStore>, opts: ObsOptions) -> Engine {
         let workers = workers.max(1);
+        let obs = Arc::new(EngineObs::new(opts));
+        if obs.enabled() {
+            obs.m.workers.set(workers as i64);
+            // Store hooks: the cold interning slow path and snapshot
+            // installs record into the same registry. First installer
+            // wins — a second engine on the same store keeps the first
+            // engine's hooks (and its registry).
+            let registry = &obs.opts.registry;
+            shared.install_obs(StoreObs {
+                slow_path_ns: registry.histogram("store_slow_path_ns"),
+                install_ns: registry.histogram("snapshot_install_ns"),
+                sink: Arc::clone(&obs.opts.sink),
+            });
+        }
         let state = Arc::new(EngineState::new(workers));
         let mut txs = Vec::with_capacity(workers);
         let handles = (0..workers)
@@ -281,9 +524,10 @@ impl Engine {
                 txs.push(tx);
                 let shared = Arc::clone(&shared);
                 let state = Arc::clone(&state);
+                let obs = Arc::clone(&obs);
                 std::thread::Builder::new()
                     .name(format!("algst-worker-{i}"))
-                    .spawn(move || worker_loop(rx, shared, state))
+                    .spawn(move || worker_loop(i, rx, shared, state, obs))
                     .expect("spawn worker")
             })
             .collect();
@@ -293,6 +537,7 @@ impl Engine {
             workers: handles,
             shared,
             state,
+            obs,
         }
     }
 
@@ -306,15 +551,56 @@ impl Engine {
         &self.shared
     }
 
+    /// The metrics registry this engine records into (counters, gauges,
+    /// histograms — see the README's metrics catalogue). Hand it to the
+    /// Prometheus endpoint or scrape it directly.
+    pub fn metrics_registry(&self) -> &Arc<Registry> {
+        &self.obs.opts.registry
+    }
+
+    /// The event sink this engine (and its store) emits into.
+    pub fn trace_sink(&self) -> &Arc<TraceSink> {
+        &self.obs.opts.sink
+    }
+
+    /// The flat `(key, value)` metrics view the `metrics` op returns:
+    /// the registry (histograms summarized as `_count`/`_sum`/
+    /// `_p50`/`_p95`/`_p99`), store statistics (`store_*`) and
+    /// request-cache statistics (`cache_*`), sorted by key.
+    pub fn metrics_fields(&self) -> Vec<(String, Value)> {
+        metrics_fields(
+            &self.obs.opts.registry.snapshot(),
+            &self.state,
+            &self.shared,
+        )
+    }
+
+    /// Observability hooks shared with the serving front-end.
+    pub(crate) fn obs(&self) -> &Arc<EngineObs> {
+        &self.obs
+    }
+
     /// Queues a batch; blocks when the queue is full (backpressure).
     /// `seq` is echoed back with the responses — submitters that
     /// pipeline several batches use consecutive numbers to restore
     /// per-connection order; one-shot callers pass 0.
     pub fn submit(&self, seq: u64, items: Vec<Request>, reply: Sender<BatchReply>) {
+        self.submit_conn(0, seq, items, reply);
+    }
+
+    /// [`Engine::submit`] tagged with the submitting connection id, so
+    /// slow-request trace events can name the connection.
+    pub fn submit_conn(&self, conn: u64, seq: u64, items: Vec<Request>, reply: Sender<BatchReply>) {
         let txs = self.tx.as_ref().expect("engine already shut down");
         let i = self.next.fetch_add(1, Ordering::Relaxed) % txs.len();
         txs[i]
-            .send(Batch { seq, items, reply })
+            .send(Batch {
+                seq,
+                conn,
+                submitted: Instant::now(),
+                items,
+                reply,
+            })
             .expect("workers alive while engine holds the sender");
     }
 
@@ -351,23 +637,57 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineState>) {
+fn worker_loop(
+    widx: usize,
+    rx: Receiver<Batch>,
+    shared: Arc<SharedStore>,
+    state: Arc<EngineState>,
+    obs: Arc<EngineObs>,
+) {
     // Each worker attaches its own sibling session to the injected
     // store; the engine never touches any other store.
     let mut session = Session::with_store(shared);
     let mut caches = WorkerCaches::default();
+    let mut lobs = LocalObs::default();
     while let Ok(batch) = rx.recv() {
+        if obs.enabled() {
+            lobs.batches += 1;
+            lobs.sojourn_ns
+                .record(u64::try_from(batch.submitted.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
         let mut out = Vec::with_capacity(batch.items.len());
         let mut tally = Tally::default();
+        let mut ctx = ReqCtx {
+            obs: &obs,
+            lobs: &mut lobs,
+            conn: batch.conn,
+            widx,
+        };
         for req in batch.items {
             tally.requests += 1;
-            out.push(handle(&mut session, &state, &mut caches, &mut tally, req));
+            out.push(handle(
+                &mut session,
+                &state,
+                &mut caches,
+                &mut tally,
+                &mut ctx,
+                req,
+            ));
         }
         state.fold(&tally);
         // Publish this batch's freshly computed normal forms as a new
         // store generation: the next batch on *any* worker sees them.
         // A no-op (no locks) when the batch was fully warm.
-        session.publish();
+        if obs.enabled() {
+            let span = Span::begin();
+            session.publish();
+            span.record(&mut lobs.publish_ns);
+        } else {
+            session.publish();
+        }
+        // Fold this batch's observability shard before replying, so a
+        // scraper that has seen all its responses sees all its counts.
+        obs.fold(&mut lobs);
         // The submitter may be gone (client hung up, writer dead): the
         // send fails fast — the vendored channel wakes blocked senders
         // on receiver drop — and the responses are discarded. That is
@@ -377,33 +697,98 @@ fn worker_loop(rx: Receiver<Batch>, shared: Arc<SharedStore>, state: Arc<EngineS
     }
 }
 
+/// Per-stage timings of one cold request, for the slow-request trace.
+/// Warm requests leave everything at zero.
+#[derive(Clone, Copy, Default)]
+struct Stages {
+    parse_ns: u64,
+    intern_ns: u64,
+    work_ns: u64,
+}
+
+/// Per-request observability context: the engine hooks, this worker's
+/// local shard, and the batch's connection/worker labels.
+struct ReqCtx<'a> {
+    obs: &'a EngineObs,
+    lobs: &'a mut LocalObs,
+    conn: u64,
+    widx: usize,
+}
+
+impl ReqCtx<'_> {
+    /// Account one finished request: total-latency histogram, per-op
+    /// counter, and — above the threshold — a `slow_request` event with
+    /// the per-stage breakdown. `total_ns` reuses the `Instant` pair the
+    /// response's `ns` field already paid for, so the warm path adds
+    /// only local-array increments.
+    fn finish(&mut self, id: u64, op: &'static str, warm: bool, total_ns: u64, stages: Stages) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.lobs.requests += 1;
+        match op {
+            "equiv" => self.lobs.equiv += 1,
+            "check" => self.lobs.checks += 1,
+            "error" => self.lobs.errors += 1,
+            _ => {}
+        }
+        self.lobs.request_ns.record(total_ns);
+        if let Some(threshold) = self.obs.threshold_ns() {
+            if total_ns >= threshold {
+                self.lobs.slow += 1;
+                self.obs.sink().event(
+                    Level::Info,
+                    "slow_request",
+                    &[
+                        ("request_id", Field::U64(id)),
+                        ("conn", Field::U64(self.conn)),
+                        ("worker", Field::U64(self.widx as u64)),
+                        ("op", Field::Str(op)),
+                        ("warm", Field::Bool(warm)),
+                        ("total_us", Field::F64(total_ns as f64 / 1_000.0)),
+                        ("parse_us", Field::F64(stages.parse_ns as f64 / 1_000.0)),
+                        ("intern_us", Field::F64(stages.intern_ns as f64 / 1_000.0)),
+                        ("work_us", Field::F64(stages.work_ns as f64 / 1_000.0)),
+                    ],
+                );
+            }
+        }
+    }
+}
+
 fn handle(
     session: &mut Session,
     state: &EngineState,
     caches: &mut WorkerCaches,
     tally: &mut Tally,
+    ctx: &mut ReqCtx<'_>,
     req: Request,
 ) -> Response {
     let id = req.id;
     match req.op {
         Op::Equiv { lhs, rhs } => {
             let start = Instant::now();
-            let a = match resolve_cached(session, state, caches, &lhs) {
+            let mut stages = Stages::default();
+            let a = match resolve_cached(session, state, caches, ctx, &mut stages, &lhs) {
                 Ok(a) => a,
                 Err(e) => {
+                    let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    ctx.finish(id, "error", false, total, stages);
                     return Response::Error {
                         id,
                         error: format!("lhs: {e}"),
-                    }
+                    };
                 }
             };
-            let b = match resolve_cached(session, state, caches, &rhs) {
+            let b = match resolve_cached(session, state, caches, ctx, &mut stages, &rhs) {
                 Ok(b) => b,
                 Err(e) => {
+                    let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    ctx.finish(id, "error", false, total, stages);
                     return Response::Error {
                         id,
                         error: format!("rhs: {e}"),
-                    }
+                    };
                 }
             };
             // Equivalence is symmetric: canonical key order doubles the
@@ -417,17 +802,25 @@ fn handle(
                 tally.equiv_hits += 1;
                 (v, true)
             } else {
+                // Cold equivalence runs at µs scale: an extra timer pair
+                // is noise here and gold for attribution.
+                let span = ctx.obs.enabled().then(Span::begin);
                 let v = session.equivalent_ids(key.0, key.1);
+                if let Some(span) = span {
+                    stages.work_ns = span.record(&mut ctx.lobs.equiv_ns);
+                }
                 state.verdict_put(key, v);
                 caches.verdicts.insert(key, v);
                 tally.equiv_misses += 1;
                 (v, false)
             };
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            ctx.finish(id, "equiv", warm, ns, stages);
             Response::Equiv {
                 id,
                 verdict,
                 warm,
-                ns: start.elapsed().as_nanos() as u64,
+                ns,
             }
         }
         Op::Check { source } => {
@@ -435,24 +828,60 @@ fn handle(
             // The module cache elaborates through this worker's session,
             // so checked signatures warm the same store `equiv` uses.
             let (result, cached) = state.modules.check_source(session, &source);
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if ctx.obs.enabled() && !cached {
+                ctx.lobs.check_ns.record(ns);
+            }
+            ctx.finish(
+                id,
+                "check",
+                cached,
+                ns,
+                Stages {
+                    work_ns: if cached { 0 } else { ns },
+                    ..Stages::default()
+                },
+            );
             Response::Check {
                 id,
                 ok: result.is_ok(),
                 error: result.err().map(|e| e.to_string()),
                 cached,
-                ns: start.elapsed().as_nanos() as u64,
+                ns,
             }
         }
-        Op::Stats => {
+        Op::Stats { delta } => {
             // Publish and fold this worker's own tally first so its
             // work (including this batch's prefix) is included.
             session.publish();
             state.fold(&std::mem::take(tally));
+            ctx.finish(id, "stats", true, 0, Stages::default());
             let snap = state.snapshot(session.store());
-            Response::Stats { id, snapshot: snap }
+            Response::Stats {
+                id,
+                snapshot: snap,
+                delta,
+            }
         }
-        Op::Shutdown => Response::Shutdown { id },
-        Op::Invalid { error } => Response::Error { id, error },
+        Op::Metrics => {
+            // Same pre-fold dance as `stats`, plus this worker's obs
+            // shard, so the registry reflects every request whose
+            // response precedes this one on the connection.
+            session.publish();
+            state.fold(&std::mem::take(tally));
+            ctx.finish(id, "metrics", true, 0, Stages::default());
+            ctx.obs.fold(ctx.lobs);
+            let fields = metrics_fields(&ctx.obs.opts.registry.snapshot(), state, session.store());
+            Response::Metrics { id, fields }
+        }
+        Op::Shutdown => {
+            ctx.finish(id, "shutdown", true, 0, Stages::default());
+            Response::Shutdown { id }
+        }
+        Op::Invalid { error } => {
+            ctx.finish(id, "error", false, 0, Stages::default());
+            Response::Error { id, error }
+        }
     }
 }
 
@@ -460,6 +889,8 @@ fn resolve_cached(
     session: &mut Session,
     state: &EngineState,
     caches: &mut WorkerCaches,
+    ctx: &mut ReqCtx<'_>,
+    stages: &mut Stages,
     src: &str,
 ) -> Result<TypeId, String> {
     if let Some(&id) = caches.parses.get(src) {
@@ -469,11 +900,87 @@ fn resolve_cached(
         caches.parses.insert(src.to_owned(), id);
         return Ok(id);
     }
+    // Cold resolve: lex/parse/resolve then intern, each timed when the
+    // engine is recording (first-sight strings already pay µs here).
+    let span = ctx.obs.enabled().then(Span::begin);
     let ty = type_from_str(src)?;
+    if let Some(span) = span {
+        stages.parse_ns += span.record(&mut ctx.lobs.parse_ns);
+    }
+    let span = ctx.obs.enabled().then(Span::begin);
     let id = session.intern(&ty);
+    if let Some(span) = span {
+        stages.intern_ns += span.record(&mut ctx.lobs.intern_ns);
+    }
     state.parse_put(src, id);
     caches.parses.insert(src.to_owned(), id);
     Ok(id)
+}
+
+/// Assemble the flat, sorted `(key, value)` list behind the `metrics`
+/// op: registry counters/gauges verbatim, histograms summarized as
+/// `_count`/`_sum`/`_p50`/`_p95`/`_p99`, store statistics under
+/// `store_*`, request-cache statistics under `cache_*`.
+fn metrics_fields(
+    snap: &algst_obs::MetricsSnapshot,
+    state: &EngineState,
+    store: &SharedStore,
+) -> Vec<(String, Value)> {
+    let mut fields: Vec<(String, Value)> = Vec::with_capacity(
+        snap.counters.len() + snap.gauges.len() + 5 * snap.histograms.len() + 16,
+    );
+    for (name, value) in &snap.counters {
+        fields.push((name.clone(), Value::Int(*value as i64)));
+    }
+    for (name, value) in &snap.gauges {
+        fields.push((name.clone(), Value::Int(*value)));
+    }
+    for (name, hist) in &snap.histograms {
+        fields.push((format!("{name}_count"), Value::Int(hist.count as i64)));
+        fields.push((format!("{name}_sum"), Value::Int(hist.sum as i64)));
+        fields.push((
+            format!("{name}_p50"),
+            Value::Int(hist.quantile(0.50) as i64),
+        ));
+        fields.push((
+            format!("{name}_p95"),
+            Value::Int(hist.quantile(0.95) as i64),
+        ));
+        fields.push((
+            format!("{name}_p99"),
+            Value::Int(hist.quantile(0.99) as i64),
+        ));
+    }
+    let s = store.stats();
+    for (name, value) in [
+        ("store_nodes", s.nodes),
+        ("store_generation", s.generation),
+        ("store_snapshot_installs", s.snapshot_installs),
+        ("store_slow_path_total", s.slow_path),
+        ("store_lock_acquisitions", s.lock_acquisitions),
+        ("store_nrm_hits", s.nrm_hits),
+        ("store_nrm_misses", s.nrm_misses),
+        ("store_publishes", s.publishes),
+        ("store_workers", s.workers),
+    ] {
+        fields.push((name.to_string(), Value::Int(value as i64)));
+    }
+    let (equiv_entries, parse_entries) = state.entries();
+    let modules = state.modules.stats();
+    for (name, value) in [
+        ("cache_equiv_entries", equiv_entries),
+        ("cache_parse_entries", parse_entries),
+        ("cache_module_entries", modules.entries),
+        ("cache_module_hits", modules.hits),
+        (
+            "cache_shard_locks",
+            state.cache_locks.load(Ordering::Relaxed),
+        ),
+    ] {
+        fields.push((name.to_string(), Value::Int(value as i64)));
+    }
+    fields.sort_by(|a, b| a.0.cmp(&b.0));
+    fields
 }
 
 #[cfg(test)]
@@ -557,7 +1064,7 @@ mod tests {
         ]);
         let resp = engine.process(vec![Request {
             id: 3,
-            op: Op::Stats,
+            op: Op::Stats { delta: false },
         }]);
         let Response::Stats { snapshot, .. } = &resp[0] else {
             panic!("expected stats");
@@ -571,7 +1078,16 @@ mod tests {
 
     #[test]
     fn warm_replay_takes_no_locks() {
-        let engine = Engine::with_session(1, Session::new());
+        // Metrics AND tracing enabled — the observability layer must not
+        // cost the warm path its zero-lock property (ISSUE 8 criterion).
+        let (sink, trace_buf) = TraceSink::to_buffer(Level::Debug);
+        let opts = ObsOptions {
+            sink: Arc::new(sink),
+            trace_threshold: Some(Duration::from_secs(3600)),
+            ..ObsOptions::default()
+        };
+        let registry = Arc::clone(&opts.registry);
+        let engine = Engine::with_obs(1, Session::new(), opts);
         let reqs = || {
             vec![
                 equiv(1, "!Int.End!", "Dual (?Int.End?)"),
@@ -584,6 +1100,7 @@ mod tests {
         engine.process(reqs());
         engine.process(reqs());
         let before = engine.snapshot();
+        let trace_len_before = trace_buf.lock().unwrap().len();
         for _ in 0..3 {
             engine.process(reqs());
         }
@@ -597,6 +1114,99 @@ mod tests {
             "warm replay must not lock the type store"
         );
         assert_eq!(after.store_generation, before.store_generation);
+        // Every request (5 batches × 3) landed in the latency histogram…
+        let snap = registry.snapshot();
+        let hist = |name: &str| {
+            snap.histograms
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing histogram {name}"))
+                .1
+                .clone()
+        };
+        assert_eq!(hist("request_service_ns").count, 15);
+        assert_eq!(hist("queue_sojourn_ns").count, 5, "one sojourn per batch");
+        // …and no request cleared the (one hour) slow threshold, so the
+        // warm replay emitted no events either.
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == "slow_requests_total")
+                .expect("slow counter registered")
+                .1,
+            0
+        );
+        assert_eq!(trace_buf.lock().unwrap().len(), trace_len_before);
+    }
+
+    #[test]
+    fn metrics_op_is_sorted_complete_and_byte_stable() {
+        let engine = Engine::with_session(2, Session::new());
+        engine.process(vec![
+            equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+            equiv(2, "!Int.End!", "Dual (?Int.End?)"),
+        ]);
+        let metrics = |id| {
+            let resp = engine.process(vec![Request {
+                id,
+                op: Op::Metrics,
+            }]);
+            let Response::Metrics { fields, .. } = resp.into_iter().next().unwrap() else {
+                panic!("expected metrics response");
+            };
+            fields
+        };
+        let fields = metrics(1);
+        let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "metrics keys must come pre-sorted");
+        for required in [
+            "requests_total",
+            "equiv_requests_total",
+            "batches_total",
+            "workers",
+            "request_service_ns_count",
+            "request_service_ns_p99",
+            "queue_sojourn_ns_count",
+            "store_slow_path_ns_count",
+            "snapshot_install_ns_count",
+            "store_nodes",
+            "store_lock_acquisitions",
+            "cache_equiv_entries",
+        ] {
+            assert!(keys.contains(&required), "metrics missing {required}");
+        }
+        let count = |fields: &[(String, Value)], key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_int())
+                .unwrap()
+        };
+        // 2 equivs + this metrics request, every one counted by the time
+        // its own response is built.
+        assert_eq!(count(&fields, "requests_total"), 3);
+        assert_eq!(count(&fields, "equiv_requests_total"), 2);
+        // Scrape twice more: the key sequence (and therefore the JSON
+        // shape) is identical run to run — only values move.
+        let line_keys = |id| {
+            let line = Response::Metrics {
+                id,
+                fields: metrics(id),
+            }
+            .to_json();
+            crate::json::parse_object(&line)
+                .unwrap()
+                .into_iter()
+                .map(|(k, _)| k)
+                .collect::<Vec<String>>()
+        };
+        assert_eq!(
+            line_keys(8),
+            line_keys(9),
+            "stable key order across scrapes"
+        );
     }
 
     #[test]

@@ -3,9 +3,16 @@
 //! The workspace has no registry dependencies (so no serde); the
 //! protocol only ever exchanges *flat* objects whose values are strings,
 //! integers, booleans or null, and this module implements exactly that:
-//! [`parse_object`] for inbound request lines and [`escape`] for
-//! building outbound lines by hand. Nested arrays/objects are rejected —
-//! by the protocol's design there is no request that needs them.
+//! [`parse_object`] for inbound request lines, and [`escape`] plus the
+//! [`ObjWriter`] builder for outbound lines. Nested arrays/objects are
+//! rejected — by the protocol's design there is no request that needs
+//! them.
+//!
+//! Outbound objects are emitted in exactly the order fields are pushed
+//! into the [`ObjWriter`], and every `Response::to_json` path routes
+//! through it — so identical state serializes to identical bytes, run
+//! to run. The `stats` and `metrics` ops lean on this: scrapers can
+//! diff response lines textually.
 
 use std::fmt::Write as _;
 
@@ -103,6 +110,108 @@ pub fn escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Builds one flat JSON object with **caller-controlled, deterministic
+/// key order**: fields appear in exactly the order they are pushed, and
+/// every value formats through one code path (integers as-is, floats
+/// with four decimals, strings escaped). Serializing the same fields in
+/// the same order therefore yields byte-identical lines — the stability
+/// contract behind `stats` and `metrics` responses.
+#[derive(Debug)]
+pub struct ObjWriter {
+    buf: String,
+    first: bool,
+}
+
+impl Default for ObjWriter {
+    fn default() -> Self {
+        ObjWriter::new()
+    }
+}
+
+impl ObjWriter {
+    /// Starts an empty object (`{`).
+    pub fn new() -> ObjWriter {
+        ObjWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends `"key":<unsigned integer>`.
+    pub fn field_u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends `"key":<signed integer>`.
+    pub fn field_i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Appends `"key":<float>` with four decimals (the protocol's rate
+    /// format; non-finite values become `null`).
+    pub fn field_f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value:.4}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends `"key":true|false`.
+    pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends `"key":"escaped string"`.
+    pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends a parsed [`Value`] (strings escaped, floats in rate
+    /// format, nulls literal).
+    pub fn field_value(&mut self, key: &str, value: &Value) -> &mut Self {
+        match value {
+            Value::Str(s) => self.field_str(key, s),
+            Value::Int(n) => self.field_i64(key, *n),
+            Value::Float(x) => self.field_f64(key, *x),
+            Value::Bool(b) => self.field_bool(key, *b),
+            Value::Null => {
+                self.key(key);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
 }
 
 fn show(b: Option<u8>) -> String {
@@ -310,5 +419,35 @@ mod tests {
     fn duplicate_keys_last_wins() {
         let pairs = parse_object(r#"{"a":1,"a":2}"#).unwrap();
         assert_eq!(get(&pairs, "a").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn obj_writer_emits_fields_in_push_order() {
+        let mut w = ObjWriter::new();
+        w.field_u64("id", 7)
+            .field_str("op", "metrics")
+            .field_bool("warm", true)
+            .field_i64("delta", -2)
+            .field_f64("rate", 0.5)
+            .field_value("x", &Value::Null);
+        assert_eq!(
+            w.finish(),
+            r#"{"id":7,"op":"metrics","warm":true,"delta":-2,"rate":0.5000,"x":null}"#
+        );
+        assert_eq!(ObjWriter::new().finish(), "{}");
+    }
+
+    #[test]
+    fn obj_writer_output_is_byte_stable_and_round_trips() {
+        let build = || {
+            let mut w = ObjWriter::new();
+            w.field_str("s", "a\"b\\c\nd").field_u64("n", 42);
+            w.finish()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a, b, "same fields, same order => same bytes");
+        let pairs = parse_object(&a).unwrap();
+        assert_eq!(get(&pairs, "s").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(get(&pairs, "n").unwrap().as_int(), Some(42));
     }
 }

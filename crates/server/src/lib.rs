@@ -30,10 +30,12 @@
 
 pub mod engine;
 pub mod json;
+pub mod metrics_http;
 pub mod protocol;
 pub mod resolve;
 pub mod serve;
 
-pub use engine::Engine;
+pub use engine::{Engine, ObsOptions};
+pub use metrics_http::{serve_metrics, MetricsServer};
 pub use protocol::{parse_request, Op, Request, Response, Snapshot};
 pub use serve::{serve_listener, serve_session, serve_stdio, serve_tcp, ServeConfig, ServeSummary};

@@ -1,0 +1,194 @@
+//! Prometheus-style scrape endpoint (`algst serve --metrics-listen`).
+//!
+//! A deliberately tiny HTTP/1.0 responder: every connection gets one
+//! `200 OK text/plain` response carrying the full metrics registry in
+//! [exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/)
+//! plus the shared store's counters, then the connection closes. No
+//! routing, no keep-alive, no TLS — it exists so `curl` and a scraper
+//! can watch a serving process without speaking the JSON protocol,
+//! and it never competes with the request path (its own thread, its
+//! own listener, reads only atomics).
+
+use algst_core::shared::SharedStore;
+use algst_obs::Registry;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the acceptor sleeps when no scraper is connecting.
+const ACCEPT_TICK: Duration = Duration::from_millis(20);
+
+/// A running scrape endpoint. Dropping it stops the acceptor thread
+/// (the in-flight response, if any, still completes).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The bound address (useful when the caller asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Binds `addr` and serves metric scrapes on a dedicated thread until
+/// the returned [`MetricsServer`] is dropped. Every HTTP request gets
+/// the current [`Registry`] snapshot (stable, sorted key order) plus
+/// the store's counters, `algst_`-prefixed.
+pub fn serve_metrics(
+    addr: &str,
+    registry: Arc<Registry>,
+    store: Arc<SharedStore>,
+) -> io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || accept_loop(&listener, &registry, &store, &stop)
+    });
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    registry: &Registry,
+    store: &SharedStore,
+    stop: &AtomicBool,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            // Scrape errors (slow client, reset) are the scraper's
+            // problem; the endpoint keeps serving.
+            Ok((stream, _)) => {
+                let _ = answer(stream, registry, store);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads (and discards) the request head, writes one full exposition.
+fn answer(mut stream: TcpStream, registry: &Registry, store: &SharedStore) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_nonblocking(false)?;
+    // Drain the request line + headers up to the blank line; we answer
+    // every path identically so nothing needs parsing.
+    let mut head = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if head.len() > 16 * 1024 {
+                    break; // oversized head: answer anyway
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body = exposition(registry, store);
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+/// The full scrape body: the registry exposition followed by the
+/// store's counters as gauges (they live in the store, not the
+/// registry, because they predate it and are always on).
+pub fn exposition(registry: &Registry, store: &SharedStore) -> String {
+    let mut out = registry.snapshot().prometheus("algst_");
+    let s = store.stats();
+    for (name, value) in [
+        ("store_generation", s.generation),
+        ("store_lock_acquisitions_total", s.lock_acquisitions),
+        ("store_nodes", s.nodes),
+        ("store_nrm_hits_total", s.nrm_hits),
+        ("store_nrm_misses_total", s.nrm_misses),
+        ("store_publishes_total", s.publishes),
+        ("store_slow_path_total", s.slow_path),
+        ("store_snapshot_installs_total", s.snapshot_installs),
+        ("store_workers", s.workers),
+    ] {
+        out.push_str("# TYPE algst_");
+        out.push_str(name);
+        out.push_str(" gauge\nalgst_");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut text = String::new();
+        BufReader::new(stream).read_to_string(&mut text).unwrap();
+        text
+    }
+
+    #[test]
+    fn scrape_returns_registry_and_store_metrics() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("requests_total").add(7);
+        registry.histogram("request_service_ns").record(1500);
+        let store = Arc::new(SharedStore::new());
+        let server = serve_metrics("127.0.0.1:0", Arc::clone(&registry), store).unwrap();
+        let text = scrape(server.addr());
+        assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+        assert!(text.contains("algst_requests_total 7"), "{text}");
+        assert!(
+            text.contains("# TYPE algst_request_service_ns histogram"),
+            "{text}"
+        );
+        assert!(text.contains("algst_request_service_ns_count 1"), "{text}");
+        assert!(text.contains("algst_store_nodes "), "{text}");
+        // A second scrape sees the same names (and any newer values).
+        registry.counter("requests_total").add(1);
+        let again = scrape(server.addr());
+        assert!(again.contains("algst_requests_total 8"), "{again}");
+    }
+}

@@ -7,6 +7,8 @@
 //! {"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}
 //! {"op":"check","source":"main : Unit\nmain = ()"}
 //! {"op":"stats"}
+//! {"op":"stats","delta":true}
+//! {"op":"metrics"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -16,19 +18,33 @@
 //! ```text
 //! {"id":1,"op":"equiv","verdict":true,"warm":false,"ns":8125}
 //! {"id":2,"op":"check","ok":true,"cached":false,"ns":51200}
-//! {"id":3,"op":"stats","nodes":12,...}
-//! {"id":4,"op":"shutdown","ok":true}
-//! {"id":5,"op":"error","error":"unknown op \"frobnicate\""}
+//! {"id":3,"op":"stats","delta":false,"requests":12,...}
+//! {"id":4,"op":"metrics","batches_total":3,...}
+//! {"id":5,"op":"shutdown","ok":true}
+//! {"id":6,"op":"error","error":"unknown op \"frobnicate\""}
 //! ```
 //!
 //! `warm` is true when the verdict was answered from the per-pair
 //! verdict cache (the pair had been decided before, by any worker);
 //! `ns` is the in-worker service time in nanoseconds.
+//!
+//! `stats` with `"delta":true` reports counters **since the previous
+//! delta call on the same connection** (the first delta call counts from
+//! connection start), so scrapers get rates without diffing client-side;
+//! instantaneous values (`workers`, `conns_active`) stay absolute. The
+//! cursor lives in the connection's writer — stdio serving and
+//! [`Engine::process`](crate::Engine::process) have no cursor and answer
+//! delta requests cumulatively.
+//!
+//! `metrics` returns the full observability registry — every counter,
+//! gauge and histogram summary, plus the store/cache statistics — as one
+//! flat object in **stable sorted key order**, byte-diffable across
+//! runs. Full histogram buckets are exposed on the Prometheus endpoint
+//! (`algst serve --metrics-listen`), not over the line protocol.
 
-use crate::json::{self, Value};
+use crate::json::{self, ObjWriter, Value};
 use algst_check::cache::CacheStats;
 use algst_core::shared::StoreStats;
-use std::fmt::Write as _;
 
 /// A parsed request. `id` is what the response will carry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -42,11 +58,24 @@ pub struct Request {
 /// order-of-completion like everything else.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Op {
-    Equiv { lhs: String, rhs: String },
-    Check { source: String },
-    Stats,
+    Equiv {
+        lhs: String,
+        rhs: String,
+    },
+    Check {
+        source: String,
+    },
+    /// `delta: true` asks for counters since the connection's previous
+    /// delta call instead of process-lifetime totals.
+    Stats {
+        delta: bool,
+    },
+    /// Full observability registry snapshot (stable key order).
+    Metrics,
     Shutdown,
-    Invalid { error: String },
+    Invalid {
+        error: String,
+    },
 }
 
 /// Parses one request line. `fallback_id` is assigned when the line has
@@ -87,7 +116,14 @@ fn parse_inner(line: &str, fallback_id: u64) -> Result<Request, (u64, String)> {
         "check" => Op::Check {
             source: field("source")?,
         },
-        "stats" => Op::Stats,
+        "stats" => Op::Stats {
+            delta: match json::get(&pairs, "delta") {
+                Some(Value::Bool(b)) => *b,
+                None => false,
+                Some(_) => return Err((id, "\"delta\" must be a boolean".into())),
+            },
+        },
+        "metrics" => Op::Metrics,
         "shutdown" => Op::Shutdown,
         other => return Err((id, format!("unknown op \"{other}\""))),
     };
@@ -165,6 +201,37 @@ impl Snapshot {
         self.module_entries = s.entries;
         self.module_hits = s.hits;
     }
+
+    /// The change since `prev`: every monotonic counter (and monotone
+    /// size — `nodes`, cache entries — whose delta reads as growth) is
+    /// subtracted (saturating, so a restarted engine yields zeros rather
+    /// than wrapping); the instantaneous values `workers` and
+    /// `conns_active` stay absolute. This is what `stats {"delta":true}`
+    /// reports against the connection's cursor.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        Snapshot {
+            requests: self.requests.saturating_sub(prev.requests),
+            workers: self.workers,
+            nodes: self.nodes.saturating_sub(prev.nodes),
+            nrm_hits: self.nrm_hits.saturating_sub(prev.nrm_hits),
+            nrm_misses: self.nrm_misses.saturating_sub(prev.nrm_misses),
+            equiv_entries: self.equiv_entries.saturating_sub(prev.equiv_entries),
+            equiv_hits: self.equiv_hits.saturating_sub(prev.equiv_hits),
+            equiv_misses: self.equiv_misses.saturating_sub(prev.equiv_misses),
+            parse_entries: self.parse_entries.saturating_sub(prev.parse_entries),
+            module_entries: self.module_entries.saturating_sub(prev.module_entries),
+            module_hits: self.module_hits.saturating_sub(prev.module_hits),
+            store_generation: self.store_generation.saturating_sub(prev.store_generation),
+            snapshot_installs: self
+                .snapshot_installs
+                .saturating_sub(prev.snapshot_installs),
+            store_slow_path: self.store_slow_path.saturating_sub(prev.store_slow_path),
+            store_locks: self.store_locks.saturating_sub(prev.store_locks),
+            cache_locks: self.cache_locks.saturating_sub(prev.cache_locks),
+            conns_accepted: self.conns_accepted.saturating_sub(prev.conns_accepted),
+            conns_active: self.conns_active,
+        }
+    }
 }
 
 /// A response, ready to serialize as one JSON line.
@@ -186,6 +253,16 @@ pub enum Response {
     Stats {
         id: u64,
         snapshot: Snapshot,
+        /// True when the snapshot is a since-last-delta-call diff (the
+        /// serving writer resolves the cursor; engine-level handling
+        /// reports cumulative values with the flag as requested).
+        delta: bool,
+    },
+    /// Full observability registry snapshot: pre-sorted `(key, value)`
+    /// pairs, serialized in exactly that order.
+    Metrics {
+        id: u64,
+        fields: Vec<(String, Value)>,
     },
     Shutdown {
         id: u64,
@@ -202,12 +279,15 @@ impl Response {
             Response::Equiv { id, .. }
             | Response::Check { id, .. }
             | Response::Stats { id, .. }
+            | Response::Metrics { id, .. }
             | Response::Shutdown { id }
             | Response::Error { id, .. } => *id,
         }
     }
 
-    /// Serializes to one JSON line (no trailing newline).
+    /// Serializes to one JSON line (no trailing newline). Every variant
+    /// routes through [`ObjWriter`], so field order — and therefore the
+    /// bytes — is fixed for a given response value.
     pub fn to_json(&self) -> String {
         match self {
             Response::Equiv {
@@ -216,7 +296,13 @@ impl Response {
                 warm,
                 ns,
             } => {
-                format!("{{\"id\":{id},\"op\":\"equiv\",\"verdict\":{verdict},\"warm\":{warm},\"ns\":{ns}}}")
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "equiv")
+                    .field_bool("verdict", *verdict)
+                    .field_bool("warm", *warm)
+                    .field_u64("ns", *ns);
+                w.finish()
             }
             Response::Check {
                 id,
@@ -225,53 +311,68 @@ impl Response {
                 cached,
                 ns,
             } => {
-                let mut line = format!("{{\"id\":{id},\"op\":\"check\",\"ok\":{ok}");
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "check")
+                    .field_bool("ok", *ok);
                 if let Some(e) = error {
-                    let _ = write!(line, ",\"error\":\"{}\"", json::escape(e));
+                    w.field_str("error", e);
                 }
-                let _ = write!(line, ",\"cached\":{cached},\"ns\":{ns}}}");
-                line
+                w.field_bool("cached", *cached).field_u64("ns", *ns);
+                w.finish()
             }
-            Response::Stats { id, snapshot: s } => {
-                format!(
-                    "{{\"id\":{id},\"op\":\"stats\",\"requests\":{},\"workers\":{},\
-                     \"nodes\":{},\"nrm_hits\":{},\"nrm_misses\":{},\"nrm_hit_rate\":{:.4},\
-                     \"equiv_entries\":{},\"equiv_hits\":{},\"equiv_misses\":{},\
-                     \"equiv_hit_rate\":{:.4},\"parse_entries\":{},\
-                     \"module_entries\":{},\"module_hits\":{},\
-                     \"store_generation\":{},\"snapshot_installs\":{},\
-                     \"store_slow_path\":{},\"store_locks\":{},\"cache_locks\":{},\
-                     \"conns_accepted\":{},\"conns_active\":{}}}",
-                    s.requests,
-                    s.workers,
-                    s.nodes,
-                    s.nrm_hits,
-                    s.nrm_misses,
-                    s.nrm_hit_rate(),
-                    s.equiv_entries,
-                    s.equiv_hits,
-                    s.equiv_misses,
-                    s.equiv_hit_rate(),
-                    s.parse_entries,
-                    s.module_entries,
-                    s.module_hits,
-                    s.store_generation,
-                    s.snapshot_installs,
-                    s.store_slow_path,
-                    s.store_locks,
-                    s.cache_locks,
-                    s.conns_accepted,
-                    s.conns_active,
-                )
+            Response::Stats {
+                id,
+                snapshot: s,
+                delta,
+            } => {
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "stats")
+                    .field_bool("delta", *delta)
+                    .field_u64("requests", s.requests)
+                    .field_u64("workers", s.workers as u64)
+                    .field_u64("nodes", s.nodes)
+                    .field_u64("nrm_hits", s.nrm_hits)
+                    .field_u64("nrm_misses", s.nrm_misses)
+                    .field_f64("nrm_hit_rate", s.nrm_hit_rate())
+                    .field_u64("equiv_entries", s.equiv_entries)
+                    .field_u64("equiv_hits", s.equiv_hits)
+                    .field_u64("equiv_misses", s.equiv_misses)
+                    .field_f64("equiv_hit_rate", s.equiv_hit_rate())
+                    .field_u64("parse_entries", s.parse_entries)
+                    .field_u64("module_entries", s.module_entries)
+                    .field_u64("module_hits", s.module_hits)
+                    .field_u64("store_generation", s.store_generation)
+                    .field_u64("snapshot_installs", s.snapshot_installs)
+                    .field_u64("store_slow_path", s.store_slow_path)
+                    .field_u64("store_locks", s.store_locks)
+                    .field_u64("cache_locks", s.cache_locks)
+                    .field_u64("conns_accepted", s.conns_accepted)
+                    .field_u64("conns_active", s.conns_active);
+                w.finish()
+            }
+            Response::Metrics { id, fields } => {
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id).field_str("op", "metrics");
+                for (key, value) in fields {
+                    w.field_value(key, value);
+                }
+                w.finish()
             }
             Response::Shutdown { id } => {
-                format!("{{\"id\":{id},\"op\":\"shutdown\",\"ok\":true}}")
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "shutdown")
+                    .field_bool("ok", true);
+                w.finish()
             }
             Response::Error { id, error } => {
-                format!(
-                    "{{\"id\":{id},\"op\":\"error\",\"error\":\"{}\"}}",
-                    json::escape(error)
-                )
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "error")
+                    .field_str("error", error);
+                w.finish()
             }
         }
     }
@@ -291,7 +392,19 @@ mod tests {
         assert!(matches!(r.op, Op::Check { .. }));
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#, 1).op,
-            Op::Stats
+            Op::Stats { delta: false }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","delta":true}"#, 1).op,
+            Op::Stats { delta: true }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats","delta":1}"#, 1).op,
+            Op::Invalid { .. }
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#, 1).op,
+            Op::Metrics
         ));
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#, 1).op,
@@ -335,10 +448,18 @@ mod tests {
             Response::Stats {
                 id: 3,
                 snapshot: Snapshot::default(),
+                delta: false,
             },
-            Response::Shutdown { id: 4 },
+            Response::Metrics {
+                id: 4,
+                fields: vec![
+                    ("requests_total".into(), Value::Int(50)),
+                    ("store_nodes".into(), Value::Int(12)),
+                ],
+            },
+            Response::Shutdown { id: 5 },
             Response::Error {
-                id: 5,
+                id: 6,
                 error: "bad".into(),
             },
         ];
@@ -351,5 +472,73 @@ mod tests {
                 Some(i as i64 + 1)
             );
         }
+    }
+
+    #[test]
+    fn stats_and_metrics_lines_are_byte_stable() {
+        let snapshot = Snapshot {
+            requests: 100,
+            workers: 4,
+            nodes: 12,
+            nrm_hits: 3,
+            nrm_misses: 1,
+            ..Snapshot::default()
+        };
+        let line = |delta| {
+            Response::Stats {
+                id: 1,
+                snapshot,
+                delta,
+            }
+            .to_json()
+        };
+        assert_eq!(line(false), line(false), "identical state, identical bytes");
+        assert!(line(true).contains("\"delta\":true"));
+
+        let fields = vec![
+            ("a_total".to_string(), Value::Int(1)),
+            ("b_ns_p50".to_string(), Value::Int(128)),
+        ];
+        let m = |f: &Vec<(String, Value)>| {
+            Response::Metrics {
+                id: 2,
+                fields: f.clone(),
+            }
+            .to_json()
+        };
+        assert_eq!(m(&fields), m(&fields));
+        assert_eq!(
+            m(&fields),
+            r#"{"id":2,"op":"metrics","a_total":1,"b_ns_p50":128}"#
+        );
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters_and_keeps_gauges() {
+        let prev = Snapshot {
+            requests: 100,
+            workers: 4,
+            nodes: 50,
+            conns_accepted: 2,
+            conns_active: 2,
+            ..Snapshot::default()
+        };
+        let now = Snapshot {
+            requests: 175,
+            workers: 4,
+            nodes: 60,
+            conns_accepted: 3,
+            conns_active: 1,
+            ..Snapshot::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.requests, 75);
+        assert_eq!(d.nodes, 10);
+        assert_eq!(d.conns_accepted, 1);
+        // Instantaneous values stay absolute.
+        assert_eq!(d.workers, 4);
+        assert_eq!(d.conns_active, 1);
+        // A counter that went backwards (engine restart) clamps to zero.
+        assert_eq!(prev.delta_since(&now).requests, 0);
     }
 }

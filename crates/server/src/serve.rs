@@ -43,7 +43,8 @@
 //! `shutdown` response.
 
 use crate::engine::{BatchReply, Engine};
-use crate::protocol::{parse_request, Op, Request, Response};
+use crate::protocol::{parse_request, Op, Request, Response, Snapshot};
+use algst_obs::{Field, Level, Span};
 use crossbeam::channel::{bounded, Sender};
 use std::collections::BTreeMap;
 use std::io::{self, ErrorKind, Read, Write};
@@ -109,9 +110,12 @@ struct Registry {
 }
 
 impl Registry {
-    fn connect(&self) {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+    /// Registers a connection and returns its 1-based id (used as the
+    /// `conn` label in trace events and batch attribution).
+    fn connect(&self) -> u64 {
+        let id = self.accepted.fetch_add(1, Ordering::Relaxed) + 1;
         self.active.fetch_add(1, Ordering::Relaxed);
+        id
     }
 
     fn disconnect(&self) {
@@ -151,11 +155,16 @@ fn serve_conn<R, W>(
     output: W,
     config: ServeConfig,
     registry: &Registry,
+    conn: u64,
 ) -> io::Result<ServeSummary>
 where
     R: Read,
     W: Write + Send,
 {
+    let obs = engine.obs();
+    obs.conn_opened();
+    obs.sink()
+        .event(Level::Info, "conn_open", &[("conn", Field::U64(conn))]);
     let window = inflight_window(&config);
     // +2: room for the reader-injected timeout error batch and the
     // final flush batch, so those sends can never block on a full
@@ -170,27 +179,49 @@ where
     let result = std::thread::scope(|scope| {
         let writer = scope.spawn({
             let written_batches = Arc::clone(&written_batches);
+            let obs = Arc::clone(obs);
             move || -> io::Result<u64> {
                 let mut output = output;
                 let mut written = 0u64;
                 let mut next_seq = 0u64;
                 let mut held: BTreeMap<u64, Vec<Response>> = BTreeMap::new();
+                // This connection's stats-delta cursor: the absolute
+                // snapshot at its previous `{"delta":true}` call.
+                let mut cursor: Option<Snapshot> = None;
                 while let Ok((seq, batch)) = reply_rx.recv() {
                     held.insert(seq, batch);
                     // Write every contiguous batch: responses leave in
                     // request order no matter the completion order.
                     while let Some(batch) = held.remove(&next_seq) {
+                        let span = obs.enabled().then(Span::begin);
                         for response in &batch {
                             let line = match response {
                                 // The engine knows nothing about
                                 // connections; patch the gauges into
-                                // stats responses on the way out.
-                                Response::Stats { id, snapshot } => {
+                                // stats responses on the way out, and
+                                // resolve delta requests against this
+                                // connection's cursor.
+                                Response::Stats {
+                                    id,
+                                    snapshot,
+                                    delta,
+                                } => {
                                     let mut snapshot = *snapshot;
                                     snapshot.conns_accepted =
                                         registry.accepted.load(Ordering::Relaxed);
                                     snapshot.conns_active = registry.active.load(Ordering::Relaxed);
-                                    Response::Stats { id: *id, snapshot }.to_json()
+                                    let emitted = if *delta {
+                                        let prev = cursor.replace(snapshot).unwrap_or_default();
+                                        snapshot.delta_since(&prev)
+                                    } else {
+                                        snapshot
+                                    };
+                                    Response::Stats {
+                                        id: *id,
+                                        snapshot: emitted,
+                                        delta: *delta,
+                                    }
+                                    .to_json()
                                 }
                                 other => other.to_json(),
                             };
@@ -199,6 +230,9 @@ where
                         written += batch.len() as u64;
                         next_seq += 1;
                         written_batches.store(next_seq, Ordering::Release);
+                        if let Some(span) = span {
+                            obs.record_write(span.elapsed_ns());
+                        }
                     }
                     // One flush per wakeup: keeps request/response
                     // clients moving without a syscall per line.
@@ -215,6 +249,7 @@ where
                 engine,
                 config,
                 registry,
+                conn,
                 writer_finished: &writer_finished,
                 reply_tx: &reply_tx,
                 written_batches: &written_batches,
@@ -243,6 +278,16 @@ where
         }
     });
 
+    obs.conn_closed();
+    obs.sink().event(
+        Level::Info,
+        "conn_close",
+        &[
+            ("conn", Field::U64(conn)),
+            ("requests", Field::U64(summary.requests)),
+            ("responses", Field::U64(summary.responses)),
+        ],
+    );
     result?;
     Ok(summary)
 }
@@ -252,6 +297,7 @@ struct ConnReader<'a> {
     engine: &'a Engine,
     config: ServeConfig,
     registry: &'a Registry,
+    conn: u64,
     writer_finished: &'a dyn Fn() -> bool,
     reply_tx: &'a Sender<BatchReply>,
     written_batches: &'a AtomicU64,
@@ -270,8 +316,16 @@ impl ConnReader<'_> {
 
         loop {
             // Process every complete line already buffered, batching at
-            // burst boundaries (drained buffer) or batch_max.
-            if self.consume_lines(&mut buf) {
+            // burst boundaries (drained buffer) or batch_max. The span
+            // covers parsing only (not the buffered read below, not the
+            // backpressure wait in flush_pending), so the stage
+            // histogram reflects reader CPU work per consumed chunk.
+            let span = (!buf.is_empty() && self.engine.obs().enabled()).then(Span::begin);
+            let stop = self.consume_lines(&mut buf);
+            if let Some(span) = span {
+                self.engine.obs().record_read_parse(span.elapsed_ns());
+            }
+            if stop {
                 self.flush_pending();
                 return ReadEnd::Done; // shutdown op
             }
@@ -317,6 +371,15 @@ impl ConnReader<'_> {
                     }
                     if let Some(limit) = self.config.read_timeout {
                         if last_data.elapsed() >= limit {
+                            self.engine.obs().conn_timeout();
+                            self.engine.obs().sink().event(
+                                Level::Info,
+                                "conn_timeout",
+                                &[
+                                    ("conn", Field::U64(self.conn)),
+                                    ("idle_s", Field::F64(limit.as_secs_f64())),
+                                ],
+                            );
                             self.next_seq += 1;
                             let _ = self.reply_tx.send((
                                 self.next_seq - 1,
@@ -400,7 +463,8 @@ impl ConnReader<'_> {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.engine.submit(
+        self.engine.submit_conn(
+            self.conn,
             seq,
             std::mem::take(&mut self.pending),
             self.reply_tx.clone(),
@@ -423,8 +487,8 @@ where
     W: Write + Send,
 {
     let registry = Registry::default();
-    registry.connect();
-    let summary = serve_conn(engine, input, output, config, &registry)?;
+    let conn = registry.connect();
+    let summary = serve_conn(engine, input, output, config, &registry, conn)?;
     if config.stats_on_exit {
         eprintln!("{}", stats_line(engine));
     }
@@ -457,6 +521,7 @@ pub fn stats_line(engine: &Engine) -> String {
     let response = crate::protocol::Response::Stats {
         id: 0,
         snapshot: engine.snapshot(),
+        delta: false,
     };
     response.to_json()
 }
@@ -551,10 +616,10 @@ pub fn serve_listener(
                             continue;
                         }
                     };
-                    registry.connect();
+                    let conn = registry.connect();
                     let registry = &registry;
                     conns.push(scope.spawn(move || {
-                        let result = serve_conn(engine, reader, stream, config, registry);
+                        let result = serve_conn(engine, reader, stream, config, registry, conn);
                         registry.disconnect();
                         result
                     }));
@@ -661,6 +726,61 @@ mod tests {
             json::get(&lines[4], "op").and_then(json::Value::as_str),
             Some("shutdown")
         );
+    }
+
+    #[test]
+    fn stats_delta_uses_a_per_connection_cursor() {
+        // One pipelined burst = one batch on one worker, so the counter
+        // arithmetic is deterministic: each stats request is counted
+        // before its own snapshot is taken.
+        let input = concat!(
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"!Bool.End!"}"#,
+            "\n",
+            r#"{"op":"stats","delta":true}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#,
+            "\n",
+            r#"{"op":"stats","delta":true}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+        );
+        let (summary, lines) = run(input);
+        assert_eq!(summary.responses, 7);
+        let int = |ix: usize, key: &str| {
+            json::get(&lines[ix], key)
+                .and_then(json::Value::as_int)
+                .unwrap_or_else(|| panic!("no int {key} in line {ix}"))
+        };
+        // First delta call: no cursor yet — reports absolute counts
+        // (2 equiv + the stats itself).
+        assert_eq!(
+            json::get(&lines[2], "delta"),
+            Some(&json::Value::Bool(true))
+        );
+        assert_eq!(int(2, "requests"), 3);
+        // Second delta call: movement since the first (1 equiv + itself).
+        assert_eq!(int(4, "requests"), 2);
+        // The repeated pair was warm: one more hit, no new misses.
+        assert_eq!(int(4, "equiv_hits"), 1);
+        assert_eq!(int(4, "equiv_misses"), 0);
+        // Instantaneous values stay absolute in delta mode; the
+        // monotonic accept counter deltas to zero (no new connection).
+        assert_eq!(int(4, "conns_active"), 1);
+        assert_eq!(int(4, "conns_accepted"), 0);
+        assert_eq!(int(4, "workers"), 2);
+        // An absolute stats call is unaffected by (and does not move)
+        // the cursor: lifetime totals, delta:false.
+        assert_eq!(
+            json::get(&lines[5], "delta"),
+            Some(&json::Value::Bool(false))
+        );
+        assert_eq!(int(5, "requests"), 6);
+        assert_eq!(int(5, "conns_accepted"), 1);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!     [--max-conns N]               # concurrent TCP connection cap (default: 64)
 //!     [--read-timeout SECS]         # drop a silent client after SECS (default: 30; 0 = never)
 //!     [--stats-on-exit]             # print a stats line to stderr at shutdown
+//!     [--metrics-listen ADDR]       # Prometheus-style scrape endpoint, e.g. 127.0.0.1:9090
+//!     [--log-json FILE]             # structured JSON-lines event log (`-` = stderr)
+//!     [--log-level LVL]             # off | error | info | debug (default: info)
+//!     [--trace-threshold-us N]      # log a slow_request event at/above N microseconds
 //! algst fuzz                        # cross-layer differential fuzzing
 //!     [--iters N]                   # iterations (default: 200)
 //!     [--seed N]                    # RNG seed (default: 42)
@@ -30,17 +34,20 @@
 //! when a disagreement was found (minimized counterexamples land in the
 //! failure directory); `--replay` exits 1 when the failure reproduces.
 
+use algst::obs::{Level, TraceSink};
 use algst::runtime::Interp;
 use algst::{Pipeline, Session};
-use algst_server::{serve_stdio, serve_tcp, Engine, ServeConfig};
+use algst_server::{serve_metrics, serve_stdio, serve_tcp, Engine, ObsOptions, ServeConfig};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str =
     "usage: algst <check|run> FILE [--main NAME] [--async N] [--timeout SECS] [--no-prelude]
        algst serve [--workers N] [--batch N] [--listen ADDR] [--max-conns N]
-                   [--read-timeout SECS] [--stats-on-exit]
+                   [--read-timeout SECS] [--stats-on-exit] [--metrics-listen ADDR]
+                   [--log-json FILE] [--log-level LVL] [--trace-threshold-us N]
        algst fuzz [--iters N] [--seed N] [--out DIR] [--sabotage NAME] [--replay FILE] [--quiet]
 FILE may be `-` to read from stdin.";
 
@@ -63,6 +70,10 @@ struct ServeOpts {
     max_conns: usize,
     read_timeout: Option<Duration>,
     stats_on_exit: bool,
+    metrics_listen: Option<String>,
+    log_json: Option<String>,
+    log_level: Level,
+    trace_threshold: Option<Duration>,
 }
 
 /// Options for `fuzz`.
@@ -153,6 +164,10 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                 max_conns: 64,
                 read_timeout: Some(Duration::from_secs(30)),
                 stats_on_exit: false,
+                metrics_listen: None,
+                log_json: None,
+                log_level: Level::Info,
+                trace_threshold: None,
             };
             let mut i = 0;
             while i < rest.len() {
@@ -192,6 +207,20 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                         opts.read_timeout = (secs > 0).then(|| Duration::from_secs(secs));
                     }
                     "--stats-on-exit" => opts.stats_on_exit = true,
+                    "--metrics-listen" => opts.metrics_listen = Some(value(&mut i)?.clone()),
+                    "--log-json" => opts.log_json = Some(value(&mut i)?.clone()),
+                    "--log-level" => {
+                        let name = value(&mut i)?;
+                        opts.log_level = Level::parse(name).ok_or_else(|| {
+                            format!("unknown log level {name} (use off, error, info or debug)")
+                        })?;
+                    }
+                    "--trace-threshold-us" => {
+                        let us: u64 = value(&mut i)?.parse().map_err(|_| {
+                            "--trace-threshold-us takes a number of microseconds".to_owned()
+                        })?;
+                        opts.trace_threshold = Some(Duration::from_micros(us));
+                    }
                     other => return Err(format!("unknown flag {other}")),
                 }
                 i += 1;
@@ -328,10 +357,52 @@ fn main() -> ExitCode {
     match cli {
         Cli::Fuzz(opts) => run_fuzz(&opts),
         Cli::Serve(opts) => {
+            // The event sink: JSON lines to a file (or stderr with `-`);
+            // without --log-json only metrics are recorded.
+            let sink = match opts.log_json.as_deref() {
+                None => TraceSink::disabled(),
+                Some("-") => TraceSink::to_stderr(opts.log_level),
+                Some(path) => match TraceSink::to_file(opts.log_level, path) {
+                    Ok(sink) => sink,
+                    Err(e) => {
+                        eprintln!("serve error: cannot open {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
             // The serving store is this process's global session store,
             // so in-process checks (if any) share its warm state; a
             // `Session::new()` here would isolate the service instead.
-            let engine = Engine::with_session(opts.workers, Session::global());
+            let engine = Engine::with_obs(
+                opts.workers,
+                Session::global(),
+                ObsOptions {
+                    sink: Arc::new(sink),
+                    trace_threshold: opts.trace_threshold,
+                    ..ObsOptions::default()
+                },
+            );
+            // Keep the scrape endpoint alive for the serve's duration.
+            let _metrics = match &opts.metrics_listen {
+                Some(addr) => {
+                    let server = serve_metrics(
+                        addr,
+                        Arc::clone(engine.metrics_registry()),
+                        Arc::clone(engine.store()),
+                    );
+                    match server {
+                        Ok(server) => {
+                            eprintln!("algst serve: metrics on http://{}/metrics", server.addr());
+                            Some(server)
+                        }
+                        Err(e) => {
+                            eprintln!("serve error: cannot bind metrics on {addr}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => None,
+            };
             let config = ServeConfig {
                 batch_max: opts.batch_max,
                 stats_on_exit: opts.stats_on_exit,
@@ -566,6 +637,14 @@ mod tests {
             "--read-timeout",
             "5",
             "--stats-on-exit",
+            "--metrics-listen",
+            "127.0.0.1:9090",
+            "--log-json",
+            "trace.jsonl",
+            "--log-level",
+            "debug",
+            "--trace-threshold-us",
+            "250",
         ]))
         .unwrap() else {
             panic!()
@@ -576,6 +655,10 @@ mod tests {
         assert_eq!(opts.max_conns, 128);
         assert_eq!(opts.read_timeout, Some(Duration::from_secs(5)));
         assert!(opts.stats_on_exit);
+        assert_eq!(opts.metrics_listen.as_deref(), Some("127.0.0.1:9090"));
+        assert_eq!(opts.log_json.as_deref(), Some("trace.jsonl"));
+        assert_eq!(opts.log_level, Level::Debug);
+        assert_eq!(opts.trace_threshold, Some(Duration::from_micros(250)));
         let Cli::Serve(defaults) = parse_cli(&args(&["serve"])).unwrap() else {
             panic!()
         };
@@ -585,9 +668,15 @@ mod tests {
         assert_eq!(defaults.max_conns, 64);
         assert_eq!(defaults.read_timeout, Some(Duration::from_secs(30)));
         assert!(!defaults.stats_on_exit);
+        assert_eq!(defaults.metrics_listen, None);
+        assert_eq!(defaults.log_json, None);
+        assert_eq!(defaults.log_level, Level::Info);
+        assert_eq!(defaults.trace_threshold, None);
         assert!(parse_cli(&args(&["serve", "--workers", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--max-conns", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--read-timeout", "soon"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--log-level", "loud"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--trace-threshold-us", "slow"])).is_err());
         // --read-timeout 0 disables the timeout entirely.
         let Cli::Serve(no_timeout) = parse_cli(&args(&["serve", "--read-timeout", "0"])).unwrap()
         else {

@@ -104,6 +104,7 @@ pub use algst_check as check;
 pub use algst_conform as conform;
 pub use algst_core as core;
 pub use algst_gen as gen;
+pub use algst_obs as obs;
 pub use algst_runtime as runtime;
 pub use algst_server as server;
 pub use algst_syntax as syntax;

@@ -4,9 +4,11 @@
 //! single-threaded tree oracle.
 
 use algst::core::normalize::nrm_pos;
-use algst::core::shared::SharedStore;
+use algst::core::shared::{SharedStore, StoreObs};
 use algst::gen::suite::{build_suite, SuiteKind};
 use algst::gen::workload::equiv_workload;
+use algst::obs::{Level, LocalHistogram, Registry, Span, TraceSink};
+use std::sync::Arc;
 
 const THREADS: usize = 8;
 
@@ -79,10 +81,13 @@ fn suites_checked_from_eight_threads_agree_with_the_oracle() {
     );
 }
 
-/// The contention-free warm path, end to end: after one worker has
-/// computed and published everything a 200K-request workload needs, a
-/// fresh worker replaying the entire stream acquires **zero** locks on
-/// the shared store (ISSUE 7 acceptance criterion).
+/// The contention-free warm path, end to end — **with observability
+/// enabled the whole time**: after one worker has computed and
+/// published everything a 200K-request workload needs, a fresh worker
+/// replaying the entire stream acquires **zero** locks on the shared
+/// store (ISSUE 7 acceptance criterion), while per-request latencies
+/// land in a worker-local histogram folded into a shared registry at
+/// batch boundaries (ISSUE 8: metrics must not reintroduce locks).
 #[test]
 fn fully_warm_200k_request_replay_takes_zero_locks() {
     let eq = build_suite(SuiteKind::Equivalent, 16, 105);
@@ -90,6 +95,18 @@ fn fully_warm_200k_request_replay_takes_zero_locks() {
     let workload = equiv_workload(&[&eq, &ne], 200_000, 17);
 
     let shared = SharedStore::new_arc();
+    // Observability on from the first cold intern: store slow-path and
+    // install histograms, plus a Debug-level buffer sink capturing
+    // `snapshot_install` events.
+    let registry = Arc::new(Registry::new());
+    let slow_hist = registry.histogram("store_slow_path_ns");
+    let (sink, trace) = TraceSink::to_buffer(Level::Debug);
+    assert!(shared.install_obs(StoreObs {
+        slow_path_ns: Arc::clone(&slow_hist),
+        install_ns: registry.histogram("snapshot_install_ns"),
+        sink: Arc::new(sink),
+    }));
+
     {
         let mut w = shared.worker();
         for i in 0..workload.len() {
@@ -100,15 +117,37 @@ fn fully_warm_200k_request_replay_takes_zero_locks() {
         }
         w.publish();
     }
+    // The cold warm-up exercised the instrumented slow path and emitted
+    // install events through the sink.
+    assert!(slow_hist.snapshot().count > 0, "cold interns were recorded");
+    assert!(
+        String::from_utf8(trace.lock().unwrap().clone())
+            .unwrap()
+            .contains("\"ev\":\"snapshot_install\""),
+        "warm-up published at least one instrumented snapshot install"
+    );
 
     let mut w = shared.worker(); // attach before the baseline
     let baseline = shared.stats();
+    let slow_samples = slow_hist.snapshot().count;
+    let trace_bytes = trace.lock().unwrap().len();
+    // Replay with the engine's warm-path recording pattern: one local
+    // (lock-free) histogram record per request, folded into the shared
+    // registry every 256 requests — the engine's batch cadence.
+    let request_ns = registry.histogram("request_service_ns");
+    let mut local = LocalHistogram::default();
     for i in 0..workload.len() {
+        let span = Span::begin();
         let (lhs, rhs, expected) = workload.request(i);
         let a = w.intern(lhs);
         let b = w.intern(rhs);
         assert_eq!(w.equivalent_ids(a, b), expected, "replay request {i}");
+        span.record(&mut local);
+        if i % 256 == 255 {
+            request_ns.fold(&mut local);
+        }
     }
+    request_ns.fold(&mut local);
     w.publish();
     let after = shared.stats();
     assert_eq!(
@@ -119,6 +158,11 @@ fn fully_warm_200k_request_replay_takes_zero_locks() {
     );
     assert_eq!(after.slow_path, baseline.slow_path);
     assert_eq!(after.generation, baseline.generation);
+    // Metrics account for every request, and the warm replay added no
+    // slow-path samples and no trace events.
+    assert_eq!(request_ns.snapshot().count, workload.len() as u64);
+    assert_eq!(slow_hist.snapshot().count, slow_samples);
+    assert_eq!(trace.lock().unwrap().len(), trace_bytes);
 }
 
 #[test]
