@@ -1,0 +1,477 @@
+//! Soak/endurance harness for the bounded-memory store: proves the
+//! serving stack holds a **fixed memory footprint under adversarial
+//! churn** (ISSUE 9), not just on warm replay.
+//!
+//! ```text
+//! cargo run --release -p algst-bench --bin soak -- \
+//!     [--requests 2000000] [--window 50000] [--warmup-windows 3] \
+//!     [--cases 24] [--tenants 4] [--fresh-permille 400] [--seed 1] \
+//!     [--workers 4] [--batch 256] \
+//!     [--max-store-bytes 33554432] [--compact-interval 0] \
+//!     [--shadow-requests 100000] [--json SOAK_report.json]
+//! ```
+//!
+//! **Endurance phase**: a `cold_heavy_workload` over `--tenants`
+//! independently-seeded suite pairs (tenant diversity) with
+//! `--fresh-permille` of requests querying never-seen-before pairs
+//! (fresh-type churn) replays through one engine with compaction
+//! enabled. Every verdict is checked against the generator's ground
+//! truth. After each `--window` requests the harness samples the
+//! process RSS (`/proc/self/status` `VmRSS`), the store's live bytes,
+//! and the compaction counters. The run **fails** when:
+//!
+//! * any verdict mismatches ground truth;
+//! * no compaction ever ran (the churn must actually trip the bound);
+//! * a post-warmup sample's store bytes exceed the fixed bound
+//!   `2 × --max-store-bytes` (the factor absorbs the per-batch
+//!   overshoot between trigger checks — the trigger is tested after
+//!   each batch publish, so the store can briefly exceed the bound by
+//!   what one round of batches interns);
+//! * post-warmup store bytes grow **monotonically** — every window
+//!   strictly above the last means compaction is not reclaiming;
+//! * post-warmup RSS grows monotonically (same signal, process-level).
+//!
+//! **Shadow phase**: the same differently-seeded stream replays through
+//! two fresh engines — one compacting aggressively, one unbounded
+//! (compaction off) — and every verdict pair must agree (**0
+//! mismatches**): bounding memory must be invisible to answers.
+//!
+//! The JSON report records the per-window samples, both phases'
+//! verdicts, and the pass/fail reasons, so CI can archive one artifact
+//! per run.
+
+use algst_core::Session;
+use algst_gen::suite::{build_suite, Suite, SuiteKind};
+use algst_gen::workload::{cold_heavy_workload, Workload};
+use algst_server::engine::BatchReply;
+use algst_server::{Engine, Op, Request, Response};
+use crossbeam::channel::bounded;
+use std::io::Write as _;
+
+struct Args {
+    requests: usize,
+    window: usize,
+    warmup_windows: usize,
+    cases: usize,
+    tenants: usize,
+    fresh_permille: u32,
+    seed: u64,
+    workers: usize,
+    batch: usize,
+    max_store_bytes: u64,
+    compact_interval: u64,
+    shadow_requests: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        requests: 2_000_000,
+        window: 50_000,
+        warmup_windows: 3,
+        cases: 24,
+        tenants: 4,
+        fresh_permille: 400,
+        seed: 1,
+        workers: 4,
+        batch: 256,
+        max_store_bytes: 32 << 20,
+        compact_interval: 0,
+        shadow_requests: 100_000,
+        json_path: Some("SOAK_report.json".to_owned()),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--requests" => args.requests = value(&mut i).parse().expect("--requests number"),
+            "--window" => args.window = value(&mut i).parse().expect("--window number"),
+            "--warmup-windows" => {
+                args.warmup_windows = value(&mut i).parse().expect("--warmup-windows number")
+            }
+            "--cases" => args.cases = value(&mut i).parse().expect("--cases number"),
+            "--tenants" => args.tenants = value(&mut i).parse().expect("--tenants number"),
+            "--fresh-permille" => {
+                args.fresh_permille = value(&mut i).parse().expect("--fresh-permille number");
+                assert!(args.fresh_permille <= 1000, "--fresh-permille is ‰");
+            }
+            "--seed" => args.seed = value(&mut i).parse().expect("--seed number"),
+            "--workers" => args.workers = value(&mut i).parse().expect("--workers number"),
+            "--batch" => args.batch = value(&mut i).parse().expect("--batch number"),
+            "--max-store-bytes" => {
+                args.max_store_bytes = value(&mut i).parse().expect("--max-store-bytes number")
+            }
+            "--compact-interval" => {
+                args.compact_interval = value(&mut i).parse().expect("--compact-interval number")
+            }
+            "--shadow-requests" => {
+                args.shadow_requests = value(&mut i).parse().expect("--shadow-requests number")
+            }
+            "--json" => args.json_path = Some(value(&mut i)),
+            "--no-json" => args.json_path = None,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(args.window >= args.batch, "--window must cover one batch");
+    assert!(args.tenants >= 1, "--tenants must be at least 1");
+    args
+}
+
+/// Resident set size in KiB from `/proc/self/status`; 0 where absent
+/// (non-Linux), which disables the RSS checks but not the store ones.
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// One per-window sample of the endurance run.
+struct Window {
+    index: usize,
+    requests_done: usize,
+    store_bytes: u64,
+    store_nodes: u64,
+    store_epoch: u64,
+    compactions: u64,
+    reclaimed_bytes: u64,
+    rss_kb: u64,
+    mismatches: u64,
+}
+
+/// The churn workload: `tenants` independently-seeded suite pairs
+/// (each its own protocol universe) under one fresh-pair sampler.
+fn churn_workload(args: &Args, requests: usize, seed: u64) -> Workload {
+    let suites: Vec<Suite> = (0..args.tenants)
+        .flat_map(|t| {
+            let s = seed + 101 * t as u64;
+            [
+                build_suite(SuiteKind::Equivalent, args.cases, s),
+                build_suite(SuiteKind::NonEquivalent, args.cases, s + 1),
+            ]
+        })
+        .collect();
+    let refs: Vec<&Suite> = suites.iter().collect();
+    cold_heavy_workload(&refs, requests, args.fresh_permille, seed)
+}
+
+/// Replays `range` of `workload` through `engine` in batches, checking
+/// verdicts against ground truth; returns (mismatches, verdicts by
+/// in-range request index) — the verdict vector feeds the shadow diff.
+fn replay(
+    engine: &Engine,
+    workload: &Workload,
+    range: std::ops::Range<usize>,
+    batch: usize,
+    first_id: u64,
+    collect_verdicts: bool,
+) -> (u64, Vec<bool>) {
+    let len = range.len();
+    let n_batches = len.div_ceil(batch.max(1));
+    let (reply_tx, reply_rx) = bounded::<BatchReply>(n_batches.max(1));
+    let expected: Vec<bool> = range.clone().map(|i| workload.request(i).2).collect();
+    let mut next_id = first_id;
+    for chunk_start in (0..len).step_by(batch) {
+        let chunk_end = (chunk_start + batch).min(len);
+        let items: Vec<Request> = (chunk_start..chunk_end)
+            .map(|j| {
+                let (lhs, rhs, _) = workload.request(range.start + j);
+                let req = Request {
+                    id: next_id,
+                    op: Op::Equiv {
+                        lhs: lhs.to_string(),
+                        rhs: rhs.to_string(),
+                    },
+                };
+                next_id += 1;
+                req
+            })
+            .collect();
+        engine.submit(next_id, items, reply_tx.clone());
+    }
+    drop(reply_tx);
+    let mut mismatches = 0u64;
+    let mut verdicts = vec![false; if collect_verdicts { len } else { 0 }];
+    while let Ok((_, responses)) = reply_rx.recv() {
+        for r in &responses {
+            match r {
+                Response::Equiv { id, verdict, .. } => {
+                    let j = (*id - first_id) as usize;
+                    if *verdict != expected[j] {
+                        mismatches += 1;
+                    }
+                    if collect_verdicts {
+                        verdicts[j] = *verdict;
+                    }
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    (mismatches, verdicts)
+}
+
+fn main() {
+    let args = parse_args();
+    let windows_total = args.requests.div_ceil(args.window.max(1));
+    assert!(
+        args.warmup_windows < windows_total,
+        "--warmup-windows must leave post-warmup windows to judge"
+    );
+    eprintln!(
+        "soak: {} requests in {} windows of {} ({} tenants × 2×{} cases, {}‰ fresh, seed {})",
+        args.requests,
+        windows_total,
+        args.window,
+        args.tenants,
+        args.cases,
+        args.fresh_permille,
+        args.seed
+    );
+    eprintln!(
+        "compaction: max-store-bytes {} interval {}",
+        args.max_store_bytes, args.compact_interval
+    );
+    let workload = churn_workload(&args, args.requests, args.seed);
+
+    // ------------------------------------------------ endurance phase
+    let engine = Engine::with_session(args.workers, Session::new());
+    engine.set_compaction(args.max_store_bytes, args.compact_interval);
+    let mut windows: Vec<Window> = Vec::with_capacity(windows_total);
+    let mut next_id = 1u64;
+    let mut mismatches_total = 0u64;
+    for w in 0..windows_total {
+        let start = w * args.window;
+        let end = ((w + 1) * args.window).min(args.requests);
+        let (mismatches, _) = replay(&engine, &workload, start..end, args.batch, next_id, false);
+        next_id += (end - start) as u64;
+        mismatches_total += mismatches;
+        let snap = engine.snapshot();
+        let sample = Window {
+            index: w,
+            requests_done: end,
+            store_bytes: snap.store_bytes,
+            store_nodes: snap.nodes,
+            store_epoch: snap.store_epoch,
+            compactions: snap.compactions,
+            reclaimed_bytes: snap.reclaimed_bytes,
+            rss_kb: rss_kb(),
+            mismatches,
+        };
+        eprintln!(
+            "window {:>3}/{}: store {:>12} B  nodes {:>9}  epoch {:>4}  \
+             compactions {:>4}  reclaimed {:>12} B  rss {:>9} KiB  mismatches {}",
+            w + 1,
+            windows_total,
+            sample.store_bytes,
+            sample.store_nodes,
+            sample.store_epoch,
+            sample.compactions,
+            sample.reclaimed_bytes,
+            sample.rss_kb,
+            sample.mismatches,
+        );
+        windows.push(sample);
+    }
+    let final_snap = engine.snapshot();
+    engine.shutdown();
+
+    // Post-warmup judgments. `strictly_monotone` needs at least two
+    // post-warmup samples to mean anything; the arg check above
+    // guarantees one, short runs simply skip that check.
+    let post = &windows[args.warmup_windows..];
+    let bound = 2 * args.max_store_bytes;
+    let over_bound: Vec<usize> = post
+        .iter()
+        .filter(|s| s.store_bytes > bound)
+        .map(|s| s.index)
+        .collect();
+    let strictly_monotone = |f: &dyn Fn(&Window) -> u64| -> bool {
+        post.len() >= 2 && post.windows(2).all(|p| f(&p[1]) > f(&p[0]))
+    };
+    let store_monotone = strictly_monotone(&|s| s.store_bytes);
+    let rss_monotone = post.iter().all(|s| s.rss_kb > 0) && strictly_monotone(&|s| s.rss_kb);
+    let compacted = final_snap.compactions >= 1;
+
+    // --------------------------------------------------- shadow phase
+    // A differently-seeded stream through a bounded and an unbounded
+    // engine; answers must be indistinguishable.
+    eprintln!(
+        "shadow: {} requests, bounded vs unbounded reference…",
+        args.shadow_requests
+    );
+    let shadow = churn_workload(&args, args.shadow_requests, args.seed + 7919);
+    let bounded_engine = Engine::with_session(args.workers, Session::new());
+    bounded_engine.set_compaction(args.max_store_bytes / 4, args.compact_interval);
+    let (shadow_bounded_misses, shadow_verdicts) = replay(
+        &bounded_engine,
+        &shadow,
+        0..shadow.len(),
+        args.batch,
+        1,
+        true,
+    );
+    let shadow_compactions = bounded_engine.snapshot().compactions;
+    bounded_engine.shutdown();
+    let reference = Engine::with_session(args.workers, Session::new());
+    let (shadow_reference_misses, reference_verdicts) =
+        replay(&reference, &shadow, 0..shadow.len(), args.batch, 1, true);
+    reference.shutdown();
+    let shadow_diffs = shadow_verdicts
+        .iter()
+        .zip(&reference_verdicts)
+        .filter(|(a, b)| a != b)
+        .count() as u64;
+
+    // ------------------------------------------------------- verdict
+    let mut failures: Vec<String> = Vec::new();
+    if mismatches_total > 0 {
+        failures.push(format!(
+            "{mismatches_total} endurance verdicts mismatched ground truth"
+        ));
+    }
+    if !compacted {
+        failures.push("no compaction ran — churn never tripped the bound".to_owned());
+    }
+    if !over_bound.is_empty() {
+        failures.push(format!(
+            "store bytes exceeded the fixed bound {bound} in post-warmup windows {over_bound:?}"
+        ));
+    }
+    if store_monotone {
+        failures.push("post-warmup store bytes grew monotonically".to_owned());
+    }
+    if rss_monotone {
+        failures.push("post-warmup RSS grew monotonically".to_owned());
+    }
+    if shadow_bounded_misses > 0 || shadow_reference_misses > 0 {
+        failures.push(format!(
+            "shadow verdicts mismatched ground truth (bounded {shadow_bounded_misses}, \
+             reference {shadow_reference_misses})"
+        ));
+    }
+    if shadow_diffs > 0 {
+        failures.push(format!(
+            "{shadow_diffs} shadow verdicts differ between bounded and unbounded engines"
+        ));
+    }
+
+    if let Some(path) = &args.json_path {
+        write_report(
+            path,
+            &args,
+            &windows,
+            &final_snap,
+            bound,
+            store_monotone,
+            rss_monotone,
+            shadow_compactions,
+            shadow_diffs,
+            &failures,
+        );
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "soak PASS: {} requests, {} compactions, {} B reclaimed, 0 mismatches, \
+             shadow agrees on {} requests",
+            args.requests,
+            final_snap.compactions,
+            final_snap.reclaimed_bytes,
+            shadow.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("soak FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    path: &str,
+    args: &Args,
+    windows: &[Window],
+    final_snap: &algst_server::Snapshot,
+    bound: u64,
+    store_monotone: bool,
+    rss_monotone: bool,
+    shadow_compactions: u64,
+    shadow_diffs: u64,
+    failures: &[String],
+) {
+    let mut f = std::fs::File::create(path).expect("create report");
+    writeln!(f, "{{").expect("write");
+    writeln!(f, "  \"bench\": \"soak\",").expect("write");
+    writeln!(f, "  \"requests\": {},", args.requests).expect("write");
+    writeln!(f, "  \"window\": {},", args.window).expect("write");
+    writeln!(f, "  \"warmup_windows\": {},", args.warmup_windows).expect("write");
+    writeln!(f, "  \"tenants\": {},", args.tenants).expect("write");
+    writeln!(f, "  \"cases_per_suite\": {},", args.cases).expect("write");
+    writeln!(f, "  \"fresh_permille\": {},", args.fresh_permille).expect("write");
+    writeln!(f, "  \"seed\": {},", args.seed).expect("write");
+    writeln!(f, "  \"workers\": {},", args.workers).expect("write");
+    writeln!(f, "  \"batch\": {},", args.batch).expect("write");
+    writeln!(f, "  \"max_store_bytes\": {},", args.max_store_bytes).expect("write");
+    writeln!(f, "  \"compact_interval\": {},", args.compact_interval).expect("write");
+    writeln!(f, "  \"store_bytes_bound\": {bound},").expect("write");
+    writeln!(f, "  \"windows\": [").expect("write");
+    for (i, w) in windows.iter().enumerate() {
+        let comma = if i + 1 < windows.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{\"window\": {}, \"requests_done\": {}, \"store_bytes\": {}, \
+             \"store_nodes\": {}, \"store_epoch\": {}, \"compactions\": {}, \
+             \"reclaimed_bytes\": {}, \"rss_kb\": {}, \"mismatches\": {}}}{comma}",
+            w.index,
+            w.requests_done,
+            w.store_bytes,
+            w.store_nodes,
+            w.store_epoch,
+            w.compactions,
+            w.reclaimed_bytes,
+            w.rss_kb,
+            w.mismatches,
+        )
+        .expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
+    writeln!(f, "  \"compactions\": {},", final_snap.compactions).expect("write");
+    writeln!(f, "  \"reclaimed_bytes\": {},", final_snap.reclaimed_bytes).expect("write");
+    writeln!(f, "  \"store_epoch\": {},", final_snap.store_epoch).expect("write");
+    writeln!(f, "  \"post_warmup_store_monotone\": {store_monotone},").expect("write");
+    writeln!(f, "  \"post_warmup_rss_monotone\": {rss_monotone},").expect("write");
+    writeln!(f, "  \"shadow\": {{").expect("write");
+    writeln!(f, "    \"requests\": {},", args.shadow_requests).expect("write");
+    writeln!(f, "    \"bounded_compactions\": {shadow_compactions},").expect("write");
+    writeln!(f, "    \"verdict_diffs\": {shadow_diffs}").expect("write");
+    writeln!(f, "  }},").expect("write");
+    writeln!(f, "  \"failures\": [").expect("write");
+    for (i, msg) in failures.iter().enumerate() {
+        let comma = if i + 1 < failures.len() { "," } else { "" };
+        writeln!(f, "    \"{}\"{comma}", msg.replace('"', "'")).expect("write");
+    }
+    writeln!(f, "  ],").expect("write");
+    writeln!(f, "  \"pass\": {}", failures.is_empty()).expect("write");
+    writeln!(f, "}}").expect("write");
+    eprintln!("wrote {path}");
+}

@@ -31,16 +31,32 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that had to run the checker.
     pub misses: u64,
+    /// Times the cache dropped its map at the entry cap.
+    pub evictions: u64,
 }
 
-/// Memoizes [`check_source_in`] by source text.
+/// Default entry cap for a [`ModuleCache`]: module sources are large
+/// (whole programs), so the bound is modest.
+pub const DEFAULT_MODULE_CACHE_CAP: usize = 4096;
+
+/// Memoizes [`check_source_in`] by source text, bounded at a fixed
+/// entry cap (the map is cleared when full — sources are self-contained
+/// so a dropped entry only costs one re-check).
 /// Cheap to share behind an `Arc`; all methods take `&self` (the
 /// mutable state is the per-worker [`Session`] passed per call).
-#[derive(Default)]
 pub struct ModuleCache {
     map: Mutex<HashMap<String, Result<Arc<Module>, CheckError>>>,
+    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Times the full map was dropped at the cap.
+    evictions: AtomicU64,
+}
+
+impl Default for ModuleCache {
+    fn default() -> ModuleCache {
+        ModuleCache::with_capacity(DEFAULT_MODULE_CACHE_CAP)
+    }
 }
 
 impl std::fmt::Debug for ModuleCache {
@@ -54,6 +70,24 @@ impl std::fmt::Debug for ModuleCache {
 impl ModuleCache {
     pub fn new() -> ModuleCache {
         ModuleCache::default()
+    }
+
+    /// A cache bounded at `cap` entries (`cap == 0` means 1).
+    pub fn with_capacity(cap: usize) -> ModuleCache {
+        ModuleCache {
+            map: Mutex::new(HashMap::new()),
+            cap: cap.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Drops every cached entry (e.g. after a store compaction, when
+    /// the engine wants the next check of each source to re-elaborate
+    /// and re-warm the new epoch).
+    pub fn clear(&self) {
+        self.map.lock().clear();
     }
 
     /// [`check_source_in`] through the cache,
@@ -72,7 +106,12 @@ impl ModuleCache {
         }
         let result = check_source_in(session, src).map(Arc::new);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map.lock().insert(src.to_owned(), result.clone());
+        let mut map = self.map.lock();
+        if map.len() >= self.cap {
+            map.clear();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        map.insert(src.to_owned(), result.clone());
         (result, false)
     }
 
@@ -81,6 +120,7 @@ impl ModuleCache {
             entries: self.map.lock().len() as u64,
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -111,6 +151,23 @@ mod tests {
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn cap_bounds_the_entry_count() {
+        let mut s = Session::new();
+        let cache = ModuleCache::with_capacity(2);
+        for i in 0..10 {
+            let src = format!("aux{i} : Unit\naux{i} = ()\nmain : Unit\nmain = ()");
+            let (r, _) = cache.check_source(&mut s, &src);
+            assert!(r.is_ok());
+            assert!(cache.stats().entries <= 2, "cap must hold");
+        }
+        assert!(cache.stats().evictions >= 1);
+        // A re-checked source is correct after eviction, just uncached.
+        let src0 = "aux0 : Unit\naux0 = ()\nmain : Unit\nmain = ()";
+        let (r, cached) = cache.check_source(&mut s, src0);
+        assert!(r.is_ok() && !cached);
     }
 
     #[test]

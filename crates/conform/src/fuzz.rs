@@ -304,7 +304,8 @@ fn program_iteration(
 ) {
     let prog_cfg = ProgConfig {
         spine: rng.gen_range(1..7),
-        choice: true,
+        choices: rng.gen_range(0..3),
+        poly: rng.gen_range(0..2) == 0,
         damage: rng.gen_range(0..3) == 0,
     };
     let program = generate_program(rng, &prog_cfg);
@@ -374,7 +375,8 @@ fn runtime_iteration(
 ) {
     let prog_cfg = ProgConfig {
         spine: rng.gen_range(1..7),
-        choice: true,
+        choices: rng.gen_range(0..3),
+        poly: rng.gen_range(0..2) == 0,
         damage: false,
     };
     let program = generate_program(rng, &prog_cfg);
@@ -383,10 +385,30 @@ fn runtime_iteration(
         RunOutcome::Ok => {}
         RunOutcome::Budget => report.budget_hits += 1,
         RunOutcome::Failed(detail) => {
-            // Expected output is a property of the original program, so
-            // runtime counterexamples are written unreduced.
+            // The expectation is recomputed from each candidate's own
+            // client body (`expected_output_of`), so runtime
+            // counterexamples shrink like every other oracle. A
+            // candidate "still fails" only when it keeps the generated
+            // shape, still type checks, and still runs to the wrong
+            // output — budget blowups and self-inflicted type errors
+            // from dropped declarations do not count.
+            let minimized = reduce_program(&program.source, 16, &mut |candidate| {
+                let Some(expected_output) = algst_gen::expected_output_of(candidate) else {
+                    return false;
+                };
+                let candidate = algst_gen::GenProgram {
+                    source: candidate.to_owned(),
+                    well_typed: true,
+                    expected_output,
+                    entry: program.entry,
+                };
+                matches!(
+                    run_program(oracles.checker_session(), &candidate, cfg.run_budget),
+                    RunOutcome::Failed(d) if !d.starts_with("well-typed program rejected")
+                )
+            });
             let oracle = "runtime:run".to_owned();
-            let file = write_failure(cfg, &oracle, iter, &detail, &program.source, report);
+            let file = write_failure(cfg, &oracle, iter, &detail, &minimized, report);
             report.failures.push(Failure {
                 oracle,
                 detail,

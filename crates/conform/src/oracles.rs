@@ -746,7 +746,8 @@ mod tests {
         for damage in [false, true] {
             let cfg = ProgConfig {
                 spine: 3,
-                choice: true,
+                choices: 1,
+                poly: false,
                 damage,
             };
             for _ in 0..6 {
@@ -810,7 +811,8 @@ mod tests {
         for damage in [false, true] {
             let cfg = ProgConfig {
                 spine: 3,
-                choice: true,
+                choices: 1,
+                poly: false,
                 damage,
             };
             for _ in 0..4 {

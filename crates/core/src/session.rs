@@ -328,6 +328,33 @@ impl Session {
         self.worker.shared().stats()
     }
 
+    /// This session's pinned compaction epoch. Ids produced by this
+    /// session are meaningful only while the epoch matches the store's
+    /// (see [`Session::repin`]).
+    pub fn epoch(&self) -> u64 {
+        self.worker.epoch()
+    }
+
+    /// Adopts the store's newest compaction epoch. Returns true when
+    /// the epoch actually changed — every `TypeId` this session handed
+    /// out before the repin is then invalid and any id-keyed cache the
+    /// caller holds must be dropped or remapped (via
+    /// [`crate::shared::CompactionOutcome::remap`]). Costs one atomic
+    /// load when nothing changed, so calling it at batch boundaries is
+    /// free on the warm path.
+    pub fn repin(&mut self) -> bool {
+        self.worker.repin()
+    }
+
+    /// True when the store has compacted past this session's pinned
+    /// epoch. Ids produced while stale are **local-private** — they
+    /// name this session's mirror only and must never be shared with
+    /// other sessions (e.g. through an id-keyed cache), even one pinned
+    /// to the same epoch. Cleared by [`Session::repin`].
+    pub fn is_stale(&self) -> bool {
+        self.worker.is_stale()
+    }
+
     /// Mutable access to the underlying worker, for code written against
     /// the [`WorkerStore`] API.
     pub fn worker_mut(&mut self) -> &mut WorkerStore {

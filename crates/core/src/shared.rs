@@ -97,6 +97,50 @@
 //! substitution, β-instantiation) are the *same code* as the
 //! single-threaded store — both implement [`StoreOps`] — so verdicts
 //! cannot drift between the two.
+//!
+//! ## Compaction: epochs and the remap/install protocol
+//!
+//! The arena and the snapshot layers are append-only, so a long-lived
+//! store grows without bound under diverse traffic.
+//! [`SharedStore::compact`] bounds it. A compaction runs entirely
+//! behind the writer mutex and **never blocks warm readers**:
+//!
+//! 1. **Flush**: install the pending delta, so the snapshot is the
+//!    complete truth.
+//! 2. **Mark**: compute the live set — every id reachable from the
+//!    caller's retained `roots` through node children, plus (to keep
+//!    warm state warm) the memoized `nrm⁺`/`nrm⁻` values of live ids,
+//!    transitively to a fixpoint.
+//! 3. **Rebuild**: copy live nodes into a *fresh* arena in old-index
+//!    order — children precede parents in an append-only arena, so
+//!    every child is remapped before its parent needs it, and the new
+//!    arena is again topological. Rebuild a single-layer intern map
+//!    and remapped `nrm±` tables (an entry survives iff its key and
+//!    value are both live).
+//! 4. **Install**: publish the rebuilt state as a new `Snapshot`
+//!    with `generation + 1` and **`epoch + 1`**. The generation
+//!    counter stays monotone across compactions, so the lock-free
+//!    staleness probe keeps working unchanged.
+//!
+//! Ids are only meaningful *within* an epoch. Every snapshot owns an
+//! `Arc` of its epoch's arena, and a worker pins the epoch it attached
+//! to: its cached snapshot (and therefore its arena) stays alive and
+//! self-consistent no matter how many compactions happen underneath.
+//! A worker that discovers the store has moved to a newer epoch marks
+//! itself **stale** instead of adopting mixed-epoch state: stale
+//! workers keep answering correctly from their pinned snapshot, intern
+//! cold nodes privately into their local mirror (never published), and
+//! have their memo deltas dropped by the epoch check in
+//! `publish_deltas` / `intern_slow`. Staleness ends at an explicit
+//! [`WorkerStore::repin`] — a deliberate boundary (the serving engine
+//! calls it between request batches) where the worker adopts the
+//! newest epoch, resets its mirror, and the caller drops any
+//! id-keyed caches (using the remap table [`CompactionOutcome`]
+//! hands back, or by recomputing).
+//!
+//! Because the live set closes over memo values, a compaction retains
+//! the warm working set: a fully-warm replay against a compacted
+//! store still takes **zero** locks (see `tests/concurrent_store.rs`).
 
 use crate::store::{StoreOps, TNode, TypeId, TypeStore};
 use crate::symbol::Symbol;
@@ -241,15 +285,41 @@ impl<K: Eq + Hash + Clone, V: Copy> Layers<K, V> {
     }
 }
 
+// ------------------------------------------------------- accounting
+
+/// Estimated heap footprint of one arena node (shallow struct plus the
+/// child vectors of `Proto`/`Data`). An estimate, not an allocator
+/// census — it only has to be monotone in real usage so the bounded-
+/// memory policy has a stable trigger.
+fn node_bytes(node: &TNode) -> u64 {
+    let heap = match node {
+        TNode::Proto(_, args) | TNode::Data(_, args) => args.len() * std::mem::size_of::<TypeId>(),
+        _ => 0,
+    };
+    (std::mem::size_of::<TNode>() + heap) as u64
+}
+
+/// Estimated per-entry cost of the snapshot hash maps (key + value +
+/// table bookkeeping).
+const MAP_ENTRY_OVERHEAD: u64 = 16;
+
 // ---------------------------------------------------------- snapshot
 
-/// One immutable, generation-stamped view of the intern and memo
-/// tables. Never mutated after install; prefix property: every entry
-/// of generation g is present unchanged in all generations ≥ g.
+/// One immutable, generation-stamped view of the arena and the intern
+/// and memo tables. Never mutated after install. Within one epoch the
+/// prefix property holds: every entry of generation g is present
+/// unchanged in all generations ≥ g of the same epoch. A compaction
+/// starts a new epoch with a fresh arena and rebuilt tables.
 struct Snapshot {
     generation: u64,
+    /// Compaction epoch. Ids are only meaningful within an epoch; all
+    /// snapshots of one epoch share one arena `Arc`.
+    epoch: u64,
     /// Arena length at install time; every id in the tables is below it.
     nodes_len: usize,
+    /// This epoch's id space. Kept alive by every worker pinned to the
+    /// epoch, so compaction never invalidates an id under a reader.
+    arena: Arc<Arena>,
     intern: Layers<TNode, TypeId>,
     pos: Layers<TypeId, TypeId>,
     neg: Layers<TypeId, TypeId>,
@@ -259,11 +329,22 @@ impl Snapshot {
     fn empty() -> Snapshot {
         Snapshot {
             generation: 0,
+            epoch: 0,
             nodes_len: 0,
+            arena: Arc::new(Arena::new()),
             intern: Layers::new(),
             pos: Layers::new(),
             neg: Layers::new(),
         }
+    }
+
+    /// Estimated heap footprint of the snapshot's map layers.
+    fn table_bytes(&self) -> u64 {
+        let node = std::mem::size_of::<TNode>() as u64;
+        let id = std::mem::size_of::<TypeId>() as u64;
+        let intern = self.intern.len() as u64 * (node + id + MAP_ENTRY_OVERHEAD);
+        let memo = (self.pos.len() + self.neg.len()) as u64 * (2 * id + MAP_ENTRY_OVERHEAD);
+        intern + memo
     }
 }
 
@@ -307,6 +388,28 @@ struct Counters {
     /// Every lock acquisition on the store (writer mutex + snapshot
     /// RwLock, reads and writes). Zero across a warm replay.
     lock_acquisitions: AtomicU64,
+    /// Completed [`SharedStore::compact`] passes.
+    compactions: AtomicU64,
+    /// Total estimated bytes reclaimed by compactions.
+    reclaimed_bytes: AtomicU64,
+}
+
+/// Lock-free mirrors of the current snapshot's sizes, so `stats()` and
+/// the bounded-memory policy check ([`SharedStore::live_bytes`]) never
+/// touch a lock. Written only under the writer mutex (at arena pushes,
+/// installs, and compactions); read with relaxed loads by anyone.
+#[derive(Default)]
+struct Sizes {
+    /// Live nodes in the current epoch's arena.
+    nodes: AtomicUsize,
+    /// Estimated bytes of those nodes.
+    arena_bytes: AtomicU64,
+    /// Estimated bytes of the current snapshot's map layers.
+    snapshot_bytes: AtomicU64,
+    /// Entries across the current snapshot's intern layers.
+    intern_entries: AtomicU64,
+    /// Entries across the current snapshot's `nrm⁺` + `nrm⁻` layers.
+    memo_entries: AtomicU64,
 }
 
 /// A point-in-time snapshot of store-wide statistics, for the server's
@@ -315,8 +418,22 @@ struct Counters {
 /// unpublished delta per worker.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Distinct hash-consed nodes in the shared arena.
+    /// Distinct hash-consed nodes in the current epoch's arena.
     pub nodes: u64,
+    /// Estimated bytes held by the arena's live nodes.
+    pub arena_bytes: u64,
+    /// Estimated bytes held by the current snapshot's map layers.
+    pub snapshot_bytes: u64,
+    /// Entries across the current snapshot's intern layers.
+    pub intern_entries: u64,
+    /// Entries across the current snapshot's `nrm⁺` + `nrm⁻` layers.
+    pub memo_entries: u64,
+    /// Compaction epoch (0 = never compacted).
+    pub epoch: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Total estimated bytes reclaimed by compactions.
+    pub reclaimed_bytes: u64,
     /// `nrm⁺`/`nrm⁻` memo hits (local mirror + snapshot layers).
     pub nrm_hits: u64,
     /// Of those, hits that had to read a snapshot layer.
@@ -339,6 +456,12 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
+    /// Estimated live bytes of the store: arena nodes plus snapshot
+    /// map layers. The quantity the `--max-store-bytes` policy bounds.
+    pub fn live_bytes(&self) -> u64 {
+        self.arena_bytes + self.snapshot_bytes
+    }
+
     /// Fraction of `nrm` queries answered from a memo, in `[0, 1]`.
     pub fn nrm_hit_rate(&self) -> f64 {
         let total = self.nrm_hits + self.nrm_misses;
@@ -371,19 +494,41 @@ pub struct StoreObs {
     pub sink: Arc<TraceSink>,
 }
 
+/// What one [`SharedStore::compact`] pass did. The remap table is the
+/// caller's bridge from the old epoch to the new: every retained root
+/// (and everything live through it) appears as a key.
+#[derive(Debug)]
+pub struct CompactionOutcome {
+    /// The new epoch installed by this pass.
+    pub epoch: u64,
+    /// Arena nodes before / after the pass.
+    pub nodes_before: usize,
+    pub nodes_after: usize,
+    /// Estimated live bytes before / after the pass.
+    pub bytes_before: u64,
+    pub bytes_after: u64,
+    /// Old-epoch id → new-epoch id, for every live id.
+    pub remap: HashMap<TypeId, TypeId>,
+}
+
 /// The process-wide arena + snapshot. Cheap to share (`Arc`); create
 /// per-thread handles with [`SharedStore::worker`].
 pub struct SharedStore {
-    arena: Arena,
     /// Fast staleness probe: equals `current`'s generation. Stored
     /// (release) after each install, probed (acquire) lock-free.
     generation: AtomicU64,
-    /// The current snapshot. Locked only to refresh after a stale
-    /// probe and to install — never on the warm path.
+    /// Fast epoch probe: equals `current`'s epoch. Lets
+    /// [`WorkerStore::repin`] cost one atomic load when nothing moved.
+    epoch: AtomicU64,
+    /// The current snapshot (which owns the current epoch's arena).
+    /// Locked only to refresh after a stale probe and to install —
+    /// never on the warm path.
     current: RwLock<Arc<Snapshot>>,
     /// Writer mutex: pending delta + arena tail. Cold path only.
     pending: Mutex<Pending>,
     counters: Counters,
+    /// Lock-free size mirrors for `stats()` / `live_bytes()`.
+    sizes: Sizes,
     /// Cold-path instrumentation, if an owner installed any. Probed
     /// only where the writer mutex is already in play.
     obs: OnceLock<StoreObs>,
@@ -407,11 +552,12 @@ impl Default for SharedStore {
 impl SharedStore {
     pub fn new() -> SharedStore {
         SharedStore {
-            arena: Arena::new(),
             generation: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             current: RwLock::new(Arc::new(Snapshot::empty())),
             pending: Mutex::new(Pending::default()),
             counters: Counters::default(),
+            sizes: Sizes::default(),
             obs: OnceLock::new(),
         }
     }
@@ -440,26 +586,48 @@ impl SharedStore {
             local: TypeStore::new(),
             delta_pos: Vec::new(),
             delta_neg: Vec::new(),
+            stale: false,
             local_hits: 0,
             snapshot_hits: 0,
             misses: 0,
         }
     }
 
-    /// Distinct nodes interned so far (across all workers).
+    /// Live nodes in the current epoch's arena (lock-free).
     pub fn len(&self) -> usize {
-        self.arena.len()
+        self.sizes.nodes.load(Ordering::Acquire)
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of the store-wide statistics.
+    /// The current compaction epoch (lock-free; 0 = never compacted).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Estimated live bytes (arena nodes + snapshot map layers). Two
+    /// relaxed atomic loads — the bounded-memory policy can call this
+    /// per request without touching the warm path.
+    pub fn live_bytes(&self) -> u64 {
+        self.sizes.arena_bytes.load(Ordering::Relaxed)
+            + self.sizes.snapshot_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the store-wide statistics (lock-free).
     pub fn stats(&self) -> StoreStats {
         let c = &self.counters;
+        let z = &self.sizes;
         StoreStats {
             nodes: self.len() as u64,
+            arena_bytes: z.arena_bytes.load(Ordering::Relaxed),
+            snapshot_bytes: z.snapshot_bytes.load(Ordering::Relaxed),
+            intern_entries: z.intern_entries.load(Ordering::Relaxed),
+            memo_entries: z.memo_entries.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            reclaimed_bytes: c.reclaimed_bytes.load(Ordering::Relaxed),
             nrm_hits: c.nrm_local_hits.load(Ordering::Relaxed)
                 + c.nrm_snapshot_hits.load(Ordering::Relaxed),
             nrm_shared_hits: c.nrm_snapshot_hits.load(Ordering::Relaxed),
@@ -496,7 +664,9 @@ impl SharedStore {
         );
         let next = Arc::new(Snapshot {
             generation: base.generation + 1,
-            nodes_len: self.arena.len(),
+            epoch: base.epoch,
+            nodes_len: base.arena.len(),
+            arena: Arc::clone(&base.arena),
             intern: base.intern.with_delta(std::mem::take(&mut pending.intern)),
             pos: base.pos.with_delta(std::mem::take(&mut pending.pos)),
             neg: base.neg.with_delta(std::mem::take(&mut pending.neg)),
@@ -505,6 +675,7 @@ impl SharedStore {
             next.intern.len() <= next.nodes_len,
             "snapshot names an id beyond the arena"
         );
+        self.record_sizes(&next);
         self.count_lock();
         *self.current.write() = Arc::clone(&next);
         // Release: pairs with the acquire probe in `WorkerStore::refresh`.
@@ -530,52 +701,268 @@ impl SharedStore {
         next
     }
 
+    /// Refreshes the lock-free size mirrors from a just-installed
+    /// snapshot. Caller holds the writer mutex.
+    fn record_sizes(&self, snap: &Snapshot) {
+        let z = &self.sizes;
+        z.snapshot_bytes
+            .store(snap.table_bytes(), Ordering::Relaxed);
+        z.intern_entries
+            .store(snap.intern.len() as u64, Ordering::Relaxed);
+        z.memo_entries
+            .store((snap.pos.len() + snap.neg.len()) as u64, Ordering::Relaxed);
+    }
+
     /// Cold interning slow path: the only place nodes are appended.
     /// Returns the id plus the snapshot the decision was made against
-    /// (possibly newer than the caller's).
-    fn intern_slow(&self, node: &TNode) -> (TypeId, Arc<Snapshot>) {
+    /// (possibly newer than the caller's) — or `None` when the store
+    /// has moved to a newer epoch than `epoch`, in which case the
+    /// caller's ids no longer name this store's arena and it must go
+    /// local-private (see [`WorkerStore`] staleness).
+    fn intern_slow(&self, node: &TNode, epoch: u64) -> Option<(TypeId, Arc<Snapshot>)> {
         let span = self.obs.get().map(|_| Span::begin());
-        let out = self.intern_slow_inner(node);
+        let out = self.intern_slow_inner(node, epoch);
         if let (Some(obs), Some(span)) = (self.obs.get(), span) {
             obs.slow_path_ns.record(span.elapsed_ns());
         }
         out
     }
 
-    fn intern_slow_inner(&self, node: &TNode) -> (TypeId, Arc<Snapshot>) {
+    fn intern_slow_inner(&self, node: &TNode, epoch: u64) -> Option<(TypeId, Arc<Snapshot>)> {
         self.counters.slow_path.fetch_add(1, Ordering::Relaxed);
         self.count_lock();
         let mut pending = self.pending.lock();
         // Re-read under the mutex: another writer may have installed a
-        // newer generation between our lock-free probes and here.
+        // newer generation — or a whole new epoch — between our
+        // lock-free probes and here.
         let snap = self.load_snapshot();
+        if snap.epoch != epoch {
+            // The node's children are old-epoch ids; appending it here
+            // would corrupt the new arena. The caller goes stale.
+            return None;
+        }
         if let Some(id) = snap.intern.get(node) {
-            return (id, snap);
+            return Some((id, snap));
         }
         if let Some(&id) = pending.intern.get(node) {
-            return (id, snap);
+            return Some((id, snap));
         }
-        let id = TypeId::from_index(self.arena.push(node.clone()));
+        let id = TypeId::from_index(snap.arena.push(node.clone()));
+        self.sizes.nodes.store(snap.arena.len(), Ordering::Release);
+        self.sizes
+            .arena_bytes
+            .fetch_add(node_bytes(node), Ordering::Relaxed);
         pending.intern.insert(node.clone(), id);
         if pending.len() >= INSTALL_THRESHOLD {
             let snap = self.install_locked(&mut pending, &snap);
-            return (id, snap);
+            return Some((id, snap));
         }
-        (id, snap)
+        Some((id, snap))
     }
 
     /// Folds a worker's memo deltas into the pending delta and installs
-    /// a new generation. Called only with non-empty deltas.
-    fn publish_deltas(&self, pos: &[(TypeId, TypeId)], neg: &[(TypeId, TypeId)]) -> Arc<Snapshot> {
+    /// a new generation. Called only with non-empty deltas. Returns
+    /// `None` — dropping the deltas — when the store has moved past
+    /// `epoch`: old-epoch ids must never enter a new-epoch snapshot.
+    fn publish_deltas(
+        &self,
+        epoch: u64,
+        pos: &[(TypeId, TypeId)],
+        neg: &[(TypeId, TypeId)],
+    ) -> Option<Arc<Snapshot>> {
         self.count_lock();
         let mut pending = self.pending.lock();
+        let snap = self.load_snapshot();
+        if snap.epoch != epoch {
+            return None;
+        }
         pending.pos.extend(pos.iter().copied());
         pending.neg.extend(neg.iter().copied());
-        let snap = self.load_snapshot();
         if pending.is_empty() {
-            return snap;
+            return Some(snap);
         }
-        self.install_locked(&mut pending, &snap)
+        Some(self.install_locked(&mut pending, &snap))
+    }
+
+    /// Compacts the store: drops every node not reachable from `roots`
+    /// (plus the memoized normal forms of live ids, kept so the warm
+    /// working set survives), rebuilds the arena and tables in a fresh
+    /// epoch, and installs the result as a new generation. See the
+    /// module docs ("Compaction") for the full protocol.
+    ///
+    /// Runs behind the writer mutex; warm readers keep reading their
+    /// pinned epoch throughout and never block. Roots that do not name
+    /// a current-epoch id (e.g. collected before a racing compaction)
+    /// are ignored.
+    pub fn compact(&self, roots: &[TypeId]) -> CompactionOutcome {
+        let span = self.obs.get().map(|_| Span::begin());
+        self.count_lock();
+        let mut pending = self.pending.lock();
+        let mut snap = self.load_snapshot();
+        // Flush so the snapshot is the complete truth.
+        if !pending.is_empty() {
+            snap = self.install_locked(&mut pending, &Arc::clone(&snap));
+        }
+        let old_arena = Arc::clone(&snap.arena);
+        let old_len = old_arena.len();
+        let bytes_before = self.live_bytes();
+
+        // Mark: roots → children closure, plus memo values of live ids.
+        let mut live = vec![false; old_len];
+        let mut stack: Vec<usize> = roots
+            .iter()
+            .map(|r| r.index())
+            .filter(|&i| i < old_len)
+            .collect();
+        while let Some(i) = stack.pop() {
+            if live[i] {
+                continue;
+            }
+            live[i] = true;
+            push_children(old_arena.get(i), &mut stack);
+            let id = TypeId::from_index(i);
+            for table in [&snap.pos, &snap.neg] {
+                if let Some(v) = table.get(&id) {
+                    if !live[v.index()] {
+                        stack.push(v.index());
+                    }
+                }
+            }
+        }
+
+        // Rebuild in old-index order: children precede parents, so every
+        // child is remapped before a parent mentions it, and the new
+        // arena is again topological (store invariant).
+        let new_arena = Arc::new(Arena::new());
+        let mut remap_vec: Vec<Option<TypeId>> = vec![None; old_len];
+        let mut intern = HashMap::new();
+        let mut arena_bytes = 0u64;
+        for (i, alive) in live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let node = remap_node(old_arena.get(i), &remap_vec);
+            arena_bytes += node_bytes(&node);
+            let ni = TypeId::from_index(new_arena.push(node.clone()));
+            intern.insert(node, ni);
+            remap_vec[i] = Some(ni);
+        }
+        let (mut pos, mut neg) = (HashMap::new(), HashMap::new());
+        for (i, alive) in live.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let id = TypeId::from_index(i);
+            for (table, out) in [(&snap.pos, &mut pos), (&snap.neg, &mut neg)] {
+                if let Some(v) = table.get(&id) {
+                    // The value is live by the marking closure.
+                    out.insert(remap_vec[i].unwrap(), remap_vec[v.index()].unwrap());
+                }
+            }
+        }
+
+        let next = Arc::new(Snapshot {
+            generation: snap.generation + 1,
+            epoch: snap.epoch + 1,
+            nodes_len: new_arena.len(),
+            arena: new_arena,
+            intern: Layers::new().with_delta(intern),
+            pos: Layers::new().with_delta(pos),
+            neg: Layers::new().with_delta(neg),
+        });
+        self.sizes.nodes.store(next.nodes_len, Ordering::Release);
+        self.sizes.arena_bytes.store(arena_bytes, Ordering::Relaxed);
+        self.record_sizes(&next);
+        self.count_lock();
+        *self.current.write() = Arc::clone(&next);
+        // Release both probes after the swap, epoch first: a worker
+        // that sees the new generation and refreshes will find a
+        // snapshot whose epoch mismatch it detects directly.
+        self.epoch.store(next.epoch, Ordering::Release);
+        self.generation.store(next.generation, Ordering::Release);
+        self.counters.installs.fetch_add(1, Ordering::Relaxed);
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        drop(pending);
+
+        let bytes_after = self.live_bytes();
+        self.counters
+            .reclaimed_bytes
+            .fetch_add(bytes_before.saturating_sub(bytes_after), Ordering::Relaxed);
+        let remap: HashMap<TypeId, TypeId> = remap_vec
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|n| (TypeId::from_index(i), n)))
+            .collect();
+        if let (Some(obs), Some(span)) = (self.obs.get(), span) {
+            let ns = span.elapsed_ns();
+            obs.install_ns.record(ns);
+            if obs.sink.enabled(Level::Debug) {
+                obs.sink.event(
+                    Level::Debug,
+                    "store_compaction",
+                    &[
+                        ("epoch", Field::U64(next.epoch)),
+                        ("nodes_before", Field::U64(old_len as u64)),
+                        ("nodes_after", Field::U64(next.nodes_len as u64)),
+                        ("bytes_before", Field::U64(bytes_before)),
+                        ("bytes_after", Field::U64(bytes_after)),
+                        ("compact_us", Field::F64(ns as f64 / 1_000.0)),
+                    ],
+                );
+            }
+        }
+        CompactionOutcome {
+            epoch: next.epoch,
+            nodes_before: old_len,
+            nodes_after: next.nodes_len,
+            bytes_before,
+            bytes_after,
+            remap,
+        }
+    }
+}
+
+/// Pushes the arena indices of `node`'s children onto `stack`.
+fn push_children(node: &TNode, stack: &mut Vec<usize>) {
+    match node {
+        TNode::Unit
+        | TNode::Base(_)
+        | TNode::Free(_)
+        | TNode::Bound(_)
+        | TNode::EndIn
+        | TNode::EndOut => {}
+        TNode::Arrow(a, b) | TNode::Pair(a, b) | TNode::In(a, b) | TNode::Out(a, b) => {
+            stack.push(a.index());
+            stack.push(b.index());
+        }
+        TNode::Forall(_, b) | TNode::Dual(b) | TNode::Neg(b) => stack.push(b.index()),
+        TNode::Proto(_, args) | TNode::Data(_, args) => {
+            stack.extend(args.iter().map(|a| a.index()));
+        }
+    }
+}
+
+/// `node` with every child id remapped through `remap`. Callable only
+/// when all children are already remapped (guaranteed by old-index
+/// rebuild order).
+fn remap_node(node: &TNode, remap: &[Option<TypeId>]) -> TNode {
+    let m = |id: &TypeId| remap[id.index()].expect("child of a live node must be live");
+    match node {
+        TNode::Unit => TNode::Unit,
+        TNode::Base(b) => TNode::Base(*b),
+        TNode::Free(s) => TNode::Free(*s),
+        TNode::Bound(i) => TNode::Bound(*i),
+        TNode::EndIn => TNode::EndIn,
+        TNode::EndOut => TNode::EndOut,
+        TNode::Arrow(a, b) => TNode::Arrow(m(a), m(b)),
+        TNode::Pair(a, b) => TNode::Pair(m(a), m(b)),
+        TNode::In(a, b) => TNode::In(m(a), m(b)),
+        TNode::Out(a, b) => TNode::Out(m(a), m(b)),
+        TNode::Forall(k, b) => TNode::Forall(*k, m(b)),
+        TNode::Dual(b) => TNode::Dual(m(b)),
+        TNode::Neg(b) => TNode::Neg(m(b)),
+        TNode::Proto(s, args) => TNode::Proto(*s, args.iter().map(&m).collect()),
+        TNode::Data(s, args) => TNode::Data(*s, args.iter().map(m).collect()),
     }
 }
 
@@ -590,15 +977,21 @@ impl SharedStore {
 /// cold ones enter the shared writer mutex and publish what they learn.
 pub struct WorkerStore {
     shared: Arc<SharedStore>,
-    /// Cached (possibly stale) snapshot; refreshed only after a miss
-    /// when the generation probe says the store has moved.
+    /// Cached (possibly behind) snapshot; refreshed only after a miss
+    /// when the generation probe says the store has moved. Pins this
+    /// worker's epoch: the snapshot owns the arena its ids name.
     snapshot: Arc<Snapshot>,
-    /// Prefix-consistent mirror of the shared arena; also holds the
+    /// Prefix-consistent mirror of the pinned arena; also holds the
     /// local memo caches, binder-name hints and the extraction memo.
     local: TypeStore,
     /// Memo entries computed here and not yet published.
     delta_pos: Vec<(TypeId, TypeId)>,
     delta_neg: Vec<(TypeId, TypeId)>,
+    /// Set when the store compacted past this worker's pinned epoch.
+    /// A stale worker keeps answering from its pinned snapshot, interns
+    /// cold nodes privately into the mirror, and publishes nothing —
+    /// until [`WorkerStore::repin`] adopts the new epoch.
+    stale: bool,
     local_hits: u64,
     snapshot_hits: u64,
     misses: u64,
@@ -630,42 +1023,117 @@ impl WorkerStore {
         &self.local
     }
 
+    /// This worker's pinned compaction epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch
+    }
+
+    /// True when the store has compacted past this worker's pinned
+    /// epoch (cleared by [`WorkerStore::repin`]).
+    pub fn is_stale(&self) -> bool {
+        self.stale
+    }
+
     /// Re-reads the generation counter (acquire load, no RMW) and
-    /// refreshes the cached snapshot if the store has moved. Returns
-    /// true when the snapshot changed.
+    /// refreshes the cached snapshot if the store has moved *within
+    /// this worker's epoch*. Returns true when the snapshot changed.
+    /// A cross-epoch move marks the worker stale instead of adopting:
+    /// the new snapshot's ids would not name the pinned arena. Once
+    /// stale, the probe short-circuits — the store can only move
+    /// further away.
     fn refresh(&mut self) -> bool {
+        if self.stale {
+            return false;
+        }
         if self.shared.generation.load(Ordering::Acquire) == self.snapshot.generation {
             return false;
         }
-        self.snapshot = self.shared.load_snapshot();
+        let snap = self.shared.load_snapshot();
+        if snap.epoch != self.snapshot.epoch {
+            self.stale = true;
+            return false;
+        }
+        self.snapshot = snap;
         true
     }
 
-    /// Extends the local mirror to cover `id`, reading the lock-free
-    /// arena directly. Copying in arena order reproduces the shared
-    /// indices exactly (see module docs).
+    /// Adopts the newest epoch after a compaction: resets the local
+    /// mirror and drops unpublished (old-epoch) deltas. Returns true
+    /// when the epoch actually changed — the caller must then drop or
+    /// remap every `TypeId`-keyed cache it holds, because old ids no
+    /// longer name the store's arena. Costs one atomic load when the
+    /// epoch has not moved, so calling it per batch is free on the
+    /// warm path.
+    pub fn repin(&mut self) -> bool {
+        if !self.stale && self.shared.epoch.load(Ordering::Acquire) == self.snapshot.epoch {
+            return false;
+        }
+        self.delta_pos.clear();
+        self.delta_neg.clear();
+        self.snapshot = self.shared.load_snapshot();
+        self.local = TypeStore::new();
+        self.stale = false;
+        true
+    }
+
+    /// Extends the local mirror to cover `id`, reading this worker's
+    /// pinned lock-free arena directly. Copying in arena order
+    /// reproduces the shared indices exactly (see module docs).
     fn sync_to(&mut self, id: TypeId) {
         if self.local.len() > id.index() {
             return;
         }
         for i in self.local.len()..=id.index() {
-            let got = self.local.mk(self.shared.arena.get(i).clone());
+            let got = self.local.mk(self.snapshot.arena.get(i).clone());
             debug_assert_eq!(got.index(), i, "mirror diverged from shared arena");
         }
     }
 
+    /// Extends the local mirror over the *entire* pinned arena, then
+    /// interns `node` locally. Every local-private id must land
+    /// strictly beyond the shared prefix: the mirror is synced lazily,
+    /// so without this a fresh local id could numerically collide with
+    /// a shared arena index this worker never looked at — and the
+    /// snapshot's intern/memo tables, keyed by that index, would then
+    /// answer for a *different* type. Sound because staleness is only
+    /// observed after a compaction has moved the epoch, at which point
+    /// the pinned arena is frozen (every `intern_slow` against it now
+    /// fails the epoch check), so its length is final.
+    fn mk_local(&mut self, node: TNode) -> TypeId {
+        let len = self.snapshot.arena.len();
+        if len > 0 {
+            self.sync_to(TypeId::from_index(len - 1));
+        }
+        self.local.mk(node)
+    }
+
     /// Publishes this worker's memo deltas as a new snapshot generation
     /// and folds its hit/miss counters into the shared statistics.
-    /// Takes no locks when there is nothing to publish.
+    /// Takes no locks when there is nothing to publish. A stale
+    /// worker's deltas are dropped (old-epoch ids must never enter a
+    /// new-epoch snapshot); the epoch check in `publish_deltas` closes
+    /// the race where a compaction lands between the worker's last
+    /// probe and the publish.
     pub fn publish(&mut self) {
         if !self.delta_pos.is_empty() || !self.delta_neg.is_empty() {
-            self.snapshot = self.shared.publish_deltas(&self.delta_pos, &self.delta_neg);
+            if !self.stale {
+                match self.shared.publish_deltas(
+                    self.snapshot.epoch,
+                    &self.delta_pos,
+                    &self.delta_neg,
+                ) {
+                    Some(snap) => {
+                        self.snapshot = snap;
+                        self.shared
+                            .counters
+                            .publishes
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => self.stale = true,
+                }
+            }
             self.delta_pos.clear();
             self.delta_neg.clear();
-            self.shared
-                .counters
-                .publishes
-                .fetch_add(1, Ordering::Relaxed);
         }
         let c = &self.shared.counters;
         if self.local_hits > 0 {
@@ -760,19 +1228,34 @@ impl StoreOps for WorkerStore {
         if let Some(id) = self.local.lookup_node(&node) {
             return id;
         }
+        // The pinned snapshot stays probe-able even when stale — it is
+        // immutable and its ids name the pinned arena.
         let mut found = self.snapshot.intern.get(&node);
         if found.is_none() && self.refresh() {
             found = self.snapshot.intern.get(&node);
         }
         let id = match found {
             Some(id) => id,
-            None => {
-                let (id, snap) = self.shared.intern_slow(&node);
-                if snap.generation > self.snapshot.generation {
-                    self.snapshot = snap;
-                }
-                id
+            None if self.stale => {
+                // Local-private intern: the mirror grows beyond the
+                // shared prefix; such ids are never published and die
+                // at the next repin.
+                return self.mk_local(node);
             }
+            None => match self.shared.intern_slow(&node, self.snapshot.epoch) {
+                Some((id, snap)) => {
+                    if snap.generation > self.snapshot.generation {
+                        self.snapshot = snap;
+                    }
+                    id
+                }
+                None => {
+                    // A compaction won the race; fall back to a
+                    // local-private intern and go stale.
+                    self.stale = true;
+                    return self.mk_local(node);
+                }
+            },
         };
         self.sync_to(id);
         id
@@ -807,8 +1290,12 @@ impl StoreOps for WorkerStore {
         self.sync_to(id);
         self.sync_to(nf);
         StoreOps::memo_pos_record(&mut self.local, id, nf);
-        self.delta_pos.push((id, nf));
-        self.maybe_publish();
+        // Stale workers keep the memo locally but publish nothing:
+        // their ids no longer name the shared arena.
+        if !self.stale {
+            self.delta_pos.push((id, nf));
+            self.maybe_publish();
+        }
     }
 
     fn memo_neg_entry(&mut self, id: TypeId) -> Option<TypeId> {
@@ -835,8 +1322,10 @@ impl StoreOps for WorkerStore {
         self.sync_to(id);
         self.sync_to(nf);
         StoreOps::memo_neg_record(&mut self.local, id, nf);
-        self.delta_neg.push((id, nf));
-        self.maybe_publish();
+        if !self.stale {
+            self.delta_neg.push((id, nf));
+            self.maybe_publish();
+        }
     }
 
     fn note_binder_hint(&mut self, id: TypeId, name: Symbol) {
@@ -1021,6 +1510,184 @@ mod tests {
         assert!(stats.generation >= 1, "publish installs a generation");
         assert!(stats.snapshot_installs >= 1);
         assert!(stats.slow_path > 0, "cold interning walks the slow path");
+    }
+
+    #[test]
+    fn compaction_retains_roots_and_remaps_ids() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        let keep = Type::dual(Type::output(Type::int(), Type::var("kept")));
+        let drop_ = Type::proto("CpGone", vec![Type::neg(Type::bool())]);
+        let keep_id = w.intern(&keep);
+        let keep_nrm = w.nrm(keep_id);
+        let drop_id = w.intern(&drop_);
+        w.publish();
+        let before = shared.stats();
+        assert!(before.live_bytes() > 0, "accounting must track interns");
+
+        let outcome = shared.compact(&[keep_id]);
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.nodes_after < outcome.nodes_before);
+        assert_eq!(shared.stats().epoch, 1);
+        assert_eq!(shared.stats().compactions, 1);
+        assert!(shared.stats().live_bytes() < before.live_bytes());
+        assert!(outcome.remap.contains_key(&keep_id), "roots survive");
+        assert!(
+            outcome.remap.contains_key(&keep_nrm),
+            "memoized normal forms of live ids survive"
+        );
+        assert!(
+            !outcome.remap.contains_key(&drop_id),
+            "unreachable ids are dropped"
+        );
+
+        // A fresh (new-epoch) worker re-interns the kept type at its
+        // remapped id and finds its memo warm (no recomputation).
+        let mut w2 = shared.worker();
+        let misses_before = shared.stats().nrm_misses;
+        let new_id = w2.intern(&keep);
+        assert_eq!(new_id, outcome.remap[&keep_id]);
+        assert_eq!(w2.nrm(new_id), outcome.remap[&keep_nrm]);
+        w2.publish();
+        assert_eq!(
+            shared.stats().nrm_misses,
+            misses_before,
+            "compaction must keep the warm working set warm"
+        );
+    }
+
+    #[test]
+    fn compacting_an_empty_store_is_a_no_op_epoch_bump() {
+        let shared = SharedStore::new_arc();
+        let outcome = shared.compact(&[]);
+        assert_eq!((outcome.nodes_before, outcome.nodes_after), (0, 0));
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.remap.is_empty());
+        // The store still works afterwards.
+        let mut w = shared.worker();
+        let id = w.intern(&Type::output(Type::int(), Type::EndIn));
+        assert_eq!(w.nrm(id), w.nrm(id));
+    }
+
+    #[test]
+    fn compacting_with_zero_roots_empties_the_store() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        for t in samples() {
+            let id = w.intern(&t);
+            w.nrm(id);
+        }
+        w.publish();
+        let outcome = shared.compact(&[]);
+        assert!(outcome.nodes_before > 0);
+        assert_eq!(outcome.nodes_after, 0);
+        assert_eq!(shared.len(), 0);
+        assert_eq!(shared.stats().arena_bytes, 0);
+        // Everything can be re-interned from scratch.
+        let mut w2 = shared.worker();
+        for t in samples() {
+            let id = w2.intern(&t);
+            assert!(w2.equivalent_ids(id, id));
+        }
+    }
+
+    #[test]
+    fn back_to_back_compactions_are_stable() {
+        let shared = SharedStore::new_arc();
+        let mut w = shared.worker();
+        let t = samples().remove(3);
+        let id = w.intern(&t);
+        let n = w.nrm(id);
+        w.publish();
+        let first = shared.compact(&[id]);
+        let (id1, n1) = (first.remap[&id], first.remap[&n]);
+        let second = shared.compact(&[id1]);
+        assert_eq!(second.epoch, 2);
+        assert_eq!(
+            second.nodes_before, second.nodes_after,
+            "an already-minimal store loses nothing"
+        );
+        let id2 = second.remap[&id1];
+        let mut w2 = shared.worker();
+        assert_eq!(w2.intern(&t), id2);
+        assert_eq!(w2.nrm(id2), second.remap[&n1]);
+        assert!(t.alpha_eq(&w2.extract(id2)), "extraction survives remap");
+    }
+
+    #[test]
+    fn stale_workers_stay_correct_and_repin_adopts_the_new_epoch() {
+        let shared = SharedStore::new_arc();
+        let mut old = shared.worker();
+        let t = Type::dual(Type::input(Type::int(), Type::var("stale")));
+        let id = old.intern(&t);
+        old.publish();
+        shared.compact(&[]);
+
+        // The pinned epoch keeps answering: extraction, nrm, fresh
+        // (now local-private) interns all still work.
+        assert!(t.alpha_eq(&old.extract(id)));
+        let n = old.nrm(id);
+        assert!(old.equivalent_ids(id, n));
+        let fresh = Type::output(Type::bool(), Type::var("postCompact"));
+        let fid = old.intern(&fresh);
+        assert!(old.is_stale(), "cold intern after compaction goes stale");
+        assert!(t.alpha_eq(&old.extract(id)));
+        assert!(fresh.alpha_eq(&old.extract(fid)));
+        let shared_len = shared.len();
+        // Private interns never published: the shared store is untouched.
+        old.publish();
+        assert_eq!(shared.len(), shared_len);
+
+        // Repin adopts the new epoch; ids must be re-interned.
+        assert!(old.repin());
+        assert!(!old.is_stale());
+        let re = old.intern(&t);
+        assert!(t.alpha_eq(&old.extract(re)));
+        assert!(!old.repin(), "second repin without a compaction is a no-op");
+    }
+
+    /// Regression: a stale worker whose lazily-synced mirror covers only
+    /// a low-index prefix of its pinned arena must not mint local ids
+    /// that numerically collide with unsynced shared indices — the
+    /// pinned snapshot's memo tables are keyed by index and would answer
+    /// with another type's normal form.
+    #[test]
+    fn stale_local_interns_never_collide_with_unsynced_shared_ids() {
+        let shared = SharedStore::new_arc();
+        // One worker fills the arena and publishes memos for everything.
+        let mut w1 = shared.worker();
+        for t in samples() {
+            let id = w1.intern(&t);
+            w1.nrm(id);
+        }
+        w1.publish();
+        // A second worker pins the full snapshot but syncs its mirror
+        // only up to the first sample's (low) ids.
+        let mut w2 = shared.worker();
+        let first = samples().remove(0);
+        let low = w2.intern(&first);
+        assert!(
+            low.index() < shared.len() - 1,
+            "mirror must be a strict prefix"
+        );
+        shared.compact(&[]);
+
+        // A fresh intern goes stale and lands local-private; its normal
+        // form must agree with the tree oracle, not with whatever memo
+        // entry a colliding index would have held.
+        let fresh = Type::dual(Type::output(
+            Type::bool(),
+            Type::input(Type::int(), Type::var("zCollide")),
+        ));
+        let fid = w2.intern(&fresh);
+        assert!(w2.is_stale());
+        let n = w2.nrm(fid);
+        assert!(
+            w2.extract(n).alpha_eq(&nrm_pos(&fresh)),
+            "stale-worker normal form diverged from the tree oracle"
+        );
+        assert!(w2.equivalent_ids(fid, fid));
+        assert!(!w2.equivalent_ids(fid, low), "distinct types stay distinct");
     }
 
     #[test]

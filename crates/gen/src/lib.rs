@@ -26,7 +26,7 @@ pub mod workload;
 pub use generate::{generate_instance, GenConfig};
 pub use instance::{Instance, TestCase};
 pub use mutate::{equivalent_variant, nonequivalent_mutant};
-pub use program::{generate_program, GenProgram, ProgConfig};
+pub use program::{expected_output_of, generate_program, GenProgram, ProgConfig};
 pub use suite::{build_suite, Suite, SuiteKind};
 pub use to_freest::to_freest;
 pub use to_grammar::to_grammar;

@@ -18,6 +18,7 @@
 //! helper, producing a module that is ill-typed by construction (the
 //! negative side of the metamorphic oracle).
 
+use algst_core::expr::Lit;
 use rand::Rng;
 use std::fmt::Write;
 
@@ -26,8 +27,18 @@ use std::fmt::Write;
 pub struct ProgConfig {
     /// Number of messages on the channel (≥ 1).
     pub spine: usize,
-    /// Allow one `select`/`match` choice point on the spine.
-    pub choice: bool,
+    /// Upper bound on `select`/`match` choice points woven into the
+    /// spine. Each candidate position is taken with probability ½, so
+    /// `choices: 2` yields zero, one, or two — possibly *nested* —
+    /// choices (every `match` duplicates its whole continuation into
+    /// both arms, so nesting grows the server body exponentially; keep
+    /// this small).
+    pub choices: usize,
+    /// Route `Int` traffic through generated `forall (s:S).` forwarder
+    /// declarations instead of calling `sendInt`/`receiveInt` directly,
+    /// exercising user-defined polymorphic session functions on both
+    /// ends of the channel.
+    pub poly: bool,
     /// Flip one payload type in the client signature, making the module
     /// ill-typed while leaving it parseable.
     pub damage: bool,
@@ -37,7 +48,8 @@ impl Default for ProgConfig {
     fn default() -> ProgConfig {
         ProgConfig {
             spine: 4,
-            choice: true,
+            choices: 1,
+            poly: false,
             damage: false,
         }
     }
@@ -121,6 +133,8 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
     let tags = [format!("PgA{stamp}"), format!("PgB{stamp}")];
     let client = format!("pgClient{stamp}");
     let server = format!("pgServer{stamp}");
+    let fwd_send = format!("pgFwdS{stamp}");
+    let fwd_recv = format!("pgFwdR{stamp}");
 
     // ---------------------------------------------------------- the spine
     let mut steps = Vec::new();
@@ -132,11 +146,13 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
             Step::Recv(payload)
         });
     }
-    let has_choice = cfg.choice && rng.gen_range(0..2) == 0;
-    if has_choice {
-        let at = rng.gen_range(0..=steps.len());
-        steps.insert(at, Step::Choice(rng.gen_range(0..2)));
+    for _ in 0..cfg.choices {
+        if rng.gen_range(0..2) == 0 {
+            let at = rng.gen_range(0..=steps.len());
+            steps.insert(at, Step::Choice(rng.gen_range(0..2)));
+        }
     }
+    let has_choice = steps.iter().any(|s| matches!(s, Step::Choice(_)));
     // The client actively closes half the time, otherwise it waits.
     let client_closes = rng.gen_range(0..2) == 0;
 
@@ -166,6 +182,19 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
     let server_ty = suffix(false);
 
     // -------------------------------------------------------------- bodies
+    // With `poly`, `Int` traffic on both ends goes through the generated
+    // `forall` forwarders; everything else calls the builtins directly.
+    let helper = |p: Payload, send: bool| -> String {
+        if cfg.poly && matches!(p, Payload::Int(_)) {
+            if send {
+                fwd_send.clone()
+            } else {
+                fwd_recv.clone()
+            }
+        } else {
+            p.helper(send).to_owned()
+        }
+    };
     let mut client_body = String::new();
     for (k, step) in steps.iter().enumerate() {
         let rest = &client_ty[k + 1];
@@ -174,7 +203,7 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
                 let _ = write!(
                     client_body,
                     "let c = {} [{rest}] {} c in ",
-                    p.helper(true),
+                    helper(*p, true),
                     p.literal()
                 );
             }
@@ -182,7 +211,7 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
                 let _ = write!(
                     client_body,
                     "let (x{k}, c) = {} [{rest}] c in ",
-                    p.helper(false)
+                    helper(*p, false)
                 );
             }
             Step::Choice(sel) => {
@@ -207,7 +236,7 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
         let rest = &server_ty[k + 1];
         server_body = match step {
             Step::Send(p) => {
-                let recv = format!("let (y{k}, c) = {} [{rest}] c in ", p.helper(false));
+                let recv = format!("let (y{k}, c) = {} [{rest}] c in ", helper(*p, false));
                 if matches!(p, Payload::Int(_)) {
                     format!("{recv}let _ = printInt y{k} in {server_body}")
                 } else {
@@ -216,7 +245,7 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
             }
             Step::Recv(p) => format!(
                 "let c = {} [{rest}] {} c in {server_body}",
-                p.helper(true),
+                helper(*p, true),
                 p.literal()
             ),
             Step::Choice(_) => format!(
@@ -258,6 +287,12 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
     if has_choice {
         let _ = writeln!(source, "protocol {proto} = {} | {}", tags[0], tags[1]);
     }
+    if cfg.poly {
+        let _ = writeln!(source, "{fwd_send} : forall (s:S). Int -> !Int.s -> s");
+        let _ = writeln!(source, "{fwd_send} [s] n c = sendInt [s] n c");
+        let _ = writeln!(source, "{fwd_recv} : forall (s:S). ?Int.s -> (Int, s)");
+        let _ = writeln!(source, "{fwd_recv} [s] c = receiveInt [s] c");
+    }
     let _ = writeln!(source, "{client} : {client_sig} -> Unit");
     let _ = writeln!(source, "{client} c = {client_body}");
     let _ = writeln!(source, "{server} : {} -> Unit", server_ty[0]);
@@ -285,6 +320,154 @@ pub fn generate_program<R: Rng>(rng: &mut R, cfg: &ProgConfig) -> GenProgram {
     }
 }
 
+// ------------------------------------------------ recomputed expectation
+
+/// Recomputes the expected output of a generated module *from its
+/// source alone*: the `Int` literals the forked client sends, in
+/// program order (the server prints exactly those, and rendezvous on a
+/// single channel makes the order unique).
+///
+/// This is what lets runtime counterexamples shrink: after
+/// [`reduce_program`](../../algst_conform) drops declarations, the
+/// original [`GenProgram::expected_output`] no longer describes the
+/// candidate, but the candidate's own client body still does. Returns
+/// `None` when the module does not have the generated shape (no
+/// parseable `main`, no `fork`ed client, or no client binding) — such a
+/// candidate cannot be judged and must not count as failing.
+pub fn expected_output_of(source: &str) -> Option<Vec<String>> {
+    use algst_syntax::ast::{Decl, Program, SExpr};
+
+    let program: Program = algst_syntax::parse_program(source).ok()?;
+    let binding = |name: &str| {
+        program.decls.iter().find_map(|d| match d {
+            Decl::Binding(b) if b.name.as_str() == name => Some(b),
+            _ => None,
+        })
+    };
+
+    // `main = let (p, q) = new [T] in let _ = fork (\u -> client p) in …`
+    // — find the lambda handed to `fork` and take its head variable.
+    fn forked_client(e: &SExpr) -> Option<&'static str> {
+        match e {
+            SExpr::App(f, a, _) => {
+                if let SExpr::Var(name, _) = spine_head(f) {
+                    if name.as_str() == "fork" {
+                        if let SExpr::Lambda(_, body, _) = &**a {
+                            if let SExpr::Var(callee, _) = spine_head(body) {
+                                return Some(callee.as_str());
+                            }
+                        }
+                    }
+                }
+                forked_client(f).or_else(|| forked_client(a))
+            }
+            SExpr::TApp(f, _, _) | SExpr::Lambda(_, f, _) => forked_client(f),
+            SExpr::Let(_, rhs, body, _) => forked_client(rhs).or_else(|| forked_client(body)),
+            SExpr::Pair(l, r, _) | SExpr::BinOp(_, l, r, _) => {
+                forked_client(l).or_else(|| forked_client(r))
+            }
+            SExpr::If(c, t, f, _) => forked_client(c)
+                .or_else(|| forked_client(t))
+                .or_else(|| forked_client(f)),
+            SExpr::Case(scrut, arms, _) => forked_client(scrut)
+                .or_else(|| arms.iter().find_map(|arm| forked_client(&arm.body))),
+            _ => None,
+        }
+    }
+
+    /// The variable (or other atom) at the head of an application spine.
+    fn spine_head(e: &SExpr) -> &SExpr {
+        match e {
+            SExpr::App(f, _, _) | SExpr::TApp(f, _, _) => spine_head(f),
+            _ => e,
+        }
+    }
+
+    let client = forked_client(&binding("main")?.body)?;
+
+    // Int-sending functions: `sendInt` itself plus any binding that
+    // bottoms out in one (the generated `forall` forwarders are a single
+    // level deep, but close transitively for safety).
+    let mut senders: Vec<&str> = vec!["sendInt"];
+    loop {
+        let before = senders.len();
+        for d in &program.decls {
+            if let Decl::Binding(b) = d {
+                if let SExpr::Var(head, _) = spine_head(&b.body) {
+                    if senders.contains(&head.as_str()) && !senders.contains(&b.name.as_str()) {
+                        senders.push(b.name.as_str());
+                    }
+                }
+            }
+        }
+        if senders.len() == before {
+            break;
+        }
+    }
+
+    // Collect the literal `Int` arguments of maximal application spines
+    // headed by an Int-sender, left to right. Only spine roots are
+    // inspected, so `((sendInt [T]) 5) c` counts once.
+    fn collect(e: &SExpr, senders: &[&str], out: &mut Vec<String>) {
+        match e {
+            SExpr::App(..) | SExpr::TApp(..) => {
+                let mut args = Vec::new();
+                let mut head = e;
+                loop {
+                    match head {
+                        SExpr::App(f, a, _) => {
+                            args.push(&**a);
+                            head = f;
+                        }
+                        SExpr::TApp(f, _, _) => head = f,
+                        _ => break,
+                    }
+                }
+                args.reverse();
+                if let SExpr::Var(name, _) = head {
+                    if senders.contains(&name.as_str()) {
+                        for a in &args {
+                            if let SExpr::Lit(Lit::Int(n), _) = a {
+                                out.push(n.to_string());
+                            }
+                        }
+                    }
+                } else {
+                    collect(head, senders, out);
+                }
+                for a in args {
+                    collect(a, senders, out);
+                }
+            }
+            SExpr::Lambda(_, b, _) => collect(b, senders, out),
+            SExpr::Let(_, rhs, body, _) => {
+                collect(rhs, senders, out);
+                collect(body, senders, out);
+            }
+            SExpr::Pair(l, r, _) | SExpr::BinOp(_, l, r, _) => {
+                collect(l, senders, out);
+                collect(r, senders, out);
+            }
+            SExpr::If(c, t, f, _) => {
+                collect(c, senders, out);
+                collect(t, senders, out);
+                collect(f, senders, out);
+            }
+            SExpr::Case(scrut, arms, _) => {
+                collect(scrut, senders, out);
+                for arm in arms {
+                    collect(&arm.body, senders, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    collect(&binding(client)?.body, &senders, &mut out);
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,7 +480,8 @@ mod tests {
         for i in 0..30 {
             let cfg = ProgConfig {
                 spine: 1 + i % 6,
-                choice: true,
+                choices: i % 3,
+                poly: i % 2 == 0,
                 damage: false,
             };
             let p = generate_program(&mut rng, &cfg);
@@ -314,7 +498,8 @@ mod tests {
         for i in 0..30 {
             let cfg = ProgConfig {
                 spine: 1 + i % 6,
-                choice: false,
+                choices: 0,
+                poly: i % 2 == 0,
                 damage: true,
             };
             let p = generate_program(&mut rng, &cfg);
@@ -342,6 +527,56 @@ mod tests {
                 .unwrap_or_else(|e| panic!("runtime error: {e}\n{}", p.source));
             assert_eq!(interp.output(), p.expected_output, "\n{}", p.source);
         }
+    }
+
+    #[test]
+    fn nested_choice_and_poly_programs_run_to_the_expected_output() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for i in 0..12 {
+            let cfg = ProgConfig {
+                spine: 1 + i % 4,
+                choices: 3,
+                poly: true,
+                damage: false,
+            };
+            let p = generate_program(&mut rng, &cfg);
+            let module = algst_check::check_source(&p.source).unwrap_or_else(|e| {
+                panic!("poly/nested-choice program ill-typed: {e}\n{}", p.source)
+            });
+            let interp = algst_runtime::Interp::new(&module);
+            interp
+                .run_timeout(p.entry, std::time::Duration::from_secs(20))
+                .unwrap_or_else(|e| panic!("runtime error: {e}\n{}", p.source));
+            assert_eq!(interp.output(), p.expected_output, "\n{}", p.source);
+        }
+    }
+
+    #[test]
+    fn expected_output_is_recomputable_from_source() {
+        let mut rng = StdRng::seed_from_u64(45);
+        for i in 0..40 {
+            let cfg = ProgConfig {
+                spine: 1 + i % 6,
+                choices: i % 3,
+                poly: i % 2 == 0,
+                damage: false,
+            };
+            let p = generate_program(&mut rng, &cfg);
+            assert_eq!(
+                expected_output_of(&p.source).as_ref(),
+                Some(&p.expected_output),
+                "recomputed expectation diverged from the generator's\n{}",
+                p.source
+            );
+        }
+    }
+
+    #[test]
+    fn expected_output_of_rejects_shapeless_modules() {
+        assert_eq!(expected_output_of("not a ( program"), None);
+        assert_eq!(expected_output_of("f : Unit\nf = ()"), None);
+        // A `main` that forks nothing still has no client to read.
+        assert_eq!(expected_output_of("main : Unit\nmain = ()"), None);
     }
 
     #[test]

@@ -65,6 +65,16 @@ use std::time::{Duration, Instant};
 /// on a key, so a small fixed count is plenty.
 const SHARDS: usize = 16;
 
+/// Entry cap per shared fallback shard (verdicts and parses alike). A
+/// full shard is cleared: entries are pure memos, so eviction costs at
+/// most one recomputation per key, and clearing keeps the policy O(1)
+/// with no recency bookkeeping on the warm path.
+const SHARD_CAP: usize = 65_536;
+
+/// Entry cap for each worker-private cache map, same clear-on-full
+/// policy as the shared shards.
+const WORKER_CACHE_CAP: usize = 65_536;
+
 /// What the workers send back per batch: the submitter's sequence tag
 /// plus the responses, in batch order. The tag lets a submitter with
 /// several batches in flight (a pipelining connection) reassemble
@@ -96,13 +106,59 @@ impl std::fmt::Debug for Batch {
     }
 }
 
+/// One epoch-tagged shard of a shared fallback cache. `TypeId`s are
+/// only meaningful within a store epoch, so every shard carries the
+/// epoch its entries belong to: a reader on a different epoch misses,
+/// a writer on a *newer* epoch clears-and-retags, and a write from an
+/// *older* epoch (a worker that has not repinned yet) is dropped.
+struct EpochShard<K, V> {
+    epoch: u64,
+    map: HashMap<K, V>,
+}
+
+impl<K: Eq + std::hash::Hash, V: Copy> EpochShard<K, V> {
+    fn new() -> EpochShard<K, V> {
+        EpochShard {
+            epoch: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get<Q>(&self, epoch: u64, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Eq + std::hash::Hash + ?Sized,
+    {
+        if self.epoch != epoch {
+            return None;
+        }
+        self.map.get(key).copied()
+    }
+
+    fn put(&mut self, epoch: u64, key: K, value: V) {
+        use std::cmp::Ordering as Cmp;
+        match self.epoch.cmp(&epoch) {
+            Cmp::Greater => return, // stale writer: drop
+            Cmp::Less => {
+                self.map.clear();
+                self.epoch = epoch;
+            }
+            Cmp::Equal => {}
+        }
+        if self.map.len() >= SHARD_CAP {
+            self.map.clear();
+        }
+        self.map.insert(key, value);
+    }
+}
+
 /// Request-level shared state (everything above the type store).
 struct EngineState {
     /// Shared fallback verdict cache, keyed by canonically ordered ids.
-    verdicts: Vec<RwLock<HashMap<(TypeId, TypeId), bool>>>,
+    verdicts: Vec<RwLock<EpochShard<(TypeId, TypeId), bool>>>,
     /// Shared fallback parse cache (successes only; errors are rare and
     /// cheap to reproduce).
-    parses: Vec<RwLock<HashMap<String, TypeId>>>,
+    parses: Vec<RwLock<EpochShard<String, TypeId>>>,
     modules: ModuleCache,
     workers: usize,
     requests: AtomicU64,
@@ -111,16 +167,43 @@ struct EngineState {
     /// Shard-lock acquisitions on the fallback caches. Flat across a
     /// warm replay (worker-local caches answer everything).
     cache_locks: AtomicU64,
+    /// Compaction policy: compact when the store's estimated live bytes
+    /// exceed this (0 = no byte bound).
+    max_store_bytes: AtomicU64,
+    /// Compaction policy: compact every N requests (0 = no interval).
+    compact_interval: AtomicU64,
+    /// `requests` value at the last compaction, for the interval check.
+    compacted_at: AtomicU64,
+    /// Serializes compaction passes; `try_lock` so workers never queue
+    /// behind one another here.
+    compacting: parking_lot::Mutex<()>,
 }
 
 /// Per-worker private caches over [`EngineState`]'s shared fallbacks.
-/// Both maps memo facts that never change (a verdict for a pair of
-/// interned ids; the id a source string parses to), so caching them
-/// per worker without invalidation is sound.
+/// Both maps memo facts that are fixed *within a store epoch* (a
+/// verdict for a pair of interned ids; the id a source string parses
+/// to). The worker drops the whole struct when its session repins to a
+/// new epoch, and each map clears at [`WORKER_CACHE_CAP`].
 #[derive(Default)]
 struct WorkerCaches {
     verdicts: HashMap<(TypeId, TypeId), bool>,
     parses: HashMap<String, TypeId>,
+}
+
+impl WorkerCaches {
+    fn put_verdict(&mut self, key: (TypeId, TypeId), v: bool) {
+        if self.verdicts.len() >= WORKER_CACHE_CAP {
+            self.verdicts.clear();
+        }
+        self.verdicts.insert(key, v);
+    }
+
+    fn put_parse(&mut self, src: &str, id: TypeId) {
+        if self.parses.len() >= WORKER_CACHE_CAP {
+            self.parses.clear();
+        }
+        self.parses.insert(src.to_owned(), id);
+    }
 }
 
 /// Per-batch counter tally, folded into [`EngineState`]'s atomics once
@@ -135,14 +218,22 @@ struct Tally {
 impl EngineState {
     fn new(workers: usize) -> EngineState {
         EngineState {
-            verdicts: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            parses: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            verdicts: (0..SHARDS)
+                .map(|_| RwLock::new(EpochShard::new()))
+                .collect(),
+            parses: (0..SHARDS)
+                .map(|_| RwLock::new(EpochShard::new()))
+                .collect(),
             modules: ModuleCache::new(),
             workers,
             requests: AtomicU64::new(0),
             equiv_hits: AtomicU64::new(0),
             equiv_misses: AtomicU64::new(0),
             cache_locks: AtomicU64::new(0),
+            max_store_bytes: AtomicU64::new(0),
+            compact_interval: AtomicU64::new(0),
+            compacted_at: AtomicU64::new(0),
+            compacting: parking_lot::Mutex::new(()),
         }
     }
 
@@ -186,19 +277,16 @@ impl EngineState {
         self.cache_locks.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn verdict_get(&self, key: (TypeId, TypeId)) -> Option<bool> {
+    fn verdict_get(&self, epoch: u64, key: (TypeId, TypeId)) -> Option<bool> {
         self.count_cache_lock();
-        self.verdicts[Self::pair_shard(key)]
-            .read()
-            .get(&key)
-            .copied()
+        self.verdicts[Self::pair_shard(key)].read().get(epoch, &key)
     }
 
-    fn verdict_put(&self, key: (TypeId, TypeId), verdict: bool) {
+    fn verdict_put(&self, epoch: u64, key: (TypeId, TypeId), verdict: bool) {
         self.count_cache_lock();
         self.verdicts[Self::pair_shard(key)]
             .write()
-            .insert(key, verdict);
+            .put(epoch, key, verdict);
     }
 
     fn str_shard(s: &str) -> usize {
@@ -208,21 +296,25 @@ impl EngineState {
         (h.finish() as usize) % SHARDS
     }
 
-    fn parse_get(&self, src: &str) -> Option<TypeId> {
+    fn parse_get(&self, epoch: u64, src: &str) -> Option<TypeId> {
         self.count_cache_lock();
-        self.parses[Self::str_shard(src)].read().get(src).copied()
+        self.parses[Self::str_shard(src)].read().get(epoch, src)
     }
 
-    fn parse_put(&self, src: &str, id: TypeId) {
+    fn parse_put(&self, epoch: u64, src: &str, id: TypeId) {
         self.count_cache_lock();
         self.parses[Self::str_shard(src)]
             .write()
-            .insert(src.to_owned(), id);
+            .put(epoch, src.to_owned(), id);
     }
 
     fn entries(&self) -> (u64, u64) {
-        let verdicts = self.verdicts.iter().map(|s| s.read().len() as u64).sum();
-        let parses = self.parses.iter().map(|s| s.read().len() as u64).sum();
+        let verdicts = self
+            .verdicts
+            .iter()
+            .map(|s| s.read().map.len() as u64)
+            .sum();
+        let parses = self.parses.iter().map(|s| s.read().map.len() as u64).sum();
         (verdicts, parses)
     }
 }
@@ -284,6 +376,9 @@ pub(crate) struct EngineMetrics {
     check_ns: Arc<Histogram>,
     read_parse_ns: Arc<Histogram>,
     write_ns: Arc<Histogram>,
+    compactions: Arc<Counter>,
+    reclaimed_bytes: Arc<Counter>,
+    compaction_ns: Arc<Histogram>,
 }
 
 impl EngineMetrics {
@@ -309,6 +404,9 @@ impl EngineMetrics {
             check_ns: registry.histogram("stage_check_ns"),
             read_parse_ns: registry.histogram("stage_read_parse_ns"),
             write_ns: registry.histogram("stage_write_ns"),
+            compactions: registry.counter("store_compactions_total"),
+            reclaimed_bytes: registry.counter("store_reclaimed_bytes_total"),
+            compaction_ns: registry.histogram("store_compaction_ns"),
         }
     }
 }
@@ -551,6 +649,21 @@ impl Engine {
         &self.shared
     }
 
+    /// Configures automatic store compaction. The store compacts when
+    /// its estimated live bytes exceed `max_store_bytes`, or every
+    /// `compact_interval` requests — zero disables the respective
+    /// trigger (both zero, the default: compaction off). Workers check
+    /// the triggers after every batch publish with atomic loads only,
+    /// so the serving path pays nothing while the bounds hold.
+    pub fn set_compaction(&self, max_store_bytes: u64, compact_interval: u64) {
+        self.state
+            .max_store_bytes
+            .store(max_store_bytes, Ordering::Relaxed);
+        self.state
+            .compact_interval
+            .store(compact_interval, Ordering::Relaxed);
+    }
+
     /// The metrics registry this engine records into (counters, gauges,
     /// histograms — see the README's metrics catalogue). Hand it to the
     /// Prometheus endpoint or scrape it directly.
@@ -650,6 +763,13 @@ fn worker_loop(
     let mut caches = WorkerCaches::default();
     let mut lobs = LocalObs::default();
     while let Ok(batch) = rx.recv() {
+        // A compaction may have installed a new store epoch since the
+        // last batch. Repinning at the batch boundary keeps the whole
+        // batch on one consistent epoch; the private caches hold ids
+        // from the old epoch, so they go with it.
+        if session.repin() {
+            caches = WorkerCaches::default();
+        }
         if obs.enabled() {
             lobs.batches += 1;
             lobs.sojourn_ns
@@ -685,6 +805,9 @@ fn worker_loop(
         } else {
             session.publish();
         }
+        // With the batch's deltas published, see whether the store has
+        // outgrown its bounds (atomic loads only when it hasn't).
+        maybe_compact(session.store(), &state, &obs);
         // Fold this batch's observability shard before replying, so a
         // scraper that has seen all its responses sees all its counts.
         obs.fold(&mut lobs);
@@ -797,8 +920,8 @@ fn handle(
             let (verdict, warm) = if let Some(&v) = caches.verdicts.get(&key) {
                 tally.equiv_hits += 1;
                 (v, true)
-            } else if let Some(v) = state.verdict_get(key) {
-                caches.verdicts.insert(key, v);
+            } else if let Some(v) = state.verdict_get(session.epoch(), key) {
+                caches.put_verdict(key, v);
                 tally.equiv_hits += 1;
                 (v, true)
             } else {
@@ -809,8 +932,14 @@ fn handle(
                 if let Some(span) = span {
                     stages.work_ns = span.record(&mut ctx.lobs.equiv_ns);
                 }
-                state.verdict_put(key, v);
-                caches.verdicts.insert(key, v);
+                // Stale sessions hold (possibly) local-private ids in
+                // `key`: correct for this worker, meaningless — or worse,
+                // colliding — in any sibling's mirror. Keep the verdict
+                // private (see `resolve_cached`).
+                if !session.is_stale() {
+                    state.verdict_put(session.epoch(), key, v);
+                }
+                caches.put_verdict(key, v);
                 tally.equiv_misses += 1;
                 (v, false)
             };
@@ -896,8 +1025,8 @@ fn resolve_cached(
     if let Some(&id) = caches.parses.get(src) {
         return Ok(id);
     }
-    if let Some(id) = state.parse_get(src) {
-        caches.parses.insert(src.to_owned(), id);
+    if let Some(id) = state.parse_get(session.epoch(), src) {
+        caches.put_parse(src, id);
         return Ok(id);
     }
     // Cold resolve: lex/parse/resolve then intern, each timed when the
@@ -912,9 +1041,132 @@ fn resolve_cached(
     if let Some(span) = span {
         stages.intern_ns += span.record(&mut ctx.lobs.intern_ns);
     }
-    state.parse_put(src, id);
-    caches.parses.insert(src.to_owned(), id);
+    // A session that is (or just went) stale interns local-private ids:
+    // they name this worker's mirror only, so they may warm the private
+    // cache but must never enter the shared shard — another worker at
+    // the same pinned epoch would read them against a different mirror.
+    if !session.is_stale() {
+        state.parse_put(session.epoch(), src, id);
+    }
+    caches.put_parse(src, id);
     Ok(id)
+}
+
+/// Compaction driver, called by every worker after its batch publish.
+///
+/// The trigger check is atomic-only (two relaxed policy loads plus a
+/// lock-free `live_bytes` probe), so with compaction off — the default
+/// — or while the store sits within bounds, the batch path pays a few
+/// loads and nothing else. When a trigger fires, one worker `try_lock`s
+/// the compaction mutex (losers go straight back to serving) and:
+///
+/// 1. gathers **roots** from the shared fallback caches — every
+///    parse-cache value and both ids of every verdict key — under the
+///    shard locks (counted, like all shard acquisitions);
+/// 2. runs [`SharedStore::compact`], which keeps the roots, their
+///    children and their memoized normal forms transitively live, so a
+///    warm replay after compaction still answers lock-free;
+/// 3. rebuilds the shards in place with remapped ids under the new
+///    epoch tag. The remap is monotone in the old index, so canonically
+///    ordered verdict keys stay canonical; entries interned after root
+///    gathering are absent from the remap and dropped (cache loss, not
+///    an error — they recompute on next sight);
+/// 4. clears the module cache so subsequent `check`s re-elaborate and
+///    re-warm the new epoch's memo tables.
+///
+/// The two triggers differ in what they retain. The **interval**
+/// trigger is hygiene: it keeps the cache roots, reclaiming only nodes
+/// nothing refers to anymore (evicted cache entries, `check`
+/// elaboration garbage, memo values of dead ids). The **byte bound**
+/// is a hard bound: the caches themselves are what keep churned types
+/// live, so when the store outgrows the bound the engine *sheds* the
+/// request-level caches and compacts with zero roots — the store drops
+/// to its floor and warm state rebuilds from traffic. Growth under
+/// churn is therefore a sawtooth bounded by `max_store_bytes` plus one
+/// inter-check batch of interning.
+fn maybe_compact(shared: &SharedStore, state: &EngineState, obs: &EngineObs) {
+    let max_bytes = state.max_store_bytes.load(Ordering::Relaxed);
+    let interval = state.compact_interval.load(Ordering::Relaxed);
+    if max_bytes == 0 && interval == 0 {
+        return;
+    }
+    let over_bytes = || max_bytes != 0 && shared.live_bytes() > max_bytes;
+    let over_interval = |requests: u64| {
+        interval != 0
+            && requests.saturating_sub(state.compacted_at.load(Ordering::Relaxed)) >= interval
+    };
+    let requests = state.requests.load(Ordering::Relaxed);
+    if !over_bytes() && !over_interval(requests) {
+        return;
+    }
+    // One compactor at a time; losers of the race resume serving.
+    let Some(_guard) = state.compacting.try_lock() else {
+        return;
+    };
+    // Re-check under the lock: the previous winner may have already
+    // brought the store back under its bounds.
+    let shed = over_bytes();
+    if !shed && !over_interval(requests) {
+        return;
+    }
+    let started = Instant::now();
+    let mut roots = Vec::new();
+    if !shed {
+        for shard in &state.parses {
+            state.count_cache_lock();
+            roots.extend(shard.read().map.values().copied());
+        }
+        for shard in &state.verdicts {
+            state.count_cache_lock();
+            for &(a, b) in shard.read().map.keys() {
+                roots.push(a);
+                roots.push(b);
+            }
+        }
+    }
+    let outcome = shared.compact(&roots);
+    for shard in &state.parses {
+        state.count_cache_lock();
+        let mut shard = shard.write();
+        if shard.epoch < outcome.epoch {
+            let remapped: Vec<(String, TypeId)> = shard
+                .map
+                .drain()
+                .filter_map(|(k, v)| outcome.remap.get(&v).map(|&v| (k, v)))
+                .collect();
+            shard.map.extend(remapped);
+            shard.epoch = outcome.epoch;
+        }
+    }
+    for shard in &state.verdicts {
+        state.count_cache_lock();
+        let mut shard = shard.write();
+        if shard.epoch < outcome.epoch {
+            let remapped: Vec<((TypeId, TypeId), bool)> = shard
+                .map
+                .drain()
+                .filter_map(
+                    |((a, b), v)| match (outcome.remap.get(&a), outcome.remap.get(&b)) {
+                        (Some(&a), Some(&b)) => Some(((a, b), v)),
+                        _ => None,
+                    },
+                )
+                .collect();
+            shard.map.extend(remapped);
+            shard.epoch = outcome.epoch;
+        }
+    }
+    state.modules.clear();
+    state.compacted_at.store(requests, Ordering::Relaxed);
+    if obs.enabled() {
+        obs.m.compactions.inc();
+        obs.m
+            .reclaimed_bytes
+            .add(outcome.bytes_before.saturating_sub(outcome.bytes_after));
+        obs.m
+            .compaction_ns
+            .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    }
 }
 
 /// Assemble the flat, sorted `(key, value)` list behind the `metrics`
@@ -955,6 +1207,14 @@ fn metrics_fields(
     for (name, value) in [
         ("store_nodes", s.nodes),
         ("store_generation", s.generation),
+        ("store_epoch", s.epoch),
+        ("store_bytes", s.live_bytes()),
+        ("store_arena_bytes", s.arena_bytes),
+        ("store_snapshot_bytes", s.snapshot_bytes),
+        ("store_intern_entries", s.intern_entries),
+        ("store_memo_entries", s.memo_entries),
+        ("store_compactions", s.compactions),
+        ("store_reclaimed_bytes", s.reclaimed_bytes),
         ("store_snapshot_installs", s.snapshot_installs),
         ("store_slow_path_total", s.slow_path),
         ("store_lock_acquisitions", s.lock_acquisitions),
@@ -972,6 +1232,7 @@ fn metrics_fields(
         ("cache_parse_entries", parse_entries),
         ("cache_module_entries", modules.entries),
         ("cache_module_hits", modules.hits),
+        ("cache_module_evictions", modules.evictions),
         (
             "cache_shard_locks",
             state.cache_locks.load(Ordering::Relaxed),
@@ -1238,5 +1499,100 @@ mod tests {
         // (possibly out of submission order — that is the demux's job).
         seqs.sort_unstable();
         assert_eq!(seqs, (0..16).collect::<Vec<u64>>());
+    }
+
+    /// A fresh receive-chain type of the given depth: distinct source
+    /// text and distinct interned nodes per depth.
+    fn churn_ty(depth: usize) -> String {
+        format!("{}End?", "?Int.".repeat(depth + 1))
+    }
+
+    #[test]
+    fn interval_compaction_keeps_verdicts_and_reclaims_garbage() {
+        let engine = Engine::with_session(1, Session::new());
+        engine.set_compaction(0, 64);
+        let hot = || equiv(1, "!Int.End!", "Dual (?Int.End?)");
+        for round in 0..20usize {
+            let mut items = vec![hot()];
+            for i in 0..15usize {
+                let d = round * 16 + i;
+                items.push(equiv(d as u64 + 2, &churn_ty(d), &churn_ty(d)));
+            }
+            for r in engine.process(items) {
+                match r {
+                    Response::Equiv { verdict, .. } => assert!(verdict),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+        let snap = engine.snapshot();
+        assert!(snap.compactions >= 1, "interval trigger must have fired");
+        assert!(snap.store_epoch >= 1);
+        // The hot pair survives every compaction (it is a cache root).
+        let resp = engine.process(vec![hot()]);
+        assert!(matches!(
+            resp[0],
+            Response::Equiv {
+                verdict: true,
+                warm: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn byte_bound_sheds_caches_and_store_recovers() {
+        let engine = Engine::with_session(2, Session::new());
+        let floor = engine.store().live_bytes();
+        // A bound barely above the empty store: the first real batch
+        // overshoots it, so the shed path must run.
+        engine.set_compaction(floor + 512, 0);
+        for round in 0..8usize {
+            let items = (0..16usize)
+                .map(|i| {
+                    let d = round * 16 + i;
+                    equiv(d as u64 + 1, &churn_ty(d), &churn_ty(d))
+                })
+                .collect();
+            for r in engine.process(items) {
+                match r {
+                    Response::Equiv { verdict, .. } => assert!(verdict),
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+        let snap = engine.snapshot();
+        assert!(snap.compactions >= 1, "byte bound must have fired");
+        assert!(snap.reclaimed_bytes > 0, "shedding must reclaim bytes");
+        // Verdicts stay correct across shed epochs, warm or not.
+        let resp = engine.process(vec![equiv(1, &churn_ty(3), &churn_ty(3))]);
+        assert!(matches!(resp[0], Response::Equiv { verdict: true, .. }));
+    }
+
+    #[test]
+    fn warm_replay_takes_no_locks_with_compaction_enabled() {
+        let engine = Engine::with_session(1, Session::new());
+        // Generous bounds: enabled, but nothing triggers while the
+        // working set stays small — the acceptance-criterion regime.
+        engine.set_compaction(64 << 20, 1 << 30);
+        let reqs = || {
+            vec![
+                equiv(1, "!Int.End!", "Dual (?Int.End?)"),
+                equiv(2, "?Bool.End?", "Dual (!Bool.End!)"),
+            ]
+        };
+        engine.process(reqs());
+        engine.process(reqs());
+        let before = engine.snapshot();
+        for _ in 0..3 {
+            for r in engine.process(reqs()) {
+                assert!(matches!(r, Response::Equiv { warm: true, .. }));
+            }
+        }
+        let after = engine.snapshot();
+        assert_eq!(after.cache_locks, before.cache_locks);
+        assert_eq!(after.store_locks, before.store_locks);
+        assert_eq!(after.store_epoch, before.store_epoch);
+        assert_eq!(after.compactions, 0);
     }
 }

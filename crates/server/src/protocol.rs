@@ -159,6 +159,13 @@ pub struct Snapshot {
     pub snapshot_installs: u64,
     pub store_slow_path: u64,
     pub store_locks: u64,
+    /// Bounded-memory profile: estimated live bytes (arena + snapshot
+    /// layers — a gauge, it *shrinks* at compactions), the compaction
+    /// epoch, completed compactions, and total bytes reclaimed.
+    pub store_bytes: u64,
+    pub store_epoch: u64,
+    pub compactions: u64,
+    pub reclaimed_bytes: u64,
     /// Shard-lock acquisitions on the engine's fallback verdict/parse
     /// caches (worker-local caches absorb the warm path).
     pub cache_locks: u64,
@@ -195,6 +202,10 @@ impl Snapshot {
         self.snapshot_installs = s.snapshot_installs;
         self.store_slow_path = s.slow_path;
         self.store_locks = s.lock_acquisitions;
+        self.store_bytes = s.live_bytes();
+        self.store_epoch = s.epoch;
+        self.compactions = s.compactions;
+        self.reclaimed_bytes = s.reclaimed_bytes;
     }
 
     pub(crate) fn merge_modules(&mut self, s: CacheStats) {
@@ -204,10 +215,12 @@ impl Snapshot {
 
     /// The change since `prev`: every monotonic counter (and monotone
     /// size — `nodes`, cache entries — whose delta reads as growth) is
-    /// subtracted (saturating, so a restarted engine yields zeros rather
-    /// than wrapping); the instantaneous values `workers` and
-    /// `conns_active` stay absolute. This is what `stats {"delta":true}`
-    /// reports against the connection's cursor.
+    /// subtracted (saturating, so a counter that moved backwards — an
+    /// engine restart, or `nodes`/cache entries shrinking at a store
+    /// compaction — yields zero rather than wrapping); the
+    /// instantaneous values `workers`, `conns_active` and `store_bytes`
+    /// (a gauge that legitimately shrinks) stay absolute. This is what
+    /// `stats {"delta":true}` reports against the connection's cursor.
     pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
         Snapshot {
             requests: self.requests.saturating_sub(prev.requests),
@@ -227,6 +240,10 @@ impl Snapshot {
                 .saturating_sub(prev.snapshot_installs),
             store_slow_path: self.store_slow_path.saturating_sub(prev.store_slow_path),
             store_locks: self.store_locks.saturating_sub(prev.store_locks),
+            store_bytes: self.store_bytes,
+            store_epoch: self.store_epoch.saturating_sub(prev.store_epoch),
+            compactions: self.compactions.saturating_sub(prev.compactions),
+            reclaimed_bytes: self.reclaimed_bytes.saturating_sub(prev.reclaimed_bytes),
             cache_locks: self.cache_locks.saturating_sub(prev.cache_locks),
             conns_accepted: self.conns_accepted.saturating_sub(prev.conns_accepted),
             conns_active: self.conns_active,
@@ -347,6 +364,10 @@ impl Response {
                     .field_u64("snapshot_installs", s.snapshot_installs)
                     .field_u64("store_slow_path", s.store_slow_path)
                     .field_u64("store_locks", s.store_locks)
+                    .field_u64("store_bytes", s.store_bytes)
+                    .field_u64("store_epoch", s.store_epoch)
+                    .field_u64("compactions", s.compactions)
+                    .field_u64("reclaimed_bytes", s.reclaimed_bytes)
                     .field_u64("cache_locks", s.cache_locks)
                     .field_u64("conns_accepted", s.conns_accepted)
                     .field_u64("conns_active", s.conns_active);
@@ -540,5 +561,35 @@ mod tests {
         assert_eq!(d.conns_active, 1);
         // A counter that went backwards (engine restart) clamps to zero.
         assert_eq!(prev.delta_since(&now).requests, 0);
+    }
+
+    #[test]
+    fn delta_across_a_compaction_boundary_stays_sane() {
+        // A compaction between two delta calls shrinks `nodes` and
+        // `store_bytes`; the cursor diff must clamp, not wrap.
+        let prev = Snapshot {
+            requests: 100,
+            nodes: 1000,
+            store_bytes: 90_000,
+            store_epoch: 0,
+            compactions: 0,
+            ..Snapshot::default()
+        };
+        let now = Snapshot {
+            requests: 150,
+            nodes: 120,
+            store_bytes: 9_000,
+            store_epoch: 1,
+            compactions: 1,
+            reclaimed_bytes: 81_000,
+            ..Snapshot::default()
+        };
+        let d = now.delta_since(&prev);
+        assert_eq!(d.requests, 50);
+        assert_eq!(d.nodes, 0, "shrunk size clamps to zero growth");
+        assert_eq!(d.store_bytes, 9_000, "bytes gauge stays absolute");
+        assert_eq!(d.store_epoch, 1);
+        assert_eq!(d.compactions, 1);
+        assert_eq!(d.reclaimed_bytes, 81_000);
     }
 }

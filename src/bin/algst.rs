@@ -20,6 +20,8 @@
 //!     [--log-json FILE]             # structured JSON-lines event log (`-` = stderr)
 //!     [--log-level LVL]             # off | error | info | debug (default: info)
 //!     [--trace-threshold-us N]      # log a slow_request event at/above N microseconds
+//!     [--max-store-bytes N]         # compact the type store above N live bytes (0 = off)
+//!     [--compact-interval N]        # compact the type store every N requests (0 = off)
 //! algst fuzz                        # cross-layer differential fuzzing
 //!     [--iters N]                   # iterations (default: 200)
 //!     [--seed N]                    # RNG seed (default: 42)
@@ -48,6 +50,7 @@ const USAGE: &str =
        algst serve [--workers N] [--batch N] [--listen ADDR] [--max-conns N]
                    [--read-timeout SECS] [--stats-on-exit] [--metrics-listen ADDR]
                    [--log-json FILE] [--log-level LVL] [--trace-threshold-us N]
+                   [--max-store-bytes N] [--compact-interval N]
        algst fuzz [--iters N] [--seed N] [--out DIR] [--sabotage NAME] [--replay FILE] [--quiet]
 FILE may be `-` to read from stdin.";
 
@@ -74,6 +77,8 @@ struct ServeOpts {
     log_json: Option<String>,
     log_level: Level,
     trace_threshold: Option<Duration>,
+    max_store_bytes: u64,
+    compact_interval: u64,
 }
 
 /// Options for `fuzz`.
@@ -168,6 +173,8 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                 log_json: None,
                 log_level: Level::Info,
                 trace_threshold: None,
+                max_store_bytes: 0,
+                compact_interval: 0,
             };
             let mut i = 0;
             while i < rest.len() {
@@ -220,6 +227,16 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                             "--trace-threshold-us takes a number of microseconds".to_owned()
                         })?;
                         opts.trace_threshold = Some(Duration::from_micros(us));
+                    }
+                    "--max-store-bytes" => {
+                        opts.max_store_bytes = value(&mut i)?.parse().map_err(|_| {
+                            "--max-store-bytes takes a number of bytes (0 = off)".to_owned()
+                        })?;
+                    }
+                    "--compact-interval" => {
+                        opts.compact_interval = value(&mut i)?.parse().map_err(|_| {
+                            "--compact-interval takes a request count (0 = off)".to_owned()
+                        })?;
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -382,6 +399,7 @@ fn main() -> ExitCode {
                     ..ObsOptions::default()
                 },
             );
+            engine.set_compaction(opts.max_store_bytes, opts.compact_interval);
             // Keep the scrape endpoint alive for the serve's duration.
             let _metrics = match &opts.metrics_listen {
                 Some(addr) => {
@@ -645,6 +663,10 @@ mod tests {
             "debug",
             "--trace-threshold-us",
             "250",
+            "--max-store-bytes",
+            "1048576",
+            "--compact-interval",
+            "100000",
         ]))
         .unwrap() else {
             panic!()
@@ -659,6 +681,8 @@ mod tests {
         assert_eq!(opts.log_json.as_deref(), Some("trace.jsonl"));
         assert_eq!(opts.log_level, Level::Debug);
         assert_eq!(opts.trace_threshold, Some(Duration::from_micros(250)));
+        assert_eq!(opts.max_store_bytes, 1_048_576);
+        assert_eq!(opts.compact_interval, 100_000);
         let Cli::Serve(defaults) = parse_cli(&args(&["serve"])).unwrap() else {
             panic!()
         };
@@ -672,11 +696,15 @@ mod tests {
         assert_eq!(defaults.log_json, None);
         assert_eq!(defaults.log_level, Level::Info);
         assert_eq!(defaults.trace_threshold, None);
+        assert_eq!(defaults.max_store_bytes, 0);
+        assert_eq!(defaults.compact_interval, 0);
         assert!(parse_cli(&args(&["serve", "--workers", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--max-conns", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--read-timeout", "soon"])).is_err());
         assert!(parse_cli(&args(&["serve", "--log-level", "loud"])).is_err());
         assert!(parse_cli(&args(&["serve", "--trace-threshold-us", "slow"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--max-store-bytes", "lots"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--compact-interval", "often"])).is_err());
         // --read-timeout 0 disables the timeout entirely.
         let Cli::Serve(no_timeout) = parse_cli(&args(&["serve", "--read-timeout", "0"])).unwrap()
         else {

@@ -165,6 +165,150 @@ fn fully_warm_200k_request_replay_takes_zero_locks() {
     assert_eq!(trace.lock().unwrap().len(), trace_bytes);
 }
 
+/// After a compaction that retains the workload's whole root set, a
+/// fresh worker replaying the stream is exactly as lock-free as before
+/// the compaction: the rebuilt snapshot carries every live node in its
+/// intern map and every memoized normal form the replay consults
+/// (ISSUE 9 acceptance criterion).
+#[test]
+fn fully_warm_replay_after_compaction_takes_zero_locks() {
+    let eq = build_suite(SuiteKind::Equivalent, 12, 109);
+    let ne = build_suite(SuiteKind::NonEquivalent, 12, 110);
+    let workload = equiv_workload(&[&eq, &ne], 50_000, 29);
+
+    let shared = SharedStore::new_arc();
+    let mut roots = Vec::new();
+    {
+        let mut w = shared.worker();
+        for i in 0..workload.len() {
+            let (lhs, rhs, expected) = workload.request(i);
+            let a = w.intern(lhs);
+            let b = w.intern(rhs);
+            assert_eq!(w.equivalent_ids(a, b), expected, "warm-up request {i}");
+            roots.push(a);
+            roots.push(b);
+        }
+        w.publish();
+    }
+    let outcome = shared.compact(&roots);
+    assert_eq!(outcome.epoch, 1);
+    assert!(outcome.nodes_after <= outcome.nodes_before);
+
+    let mut w = shared.worker(); // attaches to the compacted epoch
+    let baseline = shared.stats();
+    for i in 0..workload.len() {
+        let (lhs, rhs, expected) = workload.request(i);
+        let a = w.intern(lhs);
+        let b = w.intern(rhs);
+        assert_eq!(
+            w.equivalent_ids(a, b),
+            expected,
+            "post-compaction request {i}"
+        );
+    }
+    w.publish();
+    let after = shared.stats();
+    assert_eq!(
+        after.lock_acquisitions,
+        baseline.lock_acquisitions,
+        "a fully-warm replay over a compacted store must stay lock-free (took {} locks)",
+        after.lock_acquisitions - baseline.lock_acquisitions
+    );
+    assert_eq!(after.slow_path, baseline.slow_path);
+    assert_eq!(after.generation, baseline.generation);
+    assert_eq!(after.epoch, 1);
+}
+
+/// Eight threads answer equivalence queries while a ninth repeatedly
+/// compacts the store out from under them with a near-empty root set.
+/// Workers repin at batch boundaries (the engine's cadence); between
+/// repins they answer from their pinned epoch. Every verdict must stay
+/// correct, and within one pin every id a worker has seen must stay
+/// stable — a remapped id is never observed torn.
+#[test]
+fn compaction_under_load_preserves_verdicts_and_id_stability() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let eq = build_suite(SuiteKind::Equivalent, 12, 107);
+    let ne = build_suite(SuiteKind::NonEquivalent, 12, 108);
+    let workload = equiv_workload(&[&eq, &ne], 480, 23);
+
+    // Counts finished workers even when one panics (the guard fires on
+    // unwind), so the compactor loop below always terminates and a
+    // verdict failure surfaces as a panic rather than a hang.
+    struct DoneGuard<'a>(&'a AtomicUsize);
+    impl Drop for DoneGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    let shared = SharedStore::new_arc();
+    let done = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let shared = &shared;
+            let workload = &workload;
+            let done = &done;
+            scope.spawn(move || {
+                let _done = DoneGuard(done);
+                let mut w = shared.worker();
+                // (request index, lhs id, rhs id) seen under the current
+                // pin; cleared whenever repin adopts a new epoch.
+                let mut seen = Vec::new();
+                for round in 0..3 {
+                    for start in (0..workload.len()).step_by(8) {
+                        if w.repin() {
+                            seen.clear();
+                        }
+                        for i in start..(start + 8).min(workload.len()) {
+                            let (lhs, rhs, expected) = workload.request(i);
+                            let a = w.intern(lhs);
+                            let b = w.intern(rhs);
+                            assert_eq!(
+                                w.equivalent_ids(a, b),
+                                expected,
+                                "round {round} request {i} (stale: {})",
+                                w.is_stale()
+                            );
+                            seen.push((i, a, b));
+                        }
+                        // Prefix consistency across any concurrent
+                        // compaction: until the next repin, re-interning
+                        // resolves to the very same ids.
+                        for &(i, a, b) in seen.iter().rev().take(4) {
+                            let (lhs, rhs, _) = workload.request(i);
+                            assert_eq!(w.intern(lhs), a, "id torn within a pin");
+                            assert_eq!(w.intern(rhs), b, "id torn within a pin");
+                        }
+                        w.publish();
+                    }
+                }
+            });
+        }
+        // The compactor: pin, keep one root alive, compact, repeat.
+        let shared = &shared;
+        let workload = &workload;
+        let done = &done;
+        scope.spawn(move || {
+            let mut c = shared.worker();
+            let (keep, _, _) = workload.request(0);
+            while done.load(Ordering::Acquire) < THREADS {
+                c.repin();
+                let root = c.intern(keep);
+                c.publish();
+                shared.compact(&[root]);
+                std::thread::yield_now();
+            }
+        });
+    });
+
+    let stats = shared.stats();
+    assert!(stats.compactions >= 1, "the compactor must have run");
+    assert!(stats.epoch >= 1);
+    assert_eq!(stats.workers, THREADS as u64 + 1);
+}
+
 #[test]
 fn workload_replay_from_many_threads_is_deterministic() {
     let eq = build_suite(SuiteKind::Equivalent, 12, 103);

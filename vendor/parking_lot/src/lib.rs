@@ -35,6 +35,15 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts the lock without blocking; `None` if held elsewhere.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     pub fn get_mut(&mut self) -> &mut T {
         match self.inner.get_mut() {
             Ok(v) => v,

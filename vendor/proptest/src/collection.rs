@@ -1,7 +1,7 @@
 //! Collection strategies: `vec(element, size_range)` with real
 //! proptest's call shape.
 
-use crate::strategy::Strategy;
+use crate::strategy::{Strategy, ValueTree};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};
@@ -57,45 +57,45 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S>
-where
-    S::Value: Clone,
-{
+impl<S: Strategy> Strategy for VecStrategy<S> {
     type Value = Vec<S::Value>;
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value> {
         let len = rng.gen_range(self.size.min..=self.size.max);
-        (0..len).map(|_| self.element.generate(rng)).collect()
+        let elements = (0..len).map(|_| self.element.new_tree(rng)).collect();
+        vec_tree(elements, self.size.min)
     }
+}
 
-    /// Shrinks in three passes, most aggressive first: halve the length
-    /// (front half, then back half), drop one element at a time, then
-    /// shrink elements in place via the element strategy. The length
-    /// never goes below the configured minimum.
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+/// A tree over a vector of element trees. Shrinks in three passes, most
+/// aggressive first: halve the length (front half, then back half),
+/// drop one element at a time, then shrink elements in place via their
+/// own trees. The length never goes below the configured minimum.
+fn vec_tree<T: Clone + 'static>(elements: Vec<ValueTree<T>>, min: usize) -> ValueTree<Vec<T>> {
+    let value: Vec<T> = elements.iter().map(|t| t.value().clone()).collect();
+    ValueTree::with_children(value, move || {
         let mut out = Vec::new();
-        let min = self.size.min;
-        let half = (value.len() / 2).max(min);
-        if half < value.len() {
-            out.push(value[..half].to_vec());
-            out.push(value[value.len() - half..].to_vec());
+        let half = (elements.len() / 2).max(min);
+        if half < elements.len() {
+            out.push(vec_tree(elements[..half].to_vec(), min));
+            out.push(vec_tree(elements[elements.len() - half..].to_vec(), min));
         }
-        if value.len() > min {
-            for drop_ix in 0..value.len() {
-                let mut shorter = value.clone();
+        if elements.len() > min {
+            for drop_ix in 0..elements.len() {
+                let mut shorter = elements.clone();
                 shorter.remove(drop_ix);
-                out.push(shorter);
+                out.push(vec_tree(shorter, min));
             }
         }
-        for (ix, element) in value.iter().enumerate() {
-            for candidate in self.element.shrink(element).into_iter().take(3) {
-                let mut patched = value.clone();
+        for (ix, element) in elements.iter().enumerate() {
+            for candidate in element.shrink().into_iter().take(3) {
+                let mut patched = elements.clone();
                 patched[ix] = candidate;
-                out.push(patched);
+                out.push(vec_tree(patched, min));
             }
         }
         out
-    }
+    })
 }
 
 #[cfg(test)]

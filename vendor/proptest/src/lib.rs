@@ -7,14 +7,16 @@
 //! and [`prop_assert_ne!`] macros, and
 //! [`test_runner::ProptestConfig::with_cases`].
 //!
-//! Differences from real proptest: no value trees. Shrinking is a
-//! post-hoc pass over the failing value ([`strategy::Strategy::shrink`]
-//! driven by [`shrink_failure`]): integer ranges halve toward their
-//! minimum, `collection::vec` drops and halves elements, unions
-//! (including weighted `prop_oneof![w => s, …]`) pool their options'
-//! proposals — but `prop_map`ped strategies propose nothing (the mapping
-//! cannot be inverted without value trees). The per-test RNG is seeded
-//! deterministically from the test name, so runs are reproducible.
+//! Like real proptest, generation produces **value trees**
+//! ([`strategy::ValueTree`]): the value plus a lazy tower of shrink
+//! candidates that remembers how the value was built. Integer ranges
+//! halve toward their minimum, `collection::vec` drops and halves
+//! elements, unions (including weighted `prop_oneof![w => s, …]`) fall
+//! back to simpler alternatives before shrinking within the chosen one,
+//! and `prop_map`ped strategies shrink their *source* and re-map — so
+//! shrinking reaches through every combinator, `prop_recursive`
+//! included. The per-test RNG is seeded deterministically from the test
+//! name, so runs are reproducible.
 
 pub mod collection;
 pub mod strategy;
@@ -26,7 +28,7 @@ pub mod test_runner;
 pub use rand;
 
 pub mod prelude {
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union, ValueTree};
     pub use crate::test_runner::ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
     // Real proptest's prelude aliases the crate as `prop` so tests can
@@ -54,15 +56,14 @@ pub fn run_cases<S: strategy::Strategy>(
     strategy: &S,
     mut run: impl FnMut(S::Value) -> Result<(), String>,
 ) where
-    S::Value: Clone + std::fmt::Debug,
+    S::Value: std::fmt::Debug,
 {
     for case_index in 0..cases {
-        let input = strategy.generate(rng);
-        if let Err(message) = run(input.clone()) {
-            let (min, min_message, steps) =
-                shrink_failure(strategy, input, message, 1024, |candidate| {
-                    run(candidate.clone()).err()
-                });
+        let tree = strategy.new_tree(rng);
+        if let Err(message) = run(tree.value().clone()) {
+            let (min, min_message, steps) = shrink_failure(tree, message, 1024, |candidate| {
+                run(candidate.clone()).err()
+            });
             panic!(
                 "case {}/{} failed: {}\nminimal failing input after {} shrink steps: {:?}",
                 case_index + 1,
@@ -75,24 +76,23 @@ pub fn run_cases<S: strategy::Strategy>(
     }
 }
 
-/// Greedily drives a failing value to a local minimum: repeatedly adopts
-/// the first [`strategy::Strategy::shrink`] candidate on which `fails`
-/// still returns an error, until no candidate fails (or `max_steps`
-/// accepted steps). By construction the returned value **still fails** —
-/// its failure message is returned alongside — which is the property the
-/// regression tests in this crate pin down.
-pub fn shrink_failure<S: strategy::Strategy>(
-    strategy: &S,
-    mut value: S::Value,
+/// Greedily drives a failing value tree to a local minimum: repeatedly
+/// adopts the first [`strategy::ValueTree::shrink`] candidate on which
+/// `fails` still returns an error, until no candidate fails (or
+/// `max_steps` accepted steps). By construction the returned value
+/// **still fails** — its failure message is returned alongside — which
+/// is the property the regression tests in this crate pin down.
+pub fn shrink_failure<T: Clone + 'static>(
+    mut tree: strategy::ValueTree<T>,
     mut message: String,
     max_steps: usize,
-    mut fails: impl FnMut(&S::Value) -> Option<String>,
-) -> (S::Value, String, usize) {
+    mut fails: impl FnMut(&T) -> Option<String>,
+) -> (T, String, usize) {
     let mut steps = 0;
     'progress: while steps < max_steps {
-        for candidate in strategy.shrink(&value) {
-            if let Some(new_message) = fails(&candidate) {
-                value = candidate;
+        for candidate in tree.shrink() {
+            if let Some(new_message) = fails(candidate.value()) {
+                tree = candidate;
                 message = new_message;
                 steps += 1;
                 continue 'progress;
@@ -100,7 +100,7 @@ pub fn shrink_failure<S: strategy::Strategy>(
         }
         break;
     }
-    (value, message, steps)
+    (tree.into_value(), message, steps)
 }
 
 /// Defines property tests: each `fn name(pat in strategy, ...) { body }`
@@ -324,16 +324,34 @@ mod tests {
 
     // ------------------------------------------------------- shrinking
 
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Generates trees until one's value fails the predicate — the
+    /// shrink tests need a failing starting point and, with value
+    /// trees, a value can only be shrunk from the tree that built it.
+    fn failing_tree<S: Strategy>(
+        strategy: &S,
+        seed: u64,
+        fails: impl Fn(&S::Value) -> bool,
+    ) -> ValueTree<S::Value> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let tree = strategy.new_tree(&mut rng);
+            if fails(tree.value()) {
+                return tree;
+            }
+        }
+    }
+
     /// The core shrinking guarantee: whatever `shrink_failure` returns
     /// still fails the predicate it was given.
     #[test]
     fn shrunk_integer_still_fails_and_is_minimal() {
         let strategy = 0..100_000u32;
         let fails = |v: &u32| (*v >= 37).then(|| format!("{v} too big"));
-        let start = 99_731u32;
-        assert!(fails(&start).is_some(), "precondition: start fails");
-        let (min, message, steps) =
-            crate::shrink_failure(&strategy, start, String::new(), 1024, fails);
+        let tree = failing_tree(&strategy, 17, |v| fails(v).is_some());
+        let (min, message, steps) = crate::shrink_failure(tree, String::new(), 1024, fails);
         assert!(fails(&min).is_some(), "shrunk value no longer fails");
         assert_eq!(min, 37, "halving ladder must reach the boundary");
         assert!(message.contains("too big"));
@@ -349,8 +367,8 @@ mod tests {
                 .any(|&x| x >= 50)
                 .then(|| "has a big element".to_owned())
         };
-        let start = vec![3, 77, 12, 50, 4, 9];
-        let (min, _, _) = crate::shrink_failure(&strategy, start, String::new(), 1024, fails);
+        let tree = failing_tree(&strategy, 23, |v| fails(v).is_some());
+        let (min, _, _) = crate::shrink_failure(tree, String::new(), 1024, fails);
         assert!(fails(&min).is_some(), "shrunk vec no longer fails");
         // Element-drop removes everything below 50; element shrinking
         // halves the survivor down to the boundary.
@@ -361,16 +379,37 @@ mod tests {
     fn shrunk_union_value_still_fails() {
         let strategy = prop_oneof![3 => 0..1000u32, 1 => Just(999u32)];
         let fails = |v: &u32| (*v >= 37).then(|| "boom".to_owned());
-        let (min, _, _) = crate::shrink_failure(&strategy, 731, String::new(), 1024, fails);
+        let tree = failing_tree(&strategy, 29, |v| fails(v).is_some());
+        let (min, _, _) = crate::shrink_failure(tree, String::new(), 1024, fails);
         assert!(fails(&min).is_some(), "shrunk union value no longer fails");
-        assert_eq!(min, 37, "the pooled range option descends to the boundary");
+        assert_eq!(min, 37, "the range alternative descends to the boundary");
+    }
+
+    /// The satellite the value-tree rework exists for: a `prop_map`'d
+    /// *structure* shrinks by shrinking its source, so a recursive tree
+    /// built entirely from maps, tuples, and unions collapses toward a
+    /// minimal failing shape instead of being returned unshrunk.
+    #[test]
+    fn shrunk_recursive_structure_still_fails_and_gets_smaller() {
+        let strategy = arb_tree();
+        let fails = |t: &Tree| (t.leaf_max() == 3).then(|| "contains a 3".to_owned());
+        let tree = failing_tree(&strategy, 31, |t| fails(t).is_some() && t.size() > 1);
+        let start_size = tree.value().size();
+        let (min, _, steps) = crate::shrink_failure(tree, String::new(), 4096, fails);
+        assert!(fails(&min).is_some(), "shrunk tree no longer fails");
+        assert!(steps > 0, "a compound failing tree must shrink at all");
+        assert!(
+            min.size() < start_size,
+            "expected a smaller tree than the {start_size}-node start, got {min:?}"
+        );
     }
 
     #[test]
     fn shrinking_respects_the_step_budget() {
         let strategy = 0..u32::MAX;
         let fails = |v: &u32| (*v > 0).then(String::new);
-        let (_, _, steps) = crate::shrink_failure(&strategy, u32::MAX - 1, String::new(), 2, fails);
+        let tree = failing_tree(&strategy, 37, |v| *v > 0);
+        let (_, _, steps) = crate::shrink_failure(tree, String::new(), 2, fails);
         assert_eq!(steps, 2);
     }
 

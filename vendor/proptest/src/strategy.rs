@@ -1,39 +1,118 @@
-//! Strategies: each strategy is a recipe for producing values from an
-//! RNG, plus a *shrinker* proposing smaller variants of a failing value.
+//! Strategies: each strategy is a recipe for producing a *value tree* —
+//! a generated value plus a lazy tower of shrink candidates that
+//! remembers how the value was built.
 //!
-//! Unlike real proptest there are no value trees: shrinking is a
-//! standalone pass over the final value ([`Strategy::shrink`]), driven to
-//! a fixpoint by [`crate::shrink_failure`]. Strategies that cannot invert
-//! their construction (notably [`Map`]) simply propose nothing.
+//! The tree is what lets [`Strategy::prop_map`] shrink: a mapped
+//! strategy shrinks its **source** tree and re-applies the mapping to
+//! every candidate, so shrunk values always stay in the map's image.
+//! Unions remember which alternative produced the value and propose
+//! simpler (lower-indexed) alternatives before shrinking within the
+//! chosen one — which is how `prop_recursive` structures collapse
+//! toward their leaves.
 
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};
 use std::rc::Rc;
 
-/// A recipe for generating values of type [`Strategy::Value`].
-pub trait Strategy {
-    type Value;
+/// A generated value plus a lazy enumeration of shrink candidates,
+/// most aggressive first. Candidates are themselves trees, so the
+/// shrink driver can keep descending; nothing below the current node is
+/// materialized until [`ValueTree::shrink`] is called.
+pub struct ValueTree<T> {
+    value: T,
+    children: Rc<dyn Fn() -> Vec<ValueTree<T>>>,
+}
 
-    /// Produces one value.
-    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+/// A shared by-reference mapping function, as passed to
+/// [`ValueTree::map`]. `Rc` so a single closure can be re-applied to
+/// every lazily materialized shrink candidate.
+pub type MapFn<T, O> = Rc<dyn Fn(&T) -> O>;
 
-    /// Proposes *smaller* candidate values derived from `value`, most
-    /// aggressive first. Candidates need not satisfy any property — the
-    /// shrink driver re-validates each against the failing test. The
-    /// default proposes nothing (no shrinking).
-    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
-        Vec::new()
+impl<T: Clone> Clone for ValueTree<T> {
+    fn clone(&self) -> Self {
+        ValueTree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> ValueTree<T> {
+    /// A tree with no shrink candidates (the value is already minimal).
+    pub fn leaf(value: T) -> ValueTree<T> {
+        ValueTree {
+            value,
+            children: Rc::new(Vec::new),
+        }
     }
 
-    /// Applies `map` to every generated value. Mapped strategies do not
-    /// shrink (the construction cannot be inverted without value trees).
+    /// A tree whose candidates are produced on demand by `children`.
+    pub fn with_children(
+        value: T,
+        children: impl Fn() -> Vec<ValueTree<T>> + 'static,
+    ) -> ValueTree<T> {
+        ValueTree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    pub fn into_value(self) -> T {
+        self.value
+    }
+
+    /// Materializes this node's shrink candidates, most aggressive
+    /// first. Candidates need not satisfy any property — the shrink
+    /// driver re-validates each against the failing test.
+    pub fn shrink(&self) -> Vec<ValueTree<T>> {
+        (self.children)()
+    }
+
+    /// Applies `map` to this tree's value and, lazily, to every shrink
+    /// candidate below it — the mechanism behind `prop_map` shrinking.
+    pub fn map<O: Clone + 'static>(&self, map: MapFn<T, O>) -> ValueTree<O> {
+        let value = map(&self.value);
+        let source = self.clone();
+        ValueTree::with_children(value, move || {
+            source
+                .shrink()
+                .iter()
+                .map(|candidate| candidate.map(Rc::clone(&map)))
+                .collect()
+        })
+    }
+}
+
+/// A recipe for generating values of type [`Strategy::Value`].
+pub trait Strategy {
+    type Value: Clone + 'static;
+
+    /// Produces one value tree: the value plus its shrink tower.
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value>;
+
+    /// Produces one value, discarding the shrink tower.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.new_tree(rng).into_value()
+    }
+
+    /// Applies `map` to every generated value. The mapped strategy
+    /// shrinks by shrinking the *source* value and re-mapping, so
+    /// shrunk values stay in the image of `map`.
     fn prop_map<O, F>(self, map: F) -> Map<Self, F>
     where
         Self: Sized,
-        F: Fn(Self::Value) -> O,
+        O: Clone + 'static,
+        F: Fn(Self::Value) -> O + 'static,
     {
-        Map { base: self, map }
+        Map {
+            base: self,
+            map: Rc::new(map),
+        }
     }
 
     /// Builds recursive values: `recurse` receives a strategy for smaller
@@ -50,7 +129,6 @@ pub trait Strategy {
     ) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
-        Self::Value: 'static,
         R: Strategy<Value = Self::Value> + 'static,
         F: Fn(BoxedStrategy<Self::Value>) -> R,
     {
@@ -58,24 +136,22 @@ pub trait Strategy {
         let mut tower = leaf.clone();
         for _ in 0..depth {
             // Mix the leaf back in at every level so expected output size
-            // stays bounded well below the worst-case full tree.
+            // stays bounded well below the worst-case full tree — and so
+            // every level's union can shrink a branch down to a leaf.
             tower = Union::new(vec![leaf.clone(), recurse(tower).boxed()]).boxed();
         }
         tower
     }
 
     /// Erases the strategy type. The result is cheaply cloneable and
-    /// keeps the underlying shrinker.
+    /// keeps the underlying shrink tower.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
-        Self::Value: 'static,
     {
         let strategy = Rc::new(self);
-        let gen_strategy = Rc::clone(&strategy);
         BoxedStrategy {
-            generate: Rc::new(move |rng| gen_strategy.generate(rng)),
-            shrink: Rc::new(move |v| strategy.shrink(v)),
+            new_tree: Rc::new(move |rng| strategy.new_tree(rng)),
         }
     }
 }
@@ -83,29 +159,22 @@ pub trait Strategy {
 /// A type-erased, cheaply cloneable strategy.
 pub struct BoxedStrategy<T> {
     #[allow(clippy::type_complexity)]
-    generate: Rc<dyn Fn(&mut StdRng) -> T>,
-    #[allow(clippy::type_complexity)]
-    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+    new_tree: Rc<dyn Fn(&mut StdRng) -> ValueTree<T>>,
 }
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy {
-            generate: Rc::clone(&self.generate),
-            shrink: Rc::clone(&self.shrink),
+            new_tree: Rc::clone(&self.new_tree),
         }
     }
 }
 
-impl<T> Strategy for BoxedStrategy<T> {
+impl<T: Clone + 'static> Strategy for BoxedStrategy<T> {
     type Value = T;
 
-    fn generate(&self, rng: &mut StdRng) -> T {
-        (self.generate)(rng)
-    }
-
-    fn shrink(&self, value: &T) -> Vec<T> {
-        (self.shrink)(value)
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<T> {
+        (self.new_tree)(rng)
     }
 }
 
@@ -114,30 +183,41 @@ impl<T> Strategy for BoxedStrategy<T> {
 #[derive(Clone, Debug)]
 pub struct Just<T: Clone>(pub T);
 
-impl<T: Clone> Strategy for Just<T> {
+impl<T: Clone + 'static> Strategy for Just<T> {
     type Value = T;
 
-    fn generate(&self, _rng: &mut StdRng) -> T {
-        self.0.clone()
+    fn new_tree(&self, _rng: &mut StdRng) -> ValueTree<T> {
+        ValueTree::leaf(self.0.clone())
     }
 }
 
 /// The result of [`Strategy::prop_map`].
-#[derive(Clone, Debug)]
 pub struct Map<S, F> {
     base: S,
-    map: F,
+    map: Rc<F>,
+}
+
+impl<S: Clone, F> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map {
+            base: self.base.clone(),
+            map: Rc::clone(&self.map),
+        }
+    }
 }
 
 impl<S, O, F> Strategy for Map<S, F>
 where
     S: Strategy,
-    F: Fn(S::Value) -> O,
+    O: Clone + 'static,
+    F: Fn(S::Value) -> O + 'static,
 {
     type Value = O;
 
-    fn generate(&self, rng: &mut StdRng) -> O {
-        (self.map)(self.base.generate(rng))
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<O> {
+        let map = Rc::clone(&self.map);
+        let by_ref: MapFn<S::Value, O> = Rc::new(move |v| map(v.clone()));
+        self.base.new_tree(rng).map(by_ref)
     }
 }
 
@@ -176,29 +256,45 @@ impl<T> Clone for Union<T> {
     }
 }
 
-impl<T> Strategy for Union<T> {
+impl<T: Clone + 'static> Strategy for Union<T> {
     type Value = T;
 
-    fn generate(&self, rng: &mut StdRng) -> T {
+    /// Generates from one weighted alternative and *remembers* the
+    /// choice: shrink candidates are values from simpler (lower-indexed)
+    /// alternatives — generated lazily from a seed drawn now, so the
+    /// happy path costs nothing — followed by the chosen alternative's
+    /// own shrinks.
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<T> {
         let mut roll = rng.gen_range(0..self.total_weight);
-        for (weight, option) in &self.options {
+        let mut chosen = self.options.len() - 1;
+        for (index, (weight, _)) in self.options.iter().enumerate() {
             let weight = u64::from(*weight);
             if roll < weight {
-                return option.generate(rng);
+                chosen = index;
+                break;
             }
             roll -= weight;
         }
-        unreachable!("roll bounded by the weight total")
-    }
-
-    /// A union cannot know which alternative produced `value`, so it
-    /// pools every alternative's proposals; the shrink driver discards
-    /// the ones that don't reproduce the failure.
-    fn shrink(&self, value: &T) -> Vec<T> {
-        self.options
+        let alternative_seed: u64 = rng.gen();
+        let tree = self.options[chosen].1.new_tree(rng);
+        if chosen == 0 {
+            // The simplest alternative already — nothing to fall back to.
+            return tree;
+        }
+        let alternatives: Vec<BoxedStrategy<T>> = self.options[..chosen]
             .iter()
-            .flat_map(|(_, option)| option.shrink(value))
-            .collect()
+            .map(|(_, option)| option.clone())
+            .collect();
+        let value = tree.value().clone();
+        ValueTree::with_children(value, move || {
+            let mut alt_rng = StdRng::seed_from_u64(alternative_seed);
+            let mut out: Vec<ValueTree<T>> = alternatives
+                .iter()
+                .map(|option| option.new_tree(&mut alt_rng))
+                .collect();
+            out.extend(tree.shrink());
+            out
+        })
     }
 }
 
@@ -207,54 +303,51 @@ impl<T> Strategy for Union<T> {
 /// Halving shrink for an integer generated from `low..`: the minimum
 /// first (biggest jump), then the midpoint, then the predecessor — the
 /// classic bisection ladder, which converges to the smallest failing
-/// value in O(log n) accepted steps.
+/// value in O(log n) accepted steps. Each candidate is a full tree, so
+/// the ladder restarts from whichever candidate the driver adopts.
 macro_rules! impl_int_range_strategy {
     ($($t:ty),+ $(,)?) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
-                rng.gen_range(self.clone())
-            }
-
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                int_ladder!($t, self.start, *value)
+            fn new_tree(&self, rng: &mut StdRng) -> ValueTree<$t> {
+                int_tree!($t, self.start, rng.gen_range(self.clone()))
             }
         }
 
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
 
-            fn generate(&self, rng: &mut StdRng) -> $t {
-                rng.gen_range(self.clone())
-            }
-
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                int_ladder!($t, *self.start(), *value)
+            fn new_tree(&self, rng: &mut StdRng) -> ValueTree<$t> {
+                int_tree!($t, *self.start(), rng.gen_range(self.clone()))
             }
         }
     )+};
 }
 
-/// The candidates `low`, `low + (v-low)/2`, `v - 1` (deduplicated,
-/// strictly below `v`). The ladder is monotone, so `dedup` suffices.
-macro_rules! int_ladder {
+/// A tree for integer `$value` whose candidates are the ladder `low`,
+/// `low + (v-low)/2`, `v - 1` (deduplicated, strictly below `v`), each
+/// again a ladder tree rooted at that candidate.
+macro_rules! int_tree {
     ($t:ty, $low:expr, $value:expr) => {{
-        let (low, v): ($t, $t) = ($low, $value);
-        if v <= low {
-            Vec::new()
-        } else {
-            // `v - low` can overflow a signed type spanning both ends of
-            // its domain; fall back to the minimum alone in that case.
-            let mid = match v.checked_sub(low) {
-                Some(d) => low + d / 2,
-                None => low,
-            };
-            let mut out = vec![low, mid, v - 1];
-            out.dedup();
-            out.retain(|c| *c < v);
-            out
+        fn tree(low: $t, v: $t) -> ValueTree<$t> {
+            ValueTree::with_children(v, move || {
+                if v <= low {
+                    return Vec::new();
+                }
+                // `v - low` can overflow a signed type spanning both ends
+                // of its domain; fall back to the minimum alone then.
+                let mid = match v.checked_sub(low) {
+                    Some(d) => low + d / 2,
+                    None => low,
+                };
+                let mut ladder = vec![low, mid, v - 1];
+                ladder.dedup();
+                ladder.retain(|c| *c < v);
+                ladder.into_iter().map(|c| tree(low, c)).collect()
+            })
         }
+        tree($low, $value)
     }};
 }
 
@@ -262,131 +355,65 @@ impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 // --------------------------------------------------------------- tuples
 
+/// Joins two trees into a pair tree that shrinks one component at a
+/// time, left first.
+pub(crate) fn join2<A: Clone + 'static, B: Clone + 'static>(
+    a: ValueTree<A>,
+    b: ValueTree<B>,
+) -> ValueTree<(A, B)> {
+    let value = (a.value().clone(), b.value().clone());
+    ValueTree::with_children(value, move || {
+        let mut out: Vec<ValueTree<(A, B)>> = a
+            .shrink()
+            .into_iter()
+            .map(|a2| join2(a2, b.clone()))
+            .collect();
+        out.extend(b.shrink().into_iter().map(|b2| join2(a.clone(), b2)));
+        out
+    })
+}
+
 impl<A: Strategy> Strategy for (A,) {
     type Value = (A::Value,);
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.generate(rng),)
-    }
-
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        self.0.shrink(&value.0).into_iter().map(|a| (a,)).collect()
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value> {
+        self.0
+            .new_tree(rng)
+            .map(Rc::new(|a: &A::Value| (a.clone(),)))
     }
 }
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B)
-where
-    A::Value: Clone,
-    B::Value: Clone,
-{
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (self.0.generate(rng), self.1.generate(rng))
-    }
-
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let mut out: Vec<Self::Value> = self
-            .0
-            .shrink(&value.0)
-            .into_iter()
-            .map(|a| (a, value.1.clone()))
-            .collect();
-        out.extend(
-            self.1
-                .shrink(&value.1)
-                .into_iter()
-                .map(|b| (value.0.clone(), b)),
-        );
-        out
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value> {
+        join2(self.0.new_tree(rng), self.1.new_tree(rng))
     }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C)
-where
-    A::Value: Clone,
-    B::Value: Clone,
-    C::Value: Clone,
-{
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
     type Value = (A::Value, B::Value, C::Value);
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-        )
-    }
-
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let (a, b, c) = value;
-        let mut out: Vec<Self::Value> = self
-            .0
-            .shrink(a)
-            .into_iter()
-            .map(|x| (x, b.clone(), c.clone()))
-            .collect();
-        out.extend(
-            self.1
-                .shrink(b)
-                .into_iter()
-                .map(|x| (a.clone(), x, c.clone())),
-        );
-        out.extend(
-            self.2
-                .shrink(c)
-                .into_iter()
-                .map(|x| (a.clone(), b.clone(), x)),
-        );
-        out
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value> {
+        let ab = join2(self.0.new_tree(rng), self.1.new_tree(rng));
+        join2(ab, self.2.new_tree(rng)).map(Rc::new(
+            |((a, b), c): &((A::Value, B::Value), C::Value)| (a.clone(), b.clone(), c.clone()),
+        ))
     }
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D)
-where
-    A::Value: Clone,
-    B::Value: Clone,
-    C::Value: Clone,
-    D::Value: Clone,
-{
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
     type Value = (A::Value, B::Value, C::Value, D::Value);
 
-    fn generate(&self, rng: &mut StdRng) -> Self::Value {
-        (
-            self.0.generate(rng),
-            self.1.generate(rng),
-            self.2.generate(rng),
-            self.3.generate(rng),
-        )
-    }
-
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let (a, b, c, d) = value;
-        let mut out: Vec<Self::Value> = self
-            .0
-            .shrink(a)
-            .into_iter()
-            .map(|x| (x, b.clone(), c.clone(), d.clone()))
-            .collect();
-        out.extend(
-            self.1
-                .shrink(b)
-                .into_iter()
-                .map(|x| (a.clone(), x, c.clone(), d.clone())),
-        );
-        out.extend(
-            self.2
-                .shrink(c)
-                .into_iter()
-                .map(|x| (a.clone(), b.clone(), x, d.clone())),
-        );
-        out.extend(
-            self.3
-                .shrink(d)
-                .into_iter()
-                .map(|x| (a.clone(), b.clone(), c.clone(), x)),
-        );
-        out
+    fn new_tree(&self, rng: &mut StdRng) -> ValueTree<Self::Value> {
+        let ab = join2(self.0.new_tree(rng), self.1.new_tree(rng));
+        let cd = join2(self.2.new_tree(rng), self.3.new_tree(rng));
+        join2(ab, cd).map(Rc::new(
+            #[allow(clippy::type_complexity)]
+            |((a, b), (c, d)): &((A::Value, B::Value), (C::Value, D::Value))| {
+                (a.clone(), b.clone(), c.clone(), d.clone())
+            },
+        ))
     }
 }
 
@@ -407,12 +434,17 @@ mod tests {
     }
 
     #[test]
-    fn int_shrink_halves_toward_the_minimum() {
-        let candidates = (0..1000u32).shrink(&800);
-        assert_eq!(candidates, vec![0, 400, 799]);
-        assert!((0..1000u32).shrink(&0).is_empty());
-        let candidates = (-8..=8i32).shrink(&8);
-        assert_eq!(candidates, vec![-8, 0, 7]);
+    fn int_trees_shrink_down_the_halving_ladder() {
+        let tree = int_tree!(u32, 0, 800);
+        let ladder: Vec<u32> = tree.shrink().iter().map(|t| *t.value()).collect();
+        assert_eq!(ladder, vec![0, 400, 799]);
+        assert!(int_tree!(u32, 0, 0).shrink().is_empty());
+        let ladder: Vec<i32> = int_tree!(i32, -8, 8)
+            .shrink()
+            .iter()
+            .map(|t| *t.value())
+            .collect();
+        assert_eq!(ladder, vec![-8, 0, 7]);
     }
 
     #[test]
@@ -427,18 +459,50 @@ mod tests {
     }
 
     #[test]
-    fn union_shrink_pools_all_options() {
-        let u = Union::new(vec![(0..100u32).boxed(), Just(7u32).boxed()]);
-        let candidates = u.shrink(&50);
-        assert_eq!(candidates, vec![0, 25, 49]); // Just contributes nothing
+    fn union_trees_fall_back_to_simpler_alternatives() {
+        // Force the second alternative, then check its shrink candidates
+        // lead with a value from the first.
+        let u = Union::new_weighted(vec![(0, Just(7u32).boxed()), (1, (50..100u32).boxed())]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = u.new_tree(&mut rng);
+        assert!((50..100).contains(tree.value()));
+        let candidates: Vec<u32> = tree.shrink().iter().map(|t| *t.value()).collect();
+        assert_eq!(candidates[0], 7, "simpler alternative proposed first");
+        assert!(
+            candidates[1..].iter().all(|c| *c < 100),
+            "chosen alternative's own ladder follows"
+        );
     }
 
     #[test]
-    fn tuple_shrink_varies_one_component_at_a_time() {
-        let s = ((0..10u32), (0..10u32));
-        let candidates = s.shrink(&(4, 6));
-        assert!(candidates.contains(&(0, 6)));
-        assert!(candidates.contains(&(4, 0)));
-        assert!(candidates.iter().all(|&(a, b)| a == 4 || b == 6));
+    fn tuple_trees_vary_one_component_at_a_time() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let tree = ((0..10u32), (0..10u32)).new_tree(&mut rng);
+        let (a, b) = *tree.value();
+        for candidate in tree.shrink() {
+            let (ca, cb) = *candidate.value();
+            assert!(ca == a || cb == b, "({ca},{cb}) changed both of ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn mapped_trees_shrink_through_the_map() {
+        // The whole point of value trees: a prop_map'd strategy shrinks
+        // by shrinking its source, so candidates stay in the map's image.
+        let strategy = (0..1000u32).prop_map(|n| n * 2 + 1);
+        let mut rng = StdRng::seed_from_u64(13);
+        let tree = loop {
+            let t = strategy.new_tree(&mut rng);
+            if *t.value() >= 101 {
+                break t;
+            }
+        };
+        let fails = |v: &u32| (*v >= 101).then(|| format!("{v} too big"));
+        let (min, _, steps) = crate::shrink_failure(tree, String::new(), 1024, fails);
+        assert_eq!(
+            min, 101,
+            "halving lifted through the map reaches the boundary"
+        );
+        assert!(steps > 0, "shrinking must actually run");
     }
 }
