@@ -9,7 +9,7 @@
 //!     [--clients 8] [--pipeline 32] [--wire-requests 40000] \
 //!     [--wire-workers 4] [--no-wire] [--repeat 3] \
 //!     [--cold-heavy-requests 50000] [--fresh-permille 750] [--no-cold-heavy] \
-//!     [--run-id ID]
+//!     [--tenants 3] [--run-id ID]
 //! ```
 //!
 //! **Engine mode** (always runs): for each worker count the engine
@@ -59,6 +59,21 @@
 //! concurrent/sequential wall-clock ratio for the identical byte
 //! streams.
 //!
+//! **Multi-tenant mode** (`--tenants N`, default 3; `--tenants 0`
+//! disables): the tenant-isolation benchmark. One
+//! [`algst_server::TenantRegistry`] with a uniform per-tenant
+//! rate-limit hosts `N` tenants over disjoint type universes
+//! (`algst_gen::workload::tenant_workloads` — the soak harness's
+//! tenant-skew generator). The quiet tenants (`1..N`) each pace a
+//! fixed request rate well under the quota and measure per-request
+//! latency; tenant `0` is the noisy neighbor, blasting unpaced batches
+//! that the token bucket mostly refuses. The mode runs the quiet
+//! tenants twice — alone, then beside the noisy tenant — and **fails
+//! the bench** unless the noisy tenant was actually throttled, no
+//! quiet request was, and the quiet p99 beside the noisy neighbor
+//! stays within a generous bound of the solo p99: a throttled tenant
+//! must cost its neighbors admission-arithmetic, not latency.
+//!
 //! Two baselines anchor the engine numbers:
 //! * `cold_baseline` — a single thread paying the **full cold cost** per
 //!   request (fresh store: intern + normalize + compare), i.e. what
@@ -72,15 +87,17 @@
 use algst_core::store::TypeStore;
 use algst_core::Session;
 use algst_gen::suite::{build_suite, SuiteKind};
-use algst_gen::workload::{cold_heavy_workload, equiv_workload, Workload};
+use algst_gen::workload::{cold_heavy_workload, equiv_workload, tenant_workloads, Workload};
 use algst_server::engine::BatchReply;
 use algst_server::{
     json, serve_listener, serve_session, Engine, ObsOptions, Op, Request, Response, ServeConfig,
+    TenantConfig, TenantQuotas, TenantRegistry,
 };
 use crossbeam::channel::bounded;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -99,6 +116,7 @@ struct Args {
     cold_heavy_requests: Option<usize>,
     fresh_permille: u32,
     repeat: usize,
+    tenants: usize,
     run_id: Option<String>,
 }
 
@@ -148,6 +166,7 @@ fn parse_args() -> Args {
         cold_heavy_requests: None,
         fresh_permille: 750,
         repeat: 3,
+        tenants: 3,
         run_id: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -192,6 +211,13 @@ fn parse_args() -> Args {
             "--repeat" => {
                 args.repeat = value(&mut i).parse().expect("--repeat number");
                 assert!(args.repeat >= 1, "--repeat must be at least 1");
+            }
+            "--tenants" => {
+                args.tenants = value(&mut i).parse().expect("--tenants number");
+                assert!(
+                    args.tenants != 1,
+                    "--tenants needs a noisy and at least one quiet tenant (≥ 2), or 0 to disable"
+                );
             }
             "--run-id" => args.run_id = Some(value(&mut i)),
             "--fresh-permille" => {
@@ -258,6 +284,53 @@ struct WireRun {
     p99_us: f64,
     mismatches: u64,
     per_client: Vec<ClientRun>,
+}
+
+/// One tenant's side of a multi-tenant phase.
+struct TenantRun {
+    name: String,
+    /// Requests offered at admission (the noisy tenant offers far more
+    /// than its quota grants).
+    offered: u64,
+    granted: u64,
+    throttled: u64,
+    mismatches: u64,
+    /// Granted requests per second of the tenant's own wall clock.
+    req_per_s: f64,
+    p50_us: f64,
+    p99_us: f64,
+    store_bytes: u64,
+}
+
+/// The multi-tenant isolation benchmark: quiet tenants solo, then the
+/// same quiet tenants beside an unpaced (and therefore throttled)
+/// noisy neighbor.
+struct MultiTenantRun {
+    tenants: usize,
+    rate_limit: u64,
+    quiet_target_req_per_s: f64,
+    quiet_solo: Vec<TenantRun>,
+    quiet_shared: Vec<TenantRun>,
+    noisy: TenantRun,
+    /// Granted requests across all tenants per second of the shared
+    /// phase's wall clock.
+    aggregate_req_per_s: f64,
+    registry_locks: u64,
+    quiet_p99_solo_us: f64,
+    quiet_p99_shared_us: f64,
+    quiet_p99_bound_us: f64,
+    isolation_ok: bool,
+}
+
+impl MultiTenantRun {
+    fn mismatches(&self) -> u64 {
+        self.quiet_solo
+            .iter()
+            .chain(self.quiet_shared.iter())
+            .chain(std::iter::once(&self.noisy))
+            .map(|t| t.mismatches)
+            .sum()
+    }
 }
 
 fn main() {
@@ -383,6 +456,12 @@ fn main() {
         None
     };
 
+    let mt_run = if args.tenants >= 2 {
+        Some(run_multi_tenant(&args))
+    } else {
+        None
+    };
+
     let mismatches: u64 = runs.iter().map(|r| r.mismatches).sum::<u64>()
         + cold_heavy_runs
             .iter()
@@ -393,7 +472,8 @@ fn main() {
             .iter()
             .flatten()
             .map(|r| r.mismatches)
-            .sum::<u64>();
+            .sum::<u64>()
+        + mt_run.iter().map(MultiTenantRun::mismatches).sum::<u64>();
     if let Some(path) = &args.json_path {
         write_json(
             path,
@@ -406,11 +486,18 @@ fn main() {
             &obs_ratios,
             cold_heavy_runs.as_deref(),
             wire_runs.as_ref(),
+            mt_run.as_ref(),
         );
     }
     if mismatches > 0 {
         eprintln!("!! {mismatches} verdict mismatches against ground truth");
         std::process::exit(1);
+    }
+    if let Some(mt) = &mt_run {
+        if !mt.isolation_ok {
+            eprintln!("!! multi-tenant isolation violated (see the multi_tenant lines above)");
+            std::process::exit(1);
+        }
     }
     eprintln!("all verdicts identical to the ground truth");
 }
@@ -817,6 +904,265 @@ fn weighted_percentile(clients: &[ClientRun], f: impl Fn(&ClientRun) -> f64) -> 
         / total as f64
 }
 
+/// Quiet-tenant quotas/pacing for the multi-tenant mode. The paced
+/// rate sits well under the uniform rate limit so a quiet tenant is
+/// never throttled; the noisy neighbor blasts unpaced and therefore
+/// mostly is.
+const MT_RATE_LIMIT: u64 = 2_000;
+const MT_QUIET_RATE: f64 = 800.0;
+const MT_QUIET_REQUESTS: usize = 1_200;
+
+/// Drives one quiet tenant: one request at a time, paced at `rate`
+/// req/s, measuring the synchronous admit→verdict latency per request.
+fn drive_quiet(registry: &TenantRegistry, name: &str, workload: &Workload, rate: f64) -> TenantRun {
+    let mut view = registry.view();
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(workload.len());
+    let mut granted = 0u64;
+    let mut throttled = 0u64;
+    let mut mismatches = 0u64;
+    let start = Instant::now();
+    for i in 0..workload.len() {
+        let due = start + interval.mul_f64(i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let (lhs, rhs, expected) = workload.request(i);
+        let request = Request {
+            id: i as u64 + 1,
+            op: Op::Equiv {
+                lhs: lhs.to_string(),
+                rhs: rhs.to_string(),
+            },
+        };
+        let sent = Instant::now();
+        let responses = registry.process(&mut view, name, vec![request]);
+        latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        for r in &responses {
+            match r {
+                Response::Equiv { verdict, .. } => {
+                    granted += 1;
+                    if *verdict != expected {
+                        mismatches += 1;
+                    }
+                }
+                Response::Throttled { .. } => throttled += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    TenantRun {
+        name: name.to_owned(),
+        offered: workload.len() as u64,
+        granted,
+        throttled,
+        mismatches,
+        req_per_s: granted as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+        store_bytes: 0,
+    }
+}
+
+/// Drives the noisy tenant: unpaced `batch`-request batches, cycling
+/// its workload until `done`, taking whatever prefix admission grants
+/// and counting the refusals.
+fn drive_noisy(
+    registry: &TenantRegistry,
+    name: &str,
+    workload: &Workload,
+    batch: usize,
+    done: &AtomicBool,
+) -> TenantRun {
+    let mut view = registry.view();
+    let mut offered = 0u64;
+    let mut granted = 0u64;
+    let mut throttled = 0u64;
+    let mut mismatches = 0u64;
+    let mut next = 0usize;
+    let start = Instant::now();
+    while !done.load(Ordering::Acquire) {
+        let items: Vec<Request> = (0..batch)
+            .map(|k| {
+                let i = (next + k) % workload.len();
+                let (lhs, rhs, _) = workload.request(i);
+                Request {
+                    id: i as u64 + 1,
+                    op: Op::Equiv {
+                        lhs: lhs.to_string(),
+                        rhs: rhs.to_string(),
+                    },
+                }
+            })
+            .collect();
+        next = (next + batch) % workload.len();
+        offered += batch as u64;
+        for r in registry.process(&mut view, name, items) {
+            match r {
+                Response::Equiv { id, verdict, .. } => {
+                    granted += 1;
+                    if verdict != workload.request(id as usize - 1).2 {
+                        mismatches += 1;
+                    }
+                }
+                Response::Throttled { .. } => throttled += 1,
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    TenantRun {
+        name: name.to_owned(),
+        offered,
+        granted,
+        throttled,
+        mismatches,
+        req_per_s: granted as f64 / elapsed.as_secs_f64(),
+        p50_us: 0.0,
+        p99_us: 0.0,
+        store_bytes: 0,
+    }
+}
+
+fn mt_registry() -> TenantRegistry {
+    TenantRegistry::new(TenantConfig {
+        obs: ObsOptions {
+            metrics: true,
+            ..ObsOptions::default()
+        },
+        quotas: TenantQuotas {
+            rate_limit: MT_RATE_LIMIT,
+            ..TenantQuotas::default()
+        },
+        ..TenantConfig::default()
+    })
+}
+
+/// Stamps each run's tenant store size from the live registry.
+fn stamp_store_bytes(registry: &TenantRegistry, runs: &mut [TenantRun]) {
+    for handle in registry.handles() {
+        for run in runs.iter_mut() {
+            if run.name == handle.name() {
+                run.store_bytes = handle.store_bytes();
+            }
+        }
+    }
+}
+
+/// The multi-tenant isolation benchmark (see the module docs): quiet
+/// tenants paced solo for a baseline, then the same quiet tenants
+/// beside an unpaced noisy neighbor on a fresh registry.
+fn run_multi_tenant(args: &Args) -> MultiTenantRun {
+    let workloads = tenant_workloads(args.tenants, args.cases, MT_QUIET_REQUESTS, args.seed);
+    eprintln!(
+        "multi-tenant mode: {} tenants, quiet paced at {:.0} req/s under a {} req/s quota, \
+         noisy tenant unpaced…",
+        args.tenants, MT_QUIET_RATE, MT_RATE_LIMIT
+    );
+
+    // Phase 1: quiet tenants alone — the latency baseline.
+    let solo_registry = mt_registry();
+    let mut quiet_solo: Vec<TenantRun> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..args.tenants)
+            .map(|t| {
+                let registry = &solo_registry;
+                let workload = &workloads[t];
+                scope.spawn(move || {
+                    drive_quiet(registry, &format!("tenant{t}"), workload, MT_QUIET_RATE)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("quiet tenant"))
+            .collect()
+    });
+    stamp_store_bytes(&solo_registry, &mut quiet_solo);
+
+    // Phase 2: the same quiet pacing beside the noisy neighbor, on a
+    // fresh registry (cold engines both phases, like every other mode).
+    let shared_registry = mt_registry();
+    let done = AtomicBool::new(false);
+    let shared_start = Instant::now();
+    let (mut quiet_shared, mut noisy): (Vec<TenantRun>, TenantRun) = std::thread::scope(|scope| {
+        let noisy_handle = {
+            let registry = &shared_registry;
+            let workload = &workloads[0];
+            let done = &done;
+            scope.spawn(move || drive_noisy(registry, "tenant0", workload, args.batch, done))
+        };
+        let quiet_handles: Vec<_> = (1..args.tenants)
+            .map(|t| {
+                let registry = &shared_registry;
+                let workload = &workloads[t];
+                scope.spawn(move || {
+                    drive_quiet(registry, &format!("tenant{t}"), workload, MT_QUIET_RATE)
+                })
+            })
+            .collect();
+        let quiet: Vec<TenantRun> = quiet_handles
+            .into_iter()
+            .map(|h| h.join().expect("quiet tenant"))
+            .collect();
+        done.store(true, Ordering::Release);
+        (quiet, noisy_handle.join().expect("noisy tenant"))
+    });
+    let shared_elapsed = shared_start.elapsed();
+    stamp_store_bytes(&shared_registry, &mut quiet_shared);
+    stamp_store_bytes(&shared_registry, std::slice::from_mut(&mut noisy));
+
+    let quiet_p99 = |runs: &[TenantRun]| runs.iter().map(|r| r.p99_us).fold(0.0f64, f64::max);
+    let quiet_p99_solo_us = quiet_p99(&quiet_solo);
+    let quiet_p99_shared_us = quiet_p99(&quiet_shared);
+    // Generous bound: host scheduling noise on small shared runners
+    // must not fail the bench, head-of-line blocking must. A quiet
+    // tenant stuck behind the noisy one's granted batches would blow
+    // through this by orders of magnitude.
+    let quiet_p99_bound_us = (quiet_p99_solo_us * 20.0).max(1_500.0);
+    let quiet_throttled: u64 = quiet_shared.iter().map(|r| r.throttled).sum();
+    let isolation_ok =
+        noisy.throttled > 0 && quiet_throttled == 0 && quiet_p99_shared_us <= quiet_p99_bound_us;
+
+    let granted_total = noisy.granted + quiet_shared.iter().map(|r| r.granted).sum::<u64>();
+    let run = MultiTenantRun {
+        tenants: args.tenants,
+        rate_limit: MT_RATE_LIMIT,
+        quiet_target_req_per_s: MT_QUIET_RATE,
+        quiet_solo,
+        quiet_shared,
+        noisy,
+        aggregate_req_per_s: granted_total as f64 / shared_elapsed.as_secs_f64(),
+        registry_locks: shared_registry.lock_acquisitions(),
+        quiet_p99_solo_us,
+        quiet_p99_shared_us,
+        quiet_p99_bound_us,
+        isolation_ok,
+    };
+    eprintln!(
+        "multi-tenant noisy  : offered {:>8}   granted {:>6} ({:>7.0} req/s)   throttled {}",
+        run.noisy.offered, run.noisy.granted, run.noisy.req_per_s, run.noisy.throttled,
+    );
+    for (solo, shared) in run.quiet_solo.iter().zip(run.quiet_shared.iter()) {
+        eprintln!(
+            "multi-tenant {:<7}: solo p99 {:>8.2} µs   beside noisy p99 {:>8.2} µs   \
+             throttled {}",
+            shared.name, solo.p99_us, shared.p99_us, shared.throttled,
+        );
+    }
+    eprintln!(
+        "multi-tenant isolation: quiet p99 {:.2} µs ≤ bound {:.2} µs, \
+         registry locks {} → {}",
+        run.quiet_p99_shared_us,
+        run.quiet_p99_bound_us,
+        run.registry_locks,
+        if run.isolation_ok { "ok" } else { "VIOLATED" },
+    );
+    run
+}
+
 /// Renders one engine-config run as a JSON object line, including the
 /// contention profile (generation, installs, slow-path, lock counters).
 fn config_json(r: &ConfigRun) -> String {
@@ -873,6 +1219,7 @@ fn write_json(
     obs_ratios: &[(usize, f64)],
     cold_heavy: Option<&[ConfigRun]>,
     wire: Option<&[WireRun; 2]>,
+    mt: Option<&MultiTenantRun>,
 ) {
     let mut f = std::fs::File::create(path).expect("create json");
     writeln!(f, "{{").expect("write");
@@ -1027,6 +1374,73 @@ fn write_json(
         .expect("write");
         writeln!(f, "  }},").expect("write");
     }
+    if let Some(mt) = mt {
+        let tenant_json = |r: &TenantRun| {
+            format!(
+                "{{\"tenant\": \"{}\", \"offered\": {}, \"granted\": {}, \"throttled\": {}, \
+                 \"req_per_s\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+                 \"store_bytes\": {}, \"verdict_mismatches\": {}}}",
+                json::escape(&r.name),
+                r.offered,
+                r.granted,
+                r.throttled,
+                r.req_per_s,
+                r.p50_us,
+                r.p99_us,
+                r.store_bytes,
+                r.mismatches,
+            )
+        };
+        let tenant_list = |runs: &[TenantRun]| {
+            runs.iter()
+                .map(|r| format!("      {}", tenant_json(r)))
+                .collect::<Vec<_>>()
+                .join(",\n")
+        };
+        writeln!(f, "  \"multi_tenant\": {{").expect("write");
+        writeln!(f, "    \"tenants\": {},", mt.tenants).expect("write");
+        writeln!(f, "    \"rate_limit_per_s\": {},", mt.rate_limit).expect("write");
+        writeln!(
+            f,
+            "    \"quiet_target_req_per_s\": {:.1},",
+            mt.quiet_target_req_per_s
+        )
+        .expect("write");
+        writeln!(
+            f,
+            "    \"aggregate_req_per_s\": {:.1},",
+            mt.aggregate_req_per_s
+        )
+        .expect("write");
+        writeln!(
+            f,
+            "    \"registry_lock_acquisitions\": {},",
+            mt.registry_locks
+        )
+        .expect("write");
+        writeln!(f, "    \"noisy\": {},", tenant_json(&mt.noisy)).expect("write");
+        writeln!(f, "    \"quiet_solo\": [").expect("write");
+        writeln!(f, "{}", tenant_list(&mt.quiet_solo)).expect("write");
+        writeln!(f, "    ],").expect("write");
+        writeln!(f, "    \"quiet_shared\": [").expect("write");
+        writeln!(f, "{}", tenant_list(&mt.quiet_shared)).expect("write");
+        writeln!(f, "    ],").expect("write");
+        writeln!(f, "    \"quiet_p99_solo_us\": {:.3},", mt.quiet_p99_solo_us).expect("write");
+        writeln!(
+            f,
+            "    \"quiet_p99_shared_us\": {:.3},",
+            mt.quiet_p99_shared_us
+        )
+        .expect("write");
+        writeln!(
+            f,
+            "    \"quiet_p99_bound_us\": {:.3},",
+            mt.quiet_p99_bound_us
+        )
+        .expect("write");
+        writeln!(f, "    \"isolation_ok\": {}", mt.isolation_ok).expect("write");
+        writeln!(f, "  }},").expect("write");
+    }
     let by_workers = |n: usize| runs.iter().find(|r| r.workers == n);
     let best = runs
         .iter()
@@ -1064,7 +1478,8 @@ fn write_json(
             .iter()
             .flat_map(|w| w.iter())
             .map(|r| r.mismatches)
-            .sum::<u64>();
+            .sum::<u64>()
+        + mt.iter().map(|m| m.mismatches()).sum::<u64>();
     writeln!(f, "  \"verdict_mismatches_total\": {mismatches}").expect("write");
     writeln!(f, "}}").expect("write");
     eprintln!("wrote {path}");

@@ -41,8 +41,8 @@
 //! per run.
 
 use algst_core::Session;
-use algst_gen::suite::{build_suite, Suite, SuiteKind};
-use algst_gen::workload::{cold_heavy_workload, Workload};
+use algst_gen::suite::Suite;
+use algst_gen::workload::{cold_heavy_workload, tenant_suites, Workload};
 use algst_server::engine::BatchReply;
 use algst_server::{Engine, Op, Request, Response};
 use crossbeam::channel::bounded;
@@ -158,18 +158,11 @@ struct Window {
 }
 
 /// The churn workload: `tenants` independently-seeded suite pairs
-/// (each its own protocol universe) under one fresh-pair sampler.
+/// (each its own protocol universe, via the shared
+/// `workload::tenant_suites` generator) under one fresh-pair sampler.
 fn churn_workload(args: &Args, requests: usize, seed: u64) -> Workload {
-    let suites: Vec<Suite> = (0..args.tenants)
-        .flat_map(|t| {
-            let s = seed + 101 * t as u64;
-            [
-                build_suite(SuiteKind::Equivalent, args.cases, s),
-                build_suite(SuiteKind::NonEquivalent, args.cases, s + 1),
-            ]
-        })
-        .collect();
-    let refs: Vec<&Suite> = suites.iter().collect();
+    let universes = tenant_suites(args.tenants, args.cases, seed);
+    let refs: Vec<&Suite> = universes.iter().flatten().collect();
     cold_heavy_workload(&refs, requests, args.fresh_permille, seed)
 }
 

@@ -13,6 +13,7 @@
 //! | check    | well-typed + damaged modules | verdict stable under α-renaming, `-(-T)` payloads, `Dual (Dual ·)` |
 //! | runtime  | client/server modules      | terminates with predicted output or hits the step budget; never panics, never errors |
 //! | server-check | well-typed + damaged modules | engine `check` op (module cache, injected session) vs direct in-process check |
+//! | tenant-isolation | N tenants over disjoint generated universes | no verdict, `TypeId`, or cache entry crosses tenants of one [`TenantRegistry`](algst_server::TenantRegistry), including across an eviction/recreation cycle ([`mod@tenants`]) |
 //!
 //! Every counterexample is minimized by the reducer ([`reduce`]) —
 //! AST-level hierarchical reduction re-validated against the *specific*
@@ -33,6 +34,7 @@ pub mod fuzz;
 pub mod oracles;
 pub mod reduce;
 pub mod reference;
+pub mod tenants;
 
 pub use fuzz::{replay_file, run_fuzz, Failure, FuzzConfig, FuzzReport, ReplayOutcome};
 pub use reference::Sabotage;

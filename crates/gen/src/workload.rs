@@ -9,7 +9,7 @@
 //! and random orientation — deterministic in the seed, so soak tests
 //! and benchmarks are reproducible.
 
-use crate::suite::Suite;
+use crate::suite::{build_suite, Suite, SuiteKind};
 use algst_core::types::Type;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -211,10 +211,38 @@ pub fn cold_heavy_workload(
     }
 }
 
+/// `tenants` independently-seeded suite pairs: tenant `t` gets its own
+/// `(equivalent, non-equivalent)` protocol universe, so by construction
+/// no type, verdict, or cache entry is shared across tenants. This is
+/// the tenant-skew generator shared by the soak harness's churn
+/// universe and the multi-tenant serving benchmark.
+pub fn tenant_suites(tenants: usize, cases: usize, seed: u64) -> Vec<[Suite; 2]> {
+    (0..tenants)
+        .map(|t| {
+            let s = seed + 101 * t as u64;
+            [
+                build_suite(SuiteKind::Equivalent, cases, s),
+                build_suite(SuiteKind::NonEquivalent, cases, s + 1),
+            ]
+        })
+        .collect()
+}
+
+/// Per-tenant request streams over [`tenant_suites`]: tenant `t`
+/// replays `requests` queries drawn only from its own universe (its
+/// stream is seeded apart from its neighbours', so streams differ even
+/// though each is deterministic).
+pub fn tenant_workloads(tenants: usize, cases: usize, requests: usize, seed: u64) -> Vec<Workload> {
+    tenant_suites(tenants, cases, seed)
+        .iter()
+        .enumerate()
+        .map(|(t, pair)| equiv_workload(&[&pair[0], &pair[1]], requests, seed + 17 * t as u64))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::suite::{build_suite, SuiteKind};
     use algst_core::Session;
 
     #[test]
@@ -291,6 +319,37 @@ mod tests {
         let b = cold_heavy_workload(&[&eq], 40, 750, 9);
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.pairs.len(), b.pairs.len());
+    }
+
+    #[test]
+    fn tenant_universes_are_disjoint_and_deterministic() {
+        let a = tenant_suites(3, 6, 5);
+        let b = tenant_suites(3, 6, 5);
+        assert_eq!(a.len(), 3);
+        // Deterministic in the seed.
+        for (ua, ub) in a.iter().zip(&b) {
+            for (sa, sb) in ua.iter().zip(ub) {
+                assert_eq!(sa.cases.len(), sb.cases.len());
+                for (ca, cb) in sa.cases.iter().zip(&sb.cases) {
+                    assert_eq!(ca.instance.ty, cb.instance.ty);
+                    assert_eq!(ca.other, cb.other);
+                }
+            }
+        }
+        // Per-tenant workloads draw only from their own universe and
+        // still match ground truth.
+        let loads = tenant_workloads(3, 6, 30, 5);
+        assert_eq!(loads.len(), 3);
+        let mut s = Session::new();
+        for (t, w) in loads.iter().enumerate() {
+            assert_eq!(w.len(), 30);
+            for i in 0..w.len() {
+                let (lhs, rhs, expected) = w.request(i);
+                assert_eq!(s.equivalent(lhs, rhs), expected, "tenant {t} request {i}");
+            }
+        }
+        // Distinct tenants see distinct pair tables (different seeds).
+        assert_ne!(loads[0].pairs[0].lhs, loads[1].pairs[0].lhs);
     }
 
     #[test]

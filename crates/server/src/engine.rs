@@ -441,7 +441,7 @@ pub(crate) struct EngineObs {
 }
 
 impl EngineObs {
-    fn new(opts: ObsOptions) -> EngineObs {
+    pub(crate) fn new(opts: ObsOptions) -> EngineObs {
         let m = EngineMetrics::new(&opts.registry);
         EngineObs { opts, m }
     }
@@ -1002,6 +1002,17 @@ fn handle(
             ctx.obs.fold(ctx.lobs);
             let fields = metrics_fields(&ctx.obs.opts.registry.snapshot(), state, session.store());
             Response::Metrics { id, fields }
+        }
+        Op::Tenants => {
+            // The engine serves exactly one tenant's store; the listing
+            // lives in the routed front-end's registry, which answers
+            // this op before it ever reaches a worker.
+            ctx.finish(id, "error", false, 0, Stages::default());
+            Response::Error {
+                id,
+                error: "tenants: multi-tenant serving is disabled (start with --multi-tenant)"
+                    .into(),
+            }
         }
         Op::Shutdown => {
             ctx.finish(id, "shutdown", true, 0, Stages::default());

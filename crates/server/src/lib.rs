@@ -34,8 +34,13 @@ pub mod metrics_http;
 pub mod protocol;
 pub mod resolve;
 pub mod serve;
+pub mod tenant;
 
 pub use engine::{Engine, ObsOptions};
-pub use metrics_http::{serve_metrics, MetricsServer};
-pub use protocol::{parse_request, Op, Request, Response, Snapshot};
-pub use serve::{serve_listener, serve_session, serve_stdio, serve_tcp, ServeConfig, ServeSummary};
+pub use metrics_http::{serve_metrics, serve_metrics_tenants, MetricsServer};
+pub use protocol::{parse_request, Op, Request, Response, Snapshot, ThrottleKind};
+pub use serve::{
+    serve_listener, serve_listener_tenants, serve_session, serve_session_tenants, serve_stdio,
+    serve_stdio_tenants, serve_tcp, serve_tcp_tenants, ServeConfig, ServeSummary,
+};
+pub use tenant::{TenantConfig, TenantHandle, TenantQuotas, TenantRegistry, TenantView};

@@ -9,6 +9,7 @@
 //! and it never competes with the request path (its own thread, its
 //! own listener, reads only atomics).
 
+use crate::tenant::TenantRegistry;
 use algst_core::shared::SharedStore;
 use algst_obs::Registry;
 use std::io::{self, ErrorKind, Read, Write};
@@ -55,13 +56,38 @@ pub fn serve_metrics(
     registry: Arc<Registry>,
     store: Arc<SharedStore>,
 ) -> io::Result<MetricsServer> {
+    serve_metrics_with(addr, move || exposition(&registry, &store))
+}
+
+/// [`serve_metrics`] for a multi-tenant server: the shared registry
+/// exposition (every tenant engine resolves the same metric names, so
+/// their counters are already folded together) followed by the
+/// tenant-labelled series of [`TenantRegistry::prometheus`]. There is
+/// no single store in this mode; per-tenant `algst_tenant_store_*`
+/// gauges replace the `algst_store_*` family.
+pub fn serve_metrics_tenants(
+    addr: &str,
+    registry: Arc<Registry>,
+    tenants: Arc<TenantRegistry>,
+) -> io::Result<MetricsServer> {
+    serve_metrics_with(addr, move || {
+        let mut body = registry.snapshot().prometheus("algst_");
+        body.push_str(&tenants.prometheus());
+        body
+    })
+}
+
+fn serve_metrics_with<F>(addr: &str, body: F) -> io::Result<MetricsServer>
+where
+    F: Fn() -> String + Send + 'static,
+{
     let listener = TcpListener::bind(addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let handle = std::thread::spawn({
         let stop = Arc::clone(&stop);
-        move || accept_loop(&listener, &registry, &store, &stop)
+        move || accept_loop(&listener, &body, &stop)
     });
     Ok(MetricsServer {
         addr,
@@ -70,18 +96,13 @@ pub fn serve_metrics(
     })
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    registry: &Registry,
-    store: &SharedStore,
-    stop: &AtomicBool,
-) {
+fn accept_loop(listener: &TcpListener, body: &dyn Fn() -> String, stop: &AtomicBool) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             // Scrape errors (slow client, reset) are the scraper's
             // problem; the endpoint keeps serving.
             Ok((stream, _)) => {
-                let _ = answer(stream, registry, store);
+                let _ = answer(stream, body);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_TICK),
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -91,7 +112,7 @@ fn accept_loop(
 }
 
 /// Reads (and discards) the request head, writes one full exposition.
-fn answer(mut stream: TcpStream, registry: &Registry, store: &SharedStore) -> io::Result<()> {
+fn answer(mut stream: TcpStream, body: &dyn Fn() -> String) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_nonblocking(false)?;
     // Drain the request line + headers up to the blank line; we answer
@@ -117,7 +138,7 @@ fn answer(mut stream: TcpStream, registry: &Registry, store: &SharedStore) -> io
             Err(e) => return Err(e),
         }
     }
-    let body = exposition(registry, store);
+    let body = body();
     write!(
         stream,
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
@@ -201,5 +222,48 @@ mod tests {
         registry.counter("requests_total").add(1);
         let again = scrape(server.addr());
         assert!(again.contains("algst_requests_total 8"), "{again}");
+    }
+
+    #[test]
+    fn tenants_scrape_carries_tenant_labelled_series() {
+        use crate::protocol::{Op, Request};
+        use crate::tenant::TenantConfig;
+        let registry = Arc::new(Registry::new());
+        let tenants = Arc::new(TenantRegistry::new(TenantConfig {
+            obs: crate::engine::ObsOptions {
+                registry: Arc::clone(&registry),
+                ..crate::engine::ObsOptions::default()
+            },
+            ..TenantConfig::default()
+        }));
+        let mut view = tenants.view();
+        tenants.process(
+            &mut view,
+            "acme",
+            vec![Request {
+                id: 1,
+                op: Op::Equiv {
+                    lhs: "End!".into(),
+                    rhs: "End!".into(),
+                },
+            }],
+        );
+        let server =
+            serve_metrics_tenants("127.0.0.1:0", Arc::clone(&registry), Arc::clone(&tenants))
+                .unwrap();
+        let text = scrape(server.addr());
+        assert!(text.starts_with("HTTP/1.0 200 OK"), "{text}");
+        // The shared engine registry and the tenant-labelled series
+        // arrive in one body.
+        assert!(text.contains("algst_requests_total 1"), "{text}");
+        assert!(
+            text.contains("algst_tenant_requests_total{tenant=\"acme\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("algst_tenant_store_bytes{tenant=\"acme\"} "),
+            "{text}"
+        );
+        assert!(text.contains("algst_tenants 1"), "{text}");
     }
 }

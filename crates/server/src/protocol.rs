@@ -9,8 +9,21 @@
 //! {"op":"stats"}
 //! {"op":"stats","delta":true}
 //! {"op":"metrics"}
+//! {"op":"tenants"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! Every op additionally accepts an optional `"tenant":"name"` field
+//! (an identifier of `[A-Za-z0-9_-]`, at most 64 chars). Under
+//! multi-tenant serving (`algst serve --multi-tenant`) it routes the
+//! request to that tenant's engine; absent means the `"default"`
+//! tenant, so tenancy-unaware clients are untouched. Single-tenant
+//! serving ignores the field. A request refused by a tenant's
+//! admission control comes back as an `"op":"error"` line carrying a
+//! `"kind"` of `"throttled"` (request-rate limit) or
+//! `"quota_exceeded"` (in-flight cap) — a per-request refusal, never
+//! a disconnect. The `tenants` op lists per-tenant statistics (see
+//! [`Response::Tenants`]).
 //!
 //! An explicit `"id":N` is echoed back; otherwise the server numbers
 //! requests by arrival order (1-based). Responses:
@@ -72,26 +85,52 @@ pub enum Op {
     },
     /// Full observability registry snapshot (stable key order).
     Metrics,
+    /// Per-tenant registry listing (multi-tenant serving only; a
+    /// single-tenant engine answers it with an error).
+    Tenants,
     Shutdown,
     Invalid {
         error: String,
     },
 }
 
+/// Is `name` a well-formed tenant name? Bounded identifiers only —
+/// 1..=64 chars of `[A-Za-z0-9_-]` — so names embed safely in flat
+/// JSON keys and Prometheus labels.
+pub fn valid_tenant_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
 /// Parses one request line. `fallback_id` is assigned when the line has
 /// no (valid) `"id"` of its own; malformed lines become [`Op::Invalid`]
-/// under that same id.
+/// under that same id. Any `"tenant"` field is validated and dropped —
+/// single-tenant callers route everything to the one engine.
 pub fn parse_request(line: &str, fallback_id: u64) -> Request {
+    parse_request_tenant(line, fallback_id).0
+}
+
+/// [`parse_request`] for routed (multi-tenant) serving: also returns
+/// the request's `"tenant"` field, `None` when absent (the caller maps
+/// that to the `"default"` tenant). A malformed tenant name makes the
+/// whole line [`Op::Invalid`].
+pub fn parse_request_tenant(line: &str, fallback_id: u64) -> (Request, Option<String>) {
     match parse_inner(line, fallback_id) {
-        Ok(req) => req,
-        Err((id, error)) => Request {
-            id,
-            op: Op::Invalid { error },
-        },
+        Ok(parsed) => parsed,
+        Err((id, error)) => (
+            Request {
+                id,
+                op: Op::Invalid { error },
+            },
+            None,
+        ),
     }
 }
 
-fn parse_inner(line: &str, fallback_id: u64) -> Result<Request, (u64, String)> {
+fn parse_inner(line: &str, fallback_id: u64) -> Result<(Request, Option<String>), (u64, String)> {
     let pairs = json::parse_object(line).map_err(|e| (fallback_id, e))?;
     let id = match json::get(&pairs, "id") {
         Some(Value::Int(n)) if *n >= 0 => *n as u64,
@@ -101,6 +140,19 @@ fn parse_inner(line: &str, fallback_id: u64) -> Result<Request, (u64, String)> {
     let op = match json::get(&pairs, "op").and_then(Value::as_str) {
         Some(op) => op,
         None => return Err((id, "missing \"op\"".into())),
+    };
+    let tenant = match json::get(&pairs, "tenant") {
+        None => None,
+        Some(v) => match v.as_str() {
+            Some(name) if valid_tenant_name(name) => Some(name.to_owned()),
+            Some(name) => {
+                return Err((
+                    id,
+                    format!("invalid tenant name {name:?} (want 1-64 chars of [A-Za-z0-9_-])"),
+                ))
+            }
+            None => return Err((id, "\"tenant\" must be a string".into())),
+        },
     };
     let field = |name: &str| -> Result<String, (u64, String)> {
         json::get(&pairs, name)
@@ -124,10 +176,11 @@ fn parse_inner(line: &str, fallback_id: u64) -> Result<Request, (u64, String)> {
             },
         },
         "metrics" => Op::Metrics,
+        "tenants" => Op::Tenants,
         "shutdown" => Op::Shutdown,
         other => return Err((id, format!("unknown op \"{other}\""))),
     };
-    Ok(Request { id, op })
+    Ok((Request { id, op }, tenant))
 }
 
 /// Store/engine statistics as reported by the `stats` op and
@@ -175,6 +228,15 @@ pub struct Snapshot {
     /// (zero under `Engine::snapshot` or stdio serving).
     pub conns_accepted: u64,
     pub conns_active: u64,
+    /// Tenancy aggregates, filled in by the routed (multi-tenant)
+    /// front-end. `tenancy` gates their serialization so single-tenant
+    /// `stats` lines stay byte-identical to a tenancy-unaware server.
+    pub tenancy: bool,
+    /// Live tenant engines (a gauge).
+    pub tenants: u64,
+    pub tenant_evictions: u64,
+    pub tenant_recreations: u64,
+    pub tenant_throttled: u64,
 }
 
 impl Snapshot {
@@ -247,6 +309,13 @@ impl Snapshot {
             cache_locks: self.cache_locks.saturating_sub(prev.cache_locks),
             conns_accepted: self.conns_accepted.saturating_sub(prev.conns_accepted),
             conns_active: self.conns_active,
+            tenancy: self.tenancy,
+            tenants: self.tenants,
+            tenant_evictions: self.tenant_evictions.saturating_sub(prev.tenant_evictions),
+            tenant_recreations: self
+                .tenant_recreations
+                .saturating_sub(prev.tenant_recreations),
+            tenant_throttled: self.tenant_throttled.saturating_sub(prev.tenant_throttled),
         }
     }
 }
@@ -281,6 +350,21 @@ pub enum Response {
         id: u64,
         fields: Vec<(String, Value)>,
     },
+    /// Per-tenant registry listing (`tenants` op): pre-sorted flat
+    /// `(key, value)` pairs, serialized in exactly that order.
+    Tenants {
+        id: u64,
+        fields: Vec<(String, Value)>,
+    },
+    /// An admission-control refusal. On the wire it is still
+    /// `"op":"error"` — tenancy-unaware clients see an ordinary
+    /// per-request error — with a `"kind"` field naming the exhausted
+    /// quota for clients that back off gracefully.
+    Throttled {
+        id: u64,
+        tenant: String,
+        kind: ThrottleKind,
+    },
     Shutdown {
         id: u64,
     },
@@ -290,6 +374,27 @@ pub enum Response {
     },
 }
 
+/// Which admission quota refused a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThrottleKind {
+    /// The tenant's token-bucket request-rate limit is exhausted;
+    /// retrying after a pause will succeed.
+    Throttled,
+    /// The tenant's in-flight request cap is reached; retrying once
+    /// earlier responses arrive will succeed.
+    QuotaExceeded,
+}
+
+impl ThrottleKind {
+    /// The wire value of the response's `"kind"` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ThrottleKind::Throttled => "throttled",
+            ThrottleKind::QuotaExceeded => "quota_exceeded",
+        }
+    }
+}
+
 impl Response {
     pub fn id(&self) -> u64 {
         match self {
@@ -297,6 +402,8 @@ impl Response {
             | Response::Check { id, .. }
             | Response::Stats { id, .. }
             | Response::Metrics { id, .. }
+            | Response::Tenants { id, .. }
+            | Response::Throttled { id, .. }
             | Response::Shutdown { id }
             | Response::Error { id, .. } => *id,
         }
@@ -371,6 +478,12 @@ impl Response {
                     .field_u64("cache_locks", s.cache_locks)
                     .field_u64("conns_accepted", s.conns_accepted)
                     .field_u64("conns_active", s.conns_active);
+                if s.tenancy {
+                    w.field_u64("tenants", s.tenants)
+                        .field_u64("tenant_evictions", s.tenant_evictions)
+                        .field_u64("tenant_recreations", s.tenant_recreations)
+                        .field_u64("tenant_throttled", s.tenant_throttled);
+                }
                 w.finish()
             }
             Response::Metrics { id, fields } => {
@@ -379,6 +492,31 @@ impl Response {
                 for (key, value) in fields {
                     w.field_value(key, value);
                 }
+                w.finish()
+            }
+            Response::Tenants { id, fields } => {
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id).field_str("op", "tenants");
+                for (key, value) in fields {
+                    w.field_value(key, value);
+                }
+                w.finish()
+            }
+            Response::Throttled { id, tenant, kind } => {
+                let error = match kind {
+                    ThrottleKind::Throttled => {
+                        format!("tenant \"{tenant}\" over request-rate limit")
+                    }
+                    ThrottleKind::QuotaExceeded => {
+                        format!("tenant \"{tenant}\" at in-flight request cap")
+                    }
+                };
+                let mut w = ObjWriter::new();
+                w.field_u64("id", *id)
+                    .field_str("op", "error")
+                    .field_str("kind", kind.as_str())
+                    .field_str("tenant", tenant)
+                    .field_str("error", &error);
                 w.finish()
             }
             Response::Shutdown { id } => {
@@ -431,6 +569,111 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#, 1).op,
             Op::Shutdown
         ));
+    }
+
+    #[test]
+    fn tenant_field_parses_validates_and_defaults_to_none() {
+        let (r, t) = parse_request_tenant(
+            r#"{"op":"equiv","tenant":"acme-1","lhs":"End!","rhs":"End!"}"#,
+            1,
+        );
+        assert!(matches!(r.op, Op::Equiv { .. }));
+        assert_eq!(t.as_deref(), Some("acme-1"));
+        // Absent tenant → None (the router maps it to "default").
+        let (_, t) = parse_request_tenant(r#"{"op":"stats"}"#, 1);
+        assert_eq!(t, None);
+        // The tenants op itself parses.
+        assert!(matches!(
+            parse_request(r#"{"op":"tenants"}"#, 1).op,
+            Op::Tenants
+        ));
+        // Bad names (charset, emptiness, length, type) poison the line.
+        for line in [
+            r#"{"op":"stats","tenant":"a b"}"#,
+            r#"{"op":"stats","tenant":""}"#,
+            r#"{"op":"stats","tenant":7}"#,
+        ] {
+            let (r, t) = parse_request_tenant(line, 1);
+            assert!(matches!(r.op, Op::Invalid { .. }), "{line}");
+            assert_eq!(t, None);
+        }
+        let long = format!(r#"{{"op":"stats","tenant":"{}"}}"#, "x".repeat(65));
+        assert!(matches!(
+            parse_request_tenant(&long, 1).0.op,
+            Op::Invalid { .. }
+        ));
+        assert!(valid_tenant_name(&"x".repeat(64)));
+        // Single-tenant parsing accepts (and drops) a valid tenant.
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics","tenant":"default"}"#, 1).op,
+            Op::Metrics
+        ));
+    }
+
+    #[test]
+    fn throttled_and_tenants_responses_serialize() {
+        let line = Response::Throttled {
+            id: 4,
+            tenant: "acme".into(),
+            kind: ThrottleKind::Throttled,
+        }
+        .to_json();
+        assert_eq!(
+            line,
+            r#"{"id":4,"op":"error","kind":"throttled","tenant":"acme","error":"tenant \"acme\" over request-rate limit"}"#
+        );
+        let line = Response::Throttled {
+            id: 5,
+            tenant: "acme".into(),
+            kind: ThrottleKind::QuotaExceeded,
+        }
+        .to_json();
+        assert!(line.contains(r#""kind":"quota_exceeded""#), "{line}");
+        // A tenancy-unaware client still sees an ordinary error line.
+        let pairs = crate::json::parse_object(&line).unwrap();
+        assert_eq!(
+            crate::json::get(&pairs, "op").unwrap().as_str(),
+            Some("error")
+        );
+        let line = Response::Tenants {
+            id: 6,
+            fields: vec![
+                ("tenants".into(), Value::Int(2)),
+                ("tenant_acme_requests".into(), Value::Int(10)),
+            ],
+        }
+        .to_json();
+        assert_eq!(
+            line,
+            r#"{"id":6,"op":"tenants","tenants":2,"tenant_acme_requests":10}"#
+        );
+    }
+
+    #[test]
+    fn stats_lines_without_tenancy_omit_tenant_fields() {
+        let mut snapshot = Snapshot {
+            requests: 10,
+            tenants: 3,
+            tenant_throttled: 2,
+            ..Snapshot::default()
+        };
+        let single = Response::Stats {
+            id: 1,
+            snapshot,
+            delta: false,
+        }
+        .to_json();
+        assert!(!single.contains("tenant"), "{single}");
+        snapshot.tenancy = true;
+        let routed = Response::Stats {
+            id: 1,
+            snapshot,
+            delta: false,
+        }
+        .to_json();
+        assert!(routed.contains("\"tenants\":3"), "{routed}");
+        assert!(routed.contains("\"tenant_throttled\":2"), "{routed}");
+        assert!(routed.starts_with(&single[..single.len() - 1]));
     }
 
     #[test]

@@ -41,12 +41,30 @@
 //! socket buffer — answers its client, and closes; then the listener
 //! returns. EOF on a connection ends just that connection, minus the
 //! `shutdown` response.
+//!
+//! # Routed (multi-tenant) serving
+//!
+//! The `*_tenants` entry points serve the same protocol over a
+//! [`TenantRegistry`] instead of a single [`Engine`]. Per connection,
+//! the reader resolves each request's `"tenant"` field (absent →
+//! `"default"`), cuts a batch whenever the tenant changes (batches are
+//! single-tenant, so one engine submit serves each), and runs the
+//! tenant's admission control before submitting: the granted prefix
+//! goes to the tenant's engine, the refused suffix is answered
+//! directly with throttle errors under its own sequence number — the
+//! demux writer then interleaves both back into request order. The
+//! `tenants` admin op is answered by the reader from the registry
+//! (it never occupies a worker), and outgoing `stats` responses are
+//! stamped with the registry's tenancy aggregates.
 
-use crate::engine::{BatchReply, Engine};
-use crate::protocol::{parse_request, Op, Request, Response, Snapshot};
+use crate::engine::{BatchReply, Engine, EngineObs};
+use crate::protocol::{
+    parse_request, parse_request_tenant, Op, Request, Response, Snapshot, ThrottleKind,
+};
+use crate::tenant::{TenantHandle, TenantRegistry, TenantView, DEFAULT_TENANT};
 use algst_obs::{Field, Level, Span};
-use crossbeam::channel::{bounded, Sender};
-use std::collections::BTreeMap;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::{BTreeMap, HashMap};
 use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -145,12 +163,35 @@ enum ReadEnd {
     Failed(io::Error),
 }
 
+/// What a connection routes its requests through: the classic single
+/// engine, or the multi-tenant registry.
+#[derive(Clone, Copy)]
+pub(crate) enum Router<'a> {
+    Single(&'a Engine),
+    Tenants(&'a TenantRegistry),
+}
+
+impl<'a> Router<'a> {
+    /// Front-end observability hooks (connection lifecycle + reader/
+    /// writer stage timings).
+    fn obs(&self) -> &'a Arc<EngineObs> {
+        match self {
+            Router::Single(engine) => engine.obs(),
+            Router::Tenants(registry) => registry.obs(),
+        }
+    }
+}
+
+/// A reader→writer note: batch `seq` holds `count` admitted requests
+/// of `handle`, to be released when the batch's responses come back.
+type InflightNote = (u64, Arc<TenantHandle>, u64);
+
 /// Serves one connection: reads newline-delimited requests from
 /// `input`, pipelines them through `engine`, and writes responses to
 /// `output` in request order. Returns when the input ends, a `shutdown`
 /// op is processed, the drain flag fires, or the client times out.
 fn serve_conn<R, W>(
-    engine: &Engine,
+    router: Router<'_>,
     input: R,
     output: W,
     config: ServeConfig,
@@ -161,7 +202,7 @@ where
     R: Read,
     W: Write + Send,
 {
-    let obs = engine.obs();
+    let obs = router.obs();
     obs.conn_opened();
     obs.sink()
         .event(Level::Info, "conn_open", &[("conn", Field::U64(conn))]);
@@ -170,6 +211,9 @@ where
     // final flush batch, so those sends can never block on a full
     // channel while the writer is catching up.
     let (reply_tx, reply_rx) = bounded::<BatchReply>(window as usize + 2);
+    // Quota-slot notes ride a side channel so the writer can release a
+    // tenant's in-flight reservations as each batch comes back.
+    let (inflight_tx, inflight_rx) = bounded::<InflightNote>(window as usize + 2);
     let written_batches = Arc::new(AtomicU64::new(0));
     let mut summary = ServeSummary {
         connections: 1,
@@ -182,76 +226,45 @@ where
             let obs = Arc::clone(obs);
             move || -> io::Result<u64> {
                 let mut output = output;
-                let mut written = 0u64;
-                let mut next_seq = 0u64;
-                let mut held: BTreeMap<u64, Vec<Response>> = BTreeMap::new();
-                // This connection's stats-delta cursor: the absolute
-                // snapshot at its previous `{"delta":true}` call.
-                let mut cursor: Option<Snapshot> = None;
-                while let Ok((seq, batch)) = reply_rx.recv() {
-                    held.insert(seq, batch);
-                    // Write every contiguous batch: responses leave in
-                    // request order no matter the completion order.
-                    while let Some(batch) = held.remove(&next_seq) {
-                        let span = obs.enabled().then(Span::begin);
-                        for response in &batch {
-                            let line = match response {
-                                // The engine knows nothing about
-                                // connections; patch the gauges into
-                                // stats responses on the way out, and
-                                // resolve delta requests against this
-                                // connection's cursor.
-                                Response::Stats {
-                                    id,
-                                    snapshot,
-                                    delta,
-                                } => {
-                                    let mut snapshot = *snapshot;
-                                    snapshot.conns_accepted =
-                                        registry.accepted.load(Ordering::Relaxed);
-                                    snapshot.conns_active = registry.active.load(Ordering::Relaxed);
-                                    let emitted = if *delta {
-                                        let prev = cursor.replace(snapshot).unwrap_or_default();
-                                        snapshot.delta_since(&prev)
-                                    } else {
-                                        snapshot
-                                    };
-                                    Response::Stats {
-                                        id: *id,
-                                        snapshot: emitted,
-                                        delta: *delta,
-                                    }
-                                    .to_json()
-                                }
-                                other => other.to_json(),
-                            };
-                            writeln!(output, "{line}")?;
-                        }
-                        written += batch.len() as u64;
-                        next_seq += 1;
-                        written_batches.store(next_seq, Ordering::Release);
-                        if let Some(span) = span {
-                            obs.record_write(span.elapsed_ns());
-                        }
-                    }
-                    // One flush per wakeup: keeps request/response
-                    // clients moving without a syscall per line.
-                    output.flush()?;
+                let mut inflight: HashMap<u64, (Arc<TenantHandle>, u64)> = HashMap::new();
+                let result = write_responses(
+                    &mut output,
+                    &reply_rx,
+                    &inflight_rx,
+                    &mut inflight,
+                    router,
+                    registry,
+                    &written_batches,
+                    &obs,
+                );
+                // Whatever is still reserved when the writer ends (an
+                // output error, a vanished client) must release its
+                // quota slots — the handles outlive this connection.
+                while let Ok((_, handle, count)) = inflight_rx.try_recv() {
+                    handle.complete(count);
                 }
-                output.flush()?;
-                Ok(written)
+                for (handle, count) in inflight.into_values() {
+                    handle.complete(count);
+                }
+                result
             }
         });
 
         let end = {
             let writer_finished = || writer.is_finished();
             let mut reader = ConnReader {
-                engine,
+                router,
+                view: match router {
+                    Router::Single(_) => None,
+                    Router::Tenants(reg) => Some(reg.view()),
+                },
+                pending_tenant: DEFAULT_TENANT.to_string(),
                 config,
                 registry,
                 conn,
                 writer_finished: &writer_finished,
                 reply_tx: &reply_tx,
+                inflight_tx: &inflight_tx,
                 written_batches: &written_batches,
                 next_seq: 0,
                 next_id: 0,
@@ -260,6 +273,7 @@ where
             };
             reader.run(input)
         };
+        drop(inflight_tx);
         // Drop our reply sender: once the workers finish the submitted
         // batches and drop theirs, the writer sees disconnect and ends.
         drop(reply_tx);
@@ -292,14 +306,106 @@ where
     Ok(summary)
 }
 
+/// The connection's demux/write loop: reorders completed batches by
+/// sequence number, stamps `stats` responses with connection gauges
+/// (and, routed, the registry's tenancy aggregates), and releases
+/// tenant in-flight reservations as each batch's responses come back.
+#[allow(clippy::too_many_arguments)]
+fn write_responses<W: Write>(
+    output: &mut W,
+    reply_rx: &Receiver<BatchReply>,
+    inflight_rx: &Receiver<InflightNote>,
+    inflight: &mut HashMap<u64, (Arc<TenantHandle>, u64)>,
+    router: Router<'_>,
+    registry: &Registry,
+    written_batches: &AtomicU64,
+    obs: &EngineObs,
+) -> io::Result<u64> {
+    let mut written = 0u64;
+    let mut next_seq = 0u64;
+    let mut held: BTreeMap<u64, Vec<Response>> = BTreeMap::new();
+    // This connection's stats-delta cursor: the absolute snapshot at
+    // its previous `{"delta":true}` call.
+    let mut cursor: Option<Snapshot> = None;
+    while let Ok((seq, batch)) = reply_rx.recv() {
+        // Release this batch's quota reservation. Its note was sent
+        // before the batch was submitted, so it is already queued here
+        // by the time the reply arrives.
+        while let Ok((note_seq, handle, count)) = inflight_rx.try_recv() {
+            inflight.insert(note_seq, (handle, count));
+        }
+        if let Some((handle, count)) = inflight.remove(&seq) {
+            handle.complete(count);
+        }
+        held.insert(seq, batch);
+        // Write every contiguous batch: responses leave in request
+        // order no matter the completion order.
+        while let Some(batch) = held.remove(&next_seq) {
+            let span = obs.enabled().then(Span::begin);
+            for response in &batch {
+                let line = match response {
+                    // The engine knows nothing about connections (or
+                    // tenants); patch the gauges into stats responses
+                    // on the way out, and resolve delta requests
+                    // against this connection's cursor.
+                    Response::Stats {
+                        id,
+                        snapshot,
+                        delta,
+                    } => {
+                        let mut snapshot = *snapshot;
+                        snapshot.conns_accepted = registry.accepted.load(Ordering::Relaxed);
+                        snapshot.conns_active = registry.active.load(Ordering::Relaxed);
+                        if let Router::Tenants(tenants) = router {
+                            tenants.patch_snapshot(&mut snapshot);
+                        }
+                        let emitted = if *delta {
+                            let prev = cursor.replace(snapshot).unwrap_or_default();
+                            snapshot.delta_since(&prev)
+                        } else {
+                            snapshot
+                        };
+                        Response::Stats {
+                            id: *id,
+                            snapshot: emitted,
+                            delta: *delta,
+                        }
+                        .to_json()
+                    }
+                    other => other.to_json(),
+                };
+                writeln!(output, "{line}")?;
+            }
+            written += batch.len() as u64;
+            next_seq += 1;
+            written_batches.store(next_seq, Ordering::Release);
+            if let Some(span) = span {
+                obs.record_write(span.elapsed_ns());
+            }
+        }
+        // One flush per wakeup: keeps request/response clients moving
+        // without a syscall per line.
+        output.flush()?;
+    }
+    output.flush()?;
+    Ok(written)
+}
+
 /// The per-connection reader state machine (see module docs).
 struct ConnReader<'a> {
-    engine: &'a Engine,
+    router: Router<'a>,
+    /// Pinned registry snapshot (routed mode only): tenant resolution
+    /// against it is one atomic generation probe on the warm path.
+    view: Option<TenantView>,
+    /// Tenant of the requests currently in `pending` (routed batches
+    /// are single-tenant; a tenant switch cuts the batch).
+    pending_tenant: String,
     config: ServeConfig,
     registry: &'a Registry,
     conn: u64,
     writer_finished: &'a dyn Fn() -> bool,
     reply_tx: &'a Sender<BatchReply>,
+    inflight_tx: &'a Sender<InflightNote>,
     written_batches: &'a AtomicU64,
     next_seq: u64,
     next_id: u64,
@@ -320,10 +426,10 @@ impl ConnReader<'_> {
             // covers parsing only (not the buffered read below, not the
             // backpressure wait in flush_pending), so the stage
             // histogram reflects reader CPU work per consumed chunk.
-            let span = (!buf.is_empty() && self.engine.obs().enabled()).then(Span::begin);
+            let span = (!buf.is_empty() && self.router.obs().enabled()).then(Span::begin);
             let stop = self.consume_lines(&mut buf);
             if let Some(span) = span {
-                self.engine.obs().record_read_parse(span.elapsed_ns());
+                self.router.obs().record_read_parse(span.elapsed_ns());
             }
             if stop {
                 self.flush_pending();
@@ -371,8 +477,8 @@ impl ConnReader<'_> {
                     }
                     if let Some(limit) = self.config.read_timeout {
                         if last_data.elapsed() >= limit {
-                            self.engine.obs().conn_timeout();
-                            self.engine.obs().sink().event(
+                            self.router.obs().conn_timeout();
+                            self.router.obs().sink().event(
                                 Level::Info,
                                 "conn_timeout",
                                 &[
@@ -434,7 +540,34 @@ impl ConnReader<'_> {
             return false;
         }
         self.next_id += 1;
-        let request = parse_request(trimmed, self.next_id);
+        let (request, tenant) = match self.router {
+            Router::Single(_) => (parse_request(trimmed, self.next_id), None),
+            Router::Tenants(_) => parse_request_tenant(trimmed, self.next_id),
+        };
+        if let Router::Tenants(tenants) = self.router {
+            let name = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+            if name != self.pending_tenant {
+                // Batches are single-tenant: cut here so each submit
+                // targets exactly one tenant's engine.
+                self.flush_pending();
+                self.pending_tenant.clear();
+                self.pending_tenant.push_str(name);
+            }
+            if matches!(request.op, Op::Tenants) {
+                // The `tenants` admin op is answered by the reader
+                // from the registry: it reports across tenants and
+                // must not occupy (or be throttled by) any one
+                // tenant's engine.
+                self.flush_pending();
+                self.summary.requests += 1;
+                let reply = Response::Tenants {
+                    id: request.id,
+                    fields: tenants.tenants_fields(),
+                };
+                self.inject_reply(vec![reply]);
+                return false;
+            }
+        }
         let stop = matches!(request.op, Op::Shutdown);
         self.summary.requests += 1;
         self.pending.push(request);
@@ -443,6 +576,15 @@ impl ConnReader<'_> {
             self.registry.begin_drain();
         }
         stop
+    }
+
+    /// Hands the writer a reader-produced reply batch (throttle
+    /// refusals, `tenants` answers) under its own sequence number; the
+    /// demux interleaves it back into request order.
+    fn inject_reply(&mut self, batch: Vec<Response>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let _ = self.reply_tx.send((seq, batch));
     }
 
     /// Submits the pending batch (if any), honoring the per-connection
@@ -461,14 +603,59 @@ impl ConnReader<'_> {
             }
             std::thread::sleep(Duration::from_micros(500));
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.engine.submit_conn(
-            self.conn,
-            seq,
-            std::mem::take(&mut self.pending),
-            self.reply_tx.clone(),
-        );
+        match self.router {
+            Router::Single(engine) => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                engine.submit_conn(
+                    self.conn,
+                    seq,
+                    std::mem::take(&mut self.pending),
+                    self.reply_tx.clone(),
+                );
+            }
+            Router::Tenants(tenants) => self.flush_routed(tenants),
+        }
+    }
+
+    /// Routed submit: resolve the batch's tenant (one generation probe
+    /// when the registry is stable), run admission control, submit the
+    /// granted prefix to the tenant's engine, and answer the refused
+    /// suffix with throttle errors — never a disconnect, and never a
+    /// stall for other tenants.
+    fn flush_routed(&mut self, tenants: &TenantRegistry) {
+        let view = self.view.as_mut().expect("routed reader has a view");
+        let handle = tenants.tenant(view, &self.pending_tenant);
+        let admission = tenants.admit(&handle, self.pending.len());
+        let refused = self.pending.split_off(admission.granted);
+        let batch = std::mem::take(&mut self.pending);
+        if !batch.is_empty() {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            if handle.tracks_inflight() {
+                // Note before submit: the reply can only exist after
+                // the submit, so the writer always finds the note
+                // queued when it receives this batch's responses.
+                let _ = self
+                    .inflight_tx
+                    .send((seq, Arc::clone(&handle), batch.len() as u64));
+            }
+            handle
+                .engine()
+                .submit_conn(self.conn, seq, batch, self.reply_tx.clone());
+        }
+        if !refused.is_empty() {
+            let kind = admission.kind.unwrap_or(ThrottleKind::Throttled);
+            let replies: Vec<Response> = refused
+                .into_iter()
+                .map(|request| Response::Throttled {
+                    id: request.id,
+                    tenant: self.pending_tenant.clone(),
+                    kind,
+                })
+                .collect();
+            self.inject_reply(replies);
+        }
     }
 }
 
@@ -486,13 +673,50 @@ where
     R: Read,
     W: Write + Send,
 {
+    serve_session_router(Router::Single(engine), input, output, config)
+}
+
+/// [`serve_session`] routed through a [`TenantRegistry`]: requests
+/// carry an optional `"tenant"` field (absent → `"default"`), each
+/// tenant gets its own lazily-created engine, and over-quota requests
+/// are answered with structured throttle errors.
+pub fn serve_session_tenants<R, W>(
+    tenants: &TenantRegistry,
+    input: R,
+    output: W,
+    config: ServeConfig,
+) -> io::Result<ServeSummary>
+where
+    R: Read,
+    W: Write + Send,
+{
+    serve_session_router(Router::Tenants(tenants), input, output, config)
+}
+
+fn serve_session_router<R, W>(
+    router: Router<'_>,
+    input: R,
+    output: W,
+    config: ServeConfig,
+) -> io::Result<ServeSummary>
+where
+    R: Read,
+    W: Write + Send,
+{
     let registry = Registry::default();
     let conn = registry.connect();
-    let summary = serve_conn(engine, input, output, config, &registry, conn)?;
+    let summary = serve_conn(router, input, output, config, &registry, conn)?;
     if config.stats_on_exit {
-        eprintln!("{}", stats_line(engine));
+        eprintln!("{}", router_stats_line(router));
     }
     Ok(summary)
+}
+
+fn router_stats_line(router: Router<'_>) -> String {
+    match router {
+        Router::Single(engine) => stats_line(engine),
+        Router::Tenants(tenants) => stats_line_tenants(tenants),
+    }
 }
 
 /// The engine snapshot rendered exactly like a `stats` response (without
@@ -526,10 +750,36 @@ pub fn stats_line(engine: &Engine) -> String {
     response.to_json()
 }
 
+/// [`stats_line`] for a routed server: the default tenant's engine
+/// snapshot (zeroes when that tenant has never been contacted) stamped
+/// with the registry's tenancy aggregates.
+pub fn stats_line_tenants(tenants: &TenantRegistry) -> String {
+    let mut view = tenants.view();
+    let mut snapshot = tenants
+        .resolve(&mut view, DEFAULT_TENANT)
+        .map(|handle| handle.engine().snapshot())
+        .unwrap_or_default();
+    tenants.patch_snapshot(&mut snapshot);
+    let response = crate::protocol::Response::Stats {
+        id: 0,
+        snapshot,
+        delta: false,
+    };
+    response.to_json()
+}
+
 /// Serves stdio until EOF or `shutdown`.
 pub fn serve_stdio(engine: &Engine, config: ServeConfig) -> io::Result<ServeSummary> {
     // `Stdout` (not `StdoutLock`) — the writer thread needs `Send`.
     serve_session(engine, io::stdin().lock(), io::stdout(), config)
+}
+
+/// [`serve_stdio`] routed through a [`TenantRegistry`].
+pub fn serve_stdio_tenants(
+    tenants: &TenantRegistry,
+    config: ServeConfig,
+) -> io::Result<ServeSummary> {
+    serve_session_tenants(tenants, io::stdin().lock(), io::stdout(), config)
 }
 
 /// Binds `addr` and serves TCP connections **concurrently**: every
@@ -543,12 +793,39 @@ pub fn serve_tcp(engine: &Engine, addr: &str, config: ServeConfig) -> io::Result
     serve_listener(engine, &listener, config)
 }
 
+/// [`serve_tcp`] routed through a [`TenantRegistry`].
+pub fn serve_tcp_tenants(
+    tenants: &TenantRegistry,
+    addr: &str,
+    config: ServeConfig,
+) -> io::Result<ServeSummary> {
+    let listener = TcpListener::bind(addr)?;
+    serve_listener_tenants(tenants, &listener, config)
+}
+
 /// [`serve_tcp`] over an already-bound listener (lets callers pick port
 /// 0 and read the real address back). A connection that fails mid-
 /// session (client reset, EPIPE) is logged and dropped — the listener
 /// keeps serving; only `accept` errors end the loop early.
 pub fn serve_listener(
     engine: &Engine,
+    listener: &TcpListener,
+    config: ServeConfig,
+) -> io::Result<ServeSummary> {
+    serve_listener_router(Router::Single(engine), listener, config)
+}
+
+/// [`serve_listener`] routed through a [`TenantRegistry`].
+pub fn serve_listener_tenants(
+    tenants: &TenantRegistry,
+    listener: &TcpListener,
+    config: ServeConfig,
+) -> io::Result<ServeSummary> {
+    serve_listener_router(Router::Tenants(tenants), listener, config)
+}
+
+fn serve_listener_router(
+    router: Router<'_>,
     listener: &TcpListener,
     config: ServeConfig,
 ) -> io::Result<ServeSummary> {
@@ -619,7 +896,7 @@ pub fn serve_listener(
                     let conn = registry.connect();
                     let registry = &registry;
                     conns.push(scope.spawn(move || {
-                        let result = serve_conn(engine, reader, stream, config, registry, conn);
+                        let result = serve_conn(router, reader, stream, config, registry, conn);
                         registry.disconnect();
                         result
                     }));
@@ -640,7 +917,7 @@ pub fn serve_listener(
     });
 
     if config.stats_on_exit {
-        eprintln!("{}", stats_line(engine));
+        eprintln!("{}", router_stats_line(router));
     }
     result?;
     Ok(total)
@@ -662,6 +939,7 @@ fn refuse(mut stream: TcpStream, max_conns: usize) {
 mod tests {
     use super::*;
     use crate::json;
+    use crate::tenant::{TenantConfig, TenantQuotas};
     use algst_core::Session;
 
     fn run(input: &str) -> (ServeSummary, Vec<Vec<(String, json::Value)>>) {
@@ -875,6 +1153,152 @@ mod tests {
             );
         }
         assert_eq!(seen, 200);
+    }
+
+    fn run_routed(
+        config: TenantConfig,
+        input: &str,
+    ) -> (ServeSummary, Vec<Vec<(String, json::Value)>>) {
+        let tenants = TenantRegistry::new(config);
+        let mut out = Vec::new();
+        let summary =
+            serve_session_tenants(&tenants, input.as_bytes(), &mut out, ServeConfig::default())
+                .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<Vec<(String, json::Value)>> = text
+            .lines()
+            .map(|l| json::parse_object(l).unwrap_or_else(|e| panic!("bad line {l}: {e}")))
+            .collect();
+        (summary, lines)
+    }
+
+    #[test]
+    fn routed_session_runs_tenants_in_their_own_engines() {
+        let input = concat!(
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)","tenant":"acme"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)","tenant":"globex"}"#,
+            "\n",
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)","tenant":"acme"}"#,
+            "\n",
+            r#"{"op":"tenants"}"#,
+            "\n",
+        );
+        let (summary, lines) = run_routed(TenantConfig::default(), input);
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.responses, 4);
+        let ids: Vec<_> = lines
+            .iter()
+            .map(|pairs| {
+                json::get(pairs, "id")
+                    .and_then(json::Value::as_int)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4], "request order survives routing");
+        // acme's repeat is warm; globex sees the pair for the first
+        // time in its own (isolated) store, so it is not.
+        assert_ne!(
+            json::get(&lines[1], "warm"),
+            Some(&json::Value::Bool(true)),
+            "globex must not share acme's verdict cache"
+        );
+        assert_eq!(json::get(&lines[2], "warm"), Some(&json::Value::Bool(true)));
+        // The tenants op reports both tenants by name.
+        assert_eq!(
+            json::get(&lines[3], "op").and_then(json::Value::as_str),
+            Some("tenants")
+        );
+        assert_eq!(
+            json::get(&lines[3], "tenants").and_then(json::Value::as_int),
+            Some(2)
+        );
+        assert_eq!(
+            json::get(&lines[3], "tenant_acme_requests").and_then(json::Value::as_int),
+            Some(2)
+        );
+        assert_eq!(
+            json::get(&lines[3], "tenant_globex_requests").and_then(json::Value::as_int),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn routed_over_quota_requests_get_throttle_errors_in_order() {
+        let config = TenantConfig {
+            quotas: TenantQuotas {
+                rate_limit: 2,
+                burst: 2,
+                ..TenantQuotas::default()
+            },
+            ..TenantConfig::default()
+        };
+        let mut input = String::new();
+        for _ in 0..4 {
+            input.push_str(
+                "{\"op\":\"equiv\",\"lhs\":\"!Int.End!\",\"rhs\":\"Dual (?Int.End?)\",\"tenant\":\"acme\"}\n",
+            );
+        }
+        let (summary, lines) = run_routed(config, &input);
+        // Graceful degradation: every request is answered, none
+        // disconnects the client.
+        assert_eq!(summary.responses, 4);
+        for (ix, line) in lines.iter().enumerate() {
+            assert_eq!(
+                json::get(line, "id").and_then(json::Value::as_int),
+                Some(ix as i64 + 1),
+                "order"
+            );
+        }
+        // The 2-token burst admits the first two; the suffix is refused
+        // with a structured throttle error naming the tenant.
+        assert_eq!(
+            json::get(&lines[1], "verdict"),
+            Some(&json::Value::Bool(true))
+        );
+        for line in &lines[2..] {
+            assert_eq!(
+                json::get(line, "op").and_then(json::Value::as_str),
+                Some("error")
+            );
+            assert_eq!(
+                json::get(line, "kind").and_then(json::Value::as_str),
+                Some("throttled")
+            );
+            assert_eq!(
+                json::get(line, "tenant").and_then(json::Value::as_str),
+                Some("acme")
+            );
+        }
+    }
+
+    #[test]
+    fn routed_tenantless_requests_hit_the_default_tenant() {
+        let input = concat!(
+            r#"{"op":"equiv","lhs":"!Int.End!","rhs":"Dual (?Int.End?)"}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"tenants"}"#,
+            "\n",
+        );
+        let (summary, lines) = run_routed(TenantConfig::default(), input);
+        assert_eq!(summary.responses, 3);
+        assert_eq!(
+            json::get(&lines[0], "verdict"),
+            Some(&json::Value::Bool(true))
+        );
+        // Routed stats lines carry the tenancy aggregates.
+        assert_eq!(
+            json::get(&lines[1], "tenants").and_then(json::Value::as_int),
+            Some(1)
+        );
+        // equiv + stats were both admitted to the default tenant; the
+        // tenants op itself is reader-answered and not counted.
+        assert_eq!(
+            json::get(&lines[2], "tenant_default_requests").and_then(json::Value::as_int),
+            Some(2)
+        );
     }
 
     #[test]

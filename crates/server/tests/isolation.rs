@@ -1,10 +1,13 @@
 //! Engine/session isolation (ISSUE 5 acceptance): two engines in one
 //! process, each over its own injected [`Session`], are observably
 //! independent — for `equiv` **and** for `check`, whose elaboration
-//! used to leak through a process-global store.
+//! used to leak through a process-global store. ISSUE 10 extends the
+//! two-engine pairing to N dynamically created tenants in one
+//! [`TenantRegistry`], including across an eviction/recreation cycle.
 
 use algst_core::{Session, Type};
-use algst_server::{Engine, Op, Request, Response};
+use algst_server::{Engine, Op, Request, Response, TenantConfig, TenantRegistry};
+use std::sync::Arc;
 
 fn equiv(id: u64, lhs: &str, rhs: &str) -> Request {
     Request {
@@ -135,6 +138,97 @@ fn engine_check_interns_into_the_injected_store_only() {
         outside.stats().nodes,
         0,
         "an unrelated session must observe none of the engine's work"
+    );
+}
+
+#[test]
+fn n_dynamic_tenants_are_pairwise_isolated_across_eviction() {
+    // The two-engine pairing above, generalized: N tenants created on
+    // demand in one registry, each over its own universe (a send chain
+    // of tenant-specific depth). Every pair of tenants must be as
+    // isolated as `a` and `b` are — and the isolation must survive an
+    // LRU eviction/recreation cycle.
+    const N: usize = 6;
+    let registry = TenantRegistry::new(TenantConfig {
+        max_tenants: N,
+        ..TenantConfig::default()
+    });
+    let mut view = registry.view();
+
+    // Tenant t's pair: t+1 nested `!Int.` sends vs the dual of the
+    // matching receive chain — equivalent, and unique to the tenant.
+    let pair = |t: usize| {
+        let sends = "!Int.".repeat(t + 1);
+        let recvs = "?Int.".repeat(t + 1);
+        (format!("{sends}End!"), format!("Dual ({recvs}End?)"))
+    };
+    let ask = |view: &mut algst_server::TenantView, name: &str, t: usize, id: u64| {
+        let (lhs, rhs) = pair(t);
+        match registry.process(view, name, vec![equiv(id, &lhs, &rhs)])[..] {
+            [Response::Equiv { verdict, warm, .. }] => (verdict, warm),
+            ref other => panic!("unexpected responses {other:?}"),
+        }
+    };
+
+    // Own pair: correct and cold on first contact (the tenant was
+    // created by this very request), correct and warm on the second.
+    for t in 0..N {
+        let name = format!("team{t}");
+        assert_eq!(ask(&mut view, &name, t, 1), (true, false), "{name} cold");
+        assert_eq!(ask(&mut view, &name, t, 2), (true, true), "{name} warm");
+    }
+
+    // Pairwise: stores are distinct allocations, and every tenant is
+    // cold on every *other* tenant's pair even though its owner is warm.
+    let handles = registry.handles();
+    assert_eq!(handles.len(), N);
+    for (i, a) in handles.iter().enumerate() {
+        for b in handles.iter().skip(i + 1) {
+            assert!(
+                !Arc::ptr_eq(a.engine().store(), b.engine().store()),
+                "{} and {} share a store allocation",
+                a.name(),
+                b.name()
+            );
+        }
+    }
+    for t in 0..N {
+        let neighbor = format!("team{}", (t + 1) % N);
+        assert_eq!(
+            ask(&mut view, &neighbor, t, 3),
+            (true, false),
+            "{neighbor} must be cold on team{t}'s pair"
+        );
+    }
+
+    // Eviction/recreation: the registry is at capacity, so one more
+    // tenant evicts the LRU — team0, untouched since the neighbor pass
+    // wrapped around to warm every other tenant after it. Recreated,
+    // it is cold again while a surviving neighbor kept its warmth.
+    for t in 1..N {
+        ask(&mut view, &format!("team{t}"), t, 4);
+    }
+    ask(&mut view, "extra", 0, 5);
+    assert!(
+        registry.resolve(&mut view, "team0").is_none(),
+        "team0 was the LRU victim"
+    );
+    assert_eq!(registry.stats().evictions, 1);
+    // Re-touch survivors so recreating team0 (at capacity again) evicts
+    // "extra" rather than a tenant the final assertions observe.
+    for t in 1..N {
+        ask(&mut view, &format!("team{t}"), t, 6);
+    }
+    assert_eq!(
+        ask(&mut view, "team0", 0, 7),
+        (true, false),
+        "recreated team0 must be cold — its old cache died with the engine"
+    );
+    assert_eq!(registry.stats().recreations, 1);
+    assert_eq!(
+        ask(&mut view, "team1", 1, 8),
+        (true, true),
+        "team1 must stay warm through team0's eviction/recreation"
     );
 }
 

@@ -1,0 +1,287 @@
+//! Tenant lifecycle edge cases (ISSUE 10 acceptance): eviction under
+//! in-flight load, `--max-tenants` overflow, exact quota boundaries,
+//! default-tenant wire back-compat, and the zero-lock criterion — a
+//! 200K-request warm replay routed through the tenant registry takes
+//! exactly zero registry lock acquisitions and zero store/cache lock
+//! acquisitions in any tenant engine.
+
+use algst_core::Session;
+use algst_gen::workload::tenant_workloads;
+use algst_server::{
+    json, serve_session, serve_session_tenants, Engine, Op, Request, Response, ServeConfig,
+    TenantConfig, TenantQuotas, TenantRegistry, ThrottleKind,
+};
+use std::sync::Arc;
+
+fn equiv(id: u64, lhs: &str, rhs: &str) -> Request {
+    Request {
+        id,
+        op: Op::Equiv {
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        },
+    }
+}
+
+#[test]
+fn eviction_under_inflight_load_keeps_the_held_engine_answering() {
+    // A connection mid-batch holds an `Arc<TenantHandle>`; eviction
+    // removes the tenant from the registry snapshot but must not tear
+    // down the engine under the held handle — the store dies only when
+    // the last reference drops.
+    let registry = TenantRegistry::new(TenantConfig {
+        max_tenants: 1,
+        ..TenantConfig::default()
+    });
+    let mut view = registry.view();
+    let held = registry.tenant(&mut view, "alpha");
+    let warmup = held
+        .engine()
+        .process(vec![equiv(1, "!Int.End!", "Dual (?Int.End?)")]);
+    assert!(matches!(warmup[0], Response::Equiv { verdict: true, .. }));
+
+    // Creating "beta" overflows max_tenants = 1 and evicts "alpha".
+    registry.tenant(&mut view, "beta");
+    assert!(
+        registry.resolve(&mut view, "alpha").is_none(),
+        "alpha must be gone from the snapshot"
+    );
+    assert_eq!(registry.stats().evictions, 1);
+
+    // The in-flight holder still gets answers — warm ones, from the
+    // same engine it started on.
+    let after = held
+        .engine()
+        .process(vec![equiv(2, "!Int.End!", "Dual (?Int.End?)")]);
+    assert!(matches!(
+        after[0],
+        Response::Equiv {
+            verdict: true,
+            warm: true,
+            ..
+        }
+    ));
+
+    // The registry dropped its reference at eviction: ours is the last,
+    // so dropping it actually returns the engine (and its store).
+    assert_eq!(
+        Arc::strong_count(&held),
+        1,
+        "eviction must release the registry's reference while a batch is in flight"
+    );
+    drop(held);
+
+    // Recontacting the evicted tenant builds a cold engine.
+    let back = registry.tenant(&mut view, "alpha");
+    assert_eq!(registry.stats().recreations, 1);
+    let cold = back
+        .engine()
+        .process(vec![equiv(3, "!Int.End!", "Dual (?Int.End?)")]);
+    assert!(matches!(
+        cold[0],
+        Response::Equiv {
+            verdict: true,
+            warm: false,
+            ..
+        }
+    ));
+}
+
+#[test]
+fn max_tenants_overflow_evicts_the_lru_tenant() {
+    let registry = TenantRegistry::new(TenantConfig {
+        max_tenants: 2,
+        ..TenantConfig::default()
+    });
+    let mut view = registry.view();
+    registry.tenant(&mut view, "a");
+    registry.tenant(&mut view, "b");
+    // Touch "a" again so "b" is the least recently active.
+    registry.admit(&registry.tenant(&mut view, "a"), 1);
+
+    registry.tenant(&mut view, "c");
+    assert!(registry.resolve(&mut view, "b").is_none(), "b was the LRU");
+    assert!(registry.resolve(&mut view, "a").is_some());
+    assert!(registry.resolve(&mut view, "c").is_some());
+    let stats = registry.stats();
+    assert_eq!((stats.tenants, stats.evictions), (2, 1));
+}
+
+#[test]
+fn quota_boundaries_grant_exactly_at_limit() {
+    // In-flight cap: a batch of exactly max_inflight is granted in
+    // full; the next request is refused as quota_exceeded until a slot
+    // completes.
+    let registry = TenantRegistry::new(TenantConfig {
+        quotas: TenantQuotas {
+            max_inflight: 4,
+            ..TenantQuotas::default()
+        },
+        ..TenantConfig::default()
+    });
+    let mut view = registry.view();
+    let handle = registry.tenant(&mut view, "t");
+    let at_limit = registry.admit(&handle, 4);
+    assert_eq!(at_limit.granted, 4);
+    assert_eq!(at_limit.kind, None, "exactly-at-limit must not refuse");
+    let over = registry.admit(&handle, 1);
+    assert_eq!(over.granted, 0);
+    assert_eq!(over.kind, Some(ThrottleKind::QuotaExceeded));
+    handle.complete(1);
+    let freed = registry.admit(&handle, 1);
+    assert_eq!((freed.granted, freed.kind), (1, None));
+
+    // Rate limit: a burst-sized batch is granted in full, the next
+    // request is throttled (the bucket refills far slower than the test
+    // runs).
+    let registry = TenantRegistry::new(TenantConfig {
+        quotas: TenantQuotas {
+            rate_limit: 10,
+            burst: 5,
+            ..TenantQuotas::default()
+        },
+        ..TenantConfig::default()
+    });
+    let mut view = registry.view();
+    let handle = registry.tenant(&mut view, "t");
+    let at_burst = registry.admit(&handle, 5);
+    assert_eq!(at_burst.granted, 5);
+    assert_eq!(at_burst.kind, None, "exactly-at-burst must not refuse");
+    let over = registry.admit(&handle, 1);
+    assert_eq!(over.granted, 0);
+    assert_eq!(over.kind, Some(ThrottleKind::Throttled));
+    assert_eq!(registry.stats().throttled, 1);
+}
+
+/// Strips the per-response `ns` timing (the only nondeterministic
+/// field) and keeps everything else for exact comparison.
+fn parsed_without_ns(output: &[u8]) -> Vec<Vec<(String, json::Value)>> {
+    String::from_utf8(output.to_vec())
+        .unwrap()
+        .lines()
+        .map(|l| {
+            json::parse_object(l)
+                .unwrap_or_else(|e| panic!("bad line {l}: {e}"))
+                .into_iter()
+                .filter(|(k, _)| k != "ns")
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn tenantless_requests_behave_identically_to_single_engine_mode() {
+    // The default-tenant back-compat regression: a client that never
+    // says "tenant" must see exactly the responses the single-engine
+    // server gave — same fields, same values, same order — including
+    // error paths. (The `ns` timing is the one field that cannot be
+    // bit-stable across runs.)
+    let input = concat!(
+        "{\"id\":1,\"op\":\"equiv\",\"lhs\":\"!Int.End!\",\"rhs\":\"Dual (?Int.End?)\"}\n",
+        "{\"id\":2,\"op\":\"equiv\",\"lhs\":\"End!\",\"rhs\":\"End?\"}\n",
+        "not json at all\n",
+        "{\"id\":4,\"op\":\"equiv\",\"lhs\":\"!Int.End!\",\"rhs\":\"Dual (?Int.End?)\"}\n",
+        "{\"id\":5,\"op\":\"check\",\"source\":\"main : Unit\\nmain = ()\"}\n",
+        "{\"id\":6,\"op\":\"frobnicate\"}\n",
+    );
+
+    let engine = Engine::with_session(1, Session::new());
+    let mut single_out = Vec::new();
+    serve_session(
+        &engine,
+        input.as_bytes(),
+        &mut single_out,
+        ServeConfig::default(),
+    )
+    .unwrap();
+
+    let registry = TenantRegistry::new(TenantConfig::default());
+    let mut routed_out = Vec::new();
+    serve_session_tenants(
+        &registry,
+        input.as_bytes(),
+        &mut routed_out,
+        ServeConfig::default(),
+    )
+    .unwrap();
+
+    assert_eq!(
+        parsed_without_ns(&single_out),
+        parsed_without_ns(&routed_out),
+        "routed default-tenant output diverged from single-engine output\n\
+         --- single ---\n{}\n--- routed ---\n{}",
+        String::from_utf8_lossy(&single_out),
+        String::from_utf8_lossy(&routed_out),
+    );
+}
+
+#[test]
+fn warm_200k_replay_through_the_tenant_router_takes_zero_locks() {
+    // ISSUE 10 acceptance: the warm path stays zero-lock under
+    // tenancy. Three tenants over disjoint universes; after one full
+    // pass has warmed every pair, replaying 200K+ requests through the
+    // registry's resolve→admit→engine path must not acquire a single
+    // registry lock, store lock, or verdict-cache lock.
+    const TENANTS: usize = 3;
+    const PER_TENANT: usize = 70_000; // 3 × 70K = 210K ≥ 200K replayed
+    let workloads = tenant_workloads(TENANTS, 8, PER_TENANT, 23);
+    let registry = TenantRegistry::new(TenantConfig::default());
+    let mut view = registry.view();
+
+    let replay = |view: &mut algst_server::TenantView, label: &str| {
+        for (t, workload) in workloads.iter().enumerate() {
+            let name = format!("tenant{t}");
+            let mut i = 0;
+            while i < workload.len() {
+                let batch: Vec<Request> = (i..workload.len().min(i + 256))
+                    .map(|j| {
+                        let (lhs, rhs, _) = workload.request(j);
+                        equiv(j as u64 + 1, &lhs.to_string(), &rhs.to_string())
+                    })
+                    .collect();
+                i += batch.len();
+                for r in registry.process(view, &name, batch) {
+                    match r {
+                        Response::Equiv { id, verdict, .. } => {
+                            let expected = workload.request(id as usize - 1).2;
+                            assert_eq!(verdict, expected, "{label} verdict for {name}");
+                        }
+                        other => panic!("unexpected response {other:?}"),
+                    }
+                }
+            }
+        }
+    };
+
+    replay(&mut view, "warm-up");
+
+    let engine_locks = |registry: &TenantRegistry| -> (u64, u64) {
+        registry
+            .handles()
+            .iter()
+            .map(|h| {
+                let s = h.engine().snapshot();
+                (s.store_locks, s.cache_locks)
+            })
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    };
+    let (store_before, cache_before) = engine_locks(&registry);
+    // `handles()` itself takes the registry read lock, so capture the
+    // registry baseline after the engine baseline and read it back
+    // before the post-replay `handles()` call.
+    let locks_before = registry.lock_acquisitions();
+
+    replay(&mut view, "replay");
+
+    assert_eq!(
+        registry.lock_acquisitions(),
+        locks_before,
+        "a warm replay on a stable tenant set must not touch the registry locks"
+    );
+    let (store_after, cache_after) = engine_locks(&registry);
+    assert_eq!(
+        (store_after, cache_after),
+        (store_before, cache_before),
+        "a warm routed replay must be lock-free in every tenant engine"
+    );
+}

@@ -22,6 +22,13 @@
 //!     [--trace-threshold-us N]      # log a slow_request event at/above N microseconds
 //!     [--max-store-bytes N]         # compact the type store above N live bytes (0 = off)
 //!     [--compact-interval N]        # compact the type store every N requests (0 = off)
+//!     [--multi-tenant]              # route requests by their "tenant" field (isolated engines)
+//!     [--max-tenants N]             # live-tenant cap; LRU-evict the coldest (0 = unbounded)
+//!     [--tenant-idle-secs SECS]     # evict tenants idle this long (0 = never)
+//!     [--tenant-rate N]             # per-tenant request rate limit, req/s (0 = off)
+//!     [--tenant-burst N]            # per-tenant rate burst (0 = one second of rate)
+//!     [--tenant-inflight N]         # per-tenant in-flight request cap (0 = off)
+//!     [--tenant-store-bytes N]      # per-tenant store byte ceiling (0 = --max-store-bytes)
 //! algst fuzz                        # cross-layer differential fuzzing
 //!     [--iters N]                   # iterations (default: 200)
 //!     [--seed N]                    # RNG seed (default: 42)
@@ -35,11 +42,19 @@
 //! rejected with a usage error. `fuzz` exits 0 on a clean run and 1
 //! when a disagreement was found (minimized counterexamples land in the
 //! failure directory); `--replay` exits 1 when the failure reproduces.
+//!
+//! Any `--tenant-*` or `--max-tenants` flag implies `--multi-tenant`.
+//! In multi-tenant mode every tenant gets its own engine over its own
+//! store; requests without a `"tenant"` field go to the `default`
+//! tenant, and a `{"op":"tenants"}` request lists per-tenant counters.
 
 use algst::obs::{Level, TraceSink};
 use algst::runtime::Interp;
 use algst::{Pipeline, Session};
-use algst_server::{serve_metrics, serve_stdio, serve_tcp, Engine, ObsOptions, ServeConfig};
+use algst_server::{
+    serve_metrics, serve_metrics_tenants, serve_stdio, serve_stdio_tenants, serve_tcp,
+    serve_tcp_tenants, Engine, ObsOptions, ServeConfig, TenantConfig, TenantQuotas, TenantRegistry,
+};
 use std::io::Read;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -51,6 +66,9 @@ const USAGE: &str =
                    [--read-timeout SECS] [--stats-on-exit] [--metrics-listen ADDR]
                    [--log-json FILE] [--log-level LVL] [--trace-threshold-us N]
                    [--max-store-bytes N] [--compact-interval N]
+                   [--multi-tenant] [--max-tenants N] [--tenant-idle-secs SECS]
+                   [--tenant-rate N] [--tenant-burst N] [--tenant-inflight N]
+                   [--tenant-store-bytes N]
        algst fuzz [--iters N] [--seed N] [--out DIR] [--sabotage NAME] [--replay FILE] [--quiet]
 FILE may be `-` to read from stdin.";
 
@@ -79,6 +97,13 @@ struct ServeOpts {
     trace_threshold: Option<Duration>,
     max_store_bytes: u64,
     compact_interval: u64,
+    multi_tenant: bool,
+    max_tenants: usize,
+    tenant_idle: Option<Duration>,
+    tenant_rate: u64,
+    tenant_burst: u64,
+    tenant_inflight: u64,
+    tenant_store_bytes: u64,
 }
 
 /// Options for `fuzz`.
@@ -175,6 +200,13 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                 trace_threshold: None,
                 max_store_bytes: 0,
                 compact_interval: 0,
+                multi_tenant: false,
+                max_tenants: 0,
+                tenant_idle: None,
+                tenant_rate: 0,
+                tenant_burst: 0,
+                tenant_inflight: 0,
+                tenant_store_bytes: 0,
             };
             let mut i = 0;
             while i < rest.len() {
@@ -237,6 +269,46 @@ fn parse_cli(argv: &[String]) -> Result<Cli, String> {
                         opts.compact_interval = value(&mut i)?.parse().map_err(|_| {
                             "--compact-interval takes a request count (0 = off)".to_owned()
                         })?;
+                    }
+                    // Any tenant flag implies multi-tenant mode.
+                    "--multi-tenant" => opts.multi_tenant = true,
+                    "--max-tenants" => {
+                        opts.max_tenants = value(&mut i)?.parse().map_err(|_| {
+                            "--max-tenants takes a tenant count (0 = unbounded)".to_owned()
+                        })?;
+                        opts.multi_tenant = true;
+                    }
+                    "--tenant-idle-secs" => {
+                        let secs: u64 = value(&mut i)?.parse().map_err(|_| {
+                            "--tenant-idle-secs takes a number of seconds (0 = never)".to_owned()
+                        })?;
+                        opts.tenant_idle = (secs > 0).then(|| Duration::from_secs(secs));
+                        opts.multi_tenant = true;
+                    }
+                    "--tenant-rate" => {
+                        opts.tenant_rate = value(&mut i)?.parse().map_err(|_| {
+                            "--tenant-rate takes requests per second (0 = off)".to_owned()
+                        })?;
+                        opts.multi_tenant = true;
+                    }
+                    "--tenant-burst" => {
+                        opts.tenant_burst = value(&mut i)?.parse().map_err(|_| {
+                            "--tenant-burst takes a token count (0 = one second of rate)".to_owned()
+                        })?;
+                        opts.multi_tenant = true;
+                    }
+                    "--tenant-inflight" => {
+                        opts.tenant_inflight = value(&mut i)?.parse().map_err(|_| {
+                            "--tenant-inflight takes a request count (0 = off)".to_owned()
+                        })?;
+                        opts.multi_tenant = true;
+                    }
+                    "--tenant-store-bytes" => {
+                        opts.tenant_store_bytes = value(&mut i)?.parse().map_err(|_| {
+                            "--tenant-store-bytes takes a number of bytes (0 = --max-store-bytes)"
+                                .to_owned()
+                        })?;
+                        opts.multi_tenant = true;
                     }
                     other => return Err(format!("unknown flag {other}")),
                 }
@@ -387,39 +459,10 @@ fn main() -> ExitCode {
                     }
                 },
             };
-            // The serving store is this process's global session store,
-            // so in-process checks (if any) share its warm state; a
-            // `Session::new()` here would isolate the service instead.
-            let engine = Engine::with_obs(
-                opts.workers,
-                Session::global(),
-                ObsOptions {
-                    sink: Arc::new(sink),
-                    trace_threshold: opts.trace_threshold,
-                    ..ObsOptions::default()
-                },
-            );
-            engine.set_compaction(opts.max_store_bytes, opts.compact_interval);
-            // Keep the scrape endpoint alive for the serve's duration.
-            let _metrics = match &opts.metrics_listen {
-                Some(addr) => {
-                    let server = serve_metrics(
-                        addr,
-                        Arc::clone(engine.metrics_registry()),
-                        Arc::clone(engine.store()),
-                    );
-                    match server {
-                        Ok(server) => {
-                            eprintln!("algst serve: metrics on http://{}/metrics", server.addr());
-                            Some(server)
-                        }
-                        Err(e) => {
-                            eprintln!("serve error: cannot bind metrics on {addr}: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                }
-                None => None,
+            let obs = ObsOptions {
+                sink: Arc::new(sink),
+                trace_threshold: opts.trace_threshold,
+                ..ObsOptions::default()
             };
             let config = ServeConfig {
                 batch_max: opts.batch_max,
@@ -427,15 +470,97 @@ fn main() -> ExitCode {
                 max_conns: opts.max_conns,
                 read_timeout: opts.read_timeout,
             };
-            let served = match &opts.listen {
-                Some(addr) => {
-                    eprintln!(
-                        "algst serve: listening on {addr} ({} workers)",
-                        opts.workers
-                    );
-                    serve_tcp(&engine, addr, config)
+            let served = if opts.multi_tenant {
+                // Every tenant engine clones this obs wiring, so one
+                // shared registry covers the whole fleet in one scrape.
+                let metrics_registry = Arc::clone(&obs.registry);
+                let tenants = TenantRegistry::with_sweeper(TenantConfig {
+                    workers: opts.workers,
+                    obs,
+                    quotas: TenantQuotas {
+                        max_store_bytes: if opts.tenant_store_bytes > 0 {
+                            opts.tenant_store_bytes
+                        } else {
+                            opts.max_store_bytes
+                        },
+                        compact_interval: opts.compact_interval,
+                        rate_limit: opts.tenant_rate,
+                        burst: opts.tenant_burst,
+                        max_inflight: opts.tenant_inflight,
+                    },
+                    max_tenants: opts.max_tenants,
+                    idle_timeout: opts.tenant_idle,
+                });
+                // Keep the scrape endpoint alive for the serve's duration.
+                let _metrics = match &opts.metrics_listen {
+                    Some(addr) => {
+                        match serve_metrics_tenants(addr, metrics_registry, Arc::clone(&tenants)) {
+                            Ok(server) => {
+                                eprintln!(
+                                    "algst serve: metrics on http://{}/metrics",
+                                    server.addr()
+                                );
+                                Some(server)
+                            }
+                            Err(e) => {
+                                eprintln!("serve error: cannot bind metrics on {addr}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                match &opts.listen {
+                    Some(addr) => {
+                        eprintln!(
+                            "algst serve: listening on {addr} ({} workers per tenant, multi-tenant)",
+                            opts.workers
+                        );
+                        serve_tcp_tenants(&tenants, addr, config)
+                    }
+                    None => serve_stdio_tenants(&tenants, config),
                 }
-                None => serve_stdio(&engine, config),
+            } else {
+                // The serving store is this process's global session
+                // store, so in-process checks (if any) share its warm
+                // state; a `Session::new()` here would isolate the
+                // service instead.
+                let engine = Engine::with_obs(opts.workers, Session::global(), obs);
+                engine.set_compaction(opts.max_store_bytes, opts.compact_interval);
+                // Keep the scrape endpoint alive for the serve's duration.
+                let _metrics = match &opts.metrics_listen {
+                    Some(addr) => {
+                        let server = serve_metrics(
+                            addr,
+                            Arc::clone(engine.metrics_registry()),
+                            Arc::clone(engine.store()),
+                        );
+                        match server {
+                            Ok(server) => {
+                                eprintln!(
+                                    "algst serve: metrics on http://{}/metrics",
+                                    server.addr()
+                                );
+                                Some(server)
+                            }
+                            Err(e) => {
+                                eprintln!("serve error: cannot bind metrics on {addr}: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    None => None,
+                };
+                match &opts.listen {
+                    Some(addr) => {
+                        eprintln!(
+                            "algst serve: listening on {addr} ({} workers)",
+                            opts.workers
+                        );
+                        serve_tcp(&engine, addr, config)
+                    }
+                    None => serve_stdio(&engine, config),
+                }
             };
             match served {
                 Ok(_) => ExitCode::SUCCESS,
@@ -698,6 +823,9 @@ mod tests {
         assert_eq!(defaults.trace_threshold, None);
         assert_eq!(defaults.max_store_bytes, 0);
         assert_eq!(defaults.compact_interval, 0);
+        assert!(!defaults.multi_tenant);
+        assert_eq!(defaults.max_tenants, 0);
+        assert_eq!(defaults.tenant_idle, None);
         assert!(parse_cli(&args(&["serve", "--workers", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--max-conns", "0"])).is_err());
         assert!(parse_cli(&args(&["serve", "--read-timeout", "soon"])).is_err());
@@ -711,5 +839,54 @@ mod tests {
             panic!()
         };
         assert_eq!(no_timeout.read_timeout, None);
+    }
+
+    #[test]
+    fn tenant_options_parse_and_imply_multi_tenant() {
+        let Cli::Serve(opts) = parse_cli(&args(&[
+            "serve",
+            "--max-tenants",
+            "16",
+            "--tenant-idle-secs",
+            "300",
+            "--tenant-rate",
+            "1000",
+            "--tenant-burst",
+            "2000",
+            "--tenant-inflight",
+            "64",
+            "--tenant-store-bytes",
+            "8388608",
+        ]))
+        .unwrap() else {
+            panic!()
+        };
+        assert!(opts.multi_tenant, "tenant flags imply --multi-tenant");
+        assert_eq!(opts.max_tenants, 16);
+        assert_eq!(opts.tenant_idle, Some(Duration::from_secs(300)));
+        assert_eq!(opts.tenant_rate, 1000);
+        assert_eq!(opts.tenant_burst, 2000);
+        assert_eq!(opts.tenant_inflight, 64);
+        assert_eq!(opts.tenant_store_bytes, 8_388_608);
+
+        // --multi-tenant alone: quota-less tenants, unbounded registry.
+        let Cli::Serve(bare) = parse_cli(&args(&["serve", "--multi-tenant"])).unwrap() else {
+            panic!()
+        };
+        assert!(bare.multi_tenant);
+        assert_eq!(bare.max_tenants, 0);
+        assert_eq!(bare.tenant_rate, 0);
+
+        // --tenant-idle-secs 0 disables idle eviction.
+        let Cli::Serve(no_idle) = parse_cli(&args(&["serve", "--tenant-idle-secs", "0"])).unwrap()
+        else {
+            panic!()
+        };
+        assert!(no_idle.multi_tenant);
+        assert_eq!(no_idle.tenant_idle, None);
+
+        assert!(parse_cli(&args(&["serve", "--max-tenants", "many"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--tenant-rate"])).is_err());
+        assert!(parse_cli(&args(&["serve", "--tenant-store-bytes", "big"])).is_err());
     }
 }

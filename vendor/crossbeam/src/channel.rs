@@ -52,6 +52,26 @@ impl fmt::Display for RecvTimeoutError {
     }
 }
 
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty (but senders remain).
+    Empty,
+    /// The channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                write!(f, "receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
 struct State<T> {
     /// Queued messages, each tagged with its sender's ticket. Tickets are
     /// strictly increasing along the queue (assigned from `pushed`), and
@@ -232,6 +252,23 @@ impl<T> Receiver<T> {
             st.waiting_receivers += 1;
             st = shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
             st.waiting_receivers -= 1;
+        }
+    }
+
+    /// Non-blocking [`Receiver::recv`]: pops an already-queued message
+    /// or returns immediately with why it could not.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut st = shared.lock();
+        if let Some((ticket, value)) = st.queue.pop_front() {
+            st.popped = ticket + 1;
+            shared.wake_senders_after_pop(&st);
+            return Ok(value);
+        }
+        if st.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
         }
     }
 
@@ -484,6 +521,27 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn try_recv_pops_or_reports_state() {
+        let (tx, rx) = bounded(2);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn try_recv_unblocks_a_sender_waiting_for_room() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.try_recv(), Ok(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
     }
 
     #[test]
